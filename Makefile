@@ -1,0 +1,42 @@
+# Developer entry points for the peerlearn reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench figures verify fmt vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at full size into results/.
+figures:
+	$(GO) run ./cmd/benchfig -fig all -out results
+
+# Check the machine-checkable paper claims against freshly generated data.
+verify:
+	$(GO) run ./cmd/benchfig -verify
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,109 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one testing.B target per figure; see DESIGN.md for the
+// index). The benchmarks run the generators in quick mode so the full
+// suite completes in minutes; run cmd/benchfig for the full-size sweeps.
+package peerlearn_test
+
+import (
+	"testing"
+
+	"peerlearn"
+	"peerlearn/internal/dist"
+	"peerlearn/internal/experiments"
+)
+
+// benchOpts is the shrunken configuration used by the figure benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Runs: 2, Quick: true, HumanTrials: 3}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Generate(id, opts); err != nil {
+			b.Fatalf("figure %s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkFig01(b *testing.B)  { benchFigure(b, "1") }
+func BenchmarkFig02(b *testing.B)  { benchFigure(b, "2") }
+func BenchmarkFig03(b *testing.B)  { benchFigure(b, "3") }
+func BenchmarkFig04a(b *testing.B) { benchFigure(b, "4a") }
+func BenchmarkFig04b(b *testing.B) { benchFigure(b, "4b") }
+func BenchmarkFig05a(b *testing.B) { benchFigure(b, "5a") }
+func BenchmarkFig05b(b *testing.B) { benchFigure(b, "5b") }
+func BenchmarkFig06a(b *testing.B) { benchFigure(b, "6a") }
+func BenchmarkFig06b(b *testing.B) { benchFigure(b, "6b") }
+func BenchmarkFig07a(b *testing.B) { benchFigure(b, "7a") }
+func BenchmarkFig07b(b *testing.B) { benchFigure(b, "7b") }
+func BenchmarkFig08a(b *testing.B) { benchFigure(b, "8a") }
+func BenchmarkFig08b(b *testing.B) { benchFigure(b, "8b") }
+func BenchmarkFig09a(b *testing.B) { benchFigure(b, "9a") }
+func BenchmarkFig09b(b *testing.B) { benchFigure(b, "9b") }
+func BenchmarkFig10a(b *testing.B) { benchFigure(b, "10a") }
+func BenchmarkFig10b(b *testing.B) { benchFigure(b, "10b") }
+func BenchmarkFig11a(b *testing.B) { benchFigure(b, "11a") }
+func BenchmarkFig11b(b *testing.B) { benchFigure(b, "11b") }
+func BenchmarkFig12a(b *testing.B) { benchFigure(b, "12a") }
+func BenchmarkFig12b(b *testing.B) { benchFigure(b, "12b") }
+func BenchmarkFig13a(b *testing.B) { benchFigure(b, "13a") }
+func BenchmarkFig13b(b *testing.B) { benchFigure(b, "13b") }
+
+// BenchmarkBruteForceValidation regenerates the Section V-B3 exactness
+// table (Theorem 5 check).
+func BenchmarkBruteForceValidation(b *testing.B) { benchFigure(b, "bf") }
+
+// Ablation benches for the extension experiments (Section VII of the
+// paper; see DESIGN.md "Extensions").
+func BenchmarkExtGain(b *testing.B)          { benchFigure(b, "ext-gain") }
+func BenchmarkExtSizes(b *testing.B)         { benchFigure(b, "ext-sizes") }
+func BenchmarkExtTiebreak(b *testing.B)      { benchFigure(b, "ext-tiebreak") }
+func BenchmarkExtConvergence(b *testing.B)   { benchFigure(b, "ext-convergence") }
+func BenchmarkExtAffinity(b *testing.B)      { benchFigure(b, "ext-affinity") }
+func BenchmarkExtChurn(b *testing.B)         { benchFigure(b, "ext-churn") }
+func BenchmarkExtMetaheuristic(b *testing.B) { benchFigure(b, "ext-meta") }
+func BenchmarkExtPercentile(b *testing.B)    { benchFigure(b, "ext-percentile") }
+
+// Core algorithm micro-benchmarks: one full α=5-round simulation per
+// iteration at the paper's default n = 10000, k = 5, r = 0.5.
+func benchPolicy(b *testing.B, mode peerlearn.Mode, g peerlearn.Grouper) {
+	b.Helper()
+	skills := dist.Generate(10000, dist.PaperLogNormal, 1)
+	cfg := peerlearn.Config{K: 5, Rounds: 5, Mode: mode, Gain: peerlearn.MustLinear(0.5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peerlearn.Run(cfg, skills, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDyGroupsStar10k(b *testing.B) {
+	benchPolicy(b, peerlearn.Star, peerlearn.NewDyGroupsStar())
+}
+
+func BenchmarkDyGroupsClique10k(b *testing.B) {
+	benchPolicy(b, peerlearn.Clique, peerlearn.NewDyGroupsClique())
+}
+
+func BenchmarkRandomAssignment10k(b *testing.B) {
+	benchPolicy(b, peerlearn.Star, peerlearn.NewRandomAssignment(1))
+}
+
+func BenchmarkKMeans10k(b *testing.B) {
+	benchPolicy(b, peerlearn.Star, peerlearn.NewKMeans(1))
+}
+
+func BenchmarkLPA10k(b *testing.B) {
+	benchPolicy(b, peerlearn.Star, peerlearn.NewLPA())
+}
+
+func BenchmarkPercentile10k(b *testing.B) {
+	p, err := peerlearn.NewPercentilePartitions(0.75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPolicy(b, peerlearn.Star, p)
+}

@@ -1,0 +1,151 @@
+// Command benchfig regenerates the tables behind every figure of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	benchfig -fig all                 # every figure, printed to stdout
+//	benchfig -fig 5a                  # one figure
+//	benchfig -fig all -out results/   # also write one TSV per figure
+//	benchfig -fig 10a -quick          # shrunken sweep for smoke tests
+//
+// Figure ids follow the paper: 1, 2, 3, 4a, 4b, 5a ... 13b, plus "bf"
+// for the Section V-B3 brute-force validation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"peerlearn/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure id or \"all\"")
+		out      = flag.String("out", "", "directory for TSV output (optional)")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed     = flag.Int64("seed", 1, "random seed")
+		runs     = flag.Int("runs", 0, "repetitions to average (default 10, paper's setting)")
+		trials   = flag.Int("trials", 0, "simulated human-experiment trials (default 20)")
+		verify   = flag.Bool("verify", false, "instead of printing tables, check every machine-checkable paper claim")
+		plotIt   = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
+		jsonIt   = flag.Bool("json", false, "with -out, also write each figure as JSON")
+		cacheDir = flag.String("cache", "", "directory for a read-through figure cache (skips recomputation)")
+	)
+	flag.Parse()
+	plotFigures = *plotIt
+	jsonFigures = *jsonIt
+	if *cacheDir != "" {
+		c, err := experiments.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		figureCache = c
+	}
+
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Quick: *quick, HumanTrials: *trials}
+	if *verify {
+		if err := runVerify(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.IDs()
+	}
+	if err := generate(ids, opts, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+// runVerify regenerates the claimed figures and reports a PASS/FAIL line
+// per paper claim; it returns an error if any claim failed.
+func runVerify(opts experiments.Options) error {
+	results, err := experiments.Verify(opts)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, r := range results {
+		status := "PASS"
+		if r.Err != nil {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s  fig %-15s %s\n", status, r.Claim.Figure, r.Claim.Statement)
+		if r.Err != nil {
+			fmt.Printf("      ↳ %v\n", r.Err)
+		}
+	}
+	fmt.Printf("%d/%d claims hold\n", len(results)-failed, len(results))
+	if failed > 0 {
+		return fmt.Errorf("%d claim(s) failed", failed)
+	}
+	return nil
+}
+
+// plotFigures enables ASCII-chart rendering after each table;
+// jsonFigures adds a JSON file next to each TSV.
+var (
+	plotFigures bool
+	jsonFigures bool
+	figureCache *experiments.Cache
+)
+
+func generate(ids []string, opts experiments.Options, outDir string) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		table, err := experiments.GenerateCached(id, opts, figureCache)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+		if plotFigures {
+			if err := table.RenderChart(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+		if outDir != "" {
+			path := filepath.Join(outDir, "fig"+id+".tsv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := table.WriteTSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("# wrote %s\n", path)
+			if jsonFigures {
+				jsonPath := filepath.Join(outDir, "fig"+id+".json")
+				data, err := json.MarshalIndent(table, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("# wrote %s\n", jsonPath)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

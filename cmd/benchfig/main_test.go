@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peerlearn/internal/experiments"
+)
+
+func quickOpts() experiments.Options {
+	return experiments.Options{Seed: 3, Runs: 1, Quick: true, HumanTrials: 2}
+}
+
+func TestGenerateOneFigure(t *testing.T) {
+	if err := generate([]string{"bf"}, quickOpts(), ""); err != nil {
+		t.Fatalf("generate(bf): %v", err)
+	}
+}
+
+func TestGenerateWritesTSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := generate([]string{"1", "ext-tiebreak"}, quickOpts(), dir); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for _, name := range []string{"fig1.tsv", "figext-tiebreak.tsv"} {
+		path := filepath.Join(dir, name)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestGenerateUnknownFigure(t *testing.T) {
+	if err := generate([]string{"42z"}, quickOpts(), ""); err == nil {
+		t.Fatal("unknown figure id accepted")
+	}
+}
+
+func TestGenerateCreatesOutputDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := generate([]string{"bf"}, quickOpts(), dir); err != nil {
+		t.Fatalf("generate into nested dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figbf.tsv")); err != nil {
+		t.Fatalf("TSV not written: %v", err)
+	}
+}

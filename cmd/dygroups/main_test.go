@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/export"
+)
+
+func TestRunValidInstance(t *testing.T) {
+	if err := run(90, 3, 2, 0.5, "star", "dygroups", "lognormal", 1, true, "", ""); err != nil {
+		t.Fatalf("run failed on a valid instance: %v", err)
+	}
+}
+
+func TestRunAllAlgorithmsAndDistributions(t *testing.T) {
+	for _, algo := range []string{"dygroups", "random", "kmeans", "lpa", "percentile", "ascending", "annealing"} {
+		for _, distName := range []string{"lognormal", "zipf", "zipf10", "uniform"} {
+			if err := run(30, 3, 1, 0.5, "clique", algo, distName, 2, false, "", ""); err != nil {
+				t.Errorf("run(%s, %s) failed: %v", algo, distName, err)
+			}
+		}
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"bad mode", func() error { return run(30, 3, 1, 0.5, "ring", "dygroups", "uniform", 1, false, "", "") }},
+		{"bad rate", func() error { return run(30, 3, 1, 0, "star", "dygroups", "uniform", 1, false, "", "") }},
+		{"bad dist", func() error { return run(30, 3, 1, 0.5, "star", "dygroups", "cauchy", 1, false, "", "") }},
+		{"bad algo", func() error { return run(30, 3, 1, 0.5, "star", "simulated-annealing", "uniform", 1, false, "", "") }},
+		{"indivisible", func() error { return run(31, 3, 1, 0.5, "star", "dygroups", "uniform", 1, false, "", "") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := run(30, 3, 2, 0.5, "star", "dygroups", "uniform", 1, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sim, err := export.ReadSimulation(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Algorithm != "DyGroups-Star" || len(sim.RoundGains) != 2 {
+		t.Fatalf("unexpected JSON content: %+v", sim)
+	}
+}
+
+func TestPickAlgoModeDispatch(t *testing.T) {
+	g, err := pickAlgo("dygroups", core.Star, 1, core.MustLinear(0.5))
+	if err != nil || g.Name() != "DyGroups-Star" {
+		t.Errorf("star dispatch: %v, %v", g, err)
+	}
+	g, err = pickAlgo("dygroups", core.Clique, 1, core.MustLinear(0.5))
+	if err != nil || g.Name() != "DyGroups-Clique" {
+		t.Errorf("clique dispatch: %v, %v", g, err)
+	}
+}
+
+func TestPickDistNames(t *testing.T) {
+	for _, name := range []string{"lognormal", "zipf", "zipf10", "uniform"} {
+		d, err := pickDist(name)
+		if err != nil || d == nil {
+			t.Errorf("pickDist(%s): %v", name, err)
+		}
+	}
+	if _, err := pickDist("normal"); err == nil {
+		t.Error("pickDist accepted the normal distribution (can produce negative skills)")
+	}
+}
+
+func TestRunWritesAndReplaysLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ledger")
+	if err := run(30, 3, 2, 0.5, "star", "dygroups", "uniform", 1, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(path); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := replay(filepath.Join(t.TempDir(), "missing.ledger")); err == nil {
+		t.Fatal("missing ledger accepted")
+	}
+}

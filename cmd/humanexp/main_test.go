@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peerlearn/internal/amt"
+)
+
+func TestRunBothExperiments(t *testing.T) {
+	if err := run("both", 2, 1, ""); err != nil {
+		t.Fatalf("run(both): %v", err)
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	if err := run("1", 2, 1, ""); err != nil {
+		t.Fatalf("run(1): %v", err)
+	}
+	if err := run("2", 2, 1, ""); err != nil {
+		t.Fatalf("run(2): %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("3", 2, 1, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunInvalidTrials(t *testing.T) {
+	if err := run("1", 0, 1, ""); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestReportDirect(t *testing.T) {
+	if err := report(amt.Experiment1Spec(2, 5)); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+}
+
+func TestRunWithCustomBank(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bank.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := amt.DefaultBank().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("1", 2, 1, path); err != nil {
+		t.Fatalf("run with custom bank: %v", err)
+	}
+	if err := run("1", 2, 1, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing bank accepted")
+	}
+}

@@ -1,0 +1,38 @@
+// Command peerlearnd serves the TDG grouping API over HTTP — the
+// deployment shape the paper's motivation sketches for online learning
+// platforms.
+//
+//	peerlearnd -addr :8080
+//
+//	curl -s localhost:8080/v1/group -d '{"skills":[0.1,0.5,0.9,0.3],"k":2}'
+//	curl -s localhost:8080/v1/simulate -d '{"skills":[0.1,0.5,0.9,0.3],"k":2,"rounds":3,"rate":0.5}'
+//	curl -s localhost:8080/v1/sessions -d '{"group_size":4}'          # stateful cohorts
+//	curl -s localhost:8080/v1/sessions/1/join -d '{"skill":0.4}'
+//	curl -s -X POST localhost:8080/v1/sessions/1/round
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"peerlearn/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewSessionHandler(server.NewSessionStore()),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	log.Printf("peerlearnd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRandomInstance(t *testing.T) {
+	if err := run("", 6, 2, 2, 0.5, "star", 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunExplicitSkills(t *testing.T) {
+	if err := run("0.1, 0.5, 0.7, 0.9", 0, 2, 3, 0.5, "star", 1); err != nil {
+		t.Fatalf("run with explicit skills: %v", err)
+	}
+	if err := run("0.1,0.2,0.3,0.4,0.5,0.6", 0, 3, 2, 0.4, "clique", 1); err != nil {
+		t.Fatalf("run clique: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"bad mode", func() error { return run("", 6, 2, 2, 0.5, "mesh", 1) }},
+		{"bad rate", func() error { return run("", 6, 2, 2, 0, "star", 1) }},
+		{"too many participants", func() error { return run("", 20, 2, 1, 0.5, "star", 1) }},
+		{"indivisible", func() error { return run("", 7, 2, 1, 0.5, "star", 1) }},
+		{"unparsable skill", func() error { return run("0.1,zebra", 0, 2, 1, 0.5, "star", 1) }},
+		{"negative skill", func() error { return run("0.1,-0.5", 0, 2, 1, 0.5, "star", 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+func TestParseSkills(t *testing.T) {
+	s, err := parseSkills("1, 2 ,3", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 || s[1] != 2 {
+		t.Fatalf("parsed %v", s)
+	}
+	s, err = parseSkills("", 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 8 {
+		t.Fatalf("random skills length %d", len(s))
+	}
+	long := strings.Repeat("0.5,", 20) + "0.5"
+	if _, err := parseSkills(long, 0, 1); err == nil {
+		t.Error("oversize explicit skills accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package peerlearn_test
+
+import (
+	"fmt"
+
+	"peerlearn"
+)
+
+// Example runs the paper's toy example: 9 students, 3 groups, 3 rounds
+// of Star-mode learning at rate 0.5 — DyGroups totals 2.55.
+func Example() {
+	skills := peerlearn.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	cfg := peerlearn.Config{K: 3, Rounds: 3, Mode: peerlearn.Star, Gain: peerlearn.MustLinear(0.5)}
+	res, err := peerlearn.Run(cfg, skills, peerlearn.NewDyGroupsStar())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("total gain: %.2f\n", res.TotalGain)
+	// Output: total gain: 2.55
+}
+
+// ExampleAggregateGain evaluates a single grouping without updating
+// skills: the paper's Section II star example where [0.9 0.5 0.3] gains
+// 0.5.
+func ExampleAggregateGain() {
+	skills := peerlearn.Skills{0.9, 0.5, 0.3}
+	grouping := peerlearn.Grouping{{0, 1, 2}}
+	gain := peerlearn.AggregateGain(skills, grouping, peerlearn.Star, peerlearn.MustLinear(0.5))
+	fmt.Printf("%.2f\n", gain)
+	// Output: 0.50
+}
+
+// ExampleApplyRound performs one learning round and shows the updated
+// skills (clique mode; the paper's Section II example).
+func ExampleApplyRound() {
+	skills := peerlearn.Skills{0.9, 0.5, 0.3}
+	grouping := peerlearn.Grouping{{0, 1, 2}}
+	next, gain, err := peerlearn.ApplyRound(skills, grouping, peerlearn.Clique, peerlearn.MustLinear(0.5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gain %.2f, skills %.2f\n", gain, []float64(next))
+	// Output: gain 0.40, skills [0.90 0.70 0.50]
+}
+
+// ExampleNewDyGroups picks the DyGroups variant matching the mode.
+func ExampleNewDyGroups() {
+	fmt.Println(peerlearn.NewDyGroups(peerlearn.Star).Name())
+	fmt.Println(peerlearn.NewDyGroups(peerlearn.Clique).Name())
+	// Output:
+	// DyGroups-Star
+	// DyGroups-Clique
+}
+
+// ExampleRunSized uses the unequal-group-size extension: a class of 9
+// split 2/3/4 every round.
+func ExampleRunSized() {
+	skills := peerlearn.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	cfg := peerlearn.Config{Rounds: 2, Mode: peerlearn.Star, Gain: peerlearn.MustLinear(0.5)}
+	g := peerlearn.NewDyGroupsStar().(peerlearn.SizedGrouper)
+	res, err := peerlearn.RunSized(cfg, skills, []int{2, 3, 4}, g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rounds: %d, gain > 0: %v\n", len(res.Rounds), res.TotalGain > 0)
+	// Output: rounds: 2, gain > 0: true
+}

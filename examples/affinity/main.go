@@ -1,0 +1,52 @@
+// Affinity demonstrates the bi-criteria extension of the paper's
+// Section VII: groups should both maximize learning gain and respect a
+// time-evolving affinity between participants. It sweeps the trade-off
+// weight λ on a cohort whose friendship graph disagrees with the skill
+// ordering, and shows how the grouping shifts from friendship-driven
+// (λ = 0) to pure DyGroups (λ = 1) while affinities evolve over rounds.
+//
+//	go run ./examples/affinity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peerlearn"
+	"peerlearn/internal/affinity"
+	"peerlearn/internal/core"
+)
+
+func main() {
+	// A study cohort of 12 with skills 0.1..1.2 and a friendship graph
+	// that pairs strong with weak members (cross-skill friendships).
+	skills := make(peerlearn.Skills, 12)
+	for i := range skills {
+		skills[i] = 0.1 * float64(i+1)
+	}
+	edges := [][2]int{
+		{0, 11}, {1, 10}, {2, 9}, {3, 8}, {4, 7}, {5, 6}, // cross-skill pairs
+		{0, 1}, {10, 11}, // plus a couple of same-tier friendships
+	}
+
+	fmt.Println("cohort: 12 learners, friendship graph pairing strong with weak")
+	fmt.Printf("%-6s %-14s %-16s %-18s\n", "λ", "learning-gain", "affinity-welfare", "mean affinity after")
+	for _, lambda := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		m, err := affinity.FromGraph(len(skills), edges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := affinity.NewGrouper(lambda, core.Star, peerlearn.MustLinear(0.5), m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := affinity.Simulate(g, core.Skills(skills), 4, 3, affinity.DefaultEvolution)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := res.Rounds[len(res.Rounds)-1]
+		fmt.Printf("%-6.2f %-14.4f %-16.4f %-18.4f\n", lambda, res.TotalGain, res.TotalWelfare, last.MeanAff)
+	}
+	fmt.Println("\nλ=1 maximizes learning (pure DyGroups); λ=0 keeps friends together.")
+	fmt.Println("Repeated grouping grows familiarity: mean affinity rises over rounds.")
+}

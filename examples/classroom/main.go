@@ -1,0 +1,87 @@
+// Classroom walks through the paper's TOY EXAMPLE (Sections II–III): a
+// Python programming course with 9 students, 4 assignments, and 3
+// project groups per assignment. It prints the full grouping and skill
+// traces for DyGroups-Star, an arbitrary locally optimal policy, and
+// DyGroups-Clique — the same traces the paper prints, with the same
+// 3-round totals (2.55, 2.40 and 2.334375).
+//
+//	go run ./examples/classroom
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"peerlearn"
+	"peerlearn/internal/dygroups"
+)
+
+func main() {
+	skills := peerlearn.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	fmt.Println("TOY EXAMPLE: 9 students, skills 0.1..0.9, k=3 groups, r=0.5")
+	fmt.Println()
+
+	trace("DyGroups-Star (Algorithm 2: teachers + descending blocks)",
+		skills, peerlearn.Star, peerlearn.NewDyGroupsStar())
+	trace("Ascending-Star (locally optimal, variance-minimizing ablation)",
+		skills, peerlearn.Star, dygroups.NewAscendingStar())
+	trace("DyGroups-Clique (Algorithm 3: rank round-robin)",
+		skills, peerlearn.Clique, peerlearn.NewDyGroupsClique())
+}
+
+func trace(title string, skills peerlearn.Skills, mode peerlearn.Mode, policy peerlearn.Grouper) {
+	cfg := peerlearn.Config{
+		K:               3,
+		Rounds:          3,
+		Mode:            mode,
+		Gain:            peerlearn.MustLinear(0.5),
+		RecordGroupings: true,
+		RecordSkills:    true,
+	}
+	res, err := peerlearn.Run(cfg, skills, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s ---\n", title)
+	prev := res.Initial
+	for _, round := range res.Rounds {
+		fmt.Printf("round %d groups: ", round.Index)
+		for gi, grp := range round.Grouping {
+			if gi > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(groupSkills(prev, grp))
+		}
+		fmt.Printf("\n         gain: %.4f, skills after: %v\n", round.Gain, sortedDesc(round.Skills))
+		prev = round.Skills
+	}
+	fmt.Printf("total learning gain after 3 rounds: %.6g\n\n", res.TotalGain)
+}
+
+// groupSkills renders a group as its member skills, highest first.
+func groupSkills(s peerlearn.Skills, group []int) string {
+	vals := make([]float64, len(group))
+	for i, p := range group {
+		vals[i] = s[p]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	out := "["
+	for i, v := range vals {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.4g", v)
+	}
+	return out + "]"
+}
+
+func sortedDesc(s peerlearn.Skills) []float64 {
+	vals := append([]float64(nil), s...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	for i, v := range vals {
+		// Round for display stability.
+		vals[i] = float64(int(v*1e6+0.5)) / 1e6
+	}
+	return vals
+}

@@ -1,0 +1,3 @@
+module peerlearn
+
+go 1.22

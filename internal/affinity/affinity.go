@@ -1,0 +1,377 @@
+// Package affinity implements the bi-criteria extension sketched in the
+// paper's Section VII ("a time-evolving affinity among individuals that
+// impacts learning … solve a bi-criteria optimization problem, with the
+// goal of forming dynamic groups where both affinity and skill evolve
+// across rounds").
+//
+// The model follows Esfandiari et al. (KDD 2019), the affinity work the
+// paper cites: every unordered pair (i, j) carries an affinity in
+// [0, 1]. A round's grouping earns, besides its learning gain LG(G),
+// an affinity welfare AW(G) — the sum of within-group pairwise
+// affinities. The bi-criteria objective blends the two:
+//
+//	obj(G) = λ·LG(G)/LGmax + (1−λ)·AW(G)/AWmax
+//
+// normalized by the round's achievable maxima so λ trades off
+// comparable quantities. After each round, affinities evolve: pairs that
+// interacted move toward 1 (familiarity grows), the rest decay toward a
+// base level.
+//
+// The Grouper of this package seeds each round with the mode-matched
+// DyGroups grouping (λ = 1 recovers plain DyGroups exactly) and then
+// improves the blended objective by steepest-ascent pair swaps.
+package affinity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// Matrix is a symmetric affinity matrix over n participants with a zero
+// diagonal and entries in [0, 1].
+type Matrix struct {
+	n int
+	a []float64 // row-major n×n, kept symmetric
+}
+
+// NewMatrix returns an all-zero affinity matrix for n participants.
+func NewMatrix(n int) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("affinity: need a positive participant count, got %d", n)
+	}
+	return &Matrix{n: n, a: make([]float64, n*n)}, nil
+}
+
+// NewRandomMatrix returns a matrix with i.i.d. uniform [0, lim) initial
+// affinities, symmetric with zero diagonal.
+func NewRandomMatrix(n int, lim float64, seed int64) (*Matrix, error) {
+	if lim < 0 || lim > 1 {
+		return nil, fmt.Errorf("affinity: initial limit %v outside [0,1]", lim)
+	}
+	m, err := NewMatrix(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() * lim
+			m.set(i, j, v)
+		}
+	}
+	return m, nil
+}
+
+// FromGraph builds a 0/1 affinity matrix from an undirected edge list —
+// the bridge to the graph-constrained setting the paper's related work
+// contrasts with (information diffusion assumes a topology; TDG assumes
+// a complete graph). Running the bi-criteria Grouper with a small λ on
+// such a matrix softly prefers groups whose members are adjacent in the
+// social graph. Edges with out-of-range endpoints are rejected;
+// self-loops are ignored.
+func FromGraph(n int, edges [][2]int) (*Matrix, error) {
+	m, err := NewMatrix(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("affinity: edge %d (%d,%d) out of range [0,%d)", i, a, b, n)
+		}
+		if a == b {
+			continue
+		}
+		m.set(a, b, 1)
+	}
+	return m, nil
+}
+
+// Len returns the participant count.
+func (m *Matrix) Len() int { return m.n }
+
+// At returns the affinity between i and j (0 for i == j).
+func (m *Matrix) At(i, j int) float64 { return m.a[i*m.n+j] }
+
+func (m *Matrix) set(i, j int, v float64) {
+	m.a[i*m.n+j] = v
+	m.a[j*m.n+i] = v
+}
+
+// Set stores a symmetric affinity value, clamped to [0, 1]; the diagonal
+// is immutable.
+func (m *Matrix) Set(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	m.set(i, j, v)
+}
+
+// Clone returns an independent copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, a: make([]float64, len(m.a))}
+	copy(c.a, m.a)
+	return c
+}
+
+// Welfare returns AW(G): the sum of within-group pairwise affinities.
+func (m *Matrix) Welfare(g core.Grouping) float64 {
+	var w float64
+	for _, grp := range g {
+		for x := 0; x < len(grp); x++ {
+			for y := x + 1; y < len(grp); y++ {
+				w += m.At(grp[x], grp[y])
+			}
+		}
+	}
+	return w
+}
+
+// Evolution controls how affinities change after a round.
+type Evolution struct {
+	// Grow is the fraction of the remaining distance to 1 a pair gains
+	// when its members share a group.
+	Grow float64
+	// Decay is the fraction of affinity a separated pair loses.
+	Decay float64
+}
+
+// DefaultEvolution matches the intuition of the social-group literature
+// the paper cites: familiarity builds quickly, fades slowly.
+var DefaultEvolution = Evolution{Grow: 0.3, Decay: 0.05}
+
+// Validate reports whether the evolution parameters are usable.
+func (e Evolution) Validate() error {
+	if !(e.Grow >= 0 && e.Grow <= 1) {
+		return fmt.Errorf("affinity: grow %v outside [0,1]", e.Grow)
+	}
+	if !(e.Decay >= 0 && e.Decay <= 1) {
+		return fmt.Errorf("affinity: decay %v outside [0,1]", e.Decay)
+	}
+	return nil
+}
+
+// Evolve updates the matrix after a round played under grouping g: pairs
+// that shared a group grow toward 1, all other pairs decay toward 0.
+func (m *Matrix) Evolve(g core.Grouping, e Evolution) {
+	together := make([]bool, len(m.a))
+	for _, grp := range g {
+		for x := 0; x < len(grp); x++ {
+			for y := x + 1; y < len(grp); y++ {
+				together[grp[x]*m.n+grp[y]] = true
+				together[grp[y]*m.n+grp[x]] = true
+			}
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			v := m.At(i, j)
+			if together[i*m.n+j] {
+				v += e.Grow * (1 - v)
+			} else {
+				v *= 1 - e.Decay
+			}
+			m.set(i, j, v)
+		}
+	}
+}
+
+// Grouper is the bi-criteria grouping policy. It implements core.Grouper
+// so it plugs into the standard simulator, but meaningful use goes
+// through Simulate, which also evolves the affinities.
+type Grouper struct {
+	// Lambda ∈ [0, 1] weights learning gain against affinity welfare;
+	// λ = 1 is pure DyGroups, λ = 0 pure affinity matching.
+	Lambda float64
+	// Mode selects the interaction structure (and the DyGroups seed).
+	Mode core.Mode
+	// Gain is the learning-gain function.
+	Gain core.Gain
+	// Affinities is the current matrix; Simulate keeps it evolving.
+	Affinities *Matrix
+	// MaxSweeps bounds the local-search passes per round.
+	MaxSweeps int
+}
+
+// NewGrouper validates and builds a bi-criteria policy.
+func NewGrouper(lambda float64, mode core.Mode, gain core.Gain, m *Matrix) (*Grouper, error) {
+	if math.IsNaN(lambda) || lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("affinity: lambda %v outside [0,1]", lambda)
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("affinity: invalid mode %v", mode)
+	}
+	if gain == nil {
+		return nil, fmt.Errorf("affinity: nil gain")
+	}
+	if m == nil {
+		return nil, fmt.Errorf("affinity: nil matrix")
+	}
+	return &Grouper{Lambda: lambda, Mode: mode, Gain: gain, Affinities: m, MaxSweeps: 4}, nil
+}
+
+// Name implements core.Grouper.
+func (g *Grouper) Name() string { return fmt.Sprintf("BiCriteria(λ=%g)", g.Lambda) }
+
+// Group implements core.Grouper: DyGroups seed + swap-based local search
+// on the blended objective.
+func (g *Grouper) Group(s core.Skills, k int) core.Grouping {
+	var seed core.Grouping
+	if g.Mode == core.Clique {
+		seed = dygroups.NewClique().Group(s, k)
+	} else {
+		seed = dygroups.NewStar().Group(s, k)
+	}
+	if g.Lambda >= 1 || len(s) != g.Affinities.Len() {
+		// Pure learning objective (or a matrix of the wrong size, which
+		// Simulate prevents): the DyGroups grouping is already optimal.
+		return seed
+	}
+	g.localSearch(s, seed)
+	return seed
+}
+
+// objectiveScales returns the normalizers LGmax and AWmax for the
+// current round: the gain of the DyGroups grouping (round-optimal) and
+// the total affinity mass (an upper bound on any grouping's welfare).
+func (g *Grouper) objectiveScales(s core.Skills, seed core.Grouping) (lgMax, awMax float64) {
+	lgMax = core.AggregateGain(s, seed, g.Mode, g.Gain)
+	if lgMax <= 0 {
+		lgMax = 1
+	}
+	m := g.Affinities
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			awMax += m.At(i, j)
+		}
+	}
+	if awMax <= 0 {
+		awMax = 1
+	}
+	return lgMax, awMax
+}
+
+// localSearch improves the blended objective by first-improvement swaps
+// of members across groups, up to MaxSweeps full passes.
+func (g *Grouper) localSearch(s core.Skills, grouping core.Grouping) {
+	lgMax, awMax := g.objectiveScales(s, grouping)
+	score := func() float64 {
+		lg := core.AggregateGain(s, grouping, g.Mode, g.Gain)
+		aw := g.Affinities.Welfare(grouping)
+		return g.Lambda*lg/lgMax + (1-g.Lambda)*aw/awMax
+	}
+	cur := score()
+	sweeps := g.MaxSweeps
+	if sweeps <= 0 {
+		sweeps = 4
+	}
+	for pass := 0; pass < sweeps; pass++ {
+		improved := false
+		for a := 0; a < len(grouping); a++ {
+			for b := a + 1; b < len(grouping); b++ {
+				for x := range grouping[a] {
+					for y := range grouping[b] {
+						grouping[a][x], grouping[b][y] = grouping[b][y], grouping[a][x]
+						if next := score(); next > cur+1e-12 {
+							cur = next
+							improved = true
+						} else {
+							grouping[a][x], grouping[b][y] = grouping[b][y], grouping[a][x]
+						}
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// RoundStats records one bi-criteria round.
+type RoundStats struct {
+	Round    int
+	Gain     float64 // learning gain of the round
+	Welfare  float64 // affinity welfare of the round's grouping
+	MeanAff  float64 // mean pairwise affinity after evolution
+	Grouping core.Grouping
+}
+
+// Result is the outcome of a bi-criteria simulation.
+type Result struct {
+	Lambda       float64
+	TotalGain    float64
+	TotalWelfare float64
+	Rounds       []RoundStats
+	Final        core.Skills
+}
+
+// Simulate runs α rounds of the bi-criteria process: group (trading off
+// gain and affinity by λ), update skills, evolve affinities.
+func Simulate(g *Grouper, initial core.Skills, k, alpha int, evo Evolution) (*Result, error) {
+	if err := core.ValidateSkills(initial); err != nil {
+		return nil, err
+	}
+	if err := core.CheckGroupCount(len(initial), k); err != nil {
+		return nil, err
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("affinity: negative round count %d", alpha)
+	}
+	if err := evo.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Affinities.Len() != len(initial) {
+		return nil, fmt.Errorf("affinity: matrix is for %d participants, skills have %d", g.Affinities.Len(), len(initial))
+	}
+	s := initial.Clone()
+	res := &Result{Lambda: g.Lambda}
+	for t := 1; t <= alpha; t++ {
+		grouping := g.Group(s, k)
+		if err := grouping.ValidateEqui(len(s), k); err != nil {
+			return nil, fmt.Errorf("affinity: invalid grouping in round %d: %w", t, err)
+		}
+		next, gain, err := core.ApplyRound(s, grouping, g.Mode, g.Gain)
+		if err != nil {
+			return nil, err
+		}
+		welfare := g.Affinities.Welfare(grouping)
+		g.Affinities.Evolve(grouping, evo)
+		s = next
+		res.TotalGain += gain
+		res.TotalWelfare += welfare
+		res.Rounds = append(res.Rounds, RoundStats{
+			Round:    t,
+			Gain:     gain,
+			Welfare:  welfare,
+			MeanAff:  g.Affinities.mean(),
+			Grouping: grouping.Clone(),
+		})
+	}
+	res.Final = s
+	return res, nil
+}
+
+// mean returns the average off-diagonal affinity.
+func (m *Matrix) mean() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			sum += m.At(i, j)
+		}
+	}
+	return sum / float64(m.n*(m.n-1)/2)
+}

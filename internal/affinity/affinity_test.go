@@ -1,0 +1,318 @@
+package affinity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+func toy() core.Skills {
+	return core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("zero participants accepted")
+	}
+	if _, err := NewMatrix(-1); err == nil {
+		t.Error("negative participants accepted")
+	}
+	m, err := NewMatrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMatrixSetSymmetricClamped(t *testing.T) {
+	m, _ := NewMatrix(3)
+	m.Set(0, 1, 0.7)
+	if m.At(0, 1) != 0.7 || m.At(1, 0) != 0.7 {
+		t.Fatal("Set not symmetric")
+	}
+	m.Set(0, 2, 1.5)
+	if m.At(0, 2) != 1 {
+		t.Fatalf("clamp high failed: %v", m.At(0, 2))
+	}
+	m.Set(1, 2, -0.5)
+	if m.At(1, 2) != 0 {
+		t.Fatalf("clamp low failed: %v", m.At(1, 2))
+	}
+	m.Set(1, 1, 0.9)
+	if m.At(1, 1) != 0 {
+		t.Fatal("diagonal mutated")
+	}
+}
+
+func TestNewRandomMatrix(t *testing.T) {
+	if _, err := NewRandomMatrix(4, 1.5, 1); err == nil {
+		t.Error("limit above 1 accepted")
+	}
+	m, err := NewRandomMatrix(6, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if m.At(i, i) != 0 {
+			t.Fatal("nonzero diagonal")
+		}
+		for j := 0; j < 6; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatal("asymmetric random matrix")
+			}
+			if m.At(i, j) < 0 || m.At(i, j) >= 0.5 {
+				t.Fatalf("entry %v outside [0, 0.5)", m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	m, err := FromGraph(4, [][2]int{{0, 1}, {2, 3}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 || m.At(2, 3) != 1 {
+		t.Fatal("edges not set symmetrically")
+	}
+	if m.At(0, 2) != 0 {
+		t.Fatal("non-edge has affinity")
+	}
+	if m.At(1, 1) != 0 {
+		t.Fatal("self-loop set the diagonal")
+	}
+	if _, err := FromGraph(4, [][2]int{{0, 9}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromGraph(0, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestFromGraphDrivesGroupingTowardEdges(t *testing.T) {
+	// Pure affinity objective on a perfect matching graph: the local
+	// search should recover more matched pairs than DyGroups' skill
+	// blocks would.
+	edges := [][2]int{{0, 5}, {1, 4}, {2, 3}}
+	m, err := FromGraph(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrouper(0, core.Star, core.MustLinear(0.5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	grouping := g.Group(s, 3) // pairs
+	if err := grouping.ValidateEqui(6, 3); err != nil {
+		t.Fatal(err)
+	}
+	if welfare := m.Welfare(grouping); welfare < 2 {
+		t.Fatalf("graph-driven welfare %v, want ≥ 2 of 3 matched pairs", welfare)
+	}
+}
+
+func TestWelfare(t *testing.T) {
+	m, _ := NewMatrix(4)
+	m.Set(0, 1, 0.5)
+	m.Set(2, 3, 0.25)
+	m.Set(0, 2, 0.9)
+	together := core.Grouping{{0, 1}, {2, 3}}
+	if got := m.Welfare(together); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Welfare = %v, want 0.75", got)
+	}
+	split := core.Grouping{{0, 2}, {1, 3}}
+	if got := m.Welfare(split); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("Welfare = %v, want 0.9", got)
+	}
+}
+
+func TestEvolve(t *testing.T) {
+	m, _ := NewMatrix(4)
+	m.Set(0, 1, 0.5)
+	m.Set(2, 3, 0.8)
+	m.Set(0, 2, 0.4)
+	g := core.Grouping{{0, 1}, {2, 3}}
+	m.Evolve(g, Evolution{Grow: 0.5, Decay: 0.1})
+	if got := m.At(0, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("together pair (0,1) = %v, want 0.75", got)
+	}
+	if got := m.At(2, 3); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("together pair (2,3) = %v, want 0.9", got)
+	}
+	if got := m.At(0, 2); math.Abs(got-0.36) > 1e-12 {
+		t.Errorf("separated pair (0,2) = %v, want 0.36", got)
+	}
+}
+
+func TestEvolutionValidate(t *testing.T) {
+	if err := DefaultEvolution.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Evolution{{Grow: -0.1}, {Grow: 1.1}, {Grow: 0.5, Decay: -1}, {Grow: 0.5, Decay: 2}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid evolution %+v accepted", bad)
+		}
+	}
+}
+
+func TestNewGrouperValidation(t *testing.T) {
+	m, _ := NewMatrix(9)
+	gain := core.MustLinear(0.5)
+	if _, err := NewGrouper(-0.1, core.Star, gain, m); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewGrouper(1.1, core.Star, gain, m); err == nil {
+		t.Error("lambda above 1 accepted")
+	}
+	if _, err := NewGrouper(0.5, core.Mode(7), gain, m); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := NewGrouper(0.5, core.Star, nil, m); err == nil {
+		t.Error("nil gain accepted")
+	}
+	if _, err := NewGrouper(0.5, core.Star, gain, nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+}
+
+func TestLambdaOneRecoversDyGroups(t *testing.T) {
+	m, _ := NewRandomMatrix(9, 0.5, 3)
+	g, err := NewGrouper(1, core.Star, core.MustLinear(0.5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Group(toy(), 3)
+	want := dygroups.NewStar().Group(toy(), 3)
+	for gi := range want {
+		for j := range want[gi] {
+			if got[gi][j] != want[gi][j] {
+				t.Fatalf("λ=1 grouping differs from DyGroups: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestLambdaZeroImprovesWelfare(t *testing.T) {
+	// With λ = 0 the local search should find strictly higher affinity
+	// welfare than the raw DyGroups grouping on a matrix engineered to
+	// disagree with skill blocks.
+	m, _ := NewMatrix(9)
+	// Strong mutual affinity between the strongest and weakest members,
+	// which DyGroups-Star separates.
+	m.Set(8, 0, 1)
+	m.Set(7, 1, 1)
+	m.Set(6, 2, 1)
+	g, err := NewGrouper(0, core.Star, core.MustLinear(0.5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouping := g.Group(toy(), 3)
+	if err := grouping.ValidateEqui(9, 3); err != nil {
+		t.Fatal(err)
+	}
+	seed := dygroups.NewStar().Group(toy(), 3)
+	if m.Welfare(grouping) <= m.Welfare(seed) {
+		t.Fatalf("local search did not improve welfare: %v vs seed %v", m.Welfare(grouping), m.Welfare(seed))
+	}
+}
+
+func TestGroupAlwaysValidPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		size := 2 + rng.Intn(3)
+		n := k * size
+		s := make(core.Skills, n)
+		for i := range s {
+			s[i] = rng.Float64() + 0.01
+		}
+		m, _ := NewRandomMatrix(n, 1, int64(trial))
+		lambda := rng.Float64()
+		mode := core.Star
+		if trial%2 == 0 {
+			mode = core.Clique
+		}
+		g, err := NewGrouper(lambda, mode, core.MustLinear(0.5), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grouping := g.Group(s, k)
+		if err := grouping.ValidateEqui(n, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	m, _ := NewRandomMatrix(9, 0.3, 7)
+	g, err := NewGrouper(0.7, core.Star, core.MustLinear(0.5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, toy(), 3, 4, DefaultEvolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("recorded %d rounds", len(res.Rounds))
+	}
+	if res.TotalGain <= 0 {
+		t.Fatal("no learning gain")
+	}
+	// Repeated grouping should build familiarity: mean affinity after
+	// the last round above the first round's.
+	if res.Rounds[3].MeanAff <= res.Rounds[0].MeanAff {
+		t.Fatalf("mean affinity did not grow: %v -> %v", res.Rounds[0].MeanAff, res.Rounds[3].MeanAff)
+	}
+	var sum float64
+	for _, r := range res.Rounds {
+		sum += r.Gain
+	}
+	if math.Abs(sum-res.TotalGain) > 1e-9 {
+		t.Fatal("total gain does not match round sum")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m, _ := NewRandomMatrix(9, 0.3, 7)
+	g, _ := NewGrouper(0.5, core.Star, core.MustLinear(0.5), m)
+	if _, err := Simulate(g, toy(), 4, 2, DefaultEvolution); err == nil {
+		t.Error("indivisible k accepted")
+	}
+	if _, err := Simulate(g, toy(), 3, -1, DefaultEvolution); err == nil {
+		t.Error("negative rounds accepted")
+	}
+	if _, err := Simulate(g, toy(), 3, 2, Evolution{Grow: 2}); err == nil {
+		t.Error("invalid evolution accepted")
+	}
+	small, _ := NewMatrix(4)
+	g2, _ := NewGrouper(0.5, core.Star, core.MustLinear(0.5), small)
+	if _, err := Simulate(g2, toy(), 3, 2, DefaultEvolution); err == nil {
+		t.Error("matrix size mismatch accepted")
+	}
+}
+
+func TestLambdaTradeoffMonotonicity(t *testing.T) {
+	// Higher λ should never produce (substantially) less learning gain
+	// in the first round: sweep λ and check gain at λ=1 is the maximum.
+	s := toy()
+	gains := map[float64]float64{}
+	for _, lambda := range []float64{0, 0.5, 1} {
+		m, _ := NewRandomMatrix(9, 1, 11)
+		g, err := NewGrouper(lambda, core.Star, core.MustLinear(0.5), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grouping := g.Group(s, 3)
+		gains[lambda] = core.AggregateGain(s, grouping, core.Star, core.MustLinear(0.5))
+	}
+	if gains[1] < gains[0]-1e-9 || gains[1] < gains[0.5]-1e-9 {
+		t.Fatalf("λ=1 gain %v is not maximal: %v", gains[1], gains)
+	}
+}

@@ -1,0 +1,439 @@
+package amt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+func testConfig() Config {
+	return Config{
+		GroupSize: 4,
+		Rate:      0.5,
+		Mode:      core.Star,
+		Rounds:    3,
+		Questions: 10,
+		Noise:     0.05,
+		Retention: DefaultRetention,
+	}
+}
+
+func TestQuestionValidate(t *testing.T) {
+	good := Question{ID: 1, Text: "q", Options: []string{"a", "b"}, Answer: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid question rejected: %v", err)
+	}
+	bad := []Question{
+		{ID: 2, Text: "q", Options: []string{"a"}, Answer: 0},
+		{ID: 3, Text: "q", Options: []string{"a", "b"}, Answer: 2},
+		{ID: 4, Text: "q", Options: []string{"a", "b"}, Answer: -1},
+		{ID: 5, Text: "", Options: []string{"a", "b"}, Answer: 0},
+	}
+	for _, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("invalid question %d accepted", q.ID)
+		}
+	}
+}
+
+func TestDefaultBank(t *testing.T) {
+	b := DefaultBank()
+	if b.Len() < 20 {
+		t.Fatalf("bank has %d questions, want ≥ 20", b.Len())
+	}
+	rumors := 0
+	for _, q := range covidQuestions {
+		if q.Rumor {
+			rumors++
+		}
+	}
+	if rumors < 5 {
+		t.Fatalf("bank has %d rumor questions, want a real mix", rumors)
+	}
+}
+
+func TestNewBankErrors(t *testing.T) {
+	if _, err := NewBank(nil); err == nil {
+		t.Error("empty bank accepted")
+	}
+	if _, err := NewBank([]Question{{ID: 1, Text: "q", Options: []string{"a"}, Answer: 0}}); err == nil {
+		t.Error("invalid question accepted")
+	}
+}
+
+func TestBankSample(t *testing.T) {
+	b := DefaultBank()
+	rng := rand.New(rand.NewSource(1))
+	qs := b.Sample(rng, 10)
+	if len(qs) != 10 {
+		t.Fatalf("sampled %d questions, want 10", len(qs))
+	}
+	seen := map[int]bool{}
+	for _, q := range qs {
+		if seen[q.ID] {
+			t.Fatalf("duplicate question %d in sample", q.ID)
+		}
+		seen[q.ID] = true
+	}
+	// Oversampling returns the whole bank.
+	if got := b.Sample(rng, b.Len()+100); len(got) != b.Len() {
+		t.Fatalf("oversample returned %d questions", len(got))
+	}
+}
+
+func TestWorkerAssess(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(2))
+	w := &Worker{ID: 0, Latent: 0.7, Active: true}
+	for i := 0; i < 50; i++ {
+		score := w.Assess(rng, bank, 10)
+		if score <= 0 || score > 1 {
+			t.Fatalf("assessment score %v outside (0, 1]", score)
+		}
+		if w.Estimated != score {
+			t.Fatal("Estimated not refreshed")
+		}
+	}
+}
+
+func TestWorkerAssessTracksLatent(t *testing.T) {
+	// Across many assessments the mean estimate should approach the
+	// latent skill (above the guessing floor).
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(3))
+	w := &Worker{ID: 0, Latent: 0.6, Active: true}
+	var sum float64
+	const reps = 3000
+	for i := 0; i < reps; i++ {
+		sum += w.Assess(rng, bank, 10)
+	}
+	if mean := sum / reps; math.Abs(mean-0.6) > 0.03 {
+		t.Fatalf("mean assessment %v, want ≈ 0.6", mean)
+	}
+}
+
+func TestNewWorkerPoolValidation(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(4))
+	if _, err := NewWorkerPool(rng, bank, 0, 10, 0.2, 0.9); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewWorkerPool(rng, bank, 8, 10, 0.9, 0.2); err == nil {
+		t.Error("inverted latent range accepted")
+	}
+	if _, err := NewWorkerPool(rng, bank, 8, 10, 0.2, 1.5); err == nil {
+		t.Error("latent range above 1 accepted")
+	}
+	ws, err := NewWorkerPool(rng, bank, 8, 10, 0.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 8 {
+		t.Fatalf("pool size %d", len(ws))
+	}
+	for _, w := range ws {
+		if !w.Active || w.Estimated <= 0 || w.Latent < 0.2 || w.Latent >= 0.9 {
+			t.Fatalf("worker not properly initialized: %+v", w)
+		}
+	}
+}
+
+func TestSplitMatched(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(5))
+	ws, err := NewWorkerPool(rng, bank, 64, 10, 0.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pops, err := SplitMatched(ws, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pops) != 2 || len(pops[0]) != 32 || len(pops[1]) != 32 {
+		t.Fatalf("bad split shapes: %d populations", len(pops))
+	}
+	mean := func(ws []*Worker) float64 {
+		var s float64
+		for _, w := range ws {
+			s += w.Estimated
+		}
+		return s / float64(len(ws))
+	}
+	if d := math.Abs(mean(pops[0]) - mean(pops[1])); d > 0.02 {
+		t.Fatalf("population means differ by %v, want matched", d)
+	}
+}
+
+func TestSplitMatchedErrors(t *testing.T) {
+	ws := []*Worker{{}, {}, {}}
+	if _, err := SplitMatched(ws, 2); err == nil {
+		t.Error("indivisible split accepted")
+	}
+	if _, err := SplitMatched(ws, 0); err == nil {
+		t.Error("zero parts accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.GroupSize = 1 },
+		func(c *Config) { c.Rate = 0 },
+		func(c *Config) { c.Rate = 1.2 },
+		func(c *Config) { c.Mode = core.Mode(9) },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.Questions = 0 },
+		func(c *Config) { c.Noise = -0.1 },
+	}
+	for i, mutate := range mutations {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestStayProbClamps(t *testing.T) {
+	m := RetentionModel{Base: 0.8, GainWeight: 2, TeacherBonus: 0.1, Floor: 0.5, Ceil: 0.95}
+	if p := m.StayProb(&Worker{LastGain: 10}); p != 0.95 {
+		t.Errorf("huge gain: p=%v, want ceil", p)
+	}
+	if p := m.StayProb(&Worker{LastGain: -10}); p != 0.5 {
+		t.Errorf("negative gain: p=%v, want floor", p)
+	}
+	base := m.StayProb(&Worker{LastGain: 0})
+	teacher := m.StayProb(&Worker{LastGain: 0, WasTeacher: true})
+	if teacher <= base {
+		t.Errorf("teacher bonus missing: %v vs %v", teacher, base)
+	}
+}
+
+func TestRunDeploymentBasics(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(6))
+	ws, err := NewWorkerPool(rng, bank, 32, 10, 0.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDeployment(testConfig(), ws, dygroups.NewStar(), bank, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "DyGroups-Star" {
+		t.Errorf("policy = %q", res.Policy)
+	}
+	if len(res.Rounds) == 0 || len(res.Rounds) > 3 {
+		t.Fatalf("recorded %d rounds", len(res.Rounds))
+	}
+	prevRetained := 32
+	for i, rr := range res.Rounds {
+		if rr.Round != i+1 {
+			t.Errorf("round %d has index %d", i, rr.Round)
+		}
+		if rr.Participated%4 != 0 || rr.Participated > rr.Entering {
+			t.Errorf("round %d: participated %d of %d", i, rr.Participated, rr.Entering)
+		}
+		if rr.Retained > prevRetained {
+			t.Errorf("round %d: retention increased %d → %d", i, prevRetained, rr.Retained)
+		}
+		prevRetained = rr.Retained
+		if rr.LatentGain < 0 {
+			t.Errorf("round %d: negative latent gain %v", i, rr.LatentGain)
+		}
+	}
+	if len(res.PreScores) != 32 || len(res.PostScores) != 32 {
+		t.Fatalf("pre/post score shapes: %d/%d", len(res.PreScores), len(res.PostScores))
+	}
+}
+
+func TestRunDeploymentValidation(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(7))
+	ws, _ := NewWorkerPool(rng, bank, 8, 10, 0.2, 0.9)
+	bad := testConfig()
+	bad.Rate = 0
+	if _, err := RunDeployment(bad, ws, dygroups.NewStar(), bank, rng); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := RunDeployment(testConfig(), ws, nil, bank, rng); err == nil {
+		t.Error("nil policy accepted")
+	}
+	few := ws[:2]
+	if _, err := RunDeployment(testConfig(), few, dygroups.NewStar(), bank, rng); err == nil {
+		t.Error("too few workers accepted")
+	}
+}
+
+func TestInteractRaisesLatentSkills(t *testing.T) {
+	cfg := testConfig()
+	cfg.Noise = 0
+	ws := []*Worker{
+		{ID: 0, Latent: 0.9, Active: true},
+		{ID: 1, Latent: 0.5, Active: true},
+		{ID: 2, Latent: 0.3, Active: true},
+	}
+	rng := rand.New(rand.NewSource(8))
+	total := interact(cfg, ws, []int{0, 1, 2}, rng)
+	// Star with r = 0.5: 0.5→0.7 and 0.3→0.6, total 0.5 (the paper's
+	// 2-person arithmetic).
+	if math.Abs(total-0.5) > 1e-9 {
+		t.Fatalf("latent gain %v, want 0.5", total)
+	}
+	if ws[0].Latent != 0.9 || !ws[0].WasTeacher {
+		t.Errorf("teacher state wrong: %+v", ws[0])
+	}
+	if math.Abs(ws[1].Latent-0.7) > 1e-9 || math.Abs(ws[2].Latent-0.6) > 1e-9 {
+		t.Errorf("learner latents: %v, %v", ws[1].Latent, ws[2].Latent)
+	}
+}
+
+func TestInteractCliqueMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Noise = 0
+	cfg.Mode = core.Clique
+	ws := []*Worker{
+		{ID: 0, Latent: 0.9, Active: true},
+		{ID: 1, Latent: 0.5, Active: true},
+		{ID: 2, Latent: 0.3, Active: true},
+	}
+	rng := rand.New(rand.NewSource(9))
+	total := interact(cfg, ws, []int{0, 1, 2}, rng)
+	// Clique with r = 0.5 on {0.9, 0.5, 0.3}: gains 0.2 and 0.2 → 0.4.
+	if math.Abs(total-0.4) > 1e-9 {
+		t.Fatalf("latent gain %v, want 0.4", total)
+	}
+	if math.Abs(ws[2].Latent-0.5) > 1e-9 {
+		t.Errorf("bottom learner latent %v, want 0.5", ws[2].Latent)
+	}
+}
+
+func TestLatentCapped(t *testing.T) {
+	w := &Worker{Latent: 0.97}
+	w.applyLatentGain(0.5)
+	if w.Latent > latentCeil {
+		t.Fatalf("latent %v exceeds ceiling", w.Latent)
+	}
+}
+
+func TestRunExperimentShapes(t *testing.T) {
+	spec := Experiment1Spec(3, 11)
+	res, err := RunExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	if res.Series[0].Policy != "DyGroups" {
+		t.Errorf("first series %q, want DyGroups", res.Series[0].Policy)
+	}
+	for _, s := range res.Series {
+		if len(s.GainPerRound) != 3 || len(s.RetentionPerRound) != 3 {
+			t.Fatalf("series %s shapes wrong", s.Policy)
+		}
+		if len(s.TotalGainPerTrial) != 3 {
+			t.Fatalf("series %s has %d trials", s.Policy, len(s.TotalGainPerTrial))
+		}
+	}
+	if len(res.ObservationII) != 1 {
+		t.Fatalf("observation II count %d", len(res.ObservationII))
+	}
+	// Peer learning must raise skills (Observation I direction).
+	if res.ObservationI.MeanA <= res.ObservationI.MeanB {
+		t.Errorf("post mean %v not above pre mean %v", res.ObservationI.MeanA, res.ObservationI.MeanB)
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	spec := Experiment1Spec(0, 1)
+	if _, err := RunExperiment(spec); err == nil {
+		t.Error("zero trials accepted")
+	}
+	spec = Experiment1Spec(2, 1)
+	spec.Policies = nil
+	if _, err := RunExperiment(spec); err == nil {
+		t.Error("no policies accepted")
+	}
+	spec = Experiment1Spec(2, 1)
+	spec.Workers = 63
+	if _, err := RunExperiment(spec); err == nil {
+		t.Error("indivisible worker count accepted")
+	}
+}
+
+func TestExperiment2Spec(t *testing.T) {
+	spec := Experiment2Spec(5, 9)
+	if spec.Workers != 128 || len(spec.Policies) != 4 || spec.Deployment.Rounds != 2 {
+		t.Fatalf("Experiment-2 spec wrong: %+v", spec)
+	}
+}
+
+func TestRetentionGainCorrelation(t *testing.T) {
+	// Hand-built deployments: workers with larger improvement complete,
+	// smaller improvement drop → strongly positive correlation.
+	dep := &DeploymentResult{
+		PreScores:  []float64{0.5, 0.5, 0.5, 0.5},
+		PostScores: []float64{0.9, 0.8, 0.55, 0.52},
+		Completed:  []bool{true, true, false, false},
+	}
+	rho, err := RetentionGainCorrelation(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho <= 0.5 {
+		t.Fatalf("correlation %v, want strongly positive", rho)
+	}
+	if _, err := RetentionGainCorrelation(nil); err == nil {
+		t.Error("nil deployment accepted")
+	}
+	bad := &DeploymentResult{PreScores: []float64{1}, PostScores: []float64{1}}
+	if _, err := RetentionGainCorrelation(bad); err == nil {
+		t.Error("missing completion flags accepted")
+	}
+}
+
+func TestDeploymentRecordsCompletionFlags(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(31))
+	ws, err := NewWorkerPool(rng, bank, 32, 10, 0.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := RunDeployment(testConfig(), ws, dygroups.NewStar(), bank, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Completed) != 32 {
+		t.Fatalf("completion flags %d, want 32", len(dep.Completed))
+	}
+	completed := 0
+	for _, c := range dep.Completed {
+		if c {
+			completed++
+		}
+	}
+	if lastRetained := dep.Rounds[len(dep.Rounds)-1].Retained; completed != lastRetained {
+		t.Fatalf("completed %d != last-round retained %d", completed, lastRetained)
+	}
+}
+
+func TestObservationIIFavorsDyGroupsOnAverage(t *testing.T) {
+	// With enough trials, DyGroups' mean total gain should exceed
+	// K-Means' (the paper's Observation II). This is a statistical
+	// property; 20 trials with a fixed seed keeps it deterministic.
+	res, err := RunExperiment(Experiment1Spec(20, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := res.ObservationII["K-Means"]
+	if tt.MeanA <= tt.MeanB {
+		t.Fatalf("DyGroups mean gain %v not above K-Means' %v", tt.MeanA, tt.MeanB)
+	}
+}

@@ -1,0 +1,70 @@
+package amt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// bankFile is the JSON schema of an external question bank.
+type bankFile struct {
+	Questions []Question `json:"questions"`
+}
+
+// LoadBankJSON reads a question bank from JSON of the form
+// {"questions": [{"id":1, "text":..., "options":[...], "answer":0,
+// "rumor":false}, ...]} and validates every question.
+func LoadBankJSON(r io.Reader) (*Bank, error) {
+	var f bankFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("amt: decoding question bank: %w", err)
+	}
+	return NewBank(f.Questions)
+}
+
+// LoadBankFile reads a question bank from a JSON file.
+func LoadBankFile(path string) (*Bank, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("amt: opening question bank: %w", err)
+	}
+	defer f.Close()
+	return LoadBankJSON(f)
+}
+
+// WriteJSON serializes the bank in the LoadBankJSON schema, so the
+// built-in bank can be exported, edited, and reloaded.
+func (b *Bank) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bankFile{Questions: b.questions})
+}
+
+// MarshalJSON and UnmarshalJSON give Question a stable JSON form with
+// lower-case keys.
+func (q Question) MarshalJSON() ([]byte, error) {
+	return json.Marshal(questionJSON{
+		ID: q.ID, Text: q.Text, Options: q.Options, Answer: q.Answer, Rumor: q.Rumor,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (q *Question) UnmarshalJSON(data []byte) error {
+	var j questionJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*q = Question{ID: j.ID, Text: j.Text, Options: j.Options, Answer: j.Answer, Rumor: j.Rumor}
+	return nil
+}
+
+type questionJSON struct {
+	ID      int      `json:"id"`
+	Text    string   `json:"text"`
+	Options []string `json:"options"`
+	Answer  int      `json:"answer"`
+	Rumor   bool     `json:"rumor,omitempty"`
+}

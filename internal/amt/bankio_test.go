@@ -1,0 +1,74 @@
+package amt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBankJSONRoundTrip(t *testing.T) {
+	orig := DefaultBank()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBankJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("round-trip length %d, want %d", loaded.Len(), orig.Len())
+	}
+	for i := range orig.questions {
+		a, b := orig.questions[i], loaded.questions[i]
+		if a.ID != b.ID || a.Text != b.Text || a.Answer != b.Answer || a.Rumor != b.Rumor {
+			t.Fatalf("question %d changed in round trip: %+v vs %+v", i, a, b)
+		}
+		if len(a.Options) != len(b.Options) {
+			t.Fatalf("question %d options changed", i)
+		}
+	}
+}
+
+func TestLoadBankJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "{nope",
+		"unknown fields": `{"questions": [], "extra": 1}`,
+		"empty bank":     `{"questions": []}`,
+		"bad question":   `{"questions": [{"id":1,"text":"q","options":["only one"],"answer":0}]}`,
+		"bad answer":     `{"questions": [{"id":1,"text":"q","options":["a","b"],"answer":7}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadBankJSON(strings.NewReader(in)); err == nil {
+				t.Fatalf("accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestLoadBankFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bank.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultBank().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBankFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != DefaultBank().Len() {
+		t.Fatalf("loaded %d questions", b.Len())
+	}
+	if _, err := LoadBankFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

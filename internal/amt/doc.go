@@ -1,0 +1,29 @@
+// Package amt simulates the Amazon Mechanical Turk peer-learning study
+// of Section V-A of the paper ("Human Subjects Experiments"). The paper
+// recruited ~200 workers, estimated their skill with 10-question
+// multiple-choice HITs about COVID-19 facts, formed groups under
+// different policies, let the groups interact, re-assessed, and measured
+// learning gain and worker retention over rounds.
+//
+// Humans are not available to this reproduction, so the package provides
+// a faithful synthetic substitute that exercises the identical pipeline:
+//
+//   - a question bank of COVID-19 facts and rumors (the paper's sample
+//     questions are included verbatim);
+//   - workers with a latent skill in (0, 1); an assessment asks n
+//     questions, each answered correctly with probability equal to the
+//     latent skill (floored at the 1-in-4 guessing rate), and estimates
+//     the skill as correct/n — exactly the paper's estimator;
+//   - group interaction that moves latent skills by the learning-gain
+//     model (r·Δ on the within-group skill differences, under Star or
+//     Clique structure) perturbed by multiplicative noise, matching the
+//     paper's calibration that learners close on average half the gap
+//     (r = 0.5);
+//   - a retention model in which a worker's probability of staying for
+//     the next round increases with the skill gain it just experienced —
+//     the mechanism the paper's Observation III hypothesizes.
+//
+// The Experiment1 and Experiment2 harnesses mirror the paper's two
+// deployments (64 workers / 2 populations / 3 rounds, and 128 workers /
+// 4 populations / 2 rounds) and feed Figures 1–4.
+package amt

@@ -1,0 +1,284 @@
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+	"peerlearn/internal/stats"
+)
+
+// PolicyFactory creates a fresh grouping policy per trial; policies with
+// internal randomness (K-Means, Random-Assignment) need a new stream
+// each time.
+type PolicyFactory struct {
+	Name string
+	New  func(seed int64) core.Grouper
+}
+
+// Standard policy factories for the human-subject experiments.
+var (
+	FactoryDyGroups   = PolicyFactory{Name: "DyGroups", New: func(int64) core.Grouper { return dygroups.NewStar() }}
+	FactoryKMeans     = PolicyFactory{Name: "K-Means", New: func(seed int64) core.Grouper { return baselines.NewKMeans(seed) }}
+	FactoryLPA        = PolicyFactory{Name: "LPA", New: func(int64) core.Grouper { return baselines.NewLPA() }}
+	FactoryPercentile = PolicyFactory{Name: "Percentile-Partitions", New: func(int64) core.Grouper {
+		p, err := baselines.NewPercentile(0.75)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}}
+)
+
+// ExperimentSpec describes one of the paper's human-subject experiments:
+// N workers split into matched populations, each following one policy.
+type ExperimentSpec struct {
+	// Name labels the experiment in reports.
+	Name string
+	// Workers is the total recruit count N.
+	Workers int
+	// Policies lists one factory per population; the population count is
+	// len(Policies) and each population has Workers/len(Policies)
+	// members.
+	Policies []PolicyFactory
+	// Deployment configures the per-population protocol.
+	Deployment Config
+	// Trials is the number of independent repetitions to average over
+	// (one human deployment is one trial; simulation affords many).
+	Trials int
+	// Seed derives all randomness.
+	Seed int64
+	// LatentLo and LatentHi bound the initial latent skills.
+	LatentLo, LatentHi float64
+	// Bank supplies the assessment questions; nil uses DefaultBank.
+	Bank *Bank
+}
+
+// Experiment1Spec reproduces Experiment-1 (Section V-A): N = 64, two
+// populations of 32 following DyGroups and K-Means, r = 0.5, group size
+// 4, α = 3 rounds.
+func Experiment1Spec(trials int, seed int64) ExperimentSpec {
+	return ExperimentSpec{
+		Name:     "Experiment-1",
+		Workers:  64,
+		Policies: []PolicyFactory{FactoryDyGroups, FactoryKMeans},
+		Deployment: Config{
+			GroupSize: 4,
+			Rate:      0.5,
+			Mode:      core.Star,
+			Rounds:    3,
+			Questions: 10,
+			Noise:     0.05,
+			Retention: DefaultRetention,
+		},
+		Trials:   trials,
+		Seed:     seed,
+		LatentLo: 0.2,
+		LatentHi: 0.9,
+	}
+}
+
+// Experiment2Spec reproduces Experiment-2: N = 128, four populations of
+// 32 following DyGroups, K-Means, LPA and Percentile-Partitions, α = 2
+// rounds.
+func Experiment2Spec(trials int, seed int64) ExperimentSpec {
+	spec := Experiment1Spec(trials, seed)
+	spec.Name = "Experiment-2"
+	spec.Workers = 128
+	spec.Policies = []PolicyFactory{FactoryDyGroups, FactoryKMeans, FactoryLPA, FactoryPercentile}
+	spec.Deployment.Rounds = 2
+	return spec
+}
+
+// PolicySeries aggregates one policy's population across trials.
+type PolicySeries struct {
+	// Policy is the factory name.
+	Policy string
+	// PreMean is the mean pre-qualification estimated skill.
+	PreMean float64
+	// GainPerRound[t] is the mean assessed learning gain in round t+1
+	// across trials (Figures 1 and 4a); GainCI holds the half-width of
+	// its 95% confidence interval.
+	GainPerRound, GainCI []float64
+	// MeanSkillPerRound[t] is the mean post-assessment skill per round.
+	MeanSkillPerRound []float64
+	// RetentionPerRound[t] is the mean fraction of the population still
+	// active after round t+1 (Figures 3 and 4b).
+	RetentionPerRound []float64
+	// TotalGainPerTrial holds each trial's total assessed gain, for
+	// significance testing.
+	TotalGainPerTrial []float64
+	// MeanCost and MeanCostPerGain price the deployments under
+	// DefaultPayment (the paper's $5 completion bonus), averaged over
+	// trials.
+	MeanCost, MeanCostPerGain float64
+	// RetentionGainCorr is the Spearman correlation between per-worker
+	// improvement and study completion, pooled over trials — the
+	// mechanism behind Observation III.
+	RetentionGainCorr float64
+	// PrePost holds pooled (pre, post) estimated skills across trials
+	// for the paired Observation-I test.
+	PrePre, PrePost []float64
+}
+
+// ExperimentResult is the aggregated outcome of an ExperimentSpec.
+type ExperimentResult struct {
+	// Name echoes the spec.
+	Name string
+	// Rounds is the deployment's round count.
+	Rounds int
+	// Series holds one aggregate per policy, in spec order (DyGroups
+	// first by convention).
+	Series []PolicySeries
+	// ObservationI is the paired pre/post t-test pooled over every
+	// population and trial: do skills improve through peer interaction?
+	ObservationI stats.TTestResult
+	// ObservationII maps each baseline name to the Welch t-test of
+	// DyGroups' per-trial total gain against that baseline's.
+	ObservationII map[string]stats.TTestResult
+}
+
+// RunExperiment executes the spec: per trial it recruits a fresh worker
+// pool, pre-qualifies, splits into matched populations, and runs one
+// deployment per policy; per-round metrics are averaged across trials
+// and the paper's two statistical observations are tested.
+func RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) {
+	if spec.Trials < 1 {
+		return nil, fmt.Errorf("amt: need ≥1 trial, got %d", spec.Trials)
+	}
+	if len(spec.Policies) == 0 {
+		return nil, fmt.Errorf("amt: no policies")
+	}
+	if spec.Workers%len(spec.Policies) != 0 {
+		return nil, fmt.Errorf("amt: %d workers cannot split into %d populations", spec.Workers, len(spec.Policies))
+	}
+	if err := spec.Deployment.Validate(); err != nil {
+		return nil, err
+	}
+	bank := spec.Bank
+	if bank == nil {
+		bank = DefaultBank()
+	}
+	nPolicies := len(spec.Policies)
+	rounds := spec.Deployment.Rounds
+
+	type accum struct {
+		preMean      float64
+		gainSum      []float64
+		gainAll      [][]float64 // per round, per trial, for CIs
+		skillSum     []float64
+		retainedFrac []float64
+		count        []float64 // trials contributing to round t
+		totals       []float64
+		prePre       []float64
+		prePost      []float64
+		cost         float64
+		costPerGain  float64
+		deployments  []*DeploymentResult
+	}
+	accums := make([]accum, nPolicies)
+	for i := range accums {
+		accums[i] = accum{
+			gainSum:      make([]float64, rounds),
+			gainAll:      make([][]float64, rounds),
+			skillSum:     make([]float64, rounds),
+			retainedFrac: make([]float64, rounds),
+			count:        make([]float64, rounds),
+		}
+	}
+
+	var pooledPre, pooledPost []float64
+	for trial := 0; trial < spec.Trials; trial++ {
+		rng := rand.New(rand.NewSource(spec.Seed + int64(trial)*7919))
+		pool, err := NewWorkerPool(rng, bank, spec.Workers, spec.Deployment.Questions, spec.LatentLo, spec.LatentHi)
+		if err != nil {
+			return nil, err
+		}
+		pops, err := SplitMatched(pool, nPolicies)
+		if err != nil {
+			return nil, err
+		}
+		for pi, factory := range spec.Policies {
+			policy := factory.New(spec.Seed + int64(trial)*104729 + int64(pi))
+			dep, err := RunDeployment(spec.Deployment, pops[pi], policy, bank, rng)
+			if err != nil {
+				return nil, err
+			}
+			a := &accums[pi]
+			a.preMean += dep.PreMean
+			a.totals = append(a.totals, dep.TotalAssessedGain)
+			popSize := float64(len(pops[pi]))
+			for _, rr := range dep.Rounds {
+				t := rr.Round - 1
+				a.gainSum[t] += rr.AssessedGain
+				a.gainAll[t] = append(a.gainAll[t], rr.AssessedGain)
+				a.skillSum[t] += rr.MeanEstimated
+				a.retainedFrac[t] += float64(rr.Retained) / popSize
+				a.count[t]++
+			}
+			a.prePre = append(a.prePre, dep.PreScores...)
+			a.prePost = append(a.prePost, dep.PostScores...)
+			pooledPre = append(pooledPre, dep.PreScores...)
+			pooledPost = append(pooledPost, dep.PostScores...)
+			costReport, err := DefaultPayment.Cost(dep)
+			if err != nil {
+				return nil, err
+			}
+			a.cost += costReport.Total / float64(spec.Trials)
+			a.costPerGain += costReport.PerGain / float64(spec.Trials)
+			a.deployments = append(a.deployments, dep)
+		}
+	}
+
+	res := &ExperimentResult{Name: spec.Name, Rounds: rounds, ObservationII: make(map[string]stats.TTestResult)}
+	for pi, factory := range spec.Policies {
+		a := &accums[pi]
+		ps := PolicySeries{
+			Policy:            factory.Name,
+			PreMean:           a.preMean / float64(spec.Trials),
+			GainPerRound:      make([]float64, rounds),
+			GainCI:            make([]float64, rounds),
+			MeanSkillPerRound: make([]float64, rounds),
+			RetentionPerRound: make([]float64, rounds),
+			TotalGainPerTrial: a.totals,
+			MeanCost:          a.cost,
+			MeanCostPerGain:   a.costPerGain,
+			PrePre:            a.prePre,
+			PrePost:           a.prePost,
+		}
+		if corr, err := RetentionGainCorrelation(a.deployments...); err == nil {
+			ps.RetentionGainCorr = corr
+		}
+		for t := 0; t < rounds; t++ {
+			if a.count[t] == 0 {
+				continue
+			}
+			ps.GainPerRound[t] = a.gainSum[t] / a.count[t]
+			ps.MeanSkillPerRound[t] = a.skillSum[t] / a.count[t]
+			ps.RetentionPerRound[t] = a.retainedFrac[t] / a.count[t]
+			if len(a.gainAll[t]) >= 2 {
+				ps.GainCI[t] = stats.ConfidenceInterval(a.gainAll[t], 0.95)
+			}
+		}
+		res.Series = append(res.Series, ps)
+	}
+
+	obs1, err := stats.PairedT(pooledPre, pooledPost)
+	if err != nil {
+		return nil, fmt.Errorf("amt: observation-I test: %w", err)
+	}
+	res.ObservationI = obs1
+	if spec.Trials >= 2 {
+		dy := res.Series[0].TotalGainPerTrial
+		for pi := 1; pi < nPolicies; pi++ {
+			tt, err := stats.WelchT(dy, res.Series[pi].TotalGainPerTrial)
+			if err != nil {
+				return nil, fmt.Errorf("amt: observation-II test vs %s: %w", res.Series[pi].Policy, err)
+			}
+			res.ObservationII[res.Series[pi].Policy] = tt
+		}
+	}
+	return res, nil
+}

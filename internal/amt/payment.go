@@ -1,0 +1,70 @@
+package amt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Payment models the study's compensation scheme: the paper paid
+// workers "$5 if they stick with the entire learning process". The
+// model adds a small per-assessment base payment (workers who drop out
+// mid-study still get paid for completed HITs, as AMT requires).
+type Payment struct {
+	// CompletionBonus is paid to every worker still active at the end
+	// of the deployment ($5 in the paper).
+	CompletionBonus float64
+	// PerAssessment is paid for each completed assessment HIT.
+	PerAssessment float64
+}
+
+// DefaultPayment matches the paper's scheme plus a $0.50 HIT rate.
+var DefaultPayment = Payment{CompletionBonus: 5, PerAssessment: 0.5}
+
+// Validate reports whether the payment scheme is usable.
+func (p Payment) Validate() error {
+	if p.CompletionBonus < 0 || p.PerAssessment < 0 {
+		return fmt.Errorf("amt: negative payment amounts (%v, %v)", p.CompletionBonus, p.PerAssessment)
+	}
+	return nil
+}
+
+// CostReport prices one deployment.
+type CostReport struct {
+	// Completed is the number of workers active after the last round,
+	// each earning the completion bonus.
+	Completed int
+	// Assessments is the total number of assessment HITs administered
+	// (the pre-qualification plus one per participant per round).
+	Assessments int
+	// Total is the deployment's total cost.
+	Total float64
+	// PerGain is Total divided by the deployment's assessed learning
+	// gain — the experimenter's cost of one unit of learning. It is
+	// +Inf when the gain is not positive.
+	PerGain float64
+}
+
+// Cost prices a deployment result under the payment scheme. The
+// deployment's population size is taken from the pre-score count.
+func (p Payment) Cost(res *DeploymentResult) (CostReport, error) {
+	if err := p.Validate(); err != nil {
+		return CostReport{}, err
+	}
+	if res == nil {
+		return CostReport{}, fmt.Errorf("amt: nil deployment result")
+	}
+	report := CostReport{
+		Assessments: len(res.PreScores), // pre-qualification HITs
+	}
+	for _, rr := range res.Rounds {
+		report.Assessments += rr.Participated // post-assessment HITs
+		report.Completed = rr.Retained
+	}
+	report.Total = float64(report.Completed)*p.CompletionBonus + float64(report.Assessments)*p.PerAssessment
+	if res.TotalAssessedGain > 0 {
+		report.PerGain = report.Total / res.TotalAssessedGain
+	} else {
+		report.PerGain = math.Inf(1)
+	}
+	return report, nil
+}

@@ -1,0 +1,96 @@
+package amt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/dygroups"
+)
+
+func TestPaymentValidate(t *testing.T) {
+	if err := DefaultPayment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Payment{CompletionBonus: -1}).Validate(); err == nil {
+		t.Error("negative bonus accepted")
+	}
+	if err := (Payment{PerAssessment: -0.5}).Validate(); err == nil {
+		t.Error("negative HIT rate accepted")
+	}
+}
+
+func TestCostManual(t *testing.T) {
+	res := &DeploymentResult{
+		PreScores:         make([]float64, 8), // 8 pre-qualification HITs
+		TotalAssessedGain: 2,
+		Rounds: []RoundReport{
+			{Round: 1, Participated: 8, Retained: 6},
+			{Round: 2, Participated: 6, Retained: 5},
+		},
+	}
+	p := Payment{CompletionBonus: 5, PerAssessment: 0.5}
+	report, err := p.Cost(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 5 {
+		t.Errorf("Completed = %d, want 5", report.Completed)
+	}
+	if report.Assessments != 8+8+6 {
+		t.Errorf("Assessments = %d, want 22", report.Assessments)
+	}
+	wantTotal := 5*5.0 + 22*0.5
+	if math.Abs(report.Total-wantTotal) > 1e-12 {
+		t.Errorf("Total = %v, want %v", report.Total, wantTotal)
+	}
+	if math.Abs(report.PerGain-wantTotal/2) > 1e-12 {
+		t.Errorf("PerGain = %v, want %v", report.PerGain, wantTotal/2)
+	}
+}
+
+func TestCostZeroGainIsInfinite(t *testing.T) {
+	res := &DeploymentResult{PreScores: make([]float64, 4)}
+	report, err := DefaultPayment.Cost(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(report.PerGain, 1) {
+		t.Fatalf("PerGain = %v, want +Inf", report.PerGain)
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	if _, err := DefaultPayment.Cost(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := (Payment{CompletionBonus: -1}).Cost(&DeploymentResult{}); err == nil {
+		t.Error("invalid payment accepted")
+	}
+}
+
+func TestCostOnRealDeployment(t *testing.T) {
+	bank := DefaultBank()
+	rng := rand.New(rand.NewSource(21))
+	ws, err := NewWorkerPool(rng, bank, 32, 10, 0.2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := RunDeployment(testConfig(), ws, dygroups.NewStar(), bank, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := DefaultPayment.Cost(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total <= 0 {
+		t.Fatalf("deployment cost %v", report.Total)
+	}
+	if report.Completed < 0 || report.Completed > 32 {
+		t.Fatalf("completed %d of 32", report.Completed)
+	}
+	if report.Assessments < 32 {
+		t.Fatalf("assessments %d, want at least the pre-qualification count", report.Assessments)
+	}
+}

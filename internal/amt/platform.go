@@ -1,0 +1,362 @@
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/stats"
+)
+
+// RetentionModel maps a worker's experience in a round to the
+// probability of returning for the next one. The paper's Observation III
+// notes that, under identical pay, DyGroups retained more workers and
+// hypothesizes the rate of skill improvement as the cause; this model
+// encodes exactly that mechanism.
+type RetentionModel struct {
+	// Base is the stay probability of a worker who gained nothing.
+	Base float64
+	// GainWeight converts a round's latent skill gain into extra stay
+	// probability (stay += GainWeight · gain).
+	GainWeight float64
+	// TeacherBonus is extra stay probability for the most skilled member
+	// of a group, who gains nothing by the model but enjoys the
+	// teaching role.
+	TeacherBonus float64
+	// Floor and Ceil clamp the final probability.
+	Floor, Ceil float64
+}
+
+// DefaultRetention is the retention model used by the simulated
+// deployments.
+var DefaultRetention = RetentionModel{
+	Base:         0.82,
+	GainWeight:   2.0,
+	TeacherBonus: 0.08,
+	Floor:        0.50,
+	Ceil:         0.99,
+}
+
+// StayProb returns the probability that w remains active after a round.
+func (m RetentionModel) StayProb(w *Worker) float64 {
+	p := m.Base + m.GainWeight*w.LastGain
+	if w.WasTeacher {
+		p += m.TeacherBonus
+	}
+	if p < m.Floor {
+		p = m.Floor
+	}
+	if p > m.Ceil {
+		p = m.Ceil
+	}
+	return p
+}
+
+// Config parameterizes one simulated deployment of a population.
+type Config struct {
+	// GroupSize is the number of workers per group; the paper's pilot
+	// deployments found size 4–5 most manageable and used 4.
+	GroupSize int
+	// Rate is the learning rate r of the linear gain model; the paper
+	// calibrated r = 0.5 from pilot deployments.
+	Rate float64
+	// Mode is the interaction structure used to simulate the group
+	// discussion; the collaborative answering protocol of the paper
+	// (everyone consults the most knowledgeable peer) corresponds to
+	// Star.
+	Mode core.Mode
+	// Rounds is the number of learning rounds (α).
+	Rounds int
+	// Questions is the number of items per assessment HIT (10 in the
+	// paper).
+	Questions int
+	// Noise is the relative standard deviation of the multiplicative
+	// noise on realized learning gains; the paper's unexplained default
+	// parameter ε = 0.05 is exposed here.
+	Noise float64
+	// Retention is the worker retention model.
+	Retention RetentionModel
+}
+
+// Validate reports whether the deployment configuration is usable.
+func (c Config) Validate() error {
+	if c.GroupSize < 2 {
+		return fmt.Errorf("amt: group size must be ≥2, got %d", c.GroupSize)
+	}
+	if !(c.Rate > 0 && c.Rate <= 1) {
+		return fmt.Errorf("amt: learning rate must be in (0,1], got %v", c.Rate)
+	}
+	if !c.Mode.Valid() {
+		return fmt.Errorf("amt: invalid mode %v", c.Mode)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("amt: need ≥1 round, got %d", c.Rounds)
+	}
+	if c.Questions < 1 {
+		return fmt.Errorf("amt: need ≥1 assessment question, got %d", c.Questions)
+	}
+	if c.Noise < 0 {
+		return fmt.Errorf("amt: negative noise %v", c.Noise)
+	}
+	return nil
+}
+
+// RoundReport records one round of a deployment.
+type RoundReport struct {
+	// Round is 1-based.
+	Round int
+	// Entering is the number of active workers at the start of the
+	// round; Participated is how many were actually grouped (the largest
+	// multiple of the group size).
+	Entering, Participated int
+	// MeanEstimated is the mean post-assessment estimated skill of the
+	// participants.
+	MeanEstimated float64
+	// AssessedGain is the summed change in estimated skill across
+	// participants (post − pre for this round); it is the quantity the
+	// paper's Figures 1 and 4a plot and can be negative through
+	// assessment noise.
+	AssessedGain float64
+	// LatentGain is the summed true latent skill gain of the round.
+	LatentGain float64
+	// Retained is the number of workers still active after the round's
+	// retention draw.
+	Retained int
+}
+
+// DeploymentResult is the outcome of one population's deployment.
+type DeploymentResult struct {
+	// Policy is the grouping policy's name.
+	Policy string
+	// PreMean is the mean estimated skill at pre-qualification.
+	PreMean float64
+	// Rounds holds per-round reports in order; a deployment ends early
+	// if fewer than one full group of workers remains.
+	Rounds []RoundReport
+	// TotalAssessedGain and TotalLatentGain sum the per-round gains.
+	TotalAssessedGain, TotalLatentGain float64
+	// PreScores and PostScores are each participating worker's
+	// pre-qualification estimate and final estimate, aligned by worker,
+	// for paired significance testing (Observation I).
+	PreScores, PostScores []float64
+	// Completed flags, aligned with PreScores, mark workers still
+	// active after the final round — the paper's "stick with the entire
+	// learning process".
+	Completed []bool
+}
+
+// RetentionGainCorrelation pools the workers of the given deployments
+// and returns the Spearman correlation between a worker's assessed
+// improvement (post − pre) and completing the study. A positive value
+// quantifies the mechanism behind the paper's Observation III: workers
+// who learn more stay longer.
+func RetentionGainCorrelation(deps ...*DeploymentResult) (float64, error) {
+	var improvements, completed []float64
+	for _, dep := range deps {
+		if dep == nil {
+			return 0, fmt.Errorf("amt: nil deployment result")
+		}
+		if len(dep.PreScores) != len(dep.Completed) {
+			return 0, fmt.Errorf("amt: %d pre-scores but %d completion flags", len(dep.PreScores), len(dep.Completed))
+		}
+		for i := range dep.PreScores {
+			improvements = append(improvements, dep.PostScores[i]-dep.PreScores[i])
+			if dep.Completed[i] {
+				completed = append(completed, 1)
+			} else {
+				completed = append(completed, 0)
+			}
+		}
+	}
+	return stats.Spearman(improvements, completed)
+}
+
+// RunDeployment simulates one population working under one grouping
+// policy for cfg.Rounds rounds, following the paper's protocol:
+// PRE-QUALIFICATION (already done by NewWorkerPool), then alternating
+// GROUP-FORMATION and POST-ASSESSMENT, with retention draws between
+// rounds. The grouping policy sees only estimated skills; learning acts
+// on latent skills.
+func RunDeployment(cfg Config, workers []*Worker, policy core.Grouper, bank *Bank, rng *rand.Rand) (*DeploymentResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("amt: nil grouping policy")
+	}
+	if len(workers) < cfg.GroupSize {
+		return nil, fmt.Errorf("amt: %d workers cannot fill one group of %d", len(workers), cfg.GroupSize)
+	}
+	res := &DeploymentResult{Policy: policy.Name()}
+	pre := make(map[int]float64, len(workers))
+	for _, w := range workers {
+		res.PreMean += w.Estimated
+		pre[w.ID] = w.Estimated
+	}
+	res.PreMean /= float64(len(workers))
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		active := activeWorkers(workers)
+		if len(active) < cfg.GroupSize {
+			break
+		}
+		participants := chooseParticipants(active, cfg.GroupSize, rng)
+		k := len(participants) / cfg.GroupSize
+
+		// GROUP-FORMATION on the estimated skills.
+		skills := make(core.Skills, len(participants))
+		for i, w := range participants {
+			skills[i] = w.Estimated
+		}
+		grouping := policy.Group(skills, k)
+		if err := grouping.ValidateEqui(len(participants), k); err != nil {
+			return nil, fmt.Errorf("amt: %s produced an invalid grouping in round %d: %w", policy.Name(), t, err)
+		}
+
+		// Peer interaction on latent skills.
+		report := RoundReport{Round: t, Entering: len(active), Participated: len(participants)}
+		preEst := make([]float64, len(participants))
+		for i, w := range participants {
+			preEst[i] = w.Estimated
+		}
+		for _, grp := range grouping {
+			report.LatentGain += interact(cfg, participants, grp, rng)
+		}
+
+		// POST-ASSESSMENT.
+		var meanEst float64
+		for i, w := range participants {
+			w.Assess(rng, bank, cfg.Questions)
+			report.AssessedGain += w.Estimated - preEst[i]
+			meanEst += w.Estimated
+		}
+		report.MeanEstimated = meanEst / float64(len(participants))
+
+		// Retention draw.
+		for _, w := range participants {
+			if rng.Float64() > cfg.Retention.StayProb(w) {
+				w.Active = false
+			}
+		}
+		report.Retained = len(activeWorkers(workers))
+
+		res.Rounds = append(res.Rounds, report)
+		res.TotalAssessedGain += report.AssessedGain
+		res.TotalLatentGain += report.LatentGain
+	}
+
+	for _, w := range workers {
+		res.PreScores = append(res.PreScores, pre[w.ID])
+		res.PostScores = append(res.PostScores, w.Estimated)
+		res.Completed = append(res.Completed, w.Active)
+	}
+	return res, nil
+}
+
+// activeWorkers filters workers that are still participating.
+func activeWorkers(ws []*Worker) []*Worker {
+	out := make([]*Worker, 0, len(ws))
+	for _, w := range ws {
+		if w.Active {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// chooseParticipants selects the largest group-size multiple of active
+// workers; when the count does not divide evenly, a uniformly random
+// subset sits the round out (they remain active).
+func chooseParticipants(active []*Worker, groupSize int, rng *rand.Rand) []*Worker {
+	m := (len(active) / groupSize) * groupSize
+	if m == len(active) {
+		return active
+	}
+	perm := rng.Perm(len(active))
+	out := make([]*Worker, m)
+	for i := 0; i < m; i++ {
+		out[i] = active[perm[i]]
+	}
+	return out
+}
+
+// interact simulates the within-group discussion: latent skills move by
+// the learning model of the configured mode, perturbed by multiplicative
+// noise, and LastGain/WasTeacher are set for the retention model. It
+// returns the group's total latent gain.
+func interact(cfg Config, participants []*Worker, group []int, rng *rand.Rand) float64 {
+	members := make([]*Worker, len(group))
+	for i, idx := range group {
+		members[i] = participants[idx]
+	}
+	// The member who truly knows the most drives the discussion,
+	// whatever the estimates said.
+	topIdx := 0
+	for i, w := range members {
+		w.WasTeacher = false
+		w.LastGain = 0
+		if w.Latent > members[topIdx].Latent {
+			topIdx = i
+		}
+	}
+	members[topIdx].WasTeacher = true
+
+	noisy := func(gain float64) float64 {
+		if cfg.Noise == 0 {
+			return gain
+		}
+		f := 1 + cfg.Noise*rng.NormFloat64()
+		if f < 0 {
+			f = 0
+		}
+		return gain * f
+	}
+
+	var total float64
+	switch cfg.Mode {
+	case core.Star:
+		top := members[topIdx].Latent
+		for i, w := range members {
+			if i == topIdx {
+				continue
+			}
+			g := noisy(cfg.Rate * (top - w.Latent))
+			w.applyLatentGain(g)
+			total += g
+		}
+	case core.Clique:
+		latents := make([]float64, len(members))
+		for i, w := range members {
+			latents[i] = w.Latent
+		}
+		for i, w := range members {
+			var sum float64
+			higher := 0
+			for j, lj := range latents {
+				if j != i && lj > latents[i] {
+					sum += cfg.Rate * (lj - latents[i])
+					higher++
+				}
+			}
+			if higher == 0 {
+				continue
+			}
+			g := noisy(sum / float64(higher))
+			w.applyLatentGain(g)
+			total += g
+		}
+	}
+	return total
+}
+
+// applyLatentGain raises the worker's latent skill, keeping it below 1.
+func (w *Worker) applyLatentGain(g float64) {
+	if g < 0 {
+		g = 0
+	}
+	w.LastGain = g
+	w.Latent += g
+	if w.Latent > latentCeil {
+		w.Latent = latentCeil
+	}
+}

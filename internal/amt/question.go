@@ -1,0 +1,132 @@
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Question is one multiple-choice item of a HIT. Rumor marks questions
+// that target a piece of misinformation rather than a plain fact; the
+// paper's deployments mixed both.
+type Question struct {
+	ID      int
+	Text    string
+	Options []string
+	// Answer is the index into Options of the correct choice.
+	Answer int
+	Rumor  bool
+}
+
+// Validate reports whether the question is well-formed.
+func (q Question) Validate() error {
+	if len(q.Options) < 2 {
+		return fmt.Errorf("amt: question %d has %d options, need ≥2", q.ID, len(q.Options))
+	}
+	if q.Answer < 0 || q.Answer >= len(q.Options) {
+		return fmt.Errorf("amt: question %d has answer index %d out of range", q.ID, q.Answer)
+	}
+	if q.Text == "" {
+		return fmt.Errorf("amt: question %d has empty text", q.ID)
+	}
+	return nil
+}
+
+// Bank is a pool of questions from which assessments are sampled.
+type Bank struct {
+	questions []Question
+}
+
+// NewBank builds a bank from the given questions, validating each.
+func NewBank(qs []Question) (*Bank, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("amt: empty question bank")
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Bank{questions: append([]Question(nil), qs...)}, nil
+}
+
+// Len returns the number of questions in the bank.
+func (b *Bank) Len() int { return len(b.questions) }
+
+// Sample draws n distinct questions uniformly at random; if n exceeds
+// the bank size the whole bank is returned in random order.
+func (b *Bank) Sample(rng *rand.Rand, n int) []Question {
+	if n > len(b.questions) {
+		n = len(b.questions)
+	}
+	perm := rng.Perm(len(b.questions))
+	out := make([]Question, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.questions[perm[i]]
+	}
+	return out
+}
+
+// DefaultBank returns the built-in COVID-19 fact/rumor question bank
+// used by the simulated deployments. The first two items are the paper's
+// own sample questions (Section V-A, footnote 7).
+func DefaultBank() *Bank {
+	b, err := NewBank(covidQuestions)
+	if err != nil {
+		panic("amt: built-in question bank invalid: " + err.Error())
+	}
+	return b
+}
+
+// covidQuestions is the built-in HIT content: public-health facts and
+// widely circulated rumors about COVID-19, in the paper's four-option
+// multiple-choice format.
+var covidQuestions = []Question{
+	{ID: 1, Text: "What is the longest incubation time of COVID-19 in the record?",
+		Options: []string{"14 days", "19 days", "20 days", "More than 20 days"}, Answer: 3},
+	{ID: 2, Text: "Which action will help to prevent COVID-19?",
+		Options: []string{"Wash your hands regularly and thoroughly", "Taking a hot bath", "Drinking alcohol", "None of the above"}, Answer: 0},
+	{ID: 3, Text: "Which kind of pathogen causes COVID-19?",
+		Options: []string{"A bacterium", "A coronavirus", "A parasite", "A fungus"}, Answer: 1},
+	{ID: 4, Text: "Can people without symptoms transmit COVID-19?",
+		Options: []string{"No, never", "Yes, asymptomatic transmission occurs", "Only children can", "Only after a fever starts"}, Answer: 1, Rumor: true},
+	{ID: 5, Text: "Does cold weather kill the virus that causes COVID-19?",
+		Options: []string{"Yes, below 0°C", "Yes, below 10°C", "No, temperature does not eliminate it in the body", "Only with snow"}, Answer: 2, Rumor: true},
+	{ID: 6, Text: "Which surface disinfectant is effective against the virus?",
+		Options: []string{"Plain water", "Diluted bleach solution", "Sugar solution", "Milk"}, Answer: 1},
+	{ID: 7, Text: "What is the typical incubation period of COVID-19?",
+		Options: []string{"1-2 hours", "2-14 days", "30-60 days", "6 months"}, Answer: 1},
+	{ID: 8, Text: "Do antibiotics treat COVID-19?",
+		Options: []string{"Yes, any antibiotic", "Yes, but only penicillin", "No, antibiotics do not work against viruses", "Only combined with vitamins"}, Answer: 2, Rumor: true},
+	{ID: 9, Text: "How far do respiratory droplets typically travel when someone coughs?",
+		Options: []string{"About 1-2 meters", "Exactly 10 meters", "They do not travel", "Over 100 meters"}, Answer: 0},
+	{ID: 10, Text: "Does eating garlic prevent infection with COVID-19?",
+		Options: []string{"Yes, one clove a day", "Yes, if eaten raw", "There is no evidence that garlic prevents it", "Only with ginger"}, Answer: 2, Rumor: true},
+	{ID: 11, Text: "Which group is at highest risk of severe illness?",
+		Options: []string{"Teenagers", "Older adults and people with underlying conditions", "Professional athletes", "Left-handed people"}, Answer: 1},
+	{ID: 12, Text: "Can 5G mobile networks spread COVID-19?",
+		Options: []string{"Yes, through radio waves", "Yes, near antennas", "No, viruses cannot travel on radio waves", "Only at night"}, Answer: 2, Rumor: true},
+	{ID: 13, Text: "What is the main transmission route of COVID-19?",
+		Options: []string{"Respiratory droplets and close contact", "Mosquito bites", "Drinking water", "Sunlight"}, Answer: 0},
+	{ID: 14, Text: "Does spraying alcohol all over your body kill viruses that have entered it?",
+		Options: []string{"Yes, 70% alcohol", "Yes, any spirit", "No, it cannot reach the virus inside the body", "Only on the first day"}, Answer: 2, Rumor: true},
+	{ID: 15, Text: "Which symptom combination is most characteristic of COVID-19?",
+		Options: []string{"Fever, dry cough, fatigue", "Broken bones", "Hair loss only", "Improved sense of smell"}, Answer: 0},
+	{ID: 16, Text: "Are hand dryers effective in killing the virus?",
+		Options: []string{"Yes, 30 seconds of hot air", "No, hand dryers alone do not kill it", "Only industrial dryers", "Yes, combined with cold air"}, Answer: 1, Rumor: true},
+	{ID: 17, Text: "What does 'flattening the curve' refer to?",
+		Options: []string{"Slowing the spread to avoid overwhelming hospitals", "Straightening fever charts", "A vaccination technique", "A breathing exercise"}, Answer: 0},
+	{ID: 18, Text: "Can ultraviolet (UV) lamps be used to disinfect hands safely?",
+		Options: []string{"Yes, for 10 minutes", "No, UV radiation irritates the skin and should not be used on the body", "Only UVB lamps", "Yes, through gloves"}, Answer: 1, Rumor: true},
+	{ID: 19, Text: "How long can the virus survive on some surfaces?",
+		Options: []string{"It dies instantly", "Up to several days depending on the surface", "At least one year", "Surfaces cannot carry viruses"}, Answer: 1},
+	{ID: 20, Text: "Does adding pepper to your meals prevent COVID-19?",
+		Options: []string{"Yes, hot pepper works", "Yes, black pepper only", "No, pepper does not prevent it", "Only in soup"}, Answer: 2, Rumor: true},
+	{ID: 21, Text: "What is the purpose of quarantine after exposure?",
+		Options: []string{"To separate exposed people during the incubation period", "To cure the disease", "To build muscle", "It has no purpose"}, Answer: 0},
+	{ID: 22, Text: "Are thermal scanners able to detect people who are infected but have no fever?",
+		Options: []string{"Yes, always", "No, they only detect elevated temperature", "Only in airports", "Yes, with infrared glasses"}, Answer: 1, Rumor: true},
+	{ID: 23, Text: "Which of these is a recommended mask practice?",
+		Options: []string{"Cover both nose and mouth", "Cover only the mouth", "Wear it on the chin", "Share masks with family"}, Answer: 0},
+	{ID: 24, Text: "Can drinking methanol or ethanol cure COVID-19?",
+		Options: []string{"Yes, in small doses", "Yes, methanol only", "No, drinking them is dangerous and does not cure the disease", "Only mixed with juice"}, Answer: 2, Rumor: true},
+}

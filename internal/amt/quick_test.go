@@ -1,0 +1,105 @@
+package amt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// deploymentCase is a random valid deployment configuration for
+// property-based testing; it implements quick.Generator.
+type deploymentCase struct {
+	Workers   int
+	GroupSize int
+	Rounds    int
+	Rate      float64
+	Mode      core.Mode
+	Noise     float64
+	Seed      int64
+}
+
+// Generate implements quick.Generator.
+func (deploymentCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	groupSize := 2 + rng.Intn(4)
+	groups := 1 + rng.Intn(5)
+	return reflect.ValueOf(deploymentCase{
+		Workers:   groupSize*groups + rng.Intn(groupSize), // often indivisible
+		GroupSize: groupSize,
+		Rounds:    1 + rng.Intn(4),
+		Rate:      0.1 + 0.8*rng.Float64(),
+		Mode:      core.Mode(rng.Intn(2)),
+		Noise:     0.1 * rng.Float64(),
+		Seed:      rng.Int63(),
+	})
+}
+
+// TestQuickDeploymentInvariants drives random deployments and checks
+// the platform's structural invariants.
+func TestQuickDeploymentInvariants(t *testing.T) {
+	bank := DefaultBank()
+	property := func(c deploymentCase) bool {
+		rng := rand.New(rand.NewSource(c.Seed))
+		pool, err := NewWorkerPool(rng, bank, c.Workers, 10, 0.2, 0.9)
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			GroupSize: c.GroupSize,
+			Rate:      c.Rate,
+			Mode:      c.Mode,
+			Rounds:    c.Rounds,
+			Questions: 10,
+			Noise:     c.Noise,
+			Retention: DefaultRetention,
+		}
+		var policy core.Grouper = dygroups.NewStar()
+		if c.Mode == core.Clique {
+			policy = dygroups.NewClique()
+		}
+		dep, err := RunDeployment(cfg, pool, policy, bank, rng)
+		if err != nil {
+			return false
+		}
+		// 1. Round structure: entering counts never increase; the
+		// participated count divides by the group size and fits the
+		// entrants.
+		prevEntering := c.Workers
+		for _, rr := range dep.Rounds {
+			if rr.Entering > prevEntering {
+				return false
+			}
+			prevEntering = rr.Retained
+			if rr.Participated%c.GroupSize != 0 || rr.Participated > rr.Entering {
+				return false
+			}
+			if rr.LatentGain < 0 {
+				return false
+			}
+			if rr.Retained > rr.Entering {
+				return false
+			}
+		}
+		// 2. Worker state: estimates in (0, 1], latents below the cap,
+		// and latent skills never decreased from their floor.
+		for _, w := range pool {
+			if w.Estimated <= 0 || w.Estimated > 1 {
+				return false
+			}
+			if w.Latent > latentCeil+1e-12 || w.Latent < 0.2 {
+				return false
+			}
+		}
+		// 3. Score bookkeeping aligned with the pool.
+		if len(dep.PreScores) != c.Workers || len(dep.PostScores) != c.Workers || len(dep.Completed) != c.Workers {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

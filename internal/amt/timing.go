@@ -1,0 +1,153 @@
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// TimingModel simulates the wall-clock side of a deployment, mirroring
+// the paper's operational parameters: "Each deployment was accessible
+// for 24 hours and 1 hour is allotted to each worker", and the authors'
+// observation that "the one day time window is good enough for each
+// round, and the workers do not need to spend more than one hour
+// overall".
+type TimingModel struct {
+	// Window is how long each round's HIT stays open (24h in the
+	// paper).
+	Window time.Duration
+	// WorkerBudget is the per-worker time allotment (1h in the paper).
+	WorkerBudget time.Duration
+	// AssessmentMin/Max bound the time a worker spends answering one
+	// assessment HIT.
+	AssessmentMin, AssessmentMax time.Duration
+	// DiscussionMin/Max bound the time a group spends in peer
+	// discussion per round.
+	DiscussionMin, DiscussionMax time.Duration
+	// ArrivalSpread is how late after the round opens a worker may
+	// start (workers check AMT at different times of day).
+	ArrivalSpread time.Duration
+}
+
+// DefaultTiming reflects the paper's deployment parameters with
+// plausible task durations from its pilot description.
+var DefaultTiming = TimingModel{
+	Window:        24 * time.Hour,
+	WorkerBudget:  time.Hour,
+	AssessmentMin: 4 * time.Minute,
+	AssessmentMax: 12 * time.Minute,
+	DiscussionMin: 10 * time.Minute,
+	DiscussionMax: 30 * time.Minute,
+	ArrivalSpread: 18 * time.Hour,
+}
+
+// Validate reports whether the model is internally consistent.
+func (m TimingModel) Validate() error {
+	if m.Window <= 0 || m.WorkerBudget <= 0 {
+		return fmt.Errorf("amt: window and worker budget must be positive")
+	}
+	if m.AssessmentMin <= 0 || m.AssessmentMax < m.AssessmentMin {
+		return fmt.Errorf("amt: bad assessment duration range [%v, %v]", m.AssessmentMin, m.AssessmentMax)
+	}
+	if m.DiscussionMin <= 0 || m.DiscussionMax < m.DiscussionMin {
+		return fmt.Errorf("amt: bad discussion duration range [%v, %v]", m.DiscussionMin, m.DiscussionMax)
+	}
+	if m.ArrivalSpread < 0 || m.ArrivalSpread >= m.Window {
+		return fmt.Errorf("amt: arrival spread %v must lie inside the window %v", m.ArrivalSpread, m.Window)
+	}
+	return nil
+}
+
+// RoundTiming is the simulated wall-clock outcome of one round.
+type RoundTiming struct {
+	Round int
+	// Span is the time from the round opening until the last group
+	// finished.
+	Span time.Duration
+	// MaxWorkerTime is the longest any single worker was engaged
+	// (assessment + discussion).
+	MaxWorkerTime time.Duration
+	// OverBudget counts workers whose engagement exceeded the
+	// per-worker budget.
+	OverBudget int
+	// MissedWindow reports whether any group finished after the round's
+	// window closed.
+	MissedWindow bool
+}
+
+// TimingReport aggregates a deployment's rounds.
+type TimingReport struct {
+	Rounds []RoundTiming
+	// MaxWorkerTime is the maximum over rounds.
+	MaxWorkerTime time.Duration
+	// AnyOverBudget and AnyMissedWindow flag violations of the paper's
+	// operational assumptions anywhere in the deployment.
+	AnyOverBudget, AnyMissedWindow bool
+}
+
+// SimulateTiming draws a wall-clock schedule for a deployment that ran
+// the given per-round participation counts with the given group size.
+// Each participant arrives at a random offset, spends an assessment
+// duration, then its group discusses once all members have arrived (the
+// group is gated by its slowest member) and re-assesses.
+func (m TimingModel) SimulateTiming(participantsPerRound []int, groupSize int, seed int64) (*TimingReport, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if groupSize < 2 {
+		return nil, fmt.Errorf("amt: group size %d", groupSize)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	report := &TimingReport{}
+	for round, participants := range participantsPerRound {
+		if participants%groupSize != 0 {
+			return nil, fmt.Errorf("amt: round %d has %d participants for group size %d", round+1, participants, groupSize)
+		}
+		rt := RoundTiming{Round: round + 1}
+		groups := participants / groupSize
+		for g := 0; g < groups; g++ {
+			var groupReady time.Duration // latest member arrival+assessment
+			var discussion = m.durBetween(rng, m.DiscussionMin, m.DiscussionMax)
+			for w := 0; w < groupSize; w++ {
+				arrival := time.Duration(rng.Int63n(int64(m.ArrivalSpread) + 1))
+				assess := m.durBetween(rng, m.AssessmentMin, m.AssessmentMax)
+				post := m.durBetween(rng, m.AssessmentMin, m.AssessmentMax)
+				if ready := arrival + assess; ready > groupReady {
+					groupReady = ready
+				}
+				engaged := assess + discussion + post
+				if engaged > rt.MaxWorkerTime {
+					rt.MaxWorkerTime = engaged
+				}
+				if engaged > m.WorkerBudget {
+					rt.OverBudget++
+				}
+			}
+			// The group's post-assessments start after discussion; the
+			// group finishes when its slowest post-assessment does.
+			finish := groupReady + discussion + m.AssessmentMax
+			if finish > rt.Span {
+				rt.Span = finish
+			}
+		}
+		if rt.Span > m.Window {
+			rt.MissedWindow = true
+			report.AnyMissedWindow = true
+		}
+		if rt.OverBudget > 0 {
+			report.AnyOverBudget = true
+		}
+		if rt.MaxWorkerTime > report.MaxWorkerTime {
+			report.MaxWorkerTime = rt.MaxWorkerTime
+		}
+		report.Rounds = append(report.Rounds, rt)
+	}
+	return report, nil
+}
+
+func (m TimingModel) durBetween(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi == lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+}

@@ -1,0 +1,109 @@
+package amt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimingModelValidate(t *testing.T) {
+	if err := DefaultTiming.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*TimingModel){
+		func(m *TimingModel) { m.Window = 0 },
+		func(m *TimingModel) { m.WorkerBudget = 0 },
+		func(m *TimingModel) { m.AssessmentMin = 0 },
+		func(m *TimingModel) { m.AssessmentMax = m.AssessmentMin - 1 },
+		func(m *TimingModel) { m.DiscussionMax = m.DiscussionMin - 1 },
+		func(m *TimingModel) { m.ArrivalSpread = m.Window },
+	}
+	for i, mutate := range mutations {
+		m := DefaultTiming
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateTimingPaperClaims(t *testing.T) {
+	// The paper: the one-day window suffices per round and workers need
+	// at most about an hour. With the default model those operational
+	// claims must hold for an Experiment-1-shaped deployment.
+	report, err := DefaultTiming.SimulateTiming([]int{32, 32, 32}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rounds) != 3 {
+		t.Fatalf("rounds %d", len(report.Rounds))
+	}
+	if report.AnyMissedWindow {
+		t.Error("a round exceeded the 24h window under the paper's parameters")
+	}
+	if report.AnyOverBudget {
+		t.Errorf("a worker exceeded the 1h budget (max engaged %v)", report.MaxWorkerTime)
+	}
+	if report.MaxWorkerTime <= 0 || report.MaxWorkerTime > time.Hour {
+		t.Errorf("max worker time %v outside (0, 1h]", report.MaxWorkerTime)
+	}
+	for _, rt := range report.Rounds {
+		if rt.Span <= 0 || rt.Span > DefaultTiming.Window {
+			t.Errorf("round %d span %v outside (0, window]", rt.Round, rt.Span)
+		}
+	}
+}
+
+func TestSimulateTimingDetectsTightBudget(t *testing.T) {
+	m := DefaultTiming
+	m.WorkerBudget = 10 * time.Minute // tighter than any plausible engagement
+	report, err := m.SimulateTiming([]int{16}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AnyOverBudget {
+		t.Error("10-minute budget not flagged")
+	}
+}
+
+func TestSimulateTimingDetectsShortWindow(t *testing.T) {
+	m := DefaultTiming
+	m.Window = 2 * time.Hour
+	m.ArrivalSpread = 110 * time.Minute
+	report, err := m.SimulateTiming([]int{16}, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.AnyMissedWindow {
+		t.Error("2-hour window with late arrivals not flagged")
+	}
+}
+
+func TestSimulateTimingErrors(t *testing.T) {
+	if _, err := DefaultTiming.SimulateTiming([]int{30}, 4, 1); err == nil {
+		t.Error("non-divisible participation accepted")
+	}
+	if _, err := DefaultTiming.SimulateTiming([]int{32}, 1, 1); err == nil {
+		t.Error("group size 1 accepted")
+	}
+	bad := DefaultTiming
+	bad.Window = 0
+	if _, err := bad.SimulateTiming([]int{32}, 4, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSimulateTimingDeterministic(t *testing.T) {
+	a, err := DefaultTiming.SimulateTiming([]int{32, 28}, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultTiming.SimulateTiming([]int{32, 28}, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}

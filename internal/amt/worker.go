@@ -1,0 +1,124 @@
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// guessRate is the probability of answering a 4-option multiple-choice
+// question correctly by pure guessing; it floors every worker's
+// per-question accuracy.
+const guessRate = 0.25
+
+// latentCeil caps the per-question accuracy below 1 so assessments stay
+// noisy even for experts, as real tests are.
+const latentCeil = 0.98
+
+// Worker is one simulated AMT participant.
+type Worker struct {
+	// ID is stable across the experiment.
+	ID int
+	// Latent is the true skill in (0, 1): the probability of knowing a
+	// fact. It is hidden from the grouping policies.
+	Latent float64
+	// Estimated is the skill estimate from the most recent assessment
+	// (correct answers / number of questions), the quantity the paper's
+	// algorithms operate on.
+	Estimated float64
+	// Active reports whether the worker is still participating;
+	// retention drops set it to false.
+	Active bool
+	// LastGain is the latent skill gained in the most recent interaction
+	// round; it drives the retention model.
+	LastGain float64
+	// WasTeacher reports whether the worker was the most skilled member
+	// of its group in the most recent round.
+	WasTeacher bool
+}
+
+// answerProb returns the worker's per-question probability of a correct
+// answer: the latent skill floored at the guessing rate and capped below
+// certainty.
+func (w *Worker) answerProb() float64 {
+	p := w.Latent
+	if p < guessRate {
+		p = guessRate
+	}
+	if p > latentCeil {
+		p = latentCeil
+	}
+	return p
+}
+
+// Assess administers an n-question assessment and refreshes the worker's
+// estimated skill with the score correct/n — the paper's estimator.
+func (w *Worker) Assess(rng *rand.Rand, bank *Bank, n int) float64 {
+	qs := bank.Sample(rng, n)
+	correct := 0
+	for range qs {
+		if rng.Float64() < w.answerProb() {
+			correct++
+		}
+	}
+	// The paper's skill values are positive; a zero score is recorded as
+	// a small positive skill so the model's positivity requirement holds.
+	score := float64(correct) / float64(len(qs))
+	if score == 0 {
+		score = 0.5 / float64(len(qs))
+	}
+	w.Estimated = score
+	return score
+}
+
+// NewWorkerPool creates n workers with latent skills drawn uniformly
+// from [lo, hi), assessed once so their estimates are populated
+// (PRE-QUALIFICATION in the paper's protocol).
+func NewWorkerPool(rng *rand.Rand, bank *Bank, n, questions int, lo, hi float64) ([]*Worker, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("amt: need a positive worker count, got %d", n)
+	}
+	if !(lo >= 0 && hi > lo && hi <= 1) {
+		return nil, fmt.Errorf("amt: latent skill range [%v,%v) must sit inside [0,1]", lo, hi)
+	}
+	ws := make([]*Worker, n)
+	for i := range ws {
+		w := &Worker{
+			ID:     i,
+			Latent: lo + (hi-lo)*rng.Float64(),
+			Active: true,
+		}
+		w.Assess(rng, bank, questions)
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// SplitMatched splits workers into `parts` populations of equal size
+// with closely matched skill distributions, mirroring the paper's
+// constraint that the populations "have very similar skill distributions
+// and in particular the same average skill". It sorts by estimated skill
+// and deals serpentine-style across the populations. The worker count
+// must be divisible by parts.
+func SplitMatched(workers []*Worker, parts int) ([][]*Worker, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("amt: need a positive population count, got %d", parts)
+	}
+	if len(workers)%parts != 0 {
+		return nil, fmt.Errorf("amt: %d workers cannot split into %d equal populations", len(workers), parts)
+	}
+	sorted := append([]*Worker(nil), workers...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Estimated > sorted[b].Estimated })
+	pops := make([][]*Worker, parts)
+	for i := range pops {
+		pops[i] = make([]*Worker, 0, len(workers)/parts)
+	}
+	for i, w := range sorted {
+		pass, pos := i/parts, i%parts
+		if pass%2 == 1 {
+			pos = parts - 1 - pos
+		}
+		pops[pos] = append(pops[pos], w)
+	}
+	return pops, nil
+}

@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"peerlearn/internal/core"
+)
+
+// Annealing is a simulated-annealing grouper, representing the
+// operations-research line of group-formation work the paper's related
+// work cites (Baykasoglu et al. and similar formulate team formation as
+// an integer program often solved by simulated annealing). Each round it
+// starts from a random partition and anneals toward higher aggregated
+// learning gain by swapping members across groups.
+//
+// It is deliberately a *general-purpose* search — unlike DyGroups it
+// knows nothing about Theorem 1's structure — so it serves as the "how
+// close does generic metaheuristic search get, and at what cost?"
+// comparison point in the extension experiments.
+type Annealing struct {
+	rng *rand.Rand
+	// Mode and Gain define the objective the annealer maximizes.
+	Mode core.Mode
+	Gain core.Gain
+	// Sweeps is the number of proposed swaps per participant; higher
+	// values anneal longer. Defaults to 20.
+	Sweeps int
+	// StartTemp is the initial temperature relative to the initial
+	// objective value. Defaults to 0.1.
+	StartTemp float64
+}
+
+// NewAnnealing returns a simulated-annealing policy for the given
+// objective with its own deterministic random stream.
+func NewAnnealing(seed int64, mode core.Mode, gain core.Gain) *Annealing {
+	return &Annealing{
+		rng:       rand.New(rand.NewSource(seed)),
+		Mode:      mode,
+		Gain:      gain,
+		Sweeps:    20,
+		StartTemp: 0.1,
+	}
+}
+
+// Name implements core.Grouper.
+func (*Annealing) Name() string { return "Simulated-Annealing" }
+
+// Group implements core.Grouper.
+func (a *Annealing) Group(s core.Skills, k int) core.Grouping {
+	n := len(s)
+	size := n / k
+	perm := a.rng.Perm(n)
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = perm[i*size : (i+1)*size : (i+1)*size]
+	}
+	if k < 2 || size < 1 {
+		return g
+	}
+
+	// Track per-group gains so a swap only re-evaluates two groups.
+	groupGain := make([]float64, k)
+	var total float64
+	for gi := range g {
+		groupGain[gi] = core.GroupGain(s, g[gi], a.Mode, a.Gain)
+		total += groupGain[gi]
+	}
+
+	steps := a.Sweeps * n
+	if steps < 1 {
+		steps = 20 * n
+	}
+	temp := a.StartTemp * math.Max(total, 1e-9)
+	cool := math.Pow(1e-3, 1/float64(steps)) // decay to 0.1% of start
+	for step := 0; step < steps; step++ {
+		ga := a.rng.Intn(k)
+		gb := a.rng.Intn(k - 1)
+		if gb >= ga {
+			gb++
+		}
+		xa := a.rng.Intn(size)
+		xb := a.rng.Intn(size)
+		g[ga][xa], g[gb][xb] = g[gb][xb], g[ga][xa]
+		newA := core.GroupGain(s, g[ga], a.Mode, a.Gain)
+		newB := core.GroupGain(s, g[gb], a.Mode, a.Gain)
+		delta := newA + newB - groupGain[ga] - groupGain[gb]
+		if delta >= 0 || a.rng.Float64() < math.Exp(delta/temp) {
+			groupGain[ga], groupGain[gb] = newA, newB
+			total += delta
+		} else {
+			g[ga][xa], g[gb][xb] = g[gb][xb], g[ga][xa] // revert
+		}
+		temp *= cool
+	}
+	return g
+}

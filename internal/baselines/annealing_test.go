@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/bruteforce"
+	"peerlearn/internal/core"
+)
+
+func TestAnnealingProducesValidGroupings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gain := core.MustLinear(0.5)
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(5)
+		size := 1 + rng.Intn(5)
+		n := k * size
+		s := randomSkills(rng, n)
+		mode := core.Star
+		if trial%2 == 1 {
+			mode = core.Clique
+		}
+		a := NewAnnealing(int64(trial), mode, gain)
+		g := a.Group(s, k)
+		if err := g.ValidateEqui(n, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAnnealingApproachesRoundOptimum(t *testing.T) {
+	// On small instances the annealer should land within a few percent
+	// of the exact round optimum — that is the point of the
+	// metaheuristic comparison.
+	rng := rand.New(rand.NewSource(3))
+	gain := core.MustLinear(0.5)
+	for trial := 0; trial < 10; trial++ {
+		n, k := 8, 2
+		s := randomSkills(rng, n)
+		best, _, err := bruteforce.BestSingleRound(s, k, core.Star, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewAnnealing(int64(trial), core.Star, gain)
+		got := core.AggregateGain(s, a.Group(s, k), core.Star, gain)
+		if got < 0.9*best {
+			t.Fatalf("trial %d: annealing gain %v < 90%% of optimum %v", trial, got, best)
+		}
+	}
+}
+
+func TestAnnealingBeatsItsRandomStart(t *testing.T) {
+	// Annealing must improve over a plain random assignment with the
+	// same seed on average.
+	rng := rand.New(rand.NewSource(5))
+	gain := core.MustLinear(0.5)
+	var annealSum, randomSum float64
+	for trial := 0; trial < 10; trial++ {
+		s := randomSkills(rng, 40)
+		a := NewAnnealing(int64(trial), core.Star, gain)
+		annealSum += core.AggregateGain(s, a.Group(s, 8), core.Star, gain)
+		r := NewRandom(int64(trial))
+		randomSum += core.AggregateGain(s, r.Group(s, 8), core.Star, gain)
+	}
+	if annealSum <= randomSum {
+		t.Fatalf("annealing total %v not above random %v", annealSum, randomSum)
+	}
+}
+
+func TestAnnealingSeedDeterministic(t *testing.T) {
+	s := randomSkills(rand.New(rand.NewSource(7)), 20)
+	gain := core.MustLinear(0.5)
+	a := NewAnnealing(11, core.Star, gain).Group(s, 4)
+	b := NewAnnealing(11, core.Star, gain).Group(s, 4)
+	for gi := range a {
+		for j := range a[gi] {
+			if a[gi][j] != b[gi][j] {
+				t.Fatal("same seed produced different annealed groupings")
+			}
+		}
+	}
+}
+
+func TestAnnealingDegenerateShapes(t *testing.T) {
+	gain := core.MustLinear(0.5)
+	s := randomSkills(rand.New(rand.NewSource(9)), 6)
+	// k = 1: single group, nothing to swap.
+	g := NewAnnealing(1, core.Star, gain).Group(s, 1)
+	if err := g.ValidateEqui(6, 1); err != nil {
+		t.Fatal(err)
+	}
+	// k = n: singleton groups.
+	g = NewAnnealing(1, core.Star, gain).Group(s, 6)
+	if err := g.ValidateEqui(6, 6); err != nil {
+		t.Fatal(err)
+	}
+}

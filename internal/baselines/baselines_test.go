@@ -1,0 +1,239 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+func randomSkills(rng *rand.Rand, n int) core.Skills {
+	s := make(core.Skills, n)
+	for i := range s {
+		s[i] = rng.Float64()*3 + 0.01
+	}
+	return s
+}
+
+// allBaselines builds one instance of every baseline policy.
+func allBaselines(t *testing.T, seed int64) []core.Grouper {
+	t.Helper()
+	p, err := NewPercentile(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Grouper{NewRandom(seed), p, NewLPA(), NewKMeans(seed)}
+}
+
+func TestAllBaselinesProduceValidGroupings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		k := 1 + rng.Intn(6)
+		size := 1 + rng.Intn(6)
+		n := k * size
+		s := randomSkills(rng, n)
+		for _, g := range allBaselines(t, int64(trial)) {
+			grouping := g.Group(s, k)
+			if err := grouping.ValidateEqui(n, k); err != nil {
+				t.Fatalf("trial %d: %s produced invalid grouping for n=%d k=%d: %v", trial, g.Name(), n, k, err)
+			}
+		}
+	}
+}
+
+func TestBaselinesDoNotModifySkills(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := randomSkills(rng, 12)
+	orig := s.Clone()
+	for _, g := range allBaselines(t, 1) {
+		g.Group(s, 3)
+		for i := range s {
+			if s[i] != orig[i] {
+				t.Fatalf("%s modified the input skills", g.Name())
+			}
+		}
+	}
+}
+
+func TestRandomIsSeedDeterministic(t *testing.T) {
+	s := randomSkills(rand.New(rand.NewSource(1)), 12)
+	a := NewRandom(42).Group(s, 3)
+	b := NewRandom(42).Group(s, 3)
+	for gi := range a {
+		for j := range a[gi] {
+			if a[gi][j] != b[gi][j] {
+				t.Fatal("same seed produced different random groupings")
+			}
+		}
+	}
+}
+
+func TestRandomVariesAcrossRounds(t *testing.T) {
+	s := randomSkills(rand.New(rand.NewSource(2)), 30)
+	r := NewRandom(7)
+	first := r.Group(s, 3)
+	second := r.Group(s, 3)
+	same := true
+	for gi := range first {
+		for j := range first[gi] {
+			if first[gi][j] != second[gi][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("random assignment repeated the identical grouping across rounds (possible but vanishingly unlikely for n=30)")
+	}
+}
+
+func TestRandomGroupSizes(t *testing.T) {
+	s := randomSkills(rand.New(rand.NewSource(3)), 9)
+	g := NewRandom(1).GroupSizes(s, []int{2, 3, 4})
+	if err := g.Validate(9); err != nil {
+		t.Fatal(err)
+	}
+	wantSizes := []int{2, 3, 4}
+	for gi, grp := range g {
+		if len(grp) != wantSizes[gi] {
+			t.Fatalf("group %d size %d, want %d", gi, len(grp), wantSizes[gi])
+		}
+	}
+}
+
+func TestPercentileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewPercentile(p); err == nil {
+			t.Errorf("NewPercentile(%v) accepted invalid parameter", p)
+		}
+	}
+	if _, err := NewPercentile(0.75); err != nil {
+		t.Fatalf("NewPercentile(0.75) rejected: %v", err)
+	}
+}
+
+func TestPercentileSeedsEveryGroup(t *testing.T) {
+	// The scheme's defining property: every group contains at least one
+	// top-quartile participant (p = 0.75) whenever enough exist.
+	rng := rand.New(rand.NewSource(11))
+	p, err := NewPercentile(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(4)
+		size := 4 + rng.Intn(4)
+		n := k * size
+		s := randomSkills(rng, n)
+		g := p.Group(s, k)
+		order := core.RankDescending(s)
+		// Threshold: the k-th strongest at minimum (since at least k
+		// seeds are dealt round-robin, the top k land in k distinct
+		// groups).
+		topK := map[int]bool{}
+		for _, idx := range order[:k] {
+			topK[idx] = true
+		}
+		for gi, grp := range g {
+			found := false
+			for _, m := range grp {
+				if topK[m] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: group %d has no top-%d seed", trial, gi, k)
+			}
+		}
+	}
+}
+
+func TestLPASnakeDraft(t *testing.T) {
+	// n = 9, k = 3: passes 1..3 deal (0.9,0.8,0.7), then reversed
+	// (0.6,0.5,0.4) → groups [0.9,0.4,0.3]? Walk it: pass 0
+	// left-to-right: g0=0.9 g1=0.8 g2=0.7; pass 1 right-to-left:
+	// g2=0.6 g1=0.5 g0=0.4; pass 2 left-to-right: g0=0.3 g1=0.2 g2=0.1.
+	s := core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	g := NewLPA().Group(s, 3)
+	want := [][]float64{{0.9, 0.4, 0.3}, {0.8, 0.5, 0.2}, {0.7, 0.6, 0.1}}
+	for gi := range want {
+		for j := range want[gi] {
+			if got := s[g[gi][j]]; got != want[gi][j] {
+				t.Fatalf("group %d = %v, want %v", gi, skillsOf(s, g[gi]), want[gi])
+			}
+		}
+	}
+}
+
+func skillsOf(s core.Skills, group []int) []float64 {
+	out := make([]float64, len(group))
+	for i, p := range group {
+		out[i] = s[p]
+	}
+	return out
+}
+
+func TestLPATopKSpread(t *testing.T) {
+	// Like DyGroups, LPA places the k strongest members in k distinct
+	// groups.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(4)
+		size := 2 + rng.Intn(4)
+		s := randomSkills(rng, k*size)
+		g := NewLPA().Group(s, k)
+		order := core.RankDescending(s)
+		owner := g.GroupOf(len(s))
+		seen := map[int]bool{}
+		for _, p := range order[:k] {
+			if seen[owner[p]] {
+				t.Fatalf("trial %d: two top-%d members share group %d", trial, k, owner[p])
+			}
+			seen[owner[p]] = true
+		}
+	}
+}
+
+func TestKMeansGroupsContainCenters(t *testing.T) {
+	// Every group's first member is its center, and group sizes are
+	// exact (capacity-constrained assignment).
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(5)
+		size := 1 + rng.Intn(5)
+		n := k * size
+		s := randomSkills(rng, n)
+		g := NewKMeans(int64(trial)).Group(s, k)
+		if err := g.ValidateEqui(n, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestKMeansSeedDeterministic(t *testing.T) {
+	s := randomSkills(rand.New(rand.NewSource(19)), 20)
+	a := NewKMeans(5).Group(s, 4)
+	b := NewKMeans(5).Group(s, 4)
+	for gi := range a {
+		for j := range a[gi] {
+			if a[gi][j] != b[gi][j] {
+				t.Fatal("same seed produced different k-means groupings")
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	p, _ := NewPercentile(0.75)
+	names := map[string]core.Grouper{
+		"Random-Assignment":     NewRandom(1),
+		"Percentile-Partitions": p,
+		"LPA":                   NewLPA(),
+		"K-Means":               NewKMeans(1),
+	}
+	for want, g := range names {
+		if g.Name() != want {
+			t.Errorf("Name() = %q, want %q", g.Name(), want)
+		}
+	}
+}

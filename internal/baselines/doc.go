@@ -1,0 +1,20 @@
+// Package baselines implements the four baseline grouping policies the
+// paper evaluates DyGroups against (Section V-B1):
+//
+//   - Random-Assignment: a uniformly random partition into k equi-sized
+//     groups, re-drawn every round.
+//   - Percentile-Partitions: the one-shot grouping scheme of Agrawal et
+//     al. (EDM 2017) with percentile parameter p (the paper uses
+//     p = 0.75): the top (1−p) fraction of participants seed the groups
+//     round-robin and the remainder fill the groups in skill order.
+//   - LPA: the grouping scheme of Esfandiari et al. (KDD 2019) with the
+//     affinity dimension dropped (the TDG model has no affinities):
+//     serpentine (snake-draft) dealing of the skill-sorted participants,
+//     which spreads the top k skills across the k groups.
+//   - K-Means: the paper's own heuristic — k random participants become
+//     group centers and every other participant joins the nearest
+//     not-yet-full group.
+//
+// Each policy implements core.Grouper and is applied independently in
+// every round, exactly as the paper's synthetic experiments do.
+package baselines

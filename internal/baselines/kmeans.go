@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"peerlearn/internal/core"
+)
+
+// KMeans is the paper's own K-Means-style heuristic baseline (Section
+// V-B1): k random participants become group "centers" and every other
+// participant is assigned to the group whose center skill is nearest,
+// among the groups that are not yet full. Skills are one-dimensional, so
+// "nearest" means smallest absolute skill difference. Assignment scans
+// the k centers per participant, so a round costs O(n·k) — visible in
+// the running-time experiments (Figures 12b, 13b), where K-Means grows
+// with k while DyGroups stays flat.
+type KMeans struct {
+	rng *rand.Rand
+}
+
+// NewKMeans returns a K-Means policy with its own deterministic random
+// stream (centers are re-drawn every round).
+func NewKMeans(seed int64) *KMeans {
+	return &KMeans{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements core.Grouper.
+func (*KMeans) Name() string { return "K-Means" }
+
+// Group implements core.Grouper.
+func (km *KMeans) Group(s core.Skills, k int) core.Grouping {
+	n := len(s)
+	size := n / k
+	perm := km.rng.Perm(n)
+	g := make(core.Grouping, k)
+	centerSkill := make([]float64, k)
+	for i := 0; i < k; i++ {
+		c := perm[i] // the first k of a permutation are k distinct random participants
+		g[i] = make([]int, 0, size)
+		g[i] = append(g[i], c)
+		centerSkill[i] = s[c]
+	}
+	for _, p := range perm[k:] {
+		sp := s[p]
+		best, bestDist := -1, math.Inf(1)
+		for gi := 0; gi < k; gi++ {
+			if len(g[gi]) >= size {
+				continue
+			}
+			if d := math.Abs(centerSkill[gi] - sp); d < bestDist {
+				best, bestDist = gi, d
+			}
+		}
+		g[best] = append(g[best], p)
+	}
+	return g
+}

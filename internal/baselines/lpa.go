@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"peerlearn/internal/core"
+)
+
+// LPA is the grouping scheme of Esfandiari et al. (KDD 2019, "Optimizing
+// peer learning in online groups with affinities") restricted to its
+// affinity-free core, which is what the TDG model exercises: the
+// skill-sorted participants are dealt over the k groups in serpentine
+// (snake-draft) order — pass 1 left-to-right, pass 2 right-to-left, and
+// so on. Like DyGroups, this places the k most skilled participants in k
+// distinct groups (consistent with the paper's remark that at r = 1 both
+// DyGroups and LPA lift everyone to the top skill in log_{n/k}(n)
+// rounds), but it balances group skill mass instead of maximizing the
+// round gain. The zero value is ready to use.
+type LPA struct{}
+
+// NewLPA returns the LPA policy.
+func NewLPA() LPA { return LPA{} }
+
+// Name implements core.Grouper.
+func (LPA) Name() string { return "LPA" }
+
+// Group implements core.Grouper.
+func (LPA) Group(s core.Skills, k int) core.Grouping {
+	order := core.RankDescending(s)
+	n := len(order)
+	size := n / k
+	g := make(core.Grouping, k)
+	members := make([]int, n)
+	for i := 0; i < k; i++ {
+		g[i] = members[i*size : i*size : (i+1)*size]
+	}
+	t := 0
+	for pass := 0; pass < size; pass++ {
+		if pass%2 == 0 {
+			for i := 0; i < k; i++ {
+				g[i] = append(g[i], order[t])
+				t++
+			}
+		} else {
+			for i := k - 1; i >= 0; i-- {
+				g[i] = append(g[i], order[t])
+				t++
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"fmt"
+
+	"peerlearn/internal/core"
+)
+
+// Percentile is the Percentile-Partitions baseline of Agrawal et al.
+// (EDM 2017) as used by the paper with p = 0.75: participants at or
+// above the p-th skill percentile (the top 1−p fraction) are treated as
+// high-skill seeds and dealt round-robin across the k groups, one or more
+// per group; the remaining participants fill the groups in descending
+// skill order. This preserves the scheme's defining property that every
+// group is seeded with a high-percentile peer.
+type Percentile struct {
+	// P is the percentile split point in (0, 1); the paper sets 0.75.
+	P float64
+}
+
+// NewPercentile returns the Percentile-Partitions policy, validating p.
+func NewPercentile(p float64) (*Percentile, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("baselines: percentile parameter must be in (0,1), got %v", p)
+	}
+	return &Percentile{P: p}, nil
+}
+
+// Name implements core.Grouper.
+func (pp *Percentile) Name() string { return "Percentile-Partitions" }
+
+// Group implements core.Grouper.
+func (pp *Percentile) Group(s core.Skills, k int) core.Grouping {
+	order := core.RankDescending(s)
+	n := len(order)
+	size := n / k
+	// Number of high-skill seeds: the top (1−p) fraction, at least one
+	// per group but never more than the group capacity allows.
+	high := int(float64(n) * (1 - pp.P))
+	if high < k {
+		high = k
+	}
+	if high > n {
+		high = n
+	}
+	// Each group may absorb at most `size` members; cap the per-group
+	// seed count so filling stays feasible.
+	if high > k*size {
+		high = k * size
+	}
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = make([]int, 0, size)
+	}
+	// Deal seeds round-robin: best seed to group 0, next to group 1, ...
+	for t := 0; t < high; t++ {
+		g[t%k] = append(g[t%k], order[t])
+	}
+	// Fill remaining capacity with the rest in descending order.
+	gi := 0
+	for t := high; t < n; t++ {
+		for len(g[gi]) >= size {
+			gi++
+		}
+		g[gi] = append(g[gi], order[t])
+	}
+	return g
+}

@@ -1,0 +1,47 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"peerlearn/internal/core"
+)
+
+// Random is the Random-Assignment baseline: every round it draws a
+// uniformly random partition of the participants into k equi-sized
+// groups.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random-Assignment policy with its own deterministic
+// random stream.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements core.Grouper.
+func (*Random) Name() string { return "Random-Assignment" }
+
+// Group implements core.Grouper: shuffle, then chunk.
+func (r *Random) Group(s core.Skills, k int) core.Grouping {
+	n := len(s)
+	perm := r.rng.Perm(n)
+	size := n / k
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = perm[i*size : (i+1)*size : (i+1)*size]
+	}
+	return g
+}
+
+// GroupSizes implements core.SizedGrouper for the varying-size extension.
+func (r *Random) GroupSizes(s core.Skills, sizes []int) core.Grouping {
+	perm := r.rng.Perm(len(s))
+	g := make(core.Grouping, len(sizes))
+	at := 0
+	for i, sz := range sizes {
+		g[i] = perm[at : at+sz : at+sz]
+		at += sz
+	}
+	return g
+}

@@ -1,0 +1,218 @@
+// Package bruteforce solves the Targeted Dynamic Grouping problem
+// exactly by exhaustive search. It enumerates every partition of the
+// participants into k unlabeled equi-sized groups and searches the full
+// α-round decision tree, so it is only feasible for very small n, k and
+// α. The paper (Section V-B3) uses it to validate Theorem 5: for the
+// Star mode with k = 2, DyGroups-Star attains the brute-force optimum.
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"peerlearn/internal/core"
+)
+
+// MaxParticipants bounds the instance size Solve accepts; the partition
+// count explodes combinatorially beyond this.
+const MaxParticipants = 16
+
+// Enumerate generates every partition of {0..n−1} into k unlabeled
+// equi-sized groups and passes each to fn. Enumeration stops early if fn
+// returns false. The grouping passed to fn is reused between calls; fn
+// must Clone it to retain it. Group order within a partition is
+// canonical: group i's smallest member is smaller than group i+1's.
+func Enumerate(n, k int, fn func(core.Grouping) bool) error {
+	if err := core.CheckGroupCount(n, k); err != nil {
+		return err
+	}
+	size := n / k
+	groups := make(core.Grouping, 0, k)
+	used := make([]bool, n)
+	var rec func() bool
+	rec = func() bool {
+		// Find the lowest unassigned participant; it anchors the next
+		// group, which kills permutations of group labels.
+		anchor := -1
+		for i, u := range used {
+			if !u {
+				anchor = i
+				break
+			}
+		}
+		if anchor == -1 {
+			return fn(groups)
+		}
+		used[anchor] = true
+		grp := make([]int, 1, size)
+		grp[0] = anchor
+		groups = append(groups, grp)
+		ok := chooseCompanions(anchor+1, size-1, n, used, &groups, rec)
+		groups = groups[:len(groups)-1]
+		used[anchor] = false
+		return ok
+	}
+	rec()
+	return nil
+}
+
+// chooseCompanions extends the newest group with `need` members chosen
+// from indices ≥ from, in increasing order, then calls next. It returns
+// false if enumeration should stop.
+func chooseCompanions(from, need, n int, used []bool, groups *core.Grouping, next func() bool) bool {
+	if need == 0 {
+		return next()
+	}
+	gi := len(*groups) - 1
+	for i := from; i <= n-need; i++ {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		(*groups)[gi] = append((*groups)[gi], i)
+		ok := chooseCompanions(i+1, need-1, n, used, groups, next)
+		(*groups)[gi] = (*groups)[gi][:len((*groups)[gi])-1]
+		used[i] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountPartitions returns the number of partitions of n items into k
+// unlabeled equi-sized groups: n! / ((n/k)!^k · k!). It saturates at
+// math.MaxInt64 on overflow.
+func CountPartitions(n, k int) (int64, error) {
+	if err := core.CheckGroupCount(n, k); err != nil {
+		return 0, err
+	}
+	size := n / k
+	// Build the count incrementally: repeatedly anchor the lowest item
+	// and choose size−1 companions from the remainder.
+	count := int64(1)
+	remaining := n
+	for g := 0; g < k; g++ {
+		c := binomial(remaining-1, size-1)
+		if c < 0 || (c > 0 && count > math.MaxInt64/c) {
+			return math.MaxInt64, nil
+		}
+		count *= c
+		remaining -= size
+	}
+	return count, nil
+}
+
+// binomial returns C(n, r), or −1 on overflow.
+func binomial(n, r int) int64 {
+	if r < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	var c int64 = 1
+	for i := 1; i <= r; i++ {
+		hi := int64(n - r + i)
+		if c > math.MaxInt64/hi {
+			return -1
+		}
+		c = c * hi / int64(i)
+	}
+	return c
+}
+
+// Plan is an exact solution of a TDG instance: the optimal grouping
+// sequence and its objective value.
+type Plan struct {
+	// TotalGain is the maximum achievable Σ_t LG(G_t).
+	TotalGain float64
+	// Groupings is an optimal sequence G1..Gα.
+	Groupings []core.Grouping
+	// Final is the skill vector after executing the plan.
+	Final core.Skills
+}
+
+// Solve computes the exact TDG optimum by searching the full α-round
+// tree of partitions. It rejects instances with more than
+// MaxParticipants participants. Config history flags are ignored.
+func Solve(cfg core.Config, initial core.Skills) (*Plan, error) {
+	if err := core.ValidateSkills(initial); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(len(initial)); err != nil {
+		return nil, err
+	}
+	if len(initial) > MaxParticipants {
+		return nil, fmt.Errorf("bruteforce: n=%d exceeds the %d-participant limit", len(initial), MaxParticipants)
+	}
+	best := &Plan{TotalGain: math.Inf(-1)}
+	prefix := make([]core.Grouping, 0, cfg.Rounds)
+	var rec func(s core.Skills, round int, acc float64) error
+	rec = func(s core.Skills, round int, acc float64) error {
+		if round == cfg.Rounds {
+			if acc > best.TotalGain {
+				best.TotalGain = acc
+				best.Groupings = clonePlan(prefix)
+				best.Final = s.Clone()
+			}
+			return nil
+		}
+		return Enumerate(len(s), cfg.K, func(g core.Grouping) bool {
+			next, gain, err := core.ApplyRound(s, g, cfg.Mode, cfg.Gain)
+			if err != nil {
+				// Cannot happen with a well-formed enumeration; surface
+				// loudly in tests rather than silently skipping.
+				panic(fmt.Sprintf("bruteforce: enumeration produced invalid grouping: %v", err))
+			}
+			prefix = append(prefix, g.Clone())
+			rec(next, round+1, acc+gain)
+			prefix = prefix[:len(prefix)-1]
+			return true
+		})
+	}
+	if cfg.Rounds == 0 {
+		best.TotalGain = 0
+		best.Final = initial.Clone()
+		return best, nil
+	}
+	if err := rec(initial, 0, 0); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// BestSingleRound returns the maximum aggregated learning gain achievable
+// in one round, together with a grouping achieving it. It is the exact
+// round-local optimum against which Theorems 1 and 4 (optimality of the
+// DyGroups local policies) are tested.
+func BestSingleRound(s core.Skills, k int, mode core.Mode, gain core.Gain) (float64, core.Grouping, error) {
+	if err := core.ValidateSkills(s); err != nil {
+		return 0, nil, err
+	}
+	if len(s) > MaxParticipants {
+		return 0, nil, fmt.Errorf("bruteforce: n=%d exceeds the %d-participant limit", len(s), MaxParticipants)
+	}
+	bestGain := math.Inf(-1)
+	var bestG core.Grouping
+	err := Enumerate(len(s), k, func(g core.Grouping) bool {
+		lg := core.AggregateGain(s, g, mode, gain)
+		if lg > bestGain {
+			bestGain = lg
+			bestG = g.Clone()
+		}
+		return true
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return bestGain, bestG, nil
+}
+
+func clonePlan(gs []core.Grouping) []core.Grouping {
+	out := make([]core.Grouping, len(gs))
+	for i, g := range gs {
+		out[i] = g.Clone()
+	}
+	return out
+}

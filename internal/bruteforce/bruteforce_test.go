@@ -1,0 +1,244 @@
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+func randomSkills(rng *rand.Rand, n int) core.Skills {
+	s := make(core.Skills, n)
+	for i := range s {
+		s[i] = rng.Float64() + 0.01
+	}
+	return s
+}
+
+func TestCountPartitionsKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{2, 1, 1},
+		{4, 2, 3},
+		{6, 2, 10},
+		{6, 3, 15},
+		{8, 2, 35},
+		{8, 4, 105},
+		{9, 3, 280},
+		{4, 4, 1},
+		{6, 1, 1},
+	}
+	for _, tc := range cases {
+		got, err := CountPartitions(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("CountPartitions(%d,%d): %v", tc.n, tc.k, err)
+		}
+		if got != tc.want {
+			t.Errorf("CountPartitions(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestCountPartitionsErrors(t *testing.T) {
+	if _, err := CountPartitions(5, 2); err == nil {
+		t.Error("indivisible instance accepted")
+	}
+	if _, err := CountPartitions(0, 1); err == nil {
+		t.Error("empty instance accepted")
+	}
+}
+
+func TestEnumerateMatchesCountAndIsValid(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{4, 2}, {6, 2}, {6, 3}, {8, 2}, {8, 4}, {9, 3}} {
+		want, err := CountPartitions(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		var count int64
+		err = Enumerate(tc.n, tc.k, func(g core.Grouping) bool {
+			count++
+			if err := g.ValidateEqui(tc.n, tc.k); err != nil {
+				t.Fatalf("n=%d k=%d: invalid partition %v: %v", tc.n, tc.k, g, err)
+			}
+			key := fmt.Sprint(g)
+			if seen[key] {
+				t.Fatalf("n=%d k=%d: duplicate partition %v", tc.n, tc.k, g)
+			}
+			seen[key] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != want {
+			t.Errorf("n=%d k=%d: enumerated %d partitions, want %d", tc.n, tc.k, count, want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	var count int
+	err := Enumerate(8, 2, func(core.Grouping) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("enumeration continued after stop: %d callbacks", count)
+	}
+}
+
+func TestEnumerateRejectsBadInstance(t *testing.T) {
+	if err := Enumerate(5, 2, func(core.Grouping) bool { return true }); err == nil {
+		t.Error("indivisible instance accepted")
+	}
+}
+
+func TestSolveRejectsOversizeAndInvalid(t *testing.T) {
+	cfg := core.Config{K: 2, Rounds: 1, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	big := make(core.Skills, MaxParticipants+2)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	if _, err := Solve(cfg, big); err == nil {
+		t.Error("oversize instance accepted")
+	}
+	if _, err := Solve(cfg, core.Skills{1, 0, 2, 3}); err == nil {
+		t.Error("invalid skills accepted")
+	}
+	badCfg := cfg
+	badCfg.K = 3
+	if _, err := Solve(badCfg, core.Skills{1, 2, 3, 4}); err == nil {
+		t.Error("indivisible config accepted")
+	}
+}
+
+func TestSolveZeroRounds(t *testing.T) {
+	cfg := core.Config{K: 2, Rounds: 0, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	plan, err := Solve(cfg, core.Skills{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalGain != 0 || len(plan.Groupings) != 0 {
+		t.Fatalf("zero-round plan: %+v", plan)
+	}
+}
+
+func TestSolveSingleRoundMatchesBestSingleRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := []int{4, 6}[rng.Intn(2)]
+		s := randomSkills(rng, n)
+		mode := core.Star
+		if trial%2 == 1 {
+			mode = core.Clique
+		}
+		gain := core.MustLinear(0.5)
+		cfg := core.Config{K: 2, Rounds: 1, Mode: mode, Gain: gain}
+		plan, err := Solve(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestG, err := BestSingleRound(s, 2, mode, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plan.TotalGain-best) > 1e-9 {
+			t.Fatalf("trial %d: Solve %v != BestSingleRound %v", trial, plan.TotalGain, best)
+		}
+		if err := bestG.ValidateEqui(n, 2); err != nil {
+			t.Fatalf("trial %d: best grouping invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveDominatesAnyPolicy(t *testing.T) {
+	// The exact optimum must upper-bound every grouping policy,
+	// including DyGroups, in both modes.
+	rng := rand.New(rand.NewSource(5))
+	greedy := greedyBlocks{}
+	for trial := 0; trial < 20; trial++ {
+		n := 6
+		alpha := 1 + rng.Intn(3)
+		s := randomSkills(rng, n)
+		for _, mode := range []core.Mode{core.Star, core.Clique} {
+			cfg := core.Config{K: 2, Rounds: alpha, Mode: mode, Gain: core.MustLinear(0.5)}
+			plan, err := Solve(cfg, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(cfg, s, greedy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalGain > plan.TotalGain+1e-9 {
+				t.Fatalf("trial %d (%v): policy beat the exact optimum: %v > %v", trial, mode, res.TotalGain, plan.TotalGain)
+			}
+		}
+	}
+}
+
+// greedyBlocks is a simple deterministic policy used as the comparator
+// in TestSolveDominatesAnyPolicy.
+type greedyBlocks struct{}
+
+func (greedyBlocks) Name() string { return "greedy-blocks" }
+func (greedyBlocks) Group(s core.Skills, k int) core.Grouping {
+	order := core.RankDescending(s)
+	size := len(s) / k
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = order[i*size : (i+1)*size]
+	}
+	return g
+}
+
+func TestSolvePlanIsExecutable(t *testing.T) {
+	// Re-executing the returned plan must reproduce the claimed total
+	// gain and final skills.
+	rng := rand.New(rand.NewSource(7))
+	s := randomSkills(rng, 6)
+	cfg := core.Config{K: 3, Rounds: 2, Mode: core.Clique, Gain: core.MustLinear(0.4)}
+	plan, err := Solve(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groupings) != 2 {
+		t.Fatalf("plan has %d groupings, want 2", len(plan.Groupings))
+	}
+	cur := s.Clone()
+	var total float64
+	for _, g := range plan.Groupings {
+		next, gain, err := core.ApplyRound(cur, g, cfg.Mode, cfg.Gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += gain
+		cur = next
+	}
+	if math.Abs(total-plan.TotalGain) > 1e-9 {
+		t.Fatalf("replayed gain %v != plan gain %v", total, plan.TotalGain)
+	}
+	for i := range cur {
+		if math.Abs(cur[i]-plan.Final[i]) > 1e-9 {
+			t.Fatalf("replayed final skills differ at %d: %v vs %v", i, cur[i], plan.Final[i])
+		}
+	}
+}
+
+func TestBestSingleRoundLimit(t *testing.T) {
+	big := make(core.Skills, MaxParticipants+2)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	if _, _, err := BestSingleRound(big, 2, core.Star, core.MustLinear(0.5)); err == nil {
+		t.Error("oversize instance accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSkills(n int) Skills {
+	rng := rand.New(rand.NewSource(1))
+	s := make(Skills, n)
+	for i := range s {
+		s[i] = rng.Float64()*3 + 0.01
+	}
+	return s
+}
+
+func chunkGrouping(n, k int) Grouping {
+	size := n / k
+	g := make(Grouping, k)
+	for i := 0; i < k; i++ {
+		grp := make([]int, size)
+		for j := range grp {
+			grp[j] = i*size + j
+		}
+		g[i] = grp
+	}
+	return g
+}
+
+func benchApplyRound(b *testing.B, n, k int, mode Mode) {
+	s := benchSkills(n)
+	g := chunkGrouping(n, k)
+	gain := MustLinear(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ApplyRound(s, g, mode, gain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyRoundStar10k(b *testing.B)    { benchApplyRound(b, 10000, 5, Star) }
+func BenchmarkApplyRoundClique10k(b *testing.B)  { benchApplyRound(b, 10000, 5, Clique) }
+func BenchmarkApplyRoundStar100k(b *testing.B)   { benchApplyRound(b, 100000, 5, Star) }
+func BenchmarkApplyRoundClique100k(b *testing.B) { benchApplyRound(b, 100000, 5, Clique) }
+
+// BenchmarkCliqueGeneralPath measures the O(t²) fallback used by
+// non-linear gains, for comparison with the prefix-sum path above.
+func BenchmarkCliqueGeneralPath(b *testing.B) {
+	s := benchSkills(2000)
+	g := chunkGrouping(2000, 5)
+	gain, err := NewSqrt(0.5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ApplyRound(s, g, Clique, gain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankDescending100k(b *testing.B) {
+	s := benchSkills(100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RankDescending(s)
+	}
+}
+
+func BenchmarkAggregateGainStar10k(b *testing.B) {
+	s := benchSkills(10000)
+	g := chunkGrouping(10000, 5)
+	gain := MustLinear(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AggregateGain(s, g, Star, gain)
+	}
+}

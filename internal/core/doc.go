@@ -1,0 +1,28 @@
+// Package core implements the model of the Targeted Dynamic Grouping
+// (TDG) problem from "Peer Learning Through Targeted Dynamic Groups
+// Formation" (Wei, Koutis, Basu Roy — ICDE 2021).
+//
+// The model consists of n participants, each carrying a positive skill
+// value. Learning proceeds in rounds. In every round the participants are
+// partitioned into k non-overlapping equi-sized groups and interact
+// pairwise inside their group. The outcome of a 2-person interaction
+// between skills si > sj is that sj rises by f(si−sj) while si is
+// unchanged; f is the learning-gain function, linear f(Δ)=r·Δ in the
+// paper. Two interaction modes aggregate the pairwise interactions into a
+// group outcome:
+//
+//   - Star: every member learns only from the group's most skilled member
+//     (eq. 1 of the paper).
+//   - Clique: every member learns from all higher-skilled members of the
+//     group, and its total gain is the average of those pairwise gains
+//     (eq. 2), which preserves the within-group skill order.
+//
+// The aggregated learning gain of a grouping is the sum of its group
+// gains (eq. 3), and the TDG objective (Problem 1) is to choose a
+// sequence of groupings G1..Gα maximizing the sum of per-round gains.
+//
+// The package provides the skill-update rules for both modes — including
+// the O(n) prefix-sum clique update of Theorem 3 — group-gain evaluation,
+// grouping validation, and a round simulator (Algorithm 1 of the paper)
+// that drives any Grouper policy for α rounds while recording history.
+package core

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeSkills turns fuzz bytes into a valid positive skill vector of
+// length ≥ 2, or nil if the input is too short.
+func decodeSkills(data []byte) Skills {
+	if len(data) < 2 {
+		return nil
+	}
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	s := make(Skills, len(data))
+	for i, b := range data {
+		s[i] = float64(b)/32.0 + 0.01
+	}
+	return s
+}
+
+// FuzzApplyRoundInvariants feeds arbitrary byte-derived skill vectors
+// and group counts through one round of both modes and checks the
+// model's accounting invariants hold for every input the validators
+// accept.
+func FuzzApplyRoundInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(2), uint8(1))
+	f.Add([]byte{9, 9, 9, 9}, uint8(2), uint8(0))
+	f.Add([]byte{0, 255, 17, 42, 42, 42, 100, 3}, uint8(4), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, modeRaw uint8) {
+		s := decodeSkills(data)
+		if s == nil {
+			return
+		}
+		n := len(s)
+		k := int(kRaw)%n + 1
+		if n%k != 0 {
+			return
+		}
+		mode := Star
+		if modeRaw%2 == 1 {
+			mode = Clique
+		}
+		// Deterministic grouping: contiguous chunks.
+		size := n / k
+		g := make(Grouping, k)
+		for i := 0; i < k; i++ {
+			grp := make([]int, size)
+			for j := range grp {
+				grp[j] = i*size + j
+			}
+			g[i] = grp
+		}
+		gain := MustLinear(0.5)
+		next, realized, err := ApplyRound(s, g, mode, gain)
+		if err != nil {
+			t.Fatalf("valid round rejected: %v", err)
+		}
+		// Invariant 1: gain accounting.
+		if diff := next.Sum() - s.Sum(); math.Abs(realized-diff) > 1e-6*math.Max(1, math.Abs(diff)) {
+			t.Fatalf("gain %v != skill increase %v", realized, diff)
+		}
+		// Invariant 2: non-negative gain, no skill ever decreases.
+		if realized < -1e-9 {
+			t.Fatalf("negative round gain %v", realized)
+		}
+		for i := range s {
+			if next[i] < s[i]-1e-9 {
+				t.Fatalf("skill %d decreased: %v -> %v", i, s[i], next[i])
+			}
+		}
+		// Invariant 3: nobody exceeds the initial maximum.
+		if next.Max() > s.Max()+1e-9 {
+			t.Fatalf("max skill rose: %v -> %v", s.Max(), next.Max())
+		}
+		// Invariant 4: AggregateGain agrees with the realized gain.
+		if lg := AggregateGain(s, g, mode, gain); math.Abs(lg-realized) > 1e-6*math.Max(1, realized) {
+			t.Fatalf("AggregateGain %v != realized %v", lg, realized)
+		}
+	})
+}
+
+// FuzzGroupingValidate checks the validator never panics and that a
+// grouping it accepts is truly a partition.
+func FuzzGroupingValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(2), uint8(4))
+	f.Add([]byte{3, 3, 1, 0}, uint8(2), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, nRaw uint8) {
+		n := int(nRaw)%16 + 1
+		k := int(kRaw)%4 + 1
+		if len(data) == 0 {
+			return
+		}
+		g := make(Grouping, k)
+		for i, b := range data {
+			g[i%k] = append(g[i%k], int(b)%(n+2)-1) // may be out of range on purpose
+		}
+		err := g.Validate(n)
+		if err != nil {
+			return
+		}
+		// Accepted: must be a true partition.
+		seen := map[int]bool{}
+		count := 0
+		for _, grp := range g {
+			for _, p := range grp {
+				if p < 0 || p >= n || seen[p] {
+					t.Fatalf("validator accepted a non-partition: %v (n=%d)", g, n)
+				}
+				seen[p] = true
+				count++
+			}
+		}
+		if count != n {
+			t.Fatalf("validator accepted incomplete cover: %v (n=%d)", g, n)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gain is a learning-gain function f: it maps the positive skill
+// difference Δ = si − sj between a more skilled participant i and a less
+// skilled participant j to the skill increase of j after they interact.
+// The paper works with the linear family f(Δ) = r·Δ; Section VII suggests
+// concave alternatives, which this package also provides.
+//
+// Implementations must satisfy f(0) = 0 and be non-decreasing with
+// f(Δ) ≤ Δ for Δ ≥ 0, so that an interaction can never push the learner
+// above the teacher (order preservation).
+type Gain interface {
+	// Apply returns the learning gain for a non-negative skill
+	// difference. Callers pass only Δ ≥ 0; the gain of a learner that is
+	// already more skilled than its peer is zero by the model and is
+	// handled by the update rules, not by Apply.
+	Apply(delta float64) float64
+	// Name identifies the gain function in reports and tables.
+	Name() string
+}
+
+// Linear is the paper's learning-gain function f(Δ) = R·Δ with learning
+// rate R ∈ (0, 1]. R = 1 is the degenerate case in which every learner
+// jumps straight to the teacher's skill (Section II, footnote 5).
+type Linear struct {
+	R float64
+}
+
+// NewLinear returns the linear gain f(Δ) = r·Δ, validating r ∈ (0, 1].
+func NewLinear(r float64) (Linear, error) {
+	if math.IsNaN(r) || r <= 0 || r > 1 {
+		return Linear{}, fmt.Errorf("core: learning rate must be in (0,1], got %v", r)
+	}
+	return Linear{R: r}, nil
+}
+
+// MustLinear is NewLinear that panics on an invalid rate; intended for
+// literals in tests and examples.
+func MustLinear(r float64) Linear {
+	g, err := NewLinear(r)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Apply implements Gain.
+func (g Linear) Apply(delta float64) float64 { return g.R * delta }
+
+// Name implements Gain.
+func (g Linear) Name() string { return fmt.Sprintf("linear(r=%g)", g.R) }
+
+// Sqrt is a concave learning-gain function f(Δ) = c·min(Δ, √Δ·√Δmax)
+// scaled so that f(Δ) ≤ Δ holds on [0, Δmax]. Concretely
+// f(Δ) = c·√(Δ·Δmax) capped at Δ, with c ∈ (0,1]. It models diminishing
+// returns: small knowledge gaps close relatively faster than large ones.
+// Section VII of the paper raises concave gains as future work and notes
+// DyGroups is no longer provably optimal for them.
+type Sqrt struct {
+	C    float64 // scale in (0, 1]
+	DMax float64 // largest skill difference expected; must be positive
+}
+
+// NewSqrt returns a concave √-gain, validating its parameters.
+func NewSqrt(c, dmax float64) (Sqrt, error) {
+	if math.IsNaN(c) || c <= 0 || c > 1 {
+		return Sqrt{}, fmt.Errorf("core: sqrt gain scale must be in (0,1], got %v", c)
+	}
+	if math.IsNaN(dmax) || dmax <= 0 {
+		return Sqrt{}, fmt.Errorf("core: sqrt gain dmax must be positive, got %v", dmax)
+	}
+	return Sqrt{C: c, DMax: dmax}, nil
+}
+
+// Apply implements Gain.
+func (g Sqrt) Apply(delta float64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	v := g.C * math.Sqrt(delta*g.DMax)
+	if v > delta {
+		return delta
+	}
+	return v
+}
+
+// Name implements Gain.
+func (g Sqrt) Name() string { return fmt.Sprintf("sqrt(c=%g,dmax=%g)", g.C, g.DMax) }
+
+// Log is a concave learning-gain function f(Δ) = c·Δmax·ln(1+Δ/Δmax),
+// capped at Δ. Like Sqrt it satisfies f(0) = 0, monotonicity, and
+// f(Δ) ≤ Δ for c ≤ 1.
+type Log struct {
+	C    float64 // scale in (0, 1]
+	DMax float64 // difference scale; must be positive
+}
+
+// NewLog returns a concave log-gain, validating its parameters.
+func NewLog(c, dmax float64) (Log, error) {
+	if math.IsNaN(c) || c <= 0 || c > 1 {
+		return Log{}, fmt.Errorf("core: log gain scale must be in (0,1], got %v", c)
+	}
+	if math.IsNaN(dmax) || dmax <= 0 {
+		return Log{}, fmt.Errorf("core: log gain dmax must be positive, got %v", dmax)
+	}
+	return Log{C: c, DMax: dmax}, nil
+}
+
+// Apply implements Gain.
+func (g Log) Apply(delta float64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	v := g.C * g.DMax * math.Log1p(delta/g.DMax)
+	if v > delta {
+		return delta
+	}
+	return v
+}
+
+// Name implements Gain.
+func (g Log) Name() string { return fmt.Sprintf("log(c=%g,dmax=%g)", g.C, g.DMax) }
+
+// linearRate reports whether g is the linear gain family and, if so, its
+// rate. The clique update uses this to switch to the O(n) prefix-sum path
+// of Theorem 3, which is only valid for linear gains.
+func linearRate(g Gain) (float64, bool) {
+	l, ok := g.(Linear)
+	if !ok {
+		return 0, false
+	}
+	return l.R, true
+}

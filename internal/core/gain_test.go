@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinearValidation(t *testing.T) {
+	for _, r := range []float64{-1, 0, 1.0001, 2, math.NaN()} {
+		if _, err := NewLinear(r); err == nil {
+			t.Errorf("NewLinear(%v) accepted an invalid rate", r)
+		}
+	}
+	for _, r := range []float64{0.0001, 0.5, 1} {
+		g, err := NewLinear(r)
+		if err != nil {
+			t.Errorf("NewLinear(%v) rejected a valid rate: %v", r, err)
+		}
+		if g.R != r {
+			t.Errorf("NewLinear(%v).R = %v", r, g.R)
+		}
+	}
+}
+
+func TestMustLinearPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLinear(0) did not panic")
+		}
+	}()
+	MustLinear(0)
+}
+
+func TestLinearApply(t *testing.T) {
+	g := MustLinear(0.5)
+	// The paper's 2-person example: skills 0.3 and 0.9, r = 0.5 — the
+	// weaker member gains 0.5·0.6 = 0.3.
+	if got := g.Apply(0.6); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("Linear(0.5).Apply(0.6) = %v, want 0.3", got)
+	}
+	if g.Apply(0) != 0 {
+		t.Fatal("f(0) must be 0")
+	}
+}
+
+func TestConcaveGainValidation(t *testing.T) {
+	if _, err := NewSqrt(0, 1); err == nil {
+		t.Error("NewSqrt accepted zero scale")
+	}
+	if _, err := NewSqrt(1.5, 1); err == nil {
+		t.Error("NewSqrt accepted scale > 1")
+	}
+	if _, err := NewSqrt(0.5, 0); err == nil {
+		t.Error("NewSqrt accepted zero dmax")
+	}
+	if _, err := NewLog(0, 1); err == nil {
+		t.Error("NewLog accepted zero scale")
+	}
+	if _, err := NewLog(0.5, -1); err == nil {
+		t.Error("NewLog accepted negative dmax")
+	}
+	if _, err := NewSqrt(1, 2); err != nil {
+		t.Errorf("NewSqrt(1,2) rejected valid params: %v", err)
+	}
+	if _, err := NewLog(1, 2); err != nil {
+		t.Errorf("NewLog(1,2) rejected valid params: %v", err)
+	}
+}
+
+// gainContract checks the Gain interface contract: f(0) = 0,
+// 0 ≤ f(Δ) ≤ Δ, and monotonicity in Δ.
+func gainContract(t *testing.T, g Gain) {
+	t.Helper()
+	if got := g.Apply(0); got != 0 {
+		t.Fatalf("%s: f(0) = %v, want 0", g.Name(), got)
+	}
+	f := func(a, b float64) bool {
+		d1 := math.Abs(a)
+		d2 := d1 + math.Abs(b)
+		if math.IsNaN(d1) || math.IsInf(d2, 0) {
+			return true
+		}
+		v1, v2 := g.Apply(d1), g.Apply(d2)
+		return v1 >= 0 && v1 <= d1+1e-12 && v2+1e-12 >= v1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+}
+
+func TestGainContracts(t *testing.T) {
+	sqrtG, err := NewSqrt(0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logG, err := NewLog(0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []Gain{MustLinear(0.25), MustLinear(1), sqrtG, logG} {
+		t.Run(g.Name(), func(t *testing.T) { gainContract(t, g) })
+	}
+}
+
+func TestConcaveGainsAreConcaveShaped(t *testing.T) {
+	// Relative gain f(Δ)/Δ should not increase with Δ for the concave
+	// families — small gaps close relatively faster.
+	sqrtG, _ := NewSqrt(0.5, 1)
+	logG, _ := NewLog(0.8, 1)
+	for _, g := range []Gain{sqrtG, logG} {
+		prev := math.Inf(1)
+		for _, d := range []float64{0.01, 0.1, 0.5, 1, 2, 5} {
+			ratio := g.Apply(d) / d
+			if ratio > prev+1e-12 {
+				t.Errorf("%s: relative gain increased at Δ=%v (%v > %v)", g.Name(), d, ratio, prev)
+			}
+			prev = ratio
+		}
+	}
+}
+
+func TestLinearRateDetection(t *testing.T) {
+	if r, ok := linearRate(MustLinear(0.3)); !ok || r != 0.3 {
+		t.Fatalf("linearRate(Linear{0.3}) = %v,%v", r, ok)
+	}
+	sqrtG, _ := NewSqrt(0.5, 1)
+	if _, ok := linearRate(sqrtG); ok {
+		t.Fatal("linearRate misidentified Sqrt as linear")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Grouping is a partition of the participants {0..n−1} into groups; each
+// inner slice holds the participant indices of one group. In the TDG
+// problem all groups have the same size n/k, but the update rules and
+// gain evaluation also accept unequal sizes, enabling the varying-size
+// extension the paper's Section VII mentions.
+type Grouping [][]int
+
+// ErrEmptyGrouping reports a grouping with no groups.
+var ErrEmptyGrouping = errors.New("core: grouping has no groups")
+
+// Validate checks that g is a partition of {0..n−1}: every index appears
+// exactly once, no group is empty, and no index is out of range. It does
+// not require equal group sizes; use ValidateEqui for the strict TDG
+// shape.
+func (g Grouping) Validate(n int) error {
+	if len(g) == 0 {
+		return ErrEmptyGrouping
+	}
+	seen := make([]bool, n)
+	total := 0
+	for gi, grp := range g {
+		if len(grp) == 0 {
+			return fmt.Errorf("core: group %d is empty", gi)
+		}
+		for _, p := range grp {
+			if p < 0 || p >= n {
+				return fmt.Errorf("core: group %d contains out-of-range participant %d (n=%d)", gi, p, n)
+			}
+			if seen[p] {
+				return fmt.Errorf("core: participant %d appears in more than one group", p)
+			}
+			seen[p] = true
+			total++
+		}
+	}
+	if total != n {
+		missing := make([]int, 0, n-total)
+		for p, ok := range seen {
+			if !ok {
+				missing = append(missing, p)
+				if len(missing) == 4 {
+					break
+				}
+			}
+		}
+		return fmt.Errorf("core: grouping covers %d of %d participants (first missing: %v)", total, n, missing)
+	}
+	return nil
+}
+
+// ValidateEqui checks Validate plus the TDG requirements that there are
+// exactly k groups of identical size n/k.
+func (g Grouping) ValidateEqui(n, k int) error {
+	if err := g.Validate(n); err != nil {
+		return err
+	}
+	if len(g) != k {
+		return fmt.Errorf("core: grouping has %d groups, want %d", len(g), k)
+	}
+	size := n / k
+	if n%k != 0 {
+		return fmt.Errorf("core: %d participants cannot form %d equi-sized groups", n, k)
+	}
+	for gi, grp := range g {
+		if len(grp) != size {
+			return fmt.Errorf("core: group %d has size %d, want %d", gi, len(grp), size)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g Grouping) Clone() Grouping {
+	c := make(Grouping, len(g))
+	for i, grp := range g {
+		c[i] = append([]int(nil), grp...)
+	}
+	return c
+}
+
+// GroupOf returns, for each participant index, the index of the group
+// containing it (or −1 if absent). It is a convenience for analysis and
+// testing.
+func (g Grouping) GroupOf(n int) []int {
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for gi, grp := range g {
+		for _, p := range grp {
+			if p >= 0 && p < n {
+				owner[p] = gi
+			}
+		}
+	}
+	return owner
+}
+
+// CheckGroupCount validates the (n, k) pair of the TDG problem: k groups
+// of size n/k with at least one member each.
+func CheckGroupCount(n, k int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: need at least one participant, got n=%d", n)
+	}
+	if k <= 0 {
+		return fmt.Errorf("core: need at least one group, got k=%d", k)
+	}
+	if k > n {
+		return fmt.Errorf("core: cannot form k=%d non-empty groups from n=%d participants", k, n)
+	}
+	if n%k != 0 {
+		return fmt.Errorf("core: n=%d is not divisible by k=%d (TDG requires equi-sized groups)", n, k)
+	}
+	return nil
+}

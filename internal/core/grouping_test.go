@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupingValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       Grouping
+		n       int
+		wantErr string // substring; empty means valid
+	}{
+		{"valid partition", Grouping{{0, 2}, {1, 3}}, 4, ""},
+		{"valid unequal sizes", Grouping{{0}, {1, 2, 3}}, 4, ""},
+		{"no groups", Grouping{}, 4, "no groups"},
+		{"empty group", Grouping{{0, 1, 2, 3}, {}}, 4, "empty"},
+		{"out of range high", Grouping{{0, 4}, {1, 2, 3}}, 4, "out-of-range"},
+		{"out of range negative", Grouping{{0, -1}, {1, 2, 3}}, 4, "out-of-range"},
+		{"duplicate", Grouping{{0, 1}, {1, 2}}, 4, "more than one group"},
+		{"missing participant", Grouping{{0, 1}, {2}}, 4, "covers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.g.Validate(tc.n)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGroupingValidateEqui(t *testing.T) {
+	good := Grouping{{0, 2}, {1, 3}}
+	if err := good.ValidateEqui(4, 2); err != nil {
+		t.Fatalf("valid equi grouping rejected: %v", err)
+	}
+	if err := good.ValidateEqui(4, 4); err == nil {
+		t.Fatal("wrong group count accepted")
+	}
+	unequal := Grouping{{0}, {1, 2, 3}}
+	if err := unequal.ValidateEqui(4, 2); err == nil {
+		t.Fatal("unequal sizes accepted")
+	}
+	if err := (Grouping{{0, 1, 2}, {3, 4}}).ValidateEqui(5, 2); err == nil {
+		t.Fatal("indivisible n accepted")
+	}
+}
+
+func TestGroupingClone(t *testing.T) {
+	g := Grouping{{0, 1}, {2, 3}}
+	c := g.Clone()
+	c[0][0] = 99
+	c[1] = append(c[1], 4)
+	if g[0][0] != 0 || len(g[1]) != 2 {
+		t.Fatalf("Clone aliases the original: %v", g)
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	g := Grouping{{2, 0}, {1, 3}}
+	owner := g.GroupOf(5)
+	want := []int{0, 1, 0, 1, -1}
+	for i := range want {
+		if owner[i] != want[i] {
+			t.Fatalf("GroupOf = %v, want %v", owner, want)
+		}
+	}
+}
+
+func TestCheckGroupCount(t *testing.T) {
+	cases := []struct {
+		n, k    int
+		wantErr bool
+	}{
+		{9, 3, false},
+		{4, 2, false},
+		{4, 4, false}, // size-1 groups are legal, just gainless
+		{0, 1, true},
+		{-3, 1, true},
+		{4, 0, true},
+		{4, -2, true},
+		{3, 4, true},
+		{10, 3, true},
+	}
+	for _, tc := range cases {
+		err := CheckGroupCount(tc.n, tc.k)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("CheckGroupCount(%d,%d) = %v, wantErr %v", tc.n, tc.k, err, tc.wantErr)
+		}
+	}
+}

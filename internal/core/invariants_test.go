@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tdgInstance is a random valid TDG instance for property-based testing;
+// it implements quick.Generator so testing/quick can synthesize
+// arbitrary instances directly.
+type tdgInstance struct {
+	Skills Skills
+	K      int
+	Rounds int
+	Mode   Mode
+	Rate   float64
+}
+
+// Generate implements quick.Generator.
+func (tdgInstance) Generate(rng *rand.Rand, size int) reflect.Value {
+	k := 1 + rng.Intn(5)
+	groupSize := 1 + rng.Intn(5)
+	n := k * groupSize
+	s := make(Skills, n)
+	for i := range s {
+		s[i] = rng.Float64()*4 + 0.01
+	}
+	inst := tdgInstance{
+		Skills: s,
+		K:      k,
+		Rounds: rng.Intn(5),
+		Mode:   Mode(rng.Intn(2)),
+		Rate:   0.05 + 0.95*rng.Float64(),
+	}
+	return reflect.ValueOf(inst)
+}
+
+// blockGrouper is the deterministic policy the instance properties run
+// under (descending blocks — a valid, non-trivial grouping every round).
+type blockGrouper struct{}
+
+func (blockGrouper) Name() string { return "blocks" }
+func (blockGrouper) Group(s Skills, k int) Grouping {
+	order := RankDescending(s)
+	size := len(s) / k
+	g := make(Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = order[i*size : (i+1)*size]
+	}
+	return g
+}
+
+// TestQuickInstanceInvariants drives randomly generated instances
+// through the simulator and checks the model's global invariants.
+func TestQuickInstanceInvariants(t *testing.T) {
+	property := func(inst tdgInstance) bool {
+		cfg := Config{K: inst.K, Rounds: inst.Rounds, Mode: inst.Mode, Gain: MustLinear(inst.Rate), RecordSkills: true}
+		res, err := Run(cfg, inst.Skills, blockGrouper{})
+		if err != nil {
+			t.Logf("instance rejected: %v", err)
+			return false
+		}
+		// 1. Accounting: total gain equals the skill-mass increase.
+		if math.Abs(res.TotalGain-(res.Final.Sum()-res.Initial.Sum())) > 1e-6 {
+			return false
+		}
+		// 2. Per-round gains are non-negative and sum to the total.
+		var sum float64
+		for _, rd := range res.Rounds {
+			if rd.Gain < -1e-9 {
+				return false
+			}
+			sum += rd.Gain
+		}
+		if math.Abs(sum-res.TotalGain) > 1e-6 {
+			return false
+		}
+		// 3. Skills never decrease and never exceed the initial max.
+		max := res.Initial.Max()
+		prev := res.Initial
+		for _, rd := range res.Rounds {
+			for i := range rd.Skills {
+				if rd.Skills[i] < prev[i]-1e-9 || rd.Skills[i] > max+1e-9 {
+					return false
+				}
+			}
+			prev = rd.Skills
+		}
+		// 4. The input is never mutated.
+		for i := range inst.Skills {
+			if inst.Skills[i] != res.Initial[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGainMonotoneInRate: for a fixed instance and policy, a higher
+// learning rate never yields less total gain in Star mode (each round's
+// per-learner gain scales with r and the availability of strong teachers
+// only improves).
+func TestQuickGainMonotoneInRate(t *testing.T) {
+	property := func(inst tdgInstance) bool {
+		if inst.Rounds == 0 {
+			return true
+		}
+		lo := inst.Rate * 0.5
+		cfgLo := Config{K: inst.K, Rounds: inst.Rounds, Mode: Star, Gain: MustLinear(lo)}
+		cfgHi := Config{K: inst.K, Rounds: inst.Rounds, Mode: Star, Gain: MustLinear(inst.Rate)}
+		resLo, err := Run(cfgLo, inst.Skills, blockGrouper{})
+		if err != nil {
+			return false
+		}
+		resHi, err := Run(cfgHi, inst.Skills, blockGrouper{})
+		if err != nil {
+			return false
+		}
+		return resHi.TotalGain >= resLo.TotalGain-1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGainScalesWithSkills: scaling every skill by c > 0 scales the
+// total gain by c (the linear model is homogeneous of degree 1).
+func TestQuickGainScalesWithSkills(t *testing.T) {
+	property := func(inst tdgInstance, scaleRaw uint8) bool {
+		c := 0.5 + float64(scaleRaw%40)/10 // scale in [0.5, 4.4]
+		scaled := make(Skills, len(inst.Skills))
+		for i, v := range inst.Skills {
+			scaled[i] = v * c
+		}
+		cfg := Config{K: inst.K, Rounds: inst.Rounds, Mode: inst.Mode, Gain: MustLinear(inst.Rate)}
+		a, err := Run(cfg, inst.Skills, blockGrouper{})
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg, scaled, blockGrouper{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(b.TotalGain-c*a.TotalGain) <= 1e-6*math.Max(1, c*a.TotalGain)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGainShiftInvariant: adding a constant to every skill leaves
+// the total gain unchanged (gains depend only on differences).
+func TestQuickGainShiftInvariant(t *testing.T) {
+	property := func(inst tdgInstance, shiftRaw uint8) bool {
+		shift := float64(shiftRaw%50) / 10 // [0, 4.9]
+		shifted := make(Skills, len(inst.Skills))
+		for i, v := range inst.Skills {
+			shifted[i] = v + shift
+		}
+		cfg := Config{K: inst.K, Rounds: inst.Rounds, Mode: inst.Mode, Gain: MustLinear(inst.Rate)}
+		a, err := Run(cfg, inst.Skills, blockGrouper{})
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg, shifted, blockGrouper{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(b.TotalGain-a.TotalGain) <= 1e-6*math.Max(1, a.TotalGain)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

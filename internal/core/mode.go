@@ -1,0 +1,44 @@
+package core
+
+import "fmt"
+
+// Mode selects the within-group interaction structure (Section II of the
+// paper).
+type Mode int
+
+const (
+	// Star: every participant of a group learns only from the group's
+	// highest-skilled member (its "teacher"); eq. 1.
+	Star Mode = iota
+	// Clique: all pairwise interactions take place and each member's
+	// total gain is the average of its positive pairwise gains; eq. 2.
+	Clique
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Star:
+		return "star"
+	case Clique:
+		return "clique"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined interaction mode.
+func (m Mode) Valid() bool { return m == Star || m == Clique }
+
+// ParseMode converts the textual names "star" and "clique" (as used on
+// command lines) to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "star":
+		return Star, nil
+	case "clique":
+		return Clique, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q (want \"star\" or \"clique\")", s)
+	}
+}

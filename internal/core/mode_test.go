@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	if Star.String() != "star" {
+		t.Errorf("Star.String() = %q", Star.String())
+	}
+	if Clique.String() != "clique" {
+		t.Errorf("Clique.String() = %q", Clique.String())
+	}
+	if got := Mode(42).String(); got != "Mode(42)" {
+		t.Errorf("Mode(42).String() = %q", got)
+	}
+}
+
+func TestModeValid(t *testing.T) {
+	if !Star.Valid() || !Clique.Valid() {
+		t.Fatal("defined modes reported invalid")
+	}
+	if Mode(-1).Valid() || Mode(2).Valid() {
+		t.Fatal("undefined mode reported valid")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for name, want := range map[string]Mode{"star": Star, "clique": Clique} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "Star", "CLIQUE", "ring"} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) accepted an unknown mode", bad)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Grouper is a grouping policy: given the current skills it forms the k
+// equi-sized groups of one round. Implementations may assume
+// CheckGroupCount(len(s), k) holds — the simulator validates inputs — and
+// must not modify s. DyGroups-Star-Local and DyGroups-Clique-Local, the
+// four baselines, and the brute-force solver all implement Grouper.
+type Grouper interface {
+	// Name identifies the policy in tables and benchmarks.
+	Name() string
+	// Group partitions participants {0..len(s)−1} into k groups.
+	Group(s Skills, k int) Grouping
+}
+
+// SizedGrouper is the varying-size extension of Section VII: a policy
+// that can split participants into groups of prescribed (possibly
+// unequal) sizes. sizes must sum to len(s).
+type SizedGrouper interface {
+	Grouper
+	// GroupSizes partitions participants into len(sizes) groups where
+	// group i has exactly sizes[i] members.
+	GroupSizes(s Skills, sizes []int) Grouping
+}
+
+// Config describes one TDG instance (Problem 1 of the paper).
+type Config struct {
+	// K is the number of groups formed in every round. The participant
+	// count must be divisible by K.
+	K int
+	// Rounds is α, the number of learning rounds.
+	Rounds int
+	// Mode is the within-group interaction structure.
+	Mode Mode
+	// Gain is the learning-gain function; the paper's setting is
+	// Linear{R: r} with r ∈ (0, 1].
+	Gain Gain
+	// RecordGroupings stores each round's grouping in the result. Off by
+	// default because a grouping costs Ω(n) memory per round.
+	RecordGroupings bool
+	// RecordSkills stores a skill snapshot after every round. Off by
+	// default for the same reason.
+	RecordSkills bool
+}
+
+// Validate reports whether the configuration is usable with n
+// participants.
+func (c Config) Validate(n int) error {
+	if err := CheckGroupCount(n, c.K); err != nil {
+		return err
+	}
+	if c.Rounds < 0 {
+		return fmt.Errorf("core: negative round count %d", c.Rounds)
+	}
+	if !c.Mode.Valid() {
+		return fmt.Errorf("core: invalid mode %v", c.Mode)
+	}
+	if c.Gain == nil {
+		return fmt.Errorf("core: nil gain function")
+	}
+	return nil
+}
+
+// Round records the outcome of a single learning round.
+type Round struct {
+	// Index is the 1-based round number t ∈ [1, α].
+	Index int
+	// Gain is LG(G_t), the aggregated learning gain of the round.
+	Gain float64
+	// Variance is the population variance of the skills after the round;
+	// recorded because the max-variance tie-break is central to the
+	// DyGroups-Star analysis.
+	Variance float64
+	// Grouping is the round's grouping if Config.RecordGroupings is set.
+	Grouping Grouping
+	// Skills is the post-round skill snapshot if Config.RecordSkills is
+	// set.
+	Skills Skills
+}
+
+// Result is the outcome of a full α-round simulation.
+type Result struct {
+	// Algorithm is the Grouper's name.
+	Algorithm string
+	// Config echoes the instance parameters.
+	Config Config
+	// Initial and Final are the skill vectors before round 1 and after
+	// round α.
+	Initial, Final Skills
+	// Rounds holds the per-round history, in order.
+	Rounds []Round
+	// TotalGain is Σ_t LG(G_t), the TDG objective value. In both modes
+	// it equals Final.Sum() − Initial.Sum() (the equivalent objective of
+	// Section IV-C), a property the test suite checks.
+	TotalGain float64
+}
+
+// GainByRound returns the per-round aggregated gains as a slice, a
+// convenience for plotting and fitting (Figure 2 of the paper).
+func (r *Result) GainByRound() []float64 {
+	g := make([]float64, len(r.Rounds))
+	for i, rd := range r.Rounds {
+		g[i] = rd.Gain
+	}
+	return g
+}
+
+// CumulativeGain returns the running sum of per-round gains.
+func (r *Result) CumulativeGain() []float64 {
+	g := make([]float64, len(r.Rounds))
+	var acc float64
+	for i, rd := range r.Rounds {
+		acc += rd.Gain
+		g[i] = acc
+	}
+	return g
+}
+
+// Run executes Algorithm 1 of the paper (DyGroups-Mode generalized to any
+// grouping policy): for α rounds it asks the Grouper for a grouping of
+// the current skills, applies the mode's skill update, and accumulates
+// the aggregated learning gain. The input skill slice is not modified.
+func Run(cfg Config, initial Skills, g Grouper) (*Result, error) {
+	if err := ValidateSkills(initial); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(len(initial)); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("core: nil grouper")
+	}
+	s := initial.Clone()
+	res := &Result{
+		Algorithm: g.Name(),
+		Config:    cfg,
+		Initial:   initial.Clone(),
+		Rounds:    make([]Round, 0, cfg.Rounds),
+	}
+	for t := 1; t <= cfg.Rounds; t++ {
+		grouping := g.Group(s, cfg.K)
+		if err := grouping.ValidateEqui(len(s), cfg.K); err != nil {
+			return nil, fmt.Errorf("core: %s produced an invalid grouping in round %d: %w", g.Name(), t, err)
+		}
+		gainT := applyRoundInPlace(s, grouping, cfg.Mode, cfg.Gain)
+		rd := Round{Index: t, Gain: gainT, Variance: s.Variance()}
+		if cfg.RecordGroupings {
+			rd.Grouping = grouping.Clone()
+		}
+		if cfg.RecordSkills {
+			rd.Skills = s.Clone()
+		}
+		res.Rounds = append(res.Rounds, rd)
+		res.TotalGain += gainT
+	}
+	res.Final = s
+	return res, nil
+}
+
+// RunSized executes the varying-size extension: like Run but with a fixed
+// vector of group sizes used in every round. sizes must sum to the number
+// of participants; a zero or negative size is rejected.
+func RunSized(cfg Config, initial Skills, sizes []int, g SizedGrouper) (*Result, error) {
+	if err := ValidateSkills(initial); err != nil {
+		return nil, err
+	}
+	if !cfg.Mode.Valid() {
+		return nil, fmt.Errorf("core: invalid mode %v", cfg.Mode)
+	}
+	if cfg.Gain == nil {
+		return nil, fmt.Errorf("core: nil gain function")
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("core: negative round count %d", cfg.Rounds)
+	}
+	if err := CheckSizes(len(initial), sizes); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("core: nil grouper")
+	}
+	s := initial.Clone()
+	res := &Result{
+		Algorithm: g.Name(),
+		Config:    cfg,
+		Initial:   initial.Clone(),
+		Rounds:    make([]Round, 0, cfg.Rounds),
+	}
+	for t := 1; t <= cfg.Rounds; t++ {
+		grouping := g.GroupSizes(s, sizes)
+		if err := grouping.Validate(len(s)); err != nil {
+			return nil, fmt.Errorf("core: %s produced an invalid grouping in round %d: %w", g.Name(), t, err)
+		}
+		for gi, grp := range grouping {
+			if len(grp) != sizes[gi] {
+				return nil, fmt.Errorf("core: %s produced group %d of size %d, want %d", g.Name(), gi, len(grp), sizes[gi])
+			}
+		}
+		gainT := applyRoundInPlace(s, grouping, cfg.Mode, cfg.Gain)
+		rd := Round{Index: t, Gain: gainT, Variance: s.Variance()}
+		if cfg.RecordGroupings {
+			rd.Grouping = grouping.Clone()
+		}
+		if cfg.RecordSkills {
+			rd.Skills = s.Clone()
+		}
+		res.Rounds = append(res.Rounds, rd)
+		res.TotalGain += gainT
+	}
+	res.Final = s
+	return res, nil
+}
+
+// CheckSizes validates a varying-size split of n participants.
+func CheckSizes(n int, sizes []int) error {
+	if len(sizes) == 0 {
+		return fmt.Errorf("core: empty size vector")
+	}
+	total := 0
+	for i, sz := range sizes {
+		if sz <= 0 {
+			return fmt.Errorf("core: group %d has non-positive size %d", i, sz)
+		}
+		total += sz
+	}
+	if total != n {
+		return fmt.Errorf("core: group sizes sum to %d, want n=%d", total, n)
+	}
+	return nil
+}

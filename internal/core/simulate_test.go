@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sortedStar is a minimal valid grouper for simulator tests: descending
+// blocks (group 0 gets the top n/k skills, and so on).
+type sortedStar struct{}
+
+func (sortedStar) Name() string { return "sorted-blocks" }
+func (sortedStar) Group(s Skills, k int) Grouping {
+	order := RankDescending(s)
+	size := len(s) / k
+	g := make(Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = order[i*size : (i+1)*size]
+	}
+	return g
+}
+
+// badGrouper injects a failure: it returns a grouping that is not a
+// partition.
+type badGrouper struct{}
+
+func (badGrouper) Name() string                   { return "bad" }
+func (badGrouper) Group(s Skills, k int) Grouping { return Grouping{{0, 0}, {1, 2}} }
+
+func TestConfigValidate(t *testing.T) {
+	gain := MustLinear(0.5)
+	cases := []struct {
+		name string
+		cfg  Config
+		n    int
+		ok   bool
+	}{
+		{"valid", Config{K: 3, Rounds: 2, Mode: Star, Gain: gain}, 9, true},
+		{"zero rounds ok", Config{K: 3, Rounds: 0, Mode: Clique, Gain: gain}, 9, true},
+		{"indivisible", Config{K: 2, Rounds: 1, Mode: Star, Gain: gain}, 9, false},
+		{"negative rounds", Config{K: 3, Rounds: -1, Mode: Star, Gain: gain}, 9, false},
+		{"bad mode", Config{K: 3, Rounds: 1, Mode: Mode(7), Gain: gain}, 9, false},
+		{"nil gain", Config{K: 3, Rounds: 1, Mode: Star}, 9, false},
+		{"k too large", Config{K: 10, Rounds: 1, Mode: Star, Gain: gain}, 9, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate(tc.n)
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestRunRejectsInvalidInputs(t *testing.T) {
+	cfg := Config{K: 3, Rounds: 2, Mode: Star, Gain: MustLinear(0.5)}
+	if _, err := Run(cfg, Skills{1, -1, 2, 3, 4, 5, 6, 7, 8}, sortedStar{}); err == nil {
+		t.Error("negative skill accepted")
+	}
+	if _, err := Run(cfg, nil, sortedStar{}); err == nil {
+		t.Error("empty skills accepted")
+	}
+	if _, err := Run(cfg, toySkills(), nil); err == nil {
+		t.Error("nil grouper accepted")
+	}
+}
+
+func TestRunRejectsBadGrouperOutput(t *testing.T) {
+	cfg := Config{K: 2, Rounds: 1, Mode: Star, Gain: MustLinear(0.5)}
+	_, err := Run(cfg, Skills{1, 2, 3, 4}, badGrouper{})
+	if err == nil || !strings.Contains(err.Error(), "invalid grouping") {
+		t.Fatalf("bad grouper output not rejected: %v", err)
+	}
+}
+
+func TestRunHistoryAndInvariant(t *testing.T) {
+	cfg := Config{K: 3, Rounds: 4, Mode: Star, Gain: MustLinear(0.5), RecordGroupings: true, RecordSkills: true}
+	initial := toySkills()
+	res, err := Run(cfg, initial, sortedStar{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "sorted-blocks" {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("recorded %d rounds, want 4", len(res.Rounds))
+	}
+	var sum float64
+	for i, rd := range res.Rounds {
+		if rd.Index != i+1 {
+			t.Errorf("round %d has index %d", i, rd.Index)
+		}
+		if rd.Grouping == nil {
+			t.Errorf("round %d grouping not recorded", i)
+		}
+		if rd.Skills == nil {
+			t.Errorf("round %d skills not recorded", i)
+		}
+		if rd.Gain < 0 {
+			t.Errorf("round %d negative gain %v", i, rd.Gain)
+		}
+		sum += rd.Gain
+	}
+	if math.Abs(sum-res.TotalGain) > 1e-9 {
+		t.Errorf("TotalGain %v != sum of round gains %v", res.TotalGain, sum)
+	}
+	if diff := res.Final.Sum() - res.Initial.Sum(); math.Abs(res.TotalGain-diff) > 1e-9 {
+		t.Errorf("TotalGain %v != final−initial %v (Section IV-C equivalence)", res.TotalGain, diff)
+	}
+	// The caller's slice must be untouched.
+	for i, v := range initial {
+		if v != toySkills()[i] {
+			t.Fatalf("Run modified the input skills: %v", initial)
+		}
+	}
+	// Last recorded snapshot equals Final.
+	last := res.Rounds[3].Skills
+	for i := range last {
+		if last[i] != res.Final[i] {
+			t.Fatalf("final snapshot mismatch at %d: %v vs %v", i, last[i], res.Final[i])
+		}
+	}
+}
+
+func TestRunHistoryFlagsOff(t *testing.T) {
+	cfg := Config{K: 3, Rounds: 2, Mode: Clique, Gain: MustLinear(0.5)}
+	res, err := Run(cfg, toySkills(), sortedStar{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rd := range res.Rounds {
+		if rd.Grouping != nil || rd.Skills != nil {
+			t.Fatal("history recorded despite flags off")
+		}
+	}
+}
+
+func TestRunZeroRounds(t *testing.T) {
+	cfg := Config{K: 3, Rounds: 0, Mode: Star, Gain: MustLinear(0.5)}
+	res, err := Run(cfg, toySkills(), sortedStar{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGain != 0 || len(res.Rounds) != 0 {
+		t.Fatalf("zero-round run: gain=%v rounds=%d", res.TotalGain, len(res.Rounds))
+	}
+}
+
+func TestGainByRoundAndCumulative(t *testing.T) {
+	res := &Result{Rounds: []Round{{Index: 1, Gain: 1}, {Index: 2, Gain: 0.5}, {Index: 3, Gain: 0.25}}}
+	g := res.GainByRound()
+	if len(g) != 3 || g[0] != 1 || g[2] != 0.25 {
+		t.Fatalf("GainByRound = %v", g)
+	}
+	c := res.CumulativeGain()
+	want := []float64{1, 1.5, 1.75}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Fatalf("CumulativeGain = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestCheckSizes(t *testing.T) {
+	if err := CheckSizes(6, []int{2, 4}); err != nil {
+		t.Errorf("valid sizes rejected: %v", err)
+	}
+	for _, bad := range [][]int{nil, {}, {0, 6}, {-1, 7}, {2, 2}, {3, 4}} {
+		if err := CheckSizes(6, bad); err == nil {
+			t.Errorf("CheckSizes(6, %v) accepted invalid sizes", bad)
+		}
+	}
+}
+
+// sizedBlocks is a SizedGrouper cutting the descending order into the
+// requested sizes.
+type sizedBlocks struct{}
+
+func (sizedBlocks) Name() string { return "sized-blocks" }
+func (sizedBlocks) Group(s Skills, k int) Grouping {
+	return sortedStar{}.Group(s, k)
+}
+func (sizedBlocks) GroupSizes(s Skills, sizes []int) Grouping {
+	order := RankDescending(s)
+	g := make(Grouping, len(sizes))
+	at := 0
+	for i, sz := range sizes {
+		g[i] = order[at : at+sz]
+		at += sz
+	}
+	return g
+}
+
+func TestRunSized(t *testing.T) {
+	cfg := Config{Rounds: 3, Mode: Star, Gain: MustLinear(0.5)}
+	sizes := []int{2, 3, 4}
+	res, err := RunSized(cfg, toySkills(), sizes, sizedBlocks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.Final.Sum() - res.Initial.Sum(); math.Abs(res.TotalGain-diff) > 1e-9 {
+		t.Fatalf("sized run: TotalGain %v != skill increase %v", res.TotalGain, diff)
+	}
+	if res.TotalGain <= 0 {
+		t.Fatalf("sized run produced no gain: %v", res.TotalGain)
+	}
+}
+
+func TestRunSizedRejectsBadSizes(t *testing.T) {
+	cfg := Config{Rounds: 1, Mode: Star, Gain: MustLinear(0.5)}
+	if _, err := RunSized(cfg, toySkills(), []int{4, 4}, sizedBlocks{}); err == nil {
+		t.Error("sizes not summing to n accepted")
+	}
+	if _, err := RunSized(cfg, toySkills(), []int{9, 0}, sizedBlocks{}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := RunSized(cfg, toySkills(), []int{4, 5}, nil); err == nil {
+		t.Error("nil sized grouper accepted")
+	}
+}
+
+// wrongSizeGrouper returns groups in the wrong sizes, to exercise the
+// simulator's defensive check.
+type wrongSizeGrouper struct{}
+
+func (wrongSizeGrouper) Name() string                   { return "wrong-size" }
+func (wrongSizeGrouper) Group(s Skills, k int) Grouping { return sortedStar{}.Group(s, k) }
+func (wrongSizeGrouper) GroupSizes(s Skills, sizes []int) Grouping {
+	// Deliberately swap the two sizes.
+	order := RankDescending(s)
+	return Grouping{order[:sizes[1]], order[sizes[1]:]}
+}
+
+func TestRunSizedRejectsWrongGroupSizes(t *testing.T) {
+	cfg := Config{Rounds: 1, Mode: Star, Gain: MustLinear(0.5)}
+	_, err := RunSized(cfg, toySkills(), []int{4, 5}, wrongSizeGrouper{})
+	if err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("wrong group sizes not rejected: %v", err)
+	}
+}
+
+// TestRunDeterministic: the same configuration and deterministic grouper
+// must reproduce bit-identical results.
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{K: 3, Rounds: 5, Mode: Clique, Gain: MustLinear(0.3)}
+	a, err := Run(cfg, toySkills(), sortedStar{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, toySkills(), sortedStar{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalGain != b.TotalGain {
+		t.Fatalf("nondeterministic totals: %v vs %v", a.TotalGain, b.TotalGain)
+	}
+	for i := range a.Final {
+		if a.Final[i] != b.Final[i] {
+			t.Fatalf("nondeterministic final skills at %d", i)
+		}
+	}
+}
+
+// TestVarianceRecorded checks the per-round variance matches a direct
+// computation on the snapshot.
+func TestVarianceRecorded(t *testing.T) {
+	cfg := Config{K: 3, Rounds: 2, Mode: Star, Gain: MustLinear(0.5), RecordSkills: true}
+	res, err := Run(cfg, toySkills(), sortedStar{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rd := range res.Rounds {
+		if math.Abs(rd.Variance-rd.Skills.Variance()) > 1e-12 {
+			t.Fatalf("round %d variance %v != snapshot variance %v", rd.Index, rd.Variance, rd.Skills.Variance())
+		}
+	}
+	// Variance should be decreasing for this instance (skills converge).
+	vs := []float64{res.Rounds[0].Variance, res.Rounds[1].Variance}
+	if !sort.Float64sAreSorted([]float64{vs[1], vs[0]}) {
+		t.Fatalf("variance did not decrease: %v", vs)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Skills holds the skill values of the participants. Index i is the skill
+// of participant i. All values must be positive and finite; ValidateSkills
+// checks this.
+type Skills []float64
+
+// ErrEmptySkills reports a simulation or update attempted on zero
+// participants.
+var ErrEmptySkills = errors.New("core: empty skill set")
+
+// ValidateSkills returns an error unless every skill is a positive finite
+// number. The model (Section II of the paper) requires positive reals.
+func ValidateSkills(s Skills) error {
+	if len(s) == 0 {
+		return ErrEmptySkills
+	}
+	for i, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: skill %d is not finite: %v", i, v)
+		}
+		if v <= 0 {
+			return fmt.Errorf("core: skill %d is not positive: %v", i, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of s.
+func (s Skills) Clone() Skills {
+	c := make(Skills, len(s))
+	copy(c, s)
+	return c
+}
+
+// Sum returns the total skill mass Σ si.
+func (s Skills) Sum() float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Max returns the largest skill, or 0 for an empty set.
+func (s Skills) Max() float64 {
+	var m float64
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest skill, or 0 for an empty set.
+func (s Skills) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average skill, or 0 for an empty set.
+func (s Skills) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s))
+}
+
+// Variance returns the population variance of the skills, or 0 for fewer
+// than two participants. The DyGroups-Star tie-break (Theorem 2 of the
+// paper) selects, among gain-maximizing groupings, the one whose updated
+// skills have maximum variance.
+func (s Skills) Variance() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	mu := s.Mean()
+	var acc float64
+	for _, v := range s {
+		d := v - mu
+		acc += d * d
+	}
+	return acc / float64(len(s))
+}
+
+// RankDescending returns the participant indices ordered by skill,
+// highest first. Ties are broken by participant index so the order is
+// deterministic. The input is not modified.
+func RankDescending(s Skills) []int {
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return s[idx[a]] > s[idx[b]]
+	})
+	return idx
+}
+
+// IsSortedDescending reports whether s is in non-increasing order.
+func (s Skills) IsSortedDescending() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1] {
+			return false
+		}
+	}
+	return true
+}

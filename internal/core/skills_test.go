@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateSkills(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Skills
+		wantErr bool
+	}{
+		{"nil", nil, true},
+		{"empty", Skills{}, true},
+		{"single positive", Skills{0.5}, false},
+		{"all positive", Skills{0.1, 2, 300}, false},
+		{"zero", Skills{0.1, 0}, true},
+		{"negative", Skills{0.1, -0.2}, true},
+		{"NaN", Skills{math.NaN()}, true},
+		{"+Inf", Skills{math.Inf(1)}, true},
+		{"-Inf", Skills{math.Inf(-1)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSkills(tc.in)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateSkills(%v) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSkillsClone(t *testing.T) {
+	s := Skills{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatalf("Clone shares backing array: s[0]=%v", s[0])
+	}
+	if len(c) != len(s) {
+		t.Fatalf("Clone length %d, want %d", len(c), len(s))
+	}
+}
+
+func TestSkillsAggregates(t *testing.T) {
+	s := Skills{0.1, 0.2, 0.3, 0.4}
+	if got, want := s.Sum(), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if got, want := s.Mean(), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := s.Max(), 0.4; got != want {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+	if got, want := s.Min(), 0.1; got != want {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+	// Variance of {0.1,0.2,0.3,0.4}: mean 0.25, squared devs
+	// {0.0225,0.0025,0.0025,0.0225} → 0.0125.
+	if got, want := s.Variance(), 0.0125; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestSkillsAggregatesEmpty(t *testing.T) {
+	var s Skills
+	if s.Sum() != 0 || s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatalf("empty-skill aggregates should be zero: sum=%v max=%v min=%v mean=%v var=%v",
+			s.Sum(), s.Max(), s.Min(), s.Mean(), s.Variance())
+	}
+	if (Skills{5}).Variance() != 0 {
+		t.Fatal("single-element variance should be 0")
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	s := Skills{0.3, 0.9, 0.1, 0.9, 0.5}
+	got := RankDescending(s)
+	want := []int{1, 3, 4, 0, 2} // ties (indices 1 and 3) keep index order
+	if len(got) != len(want) {
+		t.Fatalf("RankDescending length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankDescending = %v, want %v", got, want)
+		}
+	}
+	// The input must be untouched.
+	if s[0] != 0.3 || s[1] != 0.9 {
+		t.Fatalf("RankDescending modified its input: %v", s)
+	}
+}
+
+func TestRankDescendingIsPermutationAndSorted(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Skills, len(raw))
+		for i, v := range raw {
+			s[i] = math.Abs(v) + 0.001 // ensure valid skills; order is what matters
+			if math.IsNaN(s[i]) || math.IsInf(s[i], 0) {
+				s[i] = float64(i + 1)
+			}
+		}
+		idx := RankDescending(s)
+		seen := make([]bool, len(s))
+		for _, p := range idx {
+			if p < 0 || p >= len(s) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for i := 1; i < len(idx); i++ {
+			if s[idx[i]] > s[idx[i-1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSortedDescending(t *testing.T) {
+	cases := []struct {
+		in   Skills
+		want bool
+	}{
+		{Skills{}, true},
+		{Skills{1}, true},
+		{Skills{3, 2, 1}, true},
+		{Skills{3, 3, 1}, true},
+		{Skills{1, 2}, false},
+		{Skills{3, 1, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.in.IsSortedDescending(); got != tc.want {
+			t.Errorf("IsSortedDescending(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

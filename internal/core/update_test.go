@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// toySkills is the paper's TOY EXAMPLE: 9 students with skills 0.1..0.9.
+func toySkills() Skills {
+	return Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// plainLinear mirrors Linear without being the Linear type, forcing the
+// general (O(t²)) clique path so it can be compared with the prefix-sum
+// specialization.
+type plainLinear struct{ r float64 }
+
+func (g plainLinear) Apply(d float64) float64 { return g.r * d }
+func (g plainLinear) Name() string            { return "plain-linear" }
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestGroupGainStarToy(t *testing.T) {
+	// Paper, Section II: group [0.9, 0.5, 0.3] under Star with r = 0.5
+	// has gain 0.5 (0.5→0.7 and 0.3→0.6).
+	s := Skills{0.9, 0.5, 0.3}
+	got := GroupGain(s, []int{0, 1, 2}, Star, MustLinear(0.5))
+	if !almostEqual(got, 0.5) {
+		t.Fatalf("star toy gain = %v, want 0.5", got)
+	}
+}
+
+func TestGroupGainCliqueToy(t *testing.T) {
+	// Paper, Section II: group [0.9, 0.5, 0.3] under Clique with r = 0.5
+	// has gain 0.4 (0.5→0.7, 0.3→0.5).
+	s := Skills{0.9, 0.5, 0.3}
+	got := GroupGain(s, []int{0, 1, 2}, Clique, MustLinear(0.5))
+	if !almostEqual(got, 0.4) {
+		t.Fatalf("clique toy gain = %v, want 0.4", got)
+	}
+}
+
+func TestGroupGainOrderIndependent(t *testing.T) {
+	// GroupGain must not depend on the order of the member list.
+	s := Skills{0.9, 0.5, 0.3, 0.7}
+	for _, mode := range []Mode{Star, Clique} {
+		a := GroupGain(s, []int{0, 1, 2, 3}, mode, MustLinear(0.5))
+		b := GroupGain(s, []int{3, 1, 0, 2}, mode, MustLinear(0.5))
+		if !almostEqual(a, b) {
+			t.Errorf("%v gain depends on member order: %v vs %v", mode, a, b)
+		}
+	}
+}
+
+func TestGroupGainSingleton(t *testing.T) {
+	s := Skills{0.9}
+	for _, mode := range []Mode{Star, Clique} {
+		if got := GroupGain(s, []int{0}, mode, MustLinear(0.5)); got != 0 {
+			t.Errorf("singleton %v gain = %v, want 0", mode, got)
+		}
+	}
+}
+
+func TestApplyRoundStarToyTrace(t *testing.T) {
+	// The paper's DyGroups-Star round-1 grouping of the toy example:
+	// [0.9,0.6,0.5], [0.8,0.4,0.3], [0.7,0.2,0.1] with r = 0.5 yields
+	// skills {0.9, 0.8, 0.7, 0.75, 0.7, 0.6, 0.55, 0.45, 0.4}.
+	s := toySkills() // participant i has skill (i+1)/10
+	g := Grouping{{8, 5, 4}, {7, 3, 2}, {6, 1, 0}}
+	next, gain, err := ApplyRound(s, g, Star, MustLinear(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Skills{0.4, 0.45, 0.55, 0.6, 0.7, 0.75, 0.7, 0.8, 0.9}
+	for i := range want {
+		if !almostEqual(next[i], want[i]) {
+			t.Fatalf("participant %d skill = %v, want %v (all: %v)", i, next[i], want[i], next)
+		}
+	}
+	if !almostEqual(gain, next.Sum()-s.Sum()) {
+		t.Fatalf("round gain %v != skill increase %v", gain, next.Sum()-s.Sum())
+	}
+	// The input must be untouched.
+	if s[0] != 0.1 || s[8] != 0.9 {
+		t.Fatalf("ApplyRound modified its input: %v", s)
+	}
+}
+
+func TestApplyRoundCliqueToyTrace(t *testing.T) {
+	// The paper's DyGroups-Clique round-1 grouping of the toy example:
+	// [0.9,0.6,0.3], [0.8,0.5,0.2], [0.7,0.4,0.1]; updated skills sorted
+	// descending must be {0.9, 0.8, 0.75, 0.7, 0.65, 0.55, 0.525,
+	// 0.425, 0.325}.
+	s := toySkills()
+	g := Grouping{{8, 5, 2}, {7, 4, 1}, {6, 3, 0}}
+	next, _, err := ApplyRound(s, g, Clique, MustLinear(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), next...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(got)))
+	want := []float64{0.9, 0.8, 0.75, 0.7, 0.65, 0.55, 0.525, 0.425, 0.325}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("sorted skill %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestApplyRoundErrors(t *testing.T) {
+	s := toySkills()
+	valid := Grouping{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	if _, _, err := ApplyRound(s, valid, Mode(9), MustLinear(0.5)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, _, err := ApplyRound(s, valid, Star, nil); err == nil {
+		t.Error("nil gain accepted")
+	}
+	if _, _, err := ApplyRound(s, Grouping{{0, 0}}, Star, MustLinear(0.5)); err == nil {
+		t.Error("invalid grouping accepted")
+	}
+}
+
+func TestCliqueFastPathMatchesGeneralPath(t *testing.T) {
+	// Theorem 3's O(t) prefix-sum update must agree with the explicit
+	// O(t²) pairwise computation for the linear gain.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(14)
+		s := make(Skills, n)
+		for i := range s {
+			s[i] = rng.Float64()*5 + 0.01
+		}
+		group := make([]int, n)
+		for i := range group {
+			group[i] = i
+		}
+		r := 0.05 + 0.95*rng.Float64()
+		fastNext, fastGain, err := ApplyRound(s, Grouping{group}, Clique, MustLinear(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowNext, slowGain, err := ApplyRound(s, Grouping{group}, Clique, plainLinear{r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(fastGain, slowGain) {
+			t.Fatalf("trial %d: fast gain %v != slow gain %v", trial, fastGain, slowGain)
+		}
+		for i := range s {
+			if !almostEqual(fastNext[i], slowNext[i]) {
+				t.Fatalf("trial %d: skill %d fast %v != slow %v", trial, i, fastNext[i], slowNext[i])
+			}
+		}
+	}
+}
+
+func TestCliquePreservesWithinGroupOrder(t *testing.T) {
+	// Eq. 2's averaging is designed so the within-group skill order is
+	// preserved after a round (Section II).
+	f := func(raw [6]float64, rSeed uint8) bool {
+		s := make(Skills, len(raw))
+		for i, v := range raw {
+			s[i] = math.Mod(math.Abs(v), 10) + 0.01
+			if math.IsNaN(s[i]) || math.IsInf(s[i], 0) {
+				s[i] = float64(i + 1)
+			}
+		}
+		r := (float64(rSeed%99) + 1) / 100
+		group := []int{0, 1, 2, 3, 4, 5}
+		next, _, err := ApplyRound(s, Grouping{group}, Clique, MustLinear(r))
+		if err != nil {
+			return false
+		}
+		before := RankDescending(s)
+		for i := 1; i < len(before); i++ {
+			hi, lo := before[i-1], before[i]
+			if next[lo] > next[hi]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarTeacherUnchangedOthersRise(t *testing.T) {
+	s := Skills{0.2, 0.9, 0.4, 0.6}
+	next, _, err := ApplyRound(s, Grouping{{0, 1, 2, 3}}, Star, MustLinear(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[1] != 0.9 {
+		t.Fatalf("teacher skill changed: %v", next[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if next[i] <= s[i] {
+			t.Errorf("learner %d did not gain: %v -> %v", i, s[i], next[i])
+		}
+		if next[i] > 0.9+1e-12 {
+			t.Errorf("learner %d overshot the teacher: %v", i, next[i])
+		}
+	}
+}
+
+// gainEqualsSkillIncrease is the central accounting invariant: in both
+// modes, the round's aggregated learning gain equals the total skill
+// increase (the objective equivalence of Section IV-C).
+func TestGainEqualsSkillIncrease(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(4)
+		size := 1 + rng.Intn(5)
+		n := k * size
+		s := make(Skills, n)
+		for i := range s {
+			s[i] = rng.Float64()*3 + 0.01
+		}
+		perm := rng.Perm(n)
+		g := make(Grouping, k)
+		for i := 0; i < k; i++ {
+			g[i] = perm[i*size : (i+1)*size]
+		}
+		mode := Star
+		if trial%2 == 1 {
+			mode = Clique
+		}
+		r := 0.05 + 0.9*rng.Float64()
+		next, gain, err := ApplyRound(s, g, mode, MustLinear(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := next.Sum() - s.Sum(); math.Abs(gain-diff) > 1e-9 {
+			t.Fatalf("trial %d (%v): gain %v != skill increase %v", trial, mode, gain, diff)
+		}
+		// AggregateGain on the same grouping must agree with the gain
+		// realized by the update.
+		if lg := AggregateGain(s, g, mode, MustLinear(r)); math.Abs(lg-gain) > 1e-9 {
+			t.Fatalf("trial %d (%v): AggregateGain %v != ApplyRound gain %v", trial, mode, lg, gain)
+		}
+	}
+}
+
+func TestStarGainBelowCliqueNever(t *testing.T) {
+	// For the same group, the Star gain is at least the Clique gain:
+	// each learner's clique gain averages pairwise gains that are each
+	// at most the gain from the top member.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		s := make(Skills, n)
+		for i := range s {
+			s[i] = rng.Float64() + 0.01
+		}
+		grp := make([]int, n)
+		for i := range grp {
+			grp[i] = i
+		}
+		star := GroupGain(s, grp, Star, MustLinear(0.5))
+		clique := GroupGain(s, grp, Clique, MustLinear(0.5))
+		if clique > star+1e-9 {
+			t.Fatalf("clique gain %v exceeds star gain %v on %v", clique, star, s)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package dist generates the initial skill values for the synthetic
+// experiments (Section V-B of the paper). The paper draws skills from
+// distributions guaranteed to produce positive values: log-normal with
+// µ = e and σ = √e, and Zipf with shape parameters 2.3 and 10. The
+// uniform (0,1] distribution is also provided for the brute-force
+// validation experiments (Section V-B3) and the human-experiment
+// simulation.
+//
+// Every sampler is driven by an explicit seed so experiments are
+// reproducible; runs that involve randomness are averaged over several
+// seeds by the experiment harness, mirroring the paper's "average over
+// 10 different runs".
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"peerlearn/internal/core"
+)
+
+// Distribution samples positive skill values.
+type Distribution interface {
+	// Sample draws one skill value using rng.
+	Sample(rng *rand.Rand) float64
+	// Name identifies the distribution in tables.
+	Name() string
+}
+
+// batchSampler is implemented by distributions (Zipf) whose sampler has
+// per-batch setup cost worth amortizing.
+type batchSampler interface {
+	BatchSample(rng *rand.Rand, n int) []float64
+}
+
+// Generate draws n skills from d using a deterministic stream seeded
+// with seed.
+func Generate(n int, d Distribution, seed int64) core.Skills {
+	rng := rand.New(rand.NewSource(seed))
+	if b, ok := d.(batchSampler); ok {
+		return core.Skills(b.BatchSample(rng, n))
+	}
+	s := make(core.Skills, n)
+	for i := range s {
+		s[i] = d.Sample(rng)
+	}
+	return s
+}
+
+// Uniform draws skills uniformly from (Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns a uniform distribution on (lo, hi], validating the
+// bounds (lo must be ≥ 0 and < hi so all skills are positive).
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi <= lo {
+		return Uniform{}, fmt.Errorf("dist: invalid uniform bounds (%v, %v]", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Unit is the uniform distribution on (0, 1] used by the brute-force
+// validation experiments.
+var Unit = Uniform{Lo: 0, Hi: 1}
+
+// Sample implements Distribution. The value is drawn from the half-open
+// interval (Lo, Hi]: rand.Float64 yields [0,1), which is flipped so a
+// zero skill can never occur.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Hi - (u.Hi-u.Lo)*rng.Float64()
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%g,%g]", u.Lo, u.Hi) }
+
+// LogNormal draws skills exp(N(Mu, Sigma)). The paper's setting "mean
+// µ = e and standard deviation σ = √e" is interpreted as median e and
+// scale √e, i.e. Mu = 1 and Sigma = 0.5 on the underlying normal.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// NewLogNormal returns a log-normal distribution, validating Sigma > 0.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if math.IsNaN(mu) || math.IsNaN(sigma) || sigma <= 0 {
+		return LogNormal{}, fmt.Errorf("dist: invalid log-normal parameters mu=%v sigma=%v", mu, sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// PaperLogNormal is the paper's log-normal setting (µ = e, σ = √e →
+// exp(N(1, 0.5))).
+var PaperLogNormal = LogNormal{Mu: 1, Sigma: 0.5}
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Name implements Distribution.
+func (l LogNormal) Name() string { return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
+
+// Zipf draws skills from a Zipf law: a rank v ≥ 1 is sampled with
+// probability proportional to v^(−Shape) and the skill is the rank value
+// itself, so the population has many low-skilled members and a heavy
+// tail of experts. The paper uses shape parameters 2.3 and 10.
+type Zipf struct {
+	// Shape is the Zipf exponent; must be > 1 for the law to normalize.
+	Shape float64
+	// MaxRank bounds the sampled rank (and hence the maximum skill).
+	MaxRank uint64
+}
+
+// DefaultZipfMaxRank is the rank cutoff used when none is specified.
+const DefaultZipfMaxRank = 1 << 20
+
+// NewZipf returns a Zipf skill distribution, validating shape > 1.
+func NewZipf(shape float64) (Zipf, error) {
+	if math.IsNaN(shape) || shape <= 1 {
+		return Zipf{}, fmt.Errorf("dist: zipf shape must be > 1, got %v", shape)
+	}
+	return Zipf{Shape: shape, MaxRank: DefaultZipfMaxRank}, nil
+}
+
+// PaperZipf23 and PaperZipf10 are the two Zipf settings of the paper.
+var (
+	PaperZipf23 = Zipf{Shape: 2.3, MaxRank: DefaultZipfMaxRank}
+	PaperZipf10 = Zipf{Shape: 10, MaxRank: DefaultZipfMaxRank}
+)
+
+// Sample implements Distribution. Note math/rand's Zipf generator is
+// stateful per (rng, parameters); because skills are drawn in one batch
+// per experiment, a fresh generator per call would be wasteful, so Zipf
+// keeps a small cache keyed by rng. To stay allocation-free and simple we
+// instead inline rejection-free inverse-CDF sampling via rand.Zipf's
+// algorithm — rand.NewZipf is cheap enough to construct per batch, so
+// Generate-style batch use should prefer BatchSample.
+func (z Zipf) Sample(rng *rand.Rand) float64 {
+	gen := rand.NewZipf(rng, z.Shape, 1, z.MaxRank-1)
+	return float64(gen.Uint64() + 1)
+}
+
+// BatchSample draws n skills reusing one underlying generator; it is the
+// efficient path used by Generate via the batcher interface.
+func (z Zipf) BatchSample(rng *rand.Rand, n int) []float64 {
+	gen := rand.NewZipf(rng, z.Shape, 1, z.MaxRank-1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(gen.Uint64() + 1)
+	}
+	return out
+}
+
+// Name implements Distribution.
+func (z Zipf) Name() string { return fmt.Sprintf("zipf(shape=%g)", z.Shape) }

@@ -1,0 +1,185 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"peerlearn/internal/core"
+)
+
+func TestUniformValidation(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		ok     bool
+	}{
+		{0, 1, true},
+		{0.5, 2, true},
+		{-1, 1, false},
+		{1, 1, false},
+		{2, 1, false},
+		{math.NaN(), 1, false},
+		{0, math.NaN(), false},
+	}
+	for _, tc := range cases {
+		_, err := NewUniform(tc.lo, tc.hi)
+		if (err == nil) != tc.ok {
+			t.Errorf("NewUniform(%v,%v) error=%v, want ok=%v", tc.lo, tc.hi, err, tc.ok)
+		}
+	}
+}
+
+func TestLogNormalValidation(t *testing.T) {
+	if _, err := NewLogNormal(1, 0); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	if _, err := NewLogNormal(1, -1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewLogNormal(math.NaN(), 1); err == nil {
+		t.Error("NaN mu accepted")
+	}
+	if _, err := NewLogNormal(0, 1); err != nil {
+		t.Errorf("valid lognormal rejected: %v", err)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	for _, shape := range []float64{1, 0.5, -2, math.NaN()} {
+		if _, err := NewZipf(shape); err == nil {
+			t.Errorf("NewZipf(%v) accepted invalid shape", shape)
+		}
+	}
+	z, err := NewZipf(2.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.MaxRank != DefaultZipfMaxRank {
+		t.Errorf("default max rank = %d", z.MaxRank)
+	}
+}
+
+// TestAllDistributionsProducePositiveSkills: the model requires strictly
+// positive skills whatever the seed.
+func TestAllDistributionsProducePositiveSkills(t *testing.T) {
+	dists := []Distribution{Unit, PaperLogNormal, PaperZipf23, PaperZipf10}
+	f := func(seed int64) bool {
+		for _, d := range dists {
+			s := Generate(200, d, seed)
+			if core.ValidateSkills(s) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministicAndLength(t *testing.T) {
+	for _, d := range []Distribution{Unit, PaperLogNormal, PaperZipf23} {
+		a := Generate(100, d, 42)
+		b := Generate(100, d, 42)
+		if len(a) != 100 {
+			t.Fatalf("%s: length %d", d.Name(), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed produced different skills", d.Name())
+			}
+		}
+		c := Generate(100, d, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical skills", d.Name())
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	u, err := NewUniform(0.5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(5000, u, 1)
+	for _, v := range s {
+		if v <= 0.5 || v > 2.5 {
+			t.Fatalf("uniform sample %v outside (0.5, 2.5]", v)
+		}
+	}
+}
+
+func TestLogNormalMedianNearE(t *testing.T) {
+	// The paper's setting (µ = e as the median): the sample median of
+	// exp(N(1, 0.5)) should approach e.
+	s := Generate(200000, PaperLogNormal, 99)
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if math.Abs(median-math.E) > 0.05 {
+		t.Fatalf("lognormal sample median %v, want ≈ e (%v)", median, math.E)
+	}
+}
+
+func TestZipfIsHeavyTailedIntegerRanks(t *testing.T) {
+	s := Generate(50000, PaperZipf23, 5)
+	ones := 0
+	var max float64
+	for _, v := range s {
+		if v != math.Trunc(v) || v < 1 {
+			t.Fatalf("zipf skill %v is not a positive integer rank", v)
+		}
+		if v == 1 {
+			ones++
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// With shape 2.3, rank 1 has the majority of the mass and the tail
+	// still reaches well beyond it.
+	if frac := float64(ones) / float64(len(s)); frac < 0.5 {
+		t.Errorf("zipf(2.3): rank-1 fraction %v, want > 0.5", frac)
+	}
+	if max < 5 {
+		t.Errorf("zipf(2.3): max sampled rank %v, want a tail beyond 5", max)
+	}
+}
+
+func TestZipfShapeOrdersTails(t *testing.T) {
+	// A larger shape parameter concentrates mass at rank 1: the mean of
+	// Zipf(10) must be below the mean of Zipf(2.3).
+	s23 := Generate(50000, PaperZipf23, 6)
+	s10 := Generate(50000, PaperZipf10, 6)
+	if s10.Mean() >= s23.Mean() {
+		t.Fatalf("zipf(10) mean %v not below zipf(2.3) mean %v", s10.Mean(), s23.Mean())
+	}
+}
+
+func TestZipfSingleSampleMatchesContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		v := PaperZipf23.Sample(rng)
+		if v < 1 {
+			t.Fatalf("Sample returned %v < 1", v)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Unit.Name() != "uniform(0,1]" {
+		t.Errorf("Unit.Name() = %q", Unit.Name())
+	}
+	if PaperLogNormal.Name() == "" || PaperZipf23.Name() == "" {
+		t.Error("empty distribution name")
+	}
+}

@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Empirical resamples skills from an observed sample (bootstrap). It
+// bridges the human and synthetic experiments: the estimated skills of a
+// real (or simulated) AMT pre-qualification can seed large synthetic
+// populations with a realistic distribution, which none of the
+// parametric families capture exactly.
+type Empirical struct {
+	values []float64
+	// Jitter adds uniform noise of this half-width to every draw, to
+	// break the discreteness of small samples (assessment scores only
+	// take 11 values with 10 questions). Draws are floored to stay
+	// positive.
+	Jitter float64
+}
+
+// NewEmpirical builds a bootstrap distribution from observed positive
+// skill values.
+func NewEmpirical(values []float64, jitter float64) (*Empirical, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dist: empirical distribution needs at least one observation")
+	}
+	if jitter < 0 {
+		return nil, fmt.Errorf("dist: negative jitter %v", jitter)
+	}
+	for i, v := range values {
+		if !(v > 0) {
+			return nil, fmt.Errorf("dist: observation %d is not positive: %v", i, v)
+		}
+	}
+	return &Empirical{values: append([]float64(nil), values...), Jitter: jitter}, nil
+}
+
+// Sample implements Distribution.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	v := e.values[rng.Intn(len(e.values))]
+	if e.Jitter > 0 {
+		v += e.Jitter * (2*rng.Float64() - 1)
+		if v <= 0 {
+			v = e.values[0] * 0.01 // tiny positive floor, preserving validity
+			if v <= 0 {
+				v = 1e-9
+			}
+		}
+	}
+	return v
+}
+
+// Name implements Distribution.
+func (e *Empirical) Name() string {
+	return fmt.Sprintf("empirical(n=%d,jitter=%g)", len(e.values), e.Jitter)
+}

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+func TestNewEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil, 0); err == nil {
+		t.Error("empty observations accepted")
+	}
+	if _, err := NewEmpirical([]float64{0.5, 0}, 0); err == nil {
+		t.Error("zero observation accepted")
+	}
+	if _, err := NewEmpirical([]float64{0.5}, -0.1); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	if _, err := NewEmpirical([]float64{0.5, 0.7}, 0.05); err != nil {
+		t.Fatalf("valid empirical rejected: %v", err)
+	}
+}
+
+func TestEmpiricalResamplesObservedValues(t *testing.T) {
+	obs := []float64{0.2, 0.5, 0.8}
+	e, err := NewEmpirical(obs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(3000, e, 1)
+	counts := map[float64]int{}
+	for _, v := range s {
+		counts[v]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("jitter-free bootstrap produced %d distinct values, want 3", len(counts))
+	}
+	for _, o := range obs {
+		if counts[o] < 500 {
+			t.Errorf("observation %v drawn only %d times of 3000", o, counts[o])
+		}
+	}
+}
+
+func TestEmpiricalJitterStaysValid(t *testing.T) {
+	e, err := NewEmpirical([]float64{0.05, 0.5}, 0.1) // jitter can push below zero
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(5000, e, 2)
+	if err := core.ValidateSkills(s); err != nil {
+		t.Fatalf("jittered bootstrap produced invalid skills: %v", err)
+	}
+}
+
+func TestEmpiricalMeanTracksObservations(t *testing.T) {
+	obs := []float64{0.3, 0.6, 0.9}
+	e, err := NewEmpirical(obs, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(100000, e, 3)
+	want := 0.6
+	if math.Abs(s.Mean()-want) > 0.01 {
+		t.Fatalf("bootstrap mean %v, want ≈ %v", s.Mean(), want)
+	}
+}
+
+func TestEmpiricalName(t *testing.T) {
+	e, _ := NewEmpirical([]float64{1, 2}, 0.5)
+	if e.Name() != "empirical(n=2,jitter=0.5)" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+// TestEmpiricalBridgesToSimulation: use bootstrap skills end to end.
+func TestEmpiricalBridgesToSimulation(t *testing.T) {
+	e, err := NewEmpirical([]float64{0.2, 0.4, 0.5, 0.7, 0.9}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Generate(90, e, 4)
+	if err := core.ValidateSkills(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package dygroups
+
+import (
+	"peerlearn/internal/core"
+)
+
+// CliqueGrouper implements DyGroups-Clique-Local (Algorithm 3 of the
+// paper). The zero value is ready to use.
+type CliqueGrouper struct{}
+
+// NewClique returns the DyGroups-Clique-Local policy.
+func NewClique() CliqueGrouper { return CliqueGrouper{} }
+
+// Name implements core.Grouper.
+func (CliqueGrouper) Name() string { return "DyGroups-Clique" }
+
+// Group implements core.Grouper. It deals the descending skill order
+// round-robin over the k groups: the j-th pass hands the j-th ranked
+// member to every group, so the j-th ordered skill of group i is ≥ the
+// j-th ordered skill of group i+1 for all i, j — the unique grouping with
+// that dominance property, which maximizes the round's clique gain
+// (Theorem 4).
+func (CliqueGrouper) Group(s core.Skills, k int) core.Grouping {
+	order := core.RankDescending(s)
+	n := len(order)
+	size := n / k
+	g := make(core.Grouping, k)
+	members := make([]int, n)
+	for i := 0; i < k; i++ {
+		g[i] = members[i*size : i*size : (i+1)*size]
+	}
+	t := 0
+	for j := 0; j < size; j++ {
+		for i := 0; i < k; i++ {
+			g[i] = append(g[i], order[t])
+			t++
+		}
+	}
+	return g
+}
+
+// GroupSizes implements core.SizedGrouper: round-robin dealing over
+// groups that still have capacity, preserving the rank-dominance
+// structure as far as unequal sizes allow.
+func (CliqueGrouper) GroupSizes(s core.Skills, sizes []int) core.Grouping {
+	order := core.RankDescending(s)
+	k := len(sizes)
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = make([]int, 0, sizes[i])
+	}
+	t := 0
+	for t < len(order) {
+		progressed := false
+		for i := 0; i < k && t < len(order); i++ {
+			if len(g[i]) < sizes[i] {
+				g[i] = append(g[i], order[t])
+				t++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // sizes exhausted; core.CheckSizes prevents this
+		}
+	}
+	return g
+}

@@ -1,0 +1,394 @@
+package dygroups
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/bruteforce"
+	"peerlearn/internal/core"
+)
+
+func toySkills() core.Skills {
+	return core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func skillsOf(s core.Skills, group []int) []float64 {
+	out := make([]float64, len(group))
+	for i, p := range group {
+		out[i] = s[p]
+	}
+	return out
+}
+
+func TestStarGroupToyExample(t *testing.T) {
+	// Algorithm 2 on the toy example, k = 3: teachers 0.9, 0.8, 0.7 and
+	// descending blocks → [0.9,0.6,0.5], [0.8,0.4,0.3], [0.7,0.2,0.1].
+	s := toySkills()
+	g := NewStar().Group(s, 3)
+	if err := g.ValidateEqui(len(s), 3); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.9, 0.6, 0.5}, {0.8, 0.4, 0.3}, {0.7, 0.2, 0.1}}
+	for gi := range want {
+		got := skillsOf(s, g[gi])
+		for j := range want[gi] {
+			if !almostEqual(got[j], want[gi][j]) {
+				t.Fatalf("group %d = %v, want %v", gi, got, want[gi])
+			}
+		}
+	}
+}
+
+func TestCliqueGroupToyExample(t *testing.T) {
+	// Algorithm 3 on the toy example, k = 3: round-robin striping →
+	// [0.9,0.6,0.3], [0.8,0.5,0.2], [0.7,0.4,0.1].
+	s := toySkills()
+	g := NewClique().Group(s, 3)
+	if err := g.ValidateEqui(len(s), 3); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.9, 0.6, 0.3}, {0.8, 0.5, 0.2}, {0.7, 0.4, 0.1}}
+	for gi := range want {
+		got := skillsOf(s, g[gi])
+		for j := range want[gi] {
+			if !almostEqual(got[j], want[gi][j]) {
+				t.Fatalf("group %d = %v, want %v", gi, got, want[gi])
+			}
+		}
+	}
+}
+
+func TestStarToyExampleTotalGain(t *testing.T) {
+	// Section III runs the toy example for 3 rounds with r = 0.5:
+	// DyGroups-Star totals 2.55; the arbitrary locally optimal
+	// (ascending) sequence totals 2.40.
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	dy, err := core.Run(cfg, toySkills(), NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(dy.TotalGain, 2.55) {
+		t.Errorf("DyGroups-Star toy total = %v, want 2.55", dy.TotalGain)
+	}
+	asc, err := core.Run(cfg, toySkills(), NewAscendingStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(asc.TotalGain, 2.40) {
+		t.Errorf("Ascending-Star toy total = %v, want 2.40", asc.TotalGain)
+	}
+	if dy.TotalGain <= asc.TotalGain {
+		t.Errorf("variance tie-break did not help: %v vs %v", dy.TotalGain, asc.TotalGain)
+	}
+}
+
+func TestStarToyExampleFinalSkills(t *testing.T) {
+	// The paper's final skills after 3 DyGroups-Star rounds: {0.9, 0.8,
+	// 0.8, 0.85, 0.825, 0.75, 0.7375, 0.70, 0.6875}. The paper prints
+	// them in display order; compare as sorted multisets.
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	res, err := core.Run(cfg, toySkills(), NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(res.Final))
+	for i, p := range core.RankDescending(res.Final) {
+		got[i] = res.Final[p]
+	}
+	want := []float64{0.9, 0.85, 0.825, 0.8, 0.8, 0.75, 0.7375, 0.70, 0.6875}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("sorted final %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestCliqueToyExampleTotalGain(t *testing.T) {
+	// Section III-B: DyGroups-Clique totals 2.334375 on the toy example
+	// after 3 rounds.
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Clique, Gain: core.MustLinear(0.5)}
+	res, err := core.Run(cfg, toySkills(), NewClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.TotalGain, 2.334375) {
+		t.Errorf("DyGroups-Clique toy total = %v, want 2.334375", res.TotalGain)
+	}
+}
+
+func TestCliqueToyExampleFinalSkills(t *testing.T) {
+	// The paper's final skills after 3 DyGroups-Clique rounds, sorted
+	// descending: [0.9, 0.825, 0.8, 0.8, 0.7625, 0.7375, 0.73125,
+	// 0.66875, 0.609375].
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Clique, Gain: core.MustLinear(0.5)}
+	res, err := core.Run(cfg, toySkills(), NewClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), res.Final...)
+	order := core.RankDescending(res.Final)
+	for i, p := range order {
+		got[i] = res.Final[p]
+	}
+	want := []float64{0.9, 0.825, 0.8, 0.8, 0.7625, 0.7375, 0.73125, 0.66875, 0.609375}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("sorted final %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// randomSkills draws n valid skills.
+func randomSkills(rng *rand.Rand, n int) core.Skills {
+	s := make(core.Skills, n)
+	for i := range s {
+		s[i] = rng.Float64()*2 + 0.01
+	}
+	return s
+}
+
+func TestStarTeachersAreTopK(t *testing.T) {
+	// Theorem 1(a): round-optimal groupings assign the top k skills to
+	// distinct groups; Algorithm 2 makes them the group maxima.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(4)
+		size := 1 + rng.Intn(4)
+		s := randomSkills(rng, k*size)
+		g := NewStar().Group(s, k)
+		order := core.RankDescending(s)
+		topK := map[int]bool{}
+		for _, p := range order[:k] {
+			topK[p] = true
+		}
+		for gi, grp := range g {
+			maxP := grp[0]
+			for _, p := range grp {
+				if s[p] > s[maxP] {
+					maxP = p
+				}
+			}
+			if !topK[maxP] {
+				t.Fatalf("trial %d: group %d max %d (skill %v) is not a top-%d skill", trial, gi, maxP, s[maxP], k)
+			}
+		}
+	}
+}
+
+func TestStarLocalIsRoundOptimal(t *testing.T) {
+	// Theorem 1(b): the Algorithm 2 grouping maximizes the round's star
+	// gain; compare against exhaustive search on small instances.
+	rng := rand.New(rand.NewSource(41))
+	gain := core.MustLinear(0.5)
+	for trial := 0; trial < 40; trial++ {
+		k := []int{2, 2, 3}[rng.Intn(3)]
+		size := 2 + rng.Intn(2)
+		n := k * size
+		if n > 9 {
+			continue
+		}
+		s := randomSkills(rng, n)
+		best, _, err := bruteforce.BestSingleRound(s, k, core.Star, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewStar().Group(s, k)
+		got := core.AggregateGain(s, g, core.Star, gain)
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: star local gain %v < brute-force optimum %v (skills %v)", trial, got, best, s)
+		}
+	}
+}
+
+func TestCliqueLocalIsRoundOptimal(t *testing.T) {
+	// Theorem 4: the Algorithm 3 grouping maximizes the round's clique
+	// gain.
+	rng := rand.New(rand.NewSource(43))
+	gain := core.MustLinear(0.5)
+	for trial := 0; trial < 40; trial++ {
+		k := []int{2, 2, 3}[rng.Intn(3)]
+		size := 2 + rng.Intn(2)
+		n := k * size
+		if n > 9 {
+			continue
+		}
+		s := randomSkills(rng, n)
+		best, _, err := bruteforce.BestSingleRound(s, k, core.Clique, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewClique().Group(s, k)
+		got := core.AggregateGain(s, g, core.Clique, gain)
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: clique local gain %v < brute-force optimum %v (skills %v)", trial, got, best, s)
+		}
+	}
+}
+
+func TestStarVarianceTieBreak(t *testing.T) {
+	// Theorem 2: among round-optimal groupings, Algorithm 2's output has
+	// maximal post-round variance. AscendingStar is also round-optimal
+	// (same teachers), so its post-round variance must not exceed
+	// DyGroups-Star's.
+	rng := rand.New(rand.NewSource(47))
+	gain := core.MustLinear(0.5)
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(3)
+		size := 2 + rng.Intn(4)
+		s := randomSkills(rng, k*size)
+
+		gDy := NewStar().Group(s, k)
+		gAsc := NewAscendingStar().Group(s, k)
+		// Both must be round-optimal (Theorem 1b): equal gains.
+		gainDy := core.AggregateGain(s, gDy, core.Star, gain)
+		gainAsc := core.AggregateGain(s, gAsc, core.Star, gain)
+		if math.Abs(gainDy-gainAsc) > 1e-9 {
+			t.Fatalf("trial %d: round gains differ: %v vs %v", trial, gainDy, gainAsc)
+		}
+		nextDy, _, err := core.ApplyRound(s, gDy, core.Star, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextAsc, _, err := core.ApplyRound(s, gAsc, core.Star, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nextAsc.Variance() > nextDy.Variance()+1e-9 {
+			t.Fatalf("trial %d: ascending variance %v exceeds DyGroups' %v", trial, nextAsc.Variance(), nextDy.Variance())
+		}
+	}
+}
+
+func TestCliqueDominanceStructure(t *testing.T) {
+	// Algorithm 3's defining property: the j-th ordered skill of group i
+	// is ≥ the j-th ordered skill of group i+1.
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(4)
+		size := 1 + rng.Intn(5)
+		s := randomSkills(rng, k*size)
+		g := NewClique().Group(s, k)
+		for gi := 0; gi+1 < k; gi++ {
+			a := skillsOf(s, g[gi])
+			b := skillsOf(s, g[gi+1])
+			for j := range a {
+				if a[j] < b[j]-1e-12 {
+					t.Fatalf("trial %d: dominance violated at group %d rank %d: %v < %v", trial, gi, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestStarOptimalForTwoGroups(t *testing.T) {
+	// Theorem 5: DyGroups-Star solves TDG exactly for k = 2. Direct
+	// check on random small instances and horizons.
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 25; trial++ {
+		n := []int{4, 6}[rng.Intn(2)]
+		alpha := 1 + rng.Intn(3)
+		s := randomSkills(rng, n)
+		cfg := core.Config{K: 2, Rounds: alpha, Mode: core.Star, Gain: core.MustLinear(0.5)}
+		plan, err := bruteforce.Solve(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(cfg, s, NewStar())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.TotalGain-res.TotalGain > 1e-9 {
+			t.Fatalf("trial %d: DyGroups-Star %v < optimum %v (n=%d α=%d skills=%v)",
+				trial, res.TotalGain, plan.TotalGain, n, alpha, s)
+		}
+	}
+}
+
+func TestStarRateOneConvergence(t *testing.T) {
+	// With r = 1 (the case the paper calls straightforward), everyone
+	// in a teacher's group jumps to the teacher's skill, so
+	// DyGroups-Star lifts all n participants to the maximum skill in
+	// ⌈log_{n/k}(n)⌉ rounds.
+	cases := []struct {
+		n, k, rounds int
+	}{
+		{16, 4, 2}, // group size 4, log_4 16 = 2
+		{27, 9, 3}, // group size 3, log_3 27 = 3
+		{8, 4, 3},  // group size 2, log_2 8 = 3
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(61))
+		s := randomSkills(rng, tc.n)
+		max := s.Max()
+		cfg := core.Config{K: tc.k, Rounds: tc.rounds, Mode: core.Star, Gain: core.MustLinear(1), RecordSkills: true}
+		res, err := core.Run(cfg, s, NewStar())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.Final {
+			if !almostEqual(v, max) {
+				t.Fatalf("n=%d k=%d: participant %d at %v after %d rounds, want %v",
+					tc.n, tc.k, i, v, tc.rounds, max)
+			}
+		}
+		// One round earlier, somebody must still be below max.
+		if tc.rounds > 1 {
+			prev := res.Rounds[tc.rounds-2].Skills
+			allMax := true
+			for _, v := range prev {
+				if !almostEqual(v, max) {
+					allMax = false
+					break
+				}
+			}
+			if allMax {
+				t.Fatalf("n=%d k=%d: converged before round %d", tc.n, tc.k, tc.rounds)
+			}
+		}
+	}
+}
+
+func TestGroupSizesVariants(t *testing.T) {
+	s := toySkills()
+	sizes := []int{2, 3, 4}
+	for _, g := range []core.SizedGrouper{NewStar(), NewClique()} {
+		grouping := g.GroupSizes(s, sizes)
+		if err := grouping.Validate(len(s)); err != nil {
+			t.Fatalf("%s: invalid sized grouping: %v", g.Name(), err)
+		}
+		for gi, grp := range grouping {
+			if len(grp) != sizes[gi] {
+				t.Fatalf("%s: group %d size %d, want %d", g.Name(), gi, len(grp), sizes[gi])
+			}
+		}
+	}
+}
+
+func TestStarGroupSizesKeepsTeachers(t *testing.T) {
+	s := toySkills()
+	g := NewStar().GroupSizes(s, []int{3, 3, 3})
+	// Must agree with the equi-sized algorithm.
+	equi := NewStar().Group(s, 3)
+	for gi := range equi {
+		for j := range equi[gi] {
+			if g[gi][j] != equi[gi][j] {
+				t.Fatalf("GroupSizes(3,3,3) differs from Group(k=3): %v vs %v", g, equi)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewStar().Name() != "DyGroups-Star" {
+		t.Error("unexpected star name")
+	}
+	if NewClique().Name() != "DyGroups-Clique" {
+		t.Error("unexpected clique name")
+	}
+	if NewAscendingStar().Name() != "Ascending-Star" {
+		t.Error("unexpected ascending name")
+	}
+}

@@ -1,0 +1,167 @@
+package dygroups
+
+import (
+	"container/heap"
+	"fmt"
+
+	"peerlearn/internal/core"
+)
+
+// RunStarFast is an optimized implementation of the full DyGroups-Star
+// process (Algorithm 1 + Algorithm 2) that avoids re-sorting the skills
+// every round. The paper observes the per-round cost is dominated by the
+// O(n log n) sort; this implementation exploits a structural fact: the
+// Star update preserves the relative order *within* each group (the
+// teacher stays ahead of its learners, and learners move toward the
+// teacher by the same contraction, preserving their order). So after a
+// round, the population consists of k sorted runs — one per group — and
+// the next round's descending order can be rebuilt by a k-way merge in
+// O(n log k).
+//
+// The result is identical (bit-for-bit on the skill values) to running
+// core.Run with StarGrouper; the test suite asserts this. Use it when k
+// is small and rounds are many — the regime of the paper's experiments —
+// for a sort-free inner loop.
+//
+// Groupings are not recorded (the point is to avoid materializing
+// per-round structures); Config.RecordGroupings is rejected.
+func RunStarFast(cfg core.Config, initial core.Skills) (*core.Result, error) {
+	if err := core.ValidateSkills(initial); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(len(initial)); err != nil {
+		return nil, err
+	}
+	if cfg.Mode != core.Star {
+		return nil, fmt.Errorf("dygroups: RunStarFast requires Star mode, got %v", cfg.Mode)
+	}
+	if cfg.RecordGroupings {
+		return nil, fmt.Errorf("dygroups: RunStarFast does not record groupings; use core.Run for that")
+	}
+	n := len(initial)
+	k := cfg.K
+	size := n / k
+
+	// sorted holds the skills in descending order; ids maps each sorted
+	// position back to the participant, so the final vector can be
+	// reassembled in input order.
+	order := core.RankDescending(initial)
+	sorted := make([]float64, n)
+	ids := make([]int, n)
+	for i, p := range order {
+		sorted[i] = initial[p]
+		ids[i] = p
+	}
+
+	res := &core.Result{
+		Algorithm: "DyGroups-Star (fast)",
+		Config:    cfg,
+		Initial:   initial.Clone(),
+		Rounds:    make([]core.Round, 0, cfg.Rounds),
+	}
+
+	// Scratch buffers for the per-round update and merge.
+	nextSorted := make([]float64, n)
+	nextIDs := make([]int, n)
+	runs := make([]run, k)
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		// Algorithm 2 on the sorted order: teacher i is sorted[i];
+		// its learners are the i-th descending block of sorted[k:].
+		// Apply the update into per-group runs (each run stays sorted
+		// descending because the update is a monotone contraction
+		// toward the teacher).
+		var gain float64
+		for i := 0; i < k; i++ {
+			start := k + i*(size-1)
+			r := run{vals: make([]float64, 0, size), ids: make([]int, 0, size)}
+			teacher := sorted[i]
+			r.vals = append(r.vals, teacher)
+			r.ids = append(r.ids, ids[i])
+			for j := 0; j < size-1; j++ {
+				v := sorted[start+j]
+				d := cfg.Gain.Apply(teacher - v)
+				gain += d
+				r.vals = append(r.vals, v+d)
+				r.ids = append(r.ids, ids[start+j])
+			}
+			runs[i] = r
+		}
+		mergeRuns(runs, nextSorted, nextIDs)
+		sorted, nextSorted = nextSorted, sorted
+		ids, nextIDs = nextIDs, ids
+
+		rd := core.Round{Index: t, Gain: gain, Variance: core.Skills(sorted).Variance()}
+		if cfg.RecordSkills {
+			snap := make(core.Skills, n)
+			for i, p := range ids {
+				snap[p] = sorted[i]
+			}
+			rd.Skills = snap
+		}
+		res.Rounds = append(res.Rounds, rd)
+		res.TotalGain += rd.Gain
+	}
+
+	final := make(core.Skills, n)
+	for i, p := range ids {
+		final[p] = sorted[i]
+	}
+	res.Final = final
+	return res, nil
+}
+
+// run is one group's post-update skills in descending order.
+type run struct {
+	vals []float64
+	ids  []int
+	at   int
+}
+
+// runHeap is a max-heap of runs ordered by their current head value.
+// Ties break on the ascending participant id, mirroring RankDescending
+// (a stable sort over ids 0..n−1, so equal skills end up in id order).
+// With duplicate skills the within-run order can still place a
+// higher-id teacher ahead of an equal lower-id learner, so tied
+// participants may land in different (equivalent) positions than the
+// reference path; all skill values, gains, and group contents up to
+// tie-swaps are identical, which is what the tests assert.
+type runHeap []*run
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(a, b int) bool {
+	va, vb := h[a].vals[h[a].at], h[b].vals[h[b].at]
+	if va != vb {
+		return va > vb
+	}
+	return h[a].ids[h[a].at] < h[b].ids[h[b].at]
+}
+func (h runHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*run)) }
+func (h *runHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// mergeRuns k-way-merges the descending runs into dst (and ids into
+// dstIDs).
+func mergeRuns(runs []run, dst []float64, dstIDs []int) {
+	h := make(runHeap, 0, len(runs))
+	for i := range runs {
+		runs[i].at = 0
+		if len(runs[i].vals) > 0 {
+			h = append(h, &runs[i])
+		}
+	}
+	heap.Init(&h)
+	at := 0
+	for h.Len() > 0 {
+		top := h[0]
+		dst[at] = top.vals[top.at]
+		dstIDs[at] = top.ids[top.at]
+		at++
+		top.at++
+		if top.at >= len(top.vals) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dygroups
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+func TestRunStarFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		k := 1 + rng.Intn(6)
+		size := 1 + rng.Intn(6)
+		n := k * size
+		alpha := 1 + rng.Intn(6)
+		r := 0.05 + 0.9*rng.Float64()
+		s := make(core.Skills, n)
+		for i := range s {
+			s[i] = rng.Float64()*4 + 0.01 // continuous: ties have measure zero
+		}
+		cfg := core.Config{K: k, Rounds: alpha, Mode: core.Star, Gain: core.MustLinear(r)}
+		want, err := core.Run(cfg, s, NewStar())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunStarFast(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.TotalGain-want.TotalGain) > 1e-9 {
+			t.Fatalf("trial %d: fast total %v != reference %v", trial, got.TotalGain, want.TotalGain)
+		}
+		for i := range want.Rounds {
+			if math.Abs(got.Rounds[i].Gain-want.Rounds[i].Gain) > 1e-9 {
+				t.Fatalf("trial %d round %d: fast gain %v != reference %v",
+					trial, i+1, got.Rounds[i].Gain, want.Rounds[i].Gain)
+			}
+		}
+		for p := range want.Final {
+			if math.Abs(got.Final[p]-want.Final[p]) > 1e-9 {
+				t.Fatalf("trial %d: participant %d fast %v != reference %v",
+					trial, p, got.Final[p], want.Final[p])
+			}
+		}
+	}
+}
+
+func TestRunStarFastWithTiesPreservesMultiset(t *testing.T) {
+	// With duplicate skills the per-participant assignment may differ
+	// from the reference (ties are interchangeable), but the skill
+	// multiset and total gain must match exactly.
+	s := core.Skills{0.5, 0.5, 0.5, 0.9, 0.9, 0.1, 0.1, 0.3, 0.3}
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	want, err := core.Run(cfg, s, NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStarFast(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.TotalGain-want.TotalGain) > 1e-9 {
+		t.Fatalf("fast total %v != reference %v", got.TotalGain, want.TotalGain)
+	}
+	a := append([]float64(nil), want.Final...)
+	b := append([]float64(nil), got.Final...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("final multiset differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunStarFastRecordsSkills(t *testing.T) {
+	s := core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	cfg := core.Config{K: 3, Rounds: 2, Mode: core.Star, Gain: core.MustLinear(0.5), RecordSkills: true}
+	res, err := RunStarFast(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rd := range res.Rounds {
+		if rd.Skills == nil {
+			t.Fatal("skills not recorded")
+		}
+		if math.Abs(rd.Variance-rd.Skills.Variance()) > 1e-12 {
+			t.Fatalf("round %d: variance %v != snapshot %v", rd.Index, rd.Variance, rd.Skills.Variance())
+		}
+	}
+	last := res.Rounds[len(res.Rounds)-1].Skills
+	for p := range last {
+		if last[p] != res.Final[p] {
+			t.Fatal("last snapshot differs from Final")
+		}
+	}
+}
+
+func TestRunStarFastRejections(t *testing.T) {
+	s := core.Skills{1, 2, 3, 4}
+	if _, err := RunStarFast(core.Config{K: 2, Rounds: 1, Mode: core.Clique, Gain: core.MustLinear(0.5)}, s); err == nil {
+		t.Error("clique mode accepted")
+	}
+	if _, err := RunStarFast(core.Config{K: 2, Rounds: 1, Mode: core.Star, Gain: core.MustLinear(0.5), RecordGroupings: true}, s); err == nil {
+		t.Error("RecordGroupings accepted")
+	}
+	if _, err := RunStarFast(core.Config{K: 3, Rounds: 1, Mode: core.Star, Gain: core.MustLinear(0.5)}, s); err == nil {
+		t.Error("indivisible instance accepted")
+	}
+	if _, err := RunStarFast(core.Config{K: 2, Rounds: 1, Mode: core.Star, Gain: core.MustLinear(0.5)}, core.Skills{1, -1}); err == nil {
+		t.Error("invalid skills accepted")
+	}
+}
+
+func BenchmarkRunStarReference(b *testing.B) {
+	s := benchSkills(100000)
+	cfg := core.Config{K: 5, Rounds: 16, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, s, NewStar()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunStarFast(b *testing.B) {
+	s := benchSkills(100000)
+	cfg := core.Config{K: 5, Rounds: 16, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStarFast(cfg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSkills(n int) core.Skills {
+	rng := rand.New(rand.NewSource(1))
+	s := make(core.Skills, n)
+	for i := range s {
+		s[i] = rng.Float64()*3 + 0.01
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache memoizes generated tables on disk, keyed by the figure id and
+// the full option set, so re-running `benchfig` for a report does not
+// recompute hour-scale sweeps. Entries are content-addressed JSON files;
+// corrupt or unreadable entries are treated as misses (and regenerated),
+// never as errors.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache directory.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("experiments: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// key derives the cache file name from the figure id and options. Every
+// field of Options participates: a changed seed or run count must miss.
+func (c *Cache) key(id string, opts Options) (string, error) {
+	payload, err := json.Marshal(struct {
+		ID   string
+		Opts Options
+	}{id, opts})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return filepath.Join(c.dir, "fig-"+hex.EncodeToString(sum[:16])+".json"), nil
+}
+
+// Get returns the cached table for (id, opts), or ok=false on a miss.
+func (c *Cache) Get(id string, opts Options) (*Table, bool) {
+	path, err := c.key(id, opts)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, false // corrupt entry: miss, will be overwritten
+	}
+	if t.ID != id {
+		return nil, false // hash collision paranoia
+	}
+	return &t, true
+}
+
+// Put stores a table. Write errors are returned so callers can warn;
+// the cache stays usable either way.
+func (c *Cache) Put(id string, opts Options, t *Table) error {
+	path, err := c.key(id, opts)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(t, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // atomic publish
+}
+
+// GenerateCached is Generate with read-through caching.
+func GenerateCached(id string, opts Options, cache *Cache) (*Table, error) {
+	if cache == nil {
+		return Generate(id, opts)
+	}
+	if t, ok := cache.Get(id, opts); ok {
+		return t, nil
+	}
+	t, err := Generate(id, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := cache.Put(id, opts, t); err != nil {
+		return nil, fmt.Errorf("experiments: caching figure %s: %w", id, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOpts()
+	if _, ok := cache.Get("ext-tiebreak", opts); ok {
+		t.Fatal("empty cache hit")
+	}
+	first, err := GenerateCached("ext-tiebreak", opts, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := cache.Get("ext-tiebreak", opts)
+	if !ok {
+		t.Fatal("generated table not cached")
+	}
+	if cached.Title != first.Title || len(cached.Cells) != len(first.Cells) {
+		t.Fatalf("cached table differs: %+v", cached)
+	}
+	// Different options must miss.
+	other := opts
+	other.Seed = 999
+	if _, ok := cache.Get("ext-tiebreak", other); ok {
+		t.Fatal("different seed hit the cache")
+	}
+	// Different figure must miss.
+	if _, ok := cache.Get("ext-sizes", opts); ok {
+		t.Fatal("different figure hit the cache")
+	}
+}
+
+func TestCacheServesSecondCall(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOpts()
+	a, err := GenerateCached("ext-sizes", opts, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCached("ext-sizes", opts, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range a.Cells {
+		for ci := range a.Cells[ri] {
+			if a.Cells[ri][ci] != b.Cells[ri][ci] {
+				t.Fatal("cached round-trip changed values")
+			}
+		}
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOpts()
+	if _, err := GenerateCached("ext-sizes", opts, cache); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every entry.
+	entries, err := filepath.Glob(filepath.Join(dir, "fig-*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries: %v", err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(e, []byte("{broken"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := cache.Get("ext-sizes", opts); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// Regeneration repairs the cache.
+	if _, err := GenerateCached("ext-sizes", opts, cache); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get("ext-sizes", opts); !ok {
+		t.Fatal("cache not repaired")
+	}
+}
+
+func TestGenerateCachedNilCache(t *testing.T) {
+	if _, err := GenerateCached("ext-sizes", quickOpts(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(""); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

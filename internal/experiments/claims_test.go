@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]int{}
+	for _, c := range Claims() {
+		if c.Figure == "" || c.Statement == "" || c.Check == nil {
+			t.Fatalf("malformed claim: %+v", c)
+		}
+		if _, err := Get(c.Figure); err != nil {
+			t.Errorf("claim references unknown figure %s", c.Figure)
+		}
+		seen[c.Figure]++
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d figures have claims", len(seen))
+	}
+}
+
+func TestClaimHelpers(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", XLabel: "x", Columns: []string{"A", "B"}}
+	tab.AddRow(1, 10, 5)
+	tab.AddRow(2, 20, 8)
+
+	if err := seriesLeads(tab, "A", 0); err != nil {
+		t.Errorf("A leads but reported: %v", err)
+	}
+	if err := seriesLeads(tab, "B", 0); err == nil {
+		t.Error("B does not lead but passed")
+	}
+	if err := seriesLeads(tab, "C", 0); err == nil {
+		t.Error("missing column accepted")
+	}
+
+	if err := columnMonotone(tab, "A", +1, 0); err != nil {
+		t.Errorf("A increasing but reported: %v", err)
+	}
+	if err := columnMonotone(tab, "A", -1, 0); err == nil {
+		t.Error("A is not decreasing but passed")
+	}
+
+	if err := columnAbove(tab, "B", 4); err != nil {
+		t.Errorf("B above 4 but reported: %v", err)
+	}
+	if err := columnAbove(tab, "B", 6); err == nil {
+		t.Error("B not above 6 but passed")
+	}
+}
+
+func TestFlatInK(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", XLabel: "k", Columns: []string{"flat", "growing"}}
+	tab.AddRow(5, 100, 100)
+	tab.AddRow(50, 120, 1000)
+	tab.AddRow(500, 90, 10000)
+	if err := flatInK("flat")(tab); err != nil {
+		t.Errorf("flat series reported: %v", err)
+	}
+	if err := flatInK("growing")(tab); err == nil {
+		t.Error("growing series passed the flatness check")
+	}
+}
+
+// TestVerifyQuick runs the full claim suite in quick mode. It is the
+// automated counterpart of `benchfig -verify`.
+func TestVerifyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claim verification regenerates many figures")
+	}
+	results, err := Verify(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures []string
+	for _, r := range results {
+		if r.Err != nil {
+			failures = append(failures, r.Claim.Figure+": "+r.Err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		t.Fatalf("%d paper claim(s) failed:\n%s", len(failures), strings.Join(failures, "\n"))
+	}
+}

@@ -1,0 +1,468 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"peerlearn/internal/affinity"
+	"peerlearn/internal/amt"
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/bruteforce"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dist"
+	"peerlearn/internal/dygroups"
+)
+
+// This file implements the extension experiments that go beyond the
+// paper's figures, following its Section VII ("Discussion and Future
+// Work"): concave learning-gain functions, unequal group sizes, the
+// value of the Theorem 2 variance tie-break, convergence speed, and the
+// bi-criteria affinity trade-off. DESIGN.md lists them under
+// "Extensions"; EXPERIMENTS.md discusses the outcomes.
+
+// ExtGain compares the algorithms under the linear gain and the two
+// concave families on the same instances (Star mode, log-normal skills)
+// and searches small instances for a certificate that DyGroups-Star is
+// NOT optimal under a concave gain — the paper's Section VII conjecture.
+func ExtGain(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	n := DefaultN
+	if opts.Quick {
+		n = QuickN
+	}
+	sqrtGain, err := core.NewSqrt(0.5, 4)
+	if err != nil {
+		return nil, err
+	}
+	logGain, err := core.NewLog(0.5, 4)
+	if err != nil {
+		return nil, err
+	}
+	gains := []core.Gain{core.MustLinear(DefaultR), sqrtGain, logGain}
+	algos := Algos(core.Star)
+
+	t := &Table{
+		ID:      "ext-gain",
+		Title:   fmt.Sprintf("Aggregate learning gain per gain function (star, log-normal, n=%d)", n),
+		XLabel:  "gainfn", // 1 = linear, 2 = sqrt, 3 = log
+		Columns: AlgoNames(algos),
+	}
+	for gi, gain := range gains {
+		sums := make([]float64, len(algos))
+		for run := 0; run < opts.Runs; run++ {
+			skills := dist.Generate(n, dist.PaperLogNormal, opts.Seed+int64(run)*6151)
+			cfg := core.Config{K: DefaultK, Rounds: DefaultAlpha, Mode: core.Star, Gain: gain}
+			for ai, f := range algos {
+				res, err := core.Run(cfg, skills, f.New(opts.Seed+int64(run)*31+int64(ai)))
+				if err != nil {
+					return nil, err
+				}
+				sums[ai] += res.TotalGain / float64(opts.Runs)
+			}
+		}
+		t.AddRow(float64(gi+1), sums...)
+		t.AddNote("gainfn %d = %s", gi+1, gain.Name())
+	}
+
+	// Counterexample search: under a strongly concave gain, greedy
+	// DyGroups-Star loses to the exact optimum on small pair-grouping
+	// instances — confirming the paper's Section VII remark. (Searching
+	// k = 2 instead finds no gap, hinting that the Theorem 5 guarantee
+	// may survive concavity for two groups.)
+	searchGain, err := core.NewSqrt(0.2, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	seed, gap, err := concaveCounterexample(searchGain, opts)
+	if err != nil {
+		return nil, err
+	}
+	if seed >= 0 {
+		t.AddNote("concave non-optimality certificate: seed %d, DyGroups-Star trails the brute-force optimum by %.4g%% (%s, k=n/2)", seed, 100*gap, searchGain.Name())
+	} else {
+		t.AddNote("no concave counterexample found in the search budget (try more seeds)")
+	}
+	return t, nil
+}
+
+// concaveCounterexample searches small pair-grouping instances
+// (k = n/2) for one where DyGroups-Star is beaten by the exact optimum
+// under the given concave gain. It returns the first witnessing seed
+// and the relative gap, or seed −1 if none was found within the budget.
+func concaveCounterexample(gain core.Gain, opts Options) (seed int64, gap float64, err error) {
+	budget := 50
+	if opts.Quick {
+		budget = 10
+	}
+	for s := int64(0); s < int64(budget); s++ {
+		for _, n := range []int{6, 8} {
+			for _, alpha := range []int{2, 3} {
+				skills := dist.Generate(n, dist.Unit, 1000+opts.Seed+s)
+				cfg := core.Config{K: n / 2, Rounds: alpha, Mode: core.Star, Gain: gain}
+				plan, err := bruteforce.Solve(cfg, skills)
+				if err != nil {
+					return -1, 0, err
+				}
+				res, err := core.Run(cfg, skills, dygroups.NewStar())
+				if err != nil {
+					return -1, 0, err
+				}
+				if plan.TotalGain > res.TotalGain*(1+1e-9) {
+					return 1000 + opts.Seed + s, (plan.TotalGain - res.TotalGain) / plan.TotalGain, nil
+				}
+			}
+		}
+	}
+	return -1, 0, nil
+}
+
+// ExtSizes exercises the unequal-group-size adaptation (Section VII):
+// it compares total gain across size vectors of the same population,
+// from all-equal to strongly skewed.
+func ExtSizes(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	const n = 1200
+	shapes := []struct {
+		name  string
+		sizes []int
+	}{
+		{"equal 6x200", repeatSizes(200, 6)},
+		{"mild skew", []int{100, 150, 200, 200, 250, 300}},
+		{"strong skew", []int{50, 50, 100, 200, 300, 500}},
+		{"one giant", []int{40, 40, 40, 40, 40, 1000}},
+	}
+	t := &Table{
+		ID:      "ext-sizes",
+		Title:   fmt.Sprintf("Unequal group sizes: total gain by size vector (n=%d, α=%d, r=%g)", n, DefaultAlpha, DefaultR),
+		XLabel:  "shape",
+		Columns: []string{"DyGroups-Star", "DyGroups-Clique"},
+	}
+	for si, shape := range shapes {
+		var star, clique float64
+		for run := 0; run < opts.Runs; run++ {
+			skills := dist.Generate(n, dist.PaperLogNormal, opts.Seed+int64(run)*6151)
+			cfgStar := core.Config{Rounds: DefaultAlpha, Mode: core.Star, Gain: core.MustLinear(DefaultR)}
+			resStar, err := core.RunSized(cfgStar, skills, shape.sizes, dygroups.NewStar())
+			if err != nil {
+				return nil, err
+			}
+			cfgClique := cfgStar
+			cfgClique.Mode = core.Clique
+			resClique, err := core.RunSized(cfgClique, skills, shape.sizes, dygroups.NewClique())
+			if err != nil {
+				return nil, err
+			}
+			star += resStar.TotalGain / float64(opts.Runs)
+			clique += resClique.TotalGain / float64(opts.Runs)
+		}
+		t.AddRow(float64(si+1), star, clique)
+		t.AddNote("shape %d = %s %v", si+1, shape.name, shape.sizes)
+	}
+	return t, nil
+}
+
+func repeatSizes(size, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+// ExtTiebreak quantifies the Theorem 2 variance tie-break: DyGroups-Star
+// versus Ascending-Star (both round-optimal; only the tie-break
+// differs) across horizons.
+func ExtTiebreak(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	n := DefaultN
+	alphas := []int{1, 2, 3, 4, 5, 6, 8, 10}
+	if opts.Quick {
+		n = QuickN
+		alphas = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		ID:      "ext-tiebreak",
+		Title:   fmt.Sprintf("Variance tie-break ablation: DyGroups-Star vs Ascending-Star (n=%d, k=%d, r=%g)", n, DefaultK, DefaultR),
+		XLabel:  "alpha",
+		Columns: []string{"DyGroups-Star", "Ascending-Star", "advantage-%"},
+	}
+	for _, alpha := range alphas {
+		var dy, asc float64
+		for run := 0; run < opts.Runs; run++ {
+			skills := dist.Generate(n, dist.Unit, opts.Seed+int64(run)*6151)
+			cfg := core.Config{K: DefaultK, Rounds: alpha, Mode: core.Star, Gain: core.MustLinear(DefaultR)}
+			resDy, err := core.Run(cfg, skills, dygroups.NewStar())
+			if err != nil {
+				return nil, err
+			}
+			resAsc, err := core.Run(cfg, skills, dygroups.NewAscendingStar())
+			if err != nil {
+				return nil, err
+			}
+			dy += resDy.TotalGain / float64(opts.Runs)
+			asc += resAsc.TotalGain / float64(opts.Runs)
+		}
+		t.AddRow(float64(alpha), dy, asc, 100*(dy/asc-1))
+	}
+	return t, nil
+}
+
+// ExtConvergence measures how many rounds each policy needs to realize
+// 99% of the achievable learning gain Σ(max − s_i), per group size.
+func ExtConvergence(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	n := 2000
+	sizes := []int{4, 10, 50, 200}
+	if opts.Quick {
+		n = 400
+		sizes = []int{4, 20, 100}
+	}
+	const maxRounds = 200
+	algos := Algos(core.Star)
+	t := &Table{
+		ID:      "ext-convergence",
+		Title:   fmt.Sprintf("Rounds to reach 99%% of the achievable gain (star, n=%d, r=%g)", n, DefaultR),
+		XLabel:  "groupsize",
+		Columns: AlgoNames(algos),
+	}
+	for _, size := range sizes {
+		k := n / size
+		row := make([]float64, len(algos))
+		for ai, f := range algos {
+			var sum float64
+			for run := 0; run < opts.Runs; run++ {
+				skills := dist.Generate(n, dist.PaperLogNormal, opts.Seed+int64(run)*6151)
+				target := 0.99 * achievableGain(skills)
+				cfg := core.Config{K: k, Rounds: maxRounds, Mode: core.Star, Gain: core.MustLinear(DefaultR)}
+				res, err := core.Run(cfg, skills, f.New(opts.Seed+int64(run)*31+int64(ai)))
+				if err != nil {
+					return nil, err
+				}
+				rounds := maxRounds
+				var acc float64
+				for _, rd := range res.Rounds {
+					acc += rd.Gain
+					if acc >= target {
+						rounds = rd.Index
+						break
+					}
+				}
+				sum += float64(rounds)
+			}
+			row[ai] = sum / float64(opts.Runs)
+		}
+		t.AddRow(float64(size), row...)
+	}
+	t.AddNote("achievable gain = Σ(max skill − s_i); entries capped at %d rounds", maxRounds)
+	return t, nil
+}
+
+// achievableGain is the supremum of total learning gain: everyone
+// reaching the initial maximum skill.
+func achievableGain(s core.Skills) float64 {
+	max := s.Max()
+	var g float64
+	for _, v := range s {
+		g += max - v
+	}
+	return g
+}
+
+// ExtAffinity sweeps the bi-criteria weight λ and reports learning gain,
+// affinity welfare, and the final mean affinity (Section VII's proposed
+// bi-criteria problem, modeled in internal/affinity).
+func ExtAffinity(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	const (
+		n     = 60
+		k     = 12 // groups of size 5
+		alpha = 4
+	)
+	lambdas := []float64{0, 0.25, 0.5, 0.75, 1}
+	t := &Table{
+		ID:      "ext-affinity",
+		Title:   fmt.Sprintf("Bi-criteria λ sweep (star, n=%d, k=%d, α=%d)", n, k, alpha),
+		XLabel:  "lambda",
+		Columns: []string{"learning-gain", "affinity-welfare", "final-mean-affinity"},
+	}
+	for _, lambda := range lambdas {
+		var gainSum, welfareSum, affSum float64
+		for run := 0; run < opts.Runs; run++ {
+			seed := opts.Seed + int64(run)*6151
+			skills := dist.Generate(n, dist.Unit, seed)
+			m, err := affinity.NewRandomMatrix(n, 0.5, seed+7)
+			if err != nil {
+				return nil, err
+			}
+			g, err := affinity.NewGrouper(lambda, core.Star, core.MustLinear(DefaultR), m)
+			if err != nil {
+				return nil, err
+			}
+			res, err := affinity.Simulate(g, skills, k, alpha, affinity.DefaultEvolution)
+			if err != nil {
+				return nil, err
+			}
+			gainSum += res.TotalGain / float64(opts.Runs)
+			welfareSum += res.TotalWelfare / float64(opts.Runs)
+			affSum += res.Rounds[len(res.Rounds)-1].MeanAff / float64(opts.Runs)
+		}
+		t.AddRow(lambda, gainSum, welfareSum, affSum)
+	}
+	t.AddNote("λ=1 is pure DyGroups-Star; λ=0 optimizes affinity welfare only")
+	return t, nil
+}
+
+// ExtPercentile sweeps Percentile-Partitions' parameter p (the paper
+// fixes p = 0.75 "following the discussion in [8]") and reports total
+// gain against the DyGroups reference, quantifying how sensitive the
+// baseline is to its one knob.
+func ExtPercentile(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	n := DefaultN
+	if opts.Quick {
+		n = QuickN
+	}
+	ps := []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95}
+	gain := core.MustLinear(DefaultR)
+	cfg := core.Config{K: DefaultK, Rounds: DefaultAlpha, Mode: core.Star, Gain: gain}
+	t := &Table{
+		ID:      "ext-percentile",
+		Title:   fmt.Sprintf("Percentile-Partitions sensitivity to p (star, log-normal, n=%d)", n),
+		XLabel:  "p",
+		Columns: []string{"Percentile-Partitions", "DyGroups-Star"},
+	}
+	for _, p := range ps {
+		var ppGain, dyGain float64
+		for run := 0; run < opts.Runs; run++ {
+			skills := dist.Generate(n, dist.PaperLogNormal, opts.Seed+int64(run)*6151)
+			pp, err := baselines.NewPercentile(p)
+			if err != nil {
+				return nil, err
+			}
+			resPP, err := core.Run(cfg, skills, pp)
+			if err != nil {
+				return nil, err
+			}
+			resDy, err := core.Run(cfg, skills, dygroups.NewStar())
+			if err != nil {
+				return nil, err
+			}
+			ppGain += resPP.TotalGain / float64(opts.Runs)
+			dyGain += resDy.TotalGain / float64(opts.Runs)
+		}
+		t.AddRow(p, ppGain, dyGain)
+	}
+	t.AddNote("the paper's setting is p = 0.75; DyGroups is the p-free reference")
+	return t, nil
+}
+
+// ExtChurn studies the retention feedback loop of Section VII
+// ("A faster overall learning gain may still higher satisfaction among
+// participants, and thus create a positive feedback loop"): it sweeps
+// the retention model's sensitivity to experienced gain and reports
+// final retention and total gain for DyGroups and K-Means populations.
+// The more retention rewards learning, the further DyGroups' retention
+// advantage compounds.
+func ExtChurn(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	trials := opts.HumanTrials
+	weights := []float64{0, 1, 2, 4}
+	t := &Table{
+		ID:      "ext-churn",
+		Title:   "Retention feedback: final retention and gain vs gain-sensitivity of retention",
+		XLabel:  "gain-weight",
+		Columns: []string{"retention-DyGroups", "retention-K-Means", "gain-DyGroups", "gain-K-Means"},
+	}
+	for _, wgt := range weights {
+		spec := amt.Experiment1Spec(trials, opts.Seed)
+		spec.Deployment.Retention.GainWeight = wgt
+		res, err := amt.RunExperiment(spec)
+		if err != nil {
+			return nil, err
+		}
+		dy, km := res.Series[0], res.Series[1]
+		last := res.Rounds - 1
+		t.AddRow(wgt,
+			dy.RetentionPerRound[last], km.RetentionPerRound[last],
+			mean(dy.TotalGainPerTrial), mean(km.TotalGainPerTrial))
+	}
+	t.AddNote("retention model: stay = base + weight·gain (+ teacher bonus), clamped; %d simulated trials", trials)
+	return t, nil
+}
+
+// ExtMetaheuristic pits DyGroups against a generic simulated-annealing
+// search (the OR-literature approach the paper's related work cites) on
+// gain and wall time. DyGroups should match or beat the annealer's gain
+// at a small fraction of its cost — the structural insight of Theorem 1
+// versus blind search.
+func ExtMetaheuristic(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	ns := []int{100, 400, 1000, 4000}
+	if opts.Quick {
+		ns = []int{100, 400}
+	}
+	const k = 20
+	gain := core.MustLinear(DefaultR)
+	t := &Table{
+		ID:      "ext-meta",
+		Title:   fmt.Sprintf("DyGroups vs simulated annealing (star, k=%d, α=%d)", k, DefaultAlpha),
+		XLabel:  "n",
+		Columns: []string{"gain-DyGroups", "gain-Annealing", "time-DyGroups-µs", "time-Annealing-µs"},
+	}
+	for _, n := range ns {
+		var dyGain, saGain, dyTime, saTime float64
+		for run := 0; run < opts.Runs; run++ {
+			seed := opts.Seed + int64(run)*6151
+			skills := dist.Generate(n, dist.PaperLogNormal, seed)
+			cfg := core.Config{K: k, Rounds: DefaultAlpha, Mode: core.Star, Gain: gain}
+
+			dyG, dyT, err := timedRun(cfg, skills, dygroups.NewStar())
+			if err != nil {
+				return nil, err
+			}
+			saG, saT, err := timedRun(cfg, skills, baselines.NewAnnealing(seed, core.Star, gain))
+			if err != nil {
+				return nil, err
+			}
+			dyGain += dyG / float64(opts.Runs)
+			saGain += saG / float64(opts.Runs)
+			dyTime += dyT / float64(opts.Runs)
+			saTime += saT / float64(opts.Runs)
+		}
+		t.AddRow(float64(n), dyGain, saGain, dyTime, saTime)
+	}
+	t.AddNote("annealer: %d sweeps per participant per round; times in microseconds", 20)
+	return t, nil
+}
+
+// timedRun runs one simulation and returns (total gain, microseconds).
+func timedRun(cfg core.Config, skills core.Skills, g core.Grouper) (float64, float64, error) {
+	start := time.Now()
+	res, err := core.Run(cfg, skills, g)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.TotalGain, float64(time.Since(start).Nanoseconds()) / 1e3, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func init() {
+	registry["ext-gain"] = ExtGain
+	registry["ext-sizes"] = ExtSizes
+	registry["ext-tiebreak"] = ExtTiebreak
+	registry["ext-convergence"] = ExtConvergence
+	registry["ext-affinity"] = ExtAffinity
+	registry["ext-churn"] = ExtChurn
+	registry["ext-meta"] = ExtMetaheuristic
+	registry["ext-percentile"] = ExtPercentile
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+func TestExtGain(t *testing.T) {
+	tab, err := ExtGain(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	if len(tab.XValues) != 3 {
+		t.Fatalf("expected 3 gain functions, got %d rows", len(tab.XValues))
+	}
+	// DyGroups-Star leads under every gain function.
+	for ri := range tab.Cells {
+		for ci := 1; ci < len(tab.Columns); ci++ {
+			if tab.Cells[ri][ci] > tab.Cells[ri][0]+1e-9 {
+				t.Errorf("ext-gain: %s beat DyGroups under gainfn %v", tab.Columns[ci], tab.XValues[ri])
+			}
+		}
+	}
+	// The concave counterexample note must be present (found or not).
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "counterexample") || strings.Contains(n, "certificate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ext-gain missing the concave-optimality note")
+	}
+}
+
+func TestConcaveCounterexampleExists(t *testing.T) {
+	// The search must produce a certificate that greedy is not optimal
+	// for strongly concave gains on pair groupings — the claim
+	// EXPERIMENTS.md records.
+	sqrtGain, err := core.NewSqrt(0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, gap, err := concaveCounterexample(sqrtGain, Options{Seed: 1, Runs: 1}.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed < 0 {
+		t.Fatal("no concave counterexample found: the Section VII non-optimality claim is unwitnessed")
+	}
+	if gap <= 0 {
+		t.Fatalf("counterexample with non-positive gap %v", gap)
+	}
+	t.Logf("concave counterexample: seed %d, relative gap %.4g", seed, gap)
+}
+
+func TestExtSizes(t *testing.T) {
+	tab, err := ExtSizes(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	if len(tab.XValues) != 4 {
+		t.Fatalf("expected 4 shapes, got %d", len(tab.XValues))
+	}
+	for ri := range tab.Cells {
+		for ci := range tab.Columns {
+			if tab.Cells[ri][ci] <= 0 {
+				t.Errorf("ext-sizes: non-positive gain at [%d][%d]", ri, ci)
+			}
+		}
+	}
+}
+
+func TestExtTiebreak(t *testing.T) {
+	tab, err := ExtTiebreak(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	advIdx := columnIndex(t, tab, "advantage-%")
+	for ri := range tab.Cells {
+		if tab.Cells[ri][advIdx] < -1e-6 {
+			t.Errorf("ext-tiebreak: DyGroups behind Ascending at α=%v (%v%%)", tab.XValues[ri], tab.Cells[ri][advIdx])
+		}
+	}
+	// For α ≥ 2 the tie-break should yield a strictly positive edge
+	// somewhere (round 1 is identical by Theorem 1).
+	positive := false
+	for ri := range tab.Cells {
+		if tab.XValues[ri] >= 2 && tab.Cells[ri][advIdx] > 0.01 {
+			positive = true
+		}
+	}
+	if !positive {
+		t.Error("ext-tiebreak: no measurable advantage from the variance tie-break")
+	}
+}
+
+func TestExtConvergence(t *testing.T) {
+	tab, err := ExtConvergence(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	// DyGroups converges at least as fast as every baseline at every
+	// group size.
+	for ri := range tab.Cells {
+		for ci := 1; ci < len(tab.Columns); ci++ {
+			if tab.Cells[ri][0] > tab.Cells[ri][ci]+1e-9 {
+				t.Errorf("ext-convergence: %s converged faster than DyGroups at size %v (%v vs %v rounds)",
+					tab.Columns[ci], tab.XValues[ri], tab.Cells[ri][ci], tab.Cells[ri][0])
+			}
+		}
+	}
+}
+
+func TestExtAffinity(t *testing.T) {
+	tab, err := ExtAffinity(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	gainIdx := columnIndex(t, tab, "learning-gain")
+	// λ = 1 (last row) must have the highest learning gain; λ = 0 the
+	// lowest or equal.
+	last := len(tab.Cells) - 1
+	for ri := range tab.Cells {
+		if tab.Cells[ri][gainIdx] > tab.Cells[last][gainIdx]+1e-9 {
+			t.Errorf("ext-affinity: λ=%v gain %v exceeds λ=1 gain %v",
+				tab.XValues[ri], tab.Cells[ri][gainIdx], tab.Cells[last][gainIdx])
+		}
+	}
+}
+
+func TestExtChurn(t *testing.T) {
+	opts := quickOpts()
+	opts.HumanTrials = 10 // retention comparisons need a few trials
+	tab, err := ExtChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	dyRet := tab.Column("retention-DyGroups")
+	kmRet := tab.Column("retention-K-Means")
+	// At gain-weight 0, retention ignores learning: the two populations
+	// should retain (almost) equally. As the weight grows, DyGroups
+	// should open a retention lead.
+	if diff := dyRet[0] - kmRet[0]; diff > 0.06 || diff < -0.06 {
+		t.Errorf("gain-weight 0 retention should be near-equal, diff %v", diff)
+	}
+	last := len(dyRet) - 1
+	if dyRet[last] <= kmRet[last] {
+		t.Errorf("high gain-weight: DyGroups retention %v not above K-Means %v", dyRet[last], kmRet[last])
+	}
+}
+
+func TestExtMetaheuristic(t *testing.T) {
+	tab, err := ExtMetaheuristic(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	dyGain := tab.Column("gain-DyGroups")
+	saGain := tab.Column("gain-Annealing")
+	dyTime := tab.Column("time-DyGroups-µs")
+	saTime := tab.Column("time-Annealing-µs")
+	for i := range dyGain {
+		// DyGroups must not lose on gain (it is round-optimal) and
+		// should be far cheaper than the annealer.
+		if saGain[i] > dyGain[i]*1.001 {
+			t.Errorf("n=%v: annealing gain %v beat DyGroups %v", tab.XValues[i], saGain[i], dyGain[i])
+		}
+		if saTime[i] < dyTime[i] {
+			t.Errorf("n=%v: annealing time %v below DyGroups %v — check the sweep budget", tab.XValues[i], saTime[i], dyTime[i])
+		}
+	}
+}
+
+func TestExtPercentile(t *testing.T) {
+	tab, err := ExtPercentile(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	pp := tab.Column("Percentile-Partitions")
+	dy := tab.Column("DyGroups-Star")
+	for i := range pp {
+		if pp[i] > dy[i]+1e-9 {
+			t.Errorf("p=%v: percentile %v beat DyGroups %v", tab.XValues[i], pp[i], dy[i])
+		}
+	}
+}
+
+func TestExtensionIDsRegistered(t *testing.T) {
+	for _, id := range []string{"ext-gain", "ext-sizes", "ext-tiebreak", "ext-convergence", "ext-affinity", "ext-churn", "ext-meta", "ext-percentile"} {
+		if _, err := Get(id); err != nil {
+			t.Errorf("extension %s not registered: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"peerlearn/internal/dist"
+)
+
+// quickDist is the distribution used by harness-level unit tests.
+func quickDist() dist.Distribution { return dist.PaperLogNormal }
+
+// quickOpts shrinks every generator for fast unit testing.
+func quickOpts() Options {
+	return Options{Seed: 7, Runs: 2, Quick: true, HumanTrials: 3}
+}
+
+// columnIndex finds a series or fails the test.
+func columnIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tab.ID, name, tab.Columns)
+	return -1
+}
+
+func checkTableSane(t *testing.T, tab *Table) {
+	t.Helper()
+	if tab.ID == "" || tab.Title == "" || tab.XLabel == "" {
+		t.Fatalf("table metadata incomplete: %+v", tab)
+	}
+	if len(tab.XValues) == 0 || len(tab.Columns) == 0 {
+		t.Fatalf("table %s is empty", tab.ID)
+	}
+	for ri, row := range tab.Cells {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("table %s row %d has %d cells, want %d", tab.ID, ri, len(row), len(tab.Columns))
+		}
+		for ci, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("table %s cell [%d][%d] is %v", tab.ID, ri, ci, v)
+			}
+		}
+	}
+}
+
+func TestFig5VariantsAndErrors(t *testing.T) {
+	for _, variant := range []string{"a", "b"} {
+		tab, err := Fig5(variant, quickOpts())
+		if err != nil {
+			t.Fatalf("Fig5(%s): %v", variant, err)
+		}
+		checkTableSane(t, tab)
+		// Learning gain must grow with n for every algorithm.
+		for ci := range tab.Columns {
+			for ri := 1; ri < len(tab.Cells); ri++ {
+				if tab.Cells[ri][ci] <= tab.Cells[ri-1][ci] {
+					t.Errorf("Fig5%s %s: gain not increasing with n: %v", variant, tab.Columns[ci], tab.Column(tab.Columns[ci]))
+				}
+			}
+		}
+		// DyGroups wins at every point.
+		dyIdx := 0
+		for ri := range tab.Cells {
+			for ci := 1; ci < len(tab.Columns); ci++ {
+				if tab.Cells[ri][ci] > tab.Cells[ri][dyIdx]+1e-9 {
+					t.Errorf("Fig5%s: %s beat DyGroups at n=%v (%v vs %v)",
+						variant, tab.Columns[ci], tab.XValues[ri], tab.Cells[ri][ci], tab.Cells[ri][dyIdx])
+				}
+			}
+		}
+	}
+	if _, err := Fig5("c", quickOpts()); err == nil {
+		t.Error("Fig5 accepted unknown variant")
+	}
+}
+
+func TestFig6GainDecreasesWithK(t *testing.T) {
+	tab, err := Fig6("a", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	// The paper: LG decreases with increasing k (more groups → weaker
+	// teachers). Check DyGroups' column is non-increasing.
+	dy := tab.Cells
+	for ri := 1; ri < len(dy); ri++ {
+		if dy[ri][0] > dy[ri-1][0]+1e-9 {
+			t.Errorf("Fig6a: DyGroups gain increased with k: %v", tab.Column(tab.Columns[0]))
+		}
+	}
+	if _, err := Fig6("z", quickOpts()); err == nil {
+		t.Error("Fig6 accepted unknown variant")
+	}
+}
+
+func TestFig7GainIncreasesWithAlpha(t *testing.T) {
+	for _, variant := range []string{"a", "b"} {
+		tab, err := Fig7(variant, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableSane(t, tab)
+		for ri := 1; ri < len(tab.Cells); ri++ {
+			if tab.Cells[ri][0] < tab.Cells[ri-1][0]-1e-9 {
+				t.Errorf("Fig7%s: DyGroups gain decreased with α: %v", variant, tab.Column(tab.Columns[0]))
+			}
+		}
+	}
+}
+
+func TestFig8And9RSweeps(t *testing.T) {
+	for fig, gen := range map[string]func(string, Options) (*Table, error){"8": Fig8, "9": Fig9} {
+		for _, variant := range []string{"a", "b"} {
+			tab, err := gen(variant, quickOpts())
+			if err != nil {
+				t.Fatalf("Fig%s(%s): %v", fig, variant, err)
+			}
+			checkTableSane(t, tab)
+			// Gains should increase with r for DyGroups.
+			for ri := 1; ri < len(tab.Cells); ri++ {
+				if tab.Cells[ri][0] < tab.Cells[ri-1][0]-1e-9 {
+					t.Errorf("Fig%s%s: DyGroups gain decreased with r", fig, variant)
+				}
+			}
+		}
+		if _, err := gen("q", quickOpts()); err == nil {
+			t.Errorf("Fig%s accepted unknown variant", fig)
+		}
+	}
+}
+
+func TestFig10Ratios(t *testing.T) {
+	for _, variant := range []string{"a", "b"} {
+		tab, err := Fig10(variant, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableSane(t, tab)
+		maxRatio := 0.0
+		for ri := range tab.Cells {
+			for ci := range tab.Columns {
+				// At long horizons both methods approach the total
+				// achievable gain and the ratio settles near 1 (greedy
+				// is not globally optimal for k > 2), so allow slight
+				// dips below parity.
+				if tab.Cells[ri][ci] < 0.95 {
+					t.Errorf("Fig10%s: DyGroups ratio far below 1 at x=%v: %v", variant, tab.XValues[ri], tab.Cells[ri][ci])
+				}
+				if tab.Cells[ri][ci] > maxRatio {
+					maxRatio = tab.Cells[ri][ci]
+				}
+			}
+		}
+		// Somewhere in the sweep DyGroups must clearly beat random (the
+		// paper reports up to ~30% at small α / small n).
+		if maxRatio < 1.02 {
+			t.Errorf("Fig10%s: DyGroups never clearly beat random (max ratio %v)", variant, maxRatio)
+		}
+	}
+	if _, err := Fig10("z", quickOpts()); err == nil {
+		t.Error("Fig10 accepted unknown variant")
+	}
+}
+
+func TestFig11Inequality(t *testing.T) {
+	ta, err := Fig11("a", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, ta)
+	// DyGroups-Star retains at least as much inequality as random
+	// (ratios ≥ ~1).
+	for ri := range ta.Cells {
+		for ci := range ta.Columns {
+			if ta.Cells[ri][ci] < 0.98 {
+				t.Errorf("Fig11a: ratio %v < 1 at α=%v", ta.Cells[ri][ci], ta.XValues[ri])
+			}
+		}
+	}
+	tb, err := Fig11("b", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tb)
+	// Inequality drops over rounds for both methods (paper's
+	// observation).
+	for ci := range tb.Columns {
+		col := tb.Column(tb.Columns[ci])
+		if col[len(col)-1] >= col[0] {
+			t.Errorf("Fig11b: %s did not decrease: %v", tb.Columns[ci], col)
+		}
+	}
+	if _, err := Fig11("x", quickOpts()); err == nil {
+		t.Error("Fig11 accepted unknown variant")
+	}
+}
+
+func TestBruteForceValidationAllMatch(t *testing.T) {
+	tab, err := BruteForceValidation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTableSane(t, tab)
+	instIdx := columnIndex(t, tab, "instances")
+	matchIdx := columnIndex(t, tab, "matches")
+	for ri := range tab.Cells {
+		if tab.Cells[ri][instIdx] != tab.Cells[ri][matchIdx] {
+			t.Fatalf("Theorem 5 violated in row %d: %v instances, %v matches",
+				ri, tab.Cells[ri][instIdx], tab.Cells[ri][matchIdx])
+		}
+	}
+}
+
+func TestHumanFigures(t *testing.T) {
+	opts := quickOpts()
+	for _, id := range []string{"1", "2", "3", "4a", "4b"} {
+		tab, err := Generate(id, opts)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		checkTableSane(t, tab)
+	}
+	if _, err := Fig4("c", opts); err == nil {
+		t.Error("Fig4 accepted unknown variant")
+	}
+}
+
+func TestFig2HasFitNote(t *testing.T) {
+	tab, err := Fig2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Notes) == 0 {
+		t.Fatal("Fig2 missing the fit annotation")
+	}
+}
+
+func TestRuntimeFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweeps are slow")
+	}
+	for _, id := range []string{"12b", "13b"} {
+		tab, err := Generate(id, quickOpts())
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		checkTableSane(t, tab)
+		for ri := range tab.Cells {
+			for ci := range tab.Columns {
+				if tab.Cells[ri][ci] <= 0 {
+					t.Errorf("figure %s: non-positive time at [%d][%d]", id, ri, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestMeanTotalGainsRejectsBadRate(t *testing.T) {
+	if _, err := meanTotalGains(TimingAlgos(), nil, 10, 2, 1, 0, 0, 1, 1); err == nil {
+		t.Error("zero learning rate accepted")
+	}
+}
+
+func TestMeanTotalGainsDeterministicUnderParallelism(t *testing.T) {
+	// Runs are dispatched to a worker pool; the result must not depend
+	// on scheduling.
+	algos := Algos(0) // star set
+	d := quickDist()
+	a, err := meanTotalGains(algos, d, 200, 5, 3, 0.5, 0, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := meanTotalGains(algos, d, 200, 5, 3, 0.5, 0, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic parallel means: %v vs %v", a, b)
+		}
+	}
+}

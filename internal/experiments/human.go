@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"peerlearn/internal/amt"
+	"peerlearn/internal/stats"
+)
+
+// runExperiment1 memoizes nothing; each figure generator runs the
+// simulated deployment afresh, which keeps the generators independent
+// (they are cheap — milliseconds per trial).
+func runExperiment1(opts Options) (*amt.ExperimentResult, error) {
+	return amt.RunExperiment(amt.Experiment1Spec(opts.HumanTrials, opts.Seed))
+}
+
+func runExperiment2(opts Options) (*amt.ExperimentResult, error) {
+	return amt.RunExperiment(amt.Experiment2Spec(opts.HumanTrials, opts.Seed))
+}
+
+// gainTable renders an experiment's per-round learning gain
+// (Figures 1 and 4a): one column per policy, x = round.
+func gainTable(id string, res *amt.ExperimentResult) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: learning gain across rounds (simulated AMT)", res.Name),
+		XLabel: "round",
+	}
+	for _, s := range res.Series {
+		t.Columns = append(t.Columns, s.Policy)
+	}
+	for round := 0; round < res.Rounds; round++ {
+		row := make([]float64, len(res.Series))
+		for i, s := range res.Series {
+			row[i] = s.GainPerRound[round]
+		}
+		t.AddRow(float64(round+1), row...)
+	}
+	t.AddNote("Observation I (skills improve with peer interaction): paired t=%.2f, p=%.2g (pre mean %.3f → post mean %.3f)",
+		res.ObservationI.T, res.ObservationI.P, res.ObservationI.MeanB, res.ObservationI.MeanA)
+	for name, tt := range res.ObservationII {
+		t.AddNote("Observation II vs %s: Welch t=%.2f, p=%.2g (DyGroups mean gain %.3f vs %.3f)",
+			name, tt.T, tt.P, tt.MeanA, tt.MeanB)
+	}
+	return t
+}
+
+// retentionTable renders an experiment's per-round worker retention
+// (Figures 3 and 4b): the mean fraction of each population still active
+// after every round.
+func retentionTable(id string, res *amt.ExperimentResult) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: worker retention across rounds (simulated AMT)", res.Name),
+		XLabel: "round",
+	}
+	for _, s := range res.Series {
+		t.Columns = append(t.Columns, s.Policy)
+	}
+	for round := 0; round < res.Rounds; round++ {
+		row := make([]float64, len(res.Series))
+		for i, s := range res.Series {
+			row[i] = s.RetentionPerRound[round]
+		}
+		t.AddRow(float64(round+1), row...)
+	}
+	return t
+}
+
+// Fig1 reproduces Figure 1: Experiment-1 learning gain across rounds,
+// DyGroups vs K-Means, averaged over simulated trials.
+func Fig1(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	res, err := runExperiment1(opts)
+	if err != nil {
+		return nil, err
+	}
+	return gainTable("1", res), nil
+}
+
+// Fig2 reproduces Figure 2: the least-squares linear fit to DyGroups'
+// per-round learning gain in Experiment-1, supporting the paper's
+// Observation IV that aggregate learning rises near-linearly over the
+// first rounds.
+func Fig2(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	res, err := runExperiment1(opts)
+	if err != nil {
+		return nil, err
+	}
+	dy := res.Series[0]
+	xs := make([]float64, res.Rounds)
+	cum := make([]float64, res.Rounds)
+	var acc float64
+	for i := 0; i < res.Rounds; i++ {
+		xs[i] = float64(i + 1)
+		acc += dy.GainPerRound[i]
+		cum[i] = acc
+	}
+	fit, err := stats.FitLine(xs, cum)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "2",
+		Title:   "Experiment-1: linear fit to DyGroups cumulative learning gain",
+		XLabel:  "round",
+		Columns: []string{"cumulative-gain", "fitted"},
+	}
+	for i := range xs {
+		t.AddRow(xs[i], cum[i], fit.At(xs[i]))
+	}
+	t.AddNote("fit: %s", fit.String())
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: Experiment-1 worker retention across rounds.
+func Fig3(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	res, err := runExperiment1(opts)
+	if err != nil {
+		return nil, err
+	}
+	return retentionTable("3", res), nil
+}
+
+// Fig4 reproduces Figure 4 (Experiment-2): variant "a" is the learning
+// gain across rounds for all four policies, variant "b" the retention.
+func Fig4(variant string, opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	res, err := runExperiment2(opts)
+	if err != nil {
+		return nil, err
+	}
+	switch variant {
+	case "a":
+		return gainTable("4a", res), nil
+	case "b":
+		return retentionTable("4b", res), nil
+	default:
+		return nil, fmt.Errorf("experiments: figure 4 has variants a and b, not %q", variant)
+	}
+}

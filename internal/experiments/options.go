@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// Options tunes the experiment generators without changing their shape.
+// The zero value is completed by Normalize.
+type Options struct {
+	// Seed derives all randomness.
+	Seed int64
+	// Runs is the number of repetitions averaged for experiments with
+	// randomness; the paper averages over 10.
+	Runs int
+	// Quick shrinks the sweeps (smaller n, fewer runs) so the full suite
+	// finishes in seconds; used by tests. The sweep *shape* (which
+	// series exist, who wins) is unchanged.
+	Quick bool
+	// HumanTrials is the number of simulated repetitions of the
+	// human-subject experiments.
+	HumanTrials int
+}
+
+// Normalize fills defaults and applies Quick scaling.
+func (o Options) Normalize() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 10
+	}
+	if o.HumanTrials <= 0 {
+		o.HumanTrials = 20
+	}
+	if o.Quick {
+		if o.Runs > 3 {
+			o.Runs = 3
+		}
+		if o.HumanTrials > 5 {
+			o.HumanTrials = 5
+		}
+	}
+	return o
+}
+
+// Defaults of the synthetic experiments (Section V-B2): k = 5,
+// n = 10000, r = 0.5, α = 5, Star mode, log-normal initial skills.
+const (
+	DefaultK      = 5
+	DefaultN      = 10000
+	DefaultR      = 0.5
+	DefaultAlpha  = 5
+	QuickN        = 1000
+	QuickMaxAlpha = 16
+)
+
+// AlgoFactory builds a fresh grouping policy; randomized policies
+// (Random-Assignment, K-Means) are reseeded per run.
+type AlgoFactory struct {
+	Name string
+	New  func(seed int64) core.Grouper
+}
+
+// mustPercentile builds the p = 0.75 Percentile-Partitions baseline.
+func mustPercentile() core.Grouper {
+	p, err := baselines.NewPercentile(0.75)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Algos returns the paper's algorithm set for a gain experiment in the
+// given mode: the mode-matched DyGroups variant plus the four baselines.
+func Algos(mode core.Mode) []AlgoFactory {
+	dy := AlgoFactory{Name: "DyGroups-Star", New: func(int64) core.Grouper { return dygroups.NewStar() }}
+	if mode == core.Clique {
+		dy = AlgoFactory{Name: "DyGroups-Clique", New: func(int64) core.Grouper { return dygroups.NewClique() }}
+	}
+	return append([]AlgoFactory{dy}, baselineAlgos()...)
+}
+
+// TimingAlgos returns the six algorithms of the running-time figures:
+// both DyGroups variants plus the four baselines.
+func TimingAlgos() []AlgoFactory {
+	return append([]AlgoFactory{
+		{Name: "DyGroups-Star", New: func(int64) core.Grouper { return dygroups.NewStar() }},
+		{Name: "DyGroups-Clique", New: func(int64) core.Grouper { return dygroups.NewClique() }},
+	}, baselineAlgos()...)
+}
+
+func baselineAlgos() []AlgoFactory {
+	return []AlgoFactory{
+		{Name: "Random-Assignment", New: func(seed int64) core.Grouper { return baselines.NewRandom(seed) }},
+		{Name: "Percentile-Partitions", New: func(int64) core.Grouper { return mustPercentile() }},
+		{Name: "LPA", New: func(int64) core.Grouper { return baselines.NewLPA() }},
+		{Name: "K-Means", New: func(seed int64) core.Grouper { return baselines.NewKMeans(seed) }},
+	}
+}
+
+// AlgoNames projects the factory names, for table columns.
+func AlgoNames(fs []AlgoFactory) []string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+
+	"peerlearn/internal/plot"
+)
+
+// RenderChart draws the table as an ASCII line chart. Running-time
+// figures (12–13) and the Zipf gain sweeps span orders of magnitude and
+// are drawn on a log10 y axis, like the paper's plots.
+func (t *Table) RenderChart(w io.Writer) error {
+	values := make([][]float64, len(t.Columns))
+	for ci := range t.Columns {
+		values[ci] = t.Column(t.Columns[ci])
+	}
+	opts := plot.DefaultOptions
+	opts.LogY = t.logScale()
+	c, err := plot.NewChart(t.Title, t.XLabel, "value", t.XValues, t.Columns, values, opts)
+	if err != nil {
+		return err
+	}
+	return c.Render(w)
+}
+
+// logScale reports whether the figure is conventionally drawn with a
+// log y axis.
+func (t *Table) logScale() bool {
+	if strings.HasPrefix(t.ID, "12") || strings.HasPrefix(t.ID, "13") {
+		return true // running times, like the paper's Figures 12–13
+	}
+	// Large dynamic range → log axis.
+	var lo, hi float64
+	first := true
+	for _, row := range t.Cells {
+		for _, v := range row {
+			if v <= 0 {
+				return false
+			}
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return !first && hi/lo > 1000
+}

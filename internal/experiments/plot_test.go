@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChartLinearScale(t *testing.T) {
+	tab := &Table{ID: "x", Title: "Linear", XLabel: "n", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 10, 20)
+	tab.AddRow(2, 15, 25)
+	var b strings.Builder
+	if err := tab.RenderChart(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "log10") {
+		t.Error("narrow-range table drawn on a log axis")
+	}
+	if !strings.Contains(out, "Linear") || !strings.Contains(out, "x: n") {
+		t.Errorf("chart missing labels:\n%s", out)
+	}
+}
+
+func TestRenderChartRuntimeFiguresUseLog(t *testing.T) {
+	tab := &Table{ID: "12a", Title: "Times", XLabel: "n", Columns: []string{"t"}}
+	tab.AddRow(10, 5)
+	tab.AddRow(100, 50)
+	var b strings.Builder
+	if err := tab.RenderChart(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "log10") {
+		t.Error("running-time figure not drawn on a log axis")
+	}
+}
+
+func TestRenderChartWideRangeUsesLog(t *testing.T) {
+	tab := &Table{ID: "5b", Title: "Wide", XLabel: "n", Columns: []string{"g"}}
+	tab.AddRow(1, 1)
+	tab.AddRow(2, 1e7)
+	var b strings.Builder
+	if err := tab.RenderChart(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "log10") {
+		t.Error("wide-range table not drawn on a log axis")
+	}
+}
+
+func TestRenderChartNonPositiveStaysLinear(t *testing.T) {
+	tab := &Table{ID: "x", Title: "Zeroes", XLabel: "n", Columns: []string{"g"}}
+	tab.AddRow(1, 0)
+	tab.AddRow(2, 1e7)
+	var b strings.Builder
+	if err := tab.RenderChart(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "log10") {
+		t.Error("table with a zero cell drawn on a log axis")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Generator produces the table behind one figure.
+type Generator func(Options) (*Table, error)
+
+// registry maps figure ids to generators. Ids follow the paper's figure
+// numbering, with letter suffixes for sub-figures and "bf" for the
+// Section V-B3 brute-force validation.
+var registry = map[string]Generator{
+	"1":   Fig1,
+	"2":   Fig2,
+	"3":   Fig3,
+	"4a":  func(o Options) (*Table, error) { return Fig4("a", o) },
+	"4b":  func(o Options) (*Table, error) { return Fig4("b", o) },
+	"5a":  func(o Options) (*Table, error) { return Fig5("a", o) },
+	"5b":  func(o Options) (*Table, error) { return Fig5("b", o) },
+	"6a":  func(o Options) (*Table, error) { return Fig6("a", o) },
+	"6b":  func(o Options) (*Table, error) { return Fig6("b", o) },
+	"7a":  func(o Options) (*Table, error) { return Fig7("a", o) },
+	"7b":  func(o Options) (*Table, error) { return Fig7("b", o) },
+	"8a":  func(o Options) (*Table, error) { return Fig8("a", o) },
+	"8b":  func(o Options) (*Table, error) { return Fig8("b", o) },
+	"9a":  func(o Options) (*Table, error) { return Fig9("a", o) },
+	"9b":  func(o Options) (*Table, error) { return Fig9("b", o) },
+	"10a": func(o Options) (*Table, error) { return Fig10("a", o) },
+	"10b": func(o Options) (*Table, error) { return Fig10("b", o) },
+	"11a": func(o Options) (*Table, error) { return Fig11("a", o) },
+	"11b": func(o Options) (*Table, error) { return Fig11("b", o) },
+	"12a": func(o Options) (*Table, error) { return Fig12("a", o) },
+	"12b": func(o Options) (*Table, error) { return Fig12("b", o) },
+	"13a": func(o Options) (*Table, error) { return Fig13("a", o) },
+	"13b": func(o Options) (*Table, error) { return Fig13("b", o) },
+	"bf":  BruteForceValidation,
+}
+
+// IDs returns every figure id in a stable order: numeric figure order,
+// then "bf".
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return lessID(ids[a], ids[b]) })
+	return ids
+}
+
+// lessID orders "1" < "2" < ... < "4a" < "4b" < ... < "13b" < "bf".
+func lessID(a, b string) bool {
+	na, sa, oka := splitID(a)
+	nb, sb, okb := splitID(b)
+	if oka != okb {
+		return oka // numeric ids before "bf"
+	}
+	if !oka {
+		return a < b
+	}
+	if na != nb {
+		return na < nb
+	}
+	return sa < sb
+}
+
+func splitID(id string) (num int, suffix string, ok bool) {
+	i := 0
+	for i < len(id) && id[i] >= '0' && id[i] <= '9' {
+		num = num*10 + int(id[i]-'0')
+		i++
+	}
+	if i == 0 {
+		return 0, id, false
+	}
+	return num, id[i:], true
+}
+
+// Get looks up a generator by figure id.
+func Get(id string) (Generator, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure id %q (known: %v)", id, IDs())
+	}
+	return g, nil
+}
+
+// Generate runs the generator for one figure id.
+func Generate(id string, opts Options) (*Table, error) {
+	g, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return g(opts)
+}

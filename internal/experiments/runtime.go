@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dist"
+)
+
+// measureMicros times a full α-round simulation (grouping + updates, the
+// quantity the paper's Figures 12–13 report) and returns the best-of-rep
+// wall time in microseconds. Small instances are repeated more often to
+// beat timer resolution.
+func measureMicros(cfg core.Config, skills core.Skills, f AlgoFactory, seed int64) (float64, error) {
+	reps := 3
+	if len(skills) <= 1000 {
+		reps = 7
+	}
+	best := time.Duration(1<<63 - 1)
+	// One warmup run outside timing.
+	if _, err := core.Run(cfg, skills, f.New(seed)); err != nil {
+		return 0, err
+	}
+	for i := 0; i < reps; i++ {
+		g := f.New(seed + int64(i))
+		start := time.Now()
+		if _, err := core.Run(cfg, skills, g); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e3, nil
+}
+
+// runtimeSweep builds a running-time table over the given (n, k) points.
+func runtimeSweep(id, title, xlabel string, xs []float64, ns, ks []int, mode core.Mode, opts Options) (*Table, error) {
+	gain, err := core.NewLinear(DefaultR)
+	if err != nil {
+		return nil, err
+	}
+	algos := TimingAlgos()
+	t := &Table{ID: id, Title: title, XLabel: xlabel, Columns: AlgoNames(algos)}
+	for i := range xs {
+		cfg := core.Config{K: ks[i], Rounds: DefaultAlpha, Mode: mode, Gain: gain}
+		skills := dist.Generate(ns[i], dist.PaperLogNormal, opts.Seed)
+		row := make([]float64, len(algos))
+		for ai, f := range algos {
+			micros, err := measureMicros(cfg, skills, f, opts.Seed+int64(ai))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: timing %s at n=%d k=%d: %w", f.Name, ns[i], ks[i], err)
+			}
+			row[ai] = micros
+		}
+		t.AddRow(xs[i], row...)
+	}
+	t.AddNote("wall time of a full %d-round simulation, best of repeated runs, microseconds", DefaultAlpha)
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12 (running time, Star mode, log-normal
+// skills): variant "a" varies n ∈ {10,…,100000} at k = 5; variant "b"
+// varies k ∈ {5,50,500,5000} at n = 10000.
+func Fig12(variant string, opts Options) (*Table, error) {
+	return runtimeFig("12", core.Star, variant, opts)
+}
+
+// Fig13 reproduces Figure 13 (running time, Clique mode, log-normal
+// skills) with the same sweeps as Figure 12.
+func Fig13(variant string, opts Options) (*Table, error) {
+	return runtimeFig("13", core.Clique, variant, opts)
+}
+
+func runtimeFig(fig string, mode core.Mode, variant string, opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	switch variant {
+	case "a":
+		ns := []int{10, 100, 1000, 10000, 100000}
+		if opts.Quick {
+			ns = []int{10, 100, 1000, 10000}
+		}
+		xs := make([]float64, len(ns))
+		ks := make([]int, len(ns))
+		for i, n := range ns {
+			xs[i] = float64(n)
+			ks[i] = DefaultK
+		}
+		title := fmt.Sprintf("Running time vs n (%s, k=%d, α=%d)", mode, DefaultK, DefaultAlpha)
+		return runtimeSweep(fig+"a", title, "n", xs, ns, ks, mode, opts)
+	case "b":
+		n := DefaultN
+		ks := []int{5, 50, 500, 5000}
+		if opts.Quick {
+			n = QuickN
+			ks = []int{5, 50, 500}
+		}
+		xs := make([]float64, len(ks))
+		ns := make([]int, len(ks))
+		for i, k := range ks {
+			xs[i] = float64(k)
+			ns[i] = n
+		}
+		title := fmt.Sprintf("Running time vs k (%s, n=%d, α=%d)", mode, n, DefaultAlpha)
+		return runtimeSweep(fig+"b", title, "k", xs, ns, ks, mode, opts)
+	default:
+		return nil, fmt.Errorf("experiments: figure %s has variants a and b, not %q", fig, variant)
+	}
+}

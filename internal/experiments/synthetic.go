@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dist"
+)
+
+// sweepPoint is one x-value of a gain sweep.
+type sweepPoint struct {
+	x                float64
+	n, k, alpha      int
+	r                float64
+	mode             core.Mode
+	distribution     dist.Distribution
+	perAlgoMeanGains []float64
+}
+
+// meanTotalGains simulates every algorithm on `runs` fresh skill draws
+// and returns each algorithm's mean total learning gain. All algorithms
+// see identical initial skills per run, as in the paper's comparisons.
+// Runs execute in parallel (they are independent and seeded per run, so
+// the result is deterministic regardless of scheduling); one bounded
+// worker per CPU keeps the memory footprint at one skill vector per
+// worker.
+func meanTotalGains(algos []AlgoFactory, d dist.Distribution, n, k, alpha int, r float64, mode core.Mode, runs int, seed int64) ([]float64, error) {
+	gain, err := core.NewLinear(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{K: k, Rounds: alpha, Mode: mode, Gain: gain}
+	perRun := make([][]float64, runs)
+	errs := make([]error, runs)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range next {
+				skills := dist.Generate(n, d, seed+int64(run)*6151)
+				gains := make([]float64, len(algos))
+				for ai, f := range algos {
+					res, err := core.Run(cfg, skills, f.New(seed+int64(run)*31+int64(ai)))
+					if err != nil {
+						errs[run] = fmt.Errorf("experiments: %s on n=%d k=%d: %w", f.Name, n, k, err)
+						break
+					}
+					gains[ai] = res.TotalGain
+				}
+				perRun[run] = gains
+			}
+		}()
+	}
+	for run := 0; run < runs; run++ {
+		next <- run
+	}
+	close(next)
+	wg.Wait()
+
+	sums := make([]float64, len(algos))
+	for run := 0; run < runs; run++ {
+		if errs[run] != nil {
+			return nil, errs[run]
+		}
+		for ai, g := range perRun[run] {
+			sums[ai] += g
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(runs)
+	}
+	return sums, nil
+}
+
+// gainSweep builds a Table by varying one parameter.
+func gainSweep(id, title, xlabel string, points []sweepPoint, algos []AlgoFactory, runs int, seed int64) (*Table, error) {
+	t := &Table{ID: id, Title: title, XLabel: xlabel, Columns: AlgoNames(algos)}
+	for _, p := range points {
+		gains, err := meanTotalGains(algos, p.distribution, p.n, p.k, p.alpha, p.r, p.mode, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.x, gains...)
+	}
+	return t, nil
+}
+
+// nSweepValues returns the participant counts of the varying-n figures.
+func nSweepValues(quick bool) []int {
+	if quick {
+		return []int{100, 1000, 5000}
+	}
+	return []int{100, 1000, 10000, 100000}
+}
+
+// Fig5 reproduces Figure 5 (aggregate learning gain vs n): variant "a"
+// is Clique with log-normal skills, "b" is Star with Zipf(2.3) skills;
+// k = 5, α = 5, r = 0.5.
+func Fig5(variant string, opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	var (
+		mode core.Mode
+		d    dist.Distribution
+	)
+	switch variant {
+	case "a":
+		mode, d = core.Clique, dist.PaperLogNormal
+	case "b":
+		mode, d = core.Star, dist.PaperZipf23
+	default:
+		return nil, fmt.Errorf("experiments: figure 5 has variants a and b, not %q", variant)
+	}
+	algos := Algos(mode)
+	var points []sweepPoint
+	for _, n := range nSweepValues(opts.Quick) {
+		points = append(points, sweepPoint{
+			x: float64(n), n: n, k: DefaultK, alpha: DefaultAlpha, r: DefaultR,
+			mode: mode, distribution: d,
+		})
+	}
+	title := fmt.Sprintf("Aggregate learning gain vs n (%s, %s)", mode, d.Name())
+	return gainSweep("5"+variant, title, "n", points, algos, opts.Runs, opts.Seed)
+}
+
+// Fig6 reproduces Figure 6 (aggregate learning gain vs k): variant "a"
+// is Star with log-normal skills, "b" is Clique with Zipf skills;
+// n = 10000 (1000 in quick mode), α = 5, r = 0.5.
+func Fig6(variant string, opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	var (
+		mode core.Mode
+		d    dist.Distribution
+	)
+	switch variant {
+	case "a":
+		mode, d = core.Star, dist.PaperLogNormal
+	case "b":
+		mode, d = core.Clique, dist.PaperZipf23
+	default:
+		return nil, fmt.Errorf("experiments: figure 6 has variants a and b, not %q", variant)
+	}
+	n := DefaultN
+	ks := []int{2, 4, 5, 8, 10, 20, 50, 100}
+	if opts.Quick {
+		n = QuickN
+		ks = []int{2, 5, 10, 50}
+	}
+	algos := Algos(mode)
+	var points []sweepPoint
+	for _, k := range ks {
+		points = append(points, sweepPoint{
+			x: float64(k), n: n, k: k, alpha: DefaultAlpha, r: DefaultR,
+			mode: mode, distribution: d,
+		})
+	}
+	title := fmt.Sprintf("Aggregate learning gain vs k (%s, %s, n=%d)", mode, d.Name(), n)
+	return gainSweep("6"+variant, title, "k", points, algos, opts.Runs, opts.Seed)
+}
+
+// Fig7 reproduces Figure 7 (aggregate learning gain vs α): variant "a"
+// is Clique with Zipf skills, "b" is Star with log-normal skills.
+func Fig7(variant string, opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	var (
+		mode core.Mode
+		d    dist.Distribution
+	)
+	switch variant {
+	case "a":
+		mode, d = core.Clique, dist.PaperZipf23
+	case "b":
+		mode, d = core.Star, dist.PaperLogNormal
+	default:
+		return nil, fmt.Errorf("experiments: figure 7 has variants a and b, not %q", variant)
+	}
+	n := DefaultN
+	alphas := []int{1, 2, 3, 4, 5, 6, 8, 10}
+	if opts.Quick {
+		n = QuickN
+		alphas = []int{1, 2, 4, 8}
+	}
+	algos := Algos(mode)
+	var points []sweepPoint
+	for _, a := range alphas {
+		points = append(points, sweepPoint{
+			x: float64(a), n: n, k: DefaultK, alpha: a, r: DefaultR,
+			mode: mode, distribution: d,
+		})
+	}
+	title := fmt.Sprintf("Aggregate learning gain vs α (%s, %s, n=%d)", mode, d.Name(), n)
+	return gainSweep("7"+variant, title, "alpha", points, algos, opts.Runs, opts.Seed)
+}
+
+// rSweepValues are the learning rates of Figures 8 and 9, including the
+// degenerate r = 1 the paper discusses.
+func rSweepValues() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+
+// Fig8 reproduces Figure 8 (aggregate learning gain vs r, Zipf skills):
+// variant "a" is Clique, "b" is Star.
+func Fig8(variant string, opts Options) (*Table, error) {
+	return rSweep("8", variant, dist.PaperZipf23, opts)
+}
+
+// Fig9 reproduces Figure 9 (aggregate learning gain vs r, log-normal
+// skills): variant "a" is Clique, "b" is Star.
+func Fig9(variant string, opts Options) (*Table, error) {
+	return rSweep("9", variant, dist.PaperLogNormal, opts)
+}
+
+func rSweep(fig, variant string, d dist.Distribution, opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	var mode core.Mode
+	switch variant {
+	case "a":
+		mode = core.Clique
+	case "b":
+		mode = core.Star
+	default:
+		return nil, fmt.Errorf("experiments: figure %s has variants a and b, not %q", fig, variant)
+	}
+	n := DefaultN
+	if opts.Quick {
+		n = QuickN
+	}
+	rs := rSweepValues()
+	if opts.Quick {
+		rs = []float64{0.1, 0.5, 1.0}
+	}
+	algos := Algos(mode)
+	var points []sweepPoint
+	for _, r := range rs {
+		points = append(points, sweepPoint{
+			x: r, n: n, k: DefaultK, alpha: DefaultAlpha, r: r,
+			mode: mode, distribution: d,
+		})
+	}
+	title := fmt.Sprintf("Aggregate learning gain vs r (%s, %s, n=%d)", mode, d.Name(), n)
+	return gainSweep(fig+variant, title, "r", points, algos, opts.Runs, opts.Seed)
+}

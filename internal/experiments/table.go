@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V). Each figure has a generator returning a Table
+// — the numeric series behind the plot — which the benchfig command
+// renders as aligned text and TSV. The per-experiment index lives in
+// DESIGN.md; paper-vs-measured comparisons live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is the numeric content of one figure or table: a labeled x
+// column and one column per series.
+type Table struct {
+	// ID is the experiment identifier ("5a", "12b", "bf", ...).
+	ID string
+	// Title describes the experiment, mirroring the paper's caption.
+	Title string
+	// XLabel names the x column (n, k, α, r, round, ...).
+	XLabel string
+	// Columns names the data series.
+	Columns []string
+	// XValues holds the x coordinate of each row.
+	XValues []float64
+	// Cells holds the data: Cells[row][col] aligns with XValues[row] and
+	// Columns[col]. NaN marks a missing point.
+	Cells [][]float64
+	// Notes holds free-form annotations (fits, test results,
+	// substitution reminders) appended to the rendering.
+	Notes []string
+}
+
+// AddRow appends one row; the number of values must match Columns.
+func (t *Table) AddRow(x float64, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: table %s row has %d values, want %d", t.ID, len(values), len(t.Columns)))
+	}
+	t.XValues = append(t.XValues, x)
+	t.Cells = append(t.Cells, append([]float64(nil), values...))
+}
+
+// AddNote appends an annotation line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned human-readable text.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure %s: %s ==\n", t.ID, t.Title)
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	rows := make([][]string, len(t.XValues))
+	for i, x := range t.XValues {
+		row := make([]string, 0, len(headers))
+		row = append(row, formatNum(x))
+		for _, v := range t.Cells[i] {
+			row = append(row, formatNum(v))
+		}
+		rows[i] = row
+	}
+	for c, h := range headers {
+		widths[c] = len(h)
+		for _, row := range rows {
+			if len(row[c]) > widths[c] {
+				widths[c] = len(row[c])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTSV writes the table as tab-separated values with a header line;
+// notes become trailing comment lines.
+func (t *Table) WriteTSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte('\t')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.XValues {
+		b.WriteString(formatNum(x))
+		for _, v := range t.Cells[i] {
+			b.WriteByte('\t')
+			b.WriteString(formatNum(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Column returns the values of the named series, or nil if absent.
+func (t *Table) Column(name string) []float64 {
+	for ci, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Cells))
+			for ri := range t.Cells {
+				out[ri] = t.Cells[ri][ci]
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// formatNum renders a float compactly: integers without decimals, other
+// values with up to 6 significant digits.
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

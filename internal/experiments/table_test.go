@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "x",
+		Title:   "Sample",
+		XLabel:  "n",
+		Columns: []string{"A", "B"},
+	}
+	t.AddRow(10, 1.5, 2)
+	t.AddRow(100, 2.25, 4)
+	t.AddNote("a note")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure x: Sample", "n", "A", "B", "10", "1.5", "100", "2.25", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableTSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "n\tA\tB" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "10\t1.5\t2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "# ") {
+		t.Errorf("note line = %q", lines[3])
+	}
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	sampleTable().AddRow(5, 1) // two columns expected
+}
+
+func TestTableColumn(t *testing.T) {
+	tab := sampleTable()
+	got := tab.Column("B")
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Column(B) = %v", got)
+	}
+	if tab.Column("missing") != nil {
+		t.Fatal("missing column did not return nil")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		10:       "10",
+		1000000:  "1000000",
+		1.5:      "1.5",
+		0.333333: "0.333333",
+	}
+	for in, want := range cases {
+		if got := formatNum(in); got != want {
+			t.Errorf("formatNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(registry) {
+		t.Fatalf("IDs() returned %d ids, registry has %d", len(ids), len(registry))
+	}
+	// Expected ordering: 1 before 2, 4a before 4b, 13b before bf.
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	orderPairs := [][2]string{{"1", "2"}, {"4a", "4b"}, {"5b", "6a"}, {"9b", "10a"}, {"13b", "bf"}}
+	for _, p := range orderPairs {
+		if pos[p[0]] >= pos[p[1]] {
+			t.Errorf("id %s should precede %s: %v", p[0], p[1], ids)
+		}
+	}
+}
+
+func TestRegistryGet(t *testing.T) {
+	if _, err := Get("5a"); err != nil {
+		t.Errorf("Get(5a): %v", err)
+	}
+	if _, err := Get("99z"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.Normalize()
+	if o.Seed == 0 || o.Runs != 10 || o.HumanTrials != 20 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	q := Options{Quick: true, Runs: 50, HumanTrials: 100}.Normalize()
+	if q.Runs > 3 || q.HumanTrials > 5 {
+		t.Fatalf("quick scaling: %+v", q)
+	}
+}

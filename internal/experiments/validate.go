@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"peerlearn/internal/bruteforce"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dist"
+	"peerlearn/internal/dygroups"
+)
+
+// gainTolerance is the relative tolerance when comparing DyGroups-Star's
+// objective value with the brute-force optimum: both are sums of the
+// same magnitudes, so only floating-point noise separates a true match.
+const gainTolerance = 1e-9
+
+// BruteForceValidation reproduces Section V-B3: it draws `runs` random
+// instances with k = 2, n ∈ {4, 6, 8}, α ∈ [1, 4] and uniform (0,1]
+// skills, solves each exactly by brute force, and counts how often
+// DyGroups-Star attains the optimum (Theorem 5 predicts: always). The
+// table reports, per (n, α) cell, the number of instances and matches.
+func BruteForceValidation(opts Options) (*Table, error) {
+	opts = opts.Normalize()
+	runs := 1000
+	if opts.Quick {
+		runs = 60
+	}
+	ns := []int{4, 6, 8}
+	alphas := []int{1, 2, 3, 4}
+
+	t := &Table{
+		ID:      "bf",
+		Title:   "Brute force vs DyGroups-Star, k=2 (Theorem 5 validation)",
+		XLabel:  "case",
+		Columns: []string{"n", "alpha", "instances", "matches"},
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	instances := make(map[[2]int]int)
+	matches := make(map[[2]int]int)
+	totalMatches := 0
+	for i := 0; i < runs; i++ {
+		n := ns[rng.Intn(len(ns))]
+		alpha := alphas[rng.Intn(len(alphas))]
+		skills := dist.Generate(n, dist.Unit, opts.Seed+int64(i)*2741+1)
+		cfg := core.Config{K: 2, Rounds: alpha, Mode: core.Star, Gain: core.MustLinear(0.5)}
+		plan, err := bruteforce.Solve(cfg, skills)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(cfg, skills, dygroups.NewStar())
+		if err != nil {
+			return nil, err
+		}
+		key := [2]int{n, alpha}
+		instances[key]++
+		if math.Abs(res.TotalGain-plan.TotalGain) <= gainTolerance*math.Max(1, plan.TotalGain) {
+			matches[key]++
+			totalMatches++
+		}
+	}
+	row := 0
+	for _, n := range ns {
+		for _, alpha := range alphas {
+			key := [2]int{n, alpha}
+			if instances[key] == 0 {
+				continue
+			}
+			row++
+			t.AddRow(float64(row), float64(n), float64(alpha), float64(instances[key]), float64(matches[key]))
+		}
+	}
+	t.AddNote("%d/%d instances matched the brute-force optimum", totalMatches, runs)
+	return t, nil
+}

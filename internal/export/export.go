@@ -1,0 +1,99 @@
+// Package export serializes simulation results and experiment tables to
+// JSON, so downstream tooling (plotting scripts, dashboards) can consume
+// the reproduction's output without parsing text tables.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"peerlearn/internal/core"
+)
+
+// Simulation is the stable JSON schema of one TDG simulation result.
+// The gain function is recorded by name: the schema is for analysis, not
+// for resuming runs.
+type Simulation struct {
+	Algorithm string    `json:"algorithm"`
+	Mode      string    `json:"mode"`
+	K         int       `json:"k"`
+	Rounds    int       `json:"rounds"`
+	Gain      string    `json:"gain"`
+	Initial   []float64 `json:"initial_skills"`
+	Final     []float64 `json:"final_skills"`
+	// RoundGains[t] is LG(G_{t+1}).
+	RoundGains []float64 `json:"round_gains"`
+	// RoundVariances[t] is the post-round skill variance.
+	RoundVariances []float64 `json:"round_variances"`
+	TotalGain      float64   `json:"total_gain"`
+}
+
+// FromResult projects a core.Result onto the JSON schema.
+func FromResult(res *core.Result) (Simulation, error) {
+	if res == nil {
+		return Simulation{}, fmt.Errorf("export: nil result")
+	}
+	sim := Simulation{
+		Algorithm: res.Algorithm,
+		Mode:      res.Config.Mode.String(),
+		K:         res.Config.K,
+		Rounds:    res.Config.Rounds,
+		Initial:   append([]float64(nil), res.Initial...),
+		Final:     append([]float64(nil), res.Final...),
+		TotalGain: res.TotalGain,
+	}
+	if res.Config.Gain != nil {
+		sim.Gain = res.Config.Gain.Name()
+	}
+	for _, rd := range res.Rounds {
+		sim.RoundGains = append(sim.RoundGains, rd.Gain)
+		sim.RoundVariances = append(sim.RoundVariances, rd.Variance)
+	}
+	return sim, nil
+}
+
+// WriteResult encodes a simulation result as indented JSON.
+func WriteResult(w io.Writer, res *core.Result) error {
+	sim, err := FromResult(res)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sim)
+}
+
+// ReadSimulation decodes a Simulation from JSON and validates its
+// internal consistency (matching lengths, gains summing to the total).
+func ReadSimulation(r io.Reader) (Simulation, error) {
+	var sim Simulation
+	if err := json.NewDecoder(r).Decode(&sim); err != nil {
+		return Simulation{}, fmt.Errorf("export: decoding simulation: %w", err)
+	}
+	if err := sim.Validate(); err != nil {
+		return Simulation{}, err
+	}
+	return sim, nil
+}
+
+// Validate checks the schema's internal consistency.
+func (s Simulation) Validate() error {
+	if len(s.Initial) != len(s.Final) {
+		return fmt.Errorf("export: %d initial skills but %d final", len(s.Initial), len(s.Final))
+	}
+	if len(s.RoundGains) != len(s.RoundVariances) {
+		return fmt.Errorf("export: %d round gains but %d variances", len(s.RoundGains), len(s.RoundVariances))
+	}
+	if len(s.RoundGains) > s.Rounds {
+		return fmt.Errorf("export: %d recorded rounds exceed configured %d", len(s.RoundGains), s.Rounds)
+	}
+	var sum float64
+	for _, g := range s.RoundGains {
+		sum += g
+	}
+	if diff := sum - s.TotalGain; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("export: round gains sum to %v but total is %v", sum, s.TotalGain)
+	}
+	return nil
+}

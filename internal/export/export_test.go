@@ -1,0 +1,110 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+func sampleResult(t *testing.T) *core.Result {
+	t.Helper()
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	res, err := core.Run(cfg, core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}, dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRoundTrip(t *testing.T) {
+	res := sampleResult(t)
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ReadSimulation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Algorithm != "DyGroups-Star" || sim.Mode != "star" || sim.K != 3 || sim.Rounds != 3 {
+		t.Fatalf("metadata mismatch: %+v", sim)
+	}
+	if !strings.Contains(sim.Gain, "linear") {
+		t.Errorf("gain name %q", sim.Gain)
+	}
+	if math.Abs(sim.TotalGain-2.55) > 1e-9 {
+		t.Errorf("total gain %v", sim.TotalGain)
+	}
+	if len(sim.RoundGains) != 3 || len(sim.Initial) != 9 || len(sim.Final) != 9 {
+		t.Fatalf("shape mismatch: %+v", sim)
+	}
+}
+
+func TestFromResultNil(t *testing.T) {
+	if _, err := FromResult(nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestReadSimulationRejectsGarbage(t *testing.T) {
+	if _, err := ReadSimulation(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestValidateCatchesInconsistencies(t *testing.T) {
+	good := Simulation{
+		Rounds:         2,
+		Initial:        []float64{1, 2},
+		Final:          []float64{2, 2},
+		RoundGains:     []float64{0.6, 0.4},
+		RoundVariances: []float64{0.1, 0.05},
+		TotalGain:      1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("consistent simulation rejected: %v", err)
+	}
+	bad := good
+	bad.Final = []float64{2}
+	if err := bad.Validate(); err == nil {
+		t.Error("skill-length mismatch accepted")
+	}
+	bad = good
+	bad.TotalGain = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("gain-sum mismatch accepted")
+	}
+	bad = good
+	bad.RoundGains = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Error("gain/variance length mismatch accepted")
+	}
+	bad = good
+	bad.Rounds = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("too many recorded rounds accepted")
+	}
+}
+
+func TestJSONIsStable(t *testing.T) {
+	res := sampleResult(t)
+	var a, b bytes.Buffer
+	if err := WriteResult(&a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResult(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("JSON encoding not deterministic")
+	}
+	for _, key := range []string{"\"algorithm\"", "\"round_gains\"", "\"total_gain\""} {
+		if !strings.Contains(a.String(), key) {
+			t.Errorf("JSON missing key %s", key)
+		}
+	}
+}

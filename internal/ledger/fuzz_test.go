@@ -1,0 +1,48 @@
+package ledger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// FuzzReplay feeds arbitrary bytes to the replayer: it must never panic
+// and must never accept a log whose recomputation does not check out.
+func FuzzReplay(f *testing.F) {
+	// Seed with a valid ledger and a few mutations.
+	cfg := core.Config{K: 3, Rounds: 2, Mode: core.Star, Gain: core.MustLinear(0.5), RecordGroupings: true}
+	res, err := core.Run(cfg, core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}, dygroups.NewStar())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(strings.Replace(valid, "0.9", "0.7", 1))
+	f.Add(strings.Replace(valid, "begin", "round", 1))
+	f.Add("")
+	f.Add("{\"kind\":\"begin\"}")
+	f.Add("{\"kind\":\"begin\",\"mode\":\"star\",\"k\":1,\"rate\":0.5,\"skills\":[1]}\n{\"kind\":\"end\",\"final\":[1]}")
+
+	f.Fuzz(func(t *testing.T, log string) {
+		replayed, err := Replay(strings.NewReader(log))
+		if err != nil {
+			return // rejection is always fine
+		}
+		// Accepted: the reconstruction must satisfy the core accounting
+		// invariant, whatever the input looked like.
+		if replayed == nil {
+			t.Fatal("nil result without error")
+		}
+		diff := replayed.Final.Sum() - replayed.Initial.Sum()
+		if d := replayed.TotalGain - diff; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("accepted ledger violates accounting: total %v vs skill diff %v", replayed.TotalGain, diff)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Package ledger records a TDG process as an append-only event log and
+// reconstructs (replays) it later. A real deployment of targeted group
+// formation — a classroom tool or crowd platform — needs an audit trail:
+// which groups were formed when, what the skills were, what gain was
+// realized. The log is line-delimited JSON (one event per line), so it
+// can be tailed, grepped, shipped, and replayed with nothing but the
+// standard library.
+//
+// Event stream grammar:
+//
+//	begin      (exactly once, first)
+//	round+     (one per learning round, in order)
+//	end        (exactly once, last)
+//
+// Replay validates the grammar, recomputes every round from the
+// recorded groupings, and verifies the recorded gains and final skills
+// match the recomputation — a tamper/corruption check, not just a parse.
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"peerlearn/internal/core"
+)
+
+// event kinds.
+const (
+	kindBegin = "begin"
+	kindRound = "round"
+	kindEnd   = "end"
+)
+
+// Event is one log line. Fields are populated according to Kind.
+type Event struct {
+	Kind string `json:"kind"`
+	// Begin fields.
+	Algorithm string    `json:"algorithm,omitempty"`
+	Mode      string    `json:"mode,omitempty"`
+	K         int       `json:"k,omitempty"`
+	Rate      float64   `json:"rate,omitempty"`
+	Skills    []float64 `json:"skills,omitempty"`
+	// Round fields.
+	Round    int     `json:"round,omitempty"`
+	Grouping [][]int `json:"grouping,omitempty"`
+	Gain     float64 `json:"gain,omitempty"`
+	// End fields.
+	TotalGain float64   `json:"total_gain,omitempty"`
+	Final     []float64 `json:"final,omitempty"`
+}
+
+// Writer appends events to an io.Writer as JSON lines. It enforces the
+// grammar as it writes.
+type Writer struct {
+	enc    *json.Encoder
+	state  string // "", "begun", "ended"
+	rounds int
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+// Begin records the instance header. It must be the first call.
+func (w *Writer) Begin(algorithm string, mode core.Mode, k int, rate float64, skills core.Skills) error {
+	if w.state != "" {
+		return fmt.Errorf("ledger: Begin called twice")
+	}
+	if err := core.ValidateSkills(skills); err != nil {
+		return err
+	}
+	w.state = "begun"
+	return w.enc.Encode(Event{
+		Kind: kindBegin, Algorithm: algorithm, Mode: mode.String(), K: k, Rate: rate,
+		Skills: append([]float64(nil), skills...),
+	})
+}
+
+// Round records one learning round.
+func (w *Writer) Round(index int, grouping core.Grouping, gain float64) error {
+	if w.state != "begun" {
+		return fmt.Errorf("ledger: Round outside begin..end")
+	}
+	if index != w.rounds+1 {
+		return fmt.Errorf("ledger: round %d out of order (want %d)", index, w.rounds+1)
+	}
+	w.rounds++
+	return w.enc.Encode(Event{Kind: kindRound, Round: index, Grouping: grouping, Gain: gain})
+}
+
+// End records the outcome and closes the stream grammar.
+func (w *Writer) End(totalGain float64, final core.Skills) error {
+	if w.state != "begun" {
+		return fmt.Errorf("ledger: End outside begin..end")
+	}
+	w.state = "ended"
+	return w.enc.Encode(Event{Kind: kindEnd, TotalGain: totalGain, Final: append([]float64(nil), final...)})
+}
+
+// Record writes a completed core.Result as a full ledger. The result
+// must have recorded groupings (Config.RecordGroupings).
+func Record(w io.Writer, res *core.Result) error {
+	if res == nil {
+		return fmt.Errorf("ledger: nil result")
+	}
+	rate := 0.0
+	if lin, ok := res.Config.Gain.(core.Linear); ok {
+		rate = lin.R
+	} else {
+		return fmt.Errorf("ledger: only linear gains are recordable, got %T", res.Config.Gain)
+	}
+	lw := NewWriter(w)
+	if err := lw.Begin(res.Algorithm, res.Config.Mode, res.Config.K, rate, res.Initial); err != nil {
+		return err
+	}
+	for _, rd := range res.Rounds {
+		if rd.Grouping == nil {
+			return fmt.Errorf("ledger: round %d has no recorded grouping (set Config.RecordGroupings)", rd.Index)
+		}
+		if err := lw.Round(rd.Index, rd.Grouping, rd.Gain); err != nil {
+			return err
+		}
+	}
+	return lw.End(res.TotalGain, res.Final)
+}
+
+// Replay reads a ledger, validates the grammar, re-executes every round
+// from the recorded groupings, and cross-checks the recorded gains,
+// total, and final skills against the recomputation. It returns the
+// reconstructed result.
+func Replay(r io.Reader) (*core.Result, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<20), 64<<20)
+
+	var (
+		res     *core.Result
+		skills  core.Skills
+		cfg     core.Config
+		ended   bool
+		nrounds int
+	)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("ledger: bad event line: %w", err)
+		}
+		switch ev.Kind {
+		case kindBegin:
+			if res != nil {
+				return nil, fmt.Errorf("ledger: duplicate begin")
+			}
+			mode, err := core.ParseMode(ev.Mode)
+			if err != nil {
+				return nil, err
+			}
+			gain, err := core.NewLinear(ev.Rate)
+			if err != nil {
+				return nil, err
+			}
+			skills = core.Skills(append([]float64(nil), ev.Skills...))
+			if err := core.ValidateSkills(skills); err != nil {
+				return nil, err
+			}
+			cfg = core.Config{K: ev.K, Mode: mode, Gain: gain}
+			res = &core.Result{Algorithm: ev.Algorithm, Config: cfg, Initial: skills.Clone()}
+		case kindRound:
+			if res == nil || ended {
+				return nil, fmt.Errorf("ledger: round outside begin..end")
+			}
+			if ev.Round != nrounds+1 {
+				return nil, fmt.Errorf("ledger: round %d out of order (want %d)", ev.Round, nrounds+1)
+			}
+			grouping := core.Grouping(ev.Grouping)
+			next, gain, err := core.ApplyRound(skills, grouping, cfg.Mode, cfg.Gain)
+			if err != nil {
+				return nil, fmt.Errorf("ledger: round %d: %w", ev.Round, err)
+			}
+			if math.Abs(gain-ev.Gain) > 1e-6*math.Max(1, math.Abs(gain)) {
+				return nil, fmt.Errorf("ledger: round %d records gain %v but replay computes %v", ev.Round, ev.Gain, gain)
+			}
+			skills = next
+			nrounds++
+			res.Rounds = append(res.Rounds, core.Round{Index: ev.Round, Gain: gain, Variance: skills.Variance(), Grouping: grouping.Clone()})
+			res.TotalGain += gain
+		case kindEnd:
+			if res == nil || ended {
+				return nil, fmt.Errorf("ledger: end outside begin..end")
+			}
+			ended = true
+			if math.Abs(ev.TotalGain-res.TotalGain) > 1e-6*math.Max(1, math.Abs(res.TotalGain)) {
+				return nil, fmt.Errorf("ledger: recorded total %v but replay computes %v", ev.TotalGain, res.TotalGain)
+			}
+			if len(ev.Final) != len(skills) {
+				return nil, fmt.Errorf("ledger: final skill count %d, replay has %d", len(ev.Final), len(skills))
+			}
+			for i := range skills {
+				if math.Abs(ev.Final[i]-skills[i]) > 1e-6 {
+					return nil, fmt.Errorf("ledger: final skill %d recorded %v but replay computes %v", i, ev.Final[i], skills[i])
+				}
+			}
+		default:
+			return nil, fmt.Errorf("ledger: unknown event kind %q", ev.Kind)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("ledger: reading: %w", err)
+	}
+	if res == nil {
+		return nil, fmt.Errorf("ledger: empty log")
+	}
+	if !ended {
+		return nil, fmt.Errorf("ledger: truncated log (no end event after %d rounds)", nrounds)
+	}
+	res.Config.Rounds = nrounds
+	res.Final = skills
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package ledger
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+func recordedResult(t *testing.T) *core.Result {
+	t.Helper()
+	cfg := core.Config{K: 3, Rounds: 3, Mode: core.Star, Gain: core.MustLinear(0.5), RecordGroupings: true}
+	res, err := core.Run(cfg, core.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}, dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	res := recordedResult(t)
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Algorithm != res.Algorithm {
+		t.Errorf("algorithm %q", replayed.Algorithm)
+	}
+	if math.Abs(replayed.TotalGain-res.TotalGain) > 1e-9 {
+		t.Errorf("total %v, want %v", replayed.TotalGain, res.TotalGain)
+	}
+	if len(replayed.Rounds) != len(res.Rounds) {
+		t.Fatalf("rounds %d, want %d", len(replayed.Rounds), len(res.Rounds))
+	}
+	for i := range res.Final {
+		if math.Abs(replayed.Final[i]-res.Final[i]) > 1e-9 {
+			t.Fatalf("final skill %d: %v vs %v", i, replayed.Final[i], res.Final[i])
+		}
+	}
+}
+
+func TestRecordReplayRandomPolicy(t *testing.T) {
+	cfg := core.Config{K: 2, Rounds: 4, Mode: core.Clique, Gain: core.MustLinear(0.3), RecordGroupings: true}
+	res, err := core.Run(cfg, core.Skills{1, 2, 3, 4, 5, 6}, baselines.NewRandom(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replayed.TotalGain-res.TotalGain) > 1e-9 {
+		t.Fatalf("total %v, want %v", replayed.TotalGain, res.TotalGain)
+	}
+}
+
+func TestRecordRequiresGroupings(t *testing.T) {
+	cfg := core.Config{K: 3, Rounds: 1, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	res, err := core.Run(cfg, core.Skills{1, 2, 3, 4, 5, 6, 7, 8, 9}, dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err == nil {
+		t.Fatal("result without groupings accepted")
+	}
+	if err := Record(&buf, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	res := recordedResult(t)
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.String()
+
+	// Tamper with a recorded gain.
+	tampered := strings.Replace(pristine, `"gain":1.35`, `"gain":2.35`, 1)
+	if tampered == pristine {
+		t.Fatal("test setup: gain value not found in log")
+	}
+	if _, err := Replay(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered round gain not detected")
+	}
+
+	// Tamper with the final total.
+	tampered = strings.Replace(pristine, `"total_gain":2.55`, `"total_gain":9.55`, 1)
+	if tampered == pristine {
+		t.Fatal("test setup: total not found in log")
+	}
+	if _, err := Replay(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered total not detected")
+	}
+}
+
+func TestReplayGrammarViolations(t *testing.T) {
+	res := recordedResult(t)
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+
+	cases := map[string]string{
+		"empty":              "",
+		"no begin":           strings.Join(lines[1:], "\n"),
+		"truncated (no end)": strings.Join(lines[:len(lines)-1], "\n"),
+		"duplicate begin":    lines[0] + "\n" + strings.Join(lines, "\n"),
+		"round out of order": lines[0] + "\n" + lines[2] + "\n" + lines[1] + "\n" + lines[3] + "\n" + lines[4],
+		"garbage line":       "not json",
+		"unknown kind":       `{"kind":"checkpoint"}`,
+	}
+	for name, log := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Replay(strings.NewReader(log)); err == nil {
+				t.Fatalf("invalid log accepted")
+			}
+		})
+	}
+}
+
+func TestWriterGrammar(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Round(1, core.Grouping{{0, 1}}, 0.5); err == nil {
+		t.Error("round before begin accepted")
+	}
+	if err := w.Begin("x", core.Star, 1, 0.5, core.Skills{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin("x", core.Star, 1, 0.5, core.Skills{1, 2}); err == nil {
+		t.Error("double begin accepted")
+	}
+	if err := w.Round(2, core.Grouping{{0, 1}}, 0.5); err == nil {
+		t.Error("out-of-order round accepted")
+	}
+	if err := w.Round(1, core.Grouping{{0, 1}}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(0.5, core.Skills{1.5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(0.5, core.Skills{1.5, 2}); err == nil {
+		t.Error("double end accepted")
+	}
+}
+
+func TestReplaySkipsBlankLines(t *testing.T) {
+	res := recordedResult(t)
+	var buf bytes.Buffer
+	if err := Record(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	withBlanks := strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	if _, err := Replay(strings.NewReader(withBlanks)); err != nil {
+		t.Fatalf("blank lines broke replay: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package matchmaker maintains a long-lived learning cohort on an
+// online platform: participants join and leave at any time, and the
+// platform periodically runs a learning round over whoever is present —
+// the continuous-operation counterpart of the fixed-population TDG
+// model, and the natural server-side state for the scenario the paper's
+// introduction motivates.
+//
+// A Session is safe for concurrent use: joins, leaves, and rounds can
+// race freely; rounds operate on a consistent snapshot of the roster.
+// Participants who do not fit the group size this round (the roster
+// rarely divides evenly) sit the round out, longest-waiting first into
+// groups — nobody starves.
+package matchmaker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"peerlearn/internal/core"
+)
+
+// ParticipantID identifies a session member.
+type ParticipantID int64
+
+// Participant is one cohort member's state.
+type Participant struct {
+	ID ParticipantID
+	// Skill is the current skill value.
+	Skill float64
+	// JoinedRound is the round count when the participant joined.
+	JoinedRound int
+	// RoundsPlayed counts the learning rounds participated in.
+	RoundsPlayed int
+	// TotalGain accumulates the participant's skill gains.
+	TotalGain float64
+}
+
+// Session is a continuously running cohort.
+type Session struct {
+	mu sync.Mutex
+
+	groupSize int
+	mode      core.Mode
+	gain      core.Gain
+	policy    core.Grouper
+
+	nextID  ParticipantID
+	members map[ParticipantID]*Participant
+	rounds  int
+	total   float64
+}
+
+// NewSession creates a cohort with the given group size, interaction
+// mode, gain function, and grouping policy.
+func NewSession(groupSize int, mode core.Mode, gain core.Gain, policy core.Grouper) (*Session, error) {
+	if groupSize < 2 {
+		return nil, fmt.Errorf("matchmaker: group size must be ≥2, got %d", groupSize)
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("matchmaker: invalid mode %v", mode)
+	}
+	if gain == nil {
+		return nil, fmt.Errorf("matchmaker: nil gain")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("matchmaker: nil policy")
+	}
+	return &Session{
+		groupSize: groupSize,
+		mode:      mode,
+		gain:      gain,
+		policy:    policy,
+		members:   make(map[ParticipantID]*Participant),
+	}, nil
+}
+
+// Join adds a participant with the given initial skill and returns its
+// id.
+func (s *Session) Join(skill float64) (ParticipantID, error) {
+	if err := core.ValidateSkills(core.Skills{skill}); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.members[id] = &Participant{ID: id, Skill: skill, JoinedRound: s.rounds}
+	return id, nil
+}
+
+// Leave removes a participant; it errors if the id is unknown.
+func (s *Session) Leave(id ParticipantID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.members[id]; !ok {
+		return fmt.Errorf("matchmaker: unknown participant %d", id)
+	}
+	delete(s.members, id)
+	return nil
+}
+
+// Len returns the current roster size.
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.members)
+}
+
+// Rounds returns how many rounds have run.
+func (s *Session) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// TotalGain returns the cohort's accumulated learning gain.
+func (s *Session) TotalGain() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Get returns a snapshot of one participant.
+func (s *Session) Get(id ParticipantID) (Participant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.members[id]
+	if !ok {
+		return Participant{}, false
+	}
+	return *p, true
+}
+
+// RoundReport summarizes one RunRound call.
+type RoundReport struct {
+	// Round is the 1-based round number.
+	Round int
+	// Participated and SatOut count the roster split this round.
+	Participated, SatOut int
+	// Groups is the number of groups formed.
+	Groups int
+	// Gain is the round's aggregated learning gain.
+	Gain float64
+}
+
+// RunRound groups the current roster and applies one learning round.
+// If fewer than one full group is present it returns an error and
+// changes nothing. When the roster does not divide evenly, the members
+// who have participated in the fewest rounds (ties: earliest joiners,
+// then lowest id) are seated first; the remainder sit out.
+func (s *Session) RunRound() (*RoundReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	roster := make([]*Participant, 0, len(s.members))
+	for _, p := range s.members {
+		roster = append(roster, p)
+	}
+	if len(roster) < s.groupSize {
+		return nil, fmt.Errorf("matchmaker: %d present, need at least %d for one group", len(roster), s.groupSize)
+	}
+	// Seat priority: fewest rounds played, then earliest joiner, then id
+	// — deterministic and starvation-free.
+	sort.Slice(roster, func(a, b int) bool {
+		pa, pb := roster[a], roster[b]
+		if pa.RoundsPlayed != pb.RoundsPlayed {
+			return pa.RoundsPlayed < pb.RoundsPlayed
+		}
+		if pa.JoinedRound != pb.JoinedRound {
+			return pa.JoinedRound < pb.JoinedRound
+		}
+		return pa.ID < pb.ID
+	})
+	m := (len(roster) / s.groupSize) * s.groupSize
+	seated := roster[:m]
+	k := m / s.groupSize
+
+	skills := make(core.Skills, m)
+	for i, p := range seated {
+		skills[i] = p.Skill
+	}
+	grouping := s.policy.Group(skills, k)
+	if err := grouping.ValidateEqui(m, k); err != nil {
+		return nil, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
+	}
+	next, gain, err := core.ApplyRound(skills, grouping, s.mode, s.gain)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range seated {
+		p.TotalGain += next[i] - p.Skill
+		p.Skill = next[i]
+		p.RoundsPlayed++
+	}
+	s.rounds++
+	s.total += gain
+	return &RoundReport{
+		Round:        s.rounds,
+		Participated: m,
+		SatOut:       len(roster) - m,
+		Groups:       k,
+		Gain:         gain,
+	}, nil
+}

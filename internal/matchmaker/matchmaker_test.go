@@ -1,0 +1,232 @@
+package matchmaker
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(3, core.Star, core.MustLinear(0.5), dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	gain := core.MustLinear(0.5)
+	if _, err := NewSession(1, core.Star, gain, dygroups.NewStar()); err == nil {
+		t.Error("group size 1 accepted")
+	}
+	if _, err := NewSession(3, core.Mode(9), gain, dygroups.NewStar()); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := NewSession(3, core.Star, nil, dygroups.NewStar()); err == nil {
+		t.Error("nil gain accepted")
+	}
+	if _, err := NewSession(3, core.Star, gain, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestJoinLeaveGet(t *testing.T) {
+	s := newTestSession(t)
+	id, err := s.Join(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	p, ok := s.Get(id)
+	if !ok || p.Skill != 0.5 {
+		t.Fatalf("Get = %+v, %v", p, ok)
+	}
+	if _, err := s.Join(-1); err == nil {
+		t.Error("negative skill accepted")
+	}
+	if err := s.Leave(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave(id); err == nil {
+		t.Error("double leave accepted")
+	}
+	if _, ok := s.Get(id); ok {
+		t.Error("departed participant still present")
+	}
+}
+
+func TestRunRoundNeedsOneFullGroup(t *testing.T) {
+	s := newTestSession(t)
+	if _, err := s.RunRound(); err == nil {
+		t.Fatal("empty session ran a round")
+	}
+	s.Join(0.5)
+	s.Join(0.6)
+	if _, err := s.RunRound(); err == nil {
+		t.Fatal("undersized session ran a round")
+	}
+}
+
+func TestRunRoundLearning(t *testing.T) {
+	s := newTestSession(t)
+	skills := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	ids := make([]ParticipantID, len(skills))
+	for i, v := range skills {
+		id, err := s.Join(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	report, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Participated != 9 || report.SatOut != 0 || report.Groups != 3 {
+		t.Fatalf("report = %+v", report)
+	}
+	// DyGroups-Star round 1 on the toy example: gain 1.35.
+	if math.Abs(report.Gain-1.35) > 1e-9 {
+		t.Fatalf("gain = %v, want 1.35", report.Gain)
+	}
+	if math.Abs(s.TotalGain()-1.35) > 1e-9 {
+		t.Fatalf("session total = %v", s.TotalGain())
+	}
+	// Per-participant accounting: sum of individual gains equals the
+	// round gain.
+	var sum float64
+	for _, id := range ids {
+		p, _ := s.Get(id)
+		sum += p.TotalGain
+		if p.RoundsPlayed != 1 {
+			t.Fatalf("participant %d played %d rounds", id, p.RoundsPlayed)
+		}
+	}
+	if math.Abs(sum-1.35) > 1e-9 {
+		t.Fatalf("participant gains sum to %v", sum)
+	}
+}
+
+func TestSitOutFairness(t *testing.T) {
+	s := newTestSession(t)
+	for i := 0; i < 7; i++ { // 7 members, groups of 3 → 1 sits out
+		if _, err := s.Join(0.1 + 0.1*float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Participated != 6 || report.SatOut != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Whoever sat out round 1 must be seated in round 2 (fewest rounds
+	// played go first).
+	var satOut ParticipantID = -1
+	for id := ParticipantID(1); id <= 7; id++ {
+		p, _ := s.Get(id)
+		if p.RoundsPlayed == 0 {
+			satOut = id
+		}
+	}
+	if satOut < 0 {
+		t.Fatal("nobody sat out?")
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Get(satOut)
+	if p.RoundsPlayed != 1 {
+		t.Fatalf("round-1 bench warmer still benched: %+v", p)
+	}
+}
+
+func TestChurnBetweenRounds(t *testing.T) {
+	s := newTestSession(t)
+	ids := make([]ParticipantID, 0, 9)
+	for i := 0; i < 9; i++ {
+		id, err := s.Join(0.1 + 0.1*float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	// Three leave, two join.
+	for _, id := range ids[:3] {
+		if err := s.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Join(0.95)
+	s.Join(0.15)
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	report, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Participated != 6 || report.SatOut != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	if s.Rounds() != 2 {
+		t.Fatalf("rounds = %d", s.Rounds())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := newTestSession(t)
+	for i := 0; i < 30; i++ {
+		if _, err := s.Join(0.2 + 0.01*float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	// Concurrent joins, leaves (of fresh joins), and rounds.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := s.Join(0.5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if err := s.Leave(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := s.RunRound(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s.Rounds() != 20 {
+		t.Fatalf("rounds = %d", s.Rounds())
+	}
+	if s.TotalGain() < 0 {
+		t.Fatalf("total gain %v", s.TotalGain())
+	}
+}

@@ -1,0 +1,156 @@
+// Package plot renders the experiment tables as ASCII line charts, so
+// `benchfig -plot` can show the shape of every figure directly in a
+// terminal — the reproduction's stand-in for the paper's gnuplot
+// output. Only the standard library is used.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Options controls the chart geometry.
+type Options struct {
+	// Width and Height are the plot area size in characters (excluding
+	// axes and labels).
+	Width, Height int
+	// LogY plots log10 of the values, matching the paper's log-scale
+	// running-time figures. Non-positive values are dropped.
+	LogY bool
+}
+
+// DefaultOptions is a terminal-friendly size.
+var DefaultOptions = Options{Width: 64, Height: 16}
+
+// seriesMarks assigns one glyph per series, cycling if necessary.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders one chart with a shared x axis. xs must be ascending;
+// series maps a name to len(xs) values.
+type Chart struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	XS      []float64
+	Names   []string // series order
+	Values  [][]float64
+	Options Options
+}
+
+// NewChart builds a chart after validating the shapes.
+func NewChart(title, xlabel, ylabel string, xs []float64, names []string, values [][]float64, opts Options) (*Chart, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("plot: no x values")
+	}
+	if len(names) == 0 || len(names) != len(values) {
+		return nil, fmt.Errorf("plot: %d names for %d series", len(names), len(values))
+	}
+	for i, v := range values {
+		if len(v) != len(xs) {
+			return nil, fmt.Errorf("plot: series %q has %d values for %d x points", names[i], len(v), len(xs))
+		}
+	}
+	if opts.Width < 8 {
+		opts.Width = DefaultOptions.Width
+	}
+	if opts.Height < 4 {
+		opts.Height = DefaultOptions.Height
+	}
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, XS: xs, Names: names, Values: values, Options: opts}, nil
+}
+
+// Render writes the ASCII chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Options.Width, c.Options.Height
+	ys := make([][]float64, len(c.Values))
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for si, vals := range c.Values {
+		ys[si] = make([]float64, len(vals))
+		for i, v := range vals {
+			y := v
+			if c.Options.LogY {
+				if v <= 0 {
+					y = math.NaN()
+				} else {
+					y = math.Log10(v)
+				}
+			}
+			ys[si][i] = y
+			if !math.IsNaN(y) {
+				if y < yMin {
+					yMin = y
+				}
+				if y > yMax {
+					yMax = y
+				}
+			}
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return fmt.Errorf("plot: no plottable values")
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	xMin, xMax := c.XS[0], c.XS[len(c.XS)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si := range ys {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, y := range ys[si] {
+			if math.IsNaN(y) {
+				continue
+			}
+			col := int(math.Round((c.XS[i] - xMin) / (xMax - xMin) * float64(width-1)))
+			row := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBottom := yMax, yMin
+	unit := ""
+	if c.Options.LogY {
+		unit = " (log10)"
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g", yTop)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g", yBottom)
+		case height / 2:
+			label = fmt.Sprintf("%9.3g", (yTop+yBottom)/2)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 9), xMin, strings.Repeat(" ", maxInt(1, width-22)), xMax)
+	fmt.Fprintf(&b, "%s  x: %s, y: %s%s\n", strings.Repeat(" ", 9), c.XLabel, c.YLabel, unit)
+	for si, name := range c.Names {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", 9), seriesMarks[si%len(seriesMarks)], name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewChartValidation(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	vals := [][]float64{{1, 2, 3}}
+	if _, err := NewChart("t", "x", "y", nil, []string{"a"}, vals, DefaultOptions); err == nil {
+		t.Error("empty xs accepted")
+	}
+	if _, err := NewChart("t", "x", "y", xs, nil, vals, DefaultOptions); err == nil {
+		t.Error("missing names accepted")
+	}
+	if _, err := NewChart("t", "x", "y", xs, []string{"a"}, [][]float64{{1, 2}}, DefaultOptions); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewChart("t", "x", "y", xs, []string{"a"}, vals, DefaultOptions); err != nil {
+		t.Errorf("valid chart rejected: %v", err)
+	}
+}
+
+func TestRenderContainsSeriesAndLabels(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	vals := [][]float64{{1, 2, 3, 4}, {4, 3, 2, 1}}
+	c, err := NewChart("My Title", "alpha", "gain", xs, []string{"up", "down"}, vals, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"My Title", "x: alpha", "y: gain", "* up", "+ down"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Marks from both series must be plotted.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series marks not drawn")
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	xs := []float64{10, 100, 1000}
+	vals := [][]float64{{10, 1000, 100000}}
+	c, err := NewChart("log", "n", "time", xs, []string{"t"}, vals, Options{Width: 40, Height: 10, LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(log10)") {
+		t.Error("log axis label missing")
+	}
+}
+
+func TestRenderAllNonPositiveLogFails(t *testing.T) {
+	c, err := NewChart("log", "n", "t", []float64{1, 2}, []string{"a"}, [][]float64{{-1, 0}}, Options{Width: 20, Height: 6, LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err == nil {
+		t.Error("all-non-positive log chart rendered")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c, err := NewChart("const", "x", "y", []float64{1, 2}, []string{"a"}, [][]float64{{5, 5}}, Options{Width: 20, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("constant series failed to render: %v", err)
+	}
+}
+
+func TestTinyOptionsGetDefaults(t *testing.T) {
+	c, err := NewChart("t", "x", "y", []float64{1, 2}, []string{"a"}, [][]float64{{1, 2}}, Options{Width: 1, Height: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Options.Width < 8 || c.Options.Height < 4 {
+		t.Fatalf("degenerate options kept: %+v", c.Options)
+	}
+}

@@ -1,0 +1,308 @@
+// Package server exposes the TDG library over HTTP, the deployment
+// surface the paper's motivation describes (online social networks and
+// learning platforms forming targeted groups). It is a small JSON API
+// built on net/http:
+//
+//	POST /v1/group     one round's grouping for a skill vector
+//	POST /v1/simulate  a full α-round simulation
+//	GET  /v1/algorithms  the available grouping policies
+//	GET  /healthz      liveness probe
+//
+// The server is stateless: every request carries its instance. Policies
+// with randomness are seeded per request for reproducibility.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/bruteforce"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+	"peerlearn/internal/export"
+)
+
+// MaxParticipants bounds request sizes so a single request cannot pin
+// the server (the algorithms themselves scale much further; raise this
+// behind a load balancer if needed).
+const MaxParticipants = 1 << 20
+
+// AlgorithmNames lists the policies the API accepts.
+var AlgorithmNames = []string{"dygroups", "random", "kmeans", "lpa", "percentile", "ascending"}
+
+// newPolicy instantiates a policy by API name.
+func newPolicy(name string, mode core.Mode, seed int64) (core.Grouper, error) {
+	switch name {
+	case "", "dygroups":
+		if mode == core.Clique {
+			return dygroups.NewClique(), nil
+		}
+		return dygroups.NewStar(), nil
+	case "ascending":
+		return dygroups.NewAscendingStar(), nil
+	case "random":
+		return baselines.NewRandom(seed), nil
+	case "kmeans":
+		return baselines.NewKMeans(seed), nil
+	case "lpa":
+		return baselines.NewLPA(), nil
+	case "percentile":
+		return baselines.NewPercentile(0.75)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (known: %v)", name, AlgorithmNames)
+	}
+}
+
+// GroupRequest asks for one round's grouping.
+type GroupRequest struct {
+	Skills    []float64 `json:"skills"`
+	K         int       `json:"k"`
+	Mode      string    `json:"mode"`      // "star" (default) or "clique"
+	Algorithm string    `json:"algorithm"` // default "dygroups"
+	Seed      int64     `json:"seed"`      // for randomized policies
+}
+
+// GroupResponse carries the grouping and its aggregated learning gain
+// under the requested mode (r defaults to 0.5 for the gain preview).
+type GroupResponse struct {
+	Groups [][]int `json:"groups"`
+	Gain   float64 `json:"gain"`
+}
+
+// SimulateRequest asks for a full simulation.
+type SimulateRequest struct {
+	Skills    []float64 `json:"skills"`
+	K         int       `json:"k"`
+	Rounds    int       `json:"rounds"`
+	Rate      float64   `json:"rate"` // learning rate r; default 0.5
+	Mode      string    `json:"mode"`
+	Algorithm string    `json:"algorithm"`
+	Seed      int64     `json:"seed"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the API's http.Handler; mount it on any server.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
+	mux.HandleFunc("/v1/group", handleGroup)
+	mux.HandleFunc("/v1/simulate", handleSimulate)
+	mux.HandleFunc("/v1/solve", handleSolve)
+	return mux
+}
+
+// SolveRequest asks for the exact optimum of a small instance (at most
+// bruteforce.MaxParticipants participants).
+type SolveRequest struct {
+	Skills []float64 `json:"skills"`
+	K      int       `json:"k"`
+	Rounds int       `json:"rounds"`
+	Rate   float64   `json:"rate"`
+	Mode   string    `json:"mode"`
+}
+
+// SolveResponse carries the exact optimum and DyGroups' value on the
+// same instance, echoing the cmd/tdgsolve comparison.
+type SolveResponse struct {
+	OptimalGain  float64   `json:"optimal_gain"`
+	Plan         [][][]int `json:"plan"` // per round, the optimal grouping
+	DyGroupsGain float64   `json:"dygroups_gain"`
+	Matches      bool      `json:"matches"`
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	skills, mode, err := commonChecks(req.Skills, req.Mode, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(skills) > bruteforce.MaxParticipants {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d skills exceed the %d-participant brute-force limit", len(skills), bruteforce.MaxParticipants))
+		return
+	}
+	rate := req.Rate
+	if rate == 0 {
+		rate = 0.5
+	}
+	gain, err := core.NewLinear(rate)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Rounds < 0 || req.Rounds > 8 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d outside [0, 8] (exact search is exponential)", req.Rounds))
+		return
+	}
+	cfg := core.Config{K: req.K, Rounds: req.Rounds, Mode: mode, Gain: gain}
+	plan, err := bruteforce.Solve(cfg, skills)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dyPolicy, err := newPolicy("dygroups", mode, 0)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	res, err := core.Run(cfg, skills, dyPolicy)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := SolveResponse{
+		OptimalGain:  plan.TotalGain,
+		DyGroupsGain: res.TotalGain,
+		Matches:      plan.TotalGain-res.TotalGain <= 1e-9,
+	}
+	for _, g := range plan.Groupings {
+		resp.Plan = append(resp.Plan, g)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": AlgorithmNames})
+}
+
+func handleGroup(w http.ResponseWriter, r *http.Request) {
+	var req GroupRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	skills, mode, err := commonChecks(req.Skills, req.Mode, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	policy, err := newPolicy(req.Algorithm, mode, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grouping := policy.Group(skills, req.K)
+	if err := grouping.ValidateEqui(len(skills), req.K); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GroupResponse{
+		Groups: grouping,
+		Gain:   core.AggregateGain(skills, grouping, mode, core.MustLinear(0.5)),
+	})
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	skills, mode, err := commonChecks(req.Skills, req.Mode, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rate := req.Rate
+	if rate == 0 {
+		rate = 0.5
+	}
+	gain, err := core.NewLinear(rate)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Rounds < 0 || req.Rounds > 10000 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d outside [0, 10000]", req.Rounds))
+		return
+	}
+	policy, err := newPolicy(req.Algorithm, mode, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := core.Config{K: req.K, Rounds: req.Rounds, Mode: mode, Gain: gain}
+	res, err := core.Run(cfg, skills, policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sim, err := export.FromResult(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sim)
+}
+
+// commonChecks validates the shared request fields and returns the
+// parsed skills and mode.
+func commonChecks(rawSkills []float64, modeName string, k int) (core.Skills, core.Mode, error) {
+	if len(rawSkills) > MaxParticipants {
+		return nil, 0, fmt.Errorf("%d skills exceed the %d-participant request limit", len(rawSkills), MaxParticipants)
+	}
+	skills := core.Skills(rawSkills)
+	if err := core.ValidateSkills(skills); err != nil {
+		return nil, 0, err
+	}
+	if err := core.CheckGroupCount(len(skills), k); err != nil {
+		return nil, 0, err
+	}
+	mode := core.Star
+	if modeName != "" {
+		var err error
+		mode, err = core.ParseMode(modeName)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return skills, mode, nil
+}
+
+// decodePost enforces POST + JSON body; it writes the error response
+// itself and reports whether decoding succeeded.
+func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do but note it server-side.
+		// net/http logs broken-pipe style errors itself.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

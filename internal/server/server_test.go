@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/export"
+)
+
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h := Handler()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz body %q", rec.Body.String())
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	h := Handler()
+	req := httptest.NewRequest(http.MethodGet, "/v1/algorithms", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string][]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body["algorithms"]) != len(AlgorithmNames) {
+		t.Fatalf("algorithms = %v", body)
+	}
+	// POST is not allowed.
+	rec2 := post(t, h, "/v1/algorithms", map[string]string{})
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rec2.Code)
+	}
+}
+
+func TestGroupEndpoint(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/group", GroupRequest{
+		Skills: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		K:      3,
+		Mode:   "star",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp GroupResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Groups) != 3 {
+		t.Fatalf("groups = %v", resp.Groups)
+	}
+	// DyGroups-Star round-1 gain on the toy example with r = 0.5 is
+	// 1.35.
+	if resp.Gain < 1.349 || resp.Gain > 1.351 {
+		t.Fatalf("gain = %v, want 1.35", resp.Gain)
+	}
+}
+
+func TestGroupEndpointDefaultsToDyGroups(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/group", GroupRequest{
+		Skills: []float64{1, 2, 3, 4},
+		K:      2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestGroupEndpointErrors(t *testing.T) {
+	h := Handler()
+	cases := []struct {
+		name string
+		req  GroupRequest
+	}{
+		{"empty skills", GroupRequest{K: 2}},
+		{"negative skill", GroupRequest{Skills: []float64{1, -2}, K: 2}},
+		{"indivisible", GroupRequest{Skills: []float64{1, 2, 3}, K: 2}},
+		{"bad mode", GroupRequest{Skills: []float64{1, 2}, K: 2, Mode: "mesh"}},
+		{"bad algorithm", GroupRequest{Skills: []float64{1, 2}, K: 2, Algorithm: "oracle"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, h, "/v1/group", tc.req)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			if !strings.Contains(rec.Body.String(), "error") {
+				t.Fatalf("no error envelope: %s", rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestGroupEndpointRejectsGet(t *testing.T) {
+	h := Handler()
+	req := httptest.NewRequest(http.MethodGet, "/v1/group", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestGroupEndpointRejectsUnknownFields(t *testing.T) {
+	h := Handler()
+	req := httptest.NewRequest(http.MethodPost, "/v1/group",
+		strings.NewReader(`{"skills":[1,2],"k":2,"bogus":true}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		K:      3,
+		Rounds: 3,
+		Rate:   0.5,
+		Mode:   "star",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	sim, err := export.ReadSimulation(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Algorithm != "DyGroups-Star" || len(sim.RoundGains) != 3 {
+		t.Fatalf("simulation = %+v", sim)
+	}
+	// The toy example total: 2.55.
+	if sim.TotalGain < 2.549 || sim.TotalGain > 2.551 {
+		t.Fatalf("total gain %v, want 2.55", sim.TotalGain)
+	}
+}
+
+func TestSimulateEndpointClique(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills:    []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		K:         3,
+		Rounds:    3,
+		Mode:      "clique",
+		Algorithm: "dygroups",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	sim, err := export.ReadSimulation(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalGain < 2.334 || sim.TotalGain > 2.335 {
+		t.Fatalf("clique total %v, want 2.334375", sim.TotalGain)
+	}
+}
+
+func TestSimulateEndpointErrors(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{1, 2, 3, 4},
+		K:      2,
+		Rounds: -1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative rounds: status %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{1, 2, 3, 4},
+		K:      2,
+		Rounds: 1,
+		Rate:   2,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad rate: status %d", rec.Code)
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/solve", SolveRequest{
+		Skills: []float64{0.1, 0.3, 0.6, 0.9},
+		K:      2,
+		Rounds: 3,
+		Rate:   0.5,
+		Mode:   "star",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 5: DyGroups-Star matches the optimum at k = 2.
+	if !resp.Matches {
+		t.Fatalf("DyGroups %v did not match optimum %v", resp.DyGroupsGain, resp.OptimalGain)
+	}
+	if len(resp.Plan) != 3 {
+		t.Fatalf("plan has %d rounds", len(resp.Plan))
+	}
+}
+
+func TestSolveEndpointLimits(t *testing.T) {
+	h := Handler()
+	big := make([]float64, 20)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	rec := post(t, h, "/v1/solve", SolveRequest{Skills: big, K: 2, Rounds: 1})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversize instance: status %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/solve", SolveRequest{Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 9})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("too many rounds: status %d", rec.Code)
+	}
+}
+
+func TestAllAlgorithmNamesResolve(t *testing.T) {
+	h := Handler()
+	for _, algo := range AlgorithmNames {
+		rec := post(t, h, "/v1/group", GroupRequest{
+			Skills:    []float64{1, 2, 3, 4, 5, 6},
+			K:         2,
+			Algorithm: algo,
+			Mode:      "clique",
+		})
+		if rec.Code != http.StatusOK {
+			t.Errorf("algorithm %q: status %d: %s", algo, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestSolveEndpointBadInputs(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/solve", SolveRequest{Skills: []float64{1, -2}, K: 2, Rounds: 1})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid skills: status %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/solve", SolveRequest{Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 1, Rate: 3})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad rate: status %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/solve", SolveRequest{Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 1, Mode: "mesh"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad mode: status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET solve: status %d", rec2.Code)
+	}
+}
+
+func TestSimulateEndpointOversizeAndGarbage(t *testing.T) {
+	h := Handler()
+	rec := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 20000,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("huge round count: status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader("{broken"))
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", rec2.Code)
+	}
+	rec3 := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 1, Algorithm: "oracle",
+	})
+	if rec3.Code != http.StatusBadRequest {
+		t.Fatalf("bad algorithm: status %d", rec3.Code)
+	}
+}
+
+func TestSimulateRandomizedPoliciesSeeded(t *testing.T) {
+	h := Handler()
+	body := SimulateRequest{
+		Skills:    []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		K:         2,
+		Rounds:    3,
+		Algorithm: "random",
+		Seed:      99,
+	}
+	a := post(t, h, "/v1/simulate", body)
+	b := post(t, h, "/v1/simulate", body)
+	if a.Body.String() != b.Body.String() {
+		t.Fatal("same seed produced different simulations")
+	}
+}

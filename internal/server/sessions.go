@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/matchmaker"
+)
+
+// SessionStore holds the live cohorts of a stateful deployment. The
+// stateless Handler stays as-is; NewSessionHandler layers the session
+// API on top:
+//
+//	POST   /v1/sessions                     create a cohort
+//	GET    /v1/sessions/{id}                cohort status
+//	POST   /v1/sessions/{id}/join           add a participant
+//	POST   /v1/sessions/{id}/leave          remove a participant
+//	POST   /v1/sessions/{id}/round          run one learning round
+type SessionStore struct {
+	mu       sync.Mutex
+	nextID   int64
+	sessions map[int64]*matchmaker.Session
+	// MaxSessions bounds live cohorts to keep a toy deployment safe.
+	MaxSessions int
+}
+
+// NewSessionStore returns an empty store.
+func NewSessionStore() *SessionStore {
+	return &SessionStore{sessions: make(map[int64]*matchmaker.Session), MaxSessions: 1024}
+}
+
+// CreateSessionRequest configures a new cohort.
+type CreateSessionRequest struct {
+	GroupSize int     `json:"group_size"`
+	Mode      string  `json:"mode"`      // "star" (default) or "clique"
+	Rate      float64 `json:"rate"`      // default 0.5
+	Algorithm string  `json:"algorithm"` // default "dygroups"
+	Seed      int64   `json:"seed"`
+}
+
+// SessionStatus reports a cohort's state.
+type SessionStatus struct {
+	ID        int64   `json:"id"`
+	Members   int     `json:"members"`
+	Rounds    int     `json:"rounds"`
+	TotalGain float64 `json:"total_gain"`
+}
+
+// JoinRequest adds a participant.
+type JoinRequest struct {
+	Skill float64 `json:"skill"`
+}
+
+// JoinResponse returns the assigned participant id.
+type JoinResponse struct {
+	ParticipantID int64 `json:"participant_id"`
+}
+
+// LeaveRequest removes a participant.
+type LeaveRequest struct {
+	ParticipantID int64 `json:"participant_id"`
+}
+
+// RoundResponse reports one learning round.
+type RoundResponse struct {
+	Round        int     `json:"round"`
+	Participated int     `json:"participated"`
+	SatOut       int     `json:"sat_out"`
+	Groups       int     `json:"groups"`
+	Gain         float64 `json:"gain"`
+}
+
+// NewSessionHandler returns a handler serving both the stateless API
+// and the session API backed by store.
+func NewSessionHandler(store *SessionStore) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler())
+	mux.HandleFunc("/v1/sessions", store.handleCreate)
+	mux.HandleFunc("/v1/sessions/", store.handleSession)
+	return mux
+}
+
+func (st *SessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	mode := core.Star
+	if req.Mode != "" {
+		var err error
+		mode, err = core.ParseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rate := req.Rate
+	if rate == 0 {
+		rate = 0.5
+	}
+	gain, err := core.NewLinear(rate)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	policy, err := newPolicy(req.Algorithm, mode, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	session, err := matchmaker.NewSession(req.GroupSize, mode, gain, policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st.mu.Lock()
+	if len(st.sessions) >= st.MaxSessions {
+		st.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached", st.MaxSessions))
+		return
+	}
+	st.nextID++
+	id := st.nextID
+	st.sessions[id] = session
+	st.mu.Unlock()
+	writeJSON(w, http.StatusCreated, SessionStatus{ID: id})
+}
+
+// handleSession routes /v1/sessions/{id}[/action].
+func (st *SessionStore) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	parts := strings.SplitN(rest, "/", 2)
+	id, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id %q", parts[0]))
+		return
+	}
+	st.mu.Lock()
+	session, ok := st.sessions[id]
+	st.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %d", id))
+		return
+	}
+	action := ""
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+	switch action {
+	case "":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionStatus{
+			ID: id, Members: session.Len(), Rounds: session.Rounds(), TotalGain: session.TotalGain(),
+		})
+	case "join":
+		var req JoinRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		pid, err := session.Join(req.Skill)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, JoinResponse{ParticipantID: int64(pid)})
+	case "leave":
+		var req LeaveRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		if err := session.Leave(matchmaker.ParticipantID(req.ParticipantID)); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "left"})
+	case "round":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		report, err := session.RunRound()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, RoundResponse{
+			Round: report.Round, Participated: report.Participated,
+			SatOut: report.SatOut, Groups: report.Groups, Gain: report.Gain,
+		})
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown action %q", action))
+	}
+}
+
+// marshal check: the session payloads must stay JSON-encodable (guards
+// against accidentally adding unexportable fields).
+var _ = func() bool {
+	for _, v := range []any{SessionStatus{}, JoinResponse{}, RoundResponse{}} {
+		if _, err := json.Marshal(v); err != nil {
+			panic(err)
+		}
+	}
+	return true
+}()

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newSessionAPI() http.Handler {
+	return NewSessionHandler(NewSessionStore())
+}
+
+func createSession(t *testing.T, h http.Handler, req CreateSessionRequest) int64 {
+	t.Helper()
+	rec := post(t, h, "/v1/sessions", req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var status SessionStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	return status.ID
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	h := newSessionAPI()
+	id := createSession(t, h, CreateSessionRequest{GroupSize: 3})
+	base := fmt.Sprintf("/v1/sessions/%d", id)
+
+	// Join the toy cohort.
+	var pids []int64
+	for _, skill := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		rec := post(t, h, base+"/join", JoinRequest{Skill: skill})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("join: status %d: %s", rec.Code, rec.Body.String())
+		}
+		var jr JoinResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &jr); err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, jr.ParticipantID)
+	}
+
+	// Status shows 9 members.
+	req := httptest.NewRequest(http.MethodGet, base, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var status SessionStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Members != 9 || status.Rounds != 0 {
+		t.Fatalf("status = %+v", status)
+	}
+
+	// One round: the toy example's first-round gain is 1.35.
+	rec = post(t, h, base+"/round", struct{}{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("round: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var rr RoundResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Round != 1 || rr.Groups != 3 || rr.Gain < 1.349 || rr.Gain > 1.351 {
+		t.Fatalf("round = %+v", rr)
+	}
+
+	// A participant leaves; roster drops.
+	rec = post(t, h, base+"/leave", LeaveRequest{ParticipantID: pids[0]})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("leave: status %d", rec.Code)
+	}
+	rec = post(t, h, base+"/leave", LeaveRequest{ParticipantID: pids[0]})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double leave: status %d", rec.Code)
+	}
+}
+
+func TestSessionCreationErrors(t *testing.T) {
+	h := newSessionAPI()
+	for name, req := range map[string]CreateSessionRequest{
+		"tiny groups": {GroupSize: 1},
+		"bad mode":    {GroupSize: 3, Mode: "mesh"},
+		"bad rate":    {GroupSize: 3, Rate: 2},
+		"bad algo":    {GroupSize: 3, Algorithm: "oracle"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rec := post(t, h, "/v1/sessions", req)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestSessionRouting(t *testing.T) {
+	h := newSessionAPI()
+	rec := post(t, h, "/v1/sessions/999/join", JoinRequest{Skill: 0.5})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/sessions/zebra/join", JoinRequest{Skill: 0.5})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d", rec.Code)
+	}
+	id := createSession(t, h, CreateSessionRequest{GroupSize: 2})
+	rec = post(t, h, fmt.Sprintf("/v1/sessions/%d/dance", id), struct{}{})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown action: status %d", rec.Code)
+	}
+	// Round on an empty cohort conflicts.
+	rec = post(t, h, fmt.Sprintf("/v1/sessions/%d/round", id), struct{}{})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("empty round: status %d", rec.Code)
+	}
+	// Stateless endpoints still work through the combined handler.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("healthz through session handler: %d", rec2.Code)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	store := NewSessionStore()
+	store.MaxSessions = 2
+	h := NewSessionHandler(store)
+	createSession(t, h, CreateSessionRequest{GroupSize: 2})
+	createSession(t, h, CreateSessionRequest{GroupSize: 2})
+	rec := post(t, h, "/v1/sessions", CreateSessionRequest{GroupSize: 2})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("limit: status %d", rec.Code)
+	}
+}
+
+func TestSessionConcurrentTraffic(t *testing.T) {
+	h := newSessionAPI()
+	id := createSession(t, h, CreateSessionRequest{GroupSize: 4})
+	base := fmt.Sprintf("/v1/sessions/%d", id)
+	for i := 0; i < 16; i++ {
+		rec := post(t, h, base+"/join", JoinRequest{Skill: 0.2 + 0.04*float64(i)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed join %d failed", i)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rec := post(t, h, base+"/join", JoinRequest{Skill: 0.5})
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("join status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			rec := post(t, h, base+"/round", struct{}{})
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("round status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

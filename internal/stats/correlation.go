@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples, in [−1, 1]. It errors on mismatched or undersized inputs and
+// returns 0 when either sample is constant (the coefficient is undefined
+// there; 0 is the conventional "no linear relationship" report).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least two pairs, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, syy, sxy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation: Pearson on the ranks,
+// with ties receiving their average rank. It is the robust choice for
+// the retention-vs-gain analysis, where gains are heavy-tailed.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least two pairs, got %d", len(xs))
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks maps values to average ranks (1-based), handling ties.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for t := i; t <= j; t++ {
+			out[idx[t]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSample(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("constant sample correlation %v, want 0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPearsonIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 5000)
+	ys := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.05 {
+		t.Fatalf("independent samples correlate at %v", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A monotone but non-linear relationship: Spearman 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rs, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs-1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 1", rs)
+	}
+	rp, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp >= 1 {
+		t.Fatalf("Pearson = %v, expected < 1 for a convex relationship", rp)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	rs, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs-1) > 1e-12 {
+		t.Fatalf("tied Spearman = %v, want 1", rs)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20, 20})
+	want := []float64{4, 1, 2.5, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}

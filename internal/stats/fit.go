@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is the least-squares line y = Intercept + Slope·x together
+// with its coefficient of determination. The paper's Figure 2 fits a
+// line to the aggregated learning gain of the first rounds of the human
+// experiment and observes a near-linear increase (R² close to 1).
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination in [0, 1] (it can be
+	// negative for a fit worse than the horizontal mean line, which
+	// cannot happen for least squares on the same data).
+	R2 float64
+}
+
+// FitLine computes the least-squares line through the points
+// (xs[i], ys[i]). It returns an error when fewer than two points are
+// given or all xs coincide (vertical line).
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need at least two points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: all x values coincide; line is vertical")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // all ys equal; the horizontal line is exact
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// At evaluates the fitted line at x.
+func (f LinearFit) At(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// String renders the fit for reports.
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.4f + %.4f·x (R²=%.4f)", f.Intercept, f.Slope, f.R2)
+}
+
+// ConfidenceInterval returns the half-width of a symmetric normal-theory
+// confidence interval for the mean of xs at the given confidence level
+// (e.g. 0.75 or 0.95): z·s/√n. NaN for fewer than two values.
+func ConfidenceInterval(xs []float64, level float64) float64 {
+	if len(xs) < 2 || level <= 0 || level >= 1 {
+		return math.NaN()
+	}
+	z := normalQuantile(0.5 + level/2)
+	return z * math.Sqrt(SampleVariance(xs)/float64(len(xs)))
+}
+
+// normalQuantile is the standard normal inverse CDF, computed by
+// bisection on math.Erf — plenty accurate for confidence intervals and
+// dependency-free.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*(1+math.Erf(mid/math.Sqrt2)) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

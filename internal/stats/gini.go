@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of xs as defined in the paper's
+// footnote 9:
+//
+//	G = Σ_{i>j} |s_i − s_j| / (n · Σ_i |s_i|)
+//
+// For non-negative inputs this lies in [0, 1): 0 means perfect equality.
+// It is computed in O(n log n) by sorting: with x sorted ascending,
+// Σ_{i>j} (x_i − x_j) = Σ_i (2i − n + 1) · x_i (0-based i).
+// An empty slice yields NaN; an all-zero slice yields 0.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var pairSum, absSum float64
+	for i, x := range sorted {
+		pairSum += float64(2*i-n+1) * x
+		absSum += math.Abs(x)
+	}
+	if absSum == 0 {
+		return 0
+	}
+	return pairSum / (float64(n) * absSum)
+}
+
+// Percentile returns the q-th percentile (q in [0, 1]) of xs using linear
+// interpolation between order statistics; NaN for an empty slice.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		lo, _ := MinMax(xs)
+		return lo
+	}
+	if q >= 1 {
+		_, hi := MinMax(xs)
+		return hi
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

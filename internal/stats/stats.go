@@ -1,0 +1,91 @@
+// Package stats provides the statistical machinery the paper's
+// evaluation relies on: descriptive statistics, the two inequality
+// measures of Section V-B5 (coefficient of variation and the Gini
+// coefficient), least-squares linear fitting with R² (Figure 2), and
+// Welch's t-test with exact p-values (the significance claims of
+// Observations I and II).
+package stats
+
+import (
+	"math"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (divides by n), or NaN for an
+// empty slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := x - mu
+		acc += d * d
+	}
+	return acc / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (divides by n−1),
+// or NaN for fewer than two values.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := x - mu
+		acc += d * d
+	}
+	return acc / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation σ/µ, the first inequality
+// measure of Section V-B5. It is NaN for an empty slice and ±Inf when
+// the mean is zero.
+func CV(xs []float64) float64 {
+	mu := Mean(xs)
+	return StdDev(xs) / mu
+}
+
+// Sum returns Σ xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MinMax returns the smallest and largest values; NaNs for an empty
+// slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

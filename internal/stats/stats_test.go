@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnownValues(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !approx(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := SampleVariance(xs); !approx(got, 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7)
+	}
+	if got := CV(xs); !approx(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	if got := Sum(xs); !approx(got, 40, 1e-12) {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+	lo, hi := MinMax(xs)
+	if lo != 2 || hi != 9 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) || !math.IsNaN(CV(nil)) {
+		t.Error("empty-slice statistics should be NaN")
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Error("single-value sample variance should be NaN")
+	}
+	lo, hi := MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("empty MinMax should be NaN")
+	}
+	if !math.IsNaN(Gini(nil)) {
+		t.Error("empty Gini should be NaN")
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty Percentile should be NaN")
+	}
+}
+
+func TestGiniKnownValues(t *testing.T) {
+	// Perfect equality.
+	if got := Gini([]float64{3, 3, 3, 3}); !approx(got, 0, 1e-12) {
+		t.Errorf("Gini(equal) = %v, want 0", got)
+	}
+	// One person owns everything: G = (n−1)/n.
+	if got := Gini([]float64{1, 0, 0, 0}); !approx(got, 0.75, 1e-12) {
+		t.Errorf("Gini(monopoly,4) = %v, want 0.75", got)
+	}
+	// Two values {0, 1}: sum |si−sj| over i>j is 1; denominator 2·1.
+	if got := Gini([]float64{0, 1}); !approx(got, 0.5, 1e-12) {
+		t.Errorf("Gini({0,1}) = %v, want 0.5", got)
+	}
+	// All zeros.
+	if got := Gini([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("Gini(zeros) = %v, want 0", got)
+	}
+}
+
+func TestGiniMatchesDefinition(t *testing.T) {
+	// The O(n log n) formula must agree with the paper's O(n²)
+	// definition G = Σ_{i>j}|si−sj| / (n Σ|si|).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		var pair, abs float64
+		for i := range xs {
+			abs += math.Abs(xs[i])
+			for j := 0; j < i; j++ {
+				pair += math.Abs(xs[i] - xs[j])
+			}
+		}
+		want := pair / (float64(n) * abs)
+		if got := Gini(xs); !approx(got, want, 1e-9) {
+			t.Fatalf("trial %d: Gini = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			// Map arbitrary floats into a realistic non-negative skill
+			// range; magnitudes near MaxFloat64 would overflow any
+			// pairwise-difference sum and are not meaningful skills.
+			xs[i] = math.Mod(math.Abs(v), 1e6)
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 1
+			}
+		}
+		g := Gini(xs)
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 4 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); !approx(got, 2.5, 1e-12) {
+		t.Errorf("P50 = %v, want 2.5", got)
+	}
+	if got := Percentile(xs, 1.0/3); !approx(got, 2, 1e-12) {
+		t.Errorf("P33 = %v, want 2", got)
+	}
+	// Input untouched.
+	if xs[0] != 4 {
+		t.Error("Percentile sorted its input")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 2, 1e-12) || !approx(fit.Intercept, 1, 1e-12) || !approx(fit.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1 R² 1", fit)
+	}
+	if got := fit.At(10); !approx(got, 21, 1e-12) {
+		t.Errorf("At(10) = %v, want 21", got)
+	}
+	if fit.String() == "" {
+		t.Error("empty fit string")
+	}
+}
+
+func TestFitLineNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2 + 0.5*xs[i] + rng.NormFloat64()*0.1
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Slope, 0.5, 0.01) || !approx(fit.Intercept, 2, 0.5) {
+		t.Fatalf("noisy fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R² = %v, want near 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("vertical line accepted")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("constant fit = %+v", fit)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := make([]float64, 100)
+	rng := rand.New(rand.NewSource(9))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ci95 := ConfidenceInterval(xs, 0.95)
+	ci75 := ConfidenceInterval(xs, 0.75)
+	if math.IsNaN(ci95) || ci95 <= 0 {
+		t.Fatalf("CI95 = %v", ci95)
+	}
+	if ci75 >= ci95 {
+		t.Fatalf("CI75 (%v) should be narrower than CI95 (%v)", ci75, ci95)
+	}
+	if !math.IsNaN(ConfidenceInterval([]float64{1}, 0.95)) {
+		t.Error("single-value CI should be NaN")
+	}
+	if !math.IsNaN(ConfidenceInterval(xs, 1.5)) {
+		t.Error("invalid level accepted")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.875, 1.150349},
+		{0.025, -1.959964},
+	}
+	for _, tc := range cases {
+		if got := normalQuantile(tc.p); !approx(got, tc.want, 1e-4) {
+			t.Errorf("normalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult reports a two-sample Welch t-test. The paper uses
+// significance testing for Observation I (skills improve through peer
+// interaction) and Observation II (DyGroups outperforms the baselines).
+type TTestResult struct {
+	// T is the Welch t statistic.
+	T float64
+	// DF is the Welch–Satterthwaite effective degrees of freedom.
+	DF float64
+	// P is the two-sided p-value.
+	P float64
+	// MeanA, MeanB are the two sample means.
+	MeanA, MeanB float64
+}
+
+// WelchT performs a two-sample Welch t-test of H0: mean(a) == mean(b)
+// against the two-sided alternative. It requires at least two
+// observations per sample and non-degenerate variance in at least one.
+func WelchT(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: welch t-test needs ≥2 observations per sample, got %d and %d", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := SampleVariance(a), SampleVariance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se2 := sa + sb
+	if se2 == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1, MeanA: ma, MeanB: mb}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0, MeanA: ma, MeanB: mb}, nil
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	df := se2 * se2 / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * studentTTail(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p, MeanA: ma, MeanB: mb}, nil
+}
+
+// PairedT performs a paired t-test of H0: mean(after − before) == 0
+// against the two-sided alternative; it is the natural test for the
+// pre-/post-assessment comparison of the human experiments.
+func PairedT(before, after []float64) (TTestResult, error) {
+	if len(before) != len(after) {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test needs equal lengths, got %d and %d", len(before), len(after))
+	}
+	if len(before) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test needs ≥2 pairs, got %d", len(before))
+	}
+	diffs := make([]float64, len(before))
+	for i := range before {
+		diffs[i] = after[i] - before[i]
+	}
+	md := Mean(diffs)
+	vd := SampleVariance(diffs)
+	n := float64(len(diffs))
+	if vd == 0 {
+		if md == 0 {
+			return TTestResult{T: 0, DF: n - 1, P: 1, MeanA: Mean(after), MeanB: Mean(before)}, nil
+		}
+		return TTestResult{T: math.Inf(sign(md)), DF: n - 1, P: 0, MeanA: Mean(after), MeanB: Mean(before)}, nil
+	}
+	t := md / math.Sqrt(vd/n)
+	df := n - 1
+	p := 2 * studentTTail(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p, MeanA: Mean(after), MeanB: Mean(before)}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTTail returns P(T > t) for Student's t distribution with df
+// degrees of freedom, via the regularized incomplete beta function:
+// P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2 for t ≥ 0.
+func studentTTail(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// evaluated with the continued-fraction expansion of Numerical Recipes
+// (Lentz's algorithm).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

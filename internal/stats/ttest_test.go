@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStudentTTailKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{1.812, 10, 0.05},   // one-sided 5% critical value, df=10
+		{2.228, 10, 0.025},  // two-sided 5% critical value, df=10
+		{1.96, 1e6, 0.025},  // converges to the normal tail
+		{2.576, 1e6, 0.005}, // normal 1% two-sided
+	}
+	for _, tc := range cases {
+		got := studentTTail(tc.t, tc.df)
+		if math.Abs(got-tc.want) > 2e-3 {
+			t.Errorf("studentTTail(%v, %v) = %v, want ≈ %v", tc.t, tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, x := range []float64{0.2, 0.4, 0.7} {
+		lhs := regIncBeta(2.5, 4, x)
+		rhs := 1 - regIncBeta(4, 2.5, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry violated at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestWelchTSeparatedSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = 5 + rng.NormFloat64()
+		b[i] = 3 + rng.NormFloat64()
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T <= 0 {
+		t.Errorf("t = %v, want positive (meanA > meanB)", res.T)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("p = %v, want highly significant", res.P)
+	}
+	if res.MeanA < res.MeanB {
+		t.Errorf("means swapped: %v < %v", res.MeanA, res.MeanB)
+	}
+}
+
+func TestWelchTSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("same-distribution samples reported significant: p=%v", res.P)
+	}
+	if res.P > 1 {
+		t.Errorf("p = %v > 1", res.P)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	res, err := WelchT([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("identical constant samples: %+v", res)
+	}
+	res, err = WelchT([]float64{3, 3, 3}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.T, 1) {
+		t.Errorf("separated constant samples: %+v", res)
+	}
+}
+
+func TestWelchTErrors(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("undersized sample accepted")
+	}
+	if _, err := WelchT(nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestPairedT(t *testing.T) {
+	// Consistent positive improvement → significant.
+	before := []float64{0.4, 0.5, 0.45, 0.55, 0.5, 0.6, 0.42, 0.58}
+	after := []float64{0.6, 0.68, 0.63, 0.74, 0.71, 0.77, 0.6, 0.79}
+	res, err := PairedT(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T <= 0 || res.P > 0.001 {
+		t.Errorf("clear improvement not detected: %+v", res)
+	}
+	if res.MeanA <= res.MeanB {
+		t.Errorf("MeanA (after) should exceed MeanB (before): %+v", res)
+	}
+}
+
+func TestPairedTNoChange(t *testing.T) {
+	same := []float64{1, 2, 3, 4}
+	res, err := PairedT(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("no-change pairs: %+v", res)
+	}
+}
+
+func TestPairedTConstantShift(t *testing.T) {
+	before := []float64{1, 2, 3}
+	after := []float64{2, 3, 4}
+	res, err := PairedT(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.T, 1) {
+		t.Errorf("constant positive shift: %+v", res)
+	}
+}
+
+func TestPairedTErrors(t *testing.T) {
+	if _, err := PairedT([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedT([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+}

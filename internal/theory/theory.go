@@ -1,0 +1,164 @@
+// Package theory implements the analytical machinery of Section IV of
+// the paper and exposes it for validation: the equivalent objective of
+// Section IV-C (skill distances to the most skilled member), the
+// closed-form objective for the Star mode with k = 2 (eq. 5), and the
+// count of round-local optima (Lemma 1). The test suite checks these
+// closed forms against direct simulation, tying the implementation to
+// the paper's proofs rather than only to its pseudo-code.
+package theory
+
+import (
+	"fmt"
+	"math"
+
+	"peerlearn/internal/core"
+)
+
+// Distances converts skills to the b-representation of Section IV-C:
+// b_i = s_max − s_i, so the TDG objective "maximize total gain" becomes
+// "minimize Σ b_i after α rounds". The returned slice is aligned with
+// the input (not sorted).
+func Distances(s core.Skills) []float64 {
+	max := s.Max()
+	b := make([]float64, len(s))
+	for i, v := range s {
+		b[i] = max - v
+	}
+	return b
+}
+
+// SumDistances returns Σ b_i, the quantity the equivalent objective
+// minimizes.
+func SumDistances(s core.Skills) float64 {
+	var t float64
+	max := s.Max()
+	for _, v := range s {
+		t += max - v
+	}
+	return t
+}
+
+// GainFromDistances recovers the total learning gain over a horizon from
+// the initial and final distance sums: since the top skill never
+// changes, Σ gain = Σ b⁰ − Σ bᵅ. This is the objective equivalence the
+// Section IV-C proof pivots on.
+func GainFromDistances(initial, final core.Skills) (float64, error) {
+	if len(initial) != len(final) {
+		return 0, fmt.Errorf("theory: mismatched lengths %d and %d", len(initial), len(final))
+	}
+	if math.Abs(initial.Max()-final.Max()) > 1e-9 {
+		return 0, fmt.Errorf("theory: the maximum skill changed (%v → %v); the distance argument requires it fixed",
+			initial.Max(), final.Max())
+	}
+	return SumDistances(initial) - SumDistances(final), nil
+}
+
+// StarTwoGroupsObjective evaluates the closed-form objective of eq. 5
+// for the Star mode with k = 2:
+//
+//	Σ_t LG(G_t) = D − [ (n/2)·r·Σ_t b_{x_t}·(1−r)^{α−t} + D·(1−r)^α ]
+//
+// where D = Σ b⁰ and b_{x_t} is the skill distance (at the start of
+// round t) of the second group's teacher. secondTeacherB lists those
+// distances round by round. The equation assumes every round is locally
+// optimal in the sense that the remaining members split n/2−1 per group
+// and the top-skilled member leads group 1.
+func StarTwoGroupsObjective(initial core.Skills, r float64, secondTeacherB []float64) (float64, error) {
+	n := len(initial)
+	if n < 2 || n%2 != 0 {
+		return 0, fmt.Errorf("theory: k = 2 needs an even n ≥ 2, got %d", n)
+	}
+	if !(r > 0 && r <= 1) {
+		return 0, fmt.Errorf("theory: rate %v outside (0,1]", r)
+	}
+	alpha := len(secondTeacherB)
+	d := SumDistances(initial)
+	decay := 1.0
+	var weighted float64
+	// (1−r)^{α−t} for t = 1..α; iterate backwards so decay accumulates.
+	for t := alpha - 1; t >= 0; t-- {
+		weighted += secondTeacherB[t] * decay
+		decay *= 1 - r
+	}
+	finalDistance := float64(n)/2*r*weighted + d*decay
+	return d - finalDistance, nil
+}
+
+// SecondTeacherDistances extracts, for each recorded round of a k = 2
+// Star simulation, the b-value of the second group's teacher at the
+// start of the round. The result requires the simulation to have
+// recorded groupings and skills.
+func SecondTeacherDistances(res *core.Result) ([]float64, error) {
+	if res == nil {
+		return nil, fmt.Errorf("theory: nil result")
+	}
+	if res.Config.K != 2 || res.Config.Mode != core.Star {
+		return nil, fmt.Errorf("theory: need a k=2 star simulation, got k=%d %v", res.Config.K, res.Config.Mode)
+	}
+	prev := res.Initial
+	max := res.Initial.Max()
+	out := make([]float64, 0, len(res.Rounds))
+	for _, rd := range res.Rounds {
+		if rd.Grouping == nil {
+			return nil, fmt.Errorf("theory: round %d has no recorded grouping (set Config.RecordGroupings)", rd.Index)
+		}
+		// The second teacher is the maximum of the group that does not
+		// contain the overall maximum.
+		teacher := math.Inf(-1)
+		for _, grp := range rd.Grouping {
+			groupMax := math.Inf(-1)
+			for _, p := range grp {
+				if prev[p] > groupMax {
+					groupMax = prev[p]
+				}
+			}
+			if groupMax < max && groupMax > teacher {
+				teacher = groupMax
+			}
+		}
+		if math.IsInf(teacher, -1) {
+			// Both groups peak at the global maximum (duplicates); the
+			// "second teacher" has distance 0.
+			teacher = max
+		}
+		out = append(out, max-teacher)
+		if rd.Skills == nil {
+			return nil, fmt.Errorf("theory: round %d has no recorded skills (set Config.RecordSkills)", rd.Index)
+		}
+		prev = rd.Skills
+	}
+	return out, nil
+}
+
+// LocalOptimaCount returns the number of round-local optima for the
+// Star mode with k = 2 and n participants (Lemma 1): 2·C(n−2, n/2−1).
+// It returns an error for invalid n and saturates at MaxInt64.
+func LocalOptimaCount(n int) (int64, error) {
+	if n < 4 || n%2 != 0 {
+		return 0, fmt.Errorf("theory: k = 2 local optima need even n ≥ 4, got %d", n)
+	}
+	c := binomial(n-2, n/2-1)
+	if c < 0 || c > math.MaxInt64/2 {
+		return math.MaxInt64, nil
+	}
+	return 2 * c, nil
+}
+
+// binomial returns C(n, r), or −1 on overflow.
+func binomial(n, r int) int64 {
+	if r < 0 || r > n {
+		return 0
+	}
+	if r > n-r {
+		r = n - r
+	}
+	var c int64 = 1
+	for i := 1; i <= r; i++ {
+		hi := int64(n - r + i)
+		if c > math.MaxInt64/hi {
+			return -1
+		}
+		c = c * hi / int64(i)
+	}
+	return c
+}

@@ -1,0 +1,204 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/bruteforce"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDistances(t *testing.T) {
+	// The paper's example: skills 0.9..0.1 → b = 0, 0.1, …, 0.8.
+	s := core.Skills{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+	b := Distances(s)
+	for i := range b {
+		want := 0.1 * float64(i)
+		if math.Abs(b[i]-want) > 1e-12 {
+			t.Fatalf("b[%d] = %v, want %v", i, b[i], want)
+		}
+	}
+	if got := SumDistances(s); math.Abs(got-3.6) > 1e-12 {
+		t.Fatalf("SumDistances = %v, want 3.6", got)
+	}
+}
+
+func TestGainFromDistancesMatchesSimulation(t *testing.T) {
+	// Σ gain = Σb⁰ − Σbᵅ, the Section IV-C equivalence, for any policy.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + 2*rng.Intn(5)
+		s := make(core.Skills, n)
+		for i := range s {
+			s[i] = rng.Float64() + 0.01
+		}
+		cfg := core.Config{K: 2, Rounds: 1 + rng.Intn(4), Mode: core.Star, Gain: core.MustLinear(0.5)}
+		res, err := core.Run(cfg, s, baselines.NewRandom(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GainFromDistances(res.Initial, res.Final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, res.TotalGain) {
+			t.Fatalf("trial %d: distance gain %v != simulated %v", trial, got, res.TotalGain)
+		}
+	}
+}
+
+func TestGainFromDistancesErrors(t *testing.T) {
+	if _, err := GainFromDistances(core.Skills{1, 2}, core.Skills{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := GainFromDistances(core.Skills{1, 2}, core.Skills{1, 3}); err == nil {
+		t.Error("changed maximum accepted")
+	}
+}
+
+func TestStarTwoGroupsClosedForm(t *testing.T) {
+	// Eq. 5: the closed-form objective must equal the simulated total
+	// gain for k = 2 star runs, whatever the (locally valid) grouping
+	// policy.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := []int{4, 6, 8, 10}[rng.Intn(4)]
+		alpha := 1 + rng.Intn(4)
+		r := 0.1 + 0.8*rng.Float64()
+		s := make(core.Skills, n)
+		for i := range s {
+			s[i] = rng.Float64() + 0.01
+		}
+		cfg := core.Config{
+			K: 2, Rounds: alpha, Mode: core.Star,
+			Gain:            core.MustLinear(r),
+			RecordGroupings: true,
+			RecordSkills:    true,
+		}
+		var policy core.Grouper = dygroups.NewStar()
+		if trial%2 == 1 {
+			policy = baselines.NewRandom(int64(trial))
+		}
+		res, err := core.Run(cfg, s, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := SecondTeacherDistances(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := StarTwoGroupsObjective(s, r, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, res.TotalGain) {
+			t.Fatalf("trial %d (%s, n=%d α=%d r=%.3f): closed form %v != simulated %v",
+				trial, res.Algorithm, n, alpha, r, got, res.TotalGain)
+		}
+	}
+}
+
+func TestStarTwoGroupsObjectiveErrors(t *testing.T) {
+	s := core.Skills{1, 2, 3, 4}
+	if _, err := StarTwoGroupsObjective(core.Skills{1, 2, 3}, 0.5, []float64{0}); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := StarTwoGroupsObjective(s, 0, []float64{0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := StarTwoGroupsObjective(s, 1.5, []float64{0}); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+}
+
+func TestSecondTeacherDistancesRequirements(t *testing.T) {
+	if _, err := SecondTeacherDistances(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	cfg := core.Config{K: 2, Rounds: 1, Mode: core.Star, Gain: core.MustLinear(0.5)}
+	res, err := core.Run(cfg, core.Skills{1, 2, 3, 4}, dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SecondTeacherDistances(res); err == nil {
+		t.Error("result without recorded groupings accepted")
+	}
+	cliqueCfg := cfg
+	cliqueCfg.Mode = core.Clique
+	cliqueRes, err := core.Run(cliqueCfg, core.Skills{1, 2, 3, 4}, dygroups.NewClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SecondTeacherDistances(cliqueRes); err == nil {
+		t.Error("clique result accepted")
+	}
+}
+
+func TestLocalOptimaCount(t *testing.T) {
+	// Lemma 1: 2·C(n−2, n/2−1).
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{4, 4},  // 2·C(2,1)
+		{6, 12}, // 2·C(4,2)
+		{8, 40}, // 2·C(6,3)
+		{10, 140} /* 2·C(8,4) = 2·70 */}
+	for _, tc := range cases {
+		got, err := LocalOptimaCount(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("LocalOptimaCount(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	for _, bad := range []int{3, 5, 2, 0} {
+		if _, err := LocalOptimaCount(bad); err == nil {
+			t.Errorf("LocalOptimaCount(%d) accepted", bad)
+		}
+	}
+}
+
+func TestLocalOptimaCountMatchesEnumeration(t *testing.T) {
+	// Cross-check Lemma 1 against exhaustive enumeration: count the
+	// partitions into two groups whose star gain is maximal.
+	for _, n := range []int{4, 6, 8} {
+		s := make(core.Skills, n)
+		for i := range s {
+			s[i] = float64(i + 1) // distinct skills
+		}
+		gain := core.MustLinear(0.5)
+		best, _, err := bruteforce.BestSingleRound(s, 2, core.Star, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var optima int64
+		err = bruteforce.Enumerate(n, 2, func(g core.Grouping) bool {
+			if math.Abs(core.AggregateGain(s, g, core.Star, gain)-best) <= 1e-9 {
+				optima++
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lemma 1 counts ordered group assignments (2·C(n−2, n/2−1));
+		// the enumeration is over unlabeled partitions, i.e. half.
+		want, err := LocalOptimaCount(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optima != want/2 {
+			t.Errorf("n=%d: enumerated %d optimal partitions, Lemma 1 predicts %d ordered (= %d unlabeled)",
+				n, optima, want, want/2)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package peerlearn is the public API of this reproduction of "Peer
+// Learning Through Targeted Dynamic Groups Formation" (Wei, Koutis,
+// Basu Roy — ICDE 2021).
+//
+// The Targeted Dynamic Grouping (TDG) problem takes n participants with
+// positive skill values, a number of groups k, a linear learning-gain
+// function f(Δ) = r·Δ, and a horizon of α rounds; the goal is a sequence
+// of groupings — one partition into k equi-sized groups per round — that
+// maximizes the total learning gain. Two within-group interaction modes
+// are supported: Star (learn from the group's best member) and Clique
+// (learn from every better member, averaged).
+//
+// A minimal session:
+//
+//	skills := peerlearn.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+//	cfg := peerlearn.Config{K: 3, Rounds: 4, Mode: peerlearn.Star, Gain: peerlearn.MustLinear(0.5)}
+//	res, err := peerlearn.Run(cfg, skills, peerlearn.NewDyGroupsStar())
+//	// res.TotalGain is the aggregated learning gain over the 4 rounds.
+//
+// The facade re-exports the model types from internal/core and the
+// grouping policies (DyGroups plus the paper's baselines); the exact
+// brute-force solver, skill distributions, statistics, the simulated
+// crowdsourcing platform, and the figure generators live in the internal
+// packages and are exercised by the cmd/ binaries and examples/.
+package peerlearn
+
+import (
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// Model types, re-exported from internal/core.
+type (
+	// Skills holds the participants' positive skill values.
+	Skills = core.Skills
+	// Mode selects the within-group interaction structure.
+	Mode = core.Mode
+	// Gain is a learning-gain function f(Δ).
+	Gain = core.Gain
+	// Linear is the paper's f(Δ) = r·Δ.
+	Linear = core.Linear
+	// Grouping partitions participant indices into groups.
+	Grouping = core.Grouping
+	// Grouper is a per-round grouping policy.
+	Grouper = core.Grouper
+	// SizedGrouper additionally supports unequal group sizes.
+	SizedGrouper = core.SizedGrouper
+	// Config describes one TDG instance.
+	Config = core.Config
+	// Result is a full simulation outcome.
+	Result = core.Result
+	// Round is one round's record inside a Result.
+	Round = core.Round
+)
+
+// Interaction modes.
+const (
+	// Star: learn from the group's most skilled member (eq. 1).
+	Star = core.Star
+	// Clique: learn from all more skilled members, averaged (eq. 2).
+	Clique = core.Clique
+)
+
+// NewLinear returns the linear gain f(Δ) = r·Δ, validating r ∈ (0, 1].
+func NewLinear(r float64) (Linear, error) { return core.NewLinear(r) }
+
+// MustLinear is NewLinear that panics on an invalid rate.
+func MustLinear(r float64) Linear { return core.MustLinear(r) }
+
+// Run executes a TDG simulation: α rounds of grouping (by g), skill
+// update, and gain accounting (Algorithm 1 of the paper).
+func Run(cfg Config, initial Skills, g Grouper) (*Result, error) {
+	return core.Run(cfg, initial, g)
+}
+
+// RunSized executes the varying-group-size extension with a fixed size
+// vector.
+func RunSized(cfg Config, initial Skills, sizes []int, g SizedGrouper) (*Result, error) {
+	return core.RunSized(cfg, initial, sizes, g)
+}
+
+// AggregateGain evaluates the aggregated learning gain LG(G) of a single
+// grouping without updating skills (eq. 3).
+func AggregateGain(s Skills, g Grouping, mode Mode, gain Gain) float64 {
+	return core.AggregateGain(s, g, mode, gain)
+}
+
+// ApplyRound performs one learning round and returns the updated skills
+// and the round's aggregated gain; the input is not modified.
+func ApplyRound(s Skills, g Grouping, mode Mode, gain Gain) (Skills, float64, error) {
+	return core.ApplyRound(s, g, mode, gain)
+}
+
+// NewDyGroupsStar returns the paper's DyGroups-Star-Local policy
+// (Algorithm 2): round-optimal teachers plus the variance-maximizing
+// block assignment, optimal for the full problem at k = 2 (Theorem 5).
+func NewDyGroupsStar() Grouper { return dygroups.NewStar() }
+
+// NewDyGroupsClique returns the paper's DyGroups-Clique-Local policy
+// (Algorithm 3): rank round-robin striping, round-optimal for the
+// clique gain (Theorem 4).
+func NewDyGroupsClique() Grouper { return dygroups.NewClique() }
+
+// NewDyGroups returns the DyGroups policy matching the interaction mode.
+func NewDyGroups(mode Mode) Grouper {
+	if mode == Clique {
+		return dygroups.NewClique()
+	}
+	return dygroups.NewStar()
+}
+
+// NewRandomAssignment returns the Random-Assignment baseline with a
+// deterministic stream.
+func NewRandomAssignment(seed int64) Grouper { return baselines.NewRandom(seed) }
+
+// NewKMeans returns the paper's K-Means heuristic baseline.
+func NewKMeans(seed int64) Grouper { return baselines.NewKMeans(seed) }
+
+// NewLPA returns the LPA baseline (Esfandiari et al., KDD 2019;
+// affinity-free core).
+func NewLPA() Grouper { return baselines.NewLPA() }
+
+// NewPercentilePartitions returns the Percentile-Partitions baseline
+// (Agrawal et al., EDM 2017) with percentile parameter p; the paper uses
+// p = 0.75.
+func NewPercentilePartitions(p float64) (Grouper, error) { return baselines.NewPercentile(p) }

@@ -1,0 +1,111 @@
+package peerlearn_test
+
+import (
+	"math"
+	"testing"
+
+	"peerlearn"
+)
+
+func toy() peerlearn.Skills {
+	return peerlearn.Skills{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// TestFacadeToyExample exercises the whole public surface on the paper's
+// toy example.
+func TestFacadeToyExample(t *testing.T) {
+	cfg := peerlearn.Config{K: 3, Rounds: 3, Mode: peerlearn.Star, Gain: peerlearn.MustLinear(0.5)}
+	res, err := peerlearn.Run(cfg, toy(), peerlearn.NewDyGroupsStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalGain-2.55) > 1e-9 {
+		t.Fatalf("DyGroups-Star toy total = %v, want 2.55", res.TotalGain)
+	}
+
+	cfg.Mode = peerlearn.Clique
+	res, err = peerlearn.Run(cfg, toy(), peerlearn.NewDyGroupsClique())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalGain-2.334375) > 1e-9 {
+		t.Fatalf("DyGroups-Clique toy total = %v, want 2.334375", res.TotalGain)
+	}
+}
+
+func TestFacadeModeDispatch(t *testing.T) {
+	if got := peerlearn.NewDyGroups(peerlearn.Star).Name(); got != "DyGroups-Star" {
+		t.Errorf("NewDyGroups(Star) = %q", got)
+	}
+	if got := peerlearn.NewDyGroups(peerlearn.Clique).Name(); got != "DyGroups-Clique" {
+		t.Errorf("NewDyGroups(Clique) = %q", got)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	cfg := peerlearn.Config{K: 3, Rounds: 2, Mode: peerlearn.Star, Gain: peerlearn.MustLinear(0.5)}
+	p, err := peerlearn.NewPercentilePartitions(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []peerlearn.Grouper{
+		peerlearn.NewRandomAssignment(1),
+		peerlearn.NewKMeans(2),
+		peerlearn.NewLPA(),
+		p,
+	} {
+		res, err := peerlearn.Run(cfg, toy(), g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if res.TotalGain <= 0 {
+			t.Errorf("%s produced no gain", g.Name())
+		}
+	}
+	if _, err := peerlearn.NewPercentilePartitions(2); err == nil {
+		t.Error("invalid percentile accepted")
+	}
+}
+
+func TestFacadeApplyRoundAndAggregateGain(t *testing.T) {
+	s := toy()
+	g := peerlearn.NewDyGroupsStar().(interface {
+		Group(peerlearn.Skills, int) peerlearn.Grouping
+	}).Group(s, 3)
+	gain := peerlearn.MustLinear(0.5)
+	lg := peerlearn.AggregateGain(s, g, peerlearn.Star, gain)
+	next, realized, err := peerlearn.ApplyRound(s, g, peerlearn.Star, gain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lg-realized) > 1e-9 {
+		t.Fatalf("AggregateGain %v != ApplyRound gain %v", lg, realized)
+	}
+	if math.Abs(realized-(next.Sum()-s.Sum())) > 1e-9 {
+		t.Fatalf("gain accounting broken")
+	}
+}
+
+func TestFacadeRunSized(t *testing.T) {
+	cfg := peerlearn.Config{Rounds: 2, Mode: peerlearn.Star, Gain: peerlearn.MustLinear(0.5)}
+	g, ok := peerlearn.NewDyGroupsStar().(peerlearn.SizedGrouper)
+	if !ok {
+		t.Fatal("DyGroups-Star does not implement SizedGrouper")
+	}
+	res, err := peerlearn.RunSized(cfg, toy(), []int{2, 3, 4}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGain <= 0 {
+		t.Fatal("sized run produced no gain")
+	}
+}
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := peerlearn.NewLinear(0); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := peerlearn.NewLinear(0.5); err != nil {
+		t.Errorf("rate 0.5 rejected: %v", err)
+	}
+}
