@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures verify fmt vet cover clean
+.PHONY: all build test test-short race bench figures verify fmt vet lint fuzz-smoke cover clean
 
 all: build test
 
@@ -34,6 +34,20 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the project-specific peerlint suite
+# (floateq, modeswitch, panicfree, randsource — see internal/analysis).
+lint: vet
+	$(GO) run ./cmd/peerlint ./...
+
+# Short fuzzing pass over every fuzz target, one at a time (the fuzz
+# engine accepts a single -fuzz target per package invocation).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzApplyRoundInvariants -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzGroupingValidate -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzTheorem3FastMatchesNaive -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=. -fuzztime=$(FUZZTIME) ./internal/ledger
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -1,0 +1,105 @@
+// Command peerlint is the project-specific static-analysis driver: a
+// multichecker over the analyzers in internal/analysis/... that guard
+// the reproduction's correctness properties — no raw float equality
+// (floateq), no global math/rand in library code (randsource),
+// exhaustive interaction-mode switches (modeswitch), and no panics in
+// library code (panicfree).
+//
+// Usage:
+//
+//	go run ./cmd/peerlint [-list] [packages]
+//
+// Packages default to ./... relative to the module root. The exit code
+// is 0 when the tree is clean, 1 when findings are reported, and 2 on
+// usage or load errors, matching go vet. Individual lines may opt out
+// with an inline justification:
+//
+//	//peerlint:allow floateq — exact sentinel comparison is intended
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/checker"
+	"peerlearn/internal/analysis/floateq"
+	"peerlearn/internal/analysis/load"
+	"peerlearn/internal/analysis/modeswitch"
+	"peerlearn/internal/analysis/panicfree"
+	"peerlearn/internal/analysis/randsource"
+)
+
+// suite is the peerlint analyzer set, alphabetical by name.
+var suite = []*analysis.Analyzer{
+	floateq.Analyzer,
+	modeswitch.Analyzer,
+	panicfree.Analyzer,
+	randsource.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: peerlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peerlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(cwd, flag.Args(), os.Stdout, os.Stderr))
+}
+
+// run loads the patterns relative to the module containing dir,
+// applies the suite, prints findings to stdout, and returns the
+// process exit code.
+func run(dir string, patterns []string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := load.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "peerlint:", err)
+		return 2
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "peerlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "peerlint:", err)
+		return 2
+	}
+	findings, err := checker.Run(loader.Fset, pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(stderr, "peerlint:", err)
+		return 2
+	}
+	checker.Print(stdout, findings)
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "peerlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFlagsViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+import "math/rand"
+
+func Jitter(x, y float64) bool {
+	if rand.Float64() > 0.5 {
+		panic("no")
+	}
+	return x == y
+}
+`,
+	})
+	var out, errOut strings.Builder
+	code := run(dir, []string{"./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"floateq", "randsource", "panicfree", "lib.go"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+import "math"
+
+// ApproxEqual is the blessed epsilon comparison.
+func ApproxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": "module sandbox\n\ngo 1.22\n"})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./nonexistent"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -66,16 +66,22 @@ func (b *Bank) Sample(rng *rand.Rand, n int) []Question {
 	return out
 }
 
-// DefaultBank returns the built-in COVID-19 fact/rumor question bank
-// used by the simulated deployments. The first two items are the paper's
-// own sample questions (Section V-A, footnote 7).
-func DefaultBank() *Bank {
+// defaultBank validates the embedded question data once at package
+// initialization, so a malformed edit to covidQuestions fails at
+// startup instead of mid-deployment. A Bank is immutable after
+// construction, making the shared instance safe.
+var defaultBank = func() *Bank {
 	b, err := NewBank(covidQuestions)
 	if err != nil {
 		panic("amt: built-in question bank invalid: " + err.Error())
 	}
 	return b
-}
+}()
+
+// DefaultBank returns the built-in COVID-19 fact/rumor question bank
+// used by the simulated deployments. The first two items are the paper's
+// own sample questions (Section V-A, footnote 7).
+func DefaultBank() *Bank { return defaultBank }
 
 // covidQuestions is the built-in HIT content: public-health facts and
 // widely circulated rumors about COVID-19, in the paper's four-option

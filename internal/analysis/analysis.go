@@ -1,0 +1,185 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library so the repository stays dependency-free. It defines the
+// Analyzer and Pass types that the project-specific vet suite
+// ("peerlint", see cmd/peerlint) is written against, plus the shared
+// AST-walking and suppression-directive helpers the individual
+// analyzers use.
+//
+// The shape deliberately mirrors x/tools: an Analyzer bundles a name, a
+// doc string, and a Run function; Run receives a Pass holding one
+// type-checked package and reports Diagnostics. Porting an analyzer to
+// the upstream framework (once external modules are allowed) is a
+// mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //peerlint:allow directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one parsed and type-checked package to an Analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files.
+	Fset *token.FileSet
+	// Files holds the package's non-test syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression facts.
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver fills in the category.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the offending syntax.
+	Pos token.Pos
+	// Category is the reporting analyzer's name (set by the driver).
+	Category string
+	// Message describes the problem and the expected remedy.
+	Message string
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree.
+func Inspect(files []*ast.File, fn func(ast.Node) bool) {
+	for _, f := range files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// InspectWithStack walks every file, passing fn each node together with
+// the stack of its ancestors (stack[0] is the *ast.File, the last
+// element is the node itself). Returning false prunes the subtree.
+func InspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// containing the top of the stack, or nil if the node is at package
+// level (e.g. inside a package-level var initializer's expression).
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// EnclosingFuncDecl returns the named function declaration containing
+// the top of the stack, or nil when the node lives only inside literals
+// or package-level initializers.
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// DirectivePrefix introduces an inline suppression comment:
+//
+//	//peerlint:allow floateq — exact sentinel comparison is intended
+//
+// Multiple analyzer names may be listed, comma-separated. The directive
+// suppresses matching diagnostics reported on its own line or on the
+// line directly below it, so it can trail the offending expression or
+// sit on its own line above.
+const DirectivePrefix = "//peerlint:allow"
+
+// Directives maps, per file name, a source line to the analyzer names
+// allowed on that line.
+type Directives map[string]map[int][]string
+
+// ParseDirectives scans the files' comments for DirectivePrefix
+// markers.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) Directives {
+	d := make(Directives)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, DirectivePrefix)
+				// Anything after "—" or "--" is a human justification.
+				for _, sep := range []string{"—", "--"} {
+					if i := strings.Index(rest, sep); i >= 0 {
+						rest = rest[:i]
+					}
+				}
+				pos := fset.Position(c.Pos())
+				lines := d[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d[pos.Filename] = lines
+				}
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					lines[pos.Line] = append(lines[pos.Line], name)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Suppresses reports whether a directive allows the named analyzer at
+// the given position: a match on the diagnostic's own line or on the
+// line directly above.
+func (d Directives) Suppresses(pos token.Position, analyzer string) bool {
+	lines := d[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

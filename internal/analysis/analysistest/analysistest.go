@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live under <testdata>/src/<pkg>/ and are ordinary Go files.
+// A line that should be flagged carries a trailing comment of the form
+//
+//	x == y // want `floating-point == comparison`
+//
+// where the backquoted (or double-quoted) text is a regular expression
+// matched against the diagnostic message. Several expectations may
+// appear after one want. Lines without a want comment must produce no
+// diagnostic, so every fixture doubles as a negative test for its
+// unannotated lines. //peerlint:allow directives are honored, letting
+// fixtures demonstrate suppression.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/checker"
+	"peerlearn/internal/analysis/load"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		// Test-only helper, mirroring x/tools' analysistest.TestData
+		// signature; a panic here aborts the test binary, not a server.
+		//peerlint:allow panicfree — test harness helper with upstream-parity signature
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// wantRE extracts the quoted expectations from a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named fixture package from testdata/src/<pkg>, applies
+// the analyzer, and reports mismatches between its diagnostics and the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+func runOne(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := load.CheckDir(fset, dir, pkgpath, load.StdImporter(fset))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	expects, err := parseWants(fset, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checker.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	for _, f := range findings {
+		if !claim(expects, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgpath, f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the finding's line
+// whose pattern matches the message.
+func claim(expects []*expectation, f checker.Finding) bool {
+	for _, e := range expects {
+		if e.matched || e.file != f.Position.Filename || e.line != f.Position.Line {
+			continue
+		}
+		if e.pattern.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func parseWants(fset *token.FileSet, pkg *load.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return expects, nil
+}

@@ -1,0 +1,82 @@
+// Package checker applies a suite of analyzers to loaded packages and
+// collects their diagnostics — the multichecker of the peerlint suite.
+// It owns the cross-cutting concerns the analyzers themselves should
+// not re-implement: //peerlint:allow suppression, stable ordering, and
+// printable formatting.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/load"
+)
+
+// Finding is one diagnostic resolved to a concrete position.
+type Finding struct {
+	// Position locates the offending syntax.
+	Position token.Position
+	// Category is the reporting analyzer's name.
+	Category string
+	// Message describes the problem.
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col form used
+// by go vet.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Position.Filename, f.Position.Line, f.Position.Column, f.Message, f.Category)
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving findings sorted by file, line, column, and analyzer.
+// //peerlint:allow-suppressed diagnostics are dropped.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		directives := analysis.ParseDirectives(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if directives.Suppresses(pos, a.Name) {
+					return
+				}
+				findings = append(findings, Finding{Position: pos, Category: a.Name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Category < b.Category
+	})
+	return findings, nil
+}
+
+// Print writes one line per finding.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

@@ -1,0 +1,75 @@
+// Package floateq flags == and != between computed floating-point
+// expressions. Skill values and learning gains in this model are sums
+// of float64 products (eqs. 1–3), so two mathematically equal
+// quantities routinely differ in the last bits; comparing them with ==
+// makes results depend on evaluation order and compiler optimizations.
+// Use core.ApproxEqual or an explicit epsilon instead.
+//
+// Allowed patterns, because they are exact by construction:
+//   - comparisons where either side is a compile-time constant
+//     (sentinel checks such as "cfg.Noise == 0" test an exact stored
+//     value, not an arithmetic result);
+//   - the x != x NaN idiom (both sides are syntactically identical);
+//   - any comparison inside a function named ApproxEqual/approxEqual,
+//     which is where the blessed epsilon logic lives;
+//   - lines carrying a "//peerlint:allow floateq — why" directive.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"peerlearn/internal/analysis"
+)
+
+// Analyzer flags floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flag == and != between computed floating-point expressions; use core.ApproxEqual",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass.TypesInfo.TypeOf(be.X)) || !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+			return true
+		}
+		// Constant on either side: exact sentinel comparison.
+		if isConst(pass.TypesInfo, be.X) || isConst(pass.TypesInfo, be.Y) {
+			return true
+		}
+		// x != x / x == x: the NaN idiom.
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true
+		}
+		// The epsilon helper itself may compare exactly (fast path for
+		// infinities and identical values).
+		if fd := analysis.EnclosingFuncDecl(stack); fd != nil {
+			if name := fd.Name.Name; strings.EqualFold(name, "approxequal") {
+				return true
+			}
+		}
+		pass.Reportf(be.OpPos, "floating-point %s comparison between computed values; use core.ApproxEqual or an explicit epsilon", be.Op)
+		return true
+	})
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,55 @@
+// Package a exercises the floateq analyzer: flagged computed-value
+// comparisons and the allowed exact patterns.
+package a
+
+import "math"
+
+const tol = 1e-9
+
+// ApproxEqual is the blessed epsilon helper; its internal exact
+// comparisons (fast path for identical values and infinities) are
+// allowed.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func bad(x, y float64) bool {
+	return x == y // want `floating-point == comparison`
+}
+
+func badNeq(x, y float64) bool {
+	return x+1 != y*2 // want `floating-point != comparison`
+}
+
+func badFloat32(x, y float32) bool {
+	return x == y // want `floating-point == comparison`
+}
+
+type gain float64
+
+func badNamed(x, y gain) bool {
+	return x == y // want `floating-point == comparison`
+}
+
+func sentinel(x float64) bool {
+	return x == 0 // comparison against a constant: exact, allowed
+}
+
+func sentinelLeft(x float64) bool {
+	return math.Pi == x // constant on the left: allowed
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // the NaN idiom: allowed
+}
+
+func ints(a, b int) bool {
+	return a == b // not floating point: allowed
+}
+
+func suppressed(x, y float64) bool {
+	return x == y //peerlint:allow floateq — demonstrating suppression
+}

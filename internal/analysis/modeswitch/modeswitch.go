@@ -1,0 +1,132 @@
+// Package modeswitch flags non-exhaustive switches over enum-like
+// named types — most importantly core.Mode. The gain equations differ
+// per interaction mode (eq. 1 Star, eq. 2 Clique), so a switch that
+// silently falls through for a newly added third mode would miscompute
+// gains rather than fail; this analyzer forces every Mode switch to
+// either enumerate all declared modes or carry an explicit default.
+//
+// A type is treated as an enum when it is a named, non-struct type
+// declared in this module with at least two package-level constants of
+// exactly that type. Switches with a default case, and switches whose
+// case expressions are not all constants, are accepted. Standard
+// library types (reflect.Kind, time.Month, …) are out of scope.
+package modeswitch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"peerlearn/internal/analysis"
+)
+
+// Analyzer flags non-exhaustive enum switches without default.
+var Analyzer = &analysis.Analyzer{
+	Name: "modeswitch",
+	Doc:  "flag switches over core.Mode-like enums missing declared values and a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Inspect(pass.Files, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tagType := pass.TypesInfo.TypeOf(sw.Tag)
+		if tagType == nil {
+			return true
+		}
+		named, ok := types.Unalias(tagType).(*types.Named)
+		if !ok {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || !sameModule(obj.Pkg().Path(), pass.Pkg.Path()) {
+			return true
+		}
+		if _, basic := named.Underlying().(*types.Basic); !basic {
+			return true
+		}
+		members := enumMembers(obj.Pkg(), named)
+		if len(members) < 2 {
+			return true
+		}
+
+		var caseVals []constant.Value
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				return true // default case: accepted
+			}
+			for _, e := range cc.List {
+				tv, ok := pass.TypesInfo.Types[e]
+				if !ok || tv.Value == nil {
+					return true // non-constant case: cannot reason
+				}
+				caseVals = append(caseVals, tv.Value)
+			}
+		}
+
+		var missing []string
+		for _, m := range members {
+			covered := false
+			for _, v := range caseVals {
+				if constant.Compare(m.Val(), token.EQL, v) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				missing = append(missing, m.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(sw.Switch, "switch over %s is not exhaustive and has no default: missing %s",
+				typeLabel(named, pass.Pkg), strings.Join(missing, ", "))
+		}
+		return true
+	})
+	return nil
+}
+
+// sameModule reports whether two import paths share their first
+// element, i.e. both belong to this module (or to the same fixture
+// package in tests).
+func sameModule(a, b string) bool {
+	return firstElem(a) == firstElem(b)
+}
+
+func firstElem(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// enumMembers returns the package-level constants declared with
+// exactly the named type, in declaration order.
+func enumMembers(pkg *types.Package, named *types.Named) []*types.Const {
+	var members []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Pos() < members[j].Pos() })
+	return members
+}
+
+func typeLabel(named *types.Named, from *types.Package) string {
+	obj := named.Obj()
+	if obj.Pkg() == from {
+		return obj.Name()
+	}
+	return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+}

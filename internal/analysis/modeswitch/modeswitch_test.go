@@ -1,0 +1,12 @@
+package modeswitch_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/modeswitch"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), modeswitch.Analyzer, "a")
+}

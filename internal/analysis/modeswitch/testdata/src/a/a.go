@@ -1,0 +1,87 @@
+// Package a exercises the modeswitch analyzer with a local three-value
+// enum shaped like core.Mode.
+package a
+
+import "fmt"
+
+// Mode mirrors core.Mode with a hypothetical third interaction mode.
+type Mode int
+
+const (
+	Star Mode = iota
+	Clique
+	Hybrid
+)
+
+func bad(m Mode) string {
+	switch m { // want `switch over Mode is not exhaustive and has no default: missing Hybrid`
+	case Star:
+		return "star"
+	case Clique:
+		return "clique"
+	}
+	return ""
+}
+
+func badTwoMissing(m Mode) string {
+	switch m { // want `missing Clique, Hybrid`
+	case Star:
+		return "star"
+	}
+	return ""
+}
+
+func exhaustive(m Mode) string {
+	switch m {
+	case Star, Clique, Hybrid:
+		return "covered"
+	}
+	return ""
+}
+
+func defaulted(m Mode) string {
+	switch m {
+	case Star:
+		return "star"
+	default:
+		return fmt.Sprint(int(m))
+	}
+}
+
+func dynamicCase(m, other Mode) bool {
+	switch m {
+	case other: // non-constant case: the analyzer cannot reason, allowed
+		return true
+	}
+	return false
+}
+
+// level has a single constant, so it is not an enum.
+type level int
+
+const only level = 0
+
+func notEnum(l level) bool {
+	switch l {
+	case only:
+		return true
+	}
+	return false
+}
+
+func notNamed(x int) bool {
+	switch x {
+	case 1:
+		return true
+	}
+	return false
+}
+
+func suppressed(m Mode) string {
+	//peerlint:allow modeswitch — demonstrating suppression
+	switch m {
+	case Star:
+		return "star"
+	}
+	return ""
+}

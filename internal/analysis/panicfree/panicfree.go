@@ -1,0 +1,73 @@
+// Package panicfree flags panic(...) calls in library code. Library
+// packages here back a long-running server (internal/server,
+// internal/matchmaker) where a panic tears down every in-flight
+// session; failures must travel as returned errors instead.
+//
+// Allowed panic sites, matching established Go convention:
+//   - functions whose name starts with Must/must (fail-fast wrappers
+//     for literals in tests and examples);
+//   - init functions and package-level var initializers, which run
+//     before any request is accepted and turn bad embedded data into a
+//     startup failure;
+//   - package main (a command may crash on its own);
+//   - lines carrying a "//peerlint:allow panicfree — why" directive
+//     (reserved for provably unreachable invariant checks).
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"peerlearn/internal/analysis"
+)
+
+// Analyzer flags panics in library code outside Must*/init.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc:  "flag panic in library code outside Must* constructors and init; return errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := call.Fun.(*ast.Ident)
+		if !ok || ident.Name != "panic" {
+			return true
+		}
+		if _, builtin := pass.TypesInfo.Uses[ident].(*types.Builtin); !builtin {
+			return true // a local function shadowing panic
+		}
+		fd := analysis.EnclosingFuncDecl(stack)
+		if fd == nil {
+			// Inside a package-level var initializer: runs at init
+			// time, before any traffic.
+			return true
+		}
+		name := fd.Name.Name
+		if name == "init" && fd.Recv == nil {
+			return true
+		}
+		if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "panic in library function %s; return an error (or rename to Must%s if fail-fast is the contract)", name, exported(name))
+		return true
+	})
+	return nil
+}
+
+// exported upper-cases the first byte for the Must-rename suggestion.
+func exported(name string) string {
+	if name == "" {
+		return name
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}

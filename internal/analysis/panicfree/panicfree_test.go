@@ -1,0 +1,12 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/panicfree"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicfree.Analyzer, "a", "b")
+}

@@ -1,0 +1,59 @@
+// Package a exercises the panicfree analyzer: library panics are
+// flagged; Must* wrappers, init-time checks, and directives are not.
+package a
+
+import "errors"
+
+// selfCheck runs at init time: panicking before traffic is accepted is
+// the fail-fast pattern this analyzer endorses.
+var selfCheck = func() bool {
+	if len("ab") != 2 {
+		panic("impossible") // package-level var initializer: allowed
+	}
+	return true
+}()
+
+func init() {
+	if !selfCheck {
+		panic("init validation") // init: allowed
+	}
+}
+
+// MustValue is a fail-fast wrapper for literals in tests.
+func MustValue(v int, err error) int {
+	if err != nil {
+		panic(err) // Must* constructor: allowed
+	}
+	return v
+}
+
+func mustInternal(ok bool) {
+	if !ok {
+		panic("broken") // lower-case must* helper: allowed
+	}
+}
+
+func bad(ok bool) error {
+	if !ok {
+		panic("boom") // want `panic in library function bad`
+	}
+	return nil
+}
+
+func badNested(ok bool) error {
+	f := func() {
+		panic("nested") // want `panic in library function badNested`
+	}
+	if !ok {
+		f()
+	}
+	return errors.New("no")
+}
+
+func suppressedInvariant(x int) int {
+	if x < 0 {
+		//peerlint:allow panicfree — unreachable: callers validate x ≥ 0
+		panic("negative")
+	}
+	return x
+}

@@ -1,0 +1,7 @@
+// Command b shows that package main is out of panicfree's scope: a
+// command may crash on its own.
+package main
+
+func main() {
+	panic("commands may panic") // package main: allowed
+}

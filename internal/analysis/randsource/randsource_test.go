@@ -1,0 +1,12 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/randsource"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), randsource.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Package a exercises the randsource analyzer: global math/rand calls
+// are flagged, injected *rand.Rand streams and constructors are not.
+package a
+
+import "math/rand"
+
+func badIntn() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `global math/rand.Float64`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle`
+}
+
+func badPerm(n int) []int {
+	return rand.Perm(n) // want `global math/rand.Perm`
+}
+
+func goodInjected(rng *rand.Rand) int {
+	return rng.Intn(10) // method on an injected stream: allowed
+}
+
+func goodConstruct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // building a stream: allowed
+}
+
+func suppressed() float64 {
+	return rand.Float64() //peerlint:allow randsource — demonstrating suppression
+}

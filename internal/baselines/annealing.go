@@ -32,10 +32,20 @@ type Annealing struct {
 }
 
 // NewAnnealing returns a simulated-annealing policy for the given
-// objective with its own deterministic random stream.
+// objective with its own deterministic random stream derived from
+// seed. Runs with equal seeds and inputs produce identical groupings.
 func NewAnnealing(seed int64, mode core.Mode, gain core.Gain) *Annealing {
+	return NewAnnealingFromRand(rand.New(rand.NewSource(seed)), mode, gain)
+}
+
+// NewAnnealingFromRand is NewAnnealing with a caller-owned random
+// stream, for callers that thread one seeded *rand.Rand through a
+// whole experiment. The annealer consumes rng exclusively; sharing it
+// across goroutines is the caller's responsibility (a *rand.Rand is
+// not safe for concurrent use).
+func NewAnnealingFromRand(rng *rand.Rand, mode core.Mode, gain core.Gain) *Annealing {
 	return &Annealing{
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rng,
 		Mode:      mode,
 		Gain:      gain,
 		Sweeps:    20,

@@ -158,18 +158,24 @@ func Solve(cfg core.Config, initial core.Skills) (*Plan, error) {
 			}
 			return nil
 		}
-		return Enumerate(len(s), cfg.K, func(g core.Grouping) bool {
+		// Cannot fail with a well-formed enumeration; surfaced as an
+		// error (stopping the search) rather than silently skipped.
+		var recErr error
+		err := Enumerate(len(s), cfg.K, func(g core.Grouping) bool {
 			next, gain, err := core.ApplyRound(s, g, cfg.Mode, cfg.Gain)
 			if err != nil {
-				// Cannot happen with a well-formed enumeration; surface
-				// loudly in tests rather than silently skipping.
-				panic(fmt.Sprintf("bruteforce: enumeration produced invalid grouping: %v", err))
+				recErr = fmt.Errorf("bruteforce: enumeration produced invalid grouping: %w", err)
+				return false
 			}
 			prefix = append(prefix, g.Clone())
-			rec(next, round+1, acc+gain)
+			recErr = rec(next, round+1, acc+gain)
 			prefix = prefix[:len(prefix)-1]
-			return true
+			return recErr == nil
 		})
+		if err != nil {
+			return err
+		}
+		return recErr
 	}
 	if cfg.Rounds == 0 {
 		best.TotalGain = 0

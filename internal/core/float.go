@@ -1,0 +1,46 @@
+package core
+
+import "math"
+
+// Tolerances for ApproxEqual. Skill values and gains in this model are
+// O(1)–O(10) sums of float64 products, so a relative tolerance of 1e-9
+// absorbs evaluation-order noise (the fast Theorem 3 paths and the
+// naive per-pair recomputations differ only in summation order) while
+// staying far below any model-meaningful difference; the absolute
+// tolerance handles values that should be exactly zero but carry
+// rounding dust.
+const (
+	// RelTol is ApproxEqual's relative tolerance, scaled by the larger
+	// magnitude of the two operands.
+	RelTol = 1e-9
+	// AbsTol is ApproxEqual's absolute tolerance for near-zero values,
+	// where a relative test degenerates.
+	AbsTol = 1e-12
+)
+
+// ApproxEqual reports whether a and b are equal up to floating-point
+// noise: within AbsTol of each other, or within RelTol scaled by the
+// larger magnitude. It is the repository's blessed alternative to ==
+// on computed float64 values (the floateq analyzer flags raw
+// comparisons).
+//
+// Edge cases follow IEEE semantics: NaN equals nothing (not even NaN);
+// +0 and −0 are equal; an infinity is equal only to an infinity of the
+// same sign.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		// Fast path; also the only way infinities compare equal, since
+		// Inf-Inf below is NaN.
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		// Opposite-sign infinities, or an infinity against a finite
+		// value; RelTol·∞ would otherwise absorb these.
+		return false
+	}
+	if diff <= AbsTol {
+		return true
+	}
+	return diff <= RelTol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"plus-minus-zero", 0.0, math.Copysign(0, -1), true},
+		{"nan-nan", nan, nan, false},
+		{"nan-value", nan, 1, false},
+		{"value-nan", 1, nan, false},
+		{"inf-inf", inf, inf, true},
+		{"inf-neginf", inf, -inf, false},
+		{"inf-large", inf, math.MaxFloat64, false},
+		{"within-rel-tol", 1.0, 1 + 1e-10, true},
+		{"at-rel-boundary", 1e6, 1e6 * (1 + 1e-10), true},
+		{"outside-rel-tol", 1.0, 1 + 1e-8, false},
+		{"near-zero-within-abs", 0, 1e-13, true},
+		{"near-zero-outside-abs", 0, 1e-11, false},
+		{"rounding-dust", 0.1 + 0.2, 0.3, true},
+		{"sign-differs", 1e-3, -1e-3, false},
+		{"large-magnitudes", 1e15, 1e15 + 1, true}, // 1 part in 1e15 ≪ RelTol
+		{"large-gap", 1e15, 1.1e15, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ApproxEqual(tc.a, tc.b); got != tc.want {
+				t.Errorf("ApproxEqual(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			if got := ApproxEqual(tc.b, tc.a); got != tc.want {
+				t.Errorf("ApproxEqual(%v, %v) = %v, want %v (not symmetric)", tc.b, tc.a, got, tc.want)
+			}
+		})
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -115,6 +117,111 @@ func FuzzGroupingValidate(f *testing.F) {
 		}
 		if count != n {
 			t.Fatalf("validator accepted incomplete cover: %v (n=%d)", g, n)
+		}
+	})
+}
+
+// naiveApplyRound recomputes one learning round straight from eqs. 1–2
+// with per-pair O(t²) arithmetic: no prefix sums, no linear-gain
+// specialization. It mirrors the library's stable descending tie order
+// so deltas attach to the same participants, and serves as the
+// reference the Theorem 3 fast paths must match.
+func naiveApplyRound(s Skills, g Grouping, mode Mode, gain Gain) (Skills, float64) {
+	out := s.Clone()
+	var total float64
+	for _, grp := range g {
+		order := append([]int(nil), grp...)
+		sort.SliceStable(order, func(a, b int) bool { return s[order[a]] > s[order[b]] })
+		switch mode {
+		case Star:
+			if len(order) < 2 {
+				continue
+			}
+			top := s[order[0]]
+			for _, p := range order[1:] {
+				d := gain.Apply(top - s[p])
+				out[p] += d
+				total += d
+			}
+		case Clique:
+			for i := 1; i < len(order); i++ {
+				var sum float64
+				for j := 0; j < i; j++ {
+					sum += gain.Apply(s[order[j]] - s[order[i]])
+				}
+				d := sum / float64(i)
+				out[order[i]] += d
+				total += d
+			}
+		}
+	}
+	return out, total
+}
+
+// opaqueGain hides the concrete gain type so linearRate's assertion
+// fails and the library falls back to its generic per-pair path.
+type opaqueGain struct{ Gain }
+
+// FuzzTheorem3FastMatchesNaive checks that the optimized update — the
+// prefix-sum clique path of Theorem 3 plus the O(t) star path — agrees
+// with a naive per-pair recomputation on random skills, random
+// groupings, and random linear rates, for both modes, in both the
+// updated skills and the realized gain.
+func FuzzTheorem3FastMatchesNaive(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(2), uint8(0), uint8(50), int64(1))
+	f.Add([]byte{200, 3, 3, 77, 10, 10, 10, 9}, uint8(4), uint8(1), uint8(99), int64(7))
+	f.Add([]byte{255, 0, 255, 0, 255, 0}, uint8(3), uint8(1), uint8(1), int64(-5))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, modeRaw, rRaw uint8, shuffleSeed int64) {
+		s := decodeSkills(data)
+		if s == nil {
+			return
+		}
+		n := len(s)
+		k := int(kRaw)%n + 1
+		if n%k != 0 {
+			return
+		}
+		mode := Star
+		if modeRaw%2 == 1 {
+			mode = Clique
+		}
+		gain := MustLinear(float64(int(rRaw)%100+1) / 100)
+
+		// Random grouping: a seeded shuffle chunked into k groups.
+		perm := rand.New(rand.NewSource(shuffleSeed)).Perm(n)
+		size := n / k
+		g := make(Grouping, k)
+		for i := 0; i < k; i++ {
+			g[i] = perm[i*size : (i+1)*size]
+		}
+
+		fast, fastGain, err := ApplyRound(s, g, mode, gain)
+		if err != nil {
+			t.Fatalf("valid round rejected: %v", err)
+		}
+		naive, naiveGain := naiveApplyRound(s, g, mode, gain)
+		if !ApproxEqual(fastGain, naiveGain) {
+			t.Fatalf("mode %v: fast gain %v != naive gain %v", mode, fastGain, naiveGain)
+		}
+		for i := range s {
+			if !ApproxEqual(fast[i], naive[i]) {
+				t.Fatalf("mode %v: participant %d: fast skill %v != naive %v", mode, i, fast[i], naive[i])
+			}
+		}
+
+		// The generic per-pair code path inside the library (forced by
+		// hiding the Linear type) must agree with the specialized one.
+		generic, genericGain, err := ApplyRound(s, g, mode, opaqueGain{gain})
+		if err != nil {
+			t.Fatalf("opaque gain rejected: %v", err)
+		}
+		if !ApproxEqual(fastGain, genericGain) {
+			t.Fatalf("mode %v: fast gain %v != generic-path gain %v", mode, fastGain, genericGain)
+		}
+		for i := range s {
+			if !ApproxEqual(fast[i], generic[i]) {
+				t.Fatalf("mode %v: participant %d: fast skill %v != generic-path %v", mode, i, fast[i], generic[i])
+			}
 		}
 	})
 }

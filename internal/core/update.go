@@ -20,6 +20,10 @@ func GroupGain(s Skills, group []int, mode Mode, gain Gain) float64 {
 	case Clique:
 		return cliqueGainSorted(vals, gain)
 	default:
+		// Unreachable through the exported entry points, which all
+		// reject invalid modes up front; GroupGain itself stays
+		// error-free because it sits on the annealer's hot loop.
+		//peerlint:allow panicfree — invariant check; mode validated by every caller
 		panic(fmt.Sprintf("core: GroupGain on invalid mode %v", mode))
 	}
 }

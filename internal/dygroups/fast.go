@@ -131,8 +131,11 @@ type runHeap []*run
 func (h runHeap) Len() int { return len(h) }
 func (h runHeap) Less(a, b int) bool {
 	va, vb := h[a].vals[h[a].at], h[b].vals[h[b].at]
-	if va != vb {
-		return va > vb
+	if va > vb {
+		return true
+	}
+	if va < vb {
+		return false
 	}
 	return h[a].ids[h[a].at] < h[b].ids[h[b].at]
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"peerlearn/internal/core"
 )
 
 // Claim is a machine-checkable statement the paper makes about one
@@ -320,7 +322,7 @@ func Claims() []Claim {
 					return fmt.Errorf("missing instance/match columns")
 				}
 				for i := range inst {
-					if inst[i] != match[i] {
+					if !core.ApproxEqual(inst[i], match[i]) {
 						return fmt.Errorf("row %d: %v instances but %v matches", i, inst[i], match[i])
 					}
 				}

@@ -23,8 +23,8 @@ func TestClaimsWellFormed(t *testing.T) {
 
 func TestClaimHelpers(t *testing.T) {
 	tab := &Table{ID: "x", Title: "t", XLabel: "x", Columns: []string{"A", "B"}}
-	tab.AddRow(1, 10, 5)
-	tab.AddRow(2, 20, 8)
+	tab.MustAddRow(1, 10, 5)
+	tab.MustAddRow(2, 20, 8)
 
 	if err := seriesLeads(tab, "A", 0); err != nil {
 		t.Errorf("A leads but reported: %v", err)
@@ -53,9 +53,9 @@ func TestClaimHelpers(t *testing.T) {
 
 func TestFlatInK(t *testing.T) {
 	tab := &Table{ID: "x", Title: "t", XLabel: "k", Columns: []string{"flat", "growing"}}
-	tab.AddRow(5, 100, 100)
-	tab.AddRow(50, 120, 1000)
-	tab.AddRow(500, 90, 10000)
+	tab.MustAddRow(5, 100, 100)
+	tab.MustAddRow(50, 120, 1000)
+	tab.MustAddRow(500, 90, 10000)
 	if err := flatInK("flat")(tab); err != nil {
 		t.Errorf("flat series reported: %v", err)
 	}

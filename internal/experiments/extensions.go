@@ -60,7 +60,7 @@ func ExtGain(opts Options) (*Table, error) {
 				sums[ai] += res.TotalGain / float64(opts.Runs)
 			}
 		}
-		t.AddRow(float64(gi+1), sums...)
+		t.MustAddRow(float64(gi+1), sums...)
 		t.AddNote("gainfn %d = %s", gi+1, gain.Name())
 	}
 
@@ -155,7 +155,7 @@ func ExtSizes(opts Options) (*Table, error) {
 			star += resStar.TotalGain / float64(opts.Runs)
 			clique += resClique.TotalGain / float64(opts.Runs)
 		}
-		t.AddRow(float64(si+1), star, clique)
+		t.MustAddRow(float64(si+1), star, clique)
 		t.AddNote("shape %d = %s %v", si+1, shape.name, shape.sizes)
 	}
 	return t, nil
@@ -202,7 +202,7 @@ func ExtTiebreak(opts Options) (*Table, error) {
 			dy += resDy.TotalGain / float64(opts.Runs)
 			asc += resAsc.TotalGain / float64(opts.Runs)
 		}
-		t.AddRow(float64(alpha), dy, asc, 100*(dy/asc-1))
+		t.MustAddRow(float64(alpha), dy, asc, 100*(dy/asc-1))
 	}
 	return t, nil
 }
@@ -251,7 +251,7 @@ func ExtConvergence(opts Options) (*Table, error) {
 			}
 			row[ai] = sum / float64(opts.Runs)
 		}
-		t.AddRow(float64(size), row...)
+		t.MustAddRow(float64(size), row...)
 	}
 	t.AddNote("achievable gain = Σ(max skill − s_i); entries capped at %d rounds", maxRounds)
 	return t, nil
@@ -306,7 +306,7 @@ func ExtAffinity(opts Options) (*Table, error) {
 			welfareSum += res.TotalWelfare / float64(opts.Runs)
 			affSum += res.Rounds[len(res.Rounds)-1].MeanAff / float64(opts.Runs)
 		}
-		t.AddRow(lambda, gainSum, welfareSum, affSum)
+		t.MustAddRow(lambda, gainSum, welfareSum, affSum)
 	}
 	t.AddNote("λ=1 is pure DyGroups-Star; λ=0 optimizes affinity welfare only")
 	return t, nil
@@ -350,7 +350,7 @@ func ExtPercentile(opts Options) (*Table, error) {
 			ppGain += resPP.TotalGain / float64(opts.Runs)
 			dyGain += resDy.TotalGain / float64(opts.Runs)
 		}
-		t.AddRow(p, ppGain, dyGain)
+		t.MustAddRow(p, ppGain, dyGain)
 	}
 	t.AddNote("the paper's setting is p = 0.75; DyGroups is the p-free reference")
 	return t, nil
@@ -382,7 +382,7 @@ func ExtChurn(opts Options) (*Table, error) {
 		}
 		dy, km := res.Series[0], res.Series[1]
 		last := res.Rounds - 1
-		t.AddRow(wgt,
+		t.MustAddRow(wgt,
 			dy.RetentionPerRound[last], km.RetentionPerRound[last],
 			mean(dy.TotalGainPerTrial), mean(km.TotalGainPerTrial))
 	}
@@ -429,7 +429,7 @@ func ExtMetaheuristic(opts Options) (*Table, error) {
 			dyTime += dyT / float64(opts.Runs)
 			saTime += saT / float64(opts.Runs)
 		}
-		t.AddRow(float64(n), dyGain, saGain, dyTime, saTime)
+		t.MustAddRow(float64(n), dyGain, saGain, dyTime, saTime)
 	}
 	t.AddNote("annealer: %d sweeps per participant per round; times in microseconds", 20)
 	return t, nil

@@ -81,7 +81,7 @@ func Fig11(variant string, opts Options) (*Table, error) {
 			Columns: []string{"CV-ratio", "Gini-ratio"},
 		}
 		for i, cp := range checkpoints {
-			t.AddRow(float64(cp), avgCVDy[i]/avgCVRnd[i], avgGiniDy[i]/avgGiniRnd[i])
+			t.MustAddRow(float64(cp), avgCVDy[i]/avgCVRnd[i], avgGiniDy[i]/avgGiniRnd[i])
 		}
 		return t, nil
 	case "b":
@@ -92,7 +92,7 @@ func Fig11(variant string, opts Options) (*Table, error) {
 			Columns: []string{"CV-DyGroups-Star", "CV-Random", "Gini-DyGroups-Star", "Gini-Random"},
 		}
 		for i, cp := range checkpoints {
-			t.AddRow(float64(cp), avgCVDy[i], avgCVRnd[i], avgGiniDy[i], avgGiniRnd[i])
+			t.MustAddRow(float64(cp), avgCVDy[i], avgCVRnd[i], avgGiniDy[i], avgGiniRnd[i])
 		}
 		return t, nil
 	default:

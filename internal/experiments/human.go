@@ -34,7 +34,7 @@ func gainTable(id string, res *amt.ExperimentResult) *Table {
 		for i, s := range res.Series {
 			row[i] = s.GainPerRound[round]
 		}
-		t.AddRow(float64(round+1), row...)
+		t.MustAddRow(float64(round+1), row...)
 	}
 	t.AddNote("Observation I (skills improve with peer interaction): paired t=%.2f, p=%.2g (pre mean %.3f → post mean %.3f)",
 		res.ObservationI.T, res.ObservationI.P, res.ObservationI.MeanB, res.ObservationI.MeanA)
@@ -62,7 +62,7 @@ func retentionTable(id string, res *amt.ExperimentResult) *Table {
 		for i, s := range res.Series {
 			row[i] = s.RetentionPerRound[round]
 		}
-		t.AddRow(float64(round+1), row...)
+		t.MustAddRow(float64(round+1), row...)
 	}
 	return t
 }
@@ -108,7 +108,7 @@ func Fig2(opts Options) (*Table, error) {
 		Columns: []string{"cumulative-gain", "fitted"},
 	}
 	for i := range xs {
-		t.AddRow(xs[i], cum[i], fit.At(xs[i]))
+		t.MustAddRow(xs[i], cum[i], fit.At(xs[i]))
 	}
 	t.AddNote("fit: %s", fit.String())
 	return t, nil

@@ -7,8 +7,8 @@ import (
 
 func TestRenderChartLinearScale(t *testing.T) {
 	tab := &Table{ID: "x", Title: "Linear", XLabel: "n", Columns: []string{"a", "b"}}
-	tab.AddRow(1, 10, 20)
-	tab.AddRow(2, 15, 25)
+	tab.MustAddRow(1, 10, 20)
+	tab.MustAddRow(2, 15, 25)
 	var b strings.Builder
 	if err := tab.RenderChart(&b); err != nil {
 		t.Fatal(err)
@@ -24,8 +24,8 @@ func TestRenderChartLinearScale(t *testing.T) {
 
 func TestRenderChartRuntimeFiguresUseLog(t *testing.T) {
 	tab := &Table{ID: "12a", Title: "Times", XLabel: "n", Columns: []string{"t"}}
-	tab.AddRow(10, 5)
-	tab.AddRow(100, 50)
+	tab.MustAddRow(10, 5)
+	tab.MustAddRow(100, 50)
 	var b strings.Builder
 	if err := tab.RenderChart(&b); err != nil {
 		t.Fatal(err)
@@ -37,8 +37,8 @@ func TestRenderChartRuntimeFiguresUseLog(t *testing.T) {
 
 func TestRenderChartWideRangeUsesLog(t *testing.T) {
 	tab := &Table{ID: "5b", Title: "Wide", XLabel: "n", Columns: []string{"g"}}
-	tab.AddRow(1, 1)
-	tab.AddRow(2, 1e7)
+	tab.MustAddRow(1, 1)
+	tab.MustAddRow(2, 1e7)
 	var b strings.Builder
 	if err := tab.RenderChart(&b); err != nil {
 		t.Fatal(err)
@@ -50,8 +50,8 @@ func TestRenderChartWideRangeUsesLog(t *testing.T) {
 
 func TestRenderChartNonPositiveStaysLinear(t *testing.T) {
 	tab := &Table{ID: "x", Title: "Zeroes", XLabel: "n", Columns: []string{"g"}}
-	tab.AddRow(1, 0)
-	tab.AddRow(2, 1e7)
+	tab.MustAddRow(1, 0)
+	tab.MustAddRow(2, 1e7)
 	var b strings.Builder
 	if err := tab.RenderChart(&b); err != nil {
 		t.Fatal(err)

@@ -78,7 +78,7 @@ func Fig10(variant string, opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(float64(a), star, clique)
+			t.MustAddRow(float64(a), star, clique)
 		}
 	case "b":
 		alpha := 10
@@ -92,7 +92,7 @@ func Fig10(variant string, opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(float64(n), star, clique)
+			t.MustAddRow(float64(n), star, clique)
 		}
 	default:
 		return nil, fmt.Errorf("experiments: figure 10 has variants a and b, not %q", variant)

@@ -54,7 +54,7 @@ func runtimeSweep(id, title, xlabel string, xs []float64, ns, ks []int, mode cor
 			}
 			row[ai] = micros
 		}
-		t.AddRow(xs[i], row...)
+		t.MustAddRow(xs[i], row...)
 	}
 	t.AddNote("wall time of a full %d-round simulation, best of repeated runs, microseconds", DefaultAlpha)
 	return t, nil

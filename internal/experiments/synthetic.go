@@ -89,7 +89,7 @@ func gainSweep(id, title, xlabel string, points []sweepPoint, algos []AlgoFactor
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(p.x, gains...)
+		t.MustAddRow(p.x, gains...)
 	}
 	return t, nil
 }

@@ -32,8 +32,12 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends one row; the number of values must match Columns.
-func (t *Table) AddRow(x float64, values ...float64) {
+// MustAddRow appends one row, panicking unless the number of values
+// matches Columns: a mismatch is a programming error in the figure
+// generator (wrong arity for the declared header), never a data
+// condition, so it fails fast like fmt's %! verbs rather than
+// propagating an error through every generator loop.
+func (t *Table) MustAddRow(x float64, values ...float64) {
 	if len(values) != len(t.Columns) {
 		panic(fmt.Sprintf("experiments: table %s row has %d values, want %d", t.ID, len(values), len(t.Columns)))
 	}
@@ -131,6 +135,7 @@ func (t *Table) Column(name string) []float64 {
 // formatNum renders a float compactly: integers without decimals, other
 // values with up to 6 significant digits.
 func formatNum(v float64) string {
+	//peerlint:allow floateq — exact test for integer-valued floats; formatting only
 	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -12,8 +12,8 @@ func sampleTable() *Table {
 		XLabel:  "n",
 		Columns: []string{"A", "B"},
 	}
-	t.AddRow(10, 1.5, 2)
-	t.AddRow(100, 2.25, 4)
+	t.MustAddRow(10, 1.5, 2)
+	t.MustAddRow(100, 2.25, 4)
 	t.AddNote("a note")
 	return t
 }
@@ -54,7 +54,7 @@ func TestTableAddRowPanicsOnMismatch(t *testing.T) {
 			t.Fatal("mismatched row did not panic")
 		}
 	}()
-	sampleTable().AddRow(5, 1) // two columns expected
+	sampleTable().MustAddRow(5, 1) // two columns expected
 }
 
 func TestTableColumn(t *testing.T) {

@@ -67,7 +67,7 @@ func BruteForceValidation(opts Options) (*Table, error) {
 				continue
 			}
 			row++
-			t.AddRow(float64(row), float64(n), float64(alpha), float64(instances[key]), float64(matches[key]))
+			t.MustAddRow(float64(row), float64(n), float64(alpha), float64(instances[key]), float64(matches[key]))
 		}
 	}
 	t.AddNote("%d/%d instances matched the brute-force optimum", totalMatches, runs)

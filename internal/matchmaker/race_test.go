@@ -1,0 +1,103 @@
+package matchmaker
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// TestConcurrentJoinLeaveRound hammers one session from many
+// goroutines — joiners, leavers, round runners, and readers — so the
+// race detector can check the locking discipline, then verifies the
+// roster accounting survived.
+func TestConcurrentJoinLeaveRound(t *testing.T) {
+	t.Parallel()
+	s, err := NewSession(3, core.Star, core.MustLinear(0.4), dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers      = 4
+		joinsEach    = 60
+		roundRunners = 3
+		roundsEach   = 20
+	)
+	var wg sync.WaitGroup
+	kept := make([][]ParticipantID, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < joinsEach; i++ {
+				skill := 0.1 + float64((w*joinsEach+i)%50)/10
+				id, err := s.Join(skill)
+				if err != nil {
+					t.Errorf("join: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if err := s.Leave(id); err != nil {
+						t.Errorf("leave %d: %v", id, err)
+					}
+				} else {
+					kept[w] = append(kept[w], id)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < roundRunners; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < roundsEach; i++ {
+				// A thin roster is expected early on; only the
+				// round-shaped error is tolerated.
+				if _, err := s.RunRound(); err != nil {
+					continue
+				}
+			}
+		}()
+	}
+	// Readers race the writers on every accessor.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Len()
+				_ = s.Rounds()
+				_ = s.TotalGain()
+				_, _ = s.Get(ParticipantID(i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := 0
+	for _, ids := range kept {
+		want += len(ids)
+	}
+	if got := s.Len(); got != want {
+		t.Errorf("roster length = %d, want %d", got, want)
+	}
+	if g := s.TotalGain(); math.IsNaN(g) || g < 0 {
+		t.Errorf("total gain = %v, want finite ≥ 0", g)
+	}
+	// Every kept participant must still be present with sane state.
+	for _, ids := range kept {
+		for _, id := range ids {
+			p, ok := s.Get(id)
+			if !ok {
+				t.Errorf("participant %d vanished", id)
+				continue
+			}
+			if p.RoundsPlayed > s.Rounds() {
+				t.Errorf("participant %d played %d rounds, session ran %d", id, p.RoundsPlayed, s.Rounds())
+			}
+		}
+	}
+}

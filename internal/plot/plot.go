@@ -91,11 +91,11 @@ func (c *Chart) Render(w io.Writer) error {
 	if math.IsInf(yMin, 1) {
 		return fmt.Errorf("plot: no plottable values")
 	}
-	if yMax == yMin {
+	if flat(yMin, yMax) {
 		yMax = yMin + 1
 	}
 	xMin, xMax := c.XS[0], c.XS[len(c.XS)-1]
-	if xMax == xMin {
+	if flat(xMin, xMax) {
 		xMax = xMin + 1
 	}
 
@@ -153,4 +153,13 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// flat reports whether an axis range is too narrow to scale against: a
+// range below rounding noise would blow up the character-per-unit
+// factor, so the caller widens it to a unit interval instead. The
+// epsilon test (rather than exact ==) also catches denormal-width
+// ranges.
+func flat(lo, hi float64) bool {
+	return math.Abs(hi-lo) <= 1e-12*math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
 }

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// doJSON posts body to path on h and decodes the JSON response into
+// out (when non-nil), returning the status code.
+func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Errorf("%s %s: bad JSON %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// TestConcurrentSessionCreate creates cohorts from many goroutines and
+// checks every request got a distinct id — the create path shares the
+// store map and id counter, so this is the race the -race gate guards.
+func TestConcurrentSessionCreate(t *testing.T) {
+	t.Parallel()
+	h := NewSessionHandler(NewSessionStore())
+	const workers, creates = 8, 25
+	ids := make(chan int64, workers*creates)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < creates; i++ {
+				var status SessionStatus
+				code := doJSON(t, h, http.MethodPost, "/v1/sessions",
+					CreateSessionRequest{GroupSize: 3, Mode: "star", Seed: int64(i)}, &status)
+				if code != http.StatusCreated {
+					t.Errorf("create: status %d", code)
+					return
+				}
+				ids <- status.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[int64]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate session id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != workers*creates {
+		t.Fatalf("created %d sessions, want %d", len(seen), workers*creates)
+	}
+}
+
+// TestConcurrentSessionTraffic drives joins, rounds, and status reads
+// against a single cohort in parallel, exercising the handler stack
+// and the matchmaker locking together under the race detector.
+func TestConcurrentSessionTraffic(t *testing.T) {
+	t.Parallel()
+	h := NewSessionHandler(NewSessionStore())
+	var created SessionStatus
+	if code := doJSON(t, h, http.MethodPost, "/v1/sessions",
+		CreateSessionRequest{GroupSize: 2, Mode: "clique", Rate: 0.3}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	base := fmt.Sprintf("/v1/sessions/%d", created.ID)
+
+	var wg sync.WaitGroup
+	joined := int64(0)
+	var mu sync.Mutex
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var jr JoinResponse
+				code := doJSON(t, h, http.MethodPost, base+"/join",
+					JoinRequest{Skill: 0.2 + float64((w*30+i)%40)/10}, &jr)
+				if code != http.StatusOK {
+					t.Errorf("join: status %d", code)
+					return
+				}
+				mu.Lock()
+				joined++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				// Rounds may 409/422-style fail while the roster is
+				// thin; any well-formed status is acceptable here.
+				doJSON(t, h, http.MethodPost, base+"/round", struct{}{}, nil)
+				doJSON(t, h, http.MethodGet, base, nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var status SessionStatus
+	if code := doJSON(t, h, http.MethodGet, base, nil, &status); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if int64(status.Members) != joined {
+		t.Errorf("members = %d, want %d", status.Members, joined)
+	}
+	if status.TotalGain < 0 {
+		t.Errorf("total gain = %v, want ≥ 0", status.TotalGain)
+	}
+}

@@ -55,6 +55,10 @@ func ranks(xs []float64) []float64 {
 	i := 0
 	for i < len(idx) {
 		j := i
+		// Rank ties are defined by exact value identity: an epsilon
+		// tie would be non-transitive and could merge distinct
+		// measurements into one rank group.
+		//peerlint:allow floateq — exact equality is the definition of a rank tie
 		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

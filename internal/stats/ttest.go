@@ -3,6 +3,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"peerlearn/internal/core"
 )
 
 // TTestResult reports a two-sample Welch t-test. The paper uses
@@ -32,7 +34,10 @@ func WelchT(a, b []float64) (TTestResult, error) {
 	sa, sb := va/na, vb/nb
 	se2 := sa + sb
 	if se2 == 0 {
-		if ma == mb {
+		// Means of two constant samples can still differ in the last
+		// bits (sum/n rounds), so an exact == here would declare two
+		// identical-valued samples infinitely significantly different.
+		if core.ApproxEqual(ma, mb) {
 			return TTestResult{T: 0, DF: na + nb - 2, P: 1, MeanA: ma, MeanB: mb}, nil
 		}
 		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0, MeanA: ma, MeanB: mb}, nil

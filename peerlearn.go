@@ -125,3 +125,11 @@ func NewLPA() Grouper { return baselines.NewLPA() }
 // (Agrawal et al., EDM 2017) with percentile parameter p; the paper uses
 // p = 0.75.
 func NewPercentilePartitions(p float64) (Grouper, error) { return baselines.NewPercentile(p) }
+
+// NewAnnealing returns the simulated-annealing baseline (the
+// operations-research comparison point of the extension experiments)
+// for the given objective. All randomness comes from a stream seeded
+// with seed, so equal seeds reproduce identical groupings.
+func NewAnnealing(seed int64, mode Mode, gain Gain) Grouper {
+	return baselines.NewAnnealing(seed, mode, gain)
+}

@@ -109,3 +109,17 @@ func TestNewLinearValidation(t *testing.T) {
 		t.Errorf("rate 0.5 rejected: %v", err)
 	}
 }
+
+func TestFacadeAnnealingDeterministic(t *testing.T) {
+	cfg := peerlearn.Config{K: 3, Rounds: 3, Mode: peerlearn.Clique, Gain: peerlearn.MustLinear(0.5)}
+	run := func(seed int64) float64 {
+		res, err := peerlearn.Run(cfg, toy(), peerlearn.NewAnnealing(seed, cfg.Mode, cfg.Gain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalGain
+	}
+	if a, b := run(11), run(11); a != b {
+		t.Fatalf("same seed, different gain: %v vs %v", a, b)
+	}
+}
