@@ -2,19 +2,34 @@
 // deployment shape the paper's motivation sketches for online learning
 // platforms.
 //
-//	peerlearnd -addr :8080
+//	peerlearnd -addr :8080 [-pprof] [-shutdown-timeout 10s]
 //
 //	curl -s localhost:8080/v1/group -d '{"skills":[0.1,0.5,0.9,0.3],"k":2}'
 //	curl -s localhost:8080/v1/simulate -d '{"skills":[0.1,0.5,0.9,0.3],"k":2,"rounds":3,"rate":0.5}'
 //	curl -s localhost:8080/v1/sessions -d '{"group_size":4}'          # stateful cohorts
 //	curl -s localhost:8080/v1/sessions/1/join -d '{"skill":0.4}'
 //	curl -s -X POST localhost:8080/v1/sessions/1/round
+//	curl -s localhost:8080/metrics                                    # Prometheus text format
+//
+// Every /v1 route runs under the observability middleware
+// (internal/server): request IDs, structured logs, panic recovery, and
+// per-route metrics exposed at GET /metrics. With -pprof the standard
+// profiling handlers are mounted under /debug/pprof/. On SIGINT or
+// SIGTERM the daemon stops accepting connections and drains in-flight
+// requests for up to -shutdown-timeout before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"peerlearn/internal/server"
@@ -22,17 +37,64 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
+	drain := flag.Duration("shutdown-timeout", 10*time.Second,
+		"how long to drain in-flight requests after SIGINT/SIGTERM")
 	flag.Parse()
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.NewSessionHandler(server.NewSessionStore()),
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	handler := server.New(server.NewSessionStore(), server.Options{
+		Logger: logger,
+		Pprof:  *pprofOn,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Info("peerlearnd listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
+	if err := serve(ctx, newServer(*addr, handler), ln, *drain); err != nil {
+		log.Fatal(err)
+	}
+	logger.Info("peerlearnd stopped")
+}
+
+// newServer builds the daemon's http.Server with production timeouts.
+func newServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
-	log.Printf("peerlearnd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+}
+
+// serve runs srv on ln until ctx is cancelled (the daemon wires ctx to
+// SIGINT/SIGTERM), then shuts down gracefully: the listener closes,
+// in-flight requests get up to drainTimeout to finish, and only then
+// does serve return. A drain overrun force-closes the stragglers and
+// reports the shutdown error.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
 	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
 }

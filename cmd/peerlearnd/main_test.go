@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"peerlearn/internal/metrics"
+	"peerlearn/internal/server"
+)
+
+// startDaemon runs the daemon's serve loop on an ephemeral port and
+// returns the base URL, the registry (for polling the in-flight
+// gauge), the cancel that plays the role of SIGTERM, and the channel
+// serve's result lands on.
+func startDaemon(t *testing.T) (string, *metrics.Registry, context.CancelFunc, chan error) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	h := server.New(server.NewSessionStore(), server.Options{
+		Registry: reg,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, newServer(ln.Addr().String(), h), ln, 30*time.Second) }()
+	return "http://" + ln.Addr().String(), reg, cancel, done
+}
+
+// TestServeStopsOnCancel: with no traffic, cancelling the signal
+// context shuts the server down promptly and cleanly.
+func TestServeStopsOnCancel(t *testing.T) {
+	url, _, cancel, done := startDaemon(t)
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not stop after cancel")
+	}
+}
+
+// TestShutdownDrainsInFlightSimulate: a SIGTERM (modeled by the signal
+// context cancelling) must let an in-flight /v1/simulate finish and be
+// answered before serve returns.
+func TestShutdownDrainsInFlightSimulate(t *testing.T) {
+	url, reg, cancel, done := startDaemon(t)
+
+	// A simulate heavy enough to still be running when we cancel: the
+	// per-round sort dominates, so many rounds over a mid-size roster
+	// gives a few hundred milliseconds of work.
+	skills := make([]string, 1200)
+	for i := range skills {
+		skills[i] = fmt.Sprintf("%g", 0.01+float64(i%97)/100)
+	}
+	body := fmt.Sprintf(`{"skills":[%s],"k":300,"rounds":5000}`, strings.Join(skills, ","))
+
+	type result struct {
+		status int
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resc <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the middleware's in-flight gauge confirms the request
+	// is being served, then "SIGTERM".
+	inFlight := reg.Gauge("peerlearn_http_in_flight_requests", "")
+	deadline := time.Now().Add(10 * time.Second)
+	for inFlight.Value() == 0 {
+		select {
+		case r := <-resc:
+			t.Fatalf("simulate finished before shutdown could be tested (status %d, err %v); raise the workload", r.status, r.err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not drain within 60s")
+	}
+	// The in-flight response must have been delivered intact.
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight request status %d, want 200", r.status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight response never arrived")
+	}
+
+	// And new connections are refused after shutdown.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

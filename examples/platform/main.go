@@ -45,11 +45,12 @@ func main() {
 	fmt.Printf("expected learning gain this round: %.4f\n\n", grouping.Gain)
 
 	// 3. Simulate the whole 4-assignment course.
+	rate := 0.5
 	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", encode(server.SimulateRequest{
 		Skills: skills,
 		K:      3,
 		Rounds: 4,
-		Rate:   0.5,
+		Rate:   &rate,
 		Mode:   "star",
 	}))
 	if err != nil {

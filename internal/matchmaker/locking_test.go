@@ -1,0 +1,177 @@
+package matchmaker
+
+import (
+	"testing"
+	"time"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+	"peerlearn/internal/metrics"
+)
+
+// gatedGrouper blocks inside Group until released, so tests can hold a
+// round mid-grouping and observe what the session lock permits
+// meanwhile. Each Group call signals entered and waits for one release
+// token.
+type gatedGrouper struct {
+	entered chan struct{}
+	release chan struct{}
+	inner   core.Grouper
+}
+
+func newGatedGrouper() *gatedGrouper {
+	return &gatedGrouper{
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}, 16),
+		inner:   dygroups.NewStar(),
+	}
+}
+
+func (g *gatedGrouper) Name() string { return "gated" }
+
+func (g *gatedGrouper) Group(s core.Skills, k int) core.Grouping {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.inner.Group(s, k)
+}
+
+// TestJoinNotBlockedByGrouping is the regression test for the lock
+// restructure: RunRound used to hold the session mutex across
+// policy.Group, stalling every concurrent Join/Leave for the whole
+// grouping computation. Now Join must complete while a round is stuck
+// inside the policy.
+func TestJoinNotBlockedByGrouping(t *testing.T) {
+	t.Parallel()
+	g := newGatedGrouper()
+	s, err := NewSession(2, core.Star, core.MustLinear(0.5), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skill := range []float64{0.1, 0.2, 0.3, 0.4} {
+		if _, err := s.Join(skill); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	roundDone := make(chan error, 1)
+	go func() {
+		_, err := s.RunRound()
+		roundDone <- err
+	}()
+	<-g.entered // the round is now inside policy.Group
+
+	joined := make(chan error, 1)
+	go func() {
+		_, err := s.Join(0.5)
+		joined <- err
+	}()
+	select {
+	case err := <-joined:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Join blocked while a round was grouping")
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("roster = %d mid-round, want 5", got)
+	}
+
+	g.release <- struct{}{}
+	if err := <-roundDone; err != nil {
+		t.Fatal(err)
+	}
+	// The joiner arrived after the snapshot, so the round seated the
+	// original four.
+	if s.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", s.Rounds())
+	}
+}
+
+// TestRoundRetriesWhenSeatedMemberLeaves checks the optimistic path's
+// re-validation: a seated participant leaving mid-grouping must force
+// a retry, and the retried round must not include the leaver.
+func TestRoundRetriesWhenSeatedMemberLeaves(t *testing.T) {
+	t.Parallel()
+	g := newGatedGrouper()
+	s, err := NewSession(2, core.Star, core.MustLinear(0.5), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first ParticipantID
+	for i, skill := range []float64{0.1, 0.2, 0.3, 0.4} {
+		id, err := s.Join(skill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = id
+		}
+	}
+
+	roundDone := make(chan *RoundReport, 1)
+	go func() {
+		report, err := s.RunRound()
+		if err != nil {
+			t.Error(err)
+		}
+		roundDone <- report
+	}()
+	<-g.entered // attempt 1 is grouping all four
+	if err := s.Leave(first); err != nil {
+		t.Fatal(err)
+	}
+	g.release <- struct{}{} // attempt 1 finishes grouping, fails validation
+	<-g.entered             // attempt 2 groups the remaining three
+	g.release <- struct{}{}
+
+	report := <-roundDone
+	if report == nil {
+		t.Fatal("round failed")
+	}
+	// Three members, group size 2: one pair seated, one sits out.
+	if report.Participated != 2 || report.SatOut != 1 {
+		t.Fatalf("report = %+v, want 2 seated / 1 out", report)
+	}
+	if _, ok := s.Get(first); ok {
+		t.Fatal("leaver still present")
+	}
+}
+
+// TestSessionMetrics checks the round telemetry a session reports.
+func TestSessionMetrics(t *testing.T) {
+	t.Parallel()
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	s, err := NewSession(2, core.Star, core.MustLinear(0.5), dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMetrics(m)
+	for _, skill := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		if _, err := s.Join(skill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Rounds.Value(); got != 3 {
+		t.Errorf("rounds counter = %d, want 3", got)
+	}
+	// 5 members, group size 2 → 4 seated, 1 out per round.
+	if got := m.Seated.Value(); got != 12 {
+		t.Errorf("seated counter = %d, want 12", got)
+	}
+	if got := m.SatOut.Value(); got != 3 {
+		t.Errorf("sat-out counter = %d, want 3", got)
+	}
+	if got := m.RoundGain.Count(); got != 3 {
+		t.Errorf("gain observations = %d, want 3", got)
+	}
+	if m.RoundGain.Sum() <= 0 {
+		t.Errorf("gain sum = %v, want > 0", m.RoundGain.Sum())
+	}
+}

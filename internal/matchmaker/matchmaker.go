@@ -18,7 +18,33 @@ import (
 	"sync"
 
 	"peerlearn/internal/core"
+	"peerlearn/internal/metrics"
 )
+
+// Metrics aggregates round telemetry across every session that shares
+// it: rounds run, participants seated and sat out, and the per-round
+// gain distribution. Attach it with Session.SetMetrics; a nil Metrics
+// disables reporting.
+type Metrics struct {
+	Rounds    *metrics.Counter
+	Seated    *metrics.Counter
+	SatOut    *metrics.Counter
+	RoundGain *metrics.Histogram
+}
+
+// NewMetrics registers the matchmaker metric families on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Rounds: reg.Counter("peerlearn_matchmaker_rounds_total",
+			"Learning rounds run across all sessions."),
+		Seated: reg.Counter("peerlearn_matchmaker_participants_seated_total",
+			"Participants seated into groups, summed over rounds."),
+		SatOut: reg.Counter("peerlearn_matchmaker_participants_sat_out_total",
+			"Participants who sat a round out, summed over rounds."),
+		RoundGain: reg.Histogram("peerlearn_matchmaker_round_gain",
+			"Aggregated learning gain per round.", metrics.GainBuckets),
+	}
+}
 
 // ParticipantID identifies a session member.
 type ParticipantID int64
@@ -40,6 +66,12 @@ type Participant struct {
 type Session struct {
 	mu sync.Mutex
 
+	// policyMu serializes calls into the grouping policy, which may own
+	// mutable state (e.g. a seeded *rand.Rand). It is separate from mu
+	// so a long grouping computation does not stall Join/Leave/status
+	// traffic; lock order is mu before policyMu, never the reverse.
+	policyMu sync.Mutex
+
 	groupSize int
 	mode      core.Mode
 	gain      core.Gain
@@ -49,6 +81,7 @@ type Session struct {
 	members map[ParticipantID]*Participant
 	rounds  int
 	total   float64
+	metrics *Metrics
 }
 
 // NewSession creates a cohort with the given group size, interaction
@@ -144,21 +177,114 @@ type RoundReport struct {
 	Gain float64
 }
 
+// SetMetrics attaches (or, with nil, detaches) round telemetry.
+func (s *Session) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}
+
+// seat is one seated participant with the roster state the seating
+// decision was based on, so an optimistic round can detect that a
+// competing round touched the participant in the meantime.
+type seat struct {
+	p            *Participant
+	roundsPlayed int
+}
+
+// maxOptimistic bounds the optimistic grouping attempts before a round
+// falls back to grouping under the session lock, guaranteeing progress
+// when the roster churns faster than the policy computes.
+const maxOptimistic = 4
+
 // RunRound groups the current roster and applies one learning round.
 // If fewer than one full group is present it returns an error and
 // changes nothing. When the roster does not divide evenly, the members
 // who have participated in the fewest rounds (ties: earliest joiners,
 // then lowest id) are seated first; the remainder sit out.
+//
+// The grouping computation — the expensive part for large rosters —
+// runs outside the session lock on a snapshot of the seated roster, so
+// concurrent Join/Leave/status calls are not stalled for its duration.
+// The result is applied only after re-validating under the lock that
+// every seated participant is unchanged; a lost race retries, and
+// after maxOptimistic retries the round completes under the lock.
 func (s *Session) RunRound() (*RoundReport, error) {
+	for attempt := 0; ; attempt++ {
+		report, retry, err := s.runRoundOnce(attempt >= maxOptimistic)
+		if retry {
+			continue
+		}
+		return report, err
+	}
+}
+
+// runRoundOnce makes one attempt at a round. With pessimistic set the
+// grouping happens under the session lock and the attempt cannot lose
+// a race; otherwise retry=true means the snapshot went stale while
+// grouping and the caller should try again.
+func (s *Session) runRoundOnce(pessimistic bool) (report *RoundReport, retry bool, err error) {
 	s.mu.Lock()
+	seated, skills, k, satOut, err := s.seatLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	var grouping core.Grouping
+	if pessimistic {
+		grouping = s.group(skills, k)
+	} else {
+		s.mu.Unlock()
+		grouping = s.group(skills, k)
+		s.mu.Lock()
+		if !s.seatsUnchangedLocked(seated) {
+			s.mu.Unlock()
+			return nil, true, nil
+		}
+	}
 	defer s.mu.Unlock()
 
+	m := len(seated)
+	if err := grouping.ValidateEqui(m, k); err != nil {
+		return nil, false, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
+	}
+	next, gain, err := core.ApplyRound(skills, grouping, s.mode, s.gain)
+	if err != nil {
+		return nil, false, err
+	}
+	for i, st := range seated {
+		p := st.p
+		p.TotalGain += next[i] - p.Skill
+		p.Skill = next[i]
+		p.RoundsPlayed++
+	}
+	s.rounds++
+	s.total += gain
+	if s.metrics != nil {
+		s.metrics.Rounds.Inc()
+		s.metrics.Seated.Add(uint64(m))
+		s.metrics.SatOut.Add(uint64(satOut))
+		s.metrics.RoundGain.Observe(gain)
+	}
+	return &RoundReport{
+		Round:        s.rounds,
+		Participated: m,
+		SatOut:       satOut,
+		Groups:       k,
+		Gain:         gain,
+	}, false, nil
+}
+
+// seatLocked snapshots the seated roster (callers hold mu): who plays
+// this round, their skills in seat order, the group count, and how
+// many sit out.
+func (s *Session) seatLocked() (seated []seat, skills core.Skills, k, satOut int, err error) {
 	roster := make([]*Participant, 0, len(s.members))
 	for _, p := range s.members {
 		roster = append(roster, p)
 	}
 	if len(roster) < s.groupSize {
-		return nil, fmt.Errorf("matchmaker: %d present, need at least %d for one group", len(roster), s.groupSize)
+		return nil, nil, 0, 0, fmt.Errorf("matchmaker: %d present, need at least %d for one group", len(roster), s.groupSize)
 	}
 	// Seat priority: fewest rounds played, then earliest joiner, then id
 	// — deterministic and starvation-free.
@@ -173,33 +299,33 @@ func (s *Session) RunRound() (*RoundReport, error) {
 		return pa.ID < pb.ID
 	})
 	m := (len(roster) / s.groupSize) * s.groupSize
-	seated := roster[:m]
-	k := m / s.groupSize
-
-	skills := make(core.Skills, m)
-	for i, p := range seated {
+	seated = make([]seat, m)
+	skills = make(core.Skills, m)
+	for i, p := range roster[:m] {
+		seated[i] = seat{p: p, roundsPlayed: p.RoundsPlayed}
 		skills[i] = p.Skill
 	}
-	grouping := s.policy.Group(skills, k)
-	if err := grouping.ValidateEqui(m, k); err != nil {
-		return nil, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
+	return seated, skills, m / s.groupSize, len(roster) - m, nil
+}
+
+// group serializes access to the policy, which may own mutable state.
+func (s *Session) group(skills core.Skills, k int) core.Grouping {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	return s.policy.Group(skills, k)
+}
+
+// seatsUnchangedLocked reports whether every seated participant is
+// still present and untouched since the snapshot (callers hold mu). A
+// skill can only change together with RoundsPlayed — both happen only
+// in the apply step — and ids are never reused, so identity plus the
+// round count is a sound staleness check without comparing floats.
+func (s *Session) seatsUnchangedLocked(seated []seat) bool {
+	for _, st := range seated {
+		cur, ok := s.members[st.p.ID]
+		if !ok || cur != st.p || cur.RoundsPlayed != st.roundsPlayed {
+			return false
+		}
 	}
-	next, gain, err := core.ApplyRound(skills, grouping, s.mode, s.gain)
-	if err != nil {
-		return nil, err
-	}
-	for i, p := range seated {
-		p.TotalGain += next[i] - p.Skill
-		p.Skill = next[i]
-		p.RoundsPlayed++
-	}
-	s.rounds++
-	s.total += gain
-	return &RoundReport{
-		Round:        s.rounds,
-		Participated: m,
-		SatOut:       len(roster) - m,
-		Groups:       k,
-		Gain:         gain,
-	}, nil
+	return true
 }

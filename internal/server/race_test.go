@@ -78,7 +78,7 @@ func TestConcurrentSessionTraffic(t *testing.T) {
 	h := NewSessionHandler(NewSessionStore())
 	var created SessionStatus
 	if code := doJSON(t, h, http.MethodPost, "/v1/sessions",
-		CreateSessionRequest{GroupSize: 2, Mode: "clique", Rate: 0.3}, &created); code != http.StatusCreated {
+		CreateSessionRequest{GroupSize: 2, Mode: "clique", Rate: fp(0.3)}, &created); code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
 	base := fmt.Sprintf("/v1/sessions/%d", created.ID)

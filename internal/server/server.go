@@ -63,10 +63,11 @@ type GroupRequest struct {
 	Mode      string    `json:"mode"`      // "star" (default) or "clique"
 	Algorithm string    `json:"algorithm"` // default "dygroups"
 	Seed      int64     `json:"seed"`      // for randomized policies
+	Rate      *float64  `json:"rate"`      // learning rate r for the gain preview; omitted = 0.5
 }
 
 // GroupResponse carries the grouping and its aggregated learning gain
-// under the requested mode (r defaults to 0.5 for the gain preview).
+// under the requested mode and rate.
 type GroupResponse struct {
 	Groups [][]int `json:"groups"`
 	Gain   float64 `json:"gain"`
@@ -77,10 +78,21 @@ type SimulateRequest struct {
 	Skills    []float64 `json:"skills"`
 	K         int       `json:"k"`
 	Rounds    int       `json:"rounds"`
-	Rate      float64   `json:"rate"` // learning rate r; default 0.5
+	Rate      *float64  `json:"rate"` // learning rate r; omitted = 0.5
 	Mode      string    `json:"mode"`
 	Algorithm string    `json:"algorithm"`
 	Seed      int64     `json:"seed"`
+}
+
+// resolveRate turns an optional request rate into the gain function.
+// An omitted rate (nil) defaults to r = 0.5; an explicit value —
+// including an explicit 0 — must be a valid learning rate in (0, 1].
+// (Before rate was a pointer, `"rate": 0` silently became 0.5.)
+func resolveRate(rate *float64) (core.Linear, error) {
+	if rate == nil {
+		return core.MustLinear(0.5), nil
+	}
+	return core.NewLinear(*rate)
 }
 
 // errorBody is the JSON error envelope.
@@ -105,7 +117,7 @@ type SolveRequest struct {
 	Skills []float64 `json:"skills"`
 	K      int       `json:"k"`
 	Rounds int       `json:"rounds"`
-	Rate   float64   `json:"rate"`
+	Rate   *float64  `json:"rate"` // learning rate r; omitted = 0.5
 	Mode   string    `json:"mode"`
 }
 
@@ -133,11 +145,7 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%d skills exceed the %d-participant brute-force limit", len(skills), bruteforce.MaxParticipants))
 		return
 	}
-	rate := req.Rate
-	if rate == 0 {
-		rate = 0.5
-	}
-	gain, err := core.NewLinear(rate)
+	gain, err := resolveRate(req.Rate)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -165,7 +173,9 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 	resp := SolveResponse{
 		OptimalGain:  plan.TotalGain,
 		DyGroupsGain: res.TotalGain,
-		Matches:      plan.TotalGain-res.TotalGain <= 1e-9,
+		// Symmetric, scale-aware comparison (the old one-sided
+		// plan−res ≤ 1e-9 check broke down for large totals).
+		Matches: core.ApproxEqual(plan.TotalGain, res.TotalGain),
 	}
 	for _, g := range plan.Groupings {
 		resp.Plan = append(resp.Plan, g)
@@ -195,6 +205,11 @@ func handleGroup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	gain, err := resolveRate(req.Rate)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	policy, err := newPolicy(req.Algorithm, mode, req.Seed)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -207,7 +222,7 @@ func handleGroup(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, GroupResponse{
 		Groups: grouping,
-		Gain:   core.AggregateGain(skills, grouping, mode, core.MustLinear(0.5)),
+		Gain:   core.AggregateGain(skills, grouping, mode, gain),
 	})
 }
 
@@ -221,11 +236,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rate := req.Rate
-	if rate == 0 {
-		rate = 0.5
-	}
-	gain, err := core.NewLinear(rate)
+	gain, err := resolveRate(req.Rate)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -11,6 +11,9 @@ import (
 	"peerlearn/internal/export"
 )
 
+// fp builds the optional-rate pointer requests take.
+func fp(v float64) *float64 { return &v }
+
 func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
 	t.Helper()
 	data, err := json.Marshal(body)
@@ -145,7 +148,7 @@ func TestSimulateEndpoint(t *testing.T) {
 		Skills: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
 		K:      3,
 		Rounds: 3,
-		Rate:   0.5,
+		Rate:   fp(0.5),
 		Mode:   "star",
 	})
 	if rec.Code != http.StatusOK {
@@ -199,10 +202,66 @@ func TestSimulateEndpointErrors(t *testing.T) {
 		Skills: []float64{1, 2, 3, 4},
 		K:      2,
 		Rounds: 1,
-		Rate:   2,
+		Rate:   fp(2),
 	})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad rate: status %d", rec.Code)
+	}
+}
+
+// An explicit "rate": 0 is out of range and must 400 — before rate
+// became a pointer it silently defaulted to 0.5.
+func TestExplicitZeroRateRejected(t *testing.T) {
+	h := Handler()
+	skills := []float64{1, 2, 3, 4}
+	for path, body := range map[string]any{
+		"/v1/simulate": SimulateRequest{Skills: skills, K: 2, Rounds: 1, Rate: fp(0)},
+		"/v1/solve":    SolveRequest{Skills: skills, K: 2, Rounds: 1, Rate: fp(0)},
+		"/v1/group":    GroupRequest{Skills: skills, K: 2, Rate: fp(0)},
+	} {
+		rec := post(t, h, path, body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s rate=0: status %d, want 400", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), "learning rate") {
+			t.Errorf("%s rate=0: error %q does not name the learning rate", path, rec.Body.String())
+		}
+	}
+}
+
+// An omitted rate still defaults to 0.5 everywhere.
+func TestOmittedRateDefaults(t *testing.T) {
+	h := Handler()
+	withRate := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 2, Rate: fp(0.5),
+	})
+	without := post(t, h, "/v1/simulate", SimulateRequest{
+		Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 2,
+	})
+	if without.Code != http.StatusOK {
+		t.Fatalf("omitted rate: status %d: %s", without.Code, without.Body.String())
+	}
+	if withRate.Body.String() != without.Body.String() {
+		t.Fatalf("omitted rate differs from explicit 0.5:\n%s\nvs\n%s", without.Body.String(), withRate.Body.String())
+	}
+}
+
+// The /v1/group gain preview honors the caller's rate: the linear gain
+// scales linearly in r, so halving the rate halves the preview.
+func TestGroupEndpointRespectsRate(t *testing.T) {
+	h := Handler()
+	skills := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	rec := post(t, h, "/v1/group", GroupRequest{Skills: skills, K: 3, Mode: "star", Rate: fp(0.25)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp GroupResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Half of the r = 0.5 preview (1.35) from TestGroupEndpoint.
+	if resp.Gain < 0.674 || resp.Gain > 0.676 {
+		t.Fatalf("gain = %v, want 0.675", resp.Gain)
 	}
 }
 
@@ -212,7 +271,7 @@ func TestSolveEndpoint(t *testing.T) {
 		Skills: []float64{0.1, 0.3, 0.6, 0.9},
 		K:      2,
 		Rounds: 3,
-		Rate:   0.5,
+		Rate:   fp(0.5),
 		Mode:   "star",
 	})
 	if rec.Code != http.StatusOK {
@@ -268,7 +327,7 @@ func TestSolveEndpointBadInputs(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("invalid skills: status %d", rec.Code)
 	}
-	rec = post(t, h, "/v1/solve", SolveRequest{Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 1, Rate: 3})
+	rec = post(t, h, "/v1/solve", SolveRequest{Skills: []float64{1, 2, 3, 4}, K: 2, Rounds: 1, Rate: fp(3)})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad rate: status %d", rec.Code)
 	}

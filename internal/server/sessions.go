@@ -26,6 +26,7 @@ type SessionStore struct {
 	mu       sync.Mutex
 	nextID   int64
 	sessions map[int64]*matchmaker.Session
+	metrics  *matchmaker.Metrics
 	// MaxSessions bounds live cohorts to keep a toy deployment safe.
 	MaxSessions int
 }
@@ -35,13 +36,21 @@ func NewSessionStore() *SessionStore {
 	return &SessionStore{sessions: make(map[int64]*matchmaker.Session), MaxSessions: 1024}
 }
 
+// SetMetrics attaches matchmaker round telemetry to every session the
+// store creates from now on (existing sessions are unaffected).
+func (st *SessionStore) SetMetrics(m *matchmaker.Metrics) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.metrics = m
+}
+
 // CreateSessionRequest configures a new cohort.
 type CreateSessionRequest struct {
-	GroupSize int     `json:"group_size"`
-	Mode      string  `json:"mode"`      // "star" (default) or "clique"
-	Rate      float64 `json:"rate"`      // default 0.5
-	Algorithm string  `json:"algorithm"` // default "dygroups"
-	Seed      int64   `json:"seed"`
+	GroupSize int      `json:"group_size"`
+	Mode      string   `json:"mode"`      // "star" (default) or "clique"
+	Rate      *float64 `json:"rate"`      // learning rate r; omitted = 0.5
+	Algorithm string   `json:"algorithm"` // default "dygroups"
+	Seed      int64    `json:"seed"`
 }
 
 // SessionStatus reports a cohort's state.
@@ -100,11 +109,7 @@ func (st *SessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rate := req.Rate
-	if rate == 0 {
-		rate = 0.5
-	}
-	gain, err := core.NewLinear(rate)
+	gain, err := resolveRate(req.Rate)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -125,6 +130,7 @@ func (st *SessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached", st.MaxSessions))
 		return
 	}
+	session.SetMetrics(st.metrics)
 	st.nextID++
 	id := st.nextID
 	st.sessions[id] = session

@@ -86,7 +86,8 @@ func TestSessionCreationErrors(t *testing.T) {
 	for name, req := range map[string]CreateSessionRequest{
 		"tiny groups": {GroupSize: 1},
 		"bad mode":    {GroupSize: 3, Mode: "mesh"},
-		"bad rate":    {GroupSize: 3, Rate: 2},
+		"bad rate":    {GroupSize: 3, Rate: fp(2)},
+		"zero rate":   {GroupSize: 3, Rate: fp(0)},
 		"bad algo":    {GroupSize: 3, Algorithm: "oracle"},
 	} {
 		t.Run(name, func(t *testing.T) {
