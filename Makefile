@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures verify fmt vet lint fuzz-smoke cover clean
+.PHONY: all build test test-short race bench figures verify fmt vet lint lint-fix fuzz-smoke cover clean
 
 all: build test
 
@@ -35,10 +35,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: go vet plus the project-specific peerlint suite
-# (floateq, modeswitch, panicfree, randsource — see internal/analysis).
+# Static analysis: go vet plus the project-specific peerlint suite,
+# test files included (ctxleak, floateq, lockheld, modeswitch,
+# panicfree, randsource, unlockpath — see docs/LINTERS.md).
 lint: vet
-	$(GO) run ./cmd/peerlint ./...
+	$(GO) run ./cmd/peerlint -tests ./...
+
+# Apply peerlint's suggested fixes (defer insertions) in place.
+lint-fix:
+	$(GO) run ./cmd/peerlint -fix -tests ./...
 
 # Short fuzzing pass over every fuzz target, one at a time (the fuzz
 # engine accepts a single -fuzz target per package invocation).
@@ -48,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzGroupingValidate -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzTheorem3FastMatchesNaive -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=. -fuzztime=$(FUZZTIME) ./internal/ledger
+	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/analysis/cfg
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

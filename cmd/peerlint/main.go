@@ -2,49 +2,74 @@
 // multichecker over the analyzers in internal/analysis/... that guard
 // the reproduction's correctness properties — no raw float equality
 // (floateq), no global math/rand in library code (randsource),
-// exhaustive interaction-mode switches (modeswitch), and no panics in
-// library code (panicfree).
+// exhaustive interaction-mode switches (modeswitch), no panics in
+// library code (panicfree), and the flow-sensitive lock and context
+// disciplines (lockheld, unlockpath, ctxleak) built on the
+// internal/analysis/cfg dataflow layer.
 //
 // Usage:
 //
-//	go run ./cmd/peerlint [-list] [packages]
+//	go run ./cmd/peerlint [-list] [-tests] [-json] [-fix] [packages]
 //
 // Packages default to ./... relative to the module root. The exit code
 // is 0 when the tree is clean, 1 when findings are reported, and 2 on
-// usage or load errors, matching go vet. Individual lines may opt out
-// with an inline justification:
+// usage or load errors, matching go vet. -tests also analyzes _test.go
+// files (in-package and external test packages). -json prints one JSON
+// object per finding, with file paths relative to the module root.
+// -fix applies each finding's first suggested fix (non-overlapping,
+// gofmt-formatted) and exits 0 when every finding was fixed. Individual
+// lines may opt out with an inline justification:
 //
 //	//peerlint:allow floateq — exact sentinel comparison is intended
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"peerlearn/internal/analysis"
 	"peerlearn/internal/analysis/checker"
+	"peerlearn/internal/analysis/ctxleak"
 	"peerlearn/internal/analysis/floateq"
 	"peerlearn/internal/analysis/load"
+	"peerlearn/internal/analysis/lockheld"
 	"peerlearn/internal/analysis/modeswitch"
 	"peerlearn/internal/analysis/panicfree"
 	"peerlearn/internal/analysis/randsource"
+	"peerlearn/internal/analysis/unlockpath"
 )
 
 // suite is the peerlint analyzer set, alphabetical by name.
 var suite = []*analysis.Analyzer{
+	ctxleak.Analyzer,
 	floateq.Analyzer,
+	lockheld.Analyzer,
 	modeswitch.Analyzer,
 	panicfree.Analyzer,
 	randsource.Analyzer,
+	unlockpath.Analyzer,
+}
+
+// options selects the driver's output and load modes.
+type options struct {
+	json  bool
+	fix   bool
+	tests bool
 }
 
 func main() {
+	var opts options
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.BoolVar(&opts.json, "json", false, "print findings as JSON, one object per line")
+	flag.BoolVar(&opts.fix, "fix", false, "apply suggested fixes in place")
+	flag.BoolVar(&opts.tests, "tests", false, "also analyze _test.go files")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: peerlint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: peerlint [-list] [-tests] [-json] [-fix] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,13 +84,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "peerlint:", err)
 		os.Exit(2)
 	}
-	os.Exit(run(cwd, flag.Args(), os.Stdout, os.Stderr))
+	os.Exit(run(cwd, flag.Args(), opts, os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	// File is the path relative to the module root, slash-separated.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Fixable is true when the finding carries a suggested fix that
+	// "peerlint -fix" would apply.
+	Fixable bool `json:"fixable,omitempty"`
 }
 
 // run loads the patterns relative to the module containing dir,
 // applies the suite, prints findings to stdout, and returns the
 // process exit code.
-func run(dir string, patterns []string, stdout, stderr io.Writer) int {
+func run(dir string, patterns []string, opts options, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -79,6 +118,7 @@ func run(dir string, patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "peerlint:", err)
 		return 2
 	}
+	loader.Tests = opts.tests
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "peerlint:", err)
@@ -89,12 +129,72 @@ func run(dir string, patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "peerlint:", err)
 		return 2
 	}
-	checker.Print(stdout, findings)
+
+	if opts.json {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			jf := jsonFinding{
+				File:     relPath(root, f.Position.Filename),
+				Line:     f.Position.Line,
+				Col:      f.Position.Column,
+				Analyzer: f.Category,
+				Message:  f.Message,
+				Fixable:  len(f.Fixes) > 0,
+			}
+			if err := enc.Encode(jf); err != nil {
+				fmt.Fprintln(stderr, "peerlint:", err)
+				return 2
+			}
+		}
+	} else {
+		checker.Print(stdout, findings)
+	}
+
+	if opts.fix {
+		return applyFixes(findings, stdout, stderr)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "peerlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// applyFixes rewrites the files changed by the findings' suggested
+// fixes. Exit code 0 means every finding was fixed (or there were
+// none); findings without an applicable fix keep the failure code.
+func applyFixes(findings []checker.Finding, stdout, stderr io.Writer) int {
+	fixed, applied, err := checker.ApplyFixes(findings)
+	if err != nil {
+		fmt.Fprintln(stderr, "peerlint:", err)
+		return 2
+	}
+	for name, content := range fixed {
+		perm := os.FileMode(0o644)
+		if fi, err := os.Stat(name); err == nil {
+			perm = fi.Mode().Perm()
+		}
+		if err := os.WriteFile(name, content, perm); err != nil {
+			fmt.Fprintln(stderr, "peerlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "peerlint: fixed %s\n", name)
+	}
+	if remaining := len(findings) - applied; remaining > 0 {
+		fmt.Fprintf(stderr, "peerlint: applied %d fix(es); %d finding(s) need manual attention\n", applied, remaining)
+		return 1
+	}
+	return 0
+}
+
+// relPath renders name relative to the module root with forward
+// slashes, falling back to the absolute path for files outside it.
+func relPath(root, name string) string {
+	rel, err := filepath.Rel(root, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return filepath.ToSlash(rel)
 }
 
 func firstLine(s string) string {

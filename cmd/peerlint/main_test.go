@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +40,7 @@ func Jitter(x, y float64) bool {
 `,
 	})
 	var out, errOut strings.Builder
-	code := run(dir, []string{"./..."}, &out, &errOut)
+	code := run(dir, []string{"./..."}, options{}, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
 	}
@@ -65,7 +66,7 @@ func ApproxEqual(a, b float64) bool {
 `,
 	})
 	var out, errOut strings.Builder
-	if code := run(dir, []string{"./..."}, &out, &errOut); code != 0 {
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
@@ -76,7 +77,201 @@ func ApproxEqual(a, b float64) bool {
 func TestRunBadPattern(t *testing.T) {
 	dir := writeModule(t, map[string]string{"go.mod": "module sandbox\n\ngo 1.22\n"})
 	var out, errOut strings.Builder
-	if code := run(dir, []string{"./nonexistent"}, &out, &errOut); code != 2 {
+	if code := run(dir, []string{"./nonexistent"}, options{}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunAllowSuppressionPerAnalyzer(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+// Suppressed carries a justification, so floateq stays quiet.
+func Suppressed(x, y float64) bool {
+	//peerlint:allow floateq — exact sentinel comparison is intended
+	return x == y
+}
+
+// Bare has no justification and is flagged.
+func Bare(x, y float64) bool {
+	return x == y
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if n := strings.Count(got, "floateq"); n != 1 {
+		t.Errorf("want exactly 1 floateq finding (the unsuppressed one), got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "lib.go:11:") {
+		t.Errorf("finding should point at Bare (line 11):\n%s", got)
+	}
+}
+
+func TestRunTestsMode(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+// Size is trivially clean library code.
+func Size(xs []int) int { return len(xs) }
+`,
+		"lib/lib_test.go": `package lib
+
+func eqInPackage(a, b float64) bool { return a == b }
+`,
+		"lib/ext_test.go": `package lib_test
+
+func eqExternal(a, b float64) bool { return a == b }
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 0 {
+		t.Fatalf("without -tests: exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(dir, []string{"./..."}, options{tests: true}, &out, &errOut); code != 1 {
+		t.Fatalf("with -tests: exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"lib_test.go", "ext_test.go"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-tests output missing findings from %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get forgets to unlock: a fixable unlockpath finding.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	return c.n
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{json: true}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 JSON finding, got %d:\n%s", len(lines), out.String())
+	}
+	var f jsonFinding
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if f.File != "lib/lib.go" {
+		t.Errorf("File = %q, want module-relative %q", f.File, "lib/lib.go")
+	}
+	if f.Line != 12 || f.Analyzer != "unlockpath" || f.Message == "" || !f.Fixable {
+		t.Errorf("round-tripped finding off: %+v", f)
+	}
+}
+
+func TestRunFixIdempotent(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get forgets to unlock; -fix inserts the defer.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	return c.n
+}
+`,
+	})
+	libGo := filepath.Join(dir, "lib", "lib.go")
+
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{fix: true}, &out, &errOut); code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0 (all findings fixed)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	fixed, err := os.ReadFile(libGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "defer c.mu.Unlock()") {
+		t.Fatalf("fix not applied:\n%s", fixed)
+	}
+
+	// The fixed tree is clean, and a second -fix run changes nothing.
+	out.Reset()
+	errOut.Reset()
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 0 {
+		t.Errorf("fixed tree not clean: exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if code := run(dir, []string{"./..."}, options{fix: true}, &out, &errOut); code != 0 {
+		t.Errorf("second -fix run: exit %d, want 0", code)
+	}
+	again, err := os.ReadFile(libGo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Errorf("-fix is not idempotent:\n-- first --\n%s\n-- second --\n%s", fixed, again)
+	}
+}
+
+func TestRunLockheldRegressionShape(t *testing.T) {
+	// The PR 2 matchmaker bug: session mutex held across the grouping
+	// policy's dynamic Group call. The driver must flag it end to end.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"mm/mm.go": `package mm
+
+import "sync"
+
+type Grouper interface {
+	Group(skills []float64, k int) [][]int
+}
+
+type Session struct {
+	mu      sync.Mutex
+	policy  Grouper
+	members map[int]float64
+}
+
+func (s *Session) Round(k int) [][]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	skills := make([]float64, 0, len(s.members))
+	for _, v := range s.members {
+		skills = append(skills, v)
+	}
+	return s.policy.Group(skills, k)
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "lockheld") || !strings.Contains(got, "dynamic dispatch to interface method Group") {
+		t.Errorf("PR 2 regression shape not flagged:\n%s", got)
 	}
 }

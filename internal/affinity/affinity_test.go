@@ -62,6 +62,7 @@ func TestNewRandomMatrix(t *testing.T) {
 			t.Fatal("nonzero diagonal")
 		}
 		for j := 0; j < 6; j++ {
+			//peerlint:allow floateq — symmetry compares the same stored entry from both sides; bit-exact by construction
 			if m.At(i, j) != m.At(j, i) {
 				t.Fatal("asymmetric random matrix")
 			}

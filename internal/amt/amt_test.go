@@ -93,6 +93,7 @@ func TestWorkerAssess(t *testing.T) {
 		if score <= 0 || score > 1 {
 			t.Fatalf("assessment score %v outside (0, 1]", score)
 		}
+		//peerlint:allow floateq — Estimated must hold the exact value Assess returned
 		if w.Estimated != score {
 			t.Fatal("Estimated not refreshed")
 		}

@@ -61,6 +61,28 @@ type Diagnostic struct {
 	Category string
 	// Message describes the problem and the expected remedy.
 	Message string
+	// SuggestedFixes are machine-applicable remedies; the driver's -fix
+	// mode applies the first fix of each surviving diagnostic.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one machine-applicable remedy for a diagnostic. All
+// of its edits are applied together or not at all.
+type SuggestedFix struct {
+	// Message describes the fix, e.g. "insert defer mu.Unlock()".
+	Message string
+	// TextEdits are the concrete changes, non-overlapping within one
+	// fix.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText. Pos == End
+// is a pure insertion. Applied output is re-formatted by the driver, so
+// NewText need not match the surrounding indentation.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Inspect walks every file of the pass in depth-first order, calling fn

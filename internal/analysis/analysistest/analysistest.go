@@ -17,8 +17,10 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"runtime"
@@ -87,6 +89,45 @@ func runOne(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
 	for _, e := range expects {
 		if !e.matched {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// RunFixes loads each fixture package, applies the analyzer's
+// suggested fixes (first fix per finding, exactly as the driver's -fix
+// mode), and compares every fixed file against its ".golden" sibling.
+// Fixture files stay untouched on disk. Unlike Run, want comments are
+// not consulted, so fix fixtures can stay free of them and their golden
+// files read as the code the fix should produce.
+func RunFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgpath)
+		fset := token.NewFileSet()
+		pkg, err := load.CheckDir(fset, dir, pkgpath, load.StdImporter(fset))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		findings, err := checker.Run(fset, []*load.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+		}
+		fixed, applied, err := checker.ApplyFixes(findings)
+		if err != nil {
+			t.Fatalf("applying %s fixes on %s: %v", a.Name, pkgpath, err)
+		}
+		if applied == 0 {
+			t.Errorf("%s: fix fixture produced no applicable fixes", pkgpath)
+		}
+		for name, got := range fixed {
+			want, err := os.ReadFile(name + ".golden")
+			if err != nil {
+				t.Errorf("%s: fixes changed the file but reading its golden failed: %v", name, err)
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: fixed output differs from %s.golden:\n-- got --\n%s-- want --\n%s", name, filepath.Base(name), got, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,574 @@
+// Package cfg builds basic-block control-flow graphs over Go function
+// bodies and provides a small forward-dataflow fixpoint engine, all on
+// the standard library. It is the flow-sensitive substrate of the
+// peerlint suite: AST-local analyzers (floateq, panicfree, …) inspect
+// one node at a time, while CFG-based analyzers (lockheld, unlockpath,
+// ctxleak) reason about what must or may be true along every path
+// through a function — lock discipline, cleanup obligations, and
+// similar "did X happen before exit" properties.
+//
+// The graph is intraprocedural and per-function: New accepts one
+// *ast.FuncDecl or *ast.FuncLit and returns its Graph. Nested function
+// literals are opaque — their statements do not join the enclosing
+// graph; build a separate Graph for each (see FuncNodes).
+//
+// Granularity is the basic block: a Block holds the statements and
+// control-condition expressions that execute strictly in sequence, in
+// source order. Composite statements contribute only their non-body
+// parts (an *ast.IfStmt contributes its Init and Cond; its branches
+// become successor blocks), so walking a block's Nodes never wanders
+// into code that belongs to another block.
+//
+// Modeled control flow: if/else, for (including range and bare for{}),
+// switch and type switch (with fallthrough), select, labeled
+// break/continue, goto, return, and calls to the panic builtin.
+// Both return and panic edge to the synthetic Exit block; falling off
+// the end of the body does too (an implicit return). defer and go
+// statements are ordinary block nodes — deferred calls run at exit,
+// and it is the analyzer's job to interpret them (lockstate treats
+// "defer mu.Unlock()" as scheduling a release, for example).
+//
+// Unreachable blocks (code after return, break-only loop exits, …) are
+// pruned: every block in Graph.Blocks is reachable from Entry, which
+// is also the invariant FuzzCFGBuild enforces.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes holds the statements and control-condition expressions of
+	// the block in source order. Nested *ast.FuncLit bodies are opaque:
+	// they appear inside a node here but their statements belong to a
+	// separate Graph.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges. They are mutually
+	// consistent: b ∈ a.Succs ⇔ a ∈ b.Preds.
+	Succs, Preds []*Block
+	// kind is a debugging label ("entry", "if.then", "for.head", …).
+	kind string
+}
+
+// String renders a compact description for tests and debugging.
+func (b *Block) String() string {
+	return fmt.Sprintf("b%d(%s)", b.Index, b.kind)
+}
+
+// Graph is the control-flow graph of one function.
+type Graph struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn ast.Node
+	// Entry is the block control enters first. It has no predecessors.
+	Entry *Block
+	// Exit is the synthetic sink: return statements, panic calls, and
+	// falling off the end of the body all edge here. When no path
+	// terminates (e.g. "for {}"), Exit has no predecessors and does not
+	// appear in Blocks.
+	Exit *Block
+	// Blocks holds every block reachable from Entry, Entry first,
+	// indexed by Block.Index.
+	Blocks []*Block
+}
+
+// New builds the graph of fn, which must be an *ast.FuncDecl or
+// *ast.FuncLit; other nodes (or a nil/bodyless function, such as an
+// assembly-backed declaration) yield a graph with an empty entry block.
+func New(fn ast.Node) *Graph {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	b := &builder{
+		g:      &Graph{Fn: fn},
+		labels: make(map[string]*labelInfo),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{kind: "exit"}
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+	}
+	b.resolveGotos()
+	b.prune()
+	return b.g
+}
+
+// FuncNodes returns every function-like node in the file — each
+// *ast.FuncDecl and each *ast.FuncLit, including literals nested in
+// other functions — so callers can build one Graph per function.
+func FuncNodes(f *ast.File) []ast.Node {
+	var fns []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fns = append(fns, n)
+		}
+		return true
+	})
+	return fns
+}
+
+// labelInfo tracks one label: the block its statement starts, plus the
+// break/continue targets when it labels a loop, switch, or select.
+type labelInfo struct {
+	block     *Block // goto target
+	brk, cont *Block // labeled break/continue targets (nil until known)
+}
+
+// loopScope is one enclosing breakable construct.
+type loopScope struct {
+	label     string // "" for unlabeled
+	brk, cont *Block // cont is nil for switch/select
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil after a terminating statement (unreachable point)
+
+	scopes       []loopScope
+	labels       map[string]*labelInfo
+	gotos        []pendingGoto
+	ftTarget     *Block // body of the next case clause, inside a switch
+	pendingLabel string // label to attach to the next loop/switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock begins a new block with an edge from the current one (when
+// reachable) and makes it current.
+func (b *builder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// add appends a node to the current block, opening an unreachable
+// continuation block if the previous statement terminated flow (dead
+// code still gets parsed into blocks; pruning removes them).
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label attached to the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// pushScope enters a breakable construct; popScope leaves it.
+func (b *builder) pushScope(label string, brk, cont *Block) {
+	b.scopes = append(b.scopes, loopScope{label: label, brk: brk, cont: cont})
+	if label != "" {
+		li := b.labelFor(label)
+		li.brk, li.cont = brk, cont
+	}
+}
+
+func (b *builder) popScope() {
+	b.scopes = b.scopes[:len(b.scopes)-1]
+}
+
+func (b *builder) labelFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// breakTarget resolves break (label optional); nil when the program is
+// ill-formed (break outside a loop), which the builder tolerates.
+func (b *builder) breakTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.brk
+		}
+		return nil
+	}
+	if len(b.scopes) == 0 {
+		return nil
+	}
+	return b.scopes[len(b.scopes)-1].brk
+}
+
+// continueTarget resolves continue; switches/selects are skipped since
+// continue applies only to loops.
+func (b *builder) continueTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.cont
+		}
+		return nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].cont != nil {
+			return b.scopes[i].cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so gotos (forward
+		// or backward) have a target.
+		lb := b.startBlock("label." + s.Label.Name)
+		b.labelFor(s.Label.Name).block = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		if cond == nil {
+			cond = b.newBlock("dead")
+			b.cur = cond
+		}
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+
+		if thenEnd == nil && hasElse && elseEnd == nil {
+			b.cur = nil // both arms terminate
+			return
+		}
+		done := b.newBlock("if.done")
+		if thenEnd != nil {
+			b.edge(thenEnd, done)
+		}
+		if !hasElse {
+			b.edge(cond, done)
+		} else if elseEnd != nil {
+			b.edge(elseEnd, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.add(s.Init)
+		head := b.startBlock("for.head")
+		b.add(s.Cond)
+		done := b.newBlock("for.done")
+		// continue goes to the post statement when there is one,
+		// re-testing the condition after it.
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		b.pushScope(label, done, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.popScope()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.startBlock("range.head")
+		b.add(s.X)
+		done := b.newBlock("range.done")
+		b.edge(head, done) // the range may be empty
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.pushScope(label, done, head)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popScope()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.caseClauses(s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock("dead")
+			b.cur = head
+		}
+		done := b.newBlock("select.done")
+		b.pushScope(label, done, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock("select.case")
+			b.edge(head, clause)
+			b.cur = clause
+			b.add(cc.Comm) // the send/receive being selected on
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, done)
+			}
+		}
+		b.popScope()
+		// A select with no cases ("select {}") blocks forever: no edge
+		// from head to done, leaving done unreachable, exactly like
+		// "for {}". With cases, every path runs exactly one clause, so
+		// head itself never falls through to done.
+		b.cur = done
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(label); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.continueTarget(label); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+			}
+		case token.FALLTHROUGH:
+			if b.ftTarget != nil && b.cur != nil {
+				b.edge(b.cur, b.ftTarget)
+			}
+		}
+		b.cur = nil
+
+	default:
+		// Plain statement: assignment, declaration, send, inc/dec,
+		// defer, go, expression. A panic call terminates flow.
+		b.add(s)
+		if isPanicStmt(s) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+	}
+}
+
+// caseClauses builds the clause blocks of a switch or type switch whose
+// head (init/tag/assign) is already in the current block.
+func (b *builder) caseClauses(body *ast.BlockStmt, kind string) {
+	label := b.takeLabel()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	done := b.newBlock(kind + ".done")
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	// Pre-create the clause blocks so fallthrough can edge forward.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock(kind + ".case")
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+
+	b.pushScope(label, done, nil)
+	savedFT := b.ftTarget
+	for i, cc := range clauses {
+		if i+1 < len(blocks) {
+			b.ftTarget = blocks[i+1]
+		} else {
+			b.ftTarget = nil
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	}
+	b.ftTarget = savedFT
+	b.popScope()
+	b.cur = done
+}
+
+// isPanicStmt reports whether s is a bare call to the panic builtin.
+// This is a syntactic test (a shadowed panic would still terminate the
+// block early, which only makes the graph conservative, never wrong for
+// the may-analyses built on it).
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// resolveGotos wires the recorded goto edges now that every label's
+// block is known. A goto to an undeclared label (ill-formed input, as
+// the fuzzer generates freely) is dropped.
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil && li.block != nil {
+			b.edge(g.from, li.block)
+		}
+	}
+}
+
+// prune drops blocks unreachable from Entry and renumbers the
+// survivors, filtering the Succs/Preds of kept blocks (and of Exit) to
+// kept blocks.
+func (b *builder) prune() {
+	reached := map[*Block]bool{b.g.Entry: true}
+	work := []*Block{b.g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if s != b.g.Exit && !reached[s] {
+				reached[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	keep := func(list []*Block) []*Block {
+		out := list[:0]
+		for _, x := range list {
+			if x == b.g.Exit || reached[x] {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	var blocks []*Block
+	for _, blk := range b.g.Blocks {
+		if !reached[blk] {
+			continue
+		}
+		blk.Succs = keep(blk.Succs)
+		blk.Preds = keep(blk.Preds)
+		blk.Index = len(blocks)
+		blocks = append(blocks, blk)
+	}
+	b.g.Exit.Preds = keep(b.g.Exit.Preds)
+	b.g.Exit.Index = len(blocks)
+	b.g.Blocks = blocks
+}
+
+// Dump renders the graph structure for debugging and tests:
+// "b0(entry)->b1,b2 b1(if.then)->exit …".
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(blk.String())
+		sb.WriteString("->")
+		for i, s := range blk.Succs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if s == g.Exit {
+				sb.WriteString("exit")
+			} else {
+				fmt.Fprintf(&sb, "b%d", s.Index)
+			}
+		}
+	}
+	return sb.String()
+}

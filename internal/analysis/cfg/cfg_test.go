@@ -1,0 +1,592 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses a function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	g, err := tryBuild(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, g)
+	return g
+}
+
+// tryBuild is the no-testing.T core shared with the fuzz target.
+func tryBuild(body string) (*Graph, error) {
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd), nil
+		}
+	}
+	return nil, fmt.Errorf("no function in %q", src)
+}
+
+// checkInvariants asserts the structural guarantees New documents:
+// every block in Blocks is reachable from Entry, indices match
+// positions, and Succs/Preds mirror each other.
+func checkInvariants(tb testing.TB, g *Graph) {
+	tb.Helper()
+	if g.Entry == nil || g.Exit == nil {
+		tb.Fatalf("nil entry or exit")
+	}
+	if len(g.Blocks) == 0 || g.Blocks[0] != g.Entry {
+		tb.Fatalf("entry is not the first block")
+	}
+	if len(g.Entry.Preds) != 0 {
+		tb.Errorf("entry has predecessors: %v", g.Entry.Preds)
+	}
+	inGraph := make(map[*Block]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			tb.Errorf("block %s at position %d", b, i)
+		}
+		if b == g.Exit {
+			tb.Errorf("exit appears in Blocks")
+		}
+		inGraph[b] = true
+	}
+
+	// Reachability: walk from entry, then require it covers Blocks.
+	reached := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if s != g.Exit && !reached[s] {
+				reached[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if !reached[b] {
+			tb.Errorf("block %s is in Blocks but unreachable from entry", b)
+		}
+	}
+
+	// Edge consistency, including edges into Exit.
+	contains := func(list []*Block, x *Block) bool {
+		for _, y := range list {
+			if y == x {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(b *Block) {
+		for _, s := range b.Succs {
+			if s != g.Exit && !inGraph[s] {
+				tb.Errorf("%s has pruned successor %s", b, s)
+			}
+			if !contains(s.Preds, b) {
+				tb.Errorf("edge %s->%s missing from Preds", b, s)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inGraph[p] {
+				tb.Errorf("%s has pruned predecessor %s", b, p)
+			}
+			if !contains(p.Succs, b) {
+				tb.Errorf("edge %s->%s missing from Succs", p, b)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		check(b)
+	}
+	check(g.Exit)
+}
+
+// kinds returns the kind labels of Blocks in order.
+func kinds(g *Graph) string {
+	parts := make([]string, len(g.Blocks))
+	for i, b := range g.Blocks {
+		parts[i] = b.kind
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if got := g.Dump(); got != "b0(entry)->exit" {
+		t.Errorf("dump = %q", got)
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestEmptyAndBodyless(t *testing.T) {
+	g := build(t, "")
+	if got := g.Dump(); got != "b0(entry)->exit" {
+		t.Errorf("empty body dump = %q", got)
+	}
+	g2 := New(&ast.FuncDecl{Name: ast.NewIdent("asm")}) // no body
+	checkInvariants(t, g2)
+	if len(g2.Exit.Preds) != 1 {
+		t.Errorf("bodyless func: exit preds = %d, want 1", len(g2.Exit.Preds))
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, "if x := 1; x > 0 {\n x++\n}\n_ = 2")
+	if got := kinds(g); got != "entry if.then if.done" {
+		t.Fatalf("kinds = %q", got)
+	}
+	// entry (holding init and cond) branches to then and done.
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("entry succs = %v", g.Entry.Succs)
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry should hold init+cond, got %d nodes", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfElseBothReturn(t *testing.T) {
+	g := build(t, "if true {\n return\n} else {\n return\n}")
+	if got := kinds(g); got != "entry if.then if.else" {
+		t.Fatalf("kinds = %q (no if.done should survive)", got)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit preds = %d, want 2", len(g.Exit.Preds))
+	}
+}
+
+func TestDeadCodeAfterReturnPruned(t *testing.T) {
+	g := build(t, "return\nx := 1\n_ = x")
+	if got := g.Dump(); got != "b0(entry)->exit" {
+		t.Errorf("dump = %q", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\n _ = i\n}\n_ = 1")
+	// entry -> head; head -> done, body; body -> post; post -> head.
+	if got := kinds(g); got != "entry for.head for.done for.post for.body" {
+		t.Fatalf("kinds = %q", got)
+	}
+	head := g.Blocks[1]
+	if len(head.Succs) != 2 {
+		t.Errorf("head succs = %v", head.Succs)
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := build(t, `for i := 0; i < 3; i++ {
+	if i == 1 {
+		continue
+	}
+	if i == 2 {
+		break
+	}
+	_ = i
+}`)
+	checkInvariants(t, g)
+	var head, post, done *Block
+	for _, b := range g.Blocks {
+		switch b.kind {
+		case "for.head":
+			head = b
+		case "for.post":
+			post = b
+		case "for.done":
+			done = b
+		}
+	}
+	if head == nil || post == nil || done == nil {
+		t.Fatalf("missing loop blocks in %s", g.Dump())
+	}
+	// continue edges to post (3 preds: body fallthrough, continue, …),
+	// break edges to done alongside the head's exit edge.
+	if len(done.Preds) != 2 {
+		t.Errorf("done preds = %d, want 2 (head cond + break)", len(done.Preds))
+	}
+	if len(post.Preds) != 2 {
+		t.Errorf("post preds = %d, want 2 (fallthrough + continue)", len(post.Preds))
+	}
+}
+
+func TestInfiniteForNoExit(t *testing.T) {
+	g := build(t, "for {\n _ = 1\n}")
+	if len(g.Exit.Preds) != 0 {
+		t.Errorf("for{}: exit should be unreachable, preds = %v", g.Exit.Preds)
+	}
+	for _, b := range g.Blocks {
+		if b.kind == "for.done" {
+			t.Errorf("for{} kept an unreachable done block")
+		}
+	}
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	g := build(t, "for {\n break\n}\n_ = 1")
+	var done *Block
+	for _, b := range g.Blocks {
+		if b.kind == "for.done" {
+			done = b
+		}
+	}
+	if done == nil {
+		t.Fatalf("no done block: %s", g.Dump())
+	}
+	if len(done.Preds) != 1 {
+		t.Errorf("done preds = %d, want 1 (the break)", len(done.Preds))
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := build(t, "xs := []int{1}\nfor _, x := range xs {\n _ = x\n}")
+	if got := kinds(g); got != "entry range.head range.done range.body" {
+		t.Fatalf("kinds = %q", got)
+	}
+	head := g.Blocks[1]
+	if len(head.Succs) != 2 {
+		t.Errorf("range head succs = %v (want done+body)", head.Succs)
+	}
+	body := g.Blocks[3]
+	if len(body.Succs) != 1 || body.Succs[0] != head {
+		t.Errorf("range body should loop back to head")
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := build(t, `switch x := 1; x {
+case 1:
+	_ = "one"
+	fallthrough
+case 2:
+	_ = "two"
+default:
+	_ = "other"
+}
+_ = 3`)
+	var cases []*Block
+	var done *Block
+	for _, b := range g.Blocks {
+		switch b.kind {
+		case "switch.case":
+			cases = append(cases, b)
+		case "switch.done":
+			done = b
+		}
+	}
+	if len(cases) != 3 || done == nil {
+		t.Fatalf("structure: %s", g.Dump())
+	}
+	// With a default clause the head must NOT edge straight to done.
+	for _, p := range done.Preds {
+		if p == g.Entry {
+			t.Errorf("head edges to done despite default clause")
+		}
+	}
+	// fallthrough: case 1 edges into case 2's block.
+	found := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing fallthrough edge case1->case2: %s", g.Dump())
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := build(t, "switch x := 1; x {\ncase 1:\n _ = x\n}\n_ = 2")
+	var done *Block
+	for _, b := range g.Blocks {
+		if b.kind == "switch.done" {
+			done = b
+		}
+	}
+	if done == nil {
+		t.Fatal("no done block")
+	}
+	// No default: the head (entry here) can skip every case.
+	headToDone := false
+	for _, p := range done.Preds {
+		if p == g.Entry {
+			headToDone = true
+		}
+	}
+	if !headToDone {
+		t.Errorf("missing head->done edge for defaultless switch: %s", g.Dump())
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, `var v any = 1
+switch t := v.(type) {
+case int:
+	_ = t
+case string:
+	_ = t
+}`)
+	n := 0
+	for _, b := range g.Blocks {
+		if b.kind == "typeswitch.case" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("typeswitch cases = %d, want 2: %s", n, g.Dump())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `c := make(chan int)
+select {
+case v := <-c:
+	_ = v
+case c <- 1:
+default:
+}`)
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.kind == "select.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("select cases = %d, want 3: %s", len(cases), g.Dump())
+	}
+	// The comm statement must be a node of its clause block.
+	if len(cases[0].Nodes) == 0 {
+		t.Errorf("first select clause holds no comm node")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "select {}")
+	if len(g.Exit.Preds) != 0 {
+		t.Errorf("select{}: exit should be unreachable, preds = %v", g.Exit.Preds)
+	}
+}
+
+func TestDeferAndGoAreBlockNodes(t *testing.T) {
+	g := build(t, "defer f()\ngo f()\n_ = 1")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if _, ok := g.Entry.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("first node = %T, want *ast.DeferStmt", g.Entry.Nodes[0])
+	}
+	if _, ok := g.Entry.Nodes[1].(*ast.GoStmt); !ok {
+		t.Errorf("second node = %T, want *ast.GoStmt", g.Entry.Nodes[1])
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, "if true {\n panic(\"boom\")\n}\n_ = 1")
+	// The panic block must edge to exit and nowhere else.
+	var then *Block
+	for _, b := range g.Blocks {
+		if b.kind == "if.then" {
+			then = b
+		}
+	}
+	if then == nil {
+		t.Fatalf("no then block: %s", g.Dump())
+	}
+	if len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Errorf("panic block succs = %v, want [exit]", then.Succs)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit preds = %d, want 2 (panic + fallthrough)", len(g.Exit.Preds))
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if j == 1 {
+			continue outer
+		}
+		if j == 2 {
+			break outer
+		}
+	}
+}
+_ = 1`)
+	checkInvariants(t, g)
+	// The labeled continue must edge to the OUTER post block and the
+	// labeled break to the OUTER done block.
+	var outerPost, outerDone *Block
+	for _, b := range g.Blocks {
+		// The outer loop's blocks are created before the inner ones.
+		if b.kind == "for.post" && outerPost == nil {
+			outerPost = b
+		}
+		if b.kind == "for.done" && outerDone == nil {
+			outerDone = b
+		}
+	}
+	if outerPost == nil || outerDone == nil {
+		t.Fatalf("missing outer loop blocks: %s", g.Dump())
+	}
+	if len(outerPost.Preds) < 2 {
+		t.Errorf("outer post preds = %d, want ≥2 (inner continue reaches it)", len(outerPost.Preds))
+	}
+	if len(outerDone.Preds) < 2 {
+		t.Errorf("outer done preds = %d, want ≥2 (inner break reaches it)", len(outerDone.Preds))
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+_ = i`)
+	checkInvariants(t, g)
+	var label *Block
+	for _, b := range g.Blocks {
+		if b.kind == "label.loop" {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatalf("no label block: %s", g.Dump())
+	}
+	if len(label.Preds) != 2 {
+		t.Errorf("label preds = %d, want 2 (entry + backward goto)", len(label.Preds))
+	}
+}
+
+func TestNestedFuncLitIsOpaque(t *testing.T) {
+	g := build(t, "f := func() {\n for {\n }\n}\nf()")
+	// The literal's infinite loop must not leak into the outer graph.
+	if len(g.Exit.Preds) != 1 {
+		t.Errorf("exit preds = %d, want 1 (outer flow unaffected by literal)", len(g.Exit.Preds))
+	}
+	if got := g.Dump(); got != "b0(entry)->exit" {
+		t.Errorf("dump = %q", got)
+	}
+}
+
+func TestFuncNodes(t *testing.T) {
+	src := `package p
+func a() { _ = func() { _ = func() {} } }
+var v = func() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := FuncNodes(f)
+	if len(fns) != 4 { // decl a + three literals
+		t.Fatalf("FuncNodes = %d, want 4", len(fns))
+	}
+	for _, fn := range fns {
+		checkInvariants(t, New(fn))
+	}
+}
+
+// TestForwardMustMay drives the generic engine with a boolean
+// "mark() was called" fact under both joins: intersection proves the
+// call happened on every path, union that it may have happened.
+func TestForwardMustMay(t *testing.T) {
+	body := `if cond {
+	mark()
+} else {
+	_ = 1
+}
+_ = 2`
+	g := build(t, body)
+
+	marks := func(b *Block, in bool) bool {
+		out := in
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+					out = true
+				}
+			}
+		}
+		return out
+	}
+	eq := func(a, b bool) bool { return a == b }
+
+	must := Forward(g, false, func(a, b bool) bool { return a && b }, eq, marks)
+	may := Forward(g, false, func(a, b bool) bool { return a || b }, eq, marks)
+
+	var done *Block
+	for _, b := range g.Blocks {
+		if b.kind == "if.done" {
+			done = b
+		}
+	}
+	if done == nil {
+		t.Fatalf("no done block: %s", g.Dump())
+	}
+	if must[done] {
+		t.Errorf("must-analysis claims mark() on every path; the else branch skips it")
+	}
+	if !may[done] {
+		t.Errorf("may-analysis misses mark() on the then path")
+	}
+}
+
+// TestForwardLoopFixpoint checks the engine converges on a loop where
+// the fact changes on the back edge.
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := build(t, `for i := 0; i < 3; i++ {
+	mark()
+}
+_ = 1`)
+	marks := func(b *Block, in bool) bool {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						return true
+					}
+				}
+			}
+		}
+		return in
+	}
+	eq := func(a, b bool) bool { return a == b }
+	must := Forward(g, false, func(a, b bool) bool { return a && b }, eq, marks)
+	may := Forward(g, false, func(a, b bool) bool { return a || b }, eq, marks)
+
+	var done *Block
+	for _, b := range g.Blocks {
+		if b.kind == "for.done" {
+			done = b
+		}
+	}
+	if done == nil {
+		t.Fatal("no done block")
+	}
+	if must[done] {
+		t.Errorf("must: the zero-iteration path skips mark()")
+	}
+	if !may[done] {
+		t.Errorf("may: the looping path calls mark()")
+	}
+}

@@ -1,0 +1,84 @@
+package cfg
+
+// Forward runs a forward dataflow analysis over g to a fixpoint and
+// returns the fact holding at the *entry* of each block (the out-fact
+// of a block is transfer(block, in-fact), which callers can replay to
+// inspect positions inside the block).
+//
+//   - init is the fact at the function entry;
+//   - join merges the facts of converging paths (set union for a
+//     may-analysis, intersection for a must-analysis); it is called
+//     only with facts of already-visited predecessors;
+//   - equal detects the fixpoint;
+//   - transfer computes a block's out-fact from its in-fact; it must
+//     not mutate its input.
+//
+// The engine is a standard worklist iteration. Facts must form a
+// lattice of finite height for termination; as a defensive bound for
+// ill-behaved transfer functions the iteration is capped at
+// 64·|blocks|² steps, far beyond what a monotone analysis on these
+// function-sized graphs needs.
+func Forward[F any](g *Graph, init F, join func(F, F) F, equal func(F, F) bool, transfer func(*Block, F) F) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	haveOut := make(map[*Block]bool, len(g.Blocks))
+
+	queued := make(map[*Block]bool, len(g.Blocks))
+	queue := make([]*Block, 0, len(g.Blocks))
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	budget := 64 * len(g.Blocks) * len(g.Blocks)
+	for len(queue) > 0 && budget >= 0 {
+		budget--
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		fact, ok := inFact(b, g, init, join, out, haveOut)
+		if !ok {
+			continue // no predecessor computed yet; a later push revisits
+		}
+		in[b] = fact
+		next := transfer(b, fact)
+		if haveOut[b] && equal(out[b], next) {
+			continue
+		}
+		out[b] = next
+		haveOut[b] = true
+		for _, s := range b.Succs {
+			if s != g.Exit {
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// inFact joins the out-facts of b's computed predecessors; entry also
+// receives init. ok is false while no input is known.
+func inFact[F any](b *Block, g *Graph, init F, join func(F, F) F, out map[*Block]F, haveOut map[*Block]bool) (F, bool) {
+	var acc F
+	have := false
+	if b == g.Entry {
+		acc, have = init, true
+	}
+	for _, p := range b.Preds {
+		if !haveOut[p] {
+			continue
+		}
+		if !have {
+			acc, have = out[p], true
+		} else {
+			acc = join(acc, out[p])
+		}
+	}
+	return acc, have
+}

@@ -1,0 +1,61 @@
+package cfg
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzCFGBuild throws arbitrary function bodies at the builder and
+// asserts it never panics and always yields a well-formed graph: every
+// block in Blocks reachable from Entry, mutually consistent
+// Succs/Preds, and dataflow that terminates. Parse failures are
+// skipped — the target is the builder, not the parser.
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		"",
+		"x := 1\nreturn",
+		"if a { b() } else if c { d() }",
+		"for i := 0; i < n; i++ { if i == 2 { continue }; if i == 3 { break } }",
+		"for { select {} }",
+		"for k, v := range m { _ = k; _ = v }",
+		"switch x {\ncase 1:\n\tfallthrough\ncase 2:\ndefault:\n}",
+		"switch t := v.(type) {\ncase int:\n\t_ = t\n}",
+		"select {\ncase <-c:\ncase c <- 1:\ndefault:\n}",
+		"defer mu.Unlock()\nmu.Lock()\npanic(\"x\")",
+		"L:\nfor {\n\tfor {\n\t\tcontinue L\n\t}\n}",
+		"goto end\nx()\nend:\ny()",
+		"f := func() { for {} }\nf()",
+		"outer:\nswitch x {\ncase 1:\n\tbreak outer\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		for _, fn := range FuncNodes(file) {
+			g := New(fn)
+			checkInvariants(t, g)
+			// The engine must terminate on any shape the builder emits
+			// (a trivially monotone may-analysis).
+			count := func(b *Block, in int) int {
+				if in > len(g.Blocks) {
+					return in
+				}
+				return in + 1
+			}
+			max := func(a, b int) int {
+				if a > b {
+					return a
+				}
+				return b
+			}
+			Forward(g, 0, max, func(a, b int) bool { return a == b }, count)
+		}
+	})
+}

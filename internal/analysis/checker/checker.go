@@ -1,14 +1,17 @@
 // Package checker applies a suite of analyzers to loaded packages and
 // collects their diagnostics — the multichecker of the peerlint suite.
 // It owns the cross-cutting concerns the analyzers themselves should
-// not re-implement: //peerlint:allow suppression, stable ordering, and
-// printable formatting.
+// not re-implement: //peerlint:allow suppression, stable ordering,
+// deduplication across test-variant re-analysis, printable formatting,
+// and applying suggested fixes.
 package checker
 
 import (
 	"fmt"
+	"go/format"
 	"go/token"
 	"io"
+	"os"
 	"sort"
 
 	"peerlearn/internal/analysis"
@@ -23,6 +26,25 @@ type Finding struct {
 	Category string
 	// Message describes the problem.
 	Message string
+	// Fixes are the machine-applicable remedies, resolved to byte
+	// offsets. ApplyFixes applies the first one.
+	Fixes []Fix
+}
+
+// Fix is one suggested fix with its edits resolved to file offsets.
+type Fix struct {
+	// Message describes the fix.
+	Message string
+	// Edits are applied together or not at all.
+	Edits []Edit
+}
+
+// Edit replaces bytes [Start, End) of Filename with NewText; Start ==
+// End is a pure insertion.
+type Edit struct {
+	Filename   string
+	Start, End int
+	NewText    string
 }
 
 // String renders the finding in the canonical file:line:col form used
@@ -33,7 +55,9 @@ func (f Finding) String() string {
 
 // Run applies every analyzer to every package and returns the
 // surviving findings sorted by file, line, column, and analyzer.
-// //peerlint:allow-suppressed diagnostics are dropped.
+// //peerlint:allow-suppressed diagnostics are dropped, as are exact
+// duplicates — the in-package test variant re-analyzes the base files,
+// repeating their findings verbatim.
 func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
@@ -51,7 +75,13 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 				if directives.Suppresses(pos, a.Name) {
 					return
 				}
-				findings = append(findings, Finding{Position: pos, Category: a.Name, Message: d.Message})
+				f := Finding{Position: pos, Category: a.Name, Message: d.Message}
+				for _, sf := range d.SuggestedFixes {
+					if fix, ok := resolveFix(fset, sf); ok {
+						f.Fixes = append(f.Fixes, fix)
+					}
+				}
+				findings = append(findings, f)
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("checker: %s on %s: %w", a.Name, pkg.Path, err)
@@ -71,7 +101,41 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 		}
 		return a.Category < b.Category
 	})
-	return findings, nil
+	return dedupe(findings), nil
+}
+
+// dedupe drops findings identical to their sorted predecessor in
+// position, analyzer, and message.
+func dedupe(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := findings[i-1]
+			if p.Position == f.Position && p.Category == f.Category && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// resolveFix converts a fix's token positions to byte offsets.
+func resolveFix(fset *token.FileSet, sf analysis.SuggestedFix) (Fix, bool) {
+	fix := Fix{Message: sf.Message}
+	for _, e := range sf.TextEdits {
+		start, end := fset.Position(e.Pos), fset.Position(e.End)
+		if start.Filename == "" || start.Filename != end.Filename || end.Offset < start.Offset {
+			return Fix{}, false
+		}
+		fix.Edits = append(fix.Edits, Edit{
+			Filename: start.Filename,
+			Start:    start.Offset,
+			End:      end.Offset,
+			NewText:  e.NewText,
+		})
+	}
+	return fix, len(fix.Edits) > 0
 }
 
 // Print writes one line per finding.
@@ -79,4 +143,71 @@ func Print(w io.Writer, findings []Finding) {
 	for _, f := range findings {
 		fmt.Fprintln(w, f.String())
 	}
+}
+
+// ApplyFixes applies the first fix of every finding that has one and
+// returns the new gofmt-formatted file contents keyed by file name,
+// plus the number of fixes applied. A fix any of whose edits overlaps
+// an already-accepted edit is skipped whole — re-running the driver
+// picks it up once the earlier fix has landed. Files are read from
+// disk, so positions must describe the current on-disk sources.
+func ApplyFixes(findings []Finding) (map[string][]byte, int, error) {
+	accepted := map[string][]Edit{}
+	applied := 0
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		fix := f.Fixes[0]
+		ok := true
+		for _, e := range fix.Edits {
+			for _, a := range accepted[e.Filename] {
+				if overlaps(e, a) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range fix.Edits {
+			accepted[e.Filename] = append(accepted[e.Filename], e)
+		}
+		applied++
+	}
+
+	out := make(map[string][]byte, len(accepted))
+	for name, edits := range accepted {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("checker: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		for _, e := range edits {
+			if e.End > len(src) {
+				return nil, 0, fmt.Errorf("checker: fix edit [%d,%d) outside %s (%d bytes)", e.Start, e.End, name, len(src))
+			}
+			src = append(src[:e.Start:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, 0, fmt.Errorf("checker: fixed %s does not parse: %v", name, err)
+		}
+		out[name] = formatted
+	}
+	return out, applied, nil
+}
+
+// overlaps reports whether two edits touch the same bytes; two
+// insertions at the same offset also conflict (their order would be
+// arbitrary).
+func overlaps(a, b Edit) bool {
+	if a.Start == a.End && b.Start == b.End {
+		return a.Start == b.Start
+	}
+	return a.Start < b.End && b.Start < a.End
 }

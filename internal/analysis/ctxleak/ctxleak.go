@@ -1,0 +1,284 @@
+// Package ctxleak flags context cancel functions that are not released:
+// a context.WithCancel/WithTimeout/WithDeadline (and their *Cause
+// variants) whose cancel function is discarded with _, or can reach a
+// return or panic without having been called, deferred, or handed off.
+// Each leaked cancel pins the derived context — and with it timers and
+// the parent's child list — until the parent is canceled, which for the
+// server's base context is "until shutdown".
+//
+// The analysis is flow-sensitive over the control-flow graph
+// (internal/analysis/cfg): the obligation is created at the assignment
+// and discharged, per path, by
+//   - calling the cancel function ("cancel()"),
+//   - deferring it ("defer cancel()" — covering every later exit), or
+//   - any other mention of the variable: passing it as an argument,
+//     returning it, storing it, or capturing it in a closure all
+//     transfer ownership, and the analysis conservatively trusts the
+//     new owner. The one exception is "_ = cancel", which moves no
+//     value anywhere — it only silences the compiler, so the obligation
+//     stands.
+//
+// A leak is reported when some path to the function exit retains an
+// undischarged obligation, at the creation site. Discarding the cancel
+// with _ is reported unconditionally. Diagnostics for the
+// assigned-but-leaked shape carry a suggested fix inserting
+// "defer cancel()" right after the creation (applied by
+// "peerlint -fix"); lines carrying "//peerlint:allow ctxleak — why" are
+// suppressed.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/cfg"
+)
+
+// Analyzer flags context cancel functions discarded or leaked on some
+// path.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc:  "flag context cancel functions that are discarded or not called on every path",
+	Run:  run,
+}
+
+// cancelReturning names the context constructors whose last result is a
+// cancel function the caller must release.
+var cancelReturning = map[string]bool{
+	"WithCancel":        true,
+	"WithCancelCause":   true,
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
+// obligation is one outstanding cancel function: which constructor
+// produced it and the statement that assigned it.
+type obligation struct {
+	fn   string
+	stmt ast.Stmt
+}
+
+// fact maps cancel variables to their outstanding obligation. Same
+// conventions as lockstate.Set: nil is empty, transfer never mutates
+// its input.
+type fact map[types.Object]obligation
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func (f fact) equal(o fact) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for k, v := range f {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// join is a union: an obligation outstanding on any incoming path is
+// still outstanding (the analyzer promises "called on every path").
+func join(a, b fact) fact {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		c.reportDiscards(f)
+		for _, fn := range cfg.FuncNodes(f) {
+			c.checkFunc(fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// reportDiscards flags every "ctx, _ := context.WithX(...)" in the
+// file. These need no dataflow — the cancel is unreachable the moment
+// it is discarded — and are reported here exactly once rather than from
+// the transfer function, which the fixpoint re-runs per iteration.
+func (c *checker) reportDiscards(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		name, ok := c.constructor(as)
+		if !ok {
+			return true
+		}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+			c.pass.Reportf(as.Pos(), "cancel function from context.%s discarded; the derived context leaks until the parent is canceled — assign it and defer it", name)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkFunc(fn ast.Node) {
+	g := cfg.New(fn)
+	transfer := func(b *cfg.Block, f fact) fact {
+		out := f.clone()
+		for _, n := range b.Nodes {
+			c.transfer(out, n)
+		}
+		return out
+	}
+	in := cfg.Forward(g, fact{}, join, fact.equal, transfer)
+
+	reported := map[types.Object]bool{}
+	for _, b := range g.Exit.Preds {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		for obj, ob := range transfer(b, f) {
+			if reported[obj] {
+				continue
+			}
+			reported[obj] = true
+			c.pass.Report(analysis.Diagnostic{
+				Pos: ob.stmt.Pos(),
+				Message: obj.Name() + " from context." + ob.fn + " is not called on every path; the derived context leaks until the parent is canceled — defer " +
+					obj.Name() + "() right after creating it",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "insert defer " + obj.Name() + "()",
+					TextEdits: []analysis.TextEdit{{
+						Pos:     ob.stmt.End(),
+						End:     ob.stmt.End(),
+						NewText: "\ndefer " + obj.Name() + "()",
+					}},
+				}},
+			})
+		}
+	}
+}
+
+// transfer updates f with the effects of node, in source order:
+// creations add obligations, any later mention of the cancel variable
+// discharges one.
+func (c *checker) transfer(f fact, node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal's own creations belong to its own graph
+			// (FuncNodes analyzes it separately), but capturing an
+			// outer cancel variable transfers ownership.
+			c.dischargeUses(f, n.Body)
+			return false
+		case *ast.AssignStmt:
+			if c.creation(f, n) {
+				// Walk only the RHS: the LHS cancel ident defines the
+				// obligation rather than discharging it.
+				for _, rhs := range n.Rhs {
+					c.transfer(f, rhs)
+				}
+				return false
+			}
+			if blankAssign(n) {
+				// "_ = cancel" silences the compiler without moving the
+				// value anywhere; it is not a discharge.
+				return false
+			}
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Uses[n]; obj != nil {
+				delete(f, obj)
+			}
+		}
+		return true
+	})
+}
+
+// dischargeUses removes every obligation mentioned anywhere under node.
+func (c *checker) dischargeUses(f fact, node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				delete(f, obj)
+			}
+		}
+		return true
+	})
+}
+
+// creation recognizes "ctx, cancel := context.WithX(...)" and records
+// the obligation for a named, non-blank cancel variable.
+func (c *checker) creation(f fact, as *ast.AssignStmt) bool {
+	name, ok := c.constructor(as)
+	if !ok {
+		return false
+	}
+	if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			// Plain "=" to an existing variable.
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			f[obj] = obligation{fn: name, stmt: as}
+		}
+	}
+	// Blank cancels are reported by reportDiscards; assignments to a
+	// field or index escape and are trusted either way.
+	return true
+}
+
+// blankAssign reports whether as is "_ = x" (possibly multi-valued):
+// every destination blank and every source a bare identifier.
+func blankAssign(as *ast.AssignStmt) bool {
+	if as.Tok != token.ASSIGN {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	for _, rhs := range as.Rhs {
+		if _, ok := rhs.(*ast.Ident); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// constructor reports whether as assigns the two results of a
+// cancel-returning context constructor, and which one.
+func (c *checker) constructor(as *ast.AssignStmt) (string, bool) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cancelReturning[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,16 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/ctxleak"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxleak.Analyzer, "a")
+}
+
+func TestFixes(t *testing.T) {
+	analysistest.RunFixes(t, analysistest.TestData(), ctxleak.Analyzer, "fix")
+}

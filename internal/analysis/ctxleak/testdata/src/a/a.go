@@ -1,0 +1,99 @@
+// Package a exercises the ctxleak analyzer: positive findings for
+// discarded and path-leaked cancel functions, negative cases for
+// deferred, balanced, and handed-off cancels.
+package a
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// discarded throws the cancel away; the derived context can never be
+// released early.
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel function from context\.WithCancel discarded`
+	return ctx
+}
+
+// neverCalled assigns the cancel and then forgets it on every path;
+// "_ = cancel" silences the compiler but discharges nothing.
+func neverCalled(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want `cancel from context\.WithTimeout is not called on every path`
+	_ = cancel
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// earlyReturnLeak cancels on the happy path but leaks on the error
+// return.
+func earlyReturnLeak(parent context.Context, bad bool) error {
+	ctx, cancel := context.WithCancel(parent) // want `cancel from context\.WithCancel is not called on every path`
+	if bad {
+		return errors.New("bad")
+	}
+	<-ctx.Done()
+	cancel()
+	return nil
+}
+
+// deferred is the canonical correct form.
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// balancedPaths calls cancel explicitly on every path.
+func balancedPaths(parent context.Context, bad bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if bad {
+		cancel()
+		return errors.New("bad")
+	}
+	<-ctx.Done()
+	cancel()
+	return nil
+}
+
+func adopt(cancel context.CancelFunc) {}
+
+// handedOff passes the cancel to another function, transferring
+// ownership.
+func handedOff(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	adopt(cancel)
+	return ctx
+}
+
+// returned gives the cancel to the caller, the context.WithCancel
+// convention itself.
+func returned(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+// captured hands the cancel to a goroutine closure.
+func captured(parent context.Context, done chan struct{}) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return ctx
+}
+
+// deadlineVariant: WithDeadline obligations count the same.
+func deadlineVariant(parent context.Context, t time.Time) {
+	_, cancel := context.WithDeadline(parent, t)
+	defer cancel()
+}
+
+// annotated opts out with a justification.
+func annotated(parent context.Context) context.Context {
+	//peerlint:allow ctxleak — fixture: released by the session reaper
+	ctx, cancel := context.WithCancel(parent)
+	_ = cancel
+	return ctx
+}

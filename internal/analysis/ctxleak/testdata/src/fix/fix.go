@@ -1,0 +1,16 @@
+// Package fix is the suggested-fix fixture for ctxleak: a cancel
+// function assigned but never released, the shape whose fix inserts
+// "defer cancel()". The .golden sibling holds the expected output.
+package fix
+
+import (
+	"context"
+	"time"
+)
+
+func poll(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	_ = cancel
+	<-ctx.Done()
+	return ctx.Err()
+}

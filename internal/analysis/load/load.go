@@ -39,6 +39,12 @@ type Loader struct {
 	// Fset maps positions for every package this loader touches.
 	Fset *token.FileSet
 
+	// Tests makes Load also type-check each package's _test.go files:
+	// the in-package test variant (base files re-checked together with
+	// the package's own test files, reported as "path [tests]") and the
+	// external "path_test" package, when either exists.
+	Tests bool
+
 	moduleRoot string
 	modulePath string
 	std        types.Importer
@@ -155,9 +161,62 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
+		if l.Tests {
+			tests, err := l.loadTests(pkg)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, tests...)
+		}
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// loadTests parses the _test.go files next to base and returns the
+// in-package test variant and/or the external test package. Neither is
+// memoized: importers must keep resolving base's path to the
+// library-only build, exactly as the go tool compiles it for
+// dependants.
+func (l *Loader) loadTests(base *Package) ([]*Package, error) {
+	entries, err := os.ReadDir(base.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var inPkg, external []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(base.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if f.Name.Name == base.Types.Name()+"_test" {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	var out []*Package
+	if len(inPkg) > 0 {
+		files := append(append([]*ast.File(nil), base.Files...), inPkg...)
+		pkg, err := CheckFiles(l.Fset, base.Dir, base.Path, files, l)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Path += " [tests]"
+		out = append(out, pkg)
+	}
+	if len(external) > 0 {
+		pkg, err := CheckFiles(l.Fset, base.Dir, base.Path+"_test", external, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
 }
 
 func hasGoFiles(dir string) bool {
@@ -256,7 +315,13 @@ func CheckDir(fset *token.FileSet, dir, path string, imp types.Importer) (*Packa
 	if len(files) == 0 {
 		return nil, fmt.Errorf("load: no non-test Go files in %s", dir)
 	}
+	return CheckFiles(fset, dir, path, files, imp)
+}
 
+// CheckFiles type-checks already-parsed files as one package under the
+// given import path. Callers assembling file sets themselves — the test
+// variants of Loader — use this directly.
+func CheckFiles(fset *token.FileSet, dir, path string, files []*ast.File, imp types.Importer) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),

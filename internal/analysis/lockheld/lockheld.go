@@ -1,0 +1,173 @@
+// Package lockheld flags work performed while a sync.Mutex/RWMutex is
+// provably held that has no business being inside a critical section:
+// calls into other packages, dynamic dispatch (interface methods and
+// function values), channel operations, and time.Sleep. This is the
+// exact shape of the PR 2 matchmaker bug — the session lock held across
+// the grouping policy's Group call serialized every Join/Leave for the
+// duration of a DyGroups round — generalized into a mechanical check:
+// the paper's serving path (Algorithm 2/3 grouping under load) must
+// keep per-round computation off the request path, and a lock held
+// across an unbounded call is how that property silently regresses.
+//
+// The analysis is a must-analysis over the control-flow graph
+// (internal/analysis/cfg with intersection joins from
+// internal/analysis/lockstate), so a call is flagged only when the lock
+// is held on *every* path reaching it — no speculative findings.
+//
+// Not flagged, because they are bounded and conventional inside
+// critical sections:
+//   - calls to functions and methods of the package under analysis
+//     (the analysis is intraprocedural; same-package helpers are the
+//     caller's responsibility and are typically *Locked helpers);
+//   - the sync lock operations themselves, including nested locks
+//     (lock-ordering analysis is out of scope);
+//   - error/format/string/math plumbing: errors, fmt, strconv,
+//     strings, unicode, unicode/utf8, math, cmp, slices, maps;
+//   - universe-scope methods (error.Error);
+//   - defer and go statements (the deferred/spawned body does not run
+//     at this point);
+//   - lines carrying "//peerlint:allow lockheld — why".
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/cfg"
+	"peerlearn/internal/analysis/lockstate"
+)
+
+// Analyzer flags expensive or unbounded work under a held mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "flag external calls, dynamic dispatch, channel ops, and sleeps while a mutex is held",
+	Run:  run,
+}
+
+// cheap are packages whose functions are bounded plumbing, allowed
+// inside critical sections.
+var cheap = map[string]bool{
+	"errors":       true,
+	"fmt":          true,
+	"strconv":      true,
+	"strings":      true,
+	"unicode":      true,
+	"unicode/utf8": true,
+	"math":         true,
+	"cmp":          true,
+	"slices":       true,
+	"maps":         true,
+}
+
+func run(pass *analysis.Pass) error {
+	tr := &lockstate.Tracker{Info: pass.TypesInfo, Mode: lockstate.Must}
+	for _, f := range pass.Files {
+		for _, fn := range cfg.FuncNodes(f) {
+			g := cfg.New(fn)
+			in := tr.ForGraph(g)
+			for _, b := range g.Blocks {
+				set := in[b].Clone()
+				for _, n := range b.Nodes {
+					if len(set) > 0 {
+						check(pass, tr, set, n)
+					}
+					tr.TransferNode(set, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// check reports risky operations inside node while the locks in set are
+// held. Function literals are separate functions; defer/go bodies do
+// not execute here.
+func check(pass *analysis.Pass, tr *lockstate.Tracker, set lockstate.Set, node ast.Node) {
+	held := strings.Join(set.Keys(), ", ")
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "%s held across channel send; a blocked receiver stalls every waiter on the lock", held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.OpPos, "%s held across channel receive; a slow sender stalls every waiter on the lock", held)
+			}
+		case *ast.CallExpr:
+			if desc := risky(pass, tr, n); desc != "" {
+				pass.Reportf(n.Pos(), "%s held across %s; move it off the critical section (grouping, I/O, and dispatch belong outside the lock)", held, desc)
+			}
+		}
+		return true
+	})
+}
+
+// risky classifies a call made under a held lock; "" means allowed.
+func risky(pass *analysis.Pass, tr *lockstate.Tracker, call *ast.CallExpr) string {
+	if _, _, ok := tr.Op(call); ok {
+		return "" // the locking mechanism itself
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return "" // conversion, not a call
+	}
+	switch fun := unwrap(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin, nil:
+			return ""
+		case *types.Func:
+			return classify(pass, obj)
+		default:
+			// A function-typed variable or parameter: unknown callee.
+			return "dynamic call " + fun.Name + "()"
+		}
+	case *ast.SelectorExpr:
+		switch obj := pass.TypesInfo.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return classify(pass, obj)
+		case *types.Var:
+			return "dynamic call " + types.ExprString(fun) + "()"
+		}
+	}
+	return ""
+}
+
+// classify decides whether a resolved callee is risky under a lock.
+func classify(pass *analysis.Pass, fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		return "dynamic dispatch to interface method " + fn.Name()
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == pass.Pkg {
+		return "" // universe scope (error.Error) or this package
+	}
+	path := pkg.Path()
+	if path == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep"
+	}
+	if cheap[path] || path == "sync" || path == "sync/atomic" {
+		return ""
+	}
+	return "call to " + pkg.Name() + "." + fn.Name()
+}
+
+// unwrap peels parens and generic instantiation indices off a call's
+// Fun expression.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/lockheld"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockheld.Analyzer, "a")
+}

@@ -1,0 +1,151 @@
+// Package a exercises the lockheld analyzer: positive findings for
+// external calls, dynamic dispatch, channel ops, and sleeps under a
+// held mutex; negative cases for same-package work, cheap plumbing,
+// post-unlock calls, and annotated exceptions.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// grouper mirrors core.Grouper: the policy interface whose Group call
+// is the expensive per-round computation.
+type grouper interface {
+	Group(skills []float64, k int) [][]int
+}
+
+// session mirrors internal/matchmaker.Session.
+type session struct {
+	mu      sync.Mutex
+	policy  grouper
+	members map[int]float64
+}
+
+// regressionPR2 is the exact shape of the PR 2 matchmaker bug: the
+// session mutex held across the grouping policy call, serializing
+// every Join/Leave for the duration of a round.
+func (s *session) regressionPR2(k int) [][]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	skills := make([]float64, 0, len(s.members))
+	for _, v := range s.members {
+		skills = append(skills, v)
+	}
+	return s.policy.Group(skills, k) // want `s\.mu held across dynamic dispatch to interface method Group`
+}
+
+// fixedPR2 is the PR 2 fix: snapshot under the lock, group outside it.
+func (s *session) fixedPR2(k int) [][]int {
+	s.mu.Lock()
+	skills := make([]float64, 0, len(s.members))
+	for _, v := range s.members {
+		skills = append(skills, v)
+	}
+	s.mu.Unlock()
+	return s.policy.Group(skills, k) // no finding: the lock is released
+}
+
+// externalCall marshals while holding the lock.
+func (s *session) externalCall() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(s.members) // want `s\.mu held across call to json\.Marshal`
+}
+
+// sleepUnderLock holds the lock across a sleep.
+func (s *session) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s\.mu held across time\.Sleep`
+	s.mu.Unlock()
+}
+
+// channelOps sends and receives while holding the lock.
+func (s *session) channelOps(c chan int) {
+	s.mu.Lock()
+	c <- 1 // want `s\.mu held across channel send`
+	<-c    // want `s\.mu held across channel receive`
+	s.mu.Unlock()
+}
+
+// selectUnderLock blocks on channels inside the critical section.
+func (s *session) selectUnderLock(c chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-c: // want `s\.mu held across channel receive`
+		_ = v
+	default:
+	}
+}
+
+// dynamicCall invokes a function value of unknown cost.
+func (s *session) dynamicCall(f func()) {
+	s.mu.Lock()
+	f() // want `s\.mu held across dynamic call f\(\)`
+	s.mu.Unlock()
+}
+
+// helper is a same-package function; calling it under the lock is the
+// caller's responsibility (intraprocedural analysis).
+func helper() {}
+
+// cheapAndLocal shows the allowed patterns: same-package calls,
+// fmt/errors plumbing, builtins, and conversions.
+func (s *session) cheapAndLocal(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper()
+	if _, ok := s.members[id]; !ok {
+		return fmt.Errorf("unknown participant %d", id) // fmt is allowlisted
+	}
+	_ = len(s.members)
+	_ = float64(id)
+	return nil
+}
+
+// conditionalLock is a must-analysis negative: the lock is held on only
+// one of the two paths reaching the call, so no finding.
+func (s *session) conditionalLock(lock bool, k int) {
+	if lock {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.policy.Group(nil, k) // no finding: not held on every path
+}
+
+// annotated demonstrates the justified opt-out.
+func (s *session) annotated(k int) [][]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//peerlint:allow lockheld — fixture: intentional hold for the suppression test
+	return s.policy.Group(nil, k)
+}
+
+// deferredWorkNotFlagged: defer/go bodies do not run at this point.
+func (s *session) deferredWorkNotFlagged(c chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer json.Marshal(s.members) // runs at exit; not flagged here
+	go func() { c <- 1 }()        // runs elsewhere; not flagged here
+}
+
+// afterUnlock calls out only once the lock is down.
+func (s *session) afterUnlock() ([]byte, error) {
+	s.mu.Lock()
+	snapshot := make(map[int]float64, len(s.members))
+	for k, v := range s.members {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	return json.Marshal(snapshot)
+}
+
+// rlockToo: reader locks count the same.
+func (s *session) rlockToo(mu *sync.RWMutex) ([]byte, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	return json.Marshal(s.members) // want `mu held across call to json\.Marshal`
+}

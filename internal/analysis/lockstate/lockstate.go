@@ -1,0 +1,255 @@
+// Package lockstate computes which sync.Mutex/RWMutex locks are held
+// at each point of a function, as a dataflow fact over the cfg package.
+// It is the shared substrate of the lock-discipline analyzers: lockheld
+// asks "is a lock certainly held here?" (a must-analysis, joining by
+// intersection so merge points only keep locks held on every incoming
+// path), while unlockpath asks "can a lock still be held here?" (a
+// may-analysis, joining by union).
+//
+// Locks are identified syntactically by the printed receiver expression
+// ("s.mu", "st.mu", "mu"), resolved semantically: an operation counts
+// only when the called method is declared in package sync (covering
+// Mutex, RWMutex, and the Locker interface, including methods promoted
+// from embedded mutexes). Aliasing through pointers or locals is not
+// tracked — within one function the receiver expression is stable in
+// practice, which is the granularity an intraprocedural analysis can
+// honestly claim.
+//
+// defer is modeled as scheduling: "defer mu.Unlock()" (or a deferred
+// closure whose body unlocks mu) marks the lock Deferred — still held
+// for the remainder of the function, but guaranteed released on every
+// exit passing through the defer statement. sync.(*RWMutex).TryLock
+// variants are ignored (their success is conditional, so tracking them
+// would poison both analyses).
+package lockstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"peerlearn/internal/analysis/cfg"
+)
+
+// Held records one tracked lock.
+type Held struct {
+	// Key is the canonical receiver expression, e.g. "s.mu".
+	Key string
+	// Pos is the earliest acquisition site still covering this point.
+	Pos token.Pos
+	// Reader is true for RLock acquisitions.
+	Reader bool
+	// Deferred is true once an Unlock for the lock has been scheduled
+	// with defer: the lock is still held, but every exit beyond this
+	// point releases it.
+	Deferred bool
+}
+
+// Set maps lock keys to their state. The zero value (nil) is the empty
+// set; transfer functions never mutate their input.
+type Set map[string]Held
+
+// Keys returns the held lock keys in sorted order.
+func (s Set) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns an independent copy, for callers replaying a block
+// node by node with TransferNode.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two sets hold the same locks in the same state.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mode selects the join of the analysis.
+type Mode int
+
+const (
+	// Must keeps a lock only when it is held on every incoming path —
+	// use when a diagnostic claims "the lock IS held here".
+	Must Mode = iota
+	// May keeps a lock held on any incoming path — use when a
+	// diagnostic claims "the lock MIGHT still be held here".
+	May
+)
+
+// Tracker computes lock facts for the graphs of one type-checked
+// package.
+type Tracker struct {
+	// Info resolves method calls; it must cover the analyzed files.
+	Info *types.Info
+	// Mode selects the join (Must or May).
+	Mode Mode
+}
+
+// ForGraph runs the dataflow and returns the set of locks held at the
+// entry of every block. Replay the block with TransferNode to obtain
+// the state at interior positions, or TransferBlock for the out-fact.
+func (t *Tracker) ForGraph(g *cfg.Graph) map[*cfg.Block]Set {
+	return cfg.Forward(g, Set{}, t.join, Set.Equal, t.TransferBlock)
+}
+
+func (t *Tracker) join(a, b Set) Set {
+	out := make(Set)
+	if t.Mode == Must {
+		for k, va := range a {
+			vb, ok := b[k]
+			if !ok {
+				continue
+			}
+			out[k] = merge(va, vb)
+		}
+		return out
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = merge(va, vb)
+		} else {
+			out[k] = va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+// merge combines two states of the same held lock: the earliest
+// acquisition wins the position, and the release counts as scheduled
+// only when both paths scheduled it.
+func merge(a, b Held) Held {
+	out := a
+	if b.Pos < a.Pos {
+		out.Pos = b.Pos
+	}
+	out.Deferred = a.Deferred && b.Deferred
+	out.Reader = a.Reader && b.Reader
+	return out
+}
+
+// TransferBlock applies every node of b to in and returns the out-fact.
+func (t *Tracker) TransferBlock(b *cfg.Block, in Set) Set {
+	out := in.Clone()
+	for _, n := range b.Nodes {
+		t.TransferNode(out, n)
+	}
+	return out
+}
+
+// TransferNode mutates set with the lock operations inside node, in
+// source order. Nested function literals are opaque (their lock
+// operations belong to their own graph).
+func (t *Tracker) TransferNode(set Set, node ast.Node) {
+	if d, ok := node.(*ast.DeferStmt); ok {
+		t.deferred(set, d.Call)
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			t.deferred(set, n.Call)
+			return false
+		case *ast.CallExpr:
+			key, op, ok := t.Op(n)
+			if !ok {
+				return true
+			}
+			switch op {
+			case OpLock, OpRLock:
+				set[key] = Held{Key: key, Pos: n.Pos(), Reader: op == OpRLock}
+			case OpUnlock:
+				delete(set, key)
+			}
+		}
+		return true
+	})
+}
+
+// deferred handles "defer call": a direct deferred unlock (or any
+// unlock inside a deferred closure) schedules the release; a deferred
+// Lock (pathological) is ignored.
+func (t *Tracker) deferred(set Set, call *ast.CallExpr) {
+	schedule := func(key string) {
+		if h, ok := set[key]; ok {
+			h.Deferred = true
+			set[key] = h
+		}
+	}
+	if key, op, ok := t.Op(call); ok {
+		if op == OpUnlock {
+			schedule(key)
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if key, op, ok := t.Op(c); ok && op == OpUnlock {
+					schedule(key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Op classifies a call expression as a lock operation.
+type OpKind int
+
+const (
+	OpLock OpKind = iota
+	OpRLock
+	OpUnlock
+)
+
+// Op reports whether call is a tracked lock operation: a method call
+// whose callee is declared in package sync and named Lock, RLock,
+// Unlock, or RUnlock. The key identifies the lock by its receiver
+// expression.
+func (t *Tracker) Op(call *ast.CallExpr) (key string, op OpKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = OpLock
+	case "RLock":
+		op = OpRLock
+	case "Unlock", "RUnlock":
+		op = OpUnlock
+	default:
+		return "", 0, false
+	}
+	fn, isFn := t.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), op, true
+}

@@ -10,6 +10,8 @@
 //     before any request is accepted and turn bad embedded data into a
 //     startup failure;
 //   - package main (a command may crash on its own);
+//   - _test.go files: a panic there fails one test binary, not a
+//     server, and recovery middleware tests have to panic on purpose;
 //   - lines carrying a "//peerlint:allow panicfree — why" directive
 //     (reserved for provably unreachable invariant checks).
 package panicfree
@@ -33,7 +35,14 @@ func run(pass *analysis.Pass) error {
 	if pass.Pkg.Name() == "main" {
 		return nil
 	}
-	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	analysis.InspectWithStack(files, func(n ast.Node, stack []ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

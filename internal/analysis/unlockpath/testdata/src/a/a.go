@@ -1,0 +1,109 @@
+// Package a exercises the unlockpath analyzer: positive findings for
+// lock acquisitions that can leak through a return or panic, negative
+// cases for balanced, deferred, and wrapper-managed locks.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[int]int
+}
+
+// forgottenDefer is the unambiguous shape: one Lock, no Unlock at all.
+// The suggested fix inserts the defer.
+func (s *store) forgottenDefer(k int) int {
+	s.mu.Lock() // want `lock s\.mu can reach a return or panic while still held`
+	return s.items[k]
+}
+
+// earlyReturnLeak unlocks on the happy path but leaks on the error
+// return.
+func (s *store) earlyReturnLeak(k int) (int, error) {
+	s.mu.Lock() // want `lock s\.mu can reach a return or panic while still held`
+	v, ok := s.items[k]
+	if !ok {
+		return 0, errors.New("missing")
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// panicLeak leaks through an explicit panic.
+func (s *store) panicLeak(k int) int {
+	s.mu.Lock() // want `lock s\.mu can reach a return or panic while still held`
+	v, ok := s.items[k]
+	if !ok {
+		panic("missing")
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// readerLeak: RLock counts the same, with an RUnlock remedy.
+func (s *store) readerLeak(k int) int {
+	s.rw.RLock() // want `defer s\.rw\.RUnlock\(\)`
+	return s.items[k]
+}
+
+// deferredRelease is the canonical correct form.
+func (s *store) deferredRelease(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// deferredClosureRelease unlocks inside a deferred closure.
+func (s *store) deferredClosureRelease(k int) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.items[k]
+}
+
+// balancedPaths releases explicitly on every path.
+func (s *store) balancedPaths(k int) (int, error) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, errors.New("missing")
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// lockForScan is a deliberate lock wrapper: its name contains "lock",
+// so returning with the mutex held is by design.
+func (s *store) lockForScan() map[int]int {
+	s.mu.Lock()
+	return s.items
+}
+
+// annotated opts out with a justification.
+func (s *store) annotated() {
+	//peerlint:allow unlockpath — fixture: handed off to unlockAfterScan
+	s.mu.Lock()
+}
+
+// loopRelease: the unlock inside the loop body covers the back edge and
+// the exit path reached after the final iteration... but not the break
+// before it. A leak through break is still a leak.
+func (s *store) loopRelease(keys []int) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock() // want `lock s\.mu can reach a return or panic while still held`
+		v, ok := s.items[k]
+		if !ok {
+			break
+		}
+		total += v
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+// Package fix is the suggested-fix fixture for unlockpath: one Lock
+// with no Unlock anywhere, the shape whose fix inserts the defer. The
+// .golden sibling holds the expected output.
+package fix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	return c.n
+}
+
+func (c *counter) read(rw *sync.RWMutex) int {
+	rw.RLock()
+	return c.n
+}

@@ -1,0 +1,183 @@
+// Package unlockpath flags lock acquisitions that can reach a return
+// or panic with the lock still held: some path from mu.Lock() exits the
+// function without mu.Unlock() and without a scheduled
+// "defer mu.Unlock()". A leaked lock in the serving layer wedges every
+// subsequent Join/Leave/round on that session forever — strictly worse
+// than the PR 2 contention bug — and typically enters the code as a
+// forgotten unlock on an early error return.
+//
+// The analysis is a may-analysis over the control-flow graph
+// (internal/analysis/cfg with union joins from
+// internal/analysis/lockstate): the finding states that at least one
+// path leaks, and is reported at the acquisition site. When the
+// function contains exactly one Lock and no Unlock at all, the
+// diagnostic carries a suggested fix inserting the defer (applied by
+// "peerlint -fix").
+//
+// Not flagged:
+//   - locks released on every path, explicitly or via defer (including
+//     a defer registered later on the path, and deferred closures that
+//     unlock);
+//   - functions whose name contains "lock" — deliberate lock wrappers
+//     (func (s *S) lock() { s.mu.Lock() }) hold by design;
+//   - lines carrying "//peerlint:allow unlockpath — why".
+//
+// Known limitation, shared with every path-insensitive analysis:
+// conditionally correlated lock/unlock pairs ("if c { mu.Lock() } …
+// if c { mu.Unlock() }") report a false positive; restructure or
+// annotate.
+package unlockpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/cfg"
+	"peerlearn/internal/analysis/lockstate"
+)
+
+// Analyzer flags paths from Lock() to function exit without an unlock.
+var Analyzer = &analysis.Analyzer{
+	Name: "unlockpath",
+	Doc:  "flag lock acquisitions that can reach return/panic without an unlock on some path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	tr := &lockstate.Tracker{Info: pass.TypesInfo, Mode: lockstate.May}
+	for _, f := range pass.Files {
+		for _, fn := range cfg.FuncNodes(f) {
+			if isLockWrapper(fn) {
+				continue
+			}
+			checkFunc(pass, tr, fn)
+		}
+	}
+	return nil
+}
+
+// isLockWrapper reports whether fn is a named function that exists to
+// manipulate locks (its name contains "lock"), which intentionally
+// returns holding one.
+func isLockWrapper(fn ast.Node) bool {
+	fd, ok := fn.(*ast.FuncDecl)
+	if !ok {
+		return false
+	}
+	name := []byte(fd.Name.Name)
+	for i := 0; i+4 <= len(name); i++ {
+		if (name[i] == 'l' || name[i] == 'L') &&
+			name[i+1] == 'o' && name[i+2] == 'c' && name[i+3] == 'k' {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, tr *lockstate.Tracker, fn ast.Node) {
+	g := cfg.New(fn)
+	in := tr.ForGraph(g)
+
+	type leak struct {
+		pos token.Pos
+		key string
+	}
+	seen := map[leak]bool{}
+	for _, b := range g.Exit.Preds {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		out := tr.TransferBlock(b, fact)
+		for _, key := range out.Keys() {
+			h := out[key]
+			if h.Deferred {
+				continue
+			}
+			l := leak{pos: h.Pos, key: key}
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			report(pass, fn, h)
+		}
+	}
+}
+
+// report emits the finding, attaching a defer-insertion fix when the
+// function has exactly one acquisition of the lock and releases it
+// nowhere (the unambiguous forgotten-defer shape).
+func report(pass *analysis.Pass, fn ast.Node, h lockstate.Held) {
+	unlock := "Unlock"
+	if h.Reader {
+		unlock = "RUnlock"
+	}
+	d := analysis.Diagnostic{
+		Pos:     h.Pos,
+		Message: "lock " + h.Key + " can reach a return or panic while still held; unlock on every path or defer " + h.Key + "." + unlock + "() right after acquiring",
+	}
+	if stmt := soleLockStmt(fn, h.Key); stmt != nil {
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: "insert defer " + h.Key + "." + unlock + "()",
+			TextEdits: []analysis.TextEdit{{
+				Pos:     stmt.End(),
+				End:     stmt.End(),
+				NewText: "\ndefer " + h.Key + "." + unlock + "()",
+			}},
+		}}
+	}
+	pass.Report(d)
+}
+
+// soleLockStmt returns the expression statement of the only Lock/RLock
+// on key inside fn when the function contains no Unlock/RUnlock for the
+// key at all; nil otherwise. Nested function literals are not entered
+// when fn is a declaration (they are analyzed as their own functions).
+func soleLockStmt(fn ast.Node, key string) *ast.ExprStmt {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return nil
+	}
+	var (
+		lockStmt *ast.ExprStmt
+		locks    int
+		unlocks  int
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fn {
+			return false
+		}
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || types.ExprString(sel.X) != key {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			locks++
+			lockStmt = es
+		case "Unlock", "RUnlock":
+			unlocks++
+		}
+		return true
+	})
+	if locks == 1 && unlocks == 0 {
+		return lockStmt
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/unlockpath"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unlockpath.Analyzer, "a")
+}
+
+func TestFixes(t *testing.T) {
+	analysistest.RunFixes(t, analysistest.TestData(), unlockpath.Analyzer, "fix")
+}

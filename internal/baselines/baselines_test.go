@@ -48,6 +48,7 @@ func TestBaselinesDoNotModifySkills(t *testing.T) {
 	for _, g := range allBaselines(t, 1) {
 		g.Group(s, 3)
 		for i := range s {
+			//peerlint:allow floateq — no-mutation check: the input must be bit-exact after Group
 			if s[i] != orig[i] {
 				t.Fatalf("%s modified the input skills", g.Name())
 			}
@@ -158,6 +159,7 @@ func TestLPASnakeDraft(t *testing.T) {
 	want := [][]float64{{0.9, 0.4, 0.3}, {0.8, 0.5, 0.2}, {0.7, 0.6, 0.1}}
 	for gi := range want {
 		for j := range want[gi] {
+			//peerlint:allow floateq — LPA only permutes the input values, so the seats hold them verbatim
 			if got := s[g[gi][j]]; got != want[gi][j] {
 				t.Fatalf("group %d = %v, want %v", gi, skillsOf(s, g[gi]), want[gi])
 			}

@@ -17,6 +17,7 @@ func TestNewLinearValidation(t *testing.T) {
 		if err != nil {
 			t.Errorf("NewLinear(%v) rejected a valid rate: %v", r, err)
 		}
+		//peerlint:allow floateq — the constructor must store the rate verbatim
 		if g.R != r {
 			t.Errorf("NewLinear(%v).R = %v", r, g.R)
 		}

@@ -91,6 +91,7 @@ func TestQuickInstanceInvariants(t *testing.T) {
 		}
 		// 4. The input is never mutated.
 		for i := range inst.Skills {
+			//peerlint:allow floateq — no-mutation invariant: the input must be bit-exact after Run
 			if inst.Skills[i] != res.Initial[i] {
 				return false
 			}

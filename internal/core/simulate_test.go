@@ -113,6 +113,7 @@ func TestRunHistoryAndInvariant(t *testing.T) {
 	}
 	// The caller's slice must be untouched.
 	for i, v := range initial {
+		//peerlint:allow floateq — no-mutation check: the caller's slice must be bit-exact
 		if v != toySkills()[i] {
 			t.Fatalf("Run modified the input skills: %v", initial)
 		}
@@ -120,6 +121,7 @@ func TestRunHistoryAndInvariant(t *testing.T) {
 	// Last recorded snapshot equals Final.
 	last := res.Rounds[3].Skills
 	for i := range last {
+		//peerlint:allow floateq — the last snapshot and Final must be copies of the same values
 		if last[i] != res.Final[i] {
 			t.Fatalf("final snapshot mismatch at %d: %v vs %v", i, last[i], res.Final[i])
 		}
@@ -255,10 +257,12 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//peerlint:allow floateq — determinism check: the same seed must reproduce bit-exact totals
 	if a.TotalGain != b.TotalGain {
 		t.Fatalf("nondeterministic totals: %v vs %v", a.TotalGain, b.TotalGain)
 	}
 	for i := range a.Final {
+		//peerlint:allow floateq — determinism check: the same seed must reproduce bit-exact skills
 		if a.Final[i] != b.Final[i] {
 			t.Fatalf("nondeterministic final skills at %d", i)
 		}

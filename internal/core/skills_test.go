@@ -52,9 +52,11 @@ func TestSkillsAggregates(t *testing.T) {
 	if got, want := s.Mean(), 0.25; math.Abs(got-want) > 1e-12 {
 		t.Errorf("Mean = %v, want %v", got, want)
 	}
+	//peerlint:allow floateq — Max returns an element verbatim, never a computed value
 	if got, want := s.Max(), 0.4; got != want {
 		t.Errorf("Max = %v, want %v", got, want)
 	}
+	//peerlint:allow floateq — Min returns an element verbatim, never a computed value
 	if got, want := s.Min(), 0.1; got != want {
 		t.Errorf("Min = %v, want %v", got, want)
 	}

@@ -87,6 +87,7 @@ func TestGenerateDeterministicAndLength(t *testing.T) {
 			t.Fatalf("%s: length %d", d.Name(), len(a))
 		}
 		for i := range a {
+			//peerlint:allow floateq — determinism check: the same seed must generate bit-exact skills
 			if a[i] != b[i] {
 				t.Fatalf("%s: same seed produced different skills", d.Name())
 			}
@@ -94,6 +95,7 @@ func TestGenerateDeterministicAndLength(t *testing.T) {
 		c := Generate(100, d, 43)
 		same := true
 		for i := range a {
+			//peerlint:allow floateq — seed sensitivity check on generated values; any bit difference counts
 			if a[i] != c[i] {
 				same = false
 				break
@@ -135,6 +137,7 @@ func TestZipfIsHeavyTailedIntegerRanks(t *testing.T) {
 	ones := 0
 	var max float64
 	for _, v := range s {
+		//peerlint:allow floateq — integer-rank check: x == Trunc(x) is exact by definition
 		if v != math.Trunc(v) || v < 1 {
 			t.Fatalf("zipf skill %v is not a positive integer rank", v)
 		}

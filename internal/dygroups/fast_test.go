@@ -93,6 +93,7 @@ func TestRunStarFastRecordsSkills(t *testing.T) {
 	}
 	last := res.Rounds[len(res.Rounds)-1].Skills
 	for p := range last {
+		//peerlint:allow floateq — the last snapshot and Final must be copies of the same values
 		if last[p] != res.Final[p] {
 			t.Fatal("last snapshot differs from Final")
 		}

@@ -54,6 +54,7 @@ func TestCacheServesSecondCall(t *testing.T) {
 	}
 	for ri := range a.Cells {
 		for ci := range a.Cells[ri] {
+			//peerlint:allow floateq — cache round-trip must preserve cell values bit-exactly
 			if a.Cells[ri][ci] != b.Cells[ri][ci] {
 				t.Fatal("cached round-trip changed values")
 			}

@@ -208,6 +208,7 @@ func TestBruteForceValidationAllMatch(t *testing.T) {
 	instIdx := columnIndex(t, tab, "instances")
 	matchIdx := columnIndex(t, tab, "matches")
 	for ri := range tab.Cells {
+		//peerlint:allow floateq — Theorem 5 compares two integer counts stored in float cells
 		if tab.Cells[ri][instIdx] != tab.Cells[ri][matchIdx] {
 			t.Fatalf("Theorem 5 violated in row %d: %v instances, %v matches",
 				ri, tab.Cells[ri][instIdx], tab.Cells[ri][matchIdx])
@@ -279,6 +280,7 @@ func TestMeanTotalGainsDeterministicUnderParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a {
+		//peerlint:allow floateq — determinism check: parallel and serial means must be bit-exact
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic parallel means: %v vs %v", a, b)
 		}

@@ -215,43 +215,79 @@ func (s *Session) RunRound() (*RoundReport, error) {
 		if retry {
 			continue
 		}
+		if err == nil {
+			s.recordRound(report)
+		}
 		return report, err
 	}
 }
 
 // runRoundOnce makes one attempt at a round. With pessimistic set the
-// grouping happens under the session lock and the attempt cannot lose
-// a race; otherwise retry=true means the snapshot went stale while
-// grouping and the caller should try again.
+// session lock stays held from snapshot to apply, so the attempt cannot
+// lose a race — the grouping and gain computation runs inside the
+// critical section, the price of guaranteed progress. Otherwise the
+// lock is released around that computation and retry=true means the
+// snapshot went stale and the caller should try again.
 func (s *Session) runRoundOnce(pessimistic bool) (report *RoundReport, retry bool, err error) {
+	if pessimistic {
+		return s.runRoundPessimistic()
+	}
+	return s.runRoundOptimistic()
+}
+
+func (s *Session) runRoundOptimistic() (report *RoundReport, retry bool, err error) {
 	s.mu.Lock()
 	seated, skills, k, satOut, err := s.seatLocked()
+	s.mu.Unlock()
 	if err != nil {
-		s.mu.Unlock()
 		return nil, false, err
 	}
-	var grouping core.Grouping
-	if pessimistic {
-		grouping = s.group(skills, k)
-	} else {
-		s.mu.Unlock()
-		grouping = s.group(skills, k)
-		s.mu.Lock()
-		if !s.seatsUnchangedLocked(seated) {
-			s.mu.Unlock()
-			return nil, true, nil
-		}
-	}
-	defer s.mu.Unlock()
 
-	m := len(seated)
-	if err := grouping.ValidateEqui(m, k); err != nil {
-		return nil, false, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
-	}
-	next, gain, err := core.ApplyRound(skills, grouping, s.mode, s.gain)
+	// The expensive part runs on the snapshot with the session open for
+	// Join/Leave.
+	next, gain, err := s.computeRound(skills, len(seated), k)
 	if err != nil {
 		return nil, false, err
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seatsUnchangedLocked(seated) {
+		return nil, true, nil
+	}
+	return s.applyLocked(seated, next, gain, k, satOut), false, nil
+}
+
+func (s *Session) runRoundPessimistic() (report *RoundReport, retry bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seated, skills, k, satOut, err := s.seatLocked()
+	if err != nil {
+		return nil, false, err
+	}
+	next, gain, err := s.computeRound(skills, len(seated), k)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.applyLocked(seated, next, gain, k, satOut), false, nil
+}
+
+// computeRound runs the per-round computation on a snapshot: grouping,
+// validation, and the gain update. Policy, mode, and rate are immutable
+// after NewSession and the snapshot slices are owned by the caller, so
+// this reads no session state that needs mu — the optimistic path calls
+// it with the lock released.
+func (s *Session) computeRound(skills core.Skills, m, k int) (core.Skills, float64, error) {
+	grouping := s.group(skills, k)
+	if err := grouping.ValidateEqui(m, k); err != nil {
+		return nil, 0, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
+	}
+	return core.ApplyRound(skills, grouping, s.mode, s.gain)
+}
+
+// applyLocked installs the computed skills into the roster and builds
+// the report (callers hold mu).
+func (s *Session) applyLocked(seated []seat, next core.Skills, gain float64, k, satOut int) *RoundReport {
 	for i, st := range seated {
 		p := st.p
 		p.TotalGain += next[i] - p.Skill
@@ -260,19 +296,29 @@ func (s *Session) runRoundOnce(pessimistic bool) (report *RoundReport, retry boo
 	}
 	s.rounds++
 	s.total += gain
-	if s.metrics != nil {
-		s.metrics.Rounds.Inc()
-		s.metrics.Seated.Add(uint64(m))
-		s.metrics.SatOut.Add(uint64(satOut))
-		s.metrics.RoundGain.Observe(gain)
-	}
 	return &RoundReport{
 		Round:        s.rounds,
-		Participated: m,
+		Participated: len(seated),
 		SatOut:       satOut,
 		Groups:       k,
 		Gain:         gain,
-	}, false, nil
+	}
+}
+
+// recordRound emits round telemetry after the session lock is released:
+// the counters are monotonic and scraped asynchronously, so they need
+// not be atomic with the apply.
+func (s *Session) recordRound(r *RoundReport) {
+	s.mu.Lock()
+	m := s.metrics
+	s.mu.Unlock()
+	if m == nil {
+		return
+	}
+	m.Rounds.Inc()
+	m.Seated.Add(uint64(r.Participated))
+	m.SatOut.Add(uint64(r.SatOut))
+	m.RoundGain.Observe(r.Gain)
 }
 
 // seatLocked snapshots the seated roster (callers hold mu): who plays
@@ -312,6 +358,7 @@ func (s *Session) seatLocked() (seated []seat, skills core.Skills, k, satOut int
 func (s *Session) group(skills core.Skills, k int) core.Grouping {
 	s.policyMu.Lock()
 	defer s.policyMu.Unlock()
+	//peerlint:allow lockheld — policyMu exists to serialize this exact call; it guards no other state
 	return s.policy.Group(skills, k)
 }
 

@@ -283,6 +283,7 @@ func (r *Registry) lookup(name, help, typ string, mk func() any) (any, bool) {
 	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if !ok {
+		//peerlint:allow lockheld — mk is a tiny allocation closure; holding the lock keeps first-use registration atomic
 		e = &entry{name: name, help: help, typ: typ, self: mk()}
 		r.entries[name] = e
 	}

@@ -125,12 +125,17 @@ func (st *SessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.mu.Lock()
+	m := st.metrics
+	st.mu.Unlock()
+	// SetMetrics takes the session's own lock; attach before publishing
+	// rather than while holding st.mu.
+	session.SetMetrics(m)
+	st.mu.Lock()
 	if len(st.sessions) >= st.MaxSessions {
 		st.mu.Unlock()
 		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached", st.MaxSessions))
 		return
 	}
-	session.SetMetrics(st.metrics)
 	st.nextID++
 	id := st.nextID
 	st.sessions[id] = session

@@ -98,6 +98,7 @@ func TestRanks(t *testing.T) {
 	got := ranks([]float64{30, 10, 20, 20})
 	want := []float64{4, 1, 2.5, 2.5}
 	for i := range want {
+		//peerlint:allow floateq — tie ranks are exact halves, representable without error
 		if got[i] != want[i] {
 			t.Fatalf("ranks = %v, want %v", got, want)
 		}

@@ -119,6 +119,7 @@ func TestFacadeAnnealingDeterministic(t *testing.T) {
 		}
 		return res.TotalGain
 	}
+	//peerlint:allow floateq — determinism check: the same seed must reproduce the exact gain
 	if a, b := run(11), run(11); a != b {
 		t.Fatalf("same seed, different gain: %v vs %v", a, b)
 	}
