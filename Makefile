@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures verify fmt vet lint lint-fix fuzz-smoke cover clean
+.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix fuzz-smoke cover clean
 
 all: build test
 
@@ -20,6 +20,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full performance-regression sweep; refreshes the committed baseline.
+peerbench:
+	$(GO) run ./cmd/peerbench -out BENCH_4.json
+
+# CI-sized sweep compared against the committed baseline (what the
+# bench-smoke CI job runs); fails on a >25% ns/op regression.
+bench-smoke:
+	$(GO) run ./cmd/peerbench -quick -out bench-quick.json -compare BENCH_4.json
 
 # Regenerate every paper figure at full size into results/.
 figures:

@@ -20,6 +20,7 @@ func benchOpts() experiments.Options {
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	opts := benchOpts()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Generate(id, opts); err != nil {
 			b.Fatalf("figure %s: %v", id, err)
@@ -67,11 +68,14 @@ func BenchmarkExtMetaheuristic(b *testing.B) { benchFigure(b, "ext-meta") }
 func BenchmarkExtPercentile(b *testing.B)    { benchFigure(b, "ext-percentile") }
 
 // Core algorithm micro-benchmarks: one full α=5-round simulation per
-// iteration at the paper's default n = 10000, k = 5, r = 0.5.
-func benchPolicy(b *testing.B, mode peerlearn.Mode, g peerlearn.Grouper) {
+// iteration at the paper's default n = 10000, k = 5, r = 0.5 (and an
+// n = 100000 pair that crosses core.ParallelRoundThreshold, so the
+// sharded round application is exercised by a plain `go test -bench`).
+func benchPolicyN(b *testing.B, n int, mode peerlearn.Mode, g peerlearn.Grouper) {
 	b.Helper()
-	skills := dist.Generate(10000, dist.PaperLogNormal, 1)
+	skills := dist.Generate(n, dist.PaperLogNormal, 1)
 	cfg := peerlearn.Config{K: 5, Rounds: 5, Mode: mode, Gain: peerlearn.MustLinear(0.5)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := peerlearn.Run(cfg, skills, g); err != nil {
@@ -80,12 +84,25 @@ func benchPolicy(b *testing.B, mode peerlearn.Mode, g peerlearn.Grouper) {
 	}
 }
 
+func benchPolicy(b *testing.B, mode peerlearn.Mode, g peerlearn.Grouper) {
+	b.Helper()
+	benchPolicyN(b, 10000, mode, g)
+}
+
 func BenchmarkDyGroupsStar10k(b *testing.B) {
 	benchPolicy(b, peerlearn.Star, peerlearn.NewDyGroupsStar())
 }
 
 func BenchmarkDyGroupsClique10k(b *testing.B) {
 	benchPolicy(b, peerlearn.Clique, peerlearn.NewDyGroupsClique())
+}
+
+func BenchmarkDyGroupsStar100k(b *testing.B) {
+	benchPolicyN(b, 100000, peerlearn.Star, peerlearn.NewDyGroupsStar())
+}
+
+func BenchmarkDyGroupsClique100k(b *testing.B) {
+	benchPolicyN(b, 100000, peerlearn.Clique, peerlearn.NewDyGroupsClique())
 }
 
 func BenchmarkRandomAssignment10k(b *testing.B) {

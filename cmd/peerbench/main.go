@@ -1,0 +1,411 @@
+// Command peerbench is the repository's performance-regression
+// harness: it drives the hot paths — DyGroups Star/Clique simulations,
+// the baselines, workspace round application (serial vs parallel), and
+// the simulated annealer — through a self-contained measurement loop
+// and emits a JSON report (committed as BENCH_4.json at the repo root)
+// with ns/op, allocs/op, bytes/op, and the parallel-vs-serial speedup.
+//
+// Usage:
+//
+//	peerbench                      # full sweep, JSON to stdout
+//	peerbench -quick               # CI-sized sweep (drops the 100k entries)
+//	peerbench -out BENCH_4.json    # refresh the committed baseline
+//	peerbench -quick -compare BENCH_4.json
+//	                               # fail (exit 1) if any shared entry
+//	                               # regresses ns/op by > -max-regress
+//
+// Entries carry a before_ns_per_op field where a pre-optimization
+// (seed) measurement exists, so the committed file doubles as the
+// before/after record of the PR that introduced it. See
+// docs/PERFORMANCE.md for how to read and refresh the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"peerlearn"
+	"peerlearn/internal/baselines"
+	"peerlearn/internal/core"
+	"peerlearn/internal/dist"
+)
+
+// Entry is one benchmark result in the report.
+type Entry struct {
+	Name            string  `json:"name"`
+	N               int     `json:"n"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	BeforeNsPerOp   float64 `json:"before_ns_per_op,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick"`
+	Entries    []Entry `json:"entries"`
+}
+
+// seedNsPerOp holds the pre-optimization (seed-implementation) ns/op
+// measurements recorded before the allocation-free workspace, parallel
+// round application, and incremental annealer landed; they populate
+// before_ns_per_op so the committed report is a before/after record.
+var seedNsPerOp = map[string]float64{
+	"dygroups-star-run-10k":   16361907,
+	"dygroups-clique-run-10k": 16511895,
+	"apply-round-star-10k":    2398137,
+	"apply-round-clique-10k":  2439049,
+	"apply-round-star-100k":   38527979,
+	"apply-round-clique-100k": 35088222,
+	"aggregate-gain-star-10k": 1652597,
+	"anneal-star-1k":          50292887,
+	"anneal-star-10k":         532331110,
+	"anneal-clique-1k":        49847161,
+	"anneal-clique-10k":       572812265,
+	"anneal-generic-1k":       56981756,
+}
+
+// measurement is the output of one timing loop.
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	bytesPerOp  float64
+}
+
+// measure runs f repeatedly until the total measured time reaches
+// target, then reports per-op figures. One warm-up call precedes
+// measurement so pool and workspace buffers are hot — steady state is
+// what the harness tracks.
+func measure(target time.Duration, f func()) measurement {
+	f() // warm up caches, pools, and workspace buffers
+	iters := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= target || iters >= 1<<24 {
+			n := float64(iters)
+			return measurement{
+				nsPerOp:     float64(elapsed.Nanoseconds()) / n,
+				allocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+				bytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+			}
+		}
+		// Estimate the iteration count that lands ~20% past target.
+		perOp := float64(elapsed) / float64(iters)
+		if perOp <= 0 {
+			perOp = 1
+		}
+		next := int(1.2 * float64(target) / perOp)
+		if next <= iters {
+			next = iters * 2
+		}
+		iters = next
+	}
+}
+
+func skillsFor(n int) core.Skills {
+	return dist.Generate(n, dist.PaperLogNormal, 1)
+}
+
+// runCase measures one full α=5-round simulation under a grouping
+// policy — the same shape as the root BenchmarkDyGroups* benchmarks.
+func runCase(n int, mode core.Mode, mk func(seed int64) core.Grouper, target time.Duration) (measurement, error) {
+	skills := skillsFor(n)
+	cfg := core.Config{K: 5, Rounds: 5, Mode: mode, Gain: core.MustLinear(0.5)}
+	var runErr error
+	seed := int64(0)
+	m := measure(target, func() {
+		seed++
+		if _, err := core.Run(cfg, skills, mk(seed)); err != nil && runErr == nil {
+			runErr = err
+		}
+	})
+	return m, runErr
+}
+
+// applyRoundCase measures one in-place workspace round at n
+// participants, k = 5 groups.
+func applyRoundCase(n int, mode core.Mode, target time.Duration) (measurement, error) {
+	base := skillsFor(n)
+	g := chunkGrouping(n, 5)
+	// Box the gain into the interface once, outside the measured loop —
+	// a per-call MustLinear conversion would cost 1 alloc/op.
+	var gain core.Gain = core.MustLinear(0.5)
+	w := core.NewWorkspace()
+	work := base.Clone()
+	var runErr error
+	m := measure(target, func() {
+		copy(work, base) // keep skill magnitudes stable across ops
+		if _, err := w.ApplyRoundInPlace(work, g, mode, gain); err != nil && runErr == nil {
+			runErr = err
+		}
+	})
+	return m, runErr
+}
+
+// annealCase measures one full anneal (Annealing.Group) with group
+// size 20 — the metaheuristic-comparison regime.
+func annealCase(n int, mode core.Mode, gain core.Gain, target time.Duration) measurement {
+	skills := skillsFor(n)
+	k := n / 20
+	seed := int64(0)
+	return measure(target, func() {
+		seed++
+		baselines.NewAnnealing(seed, mode, gain).Group(skills, k)
+	})
+}
+
+func chunkGrouping(n, k int) core.Grouping {
+	size := n / k
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		grp := make([]int, size)
+		for j := range grp {
+			grp[j] = i*size + j
+		}
+		g[i] = grp
+	}
+	return g
+}
+
+// buildReport runs the whole suite. quick drops the n=100k entries so
+// the CI smoke stays fast; names are identical across modes so the
+// regression comparison matches entries by name.
+func buildReport(quick bool, target time.Duration) (*Report, error) {
+	rep := &Report{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), Quick: quick}
+	add := func(name string, n int, m measurement) *Entry {
+		rep.Entries = append(rep.Entries, Entry{
+			Name:          name,
+			N:             n,
+			NsPerOp:       m.nsPerOp,
+			AllocsPerOp:   m.allocsPerOp,
+			BytesPerOp:    m.bytesPerOp,
+			BeforeNsPerOp: seedNsPerOp[name],
+		})
+		e := &rep.Entries[len(rep.Entries)-1]
+		fmt.Fprintf(os.Stderr, "%-28s n=%-7d %14.0f ns/op %10.1f allocs/op\n", name, n, m.nsPerOp, m.allocsPerOp)
+		return e
+	}
+
+	sizes := []int{1000, 10000, 100000}
+	if quick {
+		sizes = []int{1000, 10000}
+	}
+
+	// DyGroups Star/Clique full simulations.
+	for _, n := range sizes {
+		for _, mc := range []struct {
+			mode core.Mode
+			slug string
+			mk   func(seed int64) core.Grouper
+		}{
+			{core.Star, "dygroups-star-run", func(int64) core.Grouper { return peerlearn.NewDyGroupsStar() }},
+			{core.Clique, "dygroups-clique-run", func(int64) core.Grouper { return peerlearn.NewDyGroupsClique() }},
+		} {
+			m, err := runCase(n, mc.mode, mc.mk, target)
+			if err != nil {
+				return nil, fmt.Errorf("%s-%s: %w", mc.slug, sizeSlug(n), err)
+			}
+			add(mc.slug+"-"+sizeSlug(n), n, m)
+		}
+	}
+
+	// Baselines at the paper's default n = 10k.
+	for _, bc := range []struct {
+		slug string
+		mk   func(seed int64) core.Grouper
+	}{
+		{"random-run", func(seed int64) core.Grouper { return baselines.NewRandom(seed) }},
+		{"kmeans-run", func(seed int64) core.Grouper { return baselines.NewKMeans(seed) }},
+		{"lpa-run", func(int64) core.Grouper { return baselines.NewLPA() }},
+		{"percentile-run", func(int64) core.Grouper { p, _ := baselines.NewPercentile(0.75); return p }},
+	} {
+		m, err := runCase(10000, core.Star, bc.mk, target)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bc.slug, err)
+		}
+		add(bc.slug+"-10k", 10000, m)
+	}
+
+	// Workspace round application, serial vs parallel. The serial
+	// measurement pins the threshold above n; the parallel one restores
+	// the default so the sharded path engages at 100k.
+	for _, n := range sizes {
+		for _, mode := range []core.Mode{core.Star, core.Clique} {
+			slug := "apply-round-" + modeSlug(mode) + "-" + sizeSlug(n)
+			defaultThreshold := core.ParallelRoundThreshold
+			core.ParallelRoundThreshold = n + 1
+			serial, err := applyRoundCase(n, mode, target)
+			core.ParallelRoundThreshold = defaultThreshold
+			if err != nil {
+				return nil, fmt.Errorf("%s serial: %w", slug, err)
+			}
+			if n < defaultThreshold {
+				add(slug, n, serial)
+				continue
+			}
+			par, err := applyRoundCase(n, mode, target)
+			if err != nil {
+				return nil, fmt.Errorf("%s parallel: %w", slug, err)
+			}
+			e := add(slug, n, par)
+			e.SpeedupVsSerial = serial.nsPerOp / par.nsPerOp
+			fmt.Fprintf(os.Stderr, "%-28s %42.2fx vs serial\n", slug, e.SpeedupVsSerial)
+		}
+	}
+
+	// Aggregate gain preview (the /v1/group server path).
+	{
+		s := skillsFor(10000)
+		g := chunkGrouping(10000, 5)
+		var gain core.Gain = core.MustLinear(0.5)
+		m := measure(target, func() { core.AggregateGain(s, g, core.Star, gain) })
+		add("aggregate-gain-star-10k", 10000, m)
+	}
+
+	// Incremental annealer.
+	for _, n := range sizes {
+		for _, mode := range []core.Mode{core.Star, core.Clique} {
+			m := annealCase(n, mode, core.MustLinear(0.5), target)
+			add("anneal-"+modeSlug(mode)+"-"+sizeSlug(n), n, m)
+		}
+	}
+	{
+		gain, err := core.NewSqrt(0.5, 3)
+		if err != nil {
+			return nil, err
+		}
+		m := annealCase(1000, core.Star, gain, target)
+		add("anneal-generic-1k", 1000, m)
+	}
+	return rep, nil
+}
+
+func sizeSlug(n int) string {
+	if n%1000 == 0 {
+		return fmt.Sprintf("%dk", n/1000)
+	}
+	return fmt.Sprint(n)
+}
+
+func modeSlug(m core.Mode) string {
+	if m == core.Clique {
+		return "clique"
+	}
+	return "star"
+}
+
+// compare fails (non-nil error) if any entry shared between rep and
+// the baseline file regresses ns/op by more than maxRegress
+// (fractional, e.g. 0.25 = 25%). Entries present on only one side are
+// skipped, so quick runs compare naturally against a full baseline.
+func compare(rep *Report, baselinePath string, maxRegress float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseNs := make(map[string]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		baseNs[e.Name] = e.NsPerOp
+	}
+	var failures []string
+	for _, e := range rep.Entries {
+		b, ok := baseNs[e.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		ratio := e.NsPerOp / b
+		status := "ok"
+		if ratio > 1+maxRegress {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)", e.Name, e.NsPerOp, b, ratio))
+		}
+		fmt.Fprintf(os.Stderr, "compare %-28s %6.2fx of baseline  %s\n", e.Name, ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d entr%s regressed more than %.0f%%:\n  %s",
+			len(failures), plural(len(failures)), maxRegress*100, joinLines(failures))
+	}
+	return nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized sweep: drop the n=100k entries and shorten the per-entry budget")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	comparePath := flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression in -compare mode")
+	benchtime := flag.Duration("benchtime", 0, "per-entry measurement budget (default 1s, 250ms with -quick)")
+	flag.Parse()
+
+	target := *benchtime
+	if target <= 0 {
+		target = time.Second
+		if *quick {
+			target = 250 * time.Millisecond
+		}
+	}
+
+	rep, err := buildReport(*quick, target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peerbench:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peerbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "peerbench:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *comparePath != "" {
+		if err := compare(rep, *comparePath, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "peerbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -11,7 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"peerlearn"
 	"peerlearn/internal/dygroups"
@@ -65,7 +65,15 @@ func groupSkills(s peerlearn.Skills, group []int) string {
 	for i, p := range group {
 		vals[i] = s[p]
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	slices.SortFunc(vals, func(a, b float64) int {
+		if a > b {
+			return -1
+		}
+		if a < b {
+			return 1
+		}
+		return 0
+	})
 	out := "["
 	for i, v := range vals {
 		if i > 0 {
@@ -78,7 +86,15 @@ func groupSkills(s peerlearn.Skills, group []int) string {
 
 func sortedDesc(s peerlearn.Skills) []float64 {
 	vals := append([]float64(nil), s...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	slices.SortFunc(vals, func(a, b float64) int {
+		if a > b {
+			return -1
+		}
+		if a < b {
+			return 1
+		}
+		return 0
+	})
 	for i, v := range vals {
 		// Round for display stability.
 		vals[i] = float64(int(v*1e6+0.5)) / 1e6

@@ -3,7 +3,7 @@ package amt
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // guessRate is the probability of answering a 4-option multiple-choice
@@ -108,7 +108,15 @@ func SplitMatched(workers []*Worker, parts int) ([][]*Worker, error) {
 		return nil, fmt.Errorf("amt: %d workers cannot split into %d equal populations", len(workers), parts)
 	}
 	sorted := append([]*Worker(nil), workers...)
-	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Estimated > sorted[b].Estimated })
+	slices.SortStableFunc(sorted, func(a, b *Worker) int {
+		if a.Estimated > b.Estimated {
+			return -1
+		}
+		if a.Estimated < b.Estimated {
+			return 1
+		}
+		return 0
+	})
 	pops := make([][]*Worker, parts)
 	for i := range pops {
 		pops[i] = make([]*Worker, 0, len(workers)/parts)

@@ -9,12 +9,14 @@ package load
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -193,6 +195,9 @@ func (l *Loader) loadTests(base *Package) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !includeInBuild(f) {
+			continue
+		}
 		if f.Name.Name == base.Types.Name()+"_test" {
 			external = append(external, f)
 		} else {
@@ -217,6 +222,45 @@ func (l *Loader) loadTests(base *Package) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// defaultBuildTag reports whether a build tag holds in the loader's
+// view: a default build on the host platform. Tags of special builds
+// ("race", "purego", custom -tags values) evaluate false, so e.g. a
+// `//go:build race` test helper is excluded exactly as `go test`
+// without -race excludes it.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	// Release tags: go1.1 through the toolchain's own version are set.
+	if strings.HasPrefix(tag, "go1") {
+		return true
+	}
+	return false
+}
+
+// includeInBuild reports whether the parsed file participates in a
+// default build, per its //go:build constraint (files without one
+// always participate).
+func includeInBuild(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the type-checker complain
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
 }
 
 func hasGoFiles(dir string) bool {
@@ -309,6 +353,9 @@ func CheckDir(fset *token.FileSet, dir, path string, imp types.Importer) (*Packa
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
+		}
+		if !includeInBuild(f) {
+			continue
 		}
 		files = append(files, f)
 	}

@@ -1,0 +1,40 @@
+package load
+
+import (
+	"go/parser"
+	"go/token"
+	"runtime"
+	"testing"
+)
+
+func TestIncludeInBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"no constraint", "package p\n", true},
+		{"race only", "//go:build race\n\npackage p\n", false},
+		{"not race", "//go:build !race\n\npackage p\n", true},
+		{"host os", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"other os", "//go:build plan9 && !" + runtime.GOOS + "\n\npackage p\n", false},
+		{"custom tag", "//go:build sometag\n\npackage p\n", false},
+		{"negated custom", "//go:build !sometag\n\npackage p\n", true},
+		{"release tag", "//go:build go1.21\n\npackage p\n", true},
+		// A //go:build-looking comment after the package clause is a
+		// plain comment, not a constraint.
+		{"after package clause", "package p\n\n//go:build race\nvar X int\n", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "x.go", tc.src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := includeInBuild(f); got != tc.want {
+				t.Errorf("includeInBuild(%q) = %v, want %v", tc.src, got, tc.want)
+			}
+		})
+	}
+}

@@ -57,6 +57,14 @@ func NewAnnealingFromRand(rng *rand.Rand, mode core.Mode, gain core.Gain) *Annea
 func (*Annealing) Name() string { return "Simulated-Annealing" }
 
 // Group implements core.Grouper.
+//
+// Proposals are scored by an incremental swap evaluator instead of
+// recomputing both touched groups from scratch: O(1) per proposal for
+// the Star-linear objective (per-group max/second-max/sum summaries),
+// O(t) for Clique-linear (sorted member lists spliced on accept), and
+// a generic GroupGain fallback for non-linear gains. See
+// annealing_eval.go; a test replays a proposal stream against full
+// recomputation move for move.
 func (a *Annealing) Group(s core.Skills, k int) core.Grouping {
 	n := len(s)
 	size := n / k
@@ -69,19 +77,13 @@ func (a *Annealing) Group(s core.Skills, k int) core.Grouping {
 		return g
 	}
 
-	// Track per-group gains so a swap only re-evaluates two groups.
-	groupGain := make([]float64, k)
-	var total float64
-	for gi := range g {
-		groupGain[gi] = core.GroupGain(s, g[gi], a.Mode, a.Gain)
-		total += groupGain[gi]
-	}
+	ev := newSwapEvaluator(s, g, a.Mode, a.Gain)
 
 	steps := a.Sweeps * n
 	if steps < 1 {
 		steps = 20 * n
 	}
-	temp := a.StartTemp * math.Max(total, 1e-9)
+	temp := a.StartTemp * math.Max(ev.Total(), 1e-9)
 	cool := math.Pow(1e-3, 1/float64(steps)) // decay to 0.1% of start
 	for step := 0; step < steps; step++ {
 		ga := a.rng.Intn(k)
@@ -91,15 +93,9 @@ func (a *Annealing) Group(s core.Skills, k int) core.Grouping {
 		}
 		xa := a.rng.Intn(size)
 		xb := a.rng.Intn(size)
-		g[ga][xa], g[gb][xb] = g[gb][xb], g[ga][xa]
-		newA := core.GroupGain(s, g[ga], a.Mode, a.Gain)
-		newB := core.GroupGain(s, g[gb], a.Mode, a.Gain)
-		delta := newA + newB - groupGain[ga] - groupGain[gb]
+		delta := ev.Propose(ga, xa, gb, xb)
 		if delta >= 0 || a.rng.Float64() < math.Exp(delta/temp) {
-			groupGain[ga], groupGain[gb] = newA, newB
-			total += delta
-		} else {
-			g[ga][xa], g[gb][xb] = g[gb][xb], g[ga][xa] // revert
+			ev.Accept()
 		}
 		temp *= cool
 	}

@@ -1,0 +1,346 @@
+package baselines
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"peerlearn/internal/core"
+)
+
+// swapEvaluator scores and commits the annealer's cross-group member
+// swaps. Implementations cache per-group state so that Propose is much
+// cheaper than recomputing both groups' gains from scratch — the
+// standard incremental delta evaluation of the metaheuristic
+// team-formation literature (Baykasoglu et al.).
+//
+// Protocol: Propose evaluates swapping g[ga][xa] with g[gb][xb]
+// without committing it and returns the objective delta; Accept
+// commits the proposal of the immediately preceding Propose call
+// (swapping the slots in g and updating the cached state). Proposals
+// that are not accepted need no call at all.
+type swapEvaluator interface {
+	// Total returns the current aggregated learning gain of the
+	// grouping.
+	Total() float64
+	// Propose returns newGain(ga)+newGain(gb) − oldGain(ga) − oldGain(gb)
+	// for swapping member slot xa of group ga with slot xb of group gb.
+	Propose(ga, xa, gb, xb int) float64
+	// Accept commits the most recently proposed swap.
+	Accept()
+}
+
+// newSwapEvaluator picks the cheapest evaluator for the objective:
+// O(1)-per-proposal summaries for Star-linear, O(t) sorted-list
+// maintenance for Clique-linear, and a generic GroupGain fallback for
+// non-linear gains (where no closed-form incremental identity holds).
+func newSwapEvaluator(s core.Skills, g core.Grouping, mode core.Mode, gain core.Gain) swapEvaluator {
+	if lin, ok := gain.(core.Linear); ok {
+		switch mode {
+		case core.Star:
+			return newStarLinearEvaluator(s, g, lin.R)
+		case core.Clique:
+			return newCliqueLinearEvaluator(s, g, lin.R)
+		}
+	}
+	return newGenericEvaluator(s, g, mode, gain)
+}
+
+// pendingSwap records the slots and recomputed group gains of the last
+// Propose, so Accept can commit without re-deriving anything.
+type pendingSwap struct {
+	ga, xa, gb, xb int
+	newA, newB     float64
+}
+
+// ---------------------------------------------------------------------
+// Star-linear: gain(group) = r·(t·max − Σ), so a proposal is O(1) from
+// per-group (max, second-max, sum) summaries.
+// ---------------------------------------------------------------------
+
+// starSummary caches one group's Σ skills, the slot holding its
+// maximum, and the values of the maximum and the second maximum
+// (the largest among the other members). Knowing the runner-up value
+// is what makes "remove the max, insert y" evaluable in O(1).
+type starSummary struct {
+	sum     float64
+	maxSlot int
+	maxVal  float64
+	second  float64 // −Inf for single-member groups
+}
+
+type starLinearEvaluator struct {
+	s       core.Skills
+	g       core.Grouping
+	r       float64
+	sums    []starSummary
+	gains   []float64
+	total   float64
+	pending pendingSwap
+}
+
+func newStarLinearEvaluator(s core.Skills, g core.Grouping, r float64) *starLinearEvaluator {
+	ev := &starLinearEvaluator{
+		s:     s,
+		g:     g,
+		r:     r,
+		sums:  make([]starSummary, len(g)),
+		gains: make([]float64, len(g)),
+	}
+	for gi := range g {
+		ev.rebuild(gi)
+		ev.total += ev.gains[gi]
+	}
+	return ev
+}
+
+// rebuild recomputes group gi's summary and gain in O(t).
+func (ev *starLinearEvaluator) rebuild(gi int) {
+	sm := starSummary{maxSlot: -1, maxVal: math.Inf(-1), second: math.Inf(-1)}
+	for slot, p := range ev.g[gi] {
+		v := ev.s[p]
+		sm.sum += v
+		if v > sm.maxVal {
+			sm.second = sm.maxVal
+			sm.maxVal = v
+			sm.maxSlot = slot
+		} else if v > sm.second {
+			sm.second = v
+		}
+	}
+	ev.sums[gi] = sm
+	ev.gains[gi] = starLinearGain(ev.r, len(ev.g[gi]), sm.maxVal, sm.sum)
+}
+
+// starLinearGain is eq. 1 for the linear gain in closed form:
+// Σ_{j≥2} r·(s1 − sj) = r·(t·s1 − Σ). It also holds for t = 1, where
+// it evaluates to 0.
+func starLinearGain(r float64, t int, max, sum float64) float64 {
+	return r * (float64(t)*max - sum)
+}
+
+// gainAfterSwap returns the group's gain with the member at outSlot
+// replaced by a member of skill in, in O(1). If the outgoing slot held
+// the maximum, the runner-up value takes over as the base maximum.
+func (sm *starSummary) gainAfterSwap(r float64, t, outSlot int, out, in float64) float64 {
+	sum := sm.sum - out + in
+	max := sm.maxVal
+	if outSlot == sm.maxSlot {
+		max = sm.second
+	}
+	if in > max {
+		max = in
+	}
+	return starLinearGain(r, t, max, sum)
+}
+
+func (ev *starLinearEvaluator) Total() float64 { return ev.total }
+
+func (ev *starLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
+	va, vb := ev.s[ev.g[ga][xa]], ev.s[ev.g[gb][xb]]
+	newA := ev.sums[ga].gainAfterSwap(ev.r, len(ev.g[ga]), xa, va, vb)
+	newB := ev.sums[gb].gainAfterSwap(ev.r, len(ev.g[gb]), xb, vb, va)
+	ev.pending = pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
+	return newA + newB - ev.gains[ga] - ev.gains[gb]
+}
+
+func (ev *starLinearEvaluator) Accept() {
+	p := ev.pending
+	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
+	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
+	// Accepts are the cold path (and get colder as the temperature
+	// drops), so an O(t) summary rebuild here buys O(1) proposals.
+	ev.rebuild(p.ga)
+	ev.rebuild(p.gb)
+}
+
+// ---------------------------------------------------------------------
+// Clique-linear: each group keeps its member skills as a descending
+// sorted list; a proposal re-walks the list once (O(t)) through the
+// Theorem 3 prefix-sum identity, and an accepted swap splices the list
+// with a binary-search remove/insert — no sorting, no allocation.
+// ---------------------------------------------------------------------
+
+type cliqueLinearEvaluator struct {
+	s       core.Skills
+	g       core.Grouping
+	r       float64
+	sorted  [][]float64 // per-group member skills, descending
+	gains   []float64
+	total   float64
+	pending pendingSwap
+}
+
+func newCliqueLinearEvaluator(s core.Skills, g core.Grouping, r float64) *cliqueLinearEvaluator {
+	ev := &cliqueLinearEvaluator{
+		s:      s,
+		g:      g,
+		r:      r,
+		sorted: make([][]float64, len(g)),
+		gains:  make([]float64, len(g)),
+	}
+	for gi, grp := range g {
+		vals := make([]float64, len(grp))
+		for i, p := range grp {
+			vals[i] = s[p]
+		}
+		slices.SortFunc(vals, func(a, b float64) int {
+			if a > b {
+				return -1
+			}
+			if a < b {
+				return 1
+			}
+			return 0
+		})
+		ev.sorted[gi] = vals
+		ev.gains[gi] = cliqueLinearGainDesc(vals, r)
+		ev.total += ev.gains[gi]
+	}
+	return ev
+}
+
+// cliqueLinearGainDesc is the Theorem 3 prefix-sum gain of a group
+// whose skills are given in descending order.
+func cliqueLinearGainDesc(vals []float64, r float64) float64 {
+	var g, prefix float64
+	for i := 1; i < len(vals); i++ {
+		prefix += vals[i-1]
+		g += r * (prefix - float64(i)*vals[i]) / float64(i)
+	}
+	return g
+}
+
+// removalIndex locates a position of value v in the descending slice.
+// v is always a current member's skill, so a position exists.
+func removalIndex(vals []float64, v float64) int {
+	return sort.Search(len(vals), func(i int) bool { return vals[i] <= v })
+}
+
+// cliqueGainSwapped computes, in one allocation-free O(t) walk, the
+// clique-linear gain of the multiset vals with the element at
+// removeIdx dropped and in inserted at its sorted position. vals is
+// not modified.
+func cliqueGainSwapped(vals []float64, removeIdx int, in, r float64) float64 {
+	var g, prefix float64
+	emitted := 0
+	emit := func(v float64) {
+		if emitted > 0 {
+			g += r * (prefix - float64(emitted)*v) / float64(emitted)
+		}
+		prefix += v
+		emitted++
+	}
+	inserted := false
+	for i, v := range vals {
+		if i == removeIdx {
+			continue
+		}
+		if !inserted && in >= v {
+			emit(in)
+			inserted = true
+		}
+		emit(v)
+	}
+	if !inserted {
+		emit(in)
+	}
+	return g
+}
+
+// spliceDesc removes the element at removeIdx from the descending
+// slice and inserts in at its sorted position, shifting in place.
+func spliceDesc(vals []float64, removeIdx int, in float64) {
+	if removeIdx > 0 && in > vals[removeIdx-1] {
+		// in moves left of the hole: shift the block right.
+		j := removeIdx
+		for j > 0 && in > vals[j-1] {
+			vals[j] = vals[j-1]
+			j--
+		}
+		vals[j] = in
+		return
+	}
+	// in lands at or right of the hole: shift the block left.
+	j := removeIdx
+	for j+1 < len(vals) && vals[j+1] > in {
+		vals[j] = vals[j+1]
+		j++
+	}
+	vals[j] = in
+}
+
+func (ev *cliqueLinearEvaluator) Total() float64 { return ev.total }
+
+func (ev *cliqueLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
+	va, vb := ev.s[ev.g[ga][xa]], ev.s[ev.g[gb][xb]]
+	newA := cliqueGainSwapped(ev.sorted[ga], removalIndex(ev.sorted[ga], va), vb, ev.r)
+	newB := cliqueGainSwapped(ev.sorted[gb], removalIndex(ev.sorted[gb], vb), va, ev.r)
+	ev.pending = pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
+	return newA + newB - ev.gains[ga] - ev.gains[gb]
+}
+
+func (ev *cliqueLinearEvaluator) Accept() {
+	p := ev.pending
+	va, vb := ev.s[ev.g[p.ga][p.xa]], ev.s[ev.g[p.gb][p.xb]]
+	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
+	spliceDesc(ev.sorted[p.ga], removalIndex(ev.sorted[p.ga], va), vb)
+	spliceDesc(ev.sorted[p.gb], removalIndex(ev.sorted[p.gb], vb), va)
+	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
+	ev.gains[p.ga] = p.newA
+	ev.gains[p.gb] = p.newB
+}
+
+// ---------------------------------------------------------------------
+// Generic fallback: recompute the two touched groups through
+// core.GroupGain (which itself now draws warm buffers from a pool).
+// Used for the non-linear gain families, where no incremental identity
+// applies.
+// ---------------------------------------------------------------------
+
+type genericEvaluator struct {
+	s       core.Skills
+	g       core.Grouping
+	mode    core.Mode
+	gain    core.Gain
+	w       *core.Workspace
+	gains   []float64
+	total   float64
+	pending pendingSwap
+}
+
+func newGenericEvaluator(s core.Skills, g core.Grouping, mode core.Mode, gain core.Gain) *genericEvaluator {
+	ev := &genericEvaluator{
+		s:     s,
+		g:     g,
+		mode:  mode,
+		gain:  gain,
+		w:     core.NewWorkspace(),
+		gains: make([]float64, len(g)),
+	}
+	for gi := range g {
+		ev.gains[gi] = ev.w.GroupGain(s, g[gi], mode, gain)
+		ev.total += ev.gains[gi]
+	}
+	return ev
+}
+
+func (ev *genericEvaluator) Total() float64 { return ev.total }
+
+func (ev *genericEvaluator) Propose(ga, xa, gb, xb int) float64 {
+	// Swap, evaluate, swap back: the grouping is only borrowed.
+	ev.g[ga][xa], ev.g[gb][xb] = ev.g[gb][xb], ev.g[ga][xa]
+	newA := ev.w.GroupGain(ev.s, ev.g[ga], ev.mode, ev.gain)
+	newB := ev.w.GroupGain(ev.s, ev.g[gb], ev.mode, ev.gain)
+	ev.g[ga][xa], ev.g[gb][xb] = ev.g[gb][xb], ev.g[ga][xa]
+	ev.pending = pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
+	return newA + newB - ev.gains[ga] - ev.gains[gb]
+}
+
+func (ev *genericEvaluator) Accept() {
+	p := ev.pending
+	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
+	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
+	ev.gains[p.ga] = p.newA
+	ev.gains[p.gb] = p.newB
+}

@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+// replayGrouping builds a random equi-sized grouping for evaluator
+// tests.
+func replayGrouping(rng *rand.Rand, n, k int) core.Grouping {
+	perm := rng.Perm(n)
+	size := n / k
+	g := make(core.Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = perm[i*size : (i+1)*size]
+	}
+	return g
+}
+
+// TestIncrementalEvaluatorMatchesRecompute drives the incremental
+// evaluators and a full core.GroupGain recomputation through the same
+// proposal/accept stream and asserts they agree move for move — the
+// incremental state (summaries, sorted lists, cached gains) must never
+// drift from the ground truth.
+func TestIncrementalEvaluatorMatchesRecompute(t *testing.T) {
+	gain := core.MustLinear(0.5)
+	for _, mode := range []core.Mode{core.Star, core.Clique} {
+		for _, shape := range []struct{ n, k int }{{24, 4}, {60, 5}, {16, 8}, {9, 3}} {
+			rng := rand.New(rand.NewSource(int64(shape.n)*31 + int64(mode)))
+			s := randomSkills(rng, shape.n)
+			// Duplicate some skills so the tie-handling paths (equal
+			// max, equal sorted neighbors) are exercised.
+			for i := 2; i < len(s); i += 5 {
+				s[i] = s[i-2]
+			}
+			g := replayGrouping(rng, shape.n, shape.k)
+			inc := newSwapEvaluator(s, g, mode, gain)
+			if _, ok := inc.(*genericEvaluator); ok {
+				t.Fatalf("mode %v with linear gain fell back to the generic evaluator", mode)
+			}
+			ref := newGenericEvaluator(s, g.Clone(), mode, gain)
+
+			if !core.ApproxEqual(inc.Total(), ref.Total()) {
+				t.Fatalf("mode %v: initial totals differ: %v vs %v", mode, inc.Total(), ref.Total())
+			}
+			size := shape.n / shape.k
+			for step := 0; step < 500; step++ {
+				ga := rng.Intn(shape.k)
+				gb := rng.Intn(shape.k - 1)
+				if gb >= ga {
+					gb++
+				}
+				xa, xb := rng.Intn(size), rng.Intn(size)
+				dInc := inc.Propose(ga, xa, gb, xb)
+				dRef := ref.Propose(ga, xa, gb, xb)
+				if !core.ApproxEqual(dInc, dRef) {
+					t.Fatalf("mode %v step %d: incremental delta %v, recomputed %v", mode, step, dInc, dRef)
+				}
+				if rng.Intn(2) == 0 {
+					inc.Accept()
+					ref.Accept()
+					if !core.ApproxEqual(inc.Total(), ref.Total()) {
+						t.Fatalf("mode %v step %d: totals diverged after accept: %v vs %v", mode, step, inc.Total(), ref.Total())
+					}
+				}
+			}
+			// Final cross-check against a from-scratch aggregate on the
+			// final grouping.
+			if want := core.AggregateGain(s, g, mode, gain); !core.ApproxEqual(inc.Total(), want) {
+				t.Fatalf("mode %v: final incremental total %v, AggregateGain %v", mode, inc.Total(), want)
+			}
+		}
+	}
+}
+
+// TestGenericEvaluatorProposeIsSideEffectFree guards the fallback: a
+// rejected proposal must leave the grouping untouched.
+func TestGenericEvaluatorProposeIsSideEffectFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := randomSkills(rng, 20)
+	g := replayGrouping(rng, 20, 4)
+	snapshot := g.Clone()
+	gain, err := core.NewSqrt(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := newGenericEvaluator(s, g, core.Star, gain)
+	ev.Propose(0, 1, 2, 3)
+	for gi := range g {
+		if !slices.Equal(g[gi], snapshot[gi]) {
+			t.Fatalf("Propose mutated group %d: %v vs %v", gi, g[gi], snapshot[gi])
+		}
+	}
+}
+
+// TestCliqueGainSwapped pins the O(t) walk against building the swapped
+// multiset explicitly and sorting it.
+func TestCliqueGainSwapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const r = 0.5
+	for trial := 0; trial < 200; trial++ {
+		t_ := 1 + rng.Intn(8)
+		vals := make([]float64, t_)
+		for i := range vals {
+			vals[i] = rng.Float64() * 3
+			if i > 0 && rng.Intn(3) == 0 {
+				vals[i] = vals[i-1] // force duplicates
+			}
+		}
+		slices.SortFunc(vals, func(a, b float64) int {
+			if a > b {
+				return -1
+			}
+			if a < b {
+				return 1
+			}
+			return 0
+		})
+		removeIdx := rng.Intn(t_)
+		in := rng.Float64() * 3
+		got := cliqueGainSwapped(vals, removeIdx, in, r)
+
+		want := make([]float64, 0, t_)
+		want = append(want, vals[:removeIdx]...)
+		want = append(want, vals[removeIdx+1:]...)
+		want = append(want, in)
+		slices.SortFunc(want, func(a, b float64) int {
+			if a > b {
+				return -1
+			}
+			if a < b {
+				return 1
+			}
+			return 0
+		})
+		if !core.ApproxEqual(got, cliqueLinearGainDesc(want, r)) {
+			t.Fatalf("trial %d: cliqueGainSwapped=%v, reference=%v (vals=%v remove=%d in=%v)",
+				trial, got, cliqueLinearGainDesc(want, r), vals, removeIdx, in)
+		}
+
+		// spliceDesc must produce exactly the reference multiset order.
+		work := slices.Clone(vals)
+		spliceDesc(work, removeIdx, in)
+		for i := range want {
+			if !core.ApproxEqual(work[i], want[i]) {
+				t.Fatalf("trial %d: spliceDesc=%v, want %v", trial, work, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+// benchAnnealGroup measures one full anneal (Annealing.Group) on n
+// participants split into groups of size 20 — the regime of the
+// metaheuristic comparison experiments, where the incremental swap
+// evaluator's cost per proposal dominates.
+func benchAnnealGroup(b *testing.B, n int, mode core.Mode, gain core.Gain) {
+	b.Helper()
+	k := n / 20
+	rng := rand.New(rand.NewSource(1))
+	s := make(core.Skills, n)
+	for i := range s {
+		s[i] = rng.Float64()*3 + 0.01
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnnealing(int64(i), mode, gain)
+		a.Group(s, k)
+	}
+}
+
+func BenchmarkAnnealStar1k(b *testing.B) {
+	benchAnnealGroup(b, 1000, core.Star, core.MustLinear(0.5))
+}
+
+func BenchmarkAnnealStar10k(b *testing.B) {
+	benchAnnealGroup(b, 10000, core.Star, core.MustLinear(0.5))
+}
+
+func BenchmarkAnnealClique1k(b *testing.B) {
+	benchAnnealGroup(b, 1000, core.Clique, core.MustLinear(0.5))
+}
+
+func BenchmarkAnnealClique10k(b *testing.B) {
+	benchAnnealGroup(b, 10000, core.Clique, core.MustLinear(0.5))
+}
+
+// BenchmarkAnnealGeneric1k measures the non-linear-gain fallback, which
+// re-evaluates groups through core.GroupGain.
+func BenchmarkAnnealGeneric1k(b *testing.B) {
+	g, err := core.NewSqrt(0.5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAnnealGroup(b, 1000, core.Star, g)
+}

@@ -20,10 +20,19 @@ var ErrEmptyGrouping = errors.New("core: grouping has no groups")
 // not require equal group sizes; use ValidateEqui for the strict TDG
 // shape.
 func (g Grouping) Validate(n int) error {
+	return g.validate(n, make([]bool, n))
+}
+
+// validate is Validate with a caller-provided membership scratch of
+// length n, so per-round validation inside the simulator does not
+// allocate. seen need not be zeroed; validate resets it.
+func (g Grouping) validate(n int, seen []bool) error {
 	if len(g) == 0 {
 		return ErrEmptyGrouping
 	}
-	seen := make([]bool, n)
+	for i := range seen {
+		seen[i] = false
+	}
 	total := 0
 	for gi, grp := range g {
 		if len(grp) == 0 {
@@ -58,7 +67,13 @@ func (g Grouping) Validate(n int) error {
 // ValidateEqui checks Validate plus the TDG requirements that there are
 // exactly k groups of identical size n/k.
 func (g Grouping) ValidateEqui(n, k int) error {
-	if err := g.Validate(n); err != nil {
+	return g.validateEqui(n, k, make([]bool, n))
+}
+
+// validateEqui is ValidateEqui with a caller-provided membership
+// scratch (see validate).
+func (g Grouping) validateEqui(n, k int, seen []bool) error {
+	if err := g.validate(n, seen); err != nil {
 		return err
 	}
 	if len(g) != k {

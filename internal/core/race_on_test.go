@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether the race detector is active.
+// Allocation-count assertions are skipped under -race: the detector's
+// instrumentation (sync.Pool in particular) allocates on paths that
+// are allocation-free in normal builds.
+const raceDetectorEnabled = true

@@ -140,12 +140,15 @@ func Run(cfg Config, initial Skills, g Grouper) (*Result, error) {
 		Initial:   initial.Clone(),
 		Rounds:    make([]Round, 0, cfg.Rounds),
 	}
+	// One workspace for the whole simulation: scratch buffers warm up
+	// on round 1 and the remaining rounds apply allocation-free.
+	w := NewWorkspace()
 	for t := 1; t <= cfg.Rounds; t++ {
 		grouping := g.Group(s, cfg.K)
-		if err := grouping.ValidateEqui(len(s), cfg.K); err != nil {
+		if err := grouping.validateEqui(len(s), cfg.K, w.seenScratch(len(s))); err != nil {
 			return nil, fmt.Errorf("core: %s produced an invalid grouping in round %d: %w", g.Name(), t, err)
 		}
-		gainT := applyRoundInPlace(s, grouping, cfg.Mode, cfg.Gain)
+		gainT := w.applyRound(s, grouping, cfg.Mode, cfg.Gain)
 		rd := Round{Index: t, Gain: gainT, Variance: s.Variance()}
 		if cfg.RecordGroupings {
 			rd.Grouping = grouping.Clone()
@@ -189,9 +192,10 @@ func RunSized(cfg Config, initial Skills, sizes []int, g SizedGrouper) (*Result,
 		Initial:   initial.Clone(),
 		Rounds:    make([]Round, 0, cfg.Rounds),
 	}
+	w := NewWorkspace()
 	for t := 1; t <= cfg.Rounds; t++ {
 		grouping := g.GroupSizes(s, sizes)
-		if err := grouping.Validate(len(s)); err != nil {
+		if err := grouping.validate(len(s), w.seenScratch(len(s))); err != nil {
 			return nil, fmt.Errorf("core: %s produced an invalid grouping in round %d: %w", g.Name(), t, err)
 		}
 		for gi, grp := range grouping {
@@ -199,7 +203,7 @@ func RunSized(cfg Config, initial Skills, sizes []int, g SizedGrouper) (*Result,
 				return nil, fmt.Errorf("core: %s produced group %d of size %d, want %d", g.Name(), gi, len(grp), sizes[gi])
 			}
 		}
-		gainT := applyRoundInPlace(s, grouping, cfg.Mode, cfg.Gain)
+		gainT := w.applyRound(s, grouping, cfg.Mode, cfg.Gain)
 		rd := Round{Index: t, Gain: gainT, Variance: s.Variance()}
 		if cfg.RecordGroupings {
 			rd.Grouping = grouping.Clone()

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Skills holds the skill values of the participants. Index i is the skill
@@ -102,14 +102,22 @@ func (s Skills) Variance() float64 {
 // RankDescending returns the participant indices ordered by skill,
 // highest first. Ties are broken by participant index so the order is
 // deterministic. The input is not modified.
+//
+// It sorts (skill, index) pairs by value rather than indices through a
+// closure: the comparison stays on two loaded floats, which makes this
+// — the dominant O(n log n) term of every DyGroups round — several
+// times faster than the closure-based sort.SliceStable it replaces.
+// The index tie-break yields exactly the stable descending order.
 func RankDescending(s Skills) []int {
-	idx := make([]int, len(s))
-	for i := range idx {
-		idx[i] = i
+	pairs := make([]skillPair, len(s))
+	for i, v := range s {
+		pairs[i] = skillPair{skill: v, pos: i}
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return s[idx[a]] > s[idx[b]]
-	})
+	slices.SortFunc(pairs, cmpSkillPairDesc)
+	idx := make([]int, len(s))
+	for i, p := range pairs {
+		idx[i] = p.pos
+	}
 	return idx
 }
 

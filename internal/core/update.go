@@ -2,40 +2,29 @@ package core
 
 import (
 	"fmt"
-	"sort"
 )
 
 // GroupGain computes the learning gain of a single group (eq. 1 for Star,
 // eq. 2 for Clique) on the current skills without modifying them. group
 // holds participant indices into s.
+//
+// One-shot callers get warm scratch buffers from a pool, so repeated
+// calls do not allocate per call; hot loops that already own a
+// Workspace should call its GroupGain method directly.
 func GroupGain(s Skills, group []int, mode Mode, gain Gain) float64 {
-	vals := make([]float64, len(group))
-	for i, p := range group {
-		vals[i] = s[p]
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
-	switch mode {
-	case Star:
-		return starGainSorted(vals, gain)
-	case Clique:
-		return cliqueGainSorted(vals, gain)
-	default:
-		// Unreachable through the exported entry points, which all
-		// reject invalid modes up front; GroupGain itself stays
-		// error-free because it sits on the annealer's hot loop.
-		//peerlint:allow panicfree — invariant check; mode validated by every caller
-		panic(fmt.Sprintf("core: GroupGain on invalid mode %v", mode))
-	}
+	w := workspacePool.Get().(*Workspace)
+	v := w.GroupGain(s, group, mode, gain)
+	workspacePool.Put(w)
+	return v
 }
 
 // AggregateGain computes the aggregated learning gain LG(G) of a grouping
 // (eq. 3): the sum of group gains under the given mode.
 func AggregateGain(s Skills, g Grouping, mode Mode, gain Gain) float64 {
-	var total float64
-	for _, grp := range g {
-		total += GroupGain(s, grp, mode, gain)
-	}
-	return total
+	w := workspacePool.Get().(*Workspace)
+	v := w.AggregateGain(s, g, mode, gain)
+	workspacePool.Put(w)
+	return v
 }
 
 // starGainSorted returns eq. 1 for a group whose member skills are given
@@ -90,6 +79,11 @@ func cliqueLinearGainSorted(vals []float64, r float64) float64 {
 // with that gain. The input skills are not modified. The grouping is
 // validated as a partition of the participants (equal sizes are NOT
 // required here, supporting the varying-size extension of Section VII).
+//
+// ApplyRound allocates only the returned clone: the round application
+// itself runs on pooled workspace buffers. Callers that may mutate
+// their skill slice should use Workspace.ApplyRoundInPlace and skip
+// the clone too.
 func ApplyRound(s Skills, g Grouping, mode Mode, gain Gain) (Skills, float64, error) {
 	if !mode.Valid() {
 		return nil, 0, fmt.Errorf("core: invalid mode %v", mode)
@@ -106,77 +100,11 @@ func ApplyRound(s Skills, g Grouping, mode Mode, gain Gain) (Skills, float64, er
 }
 
 // applyRoundInPlace updates s under grouping g and returns the round's
-// aggregated learning gain. Inputs are assumed validated.
+// aggregated learning gain, using a pooled workspace. Inputs are
+// assumed validated.
 func applyRoundInPlace(s Skills, g Grouping, mode Mode, gain Gain) float64 {
-	var total float64
-	var order []int // scratch: member indices of one group, reused
-	for _, grp := range g {
-		order = order[:0]
-		order = append(order, grp...)
-		sort.SliceStable(order, func(a, b int) bool { return s[order[a]] > s[order[b]] })
-		switch mode {
-		case Star:
-			total += updateStarSorted(s, order, gain)
-		case Clique:
-			total += updateCliqueSorted(s, order, gain)
-		}
-	}
+	w := workspacePool.Get().(*Workspace)
+	total := w.applyRound(s, g, mode, gain)
+	workspacePool.Put(w)
 	return total
-}
-
-// updateStarSorted applies the Star update to one group whose member
-// indices are ordered by descending skill; it returns the group's gain.
-// The teacher (rank 1) is unchanged; everyone else moves toward the
-// teacher by f(Δ). Each update is O(1), so the whole round is O(n) as
-// Section III-A observes.
-func updateStarSorted(s Skills, order []int, gain Gain) float64 {
-	if len(order) < 2 {
-		return 0
-	}
-	top := s[order[0]]
-	var g float64
-	for _, p := range order[1:] {
-		d := gain.Apply(top - s[p])
-		s[p] += d
-		g += d
-	}
-	return g
-}
-
-// updateCliqueSorted applies the Clique update to one group whose member
-// indices are ordered by descending skill; it returns the group's gain.
-// For the linear gain it runs in O(t) via the prefix-sum identity of
-// Theorem 3 (with the paper's typo corrected:
-// s'_{i+1} = s_{i+1} + r·(c_i − i·s_{i+1})/i, c_i = Σ_{j≤i} s_j);
-// for general gains it evaluates all O(t²) pairwise interactions. All new
-// skills are computed from the pre-round values, then written back, so
-// within-round updates do not feed each other.
-func updateCliqueSorted(s Skills, order []int, gain Gain) float64 {
-	t := len(order)
-	if t < 2 {
-		return 0
-	}
-	deltas := make([]float64, t)
-	if r, ok := linearRate(gain); ok {
-		var prefix float64
-		for i := 1; i < t; i++ {
-			prefix += s[order[i-1]]
-			deltas[i] = r * (prefix - float64(i)*s[order[i]]) / float64(i)
-		}
-	} else {
-		for i := 1; i < t; i++ {
-			si := s[order[i]]
-			var sum float64
-			for j := 0; j < i; j++ {
-				sum += gain.Apply(s[order[j]] - si)
-			}
-			deltas[i] = sum / float64(i)
-		}
-	}
-	var g float64
-	for i := 1; i < t; i++ {
-		s[order[i]] += deltas[i]
-		g += deltas[i]
-	}
-	return g
 }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// skillPair is one group member's skill paired with its rank within the
+// group's member list. Sorting pairs (instead of indices through a
+// closure) keeps the hot comparison on two loaded values and lets
+// slices.SortFunc run without per-call allocations.
+type skillPair struct {
+	skill float64
+	pos   int // position within the group's member slice
+}
+
+// cmpSkillPairDesc orders pairs by descending skill, breaking ties by
+// the original position within the group. The position tie-break makes
+// the (unstable) slices.SortFunc reproduce exactly what a stable
+// descending sort over the member list would produce, so results are
+// bit-identical to the historical sort.SliceStable implementation.
+func cmpSkillPairDesc(a, b skillPair) int {
+	if a.skill > b.skill {
+		return -1
+	}
+	if a.skill < b.skill {
+		return 1
+	}
+	return a.pos - b.pos
+}
+
+// cmpFloatDesc orders float64 values descending. Skills are validated
+// finite, so the NaN cases of a general comparator cannot arise.
+func cmpFloatDesc(a, b float64) int {
+	if a > b {
+		return -1
+	}
+	if a < b {
+		return 1
+	}
+	return 0
+}
+
+// groupScratch holds the per-group scratch buffers of one worker: the
+// (skill, rank) pairs being sorted and the clique update's delta
+// buffer. Buffers grow to the largest group seen and are then reused.
+type groupScratch struct {
+	pairs  []skillPair
+	deltas []float64
+}
+
+// ParallelRoundThreshold is the minimum participant count at which
+// round application shards groups across a worker pool. Below it the
+// serial path runs: for small rounds the goroutine handoff costs more
+// than the update itself, and the serial path is what stays
+// allocation-free at steady state. Both paths produce bit-identical
+// skills and gains (groups are disjoint and per-group gains are summed
+// in group order), a property the test suite asserts.
+//
+// It is a package-level tuning knob read at every round; set it once at
+// startup (or from a test) — it is not synchronized for concurrent
+// mutation.
+var ParallelRoundThreshold = 1 << 15
+
+// Workspace holds reusable scratch state for round application and
+// gain evaluation. A zero-cost way to make the per-round hot path
+// allocation-free at steady state: buffers grow to the high-water mark
+// of the instance and are reused round after round.
+//
+// A Workspace is not safe for concurrent use; each goroutine needs its
+// own (the package-level ApplyRound/GroupGain/AggregateGain wrappers
+// draw from a sync.Pool, so one-shot callers also hit warm buffers).
+// The simulator (Run, RunSized) keeps one Workspace per simulation.
+type Workspace struct {
+	serial groupScratch   // scratch for the serial path and one-shot gain calls
+	vals   []float64      // scratch skill values for GroupGain
+	gains  []float64      // per-group gains for the parallel path
+	seen   []bool         // grouping-validation scratch
+	shards []groupScratch // per-worker scratch for the parallel path
+}
+
+// NewWorkspace returns an empty workspace; buffers are grown on first
+// use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// workspacePool backs the package-level one-shot entry points
+// (ApplyRound, GroupGain, AggregateGain) so that callers without a
+// long-lived Workspace — the server's /v1/group preview, the
+// annealer's generic fallback — still reuse warm buffers.
+var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// ApplyRoundInPlace performs one learning round directly on s: it
+// validates the inputs, applies the mode's skill update under grouping
+// g, and returns the round's aggregated learning gain. Unlike the
+// package-level ApplyRound it does NOT clone s — the caller owns the
+// mutation — and at steady state (buffers warmed to the instance size)
+// it performs no heap allocations on the serial path.
+func (w *Workspace) ApplyRoundInPlace(s Skills, g Grouping, mode Mode, gain Gain) (float64, error) {
+	if !mode.Valid() {
+		return 0, fmt.Errorf("core: invalid mode %v", mode)
+	}
+	if gain == nil {
+		return 0, fmt.Errorf("core: nil gain function")
+	}
+	if err := g.validate(len(s), w.seenScratch(len(s))); err != nil {
+		return 0, err
+	}
+	return w.applyRound(s, g, mode, gain), nil
+}
+
+// GroupGain computes the learning gain of a single group (eq. 1 for
+// Star, eq. 2 for Clique) on the current skills without modifying
+// them, using the workspace's scratch buffers; it allocates nothing at
+// steady state.
+func (w *Workspace) GroupGain(s Skills, group []int, mode Mode, gain Gain) float64 {
+	vals := w.vals[:0]
+	for _, p := range group {
+		vals = append(vals, s[p])
+	}
+	w.vals = vals // keep the grown buffer
+	slices.SortFunc(vals, cmpFloatDesc)
+	switch mode {
+	case Star:
+		return starGainSorted(vals, gain)
+	case Clique:
+		return cliqueGainSorted(vals, gain)
+	default:
+		// Unreachable through the exported entry points, which all
+		// reject invalid modes up front; GroupGain itself stays
+		// error-free because it sits on the annealer's hot loop.
+		//peerlint:allow panicfree — invariant check; mode validated by every caller
+		panic(fmt.Sprintf("core: GroupGain on invalid mode %v", mode))
+	}
+}
+
+// AggregateGain computes the aggregated learning gain LG(G) of a
+// grouping (eq. 3) using the workspace's scratch buffers.
+func (w *Workspace) AggregateGain(s Skills, g Grouping, mode Mode, gain Gain) float64 {
+	var total float64
+	for _, grp := range g {
+		total += w.GroupGain(s, grp, mode, gain)
+	}
+	return total
+}
+
+// seenScratch returns the validation scratch sized for n participants.
+func (w *Workspace) seenScratch(n int) []bool {
+	if cap(w.seen) < n {
+		w.seen = make([]bool, n)
+	}
+	return w.seen[:n]
+}
+
+// applyRound updates s under grouping g and returns the round's
+// aggregated learning gain. Inputs are assumed validated. Large rounds
+// are sharded across a bounded worker pool; small ones run serially
+// and allocation-free.
+func (w *Workspace) applyRound(s Skills, g Grouping, mode Mode, gain Gain) float64 {
+	if len(s) >= ParallelRoundThreshold && len(g) >= 2 {
+		if workers := min(runtime.GOMAXPROCS(0), len(g)); workers > 1 {
+			return w.applyRoundParallel(s, g, mode, gain, workers)
+		}
+	}
+	return w.applyRoundSerial(s, g, mode, gain)
+}
+
+// applyRoundSerial is the single-goroutine round application; it
+// allocates nothing once the scratch buffers have grown to the largest
+// group size.
+func (w *Workspace) applyRoundSerial(s Skills, g Grouping, mode Mode, gain Gain) float64 {
+	var total float64
+	for _, grp := range g {
+		total += applyGroupSorted(s, grp, mode, gain, &w.serial)
+	}
+	return total
+}
+
+// applyRoundParallel shards the groups of one round over `workers`
+// goroutines. Groups partition the participants, so the per-group
+// updates write disjoint regions of s; per-group gains land in a
+// per-group slot and are summed in group order afterwards, making the
+// result — skills and total gain — bit-identical to the serial path
+// regardless of scheduling.
+func (w *Workspace) applyRoundParallel(s Skills, g Grouping, mode Mode, gain Gain, workers int) float64 {
+	if cap(w.gains) < len(g) {
+		w.gains = make([]float64, len(g))
+	}
+	gains := w.gains[:len(g)]
+	if len(w.shards) < workers {
+		w.shards = make([]groupScratch, workers)
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * len(g) / workers
+		hi := (wi + 1) * len(g) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sc *groupScratch, lo, hi int) {
+			defer wg.Done()
+			for gi := lo; gi < hi; gi++ {
+				gains[gi] = applyGroupSorted(s, g[gi], mode, gain, sc)
+			}
+		}(&w.shards[wi], lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, v := range gains {
+		total += v
+	}
+	return total
+}
+
+// applyGroupSorted applies one group's skill update: it sorts the
+// members by descending skill into the scratch pair buffer, applies
+// the mode's update rule to s, and returns the group's gain. All new
+// skills are computed from the pre-round values (the clique deltas are
+// staged in scratch before write-back), so within-round updates do not
+// feed each other.
+func applyGroupSorted(s Skills, grp []int, mode Mode, gain Gain, scratch *groupScratch) float64 {
+	t := len(grp)
+	if t < 2 {
+		return 0
+	}
+	pairs := scratch.pairs[:0]
+	for i, p := range grp {
+		pairs = append(pairs, skillPair{skill: s[p], pos: i})
+	}
+	scratch.pairs = pairs // keep the grown buffer
+	slices.SortFunc(pairs, cmpSkillPairDesc)
+	switch mode {
+	case Star:
+		return updateStarPairs(s, grp, pairs, gain)
+	case Clique:
+		return updateCliquePairs(s, grp, pairs, gain, scratch)
+	}
+	return 0 // unreachable: mode validated by every caller
+}
+
+// updateStarPairs applies the Star update (eq. 1): everyone below the
+// teacher moves toward the teacher by f(Δ). Each update is O(1), so
+// the whole round is O(n) as Section III-A observes.
+func updateStarPairs(s Skills, grp []int, pairs []skillPair, gain Gain) float64 {
+	top := pairs[0].skill
+	var g float64
+	for _, pr := range pairs[1:] {
+		d := gain.Apply(top - pr.skill)
+		s[grp[pr.pos]] += d
+		g += d
+	}
+	return g
+}
+
+// updateCliquePairs applies the Clique update (eq. 2). For the linear
+// gain it runs in O(t) via the prefix-sum identity of Theorem 3 (with
+// the paper's typo corrected:
+// s'_{i+1} = s_{i+1} + r·(c_i − i·s_{i+1})/i, c_i = Σ_{j≤i} s_j); for
+// general gains it evaluates all O(t²) pairwise interactions.
+func updateCliquePairs(s Skills, grp []int, pairs []skillPair, gain Gain, scratch *groupScratch) float64 {
+	t := len(pairs)
+	deltas := scratch.deltas
+	if cap(deltas) < t {
+		deltas = make([]float64, t)
+	}
+	deltas = deltas[:t]
+	scratch.deltas = deltas // keep the grown buffer
+	if r, ok := linearRate(gain); ok {
+		var prefix float64
+		for i := 1; i < t; i++ {
+			prefix += pairs[i-1].skill
+			deltas[i] = r * (prefix - float64(i)*pairs[i].skill) / float64(i)
+		}
+	} else {
+		for i := 1; i < t; i++ {
+			si := pairs[i].skill
+			var sum float64
+			for j := 0; j < i; j++ {
+				sum += gain.Apply(pairs[j].skill - si)
+			}
+			deltas[i] = sum / float64(i)
+		}
+	}
+	var g float64
+	for i := 1; i < t; i++ {
+		s[grp[pairs[i].pos]] += deltas[i]
+		g += deltas[i]
+	}
+	return g
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// forceParallel lowers the parallel cutoff for the duration of a test
+// so small instances exercise the sharded path (including under -race).
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := ParallelRoundThreshold
+	ParallelRoundThreshold = 1
+	t.Cleanup(func() { ParallelRoundThreshold = old })
+}
+
+func testGrouping(rng *rand.Rand, n, k int) Grouping {
+	perm := rng.Perm(n)
+	size := n / k
+	g := make(Grouping, k)
+	for i := 0; i < k; i++ {
+		g[i] = perm[i*size : (i+1)*size]
+	}
+	return g
+}
+
+func TestWorkspaceRoundMatchesApplyRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, mode := range []Mode{Star, Clique} {
+		for _, gain := range []Gain{MustLinear(0.5), Sqrt{C: 0.5, DMax: 3}} {
+			n, k := 240, 8
+			s := benchSkills(n)
+			g := testGrouping(rng, n, k)
+			want, wantGain, err := ApplyRound(s, g, mode, gain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := NewWorkspace()
+			got := s.Clone()
+			gotGain, err := w.ApplyRoundInPlace(got, g, mode, gain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			//peerlint:allow floateq — the workspace path must be bit-identical
+			if gotGain != wantGain {
+				t.Fatalf("%v/%s: workspace gain %v, ApplyRound gain %v", mode, gain.Name(), gotGain, wantGain)
+			}
+			for i := range want {
+				//peerlint:allow floateq — the workspace path must be bit-identical
+				if got[i] != want[i] {
+					t.Fatalf("%v/%s: skill %d differs: %v vs %v", mode, gain.Name(), i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRoundBitIdenticalToSerial is the determinism guarantee of
+// the sharded round application: skills AND the aggregated gain must be
+// bit-exact against the serial path for both modes, any worker count,
+// and both gain families. It follows the precedent of
+// experiments.TestMeanTotalGainsDeterministicUnderParallelism.
+func TestParallelRoundBitIdenticalToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mode := range []Mode{Star, Clique} {
+		for _, gain := range []Gain{MustLinear(0.5), Log{C: 0.5, DMax: 3}} {
+			for _, k := range []int{2, 5, 32, 128} {
+				n := k * 16
+				base := benchSkills(n)
+				g := testGrouping(rng, n, k)
+
+				serial := base.Clone()
+				ws := NewWorkspace()
+				serialGain := ws.applyRoundSerial(serial, g, mode, gain)
+
+				parallel := base.Clone()
+				wp := NewWorkspace()
+				workers := min(runtime.GOMAXPROCS(0), k)
+				if workers < 2 {
+					workers = 2
+				}
+				parallelGain := wp.applyRoundParallel(parallel, g, mode, gain, workers)
+
+				//peerlint:allow floateq — bit-exact determinism is the contract under test
+				if serialGain != parallelGain {
+					t.Fatalf("%v/%s k=%d: serial gain %v != parallel gain %v", mode, gain.Name(), k, serialGain, parallelGain)
+				}
+				for i := range serial {
+					//peerlint:allow floateq — bit-exact determinism is the contract under test
+					if serial[i] != parallel[i] {
+						t.Fatalf("%v/%s k=%d: skill %d: serial %v != parallel %v", mode, gain.Name(), k, i, serial[i], parallel[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelCutoverBitIdentical runs the full simulator with the
+// cutoff forced to 1 (every round parallel) and at its default (serial
+// at this size) and asserts identical results end to end.
+func TestRunParallelCutoverBitIdentical(t *testing.T) {
+	s := benchSkills(600)
+	for _, mode := range []Mode{Star, Clique} {
+		cfg := Config{K: 6, Rounds: 5, Mode: mode, Gain: MustLinear(0.5)}
+		serialRes, err := Run(cfg, s, roundRobinGrouper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forceParallel(t)
+		parallelRes, err := Run(cfg, s, roundRobinGrouper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		//peerlint:allow floateq — bit-exact determinism is the contract under test
+		if serialRes.TotalGain != parallelRes.TotalGain {
+			t.Fatalf("%v: total gain differs: %v vs %v", mode, serialRes.TotalGain, parallelRes.TotalGain)
+		}
+		for i := range serialRes.Final {
+			//peerlint:allow floateq — bit-exact determinism is the contract under test
+			if serialRes.Final[i] != parallelRes.Final[i] {
+				t.Fatalf("%v: final skill %d differs", mode, i)
+			}
+		}
+	}
+}
+
+// roundRobinGrouper is a deterministic non-trivial test policy.
+type roundRobinGrouper struct{}
+
+func (roundRobinGrouper) Name() string { return "round-robin" }
+func (roundRobinGrouper) Group(s Skills, k int) Grouping {
+	g := make(Grouping, k)
+	for p := range s {
+		g[p%k] = append(g[p%k], p)
+	}
+	return g
+}
+
+// TestWorkspaceSteadyStateZeroAllocs is the allocation contract of the
+// tentpole: once a workspace's buffers are warm, applying a round and
+// evaluating gains allocate nothing on the serial path.
+func TestWorkspaceSteadyStateZeroAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(9))
+	n, k := 2000, 5
+	s := benchSkills(n)
+	g := testGrouping(rng, n, k)
+	for _, mode := range []Mode{Star, Clique} {
+		for _, gain := range []Gain{MustLinear(0.5), Sqrt{C: 0.5, DMax: 3}} {
+			w := NewWorkspace()
+			work := s.Clone()
+			if _, err := w.ApplyRoundInPlace(work, g, mode, gain); err != nil {
+				t.Fatal(err) // warm the buffers
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				if _, err := w.ApplyRoundInPlace(work, g, mode, gain); err != nil {
+					t.Error(err)
+				}
+			}); avg != 0 {
+				t.Errorf("%v/%s: steady-state round allocates %v times", mode, gain.Name(), avg)
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				w.GroupGain(work, g[0], mode, gain)
+			}); avg != 0 {
+				t.Errorf("%v/%s: steady-state GroupGain allocates %v times", mode, gain.Name(), avg)
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				w.AggregateGain(work, g, mode, gain)
+			}); avg != 0 {
+				t.Errorf("%v/%s: steady-state AggregateGain allocates %v times", mode, gain.Name(), avg)
+			}
+		}
+	}
+}
+
+// TestPooledEntryPointsSteadyStateZeroAllocs asserts the satellite fix:
+// even one-shot callers of the package-level GroupGain (the server's
+// /v1/group preview, the annealer's generic path) stop allocating per
+// call once the pool is warm.
+func TestPooledEntryPointsSteadyStateZeroAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(11))
+	n, k := 500, 5
+	s := benchSkills(n)
+	g := testGrouping(rng, n, k)
+	var gain Gain = MustLinear(0.5)  // boxed once, outside the measurement
+	GroupGain(s, g[0], Clique, gain) // warm the pool
+	if avg := testing.AllocsPerRun(50, func() {
+		GroupGain(s, g[0], Clique, gain)
+	}); avg != 0 {
+		t.Errorf("pooled GroupGain allocates %v times at steady state", avg)
+	}
+}
+
+func TestWorkspaceApplyRoundInPlaceValidation(t *testing.T) {
+	w := NewWorkspace()
+	s := Skills{1, 2, 3, 4}
+	good := Grouping{{0, 1}, {2, 3}}
+	if _, err := w.ApplyRoundInPlace(s, good, Mode(99), MustLinear(0.5)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := w.ApplyRoundInPlace(s, good, Star, nil); err == nil {
+		t.Error("nil gain accepted")
+	}
+	if _, err := w.ApplyRoundInPlace(s, Grouping{{0, 1}}, Star, MustLinear(0.5)); err == nil {
+		t.Error("non-partition accepted")
+	}
+	// The validation scratch must not leak state between calls: a valid
+	// grouping after an invalid one must pass.
+	if _, err := w.ApplyRoundInPlace(s, good, Star, MustLinear(0.5)); err != nil {
+		t.Errorf("valid grouping rejected after invalid one: %v", err)
+	}
+}
+
+func TestRankDescendingMatchesStableOrder(t *testing.T) {
+	// Duplicate-heavy input: the pair sort's index tie-break must
+	// reproduce the stable order exactly.
+	s := Skills{3, 1, 3, 2, 1, 3, 2, 1}
+	got := RankDescending(s)
+	want := []int{0, 2, 5, 3, 6, 1, 4, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankDescending = %v, want %v", got, want)
+		}
+	}
+}

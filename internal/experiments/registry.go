@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Generator produces the table behind one figure.
@@ -45,7 +45,15 @@ func IDs() []string {
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return lessID(ids[a], ids[b]) })
+	slices.SortFunc(ids, func(a, b string) int {
+		if lessID(a, b) {
+			return -1
+		}
+		if lessID(b, a) {
+			return 1
+		}
+		return 0
+	})
 	return ids
 }
 

@@ -14,7 +14,7 @@ package matchmaker
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"peerlearn/internal/core"
@@ -334,15 +334,14 @@ func (s *Session) seatLocked() (seated []seat, skills core.Skills, k, satOut int
 	}
 	// Seat priority: fewest rounds played, then earliest joiner, then id
 	// — deterministic and starvation-free.
-	sort.Slice(roster, func(a, b int) bool {
-		pa, pb := roster[a], roster[b]
+	slices.SortFunc(roster, func(pa, pb *Participant) int {
 		if pa.RoundsPlayed != pb.RoundsPlayed {
-			return pa.RoundsPlayed < pb.RoundsPlayed
+			return pa.RoundsPlayed - pb.RoundsPlayed
 		}
 		if pa.JoinedRound != pb.JoinedRound {
-			return pa.JoinedRound < pb.JoinedRound
+			return pa.JoinedRound - pb.JoinedRound
 		}
-		return pa.ID < pb.ID
+		return int(pa.ID - pb.ID)
 	})
 	m := (len(roster) / s.groupSize) * s.groupSize
 	seated = make([]seat, m)

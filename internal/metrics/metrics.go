@@ -22,7 +22,7 @@ import (
 	"io"
 	"math"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -95,14 +95,14 @@ type Histogram struct {
 func newHistogram(uppers []float64) *Histogram {
 	u := make([]float64, len(uppers))
 	copy(u, uppers)
-	sort.Float64s(u)
+	slices.Sort(u)
 	return &Histogram{uppers: u, counts: make([]atomic.Uint64, len(u)+1)}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	// First bucket whose upper bound is ≥ v; NaN falls through to +Inf.
-	i := sort.SearchFloat64s(h.uppers, v)
+	i, _ := slices.BinarySearch(h.uppers, v)
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 }
@@ -207,7 +207,7 @@ func labelKey(labels, values []string) string {
 	for i, l := range labels {
 		pairs[i] = l + `="` + escapeLabel(values[i]) + `"`
 	}
-	sort.Strings(pairs)
+	slices.Sort(pairs)
 	return strings.Join(pairs, ",")
 }
 
@@ -221,7 +221,7 @@ func mergeLabels(a, b string) string {
 		return a
 	}
 	pairs := append(strings.Split(a, ","), strings.Split(b, ",")...)
-	sort.Strings(pairs)
+	slices.Sort(pairs)
 	return strings.Join(pairs, ",")
 }
 
@@ -362,7 +362,7 @@ func (r *Registry) Write(w io.Writer) error {
 		entries = append(entries, e)
 	}
 	r.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	slices.SortFunc(entries, func(a, b *entry) int { return strings.Compare(a.name, b.name) })
 
 	for _, e := range entries {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, escapeHelp(e.help), e.name, e.typ); err != nil {
@@ -422,7 +422,7 @@ func sortedKeys[V any](m map[string]V) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }
 

@@ -3,7 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Pearson returns the Pearson correlation coefficient of the paired
@@ -50,7 +50,15 @@ func ranks(xs []float64) []float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int {
+		if xs[a] < xs[b] {
+			return -1
+		}
+		if xs[a] > xs[b] {
+			return 1
+		}
+		return 0
+	})
 	out := make([]float64, len(xs))
 	i := 0
 	for i < len(idx) {

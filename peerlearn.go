@@ -52,6 +52,10 @@ type (
 	Result = core.Result
 	// Round is one round's record inside a Result.
 	Round = core.Round
+	// Workspace holds reusable scratch buffers that make repeated round
+	// application and gain evaluation allocation-free at steady state
+	// (see docs/PERFORMANCE.md). Not safe for concurrent use.
+	Workspace = core.Workspace
 )
 
 // Interaction modes.
@@ -91,6 +95,12 @@ func AggregateGain(s Skills, g Grouping, mode Mode, gain Gain) float64 {
 func ApplyRound(s Skills, g Grouping, mode Mode, gain Gain) (Skills, float64, error) {
 	return core.ApplyRound(s, g, mode, gain)
 }
+
+// NewWorkspace returns an empty Workspace. Callers that apply many
+// rounds (or evaluate many gains) should hold one per goroutine and
+// use its methods — ApplyRoundInPlace, GroupGain, AggregateGain — to
+// keep the hot path free of per-call allocations.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
 
 // NewDyGroupsStar returns the paper's DyGroups-Star-Local policy
 // (Algorithm 2): round-optimal teachers plus the variance-maximizing
