@@ -1,0 +1,115 @@
+// Command peersim runs the deterministic simulation harness
+// (internal/simtest) over the serving layer: seeded adversarial
+// schedules of joins, leaves, round triggers, and scrapes — with
+// injected panics, invalid groupings, forced optimistic-lock losses,
+// dropped and delayed round triggers, and churn storms — executed
+// against the real matchmaker and HTTP session handlers while global
+// invariants are checked.
+//
+//	peersim [-seed 1] [-runs 20] [-ops 400] [-faults all]
+//	        [-group-size 3] [-clients 4] [-mode star] [-rate 0.5]
+//	        [-shrink] [-dump] [-v]
+//
+// Runs r ∈ [0, runs) use seed+r. Every run is a pure function of its
+// seed: a failure report prints the seed, and rerunning peersim with
+// that seed (and the same knobs) replays the byte-identical schedule.
+// With -shrink a failing schedule is first minimized greedily, so the
+// report shows the smallest op sequence that still breaks an
+// invariant. Exit status is 1 if any run failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/simtest"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "base seed; run r uses seed+r")
+		runs      = flag.Int("runs", 20, "number of independent simulation runs")
+		ops       = flag.Int("ops", 400, "schedule length per run")
+		faults    = flag.String("faults", "all", "comma-separated fault kinds, or all/none ("+simtest.FaultNames()+")")
+		groupSize = flag.Int("group-size", 3, "cohort group size")
+		clients   = flag.Int("clients", 4, "simulated concurrent clients")
+		modeName  = flag.String("mode", "star", "interaction mode: star or clique")
+		rate      = flag.Float64("rate", 0.5, "linear learning rate in (0,1]")
+		shrink    = flag.Bool("shrink", true, "minimize failing schedules before reporting")
+		dump      = flag.Bool("dump", false, "print each run's generated schedule and exit (replay aid)")
+		verbose   = flag.Bool("v", false, "print a summary line per run")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *seed, *runs, *ops, *faults, *groupSize, *clients, *modeName, *rate, *shrink, *dump, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "peersim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the sweep; any invariant violation (or bad flag) is an
+// error.
+func run(w io.Writer, seed int64, runs, ops int, faultSpec string, groupSize, clients int, modeName string, rate float64, shrink, dump, verbose bool) error {
+	faults, err := simtest.ParseFaults(faultSpec)
+	if err != nil {
+		return err
+	}
+	mode, err := core.ParseMode(modeName)
+	if err != nil {
+		return err
+	}
+	if runs < 1 {
+		return fmt.Errorf("need at least one run, got %d", runs)
+	}
+
+	failed := 0
+	totalRounds := 0
+	for r := 0; r < runs; r++ {
+		cfg := simtest.Config{
+			Seed:      seed + int64(r),
+			Ops:       ops,
+			Clients:   clients,
+			GroupSize: groupSize,
+			Mode:      mode,
+			Rate:      rate,
+			Faults:    faults,
+		}
+		schedule := simtest.Generate(cfg)
+		if dump {
+			fmt.Fprintf(w, "# seed %d\n%s", cfg.Seed, simtest.FormatOps(schedule))
+			continue
+		}
+		rep := simtest.Run(cfg, schedule)
+		totalRounds += rep.Rounds
+		if verbose || rep.Failed() {
+			fmt.Fprintln(w, rep.Summary())
+		}
+		if !rep.Failed() {
+			continue
+		}
+		failed++
+		for _, v := range rep.Failures {
+			fmt.Fprintln(w, "  violation:", v)
+		}
+		if shrink {
+			min := simtest.Shrink(schedule, func(s []simtest.Op) bool {
+				return simtest.Run(cfg, s).Failed()
+			}, 0)
+			fmt.Fprintf(w, "  minimized to %d ops (from %d):\n%s", len(min), len(schedule), simtest.FormatOps(min))
+		}
+		fmt.Fprintf(w, "  replay: peersim -seed %d -runs 1 -ops %d -faults %s -group-size %d -clients %d -mode %s -rate %g\n",
+			cfg.Seed, ops, faultSpec, groupSize, clients, modeName, rate)
+	}
+	if dump {
+		return nil
+	}
+	fmt.Fprintf(w, "peersim: %d/%d runs passed, %d rounds simulated (seeds %d..%d, faults %s)\n",
+		runs-failed, runs, totalRounds, seed, seed+int64(runs)-1, faultSpec)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs violated invariants", failed, runs)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweepPasses(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 1, 4, 200, "all", 3, 4, "star", 0.5, true, false, true); err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "4/4 runs passed") {
+		t.Fatalf("missing pass summary:\n%s", out)
+	}
+	if strings.Count(out, "seed=") != 4 {
+		t.Fatalf("want one -v summary line per run:\n%s", out)
+	}
+}
+
+func TestRunCliqueAndFaultSubset(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 10, 2, 150, "panic,staleseat", 2, 3, "clique", 0.3, false, false, false); err != nil {
+		t.Fatalf("clique sweep failed: %v\n%s", err, b.String())
+	}
+}
+
+func TestDumpIsByteIdenticalAcrossCalls(t *testing.T) {
+	dumpOnce := func() string {
+		var b strings.Builder
+		if err := run(&b, 5, 2, 100, "all", 3, 4, "star", 0.5, false, true, false); err != nil {
+			t.Fatalf("dump failed: %v", err)
+		}
+		return b.String()
+	}
+	a, c := dumpOnce(), dumpOnce()
+	if a != c {
+		t.Fatal("schedule dump is not byte-identical across replays of the same seed")
+	}
+	if !strings.Contains(a, "# seed 5") || !strings.Contains(a, "# seed 6") {
+		t.Fatalf("dump missing per-seed headers:\n%s", a)
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"bad fault", func() error {
+			return run(&strings.Builder{}, 1, 1, 50, "meteor", 3, 4, "star", 0.5, false, false, false)
+		}},
+		{"bad mode", func() error {
+			return run(&strings.Builder{}, 1, 1, 50, "all", 3, 4, "ring", 0.5, false, false, false)
+		}},
+		{"no runs", func() error {
+			return run(&strings.Builder{}, 1, 0, 50, "all", 3, 4, "star", 0.5, false, false, false)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package dygroups_test
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+)
+
+// TestSeedStabilityGoldens pins the aggregate gain of full DyGroups
+// simulations at fixed seeds and sizes, bit for bit. The expected
+// values are hex float64 literals (strconv.FormatFloat 'x'), so any
+// change to the grouping policies, the gain kernel, the seating order,
+// or the summation order — even one that only reorders floating-point
+// additions — shows up as a failing diff rather than silently shifting
+// results between releases. Regenerate the constants only for a
+// deliberate, documented change to the algorithm.
+func TestSeedStabilityGoldens(t *testing.T) {
+	cases := []struct {
+		mode   core.Mode
+		n, k   int
+		rounds int
+		seed   int64
+		want   string // TotalGain as a hex float64
+	}{
+		{core.Star, 60, 12, 8, 1, "0x1.e7db12d0cc78fp+04"},
+		{core.Star, 300, 30, 10, 2, "0x1.3b91ef1cdc74ap+07"},
+		{core.Clique, 60, 12, 8, 1, "0x1.bb21333529b43p+04"},
+		{core.Clique, 300, 30, 10, 2, "0x1.286c04b113764p+07"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := tc.mode.String() + "/n" + strconv.Itoa(tc.n) + "k" + strconv.Itoa(tc.k) +
+			"r" + strconv.Itoa(tc.rounds) + "s" + strconv.FormatInt(tc.seed, 10)
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			skills := make(core.Skills, tc.n)
+			for i := range skills {
+				skills[i] = 0.5 + rng.Float64()
+			}
+			var pol core.Grouper
+			if tc.mode == core.Clique {
+				pol = dygroups.NewClique()
+			} else {
+				pol = dygroups.NewStar()
+			}
+			cfg := core.Config{K: tc.k, Rounds: tc.rounds, Mode: tc.mode, Gain: core.MustLinear(0.5)}
+			res, err := core.Run(cfg, skills, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := strconv.ParseFloat(tc.want, 64)
+			if err != nil {
+				t.Fatalf("bad golden literal %q: %v", tc.want, err)
+			}
+			if math.Float64bits(res.TotalGain) != math.Float64bits(want) {
+				t.Fatalf("TotalGain = %s (%g), pinned golden is %s (%g)",
+					strconv.FormatFloat(res.TotalGain, 'x', -1, 64), res.TotalGain, tc.want, want)
+			}
+			// The equivalent-objective identity should hold on the same run.
+			if diff := math.Abs((res.Final.Sum() - res.Initial.Sum()) - res.TotalGain); diff > 1e-9*math.Abs(res.TotalGain) {
+				t.Fatalf("TotalGain %g far from Final-Initial sum delta (diff %g)", res.TotalGain, diff)
+			}
+		})
+	}
+}

@@ -82,6 +82,10 @@ type Session struct {
 	rounds  int
 	total   float64
 	metrics *Metrics
+
+	// roundHook, when set, observes the lock-free window of optimistic
+	// rounds (see SetRoundHook). Read under mu, invoked without it.
+	roundHook RoundHook
 }
 
 // NewSession creates a cohort with the given group size, interaction
@@ -175,6 +179,11 @@ type RoundReport struct {
 	Groups int
 	// Gain is the round's aggregated learning gain.
 	Gain float64
+	// Attempts counts how many grouping attempts the round took: 1 is a
+	// clean optimistic pass, >1 means concurrent roster churn invalidated
+	// a snapshot and the round retried (pessimistically after
+	// maxOptimistic optimistic losses).
+	Attempts int
 }
 
 // SetMetrics attaches (or, with nil, detaches) round telemetry.
@@ -182,6 +191,54 @@ func (s *Session) SetMetrics(m *Metrics) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics = m
+}
+
+// RoundStage identifies where in an optimistic round a RoundHook fires.
+type RoundStage int
+
+const (
+	// StageSnapshotted fires after a round has snapshotted the seated
+	// roster and released the session lock, before the grouping
+	// computation starts. A hook that mutates the roster here models a
+	// concurrent client racing the round.
+	StageSnapshotted RoundStage = iota
+	// StageComputed fires after the grouping and gain computation, still
+	// outside the session lock, just before the round re-validates its
+	// snapshot. A roster mutation here is guaranteed to hit the
+	// optimistic re-validation window.
+	StageComputed
+)
+
+// RoundHook observes the lock-free window of an optimistic round. It is
+// invoked with no session locks held, so it may call Join, Leave, and
+// the read accessors; it must not call RunRound (rounds do not nest).
+type RoundHook func(stage RoundStage)
+
+// SetRoundHook installs (or, with nil, removes) a hook into the
+// optimistic round's lock-free window. It exists for deterministic
+// simulation testing: a scheduler can force the exact interleavings —
+// a seated participant leaving mid-computation, a join racing the
+// apply — that wall-clock concurrency only reaches by luck. The
+// pessimistic fallback path never fires the hook; its critical section
+// admits no interleaving to simulate.
+func (s *Session) SetRoundHook(h RoundHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roundHook = h
+}
+
+// Snapshot returns a copy of every participant, sorted by id. It is a
+// read-only view for invariant checkers and status pages; mutating the
+// returned slice does not affect the session.
+func (s *Session) Snapshot() []Participant {
+	s.mu.Lock()
+	out := make([]Participant, 0, len(s.members))
+	for _, p := range s.members {
+		out = append(out, *p)
+	}
+	s.mu.Unlock()
+	slices.SortFunc(out, func(a, b Participant) int { return int(a.ID - b.ID) })
+	return out
 }
 
 // seat is one seated participant with the roster state the seating
@@ -216,6 +273,7 @@ func (s *Session) RunRound() (*RoundReport, error) {
 			continue
 		}
 		if err == nil {
+			report.Attempts = attempt + 1
 			s.recordRound(report)
 		}
 		return report, err
@@ -237,10 +295,14 @@ func (s *Session) runRoundOnce(pessimistic bool) (report *RoundReport, retry boo
 
 func (s *Session) runRoundOptimistic() (report *RoundReport, retry bool, err error) {
 	s.mu.Lock()
+	hook := s.roundHook
 	seated, skills, k, satOut, err := s.seatLocked()
 	s.mu.Unlock()
 	if err != nil {
 		return nil, false, err
+	}
+	if hook != nil {
+		hook(StageSnapshotted)
 	}
 
 	// The expensive part runs on the snapshot with the session open for
@@ -248,6 +310,9 @@ func (s *Session) runRoundOptimistic() (report *RoundReport, retry bool, err err
 	next, gain, err := s.computeRound(skills, len(seated), k)
 	if err != nil {
 		return nil, false, err
+	}
+	if hook != nil {
+		hook(StageComputed)
 	}
 
 	s.mu.Lock()

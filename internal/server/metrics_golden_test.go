@@ -1,0 +1,138 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"peerlearn/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// tickClock is a deterministic Clock: every Now() returns the current
+// simulated instant and then advances it by a fixed step, so the
+// middleware's start/stop stamps always measure exactly one step.
+type tickClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *tickClock) Now() time.Time {
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+// TestMetricsExpositionGolden drives a fixed request script through the
+// fully assembled production handler (New: session API + observability
+// middleware + /metrics) and pins the resulting GET /metrics body
+// byte-for-byte against a committed golden file. Determinism comes from
+// three injected seams: a fixed-step clock (every request measures
+// exactly 1ms), a sequential request-id generator, and the
+// deterministic dygroups policy. The golden therefore locks down the
+// full serving-layer exposition: family and series ordering, route
+// templating (including the {id} collapse and the "other" bucket),
+// status-code labels, latency bucket placement, and the matchmaker
+// round/gain series produced by real learning rounds.
+//
+// Regenerate with
+//
+//	go test ./internal/server -run TestMetricsExpositionGolden -update
+//
+// only when the metric surface changes deliberately; the diff is the
+// review artifact.
+func TestMetricsExpositionGolden(t *testing.T) {
+	reg := metrics.NewRegistry()
+	store := NewSessionStore()
+	seq := 0
+	handler := New(store, Options{
+		Registry: reg,
+		Logger:   discardLogger(),
+		Clock:    &tickClock{t: time.Date(2021, time.April, 19, 0, 0, 0, 0, time.UTC), step: time.Millisecond},
+		RequestID: func() string {
+			seq++
+			return fmt.Sprintf("golden-%04d", seq)
+		},
+	})
+
+	do := func(method, path, body string, wantStatus int) *httptest.ResponseRecorder {
+		t.Helper()
+		var req *http.Request
+		if body == "" {
+			req = httptest.NewRequest(method, path, nil)
+		} else {
+			req = httptest.NewRequest(method, path, strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d: %s", method, path, rec.Code, wantStatus, rec.Body.String())
+		}
+		return rec
+	}
+
+	// The scripted traffic: session lifecycle with two real learning
+	// rounds, plus one hit for each interesting route label (a 404 on a
+	// missing session, a 405, and an unknown path that must collapse
+	// into "other").
+	do(http.MethodGet, "/healthz", "", http.StatusOK)
+	do(http.MethodPost, "/v1/sessions", `{"group_size": 2}`, http.StatusCreated)
+	for _, skill := range []string{"0.9", "0.5", "0.7", "1.1"} {
+		do(http.MethodPost, "/v1/sessions/1/join", `{"skill": `+skill+`}`, http.StatusOK)
+	}
+	do(http.MethodPost, "/v1/sessions/1/round", "", http.StatusOK)
+	do(http.MethodPost, "/v1/sessions/1/leave", `{"participant_id": 4}`, http.StatusOK)
+	do(http.MethodPost, "/v1/sessions/1/round", "", http.StatusOK)
+	do(http.MethodGet, "/v1/sessions/1", "", http.StatusOK)
+	do(http.MethodGet, "/v1/sessions/99", "", http.StatusNotFound)
+	do(http.MethodGet, "/v1/algorithms", "", http.StatusOK)
+	do(http.MethodPut, "/v1/algorithms", "", http.StatusMethodNotAllowed)
+	do(http.MethodGet, "/no/such/path", "", http.StatusNotFound)
+
+	rec := do(http.MethodGet, "/metrics", "", http.StatusOK)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("exposition Content-Type = %q", ct)
+	}
+	got := rec.Body.String()
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("GET /metrics drifted from golden (regenerate with -update only for deliberate metric-surface changes)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Replaying the identical script against a fresh world must
+	// reproduce the identical exposition — the golden is a pure function
+	// of the script, not a flaky snapshot.
+	if !strings.Contains(got, `route="/v1/sessions/{id}/round"`) {
+		t.Fatalf("round route template missing from exposition:\n%s", got)
+	}
+	if !strings.Contains(got, `route="other"`) {
+		t.Fatalf("unknown paths did not collapse into the other route:\n%s", got)
+	}
+	if !strings.Contains(got, "peerlearn_matchmaker_rounds_total 2") {
+		t.Fatalf("matchmaker round counter missing or wrong:\n%s", got)
+	}
+	if strings.Contains(got, `route="/metrics"`) {
+		t.Fatalf("scrape traffic leaked into request metrics:\n%s", got)
+	}
+}

@@ -48,6 +48,19 @@ func NewHTTPMetrics(reg *metrics.Registry) *HTTPMetrics {
 	}
 }
 
+// Clock is the time source the middleware stamps requests with. The
+// production handler uses the wall clock; deterministic simulation
+// tests (internal/simtest) inject a virtual clock so latency metrics
+// and logs are reproducible from a seed.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
 // Options configures the full production handler assembled by New.
 type Options struct {
 	// Registry receives the serving and matchmaker metrics; nil creates
@@ -57,6 +70,12 @@ type Options struct {
 	Logger *slog.Logger
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// Clock supplies request timestamps; nil uses the wall clock.
+	Clock Clock
+	// RequestID generates ids for requests that arrive without an
+	// X-Request-Id header; nil uses a crypto/rand generator. Injecting a
+	// sequential generator makes logs reproducible in simulation.
+	RequestID func() string
 }
 
 // New assembles the production handler: the stateless and session APIs
@@ -73,9 +92,17 @@ func New(store *SessionStore, opts Options) http.Handler {
 		logger = slog.Default()
 	}
 	store.SetMetrics(matchmaker.NewMetrics(reg))
+	clock := opts.Clock
+	if clock == nil {
+		clock = wallClock{}
+	}
+	newID := opts.RequestID
+	if newID == nil {
+		newID = newRequestID
+	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", WithObservability(NewSessionHandler(store), NewHTTPMetrics(reg), logger))
+	mux.Handle("/", withObservability(NewSessionHandler(store), NewHTTPMetrics(reg), logger, clock, newID))
 	// The exposition endpoint stays outside the middleware so scrape
 	// traffic does not skew the request metrics it reports.
 	mux.Handle("/metrics", reg.Handler())
@@ -177,11 +204,17 @@ func routeLabel(path string) string {
 // latency/status metrics, and panic recovery — a panicking handler
 // yields a 500 JSON error envelope instead of a dropped connection.
 func WithObservability(next http.Handler, m *HTTPMetrics, logger *slog.Logger) http.Handler {
+	return withObservability(next, m, logger, wallClock{}, newRequestID)
+}
+
+// withObservability is WithObservability with the time source and
+// request-id generator injectable for deterministic simulation.
+func withObservability(next http.Handler, m *HTTPMetrics, logger *slog.Logger, clock Clock, newID func() string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := clock.Now()
 		rid := r.Header.Get("X-Request-Id")
 		if rid == "" {
-			rid = newRequestID()
+			rid = newID()
 		}
 		w.Header().Set("X-Request-Id", rid)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
@@ -205,7 +238,7 @@ func WithObservability(next http.Handler, m *HTTPMetrics, logger *slog.Logger) h
 					writeError(sw, http.StatusInternalServerError, errors.New("internal server error"))
 				}
 			}
-			elapsed := time.Since(start)
+			elapsed := clock.Now().Sub(start)
 			status := sw.status()
 			m.Requests.With(route, r.Method, strconv.Itoa(status)).Inc()
 			m.Duration.With(route).Observe(elapsed.Seconds())

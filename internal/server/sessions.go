@@ -27,6 +27,7 @@ type SessionStore struct {
 	nextID   int64
 	sessions map[int64]*matchmaker.Session
 	metrics  *matchmaker.Metrics
+	policies PolicyFactory
 	// MaxSessions bounds live cohorts to keep a toy deployment safe.
 	MaxSessions int
 }
@@ -42,6 +43,30 @@ func (st *SessionStore) SetMetrics(m *matchmaker.Metrics) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.metrics = m
+}
+
+// PolicyFactory resolves an API algorithm name into a grouping policy.
+// It mirrors the package's built-in resolution; a deterministic
+// simulation installs its own factory to interpose fault-injecting
+// policies behind the real HTTP surface.
+type PolicyFactory func(name string, mode core.Mode, seed int64) (core.Grouper, error)
+
+// SetPolicyFactory overrides (or, with nil, restores) how the store
+// instantiates grouping policies for new sessions.
+func (st *SessionStore) SetPolicyFactory(f PolicyFactory) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.policies = f
+}
+
+// Session returns the live session with the given id, if any. It gives
+// invariant checkers and simulation harnesses direct access to the
+// cohort behind the HTTP surface.
+func (st *SessionStore) Session(id int64) (*matchmaker.Session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[id]
+	return s, ok
 }
 
 // CreateSessionRequest configures a new cohort.
@@ -114,7 +139,13 @@ func (st *SessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	policy, err := newPolicy(req.Algorithm, mode, req.Seed)
+	st.mu.Lock()
+	factory := st.policies
+	st.mu.Unlock()
+	if factory == nil {
+		factory = newPolicy
+	}
+	policy, err := factory(req.Algorithm, mode, req.Seed)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -1,0 +1,34 @@
+// Package simtest is a deterministic simulation harness for the
+// serving layer, in the FoundationDB style: the whole stack —
+// matchmaker sessions behind the real HTTP session handlers, the
+// observability middleware, the metrics registry — is driven through
+// thousands of adversarial schedules that are pure functions of a
+// seed, and global invariants are checked as the schedule unfolds.
+//
+// The pieces:
+//
+//   - a virtual Clock (clock.go) threaded into the server middleware,
+//     so request timestamps and latency metrics are reproducible;
+//   - a seeded scheduler (sched.go) that serializes the op streams of
+//     simulated concurrent clients into one controlled pseudo-random
+//     interleaving;
+//   - a fault plan (faults.go): injected policy panics, invalid
+//     groupings, dropped and delayed round triggers, join/leave storms,
+//     and forced optimistic-lock losses inside matchmaker.RunRound via
+//     the session's round hook;
+//   - a single-threaded reference model (model.go) that mirrors the
+//     matchmaker's documented semantics op for op, bit for bit;
+//   - an invariant checker (invariants.go): participant conservation,
+//     non-decreasing skills under nonnegative-rate linear gain, seated
+//     plus sat-out equal to the roster every round, the documented
+//     no-starvation bound, and metrics counters consistent with the
+//     events the harness observed;
+//   - a greedy shrinker (shrink.go) that minimizes a failing schedule
+//     before it is reported.
+//
+// Everything is stdlib-only and single-goroutine: "concurrency" is the
+// scheduler's interleaving plus the matchmaker round hook, which is
+// what makes every failure replayable. Run the sweep from the command
+// line with cmd/peersim; any reported failure prints the seed that
+// regenerates the exact schedule.
+package simtest

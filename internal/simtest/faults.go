@@ -1,0 +1,154 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"peerlearn/internal/core"
+)
+
+// Fault is one injectable failure mode. Faults attach to round ops:
+// the round trigger is the platform's periodic heartbeat, and it is
+// exactly around it that partial failures are interesting.
+type Fault uint8
+
+const (
+	// FaultNone marks an unfaulted op.
+	FaultNone Fault = iota
+	// FaultPanic arms the grouping policy to panic inside Group. The
+	// panic unwinds through matchmaker.RunRound into the serving
+	// middleware, which must recover it into a 500 and leave the
+	// session fully usable (no lock may stay held).
+	FaultPanic
+	// FaultBadGrouping arms the policy to return an invalid grouping
+	// (an empty partition). RunRound must reject it with an error and
+	// leave the roster and skills untouched.
+	FaultBadGrouping
+	// FaultStaleSeat forces an optimistic-lock loss: mid-round, after
+	// the grouping computation and before the apply, the
+	// highest-priority (guaranteed seated) participant leaves through
+	// the session's round hook. The round must detect the stale
+	// snapshot and retry on the shrunken roster.
+	FaultStaleSeat
+	// FaultDrop drops the round trigger entirely — the heartbeat is
+	// lost and no round runs.
+	FaultDrop
+	// FaultDelay displaces the round trigger to a later point in the
+	// schedule, modeling a late-firing timer racing subsequent traffic.
+	FaultDelay
+	// FaultStorm precedes the round with a burst of joins and leaves, a
+	// mid-round churn storm compressed to the op boundary.
+	FaultStorm
+
+	// numFaults is the count of defined fault kinds (including
+	// FaultNone); keep it last.
+	numFaults
+)
+
+// String names the fault for reports and the -faults flag.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultBadGrouping:
+		return "badgrouping"
+	case FaultStaleSeat:
+		return "staleseat"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultStorm:
+		return "storm"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}
+
+// AllFaults lists every injectable fault kind.
+var AllFaults = []Fault{FaultPanic, FaultBadGrouping, FaultStaleSeat, FaultDrop, FaultDelay, FaultStorm}
+
+// ParseFaults parses a comma-separated fault list ("panic,staleseat"),
+// or the shorthands "all" and "none".
+func ParseFaults(spec string) ([]Fault, error) {
+	switch spec {
+	case "", "none":
+		return nil, nil
+	case "all":
+		return append([]Fault(nil), AllFaults...), nil
+	}
+	var out []Fault
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, f := range AllFaults {
+			if f.String() == name {
+				out = append(out, f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("simtest: unknown fault %q (known: %s)", name, FaultNames())
+		}
+	}
+	return out, nil
+}
+
+// FaultNames returns the comma-separated names of every fault kind.
+func FaultNames() string {
+	names := make([]string, len(AllFaults))
+	for i, f := range AllFaults {
+		names[i] = f.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// FaultCounts formats a fault→count map deterministically.
+func FaultCounts(m map[Fault]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]int, 0, len(m))
+	for f := range m {
+		keys = append(keys, int(f))
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", Fault(k), m[Fault(k)]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// faultyPolicy wraps a real grouping policy with armable failure
+// modes. The harness installs it behind the HTTP surface through
+// SessionStore.SetPolicyFactory, so injected faults travel the same
+// path production failures would: policy → matchmaker → handler →
+// middleware.
+type faultyPolicy struct {
+	base core.Grouper
+	// armPanic and armBad trigger on the next Group call, then reset.
+	armPanic bool
+	armBad   bool
+	// panics counts fired panic faults, for the metrics invariant.
+	panics int
+}
+
+func (p *faultyPolicy) Name() string { return p.base.Name() }
+
+func (p *faultyPolicy) Group(s core.Skills, k int) core.Grouping {
+	if p.armPanic {
+		p.armPanic = false
+		p.panics++
+		panic("simtest: injected policy panic") //peerlint:allow panicfree — the fault IS the panic; the middleware under test must recover it
+	}
+	if p.armBad {
+		p.armBad = false
+		return core.Grouping{}
+	}
+	return p.base.Group(s, k)
+}

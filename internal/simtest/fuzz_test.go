@@ -1,0 +1,96 @@
+package simtest
+
+import (
+	"math"
+	"testing"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/dygroups"
+	"peerlearn/internal/matchmaker"
+)
+
+// FuzzMatchmakerOps is the model-based fuzz target: an arbitrary byte
+// string decodes into a join/leave/run-round op sequence, which is
+// executed against both the real matchmaker.Session and the trivial
+// single-threaded reference model. Roster, per-participant skills,
+// rounds-played counts, and aggregated gains must agree bit for bit
+// after every op — any divergence is a bug in the session's locking,
+// seating, or apply logic.
+func FuzzMatchmakerOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 128, 0, 64, 0, 200, 2})           // three joins, a round
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 2, 1, 0, 2})    // churn around rounds
+	f.Add([]byte{2, 2, 2})                            // rounds on an empty roster
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 2, 1, 1, 2}) // leave between rounds
+	f.Add([]byte{0, 255, 0, 0, 0, 127, 2, 0, 63, 2})  // mid-run join
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const groupSize = 3
+		gain := core.MustLinear(0.5)
+		session, err := matchmaker.NewSession(groupSize, core.Star, gain, dygroups.NewStar())
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := NewModel(groupSize, core.Star, gain, dygroups.NewStar())
+
+		for i, op := range DecodeOps(data) {
+			switch op.Kind {
+			case OpJoin:
+				sid, serr := session.Join(op.Skill)
+				mid, merr := model.Join(op.Skill)
+				if (serr == nil) != (merr == nil) {
+					t.Fatalf("op %d: join errs diverge: session %v, model %v", i, serr, merr)
+				}
+				if serr == nil && sid != mid {
+					t.Fatalf("op %d: join ids diverge: session %d, model %d", i, sid, mid)
+				}
+			case OpLeave:
+				ids := model.IDs()
+				if len(ids) == 0 {
+					// Exercise the unknown-participant path instead.
+					if err := session.Leave(matchmaker.ParticipantID(op.Target + 1)); err == nil {
+						t.Fatalf("op %d: leave on an empty roster succeeded", i)
+					}
+					continue
+				}
+				id := ids[op.Target%len(ids)]
+				serr := session.Leave(id)
+				merr := model.Leave(id)
+				if (serr == nil) != (merr == nil) {
+					t.Fatalf("op %d: leave errs diverge: session %v, model %v", i, serr, merr)
+				}
+			case OpRound:
+				srep, serr := session.RunRound()
+				mrep, merr := model.RunRound()
+				if (serr == nil) != (merr == nil) {
+					t.Fatalf("op %d: round errs diverge: session %v, model %v", i, serr, merr)
+				}
+				if serr != nil {
+					continue
+				}
+				if srep.Round != mrep.Round || srep.Participated != mrep.Participated ||
+					srep.SatOut != mrep.SatOut || srep.Groups != mrep.Groups ||
+					math.Float64bits(srep.Gain) != math.Float64bits(mrep.Gain) {
+					t.Fatalf("op %d: round reports diverge: session %+v, model %+v", i, *srep, *mrep)
+				}
+			default:
+				t.Fatalf("op %d: DecodeOps produced kind %v outside the fuzz vocabulary", i, op.Kind)
+			}
+		}
+
+		if session.Len() != model.Len() {
+			t.Fatalf("roster sizes diverge: session %d, model %d", session.Len(), model.Len())
+		}
+		if session.Rounds() != model.Rounds() {
+			t.Fatalf("round counts diverge: session %d, model %d", session.Rounds(), model.Rounds())
+		}
+		if math.Float64bits(session.TotalGain()) != math.Float64bits(model.TotalGain()) {
+			t.Fatalf("total gains diverge: session %v, model %v", session.TotalGain(), model.TotalGain())
+		}
+		ss, ms := session.Snapshot(), model.Snapshot()
+		for i := range ss {
+			if ss[i] != ms[i] { //peerlint:allow floateq — struct equality here asserts deliberate bit-exact agreement with the reference model
+				t.Fatalf("participant %d diverges: session %+v, model %+v", ss[i].ID, ss[i], ms[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package simtest
+
+import (
+	"fmt"
+	"slices"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/matchmaker"
+)
+
+// Model is the trivial single-threaded reference implementation of a
+// matchmaker session: a map of participants, the documented seating
+// rule, the shared core round kernel — and nothing else. No locks, no
+// optimistic retry, no metrics. The real Session, however its rounds
+// interleave with traffic, must remain observationally equivalent to
+// this model executing the same serialized op sequence; both the
+// simulation harness and FuzzMatchmakerOps enforce agreement bit for
+// bit.
+type Model struct {
+	groupSize int
+	mode      core.Mode
+	gain      core.Gain
+	policy    core.Grouper
+
+	nextID  matchmaker.ParticipantID
+	members map[matchmaker.ParticipantID]*matchmaker.Participant
+	rounds  int
+	total   float64
+}
+
+// NewModel returns a reference model for the given cohort parameters.
+// The policy must be deterministic (the DyGroups policies are): the
+// model and the real session hold separate instances and must still
+// compute identical groupings.
+func NewModel(groupSize int, mode core.Mode, gain core.Gain, policy core.Grouper) *Model {
+	return &Model{
+		groupSize: groupSize,
+		mode:      mode,
+		gain:      gain,
+		policy:    policy,
+		members:   make(map[matchmaker.ParticipantID]*matchmaker.Participant),
+	}
+}
+
+// Join mirrors Session.Join.
+func (m *Model) Join(skill float64) (matchmaker.ParticipantID, error) {
+	if err := core.ValidateSkills(core.Skills{skill}); err != nil {
+		return 0, err
+	}
+	m.nextID++
+	id := m.nextID
+	m.members[id] = &matchmaker.Participant{ID: id, Skill: skill, JoinedRound: m.rounds}
+	return id, nil
+}
+
+// Leave mirrors Session.Leave.
+func (m *Model) Leave(id matchmaker.ParticipantID) error {
+	if _, ok := m.members[id]; !ok {
+		return fmt.Errorf("model: unknown participant %d", id)
+	}
+	delete(m.members, id)
+	return nil
+}
+
+// Len returns the roster size.
+func (m *Model) Len() int { return len(m.members) }
+
+// Rounds returns how many rounds have run.
+func (m *Model) Rounds() int { return m.rounds }
+
+// TotalGain returns the accumulated gain.
+func (m *Model) TotalGain() float64 { return m.total }
+
+// IDs returns the live participant ids in ascending order.
+func (m *Model) IDs() []matchmaker.ParticipantID {
+	ids := make([]matchmaker.ParticipantID, 0, len(m.members))
+	for id := range m.members {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// Snapshot returns a copy of every participant sorted by id, matching
+// Session.Snapshot.
+func (m *Model) Snapshot() []matchmaker.Participant {
+	out := make([]matchmaker.Participant, 0, len(m.members))
+	for _, p := range m.members {
+		out = append(out, *p)
+	}
+	slices.SortFunc(out, func(a, b matchmaker.Participant) int { return int(a.ID - b.ID) })
+	return out
+}
+
+// roster returns the members sorted by the matchmaker's seating
+// priority: fewest rounds played, then earliest joiner, then id.
+func (m *Model) roster() []*matchmaker.Participant {
+	r := make([]*matchmaker.Participant, 0, len(m.members))
+	for _, p := range m.members {
+		r = append(r, p)
+	}
+	slices.SortFunc(r, func(pa, pb *matchmaker.Participant) int {
+		if pa.RoundsPlayed != pb.RoundsPlayed {
+			return pa.RoundsPlayed - pb.RoundsPlayed
+		}
+		if pa.JoinedRound != pb.JoinedRound {
+			return pa.JoinedRound - pb.JoinedRound
+		}
+		return int(pa.ID - pb.ID)
+	})
+	return r
+}
+
+// SeatedFirst returns the id of the highest-priority member — the one
+// the seating rule guarantees a seat in the next round — and false on
+// an empty roster. The stale-seat fault leaves exactly this member
+// mid-round, because removing a guaranteed-seated participant must
+// invalidate the optimistic snapshot.
+func (m *Model) SeatedFirst() (matchmaker.ParticipantID, bool) {
+	if len(m.members) == 0 {
+		return 0, false
+	}
+	return m.roster()[0].ID, true
+}
+
+// RunRound mirrors Session.RunRound on the serialized history: seat by
+// priority, group the seated skills, apply the round with the shared
+// core kernel, and install the results. Because it calls the same
+// kernel on the same inputs in the same order, its skills and gains
+// are bit-identical to the real session's, not merely approximately
+// equal.
+func (m *Model) RunRound() (*matchmaker.RoundReport, error) {
+	r := m.roster()
+	if len(r) < m.groupSize {
+		return nil, fmt.Errorf("model: %d present, need at least %d for one group", len(r), m.groupSize)
+	}
+	seatCount := (len(r) / m.groupSize) * m.groupSize
+	seated := r[:seatCount]
+	skills := make(core.Skills, seatCount)
+	for i, p := range seated {
+		skills[i] = p.Skill
+	}
+	k := seatCount / m.groupSize
+	grouping := m.policy.Group(skills, k)
+	if err := grouping.ValidateEqui(seatCount, k); err != nil {
+		return nil, fmt.Errorf("model: policy %s produced an invalid grouping: %w", m.policy.Name(), err)
+	}
+	next, gain, err := core.ApplyRound(skills, grouping, m.mode, m.gain)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range seated {
+		p.TotalGain += next[i] - p.Skill
+		p.Skill = next[i]
+		p.RoundsPlayed++
+	}
+	m.rounds++
+	m.total += gain
+	return &matchmaker.RoundReport{
+		Round:        m.rounds,
+		Participated: seatCount,
+		SatOut:       len(r) - seatCount,
+		Groups:       k,
+		Gain:         gain,
+		Attempts:     1,
+	}, nil
+}

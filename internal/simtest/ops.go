@@ -1,0 +1,213 @@
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// OpKind is one operation a simulated client can issue.
+type OpKind uint8
+
+const (
+	// OpJoin adds a participant with Op.Skill.
+	OpJoin OpKind = iota
+	// OpLeave removes a live participant; Op.Target picks which one
+	// (resolved modulo the live roster at execution time, so every
+	// subsequence of a schedule stays executable — the shrinker depends
+	// on that).
+	OpLeave
+	// OpRound triggers one learning round; Op.Fault may pervert it.
+	OpRound
+	// OpStatus reads the cohort status page and cross-checks it against
+	// the reference model.
+	OpStatus
+	// OpScrape fetches /metrics and sanity-checks the exposition.
+	OpScrape
+
+	numOpKinds
+)
+
+// String names the op kind for schedule dumps.
+func (k OpKind) String() string {
+	switch k {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpRound:
+		return "round"
+	case OpStatus:
+		return "status"
+	case OpScrape:
+		return "scrape"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one schedule entry: an operation attributed to a simulated
+// client, possibly carrying a fault.
+type Op struct {
+	// Client is the simulated client issuing the op (display only; the
+	// interleaving already encodes the concurrency).
+	Client int
+	// Kind selects the operation.
+	Kind OpKind
+	// Skill is the joining participant's initial skill (OpJoin).
+	Skill float64
+	// Target selects the leaving participant (OpLeave): an index into
+	// the sorted live-id list, modulo its length.
+	Target int
+	// Fault is the failure mode injected around the op (OpRound only).
+	Fault Fault
+}
+
+// String renders one op, e.g. "c2:join(0.83)" or "c0:round!staleseat".
+func (o Op) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d:%s", o.Client, o.Kind)
+	switch o.Kind {
+	case OpJoin:
+		fmt.Fprintf(&b, "(%.3f)", o.Skill)
+	case OpLeave:
+		fmt.Fprintf(&b, "(%d)", o.Target)
+	default:
+		// round/status/scrape carry no operand.
+	}
+	if o.Fault != FaultNone {
+		fmt.Fprintf(&b, "!%s", o.Fault)
+	}
+	return b.String()
+}
+
+// FormatOps renders a schedule one op per line — the byte-identical
+// dump replayed runs are compared on.
+func FormatOps(ops []Op) string {
+	var b strings.Builder
+	for i, o := range ops {
+		fmt.Fprintf(&b, "%4d %s\n", i, o)
+	}
+	return b.String()
+}
+
+// Generate derives the run's schedule from the seed: per-client op
+// streams drawn from a churn-heavy distribution, faults sprinkled over
+// the round triggers, interleaved by the seeded scheduler. The same
+// Config always generates the same schedule.
+func Generate(cfg Config) []Op {
+	cfg = cfg.withDefaults()
+	sched := NewSched(cfg.Seed)
+	rng := sched.Rand()
+
+	// Split the op budget across clients, then give each client a
+	// plausible sequential program: mostly joins early, churn later.
+	streams := make([][]Op, cfg.Clients)
+	per := cfg.Ops / cfg.Clients
+	for c := range streams {
+		n := per
+		if c < cfg.Ops%cfg.Clients {
+			n++
+		}
+		streams[c] = clientStream(rng, c, n, cfg)
+	}
+	ops := sched.Interleave(streams)
+	applyDelays(rng, ops)
+	return ops
+}
+
+// clientStream generates one client's sequential program.
+func clientStream(rng *rand.Rand, client, n int, cfg Config) []Op {
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		switch p := rng.Float64(); {
+		case p < 0.45:
+			ops = append(ops, Op{Client: client, Kind: OpJoin, Skill: randSkill(rng)})
+		case p < 0.60:
+			ops = append(ops, Op{Client: client, Kind: OpLeave, Target: rng.Intn(1 << 16)})
+		case p < 0.85:
+			round := Op{Client: client, Kind: OpRound, Fault: pickFault(rng, cfg.Faults)}
+			if round.Fault == FaultStorm {
+				// The storm is the burst itself; keep it in program
+				// order right before the trigger.
+				burst := 2 + rng.Intn(4)
+				for i := 0; i < burst && len(ops) < n-1; i++ {
+					if rng.Intn(2) == 0 {
+						ops = append(ops, Op{Client: client, Kind: OpJoin, Skill: randSkill(rng)})
+					} else {
+						ops = append(ops, Op{Client: client, Kind: OpLeave, Target: rng.Intn(1 << 16)})
+					}
+				}
+			}
+			ops = append(ops, round)
+		case p < 0.95:
+			ops = append(ops, Op{Client: client, Kind: OpStatus})
+		default:
+			ops = append(ops, Op{Client: client, Kind: OpScrape})
+		}
+	}
+	return ops[:n]
+}
+
+// randSkill draws an initial skill in [0.5, 1.5), comfortably inside
+// the model's positive-finite domain.
+func randSkill(rng *rand.Rand) float64 { return 0.5 + rng.Float64() }
+
+// pickFault decides whether a round trigger misbehaves; roughly one
+// round in three carries a fault when any are enabled.
+func pickFault(rng *rand.Rand, enabled []Fault) Fault {
+	if len(enabled) == 0 || rng.Float64() >= 0.35 {
+		return FaultNone
+	}
+	return enabled[rng.Intn(len(enabled))]
+}
+
+// applyDelays realizes FaultDelay: each delayed round trigger is
+// displaced a few slots later in the total order (past other clients'
+// traffic), modeling a timer that fired late. Displacement is part of
+// generation, so it is as replayable as everything else.
+func applyDelays(rng *rand.Rand, ops []Op) {
+	for i := 0; i < len(ops); i++ {
+		if ops[i].Kind != OpRound || ops[i].Fault != FaultDelay {
+			continue
+		}
+		shift := 1 + rng.Intn(8)
+		j := i + shift
+		if j >= len(ops) {
+			j = len(ops) - 1
+		}
+		op := ops[i]
+		copy(ops[i:j], ops[i+1:j+1])
+		ops[j] = op
+		i = j // don't re-delay the op we just moved
+	}
+}
+
+// DecodeOps decodes an arbitrary byte string into a join/leave/round
+// op sequence — the model-based fuzzing front end (FuzzMatchmakerOps).
+// Every byte string decodes to a valid schedule; the coverage-guided
+// fuzzer mutates bytes, not structs.
+func DecodeOps(data []byte) []Op {
+	var ops []Op
+	for i := 0; i < len(data); i++ {
+		switch data[i] % 3 {
+		case 0: // join, skill from the next byte
+			skill := 0.5
+			if i+1 < len(data) {
+				i++
+				skill = 0.5 + float64(data[i])/256
+			}
+			ops = append(ops, Op{Kind: OpJoin, Skill: skill})
+		case 1: // leave, target from the next byte
+			target := 0
+			if i+1 < len(data) {
+				i++
+				target = int(data[i])
+			}
+			ops = append(ops, Op{Kind: OpLeave, Target: target})
+		default:
+			ops = append(ops, Op{Kind: OpRound})
+		}
+	}
+	return ops
+}

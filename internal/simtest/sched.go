@@ -1,0 +1,56 @@
+package simtest
+
+import (
+	"math/rand"
+)
+
+// Sched is the seeded scheduler: it owns the run's single source of
+// randomness and serializes the op streams of simulated concurrent
+// clients into one controlled pseudo-random total order. Determinism
+// is the point — the same seed always yields the same interleaving, so
+// any failure it provokes is replayable from the seed alone.
+type Sched struct {
+	rng *rand.Rand
+}
+
+// NewSched returns a scheduler seeded with seed.
+func NewSched(seed int64) *Sched {
+	return &Sched{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the scheduler's generator for schedule generation; it
+// is the only randomness a simulation may consume.
+func (s *Sched) Rand() *rand.Rand { return s.rng }
+
+// Interleave merges per-client op streams into one total order,
+// repeatedly picking a nonempty stream at random; within a stream,
+// order is preserved (a client's own ops never reorder, like a
+// pipelined connection). The result is a uniformly random shuffle
+// constrained by per-client program order — exactly the set of
+// interleavings a real scheduler could produce for independent
+// sequential clients.
+func (s *Sched) Interleave(streams [][]Op) []Op {
+	total := 0
+	for _, st := range streams {
+		total += len(st)
+	}
+	out := make([]Op, 0, total)
+	heads := make([]int, len(streams))
+	live := make([]int, 0, len(streams))
+	for i, st := range streams {
+		if len(st) > 0 {
+			live = append(live, i)
+		}
+	}
+	for len(live) > 0 {
+		pick := s.rng.Intn(len(live))
+		ci := live[pick]
+		out = append(out, streams[ci][heads[ci]])
+		heads[ci]++
+		if heads[ci] == len(streams[ci]) {
+			live[pick] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package simtest
+
+// Shrink greedily minimizes a failing schedule: it repeatedly tries to
+// delete chunks — halves first, then quarters, down to single ops —
+// re-running the simulation on each candidate, and keeps any deletion
+// that still fails. Ops are position-independent (leave targets resolve
+// modulo the live roster), so every subsequence is a valid schedule.
+//
+// The result is 1-minimal up to the attempt budget: no single remaining
+// op can be removed without losing the failure. maxRuns bounds the
+// total re-executions (0 means a default of 400); a failing func is
+// typically func(s []Op) bool { return Run(cfg, s).Failed() }.
+func Shrink(ops []Op, failing func([]Op) bool, maxRuns int) []Op {
+	if maxRuns <= 0 {
+		maxRuns = 400
+	}
+	runs := 0
+	try := func(cand []Op) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return failing(cand)
+	}
+
+	cur := append([]Op(nil), ops...)
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) < len(cur) && try(cand) {
+				cur = cand
+				removedAny = true
+				// Re-test the same start: the next chunk slid into it.
+			} else {
+				start = end
+			}
+			if runs >= maxRuns {
+				return cur
+			}
+		}
+		if chunk == 1 && !removedAny {
+			break
+		}
+		if !removedAny || chunk > 1 {
+			chunk /= 2
+		}
+	}
+	return cur
+}
