@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix fuzz-smoke cover sim-smoke clean
+.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix audit fuzz-smoke cover sim-smoke clean
 
 all: build test
 
@@ -45,14 +45,20 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus the project-specific peerlint suite,
-# test files included (ctxleak, floateq, lockheld, modeswitch,
-# panicfree, randsource, unlockpath — see docs/LINTERS.md).
+# test files included (ctxleak, floateq, goleak, hotalloc, lockheld,
+# modeswitch, panicfree, randsource, unlockpath — see
+# docs/LINTERS.md).
 lint: vet
 	$(GO) run ./cmd/peerlint -tests ./...
 
 # Apply peerlint's suggested fixes (defer insertions) in place.
 lint-fix:
 	$(GO) run ./cmd/peerlint -fix -tests ./...
+
+# Inventory of every //peerlint:allow suppression with its
+# justification; fails if any allow lacks a reason.
+audit:
+	$(GO) run ./cmd/peerlint -tests -audit ./...
 
 # Short fuzzing pass over every fuzz target, one at a time (the fuzz
 # engine accepts a single -fuzz target per package invocation).
@@ -63,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzTheorem3FastMatchesNaive -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=. -fuzztime=$(FUZZTIME) ./internal/ledger
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/analysis/cfg
+	$(GO) test -fuzz=FuzzCallGraph -fuzztime=$(FUZZTIME) ./internal/analysis/callgraph
 	$(GO) test -fuzz=FuzzMatchmakerOps -fuzztime=$(FUZZTIME) ./internal/simtest
 
 # Coverage with an enforced floor: fails if total statement coverage

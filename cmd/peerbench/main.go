@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -184,8 +185,9 @@ func chunkGrouping(n, k int) core.Grouping {
 
 // buildReport runs the whole suite. quick drops the n=100k entries so
 // the CI smoke stays fast; names are identical across modes so the
-// regression comparison matches entries by name.
-func buildReport(quick bool, target time.Duration) (*Report, error) {
+// regression comparison matches entries by name. Progress lines go to
+// stderr, keeping stdout clean for the JSON report.
+func buildReport(quick bool, target time.Duration, stderr io.Writer) (*Report, error) {
 	rep := &Report{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), Quick: quick}
 	add := func(name string, n int, m measurement) *Entry {
 		rep.Entries = append(rep.Entries, Entry{
@@ -197,7 +199,7 @@ func buildReport(quick bool, target time.Duration) (*Report, error) {
 			BeforeNsPerOp: seedNsPerOp[name],
 		})
 		e := &rep.Entries[len(rep.Entries)-1]
-		fmt.Fprintf(os.Stderr, "%-28s n=%-7d %14.0f ns/op %10.1f allocs/op\n", name, n, m.nsPerOp, m.allocsPerOp)
+		fmt.Fprintf(stderr, "%-28s n=%-7d %14.0f ns/op %10.1f allocs/op\n", name, n, m.nsPerOp, m.allocsPerOp)
 		return e
 	}
 
@@ -264,7 +266,7 @@ func buildReport(quick bool, target time.Duration) (*Report, error) {
 			}
 			e := add(slug, n, par)
 			e.SpeedupVsSerial = serial.nsPerOp / par.nsPerOp
-			fmt.Fprintf(os.Stderr, "%-28s %42.2fx vs serial\n", slug, e.SpeedupVsSerial)
+			fmt.Fprintf(stderr, "%-28s %42.2fx vs serial\n", slug, e.SpeedupVsSerial)
 		}
 	}
 
@@ -313,7 +315,7 @@ func modeSlug(m core.Mode) string {
 // the baseline file regresses ns/op by more than maxRegress
 // (fractional, e.g. 0.25 = 25%). Entries present on only one side are
 // skipped, so quick runs compare naturally against a full baseline.
-func compare(rep *Report, baselinePath string, maxRegress float64) error {
+func compare(rep *Report, baselinePath string, maxRegress float64, stderr io.Writer) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -338,7 +340,7 @@ func compare(rep *Report, baselinePath string, maxRegress float64) error {
 			status = "REGRESSION"
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx)", e.Name, e.NsPerOp, b, ratio))
 		}
-		fmt.Fprintf(os.Stderr, "compare %-28s %6.2fx of baseline  %s\n", e.Name, ratio, status)
+		fmt.Fprintf(stderr, "compare %-28s %6.2fx of baseline  %s\n", e.Name, ratio, status)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d entr%s regressed more than %.0f%%:\n  %s",
@@ -366,12 +368,23 @@ func joinLines(lines []string) string {
 }
 
 func main() {
-	quick := flag.Bool("quick", false, "CI-sized sweep: drop the n=100k entries and shorten the per-entry budget")
-	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
-	comparePath := flag.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression")
-	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression in -compare mode")
-	benchtime := flag.Duration("benchtime", 0, "per-entry measurement budget (default 1s, 250ms with -quick)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args, executes the sweep, and returns the process exit
+// code: 0 on success, 1 on a measurement failure or regression, 2 on
+// bad flags.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("peerbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "CI-sized sweep: drop the n=100k entries and shorten the per-entry budget")
+	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	comparePath := fs.String("compare", "", "baseline BENCH_*.json to compare against; exit 1 on regression")
+	maxRegress := fs.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression in -compare mode")
+	benchtime := fs.Duration("benchtime", 0, "per-entry measurement budget (default 1s, 250ms with -quick)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	target := *benchtime
 	if target <= 0 {
@@ -381,31 +394,32 @@ func main() {
 		}
 	}
 
-	rep, err := buildReport(*quick, target)
+	rep, err := buildReport(*quick, target, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "peerbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "peerbench:", err)
+		return 1
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "peerbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "peerbench:", err)
+		return 1
 	}
 	enc = append(enc, '\n')
 	if *out != "" {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "peerbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "peerbench:", err)
+			return 1
 		}
 	} else {
-		os.Stdout.Write(enc)
+		stdout.Write(enc)
 	}
 
 	if *comparePath != "" {
-		if err := compare(rep, *comparePath, *maxRegress); err != nil {
-			fmt.Fprintln(os.Stderr, "peerbench:", err)
-			os.Exit(1)
+		if err := compare(rep, *comparePath, *maxRegress, stderr); err != nil {
+			fmt.Fprintln(stderr, "peerbench:", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchArgs is the fastest possible full pass: quick drops the 100k
+// entries and the 1ms budget makes every measurement a warm-up plus a
+// single timed iteration. The resulting numbers are noise — the tests
+// only assert on report structure and exit codes, never on timings.
+var benchArgs = []string{"-quick", "-benchtime", "1ms"}
+
+// writeBaseline crafts a baseline report that assigns nsPerOp to every
+// known entry name, so a -compare run matches each shared entry.
+func writeBaseline(t *testing.T, nsPerOp float64) string {
+	t.Helper()
+	names := []string{
+		"dygroups-star-run-1k", "dygroups-star-run-10k",
+		"dygroups-clique-run-1k", "dygroups-clique-run-10k",
+		"random-run-10k", "kmeans-run-10k", "lpa-run-10k", "percentile-run-10k",
+		"apply-round-star-1k", "apply-round-star-10k",
+		"apply-round-clique-1k", "apply-round-clique-10k",
+		"aggregate-gain-star-10k",
+		"anneal-star-1k", "anneal-star-10k",
+		"anneal-clique-1k", "anneal-clique-10k",
+		"anneal-generic-1k",
+	}
+	base := Report{GoVersion: "crafted", Quick: true}
+	for _, n := range names {
+		base.Entries = append(base.Entries, Entry{Name: n, NsPerOp: nsPerOp})
+	}
+	raw, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQuickOutCompareRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep")
+	}
+	// A generously slow baseline: nothing can regress against it, so
+	// -out and -compare succeed in one sweep.
+	baseline := writeBaseline(t, 1e15)
+	outPath := filepath.Join(t.TempDir(), "report.json")
+
+	var stdout, stderr strings.Builder
+	args := append(append([]string{}, benchArgs...), "-out", outPath, "-compare", baseline)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-out should keep stdout empty, got:\n%s", stdout.String())
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("-out did not write the report: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Quick {
+		t.Error("report should record quick=true")
+	}
+	byName := make(map[string]Entry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v, want > 0", e.Name, e.NsPerOp)
+		}
+		if e.N >= 100000 {
+			t.Errorf("%s: quick mode must drop the n=100k entries (n=%d)", e.Name, e.N)
+		}
+	}
+	for _, want := range []string{
+		"dygroups-star-run-10k", "apply-round-clique-1k", "anneal-star-10k", "aggregate-gain-star-10k",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("report missing entry %q", want)
+		}
+	}
+	//peerlint:allow floateq — the seed constant must survive the JSON round-trip bit-exactly
+	if e := byName["anneal-star-10k"]; e.BeforeNsPerOp != seedNsPerOp["anneal-star-10k"] {
+		t.Errorf("before_ns_per_op = %v, want seed %v", e.BeforeNsPerOp, seedNsPerOp["anneal-star-10k"])
+	}
+	// Every compared entry should have been reported to stderr.
+	if !strings.Contains(stderr.String(), "compare") || strings.Contains(stderr.String(), "REGRESSION") {
+		t.Errorf("compare against the slow baseline should be all ok:\n%s", stderr.String())
+	}
+}
+
+func TestRunCompareFlagsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep")
+	}
+	// An impossibly fast baseline: every shared entry regresses, even
+	// with a huge tolerance.
+	baseline := writeBaseline(t, 0.001)
+
+	var stdout, stderr strings.Builder
+	args := append(append([]string{}, benchArgs...), "-compare", baseline, "-max-regress", "10")
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (regression)\nstderr: %s", code, stderr.String())
+	}
+	got := stderr.String()
+	if !strings.Contains(got, "REGRESSION") || !strings.Contains(got, "regressed more than") {
+		t.Errorf("stderr should name the regressions:\n%s", got)
+	}
+	// The report still lands on stdout before the comparison fails.
+	var rep Report
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Errorf("stdout report is not valid JSON: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunMissingBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep")
+	}
+	var stdout, stderr strings.Builder
+	args := append(append([]string{}, benchArgs...), "-compare", filepath.Join(t.TempDir(), "nope.json"))
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "read baseline") {
+		t.Errorf("stderr should explain the missing baseline:\n%s", stderr.String())
+	}
+}

@@ -3,13 +3,15 @@
 // the reproduction's correctness properties — no raw float equality
 // (floateq), no global math/rand in library code (randsource),
 // exhaustive interaction-mode switches (modeswitch), no panics in
-// library code (panicfree), and the flow-sensitive lock and context
+// library code (panicfree), the flow-sensitive lock and context
 // disciplines (lockheld, unlockpath, ctxleak) built on the
-// internal/analysis/cfg dataflow layer.
+// internal/analysis/cfg dataflow layer, and the interprocedural
+// contracts (hotalloc, goleak) built on the module call graph.
 //
 // Usage:
 //
-//	go run ./cmd/peerlint [-list] [-tests] [-json] [-fix] [packages]
+//	go run ./cmd/peerlint [-list] [-tests] [-json] [-fix] [-audit]
+//	                      [-graph json|dot] [-why file:line] [packages]
 //
 // Packages default to ./... relative to the module root. The exit code
 // is 0 when the tree is clean, 1 when findings are reported, and 2 on
@@ -17,8 +19,18 @@
 // files (in-package and external test packages). -json prints one JSON
 // object per finding, with file paths relative to the module root.
 // -fix applies each finding's first suggested fix (non-overlapping,
-// gofmt-formatted) and exits 0 when every finding was fixed. Individual
-// lines may opt out with an inline justification:
+// gofmt-formatted) and exits 0 when every finding was fixed.
+//
+// Three inspection modes replace the normal check run:
+//
+//	-audit          list every //peerlint:allow with its justification;
+//	                exit 1 if any allow carries no reason
+//	-graph json|dot dump the module call graph
+//	-why file:line  explain a function's hot-path status: the chain
+//	                from the nearest //peerlint:hotpath root and the
+//	                function's classified allocation sites
+//
+// Individual lines may opt out with an inline justification:
 //
 //	//peerlint:allow floateq — exact sentinel comparison is intended
 package main
@@ -36,6 +48,8 @@ import (
 	"peerlearn/internal/analysis/checker"
 	"peerlearn/internal/analysis/ctxleak"
 	"peerlearn/internal/analysis/floateq"
+	"peerlearn/internal/analysis/goleak"
+	"peerlearn/internal/analysis/hotalloc"
 	"peerlearn/internal/analysis/load"
 	"peerlearn/internal/analysis/lockheld"
 	"peerlearn/internal/analysis/modeswitch"
@@ -48,6 +62,8 @@ import (
 var suite = []*analysis.Analyzer{
 	ctxleak.Analyzer,
 	floateq.Analyzer,
+	goleak.Analyzer,
+	hotalloc.Analyzer,
 	lockheld.Analyzer,
 	modeswitch.Analyzer,
 	panicfree.Analyzer,
@@ -60,6 +76,12 @@ type options struct {
 	json  bool
 	fix   bool
 	tests bool
+	audit bool
+	// graph is "json" or "dot" to dump the call graph instead of
+	// checking.
+	graph string
+	// why is a file:line position to explain instead of checking.
+	why string
 }
 
 func main() {
@@ -68,8 +90,11 @@ func main() {
 	flag.BoolVar(&opts.json, "json", false, "print findings as JSON, one object per line")
 	flag.BoolVar(&opts.fix, "fix", false, "apply suggested fixes in place")
 	flag.BoolVar(&opts.tests, "tests", false, "also analyze _test.go files")
+	flag.BoolVar(&opts.audit, "audit", false, "list every //peerlint:allow with its reason; fail on reason-less allows")
+	flag.StringVar(&opts.graph, "graph", "", "dump the module call graph as `json|dot` and exit")
+	flag.StringVar(&opts.why, "why", "", "explain the hot-path status of the function at `file:line` and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: peerlint [-list] [-tests] [-json] [-fix] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: peerlint [-list] [-tests] [-json] [-fix] [-audit] [-graph json|dot] [-why file:line] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -124,6 +149,16 @@ func run(dir string, patterns []string, opts options, stdout, stderr io.Writer) 
 		fmt.Fprintln(stderr, "peerlint:", err)
 		return 2
 	}
+
+	switch {
+	case opts.audit:
+		return runAudit(root, loader.Fset, pkgs, stdout, stderr)
+	case opts.graph != "":
+		return runGraph(root, loader.Fset, pkgs, opts.graph, stdout, stderr)
+	case opts.why != "":
+		return runWhy(root, loader.Fset, pkgs, opts.why, stdout, stderr)
+	}
+
 	findings, err := checker.Run(loader.Fset, pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(stderr, "peerlint:", err)

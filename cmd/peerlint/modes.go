@@ -1,0 +1,185 @@
+// The driver's inspection modes: -audit (suppression inventory),
+// -graph (call graph dump), -why (hot-path explanation). Each replaces
+// the normal check run and owns its exit-code contract.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/allocfacts"
+	"peerlearn/internal/analysis/callgraph"
+	"peerlearn/internal/analysis/checker"
+	"peerlearn/internal/analysis/hotalloc"
+	"peerlearn/internal/analysis/load"
+)
+
+// runAudit lists every //peerlint:allow in the loaded packages with its
+// justification and returns 1 when any allow carries none — the gate
+// that keeps suppressions from accumulating without review.
+func runAudit(root string, fset *token.FileSet, pkgs []*load.Package, stdout, stderr io.Writer) int {
+	type entry struct {
+		pos   token.Position
+		allow analysis.Allow
+	}
+	seen := make(map[string]bool)
+	var entries []entry
+	for _, pkg := range pkgs {
+		for _, a := range analysis.ParseAllows(fset, pkg.Files) {
+			// Test-variant packages re-parse the base files; dedupe by
+			// printed position.
+			key := a.Position.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			entries = append(entries, entry{pos: a.Position, allow: a})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].pos, entries[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+
+	missing := 0
+	for _, e := range entries {
+		loc := fmt.Sprintf("%s:%d", relPath(root, e.pos.Filename), e.pos.Line)
+		names := strings.Join(e.allow.Analyzers, ",")
+		if e.allow.Reason == "" {
+			missing++
+			fmt.Fprintf(stdout, "%s: allow %s — MISSING REASON\n", loc, names)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: allow %s — %s\n", loc, names, e.allow.Reason)
+	}
+	fmt.Fprintf(stdout, "peerlint: %d suppression(s), %d without reason\n", len(entries), missing)
+	if missing > 0 {
+		fmt.Fprintf(stderr, "peerlint: %d suppression(s) lack a justification — add one after an em dash or --\n", missing)
+		return 1
+	}
+	return 0
+}
+
+// runGraph dumps the module call graph.
+func runGraph(root string, fset *token.FileSet, pkgs []*load.Package, format string, stdout, stderr io.Writer) int {
+	g := callgraph.Build(fset, checker.ModulePackages(pkgs))
+	switch format {
+	case "json":
+		rel := func(p token.Position) string {
+			return fmt.Sprintf("%s:%d:%d", relPath(root, p.Filename), p.Line, p.Column)
+		}
+		if err := g.JSON(stdout, rel); err != nil {
+			fmt.Fprintln(stderr, "peerlint:", err)
+			return 2
+		}
+	case "dot":
+		if err := g.DOT(stdout); err != nil {
+			fmt.Fprintln(stderr, "peerlint:", err)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "peerlint: -graph wants json or dot, got %q\n", format)
+		return 2
+	}
+	return 0
+}
+
+// runWhy explains the hot-path status of the function containing
+// file:line — the chain from the nearest hotpath root (or the fact that
+// none reaches it) and the function's classified allocation sites.
+// Exit codes: 0 explained, 1 position not found, 2 malformed position.
+func runWhy(root string, fset *token.FileSet, pkgs []*load.Package, where string, stdout, stderr io.Writer) int {
+	file, line, err := parsePos(where)
+	if err != nil {
+		fmt.Fprintln(stderr, "peerlint:", err)
+		return 2
+	}
+
+	g := callgraph.Build(fset, checker.ModulePackages(pkgs))
+	node := nodeAt(fset, g, file, line)
+	if node == nil {
+		fmt.Fprintf(stderr, "peerlint: no module function at %s:%d\n", file, line)
+		return 1
+	}
+	facts := allocfacts.Compute(g)
+	chains := hotalloc.Chains(g)
+
+	pos := fset.Position(node.Decl.Pos())
+	fmt.Fprintf(stdout, "%s (%s:%d)\n", node.Name(), relPath(root, pos.Filename), pos.Line)
+
+	switch chain, hot := chains[node]; {
+	case !hot:
+		fmt.Fprintf(stdout, "  not reachable from any //peerlint:hotpath root — hotalloc does not constrain it\n")
+	case len(chain) == 1:
+		fmt.Fprintf(stdout, "  //peerlint:hotpath root — its whole module call tree must be allocation-free\n")
+	default:
+		names := make([]string, len(chain))
+		for i, n := range chain {
+			names[i] = n.Name()
+		}
+		fmt.Fprintf(stdout, "  on the hot path: %s\n", strings.Join(names, " → "))
+	}
+
+	sum := facts.Summary(node)
+	if len(sum.Sites) == 0 {
+		fmt.Fprintf(stdout, "  no local allocation sites\n")
+	} else {
+		fmt.Fprintf(stdout, "  allocation sites:\n")
+		for _, s := range sum.Sites {
+			p := fset.Position(s.Pos)
+			fmt.Fprintf(stdout, "    %s:%d:%d: %s (%s)\n", relPath(root, p.Filename), p.Line, p.Column, s.What, s.Class)
+		}
+	}
+	if transitive := facts.MayAllocate(node); transitive && len(sum.Steady()) == 0 {
+		fmt.Fprintf(stdout, "  a module callee may allocate — run the hotalloc analyzer for the offending chain\n")
+	}
+	return 0
+}
+
+// parsePos splits "file.go:123" (an optional trailing :col is
+// accepted and ignored).
+func parsePos(s string) (file string, line int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 {
+		return "", 0, fmt.Errorf("-why wants file:line, got %q", s)
+	}
+	// A trailing column is allowed: file:line:col.
+	if len(parts) >= 3 {
+		if _, colErr := strconv.Atoi(parts[len(parts)-1]); colErr == nil {
+			if l, lineErr := strconv.Atoi(parts[len(parts)-2]); lineErr == nil {
+				return strings.Join(parts[:len(parts)-2], ":"), l, nil
+			}
+		}
+	}
+	line, err = strconv.Atoi(parts[len(parts)-1])
+	if err != nil {
+		return "", 0, fmt.Errorf("-why wants file:line, got %q", s)
+	}
+	return strings.Join(parts[:len(parts)-1], ":"), line, nil
+}
+
+// nodeAt finds the graph node whose declaration spans file:line. The
+// file matches by suffix, so both absolute and module-relative paths
+// work.
+func nodeAt(fset *token.FileSet, g *callgraph.Graph, file string, line int) *callgraph.Node {
+	file = strings.TrimPrefix(file, "./")
+	for _, n := range g.Nodes {
+		start := fset.Position(n.Decl.Pos())
+		end := fset.Position(n.Decl.End())
+		if !strings.HasSuffix(start.Filename, file) {
+			continue
+		}
+		if line >= start.Line && line <= end.Line {
+			return n
+		}
+	}
+	return nil
+}

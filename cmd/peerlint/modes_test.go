@@ -1,0 +1,299 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// hotModule is a miniature kernel shape: a hotpath-annotated root whose
+// callee tree contains one steady allocation.
+var hotModule = map[string]string{
+	"go.mod": "module sandbox\n\ngo 1.22\n",
+	"lib/lib.go": `package lib
+
+// Apply is the hot entry point.
+//
+//peerlint:hotpath
+func Apply(s []float64) float64 {
+	return helper(s)
+}
+
+func helper(s []float64) float64 {
+	tmp := make([]float64, len(s))
+	copy(tmp, s)
+	var t float64
+	for _, v := range tmp {
+		t += v
+	}
+	return t
+}
+`,
+}
+
+func TestRunHotalloc(t *testing.T) {
+	dir := writeModule(t, hotModule)
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"hotalloc",
+		"hot path must stay allocation-free",
+		"make []float64",
+		"call chain: Apply → helper",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunHotallocJSON(t *testing.T) {
+	dir := writeModule(t, hotModule)
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{json: true}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 JSON finding, got %d:\n%s", len(lines), out.String())
+	}
+	var f jsonFinding
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if f.Analyzer != "hotalloc" || f.File != "lib/lib.go" {
+		t.Errorf("finding = %+v, want hotalloc in lib/lib.go", f)
+	}
+	if !strings.Contains(f.Message, "call chain: Apply → helper") {
+		t.Errorf("JSON message lost the call chain: %q", f.Message)
+	}
+}
+
+func TestRunHotallocCleanAmortized(t *testing.T) {
+	// The workspace idiom — guarded growth and self-append into a
+	// persistent buffer — must pass the contract.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+type Workspace struct {
+	vals []float64
+}
+
+// Sum reuses the workspace's scratch buffer.
+//
+//peerlint:hotpath
+func (w *Workspace) Sum(s []float64) float64 {
+	vals := w.vals[:0]
+	for _, v := range s {
+		vals = append(vals, v)
+	}
+	w.vals = vals
+	var t float64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (amortized growth is allowed)\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+}
+
+func TestRunGoleak(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+import "sync"
+
+// Spin leaks: the spawned loop has no exit.
+func Spin() {
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// SkipDone leaks the Done on the early-return path.
+func SkipDone(wg *sync.WaitGroup, ch chan int) {
+	go func() {
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		_ = v
+		wg.Done()
+	}()
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"goroutine leak: unbounded for loop",
+		"goroutine leak: WaitGroup.Done is skipped",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	withReasons := map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+
+func Eq(x, y float64) bool {
+	//peerlint:allow floateq — exact sentinel comparison is intended
+	return x == y
+}
+`,
+	}
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, withReasons)
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{audit: true}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{
+			"lib/lib.go:4: allow floateq — exact sentinel comparison is intended",
+			"1 suppression(s), 0 without reason",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("audit output missing %q:\n%s", want, got)
+			}
+		}
+	})
+	t.Run("missing reason", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module sandbox\n\ngo 1.22\n",
+			"lib/lib.go": `package lib
+
+func Eq(x, y float64) bool {
+	//peerlint:allow floateq
+	return x == y
+}
+`,
+		})
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{audit: true}, &out, &errOut); code != 1 {
+			t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "MISSING REASON") {
+			t.Errorf("audit output missing MISSING REASON marker:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "1 suppression(s), 1 without reason") {
+			t.Errorf("audit summary wrong:\n%s", out.String())
+		}
+	})
+}
+
+func TestRunGraph(t *testing.T) {
+	t.Run("json", func(t *testing.T) {
+		dir := writeModule(t, hotModule)
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{graph: "json"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		var g struct {
+			Nodes []struct {
+				Name    string `json:"name"`
+				Hotpath bool   `json:"hotpath,omitempty"`
+			} `json:"nodes"`
+			Edges []struct {
+				Caller int    `json:"caller"`
+				Callee int    `json:"callee"`
+				Kind   string `json:"kind"`
+			} `json:"edges"`
+		}
+		if err := json.Unmarshal([]byte(out.String()), &g); err != nil {
+			t.Fatalf("-graph json is not valid JSON: %v\n%s", err, out.String())
+		}
+		if len(g.Nodes) != 2 || len(g.Edges) != 1 {
+			t.Fatalf("graph shape = %d nodes / %d edges, want 2/1:\n%s", len(g.Nodes), len(g.Edges), out.String())
+		}
+		if !g.Nodes[g.Edges[0].Caller].Hotpath || g.Edges[0].Kind != "static" {
+			t.Errorf("edge should be a static call out of the hotpath root:\n%s", out.String())
+		}
+	})
+	t.Run("dot", func(t *testing.T) {
+		dir := writeModule(t, hotModule)
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{graph: "dot"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{"digraph callgraph {", "Apply", "helper", "->"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("-graph dot output missing %q:\n%s", want, got)
+			}
+		}
+	})
+	t.Run("bad format", func(t *testing.T) {
+		dir := writeModule(t, hotModule)
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{graph: "xml"}, &out, &errOut); code != 2 {
+			t.Fatalf("exit code = %d, want 2", code)
+		}
+		if !strings.Contains(errOut.String(), "json or dot") {
+			t.Errorf("stderr should name the accepted formats:\n%s", errOut.String())
+		}
+	})
+}
+
+func TestRunWhy(t *testing.T) {
+	dir := writeModule(t, hotModule)
+
+	t.Run("on the hot path", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "lib/lib.go:11"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{
+			"helper (lib/lib.go:10)",
+			"on the hot path: Apply → helper",
+			"make []float64",
+			"steady",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("-why output missing %q:\n%s", want, got)
+			}
+		}
+	})
+	t.Run("root", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "lib/lib.go:6"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "//peerlint:hotpath root") {
+			t.Errorf("-why on the root should say so:\n%s", out.String())
+		}
+	})
+	t.Run("not found", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "lib/lib.go:999"}, &out, &errOut); code != 1 {
+			t.Fatalf("exit code = %d, want 1", code)
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "nonsense"}, &out, &errOut); code != 2 {
+			t.Fatalf("exit code = %d, want 2", code)
+		}
+	})
+}

@@ -1,0 +1,891 @@
+// Package allocfacts computes per-function "may allocate" summaries
+// over the module call graph — the fact layer underneath the hotalloc
+// analyzer's static zero-alloc contract.
+//
+// The unit of reasoning is the allocation Site: one expression or
+// statement that can put bytes on the heap, classified three ways:
+//
+//   - Steady: allocates every time the path executes (a fresh make, a
+//     slice literal, a capturing closure that escapes, a call the
+//     analysis cannot prove allocation-free). Steady sites are what the
+//     zero-alloc contract forbids.
+//   - Amortized: allocates only while a persistent buffer grows to its
+//     high-water mark and never again afterwards — the workspace idiom
+//     the PR 4 kernel is built on. Two shapes are recognized: a make
+//     guarded by a cap/len comparison (`if cap(x) < n { x = make(...)
+//     }`), and a self-append into a buffer that outlives the call
+//     (`pairs := scratch.pairs[:0]; pairs = append(pairs, …)`).
+//     Amortized sites satisfy the contract.
+//   - Cold: on an error or panic path that a steady-state round never
+//     takes — an allocation inside the error-typed result of a return,
+//     or inside a panic's arguments. Cold sites satisfy the contract;
+//     diagnostics are the one place allocation is the point.
+//
+// Summaries are local: a function's Sites list only its own syntax.
+// Interprocedural judgment is the bottom-up propagation MayAllocate,
+// folded over the call graph's SCC condensation: a function may
+// allocate iff it has a Steady site or any module callee (static, CHA,
+// or escaping reference) may. Calls that leave the module are resolved
+// against a curated allowlist of provably non-allocating standard
+// library callees; everything else — unknown stdlib, dynamic calls
+// through function values, interface dispatch with no module
+// implementation — becomes a Steady site, because an analysis that
+// guesses in the optimistic direction would let the contract rot.
+package allocfacts
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"peerlearn/internal/analysis/callgraph"
+)
+
+// Class ranks how an allocation site behaves at steady state.
+type Class int
+
+const (
+	// Steady sites allocate every execution; they violate the hot-path
+	// contract.
+	Steady Class = iota
+	// Amortized sites allocate only while a persistent buffer grows to
+	// its high-water mark.
+	Amortized
+	// Cold sites sit on error/panic paths a healthy round never takes.
+	Cold
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case Steady:
+		return "steady"
+	case Amortized:
+		return "amortized"
+	case Cold:
+		return "cold"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Site is one potential allocation in one function.
+type Site struct {
+	// Pos locates the allocating expression or statement.
+	Pos token.Pos
+	// What describes the allocation ("make([]T) without cap guard",
+	// "call to fmt.Sprintf (not proven allocation-free)").
+	What string
+	// Class is the steady-state behavior.
+	Class Class
+}
+
+// Summary holds one function's local allocation facts.
+type Summary struct {
+	// Node is the function summarized.
+	Node *callgraph.Node
+	// Sites lists the function's own allocation sites, all classes, in
+	// source order.
+	Sites []Site
+}
+
+// Steady returns the summary's steady sites — the contract violations.
+func (s *Summary) Steady() []Site {
+	var out []Site
+	for _, site := range s.Sites {
+		if site.Class == Steady {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+// Facts is the module-wide allocation fact table.
+type Facts struct {
+	// Graph is the call graph the facts were computed over.
+	Graph *callgraph.Graph
+	// Summaries holds one local summary per graph node.
+	Summaries map[*callgraph.Node]*Summary
+	mayAlloc  map[*callgraph.Node]bool
+}
+
+// Compute scans every graph node for local allocation sites and folds
+// the bottom-up may-allocate judgment over the SCC condensation.
+func Compute(g *callgraph.Graph) *Facts {
+	f := &Facts{
+		Graph:     g,
+		Summaries: make(map[*callgraph.Node]*Summary, len(g.Nodes)),
+		mayAlloc:  make(map[*callgraph.Node]bool, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		f.Summaries[n] = scanNode(g, n)
+	}
+	// Reverse topological SCC order: callees are judged before callers,
+	// so one pass suffices. Within a component every member shares the
+	// verdict — a cycle containing one steady site taints the cycle.
+	for _, scc := range g.SCCs() {
+		may := false
+		for _, n := range scc {
+			if len(f.Summaries[n].Steady()) > 0 {
+				may = true
+				break
+			}
+			for _, e := range n.Out {
+				if f.mayAlloc[e.Callee] {
+					may = true
+					break
+				}
+			}
+			if may {
+				break
+			}
+		}
+		for _, n := range scc {
+			f.mayAlloc[n] = may
+		}
+	}
+	return f
+}
+
+// Summary returns the local summary of a node.
+func (f *Facts) Summary(n *callgraph.Node) *Summary { return f.Summaries[n] }
+
+// MayAllocate reports the transitive steady-state judgment: the
+// function has a steady site, or some module function reachable through
+// calls and escaping references does.
+func (f *Facts) MayAllocate(n *callgraph.Node) bool { return f.mayAlloc[n] }
+
+// scanNode walks one declaration and collects its allocation sites.
+func scanNode(g *callgraph.Graph, n *callgraph.Node) *Summary {
+	s := &scanner{
+		g:    g,
+		node: n,
+		info: n.Pkg.TypesInfo,
+		sum:  &Summary{Node: n},
+	}
+	s.prepass()
+	s.stmt(n.Decl.Body, ctx{})
+	return s.sum
+}
+
+// ctx is the path context a site is classified under.
+type ctx struct {
+	// cold marks error-return and panic-argument subtrees.
+	cold bool
+	// guarded marks the body of an if whose condition compares cap or
+	// len — the high-water-mark growth idiom.
+	guarded bool
+}
+
+// scanner walks one function body.
+type scanner struct {
+	g    *callgraph.Graph
+	node *callgraph.Node
+	info *types.Info
+	sum  *Summary
+	// freeLits are function literals proven non-allocating by use: a
+	// direct argument to a non-escaping HOF, the target of a go/defer
+	// statement (charged to the statement), or bound to a local used
+	// only in call position.
+	freeLits map[*ast.FuncLit]bool
+	// localLits maps a local variable to the literal(s) assigned to it,
+	// so calls through the variable are not treated as unresolved
+	// dynamic calls.
+	localLits map[types.Object]bool
+}
+
+// add records a site, downgrading to Cold in cold context.
+func (s *scanner) add(pos token.Pos, class Class, format string, args ...any) {
+	s.sum.Sites = append(s.sum.Sites, Site{Pos: pos, What: fmt.Sprintf(format, args...), Class: class})
+}
+
+// classify resolves the effective class of an allocating construct
+// found under ctx: cold context wins, then guarded growth.
+func (c ctx) class(base Class) Class {
+	if c.cold {
+		return Cold
+	}
+	if c.guarded && base == Steady {
+		return Amortized
+	}
+	return base
+}
+
+// prepass classifies the declaration's function literals and
+// literal-bound locals before the main walk.
+func (s *scanner) prepass() {
+	s.freeLits = make(map[*ast.FuncLit]bool)
+	s.localLits = make(map[types.Object]bool)
+	ast.Inspect(s.node.Decl, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			// The go statement itself is the site; the literal rides in
+			// the spawned goroutine's frame.
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				s.freeLits[lit] = true
+			}
+		case *ast.DeferStmt:
+			// Open-coded defers keep the closure on the frame.
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				s.freeLits[lit] = true
+			}
+		case *ast.CallExpr:
+			// Literals handed directly to a non-escaping HOF
+			// (slices.SortFunc, sort.Search, …) stay on the stack.
+			if callee := s.staticCallee(st); callee != nil && nonEscapingHOF(callee) {
+				for _, arg := range st.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						s.freeLits[lit] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				lit, ok := rhs.(*ast.FuncLit)
+				if !ok || i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := s.info.Defs[id]
+				if obj == nil {
+					obj = s.info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				s.localLits[obj] = true
+				if s.usedOnlyAsCallTarget(obj) {
+					s.freeLits[lit] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// usedOnlyAsCallTarget reports whether every use of a local appears as
+// the Fun of a call — the `emit := func(...){…}; emit(x)` pattern,
+// which escape analysis keeps on the stack.
+func (s *scanner) usedOnlyAsCallTarget(obj types.Object) bool {
+	ok := true
+	ast.Inspect(s.node.Decl, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if isCall {
+			if id, isIdent := callgraph.Unwrap(call.Fun).(*ast.Ident); isIdent && s.info.Uses[id] == obj {
+				// The call-position use is fine; visit only the args.
+				for _, a := range call.Args {
+					ast.Inspect(a, func(m ast.Node) bool {
+						if id, isIdent := m.(*ast.Ident); isIdent && s.info.Uses[id] == obj {
+							ok = false
+						}
+						return ok
+					})
+				}
+				return false
+			}
+			return ok
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent && s.info.Uses[id] == obj {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// stmt walks one statement under ctx.
+func (s *scanner) stmt(st ast.Stmt, c ctx) {
+	switch n := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range n.List {
+			s.stmt(inner, c)
+		}
+	case *ast.IfStmt:
+		s.stmt(n.Init, c)
+		s.expr(n.Cond, c)
+		body := c
+		if capLenGuard(n.Cond) {
+			body.guarded = true
+		}
+		s.stmt(n.Body, body)
+		s.stmt(n.Else, c)
+	case *ast.ReturnStmt:
+		s.returnStmt(n, c)
+	case *ast.GoStmt:
+		s.add(n.Pos(), c.class(Steady), "go statement spawns a goroutine")
+		// The spawned call's arguments are evaluated on the caller's
+		// path; the literal body still belongs to this function's
+		// summary (its work runs off the hot path, but a conservative
+		// summary charges it — suppress with an allow when intended).
+		s.expr(n.Call, c)
+	case *ast.DeferStmt:
+		s.expr(n.Call, c)
+	case *ast.ExprStmt:
+		s.expr(n.X, c)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			s.expr(e, c)
+		}
+		for _, e := range n.Lhs {
+			s.expr(e, c)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, c)
+					}
+				}
+			}
+		}
+	case *ast.ForStmt:
+		s.stmt(n.Init, c)
+		s.expr(n.Cond, c)
+		s.stmt(n.Post, c)
+		s.stmt(n.Body, c)
+	case *ast.RangeStmt:
+		s.expr(n.X, c)
+		s.stmt(n.Body, c)
+	case *ast.SwitchStmt:
+		s.stmt(n.Init, c)
+		s.expr(n.Tag, c)
+		s.stmt(n.Body, c)
+	case *ast.TypeSwitchStmt:
+		s.stmt(n.Init, c)
+		s.stmt(n.Assign, c)
+		s.stmt(n.Body, c)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			s.expr(e, c)
+		}
+		for _, inner := range n.Body {
+			s.stmt(inner, c)
+		}
+	case *ast.SelectStmt:
+		s.stmt(n.Body, c)
+	case *ast.CommClause:
+		s.stmt(n.Comm, c)
+		for _, inner := range n.Body {
+			s.stmt(inner, c)
+		}
+	case *ast.SendStmt:
+		s.expr(n.Chan, c)
+		s.expr(n.Value, c)
+	case *ast.LabeledStmt:
+		s.stmt(n.Stmt, c)
+	case *ast.IncDecStmt:
+		s.expr(n.X, c)
+	}
+}
+
+// returnStmt marks allocation in error-typed result positions Cold: a
+// function that returns an error may build one — the steady-state round
+// returns the nil-error path.
+func (s *scanner) returnStmt(n *ast.ReturnStmt, c ctx) {
+	sig, _ := s.node.Func.Type().(*types.Signature)
+	results := sig.Results()
+	for i, e := range n.Results {
+		ec := c
+		// Position-matched only when the return is not a bare
+		// multi-value forwarding call.
+		if len(n.Results) == results.Len() && isErrorType(results.At(i).Type()) {
+			ec.cold = true
+		}
+		s.expr(e, ec)
+	}
+}
+
+// expr walks one expression under ctx.
+func (s *scanner) expr(e ast.Expr, c ctx) {
+	switch n := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		s.call(n, c)
+	case *ast.FuncLit:
+		if !s.freeLits[n] && s.captures(n) {
+			s.add(n.Pos(), c.class(Steady), "closure captures enclosing variables and escapes")
+		}
+		// The literal's statements belong to this function's summary.
+		s.stmt(n.Body, c)
+	case *ast.CompositeLit:
+		s.compositeLit(n, c, false)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				s.compositeLit(lit, c, true)
+				return
+			}
+		}
+		s.expr(n.X, c)
+	case *ast.BinaryExpr:
+		s.expr(n.X, c)
+		s.expr(n.Y, c)
+	case *ast.ParenExpr:
+		s.expr(n.X, c)
+	case *ast.SelectorExpr:
+		s.expr(n.X, c)
+	case *ast.IndexExpr:
+		s.expr(n.X, c)
+		s.expr(n.Index, c)
+	case *ast.IndexListExpr:
+		s.expr(n.X, c)
+	case *ast.SliceExpr:
+		s.expr(n.X, c)
+		s.expr(n.Low, c)
+		s.expr(n.High, c)
+		s.expr(n.Max, c)
+	case *ast.StarExpr:
+		s.expr(n.X, c)
+	case *ast.TypeAssertExpr:
+		s.expr(n.X, c)
+	case *ast.KeyValueExpr:
+		s.expr(n.Key, c)
+		s.expr(n.Value, c)
+	}
+}
+
+// compositeLit classifies one composite literal: slice, map, and
+// pointer-taken literals hit the heap; plain struct/array values stay
+// in the frame.
+func (s *scanner) compositeLit(lit *ast.CompositeLit, c ctx, addressTaken bool) {
+	t := s.info.TypeOf(lit)
+	heap := addressTaken
+	what := "composite literal has its address taken"
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			heap, what = true, "slice literal allocates its backing array"
+		case *types.Map:
+			heap, what = true, "map literal allocates"
+		}
+	}
+	if heap {
+		s.add(lit.Pos(), c.class(Steady), "%s", what)
+	}
+	for _, el := range lit.Elts {
+		s.expr(el, c)
+	}
+}
+
+// call classifies one call expression.
+func (s *scanner) call(call *ast.CallExpr, c ctx) {
+	// Conversions: string↔[]byte/[]rune copy; everything else is free.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		s.conversion(call, c)
+		return
+	}
+
+	fun := callgraph.Unwrap(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isBuiltin := s.info.Uses[id].(*types.Builtin); isBuiltin {
+			s.builtin(b.Name(), call, c)
+			return
+		}
+	}
+
+	argCtx := c
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := s.info.Uses[fn].(type) {
+		case *types.Func:
+			s.staticCall(fn.Pos(), obj, call, c)
+		case *types.Var:
+			// A call through a function value: fine when the value is a
+			// local bound to a literal (the body is already in this
+			// summary); otherwise the callee is unknown.
+			if !s.localLits[obj] {
+				s.add(call.Pos(), c.class(Steady), "dynamic call through %s (callee unknown)", fn.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		switch obj := s.info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			s.staticCall(fn.Sel.Pos(), obj, call, c)
+		case *types.Var:
+			s.add(call.Pos(), c.class(Steady), "dynamic call through %s (callee unknown)", fn.Sel.Name)
+		}
+		s.expr(fn.X, c)
+	case *ast.FuncLit:
+		// Immediately-invoked literal: body charged below.
+		s.expr(fn, c)
+	}
+
+	for _, a := range call.Args {
+		s.expr(a, argCtx)
+	}
+}
+
+// staticCall classifies a call to a resolved function object.
+func (s *scanner) staticCall(pos token.Pos, fn *types.Func, call *ast.CallExpr, c ctx) {
+	if s.g.NodeOf(fn) != nil {
+		return // module callee: judged by bottom-up propagation
+	}
+	if iface := s.g.ImplementationsOf(fn); iface != nil {
+		return // CHA-resolved dispatch: the graph carries the targets
+	}
+	if isInterfaceMethod(fn) {
+		s.add(call.Pos(), c.class(Steady),
+			"dynamic dispatch of %s.%s has no implementation in the module", recvName(fn), fn.Name())
+		return
+	}
+	if allowlisted(fn) {
+		return
+	}
+	s.add(call.Pos(), c.class(Steady), "call to %s (not proven allocation-free)", qualifiedName(fn))
+}
+
+// builtin classifies a builtin call.
+func (s *scanner) builtin(name string, call *ast.CallExpr, c ctx) {
+	switch name {
+	case "make":
+		// make in a cap/len-guarded if is the high-water-mark idiom.
+		s.add(call.Pos(), c.class(Steady), "make %s", typeLabel(s.info, call))
+		for _, a := range call.Args[1:] {
+			s.expr(a, c)
+		}
+	case "new":
+		s.add(call.Pos(), c.class(Steady), "new %s", typeLabel(s.info, call))
+	case "append":
+		s.appendCall(call, c)
+	case "panic":
+		// The panic path is cold by definition.
+		cc := c
+		cc.cold = true
+		for _, a := range call.Args {
+			s.expr(a, cc)
+		}
+	default:
+		// len/cap/copy/delete/min/max/clear/real/imag/complex/recover
+		// and friends do not allocate.
+		for _, a := range call.Args {
+			s.expr(a, c)
+		}
+	}
+}
+
+// typeLabel renders "make([]float64)" / "new(T)" argument types.
+func typeLabel(info *types.Info, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if t := info.TypeOf(call.Args[0]); t != nil {
+		return t.String()
+	}
+	return ""
+}
+
+// appendCall classifies an append: self-append into a persistent buffer
+// is the amortized growth idiom; everything else grows a fresh slice
+// every call.
+func (s *scanner) appendCall(call *ast.CallExpr, c ctx) {
+	for _, a := range call.Args {
+		s.expr(a, c)
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if s.selfAppendPersistent(call) {
+		base := c
+		base.guarded = true // high-water growth: Steady→Amortized
+		s.add(call.Pos(), base.class(Steady), "append grows a persistent buffer")
+		return
+	}
+	s.add(call.Pos(), c.class(Steady), "append grows a fresh slice")
+}
+
+// selfAppendPersistent reports whether the append is `x = append(x, …)`
+// with x rooted in storage that outlives the call: a field selector, a
+// parameter, or a local initialized from one (typically via
+// `x := owner.buf[:0]`).
+func (s *scanner) selfAppendPersistent(call *ast.CallExpr) bool {
+	asg := s.enclosingAssign(call)
+	if asg == nil {
+		return false
+	}
+	// Locate the LHS position of this call on the RHS.
+	idx := -1
+	for i, r := range asg.Rhs {
+		if r == call {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(asg.Lhs) {
+		return false
+	}
+	lhsObj, lhsIsField := s.rootObject(asg.Lhs[idx])
+	argObj, argIsField := s.rootObject(call.Args[0])
+	if lhsIsField && argIsField {
+		// scratch.pairs = append(scratch.pairs, …): same field root.
+		return lhsObj != nil && lhsObj == argObj
+	}
+	if lhsObj == nil || lhsObj != argObj {
+		return false
+	}
+	return s.persistentOrigin(lhsObj)
+}
+
+// enclosingAssign finds the assignment whose RHS contains the call, by
+// a positional walk of the declaration.
+func (s *scanner) enclosingAssign(call *ast.CallExpr) *ast.AssignStmt {
+	var found *ast.AssignStmt
+	ast.Inspect(s.node.Decl, func(n ast.Node) bool {
+		if asg, ok := n.(*ast.AssignStmt); ok {
+			for _, r := range asg.Rhs {
+				if r == call {
+					found = asg
+					return false
+				}
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+// rootObject peels selectors/indices to the base object of an lvalue.
+// isField reports whether any selector was peeled (the storage is a
+// field of something, hence persistent relative to this call).
+func (s *scanner) rootObject(e ast.Expr) (obj types.Object, isField bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			o := s.info.Uses[x]
+			if o == nil {
+				o = s.info.Defs[x]
+			}
+			return o, isField
+		case *ast.SelectorExpr:
+			isField = true
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, isField
+		}
+	}
+}
+
+// persistentOrigin reports whether a local slice variable was
+// initialized from storage that outlives the call: a parameter, or an
+// expression rooted in a selector (`w.vals[:0]`, `scratch.pairs`).
+// Fresh origins — make, literals, calls — are not persistent: appending
+// into them allocates anew every invocation.
+func (s *scanner) persistentOrigin(obj types.Object) bool {
+	sig, _ := s.node.Func.Type().(*types.Signature)
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return true
+			}
+		}
+		if sig.Recv() == obj && obj != nil {
+			return true
+		}
+	}
+	persistent := false
+	found := false
+	ast.Inspect(s.node.Decl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || s.info.Defs[id] != obj || i >= len(asg.Rhs) {
+				continue
+			}
+			found = true
+			persistent = originPersistent(asg.Rhs[i])
+			return false
+		}
+		return true
+	})
+	return persistent
+}
+
+// originPersistent classifies a defining RHS: selector-rooted
+// expressions (fields, possibly resliced) persist; everything else is
+// fresh.
+func originPersistent(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return true
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// conversion flags string↔[]byte/[]rune copies.
+func (s *scanner) conversion(call *ast.CallExpr, c ctx) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := s.info.TypeOf(call.Fun)
+	src := s.info.TypeOf(call.Args[0])
+	s.expr(call.Args[0], c)
+	if dst == nil || src == nil {
+		return
+	}
+	if isStringByteConversion(dst, src) {
+		s.add(call.Pos(), c.class(Steady), "conversion %s(%s) copies its data", dst.String(), src.String())
+	}
+	// Concrete→interface conversions box the value.
+	if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) && !isPointerLike(src) {
+		s.add(call.Pos(), c.class(Steady), "conversion boxes %s into %s", src.String(), dst.String())
+	}
+}
+
+// captures reports whether a function literal references variables of
+// the enclosing function.
+func (s *scanner) captures(lit *ast.FuncLit) bool {
+	declStart, declEnd := s.node.Decl.Pos(), s.node.Decl.End()
+	litStart, litEnd := lit.Pos(), lit.End()
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		p := v.Pos()
+		if p >= declStart && p < declEnd && !(p >= litStart && p < litEnd) {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// capLenGuard recognizes if-conditions comparing cap or len — the
+// growth-guard shape `cap(x) < n`, `len(x) <= n`, `n > cap(x)`, and
+// conjunctions/disjunctions of such.
+func capLenGuard(cond ast.Expr) bool {
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+			return isCapLenCall(e.X) || isCapLenCall(e.Y)
+		case token.LAND, token.LOR:
+			return capLenGuard(e.X) || capLenGuard(e.Y)
+		}
+	case *ast.ParenExpr:
+		return capLenGuard(e.X)
+	}
+	return false
+}
+
+// isCapLenCall matches cap(x) / len(x).
+func isCapLenCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && (id.Name == "cap" || id.Name == "len")
+}
+
+// staticCallee resolves a call's target to a function object, or nil
+// for dynamic calls.
+func (s *scanner) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fn := callgraph.Unwrap(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := s.info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := s.info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// recvName renders the receiver type name of a method.
+func recvName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// qualifiedName renders pkg.Func / (pkg.T).Method for diagnostics.
+func qualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return fn.Pkg().Name() + "." + callgraph.ShortName(fn)
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// isStringByteConversion matches string↔[]byte and string↔[]rune.
+func isStringByteConversion(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isPointerLike reports whether boxing t into an interface stores the
+// value directly in the data word without allocating.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,354 @@
+package allocfacts
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/callgraph"
+	"peerlearn/internal/analysis/load"
+)
+
+// build type-checks one source file and computes its facts.
+func build(t *testing.T, src string) (*callgraph.Graph, *Facts) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: load.StdImporter(fset)}
+	pkg, err := conf.Check("m/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	mp := &analysis.ModulePackage{Path: "m/p", Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+	g := callgraph.Build(fset, []*analysis.ModulePackage{mp})
+	return g, Compute(g)
+}
+
+// node finds a graph node by ShortName.
+func node(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+// sites renders a summary's sites as "class:what" strings.
+func sites(sum *Summary) []string {
+	var out []string
+	for _, s := range sum.Sites {
+		out = append(out, s.Class.String()+":"+s.What)
+	}
+	return out
+}
+
+// wantSites asserts the function's sites match the given class:substr
+// patterns in order.
+func wantSites(t *testing.T, f *Facts, g *callgraph.Graph, fn string, want ...string) {
+	t.Helper()
+	got := sites(f.Summary(node(t, g, fn)))
+	if len(got) != len(want) {
+		t.Fatalf("%s sites = %v, want %d matching %v", fn, got, len(want), want)
+	}
+	for i, w := range want {
+		parts := strings.SplitN(w, ":", 2)
+		if !strings.HasPrefix(got[i], parts[0]+":") || !strings.Contains(got[i], parts[1]) {
+			t.Errorf("%s site %d = %q, want class %q containing %q", fn, i, got[i], parts[0], parts[1])
+		}
+	}
+}
+
+func TestWorkspaceIdiomsAreAmortized(t *testing.T) {
+	const src = `package p
+
+type W struct {
+	vals []float64
+	seen []bool
+}
+
+// guardedMake is the high-water cap-guard idiom.
+func (w *W) guardedMake(n int) []bool {
+	if cap(w.seen) < n {
+		w.seen = make([]bool, n)
+	}
+	return w.seen[:n]
+}
+
+// selfAppend reslices a persistent field and grows it in place.
+func (w *W) selfAppend(xs []float64) float64 {
+	vals := w.vals[:0]
+	for _, x := range xs {
+		vals = append(vals, x)
+	}
+	w.vals = vals
+	var t float64
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+
+// fieldAppend appends straight through the selector.
+func (w *W) fieldAppend(x float64) {
+	w.vals = append(w.vals, x)
+}
+`
+	g, f := build(t, src)
+	wantSites(t, f, g, "(*W).guardedMake", "amortized:make")
+	wantSites(t, f, g, "(*W).selfAppend", "amortized:append grows a persistent buffer")
+	wantSites(t, f, g, "(*W).fieldAppend", "amortized:append grows a persistent buffer")
+	for _, fn := range []string{"(*W).guardedMake", "(*W).selfAppend", "(*W).fieldAppend"} {
+		if f.MayAllocate(node(t, g, fn)) {
+			t.Errorf("%s judged may-allocate despite only amortized sites", fn)
+		}
+	}
+}
+
+func TestFreshAllocationsAreSteady(t *testing.T) {
+	const src = `package p
+
+func freshAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func sliceLit() []int { return []int{1, 2, 3} }
+
+func newT() *int { return new(int) }
+
+func boxBytes(s string) []byte { return []byte(s) }
+`
+	g, f := build(t, src)
+	wantSites(t, f, g, "freshAppend", "steady:make", "steady:append grows a fresh slice")
+	wantSites(t, f, g, "sliceLit", "steady:slice literal")
+	wantSites(t, f, g, "newT", "steady:new")
+	wantSites(t, f, g, "boxBytes", "steady:conversion []byte(string) copies")
+	for _, fn := range []string{"freshAppend", "sliceLit", "newT", "boxBytes"} {
+		if !f.MayAllocate(node(t, g, fn)) {
+			t.Errorf("%s not judged may-allocate", fn)
+		}
+	}
+}
+
+func TestColdPaths(t *testing.T) {
+	const src = `package p
+
+import "fmt"
+
+// errReturn allocates only to build the error result.
+func errReturn(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n)
+	}
+	return n * 2, nil
+}
+
+// panics allocates only inside the panic argument.
+func panics(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+	return n
+}
+`
+	g, f := build(t, src)
+	wantSites(t, f, g, "errReturn", "cold:call to fmt.Errorf")
+	wantSites(t, f, g, "panics", "cold:call to fmt.Sprintf")
+	for _, fn := range []string{"errReturn", "panics"} {
+		if f.MayAllocate(node(t, g, fn)) {
+			t.Errorf("%s judged may-allocate despite only cold sites", fn)
+		}
+	}
+}
+
+func TestClosures(t *testing.T) {
+	const src = `package p
+
+import (
+	"slices"
+	"sort"
+)
+
+// pure literals do not capture and do not allocate.
+func pureLit(xs []float64) {
+	slices.SortFunc(xs, func(a, b float64) int {
+		if a < b {
+			return -1
+		}
+		return 1
+	})
+}
+
+// hofCapture captures but is passed directly to a non-escaping HOF.
+func hofCapture(xs []int, target int) int {
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= target })
+}
+
+// emitLocal binds a capturing literal to a local used only as a call
+// target — the stack-allocated emit pattern.
+func emitLocal(xs []float64) float64 {
+	var total float64
+	emit := func(v float64) { total += v }
+	for _, x := range xs {
+		emit(x)
+	}
+	return total
+}
+
+// escaping returns a capturing closure: it must be heap-allocated.
+func escaping(step int) func() int {
+	n := 0
+	return func() int { n += step; return n }
+}
+`
+	g, f := build(t, src)
+	for _, fn := range []string{"pureLit", "hofCapture", "emitLocal"} {
+		if got := sites(f.Summary(node(t, g, fn))); len(got) != 0 {
+			t.Errorf("%s sites = %v, want none", fn, got)
+		}
+	}
+	wantSites(t, f, g, "escaping", "steady:closure captures")
+}
+
+func TestAllowlistAndUnknownCalls(t *testing.T) {
+	const src = `package p
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+func pureMath(x float64) float64 { return math.Sqrt(math.Abs(x)) }
+
+func formats(x float64) string { return fmt.Sprintf("%v", x) }
+
+var mu sync.Mutex
+
+func locked() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+var pool sync.Pool
+
+// pooled draws from a sync.Pool, which is not allocation-free.
+func pooled() any { return pool.Get() }
+
+// dynamic calls through a function parameter: callee unknown.
+func dynamic(f func() int) int { return f() }
+`
+	g, f := build(t, src)
+	if got := sites(f.Summary(node(t, g, "pureMath"))); len(got) != 0 {
+		t.Errorf("pureMath sites = %v, want none (math allowlisted)", got)
+	}
+	if got := sites(f.Summary(node(t, g, "locked"))); len(got) != 0 {
+		t.Errorf("locked sites = %v, want none (sync.Mutex allowlisted)", got)
+	}
+	wantSites(t, f, g, "formats", "steady:call to fmt.Sprintf")
+	wantSites(t, f, g, "pooled", "steady:call to sync.(*Pool).Get")
+	wantSites(t, f, g, "dynamic", "steady:dynamic call through f")
+}
+
+func TestBottomUpPropagation(t *testing.T) {
+	const src = `package p
+
+func leafAllocates() []int { return make([]int, 8) }
+
+func cleanLeaf(x int) int { return x * 2 }
+
+func viaClean(x int) int { return cleanLeaf(x) }
+
+func viaDirty() []int { return leafAllocates() }
+
+// cycle: mutually recursive pair where one member allocates.
+func cycleA(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	return cycleB(n - 1)
+}
+
+func cycleB(n int) []int {
+	_ = make([]int, 1)
+	return cycleA(n)
+}
+`
+	g, f := build(t, src)
+	cases := map[string]bool{
+		"leafAllocates": true,
+		"cleanLeaf":     false,
+		"viaClean":      false,
+		"viaDirty":      true,
+		"cycleA":        true,
+		"cycleB":        true,
+	}
+	for fn, want := range cases {
+		if got := f.MayAllocate(node(t, g, fn)); got != want {
+			t.Errorf("MayAllocate(%s) = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+func TestGoStatementIsSteady(t *testing.T) {
+	const src = `package p
+
+import "sync"
+
+func spawn(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range xs {
+		}
+	}()
+	wg.Wait()
+}
+`
+	g, f := build(t, src)
+	wantSites(t, f, g, "spawn", "steady:go statement")
+}
+
+func TestGuardedMakeThroughLocalAlias(t *testing.T) {
+	// The kernel's deltas idiom: alias a field, grow under guard, store
+	// back.
+	const src = `package p
+
+type S struct{ deltas []float64 }
+
+func (s *S) grow(t int) []float64 {
+	deltas := s.deltas
+	if cap(deltas) < t {
+		deltas = make([]float64, t)
+	}
+	deltas = deltas[:t]
+	s.deltas = deltas
+	return deltas
+}
+`
+	g, f := build(t, src)
+	wantSites(t, f, g, "(*S).grow", "amortized:make")
+	if f.MayAllocate(node(t, g, "(*S).grow")) {
+		t.Error("guarded local-alias growth judged may-allocate")
+	}
+}

@@ -1,0 +1,126 @@
+package allocfacts
+
+import (
+	"go/types"
+)
+
+// The curated allowlist of standard-library callees known not to
+// allocate. Curated means reviewed against the runtime's implementation
+// rather than inferred — when a stdlib function is not listed here the
+// analysis reports its call sites as steady allocations, which is the
+// safe failure mode: a false positive earns an annotated allow, a false
+// negative would quietly void the contract.
+//
+// Notable exclusions, on purpose:
+//
+//   - fmt, errors, strconv: formatting allocates; hot paths must not
+//     format. Error construction is handled by the Cold classification
+//     instead.
+//   - sync.Pool.Get/Put: both traverse pool-local storage that can
+//     allocate (Get on miss calls New; Put can grow the shard). The
+//     package-level one-shot workspace wrappers draw from a pool, and
+//     hot paths must hold a *Workspace instead — exactly the distinction
+//     the analysis should keep visible.
+//   - slices.Clone/Insert/Grow/Concat/AppendSeq: allocate by contract.
+
+// allowPackages are packages every function of which is allocation-free.
+var allowPackages = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"cmp":         true,
+	"sync/atomic": true,
+}
+
+// allowFuncs lists package-level functions that are allocation-free.
+var allowFuncs = map[string]bool{
+	// Non-escaping higher-order stdlib: the callback runs during the
+	// call and the closure does not escape (see nonEscapingHOF).
+	"sort.Search":             true,
+	"sort.SearchInts":         true,
+	"sort.SearchFloat64s":     true,
+	"sort.SearchStrings":      true,
+	"slices.Sort":             true,
+	"slices.SortFunc":         true,
+	"slices.SortStableFunc":   true,
+	"slices.IsSorted":         true,
+	"slices.IsSortedFunc":     true,
+	"slices.BinarySearch":     true,
+	"slices.BinarySearchFunc": true,
+	"slices.Index":            true,
+	"slices.IndexFunc":        true,
+	"slices.Contains":         true,
+	"slices.ContainsFunc":     true,
+	"slices.Min":              true,
+	"slices.MinFunc":          true,
+	"slices.Max":              true,
+	"slices.MaxFunc":          true,
+	"slices.Reverse":          true,
+
+	"runtime.GOMAXPROCS": true,
+	"runtime.NumCPU":     true,
+	"runtime.Gosched":    true,
+
+	"time.Now":   true,
+	"time.Since": true,
+}
+
+// allowMethods lists methods by receiver type and name.
+var allowMethods = map[string]bool{
+	"sync.Mutex.Lock":       true,
+	"sync.Mutex.Unlock":     true,
+	"sync.Mutex.TryLock":    true,
+	"sync.RWMutex.Lock":     true,
+	"sync.RWMutex.Unlock":   true,
+	"sync.RWMutex.RLock":    true,
+	"sync.RWMutex.RUnlock":  true,
+	"sync.RWMutex.TryLock":  true,
+	"sync.RWMutex.TryRLock": true,
+	"sync.WaitGroup.Add":    true,
+	"sync.WaitGroup.Done":   true,
+	"sync.WaitGroup.Wait":   true,
+	"sync.Once.Do":          true,
+	"time.Time.Sub":         true,
+	"time.Time.Unix":        true,
+	"time.Time.UnixNano":    true,
+	"time.Duration.Seconds": true,
+	"time.Duration.String":  false, // allocates; listed to document the review
+}
+
+// allowlisted reports whether a non-module function is known
+// allocation-free.
+func allowlisted(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false // builtins handled elsewhere
+	}
+	if allowPackages[pkg.Path()] {
+		return true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			key := pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+			return allowMethods[key]
+		}
+		return false
+	}
+	return allowFuncs[pkg.Path()+"."+fn.Name()]
+}
+
+// nonEscapingHOF reports whether fn is a stdlib higher-order function
+// that calls its function argument without retaining it — a closure
+// passed directly stays on the caller's stack.
+func nonEscapingHOF(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return allowlisted(fn)
+	}
+	return false
+}

@@ -21,7 +21,11 @@ import (
 	"strings"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and
+// RunModule is set: Run analyzes one package at a time (the
+// intraprocedural analyzers), RunModule receives every loaded package
+// at once (the interprocedural analyzers built on
+// internal/analysis/callgraph).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //peerlint:allow directives. It must be a valid Go identifier.
@@ -30,6 +34,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// RunModule applies the analyzer to the whole module in one pass.
+	// The checker invokes it once with every non-test package loaded,
+	// so implementations can build cross-package structures (call
+	// graphs, summary tables) and report diagnostics in any package.
+	RunModule func(*ModulePass) error
 }
 
 // Pass provides one parsed and type-checked package to an Analyzer.
@@ -50,6 +59,38 @@ type Pass struct {
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModulePackage is one type-checked package as seen by a module-wide
+// analyzer. It mirrors the loader's package shape without importing it,
+// so the analysis framework stays free of loader dependencies.
+type ModulePackage struct {
+	// Path is the import path ("peerlearn/internal/core").
+	Path string
+	// Files holds the package's parsed non-test syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression facts.
+	TypesInfo *types.Info
+}
+
+// ModulePass provides every loaded package of the module to a
+// module-wide Analyzer in a single invocation.
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions across all Packages.
+	Fset *token.FileSet
+	// Packages holds the module's non-test packages, sorted by path.
+	Packages []*ModulePackage
+	// Report delivers one finding; its position may lie in any package.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
@@ -153,39 +194,116 @@ const DirectivePrefix = "//peerlint:allow"
 // allowed on that line.
 type Directives map[string]map[int][]string
 
+// Allow is one parsed //peerlint:allow directive.
+type Allow struct {
+	// Position locates the directive comment.
+	Position token.Position
+	// Analyzers are the analyzer names the directive suppresses.
+	Analyzers []string
+	// Reason is the human justification after "—" or "--", trimmed;
+	// empty when the directive carries none. peerlint -audit fails the
+	// build on reason-less allows.
+	Reason string
+}
+
+// ParseAllow splits one comment's text into the suppressed analyzer
+// names and the justification. ok is false when the comment is not an
+// allow directive.
+func ParseAllow(text string) (names []string, reason string, ok bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return nil, "", false
+	}
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	// Anything after "—" or "--" is the human justification.
+	for _, sep := range []string{"—", "--"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			rest, reason = rest[:i], strings.TrimSpace(rest[i+len(sep):])
+			break
+		}
+	}
+	names = strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t'
+	})
+	return names, reason, true
+}
+
+// ParseAllows returns every allow directive in the files, with reasons,
+// in file order. This is the substrate of peerlint's -audit mode.
+func ParseAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var allows []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := ParseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				allows = append(allows, Allow{
+					Position:  fset.Position(c.Pos()),
+					Analyzers: names,
+					Reason:    reason,
+				})
+			}
+		}
+	}
+	return allows
+}
+
 // ParseDirectives scans the files' comments for DirectivePrefix
 // markers.
 func ParseDirectives(fset *token.FileSet, files []*ast.File) Directives {
 	d := make(Directives)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(c.Text)
-				if !strings.HasPrefix(text, DirectivePrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(text, DirectivePrefix)
-				// Anything after "—" or "--" is a human justification.
-				for _, sep := range []string{"—", "--"} {
-					if i := strings.Index(rest, sep); i >= 0 {
-						rest = rest[:i]
-					}
-				}
-				pos := fset.Position(c.Pos())
-				lines := d[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					d[pos.Filename] = lines
-				}
-				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ',' || r == ' ' || r == '\t'
-				}) {
-					lines[pos.Line] = append(lines[pos.Line], name)
-				}
-			}
+	for _, a := range ParseAllows(fset, files) {
+		lines := d[a.Position.Filename]
+		if lines == nil {
+			lines = make(map[int][]string)
+			d[a.Position.Filename] = lines
 		}
+		lines[a.Position.Line] = append(lines[a.Position.Line], a.Analyzers...)
 	}
 	return d
+}
+
+// Merge folds other's directives into d, so module-wide analyzers can
+// consult the suppression directives of every loaded package at once.
+func (d Directives) Merge(other Directives) {
+	for file, lines := range other {
+		dst := d[file]
+		if dst == nil {
+			dst = make(map[int][]string)
+			d[file] = dst
+		}
+		for line, names := range lines {
+			dst[line] = append(dst[line], names...)
+		}
+	}
+}
+
+// HotpathDirective marks a function whose entire in-module transitive
+// callee set must be provably allocation-free:
+//
+//	//peerlint:hotpath
+//	func (w *Workspace) ApplyRoundInPlace(...) ...
+//
+// The directive lives in the function's doc comment (any line of it).
+// The hotalloc analyzer enforces the contract statically over the
+// module call graph.
+const HotpathDirective = "//peerlint:hotpath"
+
+// IsHotpath reports whether the function declaration carries the
+// hotpath directive in its doc comment.
+func IsHotpath(fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == HotpathDirective || strings.HasPrefix(text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
 }
 
 // Suppresses reports whether a directive allows the named analyzer at

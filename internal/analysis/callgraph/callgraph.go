@@ -1,0 +1,541 @@
+// Package callgraph builds a module-wide call graph over the packages
+// of one peerlint module pass, on the standard library only. It is the
+// interprocedural substrate of the suite: where internal/analysis/cfg
+// reasons about paths *within* one function, callgraph reasons about
+// reachability *between* functions — which callees a hot path can
+// transitively enter, and therefore which allocation sites its
+// zero-alloc contract must cover (see internal/analysis/allocfacts and
+// the hotalloc analyzer).
+//
+// Nodes are the module's declared functions and methods (one per
+// *ast.FuncDecl with a body). Function literals do not get nodes of
+// their own: a literal's statements are attributed to the function that
+// lexically contains it, which over-approximates in the right direction
+// — creating a closure does not run it here, but any allocation its
+// body performs is charged to the enclosing function, so a hot path
+// that builds and later invokes a closure still answers for the
+// closure's work.
+//
+// Three edge kinds:
+//
+//   - Static: the callee is resolved by the type checker — a package
+//     function or a method invoked on a concrete receiver.
+//   - Interface: dynamic dispatch through an interface method, resolved
+//     by Class Hierarchy Analysis bounded to the module's types: every
+//     named non-interface type declared in any analyzed package whose
+//     method set satisfies the interface contributes its implementation
+//     as a possible callee. Implementations outside the analyzed
+//     packages are invisible, which is the documented CHA bound.
+//   - Ref: a module function's value is referenced without being
+//     called (passed as a callback, stored in a field). The referenced
+//     function may run whenever the reference escapes, so the graph
+//     records a conservative caller→referenced edge.
+//
+// SCCs returns Tarjan's strongly connected components in reverse
+// topological order, the iteration order bottom-up summary propagation
+// wants (allocfacts folds callee facts into callers along it). The DOT
+// and JSON emitters back peerlint's -graph mode.
+package callgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+
+	"peerlearn/internal/analysis"
+)
+
+// EdgeKind classifies how a call site reaches its callee.
+type EdgeKind int
+
+const (
+	// Static is a type-checker-resolved direct call.
+	Static EdgeKind = iota
+	// Interface is CHA-resolved dynamic dispatch: the callee is one of
+	// possibly several module implementations of the interface method.
+	Interface
+	// Ref is a function value referenced without being called at this
+	// site; the callee may run later through the escaped value.
+	Ref
+)
+
+// String names the kind for dumps and diagnostics.
+func (k EdgeKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case Ref:
+		return "ref"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Node is one module function or method.
+type Node struct {
+	// Func is the type-checker object; the canonical node key.
+	Func *types.Func
+	// Decl is the declaration the node was built from (Body non-nil).
+	Decl *ast.FuncDecl
+	// Pkg is the package declaring the function.
+	Pkg *analysis.ModulePackage
+	// Index is the node's position in Graph.Nodes.
+	Index int
+	// Out holds the outgoing edges in source order of their sites,
+	// deduplicated per (callee, kind).
+	Out []*Edge
+	// Hotpath records a //peerlint:hotpath directive on the declaration.
+	Hotpath bool
+}
+
+// Name renders the function with its receiver, e.g.
+// "(*Workspace).ApplyRoundInPlace" or "applyGroupSorted".
+func (n *Node) Name() string { return ShortName(n.Func) }
+
+// ShortName renders a function object with its receiver type but
+// without the package path.
+func ShortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv, ptr = p.Elem(), "*"
+	}
+	name := recv.String()
+	if named, isNamed := recv.(*types.Named); isNamed {
+		name = named.Obj().Name()
+	}
+	return "(" + ptr + name + ")." + fn.Name()
+}
+
+// Edge is one caller→callee relation, anchored at its first site.
+type Edge struct {
+	Caller, Callee *Node
+	// Site is the position of the call (or reference) expression.
+	Site token.Pos
+	// Kind records how the callee was resolved.
+	Kind EdgeKind
+}
+
+// Graph is the module call graph.
+type Graph struct {
+	// Fset maps positions of every node and edge.
+	Fset *token.FileSet
+	// Nodes holds every module function with a body, ordered by
+	// position, indexed by Node.Index.
+	Nodes  []*Node
+	byFunc map[*types.Func]*Node
+	// chaTypes are the module's named non-interface types, the CHA
+	// resolution universe.
+	chaTypes []types.Type
+}
+
+// NodeOf returns the node of a function object, or nil when fn is not a
+// module function with a body (stdlib, or outside the analyzed
+// packages).
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// ImplementationsOf resolves an interface method to its module
+// implementations via the same CHA the edge builder uses. Nil for
+// concrete methods and plain functions. Callers use an empty result to
+// detect dispatch the module cannot account for (the interface is
+// implemented only outside the analyzed packages).
+func (g *Graph) ImplementationsOf(fn *types.Func) []*Node {
+	iface := recvInterface(fn)
+	if iface == nil {
+		return nil
+	}
+	return g.chaResolve(iface, fn)
+}
+
+// Build constructs the call graph of the packages. The packages are
+// expected to be the module pass's non-test set; passing a subset
+// yields a graph whose out-of-subset callees are simply absent (callers
+// see them as unresolved, which downstream analyses treat
+// conservatively).
+func Build(fset *token.FileSet, pkgs []*analysis.ModulePackage) *Graph {
+	g := &Graph{Fset: fset, byFunc: make(map[*types.Func]*Node)}
+
+	// Pass 1: one node per declared function with a body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &Node{Func: fn, Decl: fd, Pkg: pkg, Hotpath: analysis.IsHotpath(fd)}
+				g.byFunc[fn] = node
+				g.Nodes = append(g.Nodes, node)
+			}
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].Decl.Pos() < g.Nodes[j].Decl.Pos() })
+	for i, n := range g.Nodes {
+		n.Index = i
+	}
+
+	// The CHA type index: every named non-interface type declared in
+	// the analyzed packages, for resolving interface dispatch.
+	for _, pkg := range pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			g.chaTypes = append(g.chaTypes, t)
+		}
+	}
+
+	// Pass 2: edges.
+	for _, node := range g.Nodes {
+		b := &edgeBuilder{g: g, node: node, info: node.Pkg.TypesInfo}
+		b.walk()
+	}
+	return g
+}
+
+// edgeBuilder accumulates one node's outgoing edges.
+type edgeBuilder struct {
+	g    *Graph
+	node *Node
+	info *types.Info
+	seen map[edgeKey]bool
+}
+
+type edgeKey struct {
+	callee *Node
+	kind   EdgeKind
+}
+
+func (b *edgeBuilder) add(callee *Node, site token.Pos, kind EdgeKind) {
+	if callee == nil {
+		return
+	}
+	if b.seen == nil {
+		b.seen = make(map[edgeKey]bool)
+	}
+	k := edgeKey{callee, kind}
+	if b.seen[k] {
+		return
+	}
+	b.seen[k] = true
+	b.node.Out = append(b.node.Out, &Edge{Caller: b.node, Callee: callee, Site: site, Kind: kind})
+}
+
+// walk visits the declaration body (nested function literals included —
+// their statements belong to this node) and records edges.
+func (b *edgeBuilder) walk() {
+	// callFuns marks the expressions serving as the Fun of a call, so
+	// function references appearing there are not double-counted as Ref
+	// edges.
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(b.node.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := Unwrap(call.Fun)
+		callFuns[fun] = true
+		if sel, isSel := fun.(*ast.SelectorExpr); isSel {
+			// The receiver expression of a method call is an ordinary
+			// expression; only the selected identifier is the callee.
+			callFuns[sel] = true
+		}
+		b.call(call)
+		return true
+	})
+	// Ref edges: module function values used outside call position.
+	ast.Inspect(b.node.Decl, func(n ast.Node) bool {
+		var fn *types.Func
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if callFuns[e] {
+				return true
+			}
+			fn, _ = b.info.Uses[e.Sel].(*types.Func)
+		case *ast.Ident:
+			if callFuns[e] {
+				return true
+			}
+			fn, _ = b.info.Uses[e].(*types.Func)
+		default:
+			return true
+		}
+		if fn == nil {
+			return true
+		}
+		if callee := b.g.NodeOf(fn); callee != nil && fn != b.node.Func {
+			b.add(callee, n.Pos(), Ref)
+		}
+		return true
+	})
+}
+
+// call records the edge(s) of one call expression.
+func (b *edgeBuilder) call(call *ast.CallExpr) {
+	if tv, ok := b.info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	switch fun := Unwrap(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := b.info.Uses[fun].(*types.Func); ok {
+			b.add(b.g.NodeOf(fn), call.Pos(), Static)
+		}
+	case *ast.SelectorExpr:
+		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return // function-typed field or variable: dynamic, no node
+		}
+		if recv := recvInterface(fn); recv != nil {
+			for _, impl := range b.g.chaResolve(recv, fn) {
+				b.add(impl, call.Pos(), Interface)
+			}
+			return
+		}
+		b.add(b.g.NodeOf(fn), call.Pos(), Static)
+	}
+}
+
+// chaResolve returns the module implementations of an interface
+// method: for each module named type (or its pointer) satisfying the
+// interface, the concrete method with the same name.
+func (g *Graph) chaResolve(iface *types.Interface, m *types.Func) []*Node {
+	var impls []*Node
+	for _, t := range g.chaTypes {
+		pt := types.NewPointer(t)
+		if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+			continue
+		}
+		sel := types.NewMethodSet(pt).Lookup(m.Pkg(), m.Name())
+		if sel == nil {
+			continue
+		}
+		if impl, ok := sel.Obj().(*types.Func); ok {
+			if node := g.NodeOf(impl); node != nil {
+				impls = append(impls, node)
+			}
+		}
+	}
+	return impls
+}
+
+// recvInterface returns the interface type a method is declared on, or
+// nil for functions and concrete methods.
+func recvInterface(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if !types.IsInterface(t) {
+		return nil
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
+}
+
+// Unwrap peels parens and generic instantiation indices off a call's
+// Fun expression.
+func Unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// SCCs returns the strongly connected components of the graph in
+// reverse topological order: every edge leaving a component points to a
+// component appearing *earlier* in the returned slice, so iterating
+// forward visits callees before their callers — the order bottom-up
+// summary propagation needs. Tarjan's algorithm emits components in
+// exactly this order.
+func (g *Graph) SCCs() [][]*Node {
+	t := &tarjan{
+		g:       g,
+		index:   make([]int, len(g.Nodes)),
+		lowlink: make([]int, len(g.Nodes)),
+		onStack: make([]bool, len(g.Nodes)),
+	}
+	for i := range t.index {
+		t.index[i] = -1
+	}
+	for _, n := range g.Nodes {
+		if t.index[n.Index] < 0 {
+			t.strongConnect(n)
+		}
+	}
+	return t.sccs
+}
+
+// tarjan is an iterative Tarjan SCC state (explicit stack, so deep
+// call chains in fuzzed inputs cannot overflow the goroutine stack).
+type tarjan struct {
+	g       *Graph
+	next    int
+	index   []int
+	lowlink []int
+	onStack []bool
+	stack   []*Node
+	sccs    [][]*Node
+}
+
+// frame is one suspended strongConnect activation.
+type frame struct {
+	n    *Node
+	edge int // next Out index to visit
+}
+
+func (t *tarjan) strongConnect(root *Node) {
+	work := []frame{{n: root}}
+	for len(work) > 0 {
+		fr := &work[len(work)-1]
+		n := fr.n
+		if fr.edge == 0 {
+			t.index[n.Index] = t.next
+			t.lowlink[n.Index] = t.next
+			t.next++
+			t.stack = append(t.stack, n)
+			t.onStack[n.Index] = true
+		}
+		advanced := false
+		for fr.edge < len(n.Out) {
+			w := n.Out[fr.edge].Callee
+			fr.edge++
+			if t.index[w.Index] < 0 {
+				work = append(work, frame{n: w})
+				advanced = true
+				break
+			}
+			if t.onStack[w.Index] && t.index[w.Index] < t.lowlink[n.Index] {
+				t.lowlink[n.Index] = t.index[w.Index]
+			}
+		}
+		if advanced {
+			continue
+		}
+		// n's edges are exhausted: close the frame.
+		if t.lowlink[n.Index] == t.index[n.Index] {
+			var scc []*Node
+			for {
+				w := t.stack[len(t.stack)-1]
+				t.stack = t.stack[:len(t.stack)-1]
+				t.onStack[w.Index] = false
+				scc = append(scc, w)
+				if w == n {
+					break
+				}
+			}
+			t.sccs = append(t.sccs, scc)
+		}
+		work = work[:len(work)-1]
+		if len(work) > 0 {
+			parent := work[len(work)-1].n
+			if t.lowlink[n.Index] < t.lowlink[parent.Index] {
+				t.lowlink[parent.Index] = t.lowlink[n.Index]
+			}
+		}
+	}
+}
+
+// jsonNode and jsonEdge are the -graph json wire forms.
+type jsonNode struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Pkg     string `json:"pkg"`
+	Pos     string `json:"pos"`
+	Hotpath bool   `json:"hotpath,omitempty"`
+}
+
+type jsonEdge struct {
+	Caller int    `json:"caller"`
+	Callee int    `json:"callee"`
+	Kind   string `json:"kind"`
+	Site   string `json:"site"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// JSON writes the graph as one indented JSON document. rel renders a
+// position (typically relative to the module root); pass nil for the
+// fset's default rendering.
+func (g *Graph) JSON(w io.Writer, rel func(token.Position) string) error {
+	if rel == nil {
+		rel = func(p token.Position) string { return p.String() }
+	}
+	doc := jsonGraph{Nodes: []jsonNode{}, Edges: []jsonEdge{}}
+	for _, n := range g.Nodes {
+		doc.Nodes = append(doc.Nodes, jsonNode{
+			ID:      n.Index,
+			Name:    n.Name(),
+			Pkg:     n.Pkg.Path,
+			Pos:     rel(g.Fset.Position(n.Decl.Pos())),
+			Hotpath: n.Hotpath,
+		})
+		for _, e := range n.Out {
+			doc.Edges = append(doc.Edges, jsonEdge{
+				Caller: e.Caller.Index,
+				Callee: e.Callee.Index,
+				Kind:   e.Kind.String(),
+				Site:   rel(g.Fset.Position(e.Site)),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DOT writes the graph in Graphviz dot syntax, one subgraph-free
+// digraph with hotpath roots doubled-circled and edge styles per kind
+// (solid static, dashed interface dispatch, dotted references).
+func (g *Graph) DOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph callgraph {\n")
+	sb.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range g.Nodes {
+		attrs := fmt.Sprintf("label=%q", n.Pkg.Pkg.Name()+"."+n.Name())
+		if n.Hotpath {
+			attrs += ", peripheries=2, style=bold"
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", n.Index, attrs)
+	}
+	style := map[EdgeKind]string{Static: "solid", Interface: "dashed", Ref: "dotted"}
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=%s];\n", e.Caller.Index, e.Callee.Index, style[e.Kind])
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,328 @@
+package callgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/load"
+)
+
+// checkPkg type-checks one in-memory package and wraps it as a
+// ModulePackage.
+func checkPkg(t *testing.T, fset *token.FileSet, path, src string, deps map[string]*types.Package) *analysis.ModulePackage {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+"/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	std := load.StdImporter(fset)
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if dep, ok := deps[p]; ok {
+			return dep, nil
+		}
+		return std.Import(p)
+	})
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return &analysis.ModulePackage{Path: path, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// find returns the node named name (ShortName form), failing the test
+// when absent.
+func find(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("node %q not in graph; have %v", name, nodeNames(g.Nodes))
+	return nil
+}
+
+func nodeNames(nodes []*Node) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+// edges returns caller's outgoing edges of one kind as callee names.
+func edges(n *Node, kind EdgeKind) []string {
+	var out []string
+	for _, e := range n.Out {
+		if e.Kind == kind {
+			out = append(out, e.Callee.Name())
+		}
+	}
+	return out
+}
+
+func TestBuildStaticAndRefEdges(t *testing.T) {
+	const src = `package p
+
+func leaf() int { return 1 }
+
+func helper() int { return leaf() }
+
+// root calls helper directly and references leaf without calling it.
+func root(apply func() int) int {
+	f := leaf
+	_ = f
+	return helper() + apply()
+}
+`
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "m/p", src, nil)
+	g := Build(fset, []*analysis.ModulePackage{pkg})
+
+	if len(g.Nodes) != 3 {
+		t.Fatalf("want 3 nodes, got %v", nodeNames(g.Nodes))
+	}
+	root := find(t, g, "root")
+	if got := edges(root, Static); len(got) != 1 || got[0] != "helper" {
+		t.Errorf("root static edges = %v, want [helper]", got)
+	}
+	if got := edges(root, Ref); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("root ref edges = %v, want [leaf]", got)
+	}
+	helper := find(t, g, "helper")
+	if got := edges(helper, Static); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("helper static edges = %v, want [leaf]", got)
+	}
+	// NodeOf round-trips through the types.Func key.
+	if g.NodeOf(root.Func) != root {
+		t.Error("NodeOf(root.Func) != root")
+	}
+}
+
+func TestBuildMethodAndCHAEdges(t *testing.T) {
+	const src = `package p
+
+type Gain interface{ Apply(d float64) float64 }
+
+type Linear struct{ R float64 }
+
+func (l Linear) Apply(d float64) float64 { return l.R * d }
+
+type Sqrt struct{}
+
+func (Sqrt) Apply(d float64) float64 { return d }
+
+type Eval struct{ g Gain }
+
+// Dispatch calls through the interface: CHA must add edges to both
+// module implementations.
+func (e *Eval) Dispatch(d float64) float64 { return e.g.Apply(d) }
+
+// Direct calls the concrete method: a static edge.
+func Direct(l Linear, d float64) float64 { return l.Apply(d) }
+`
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "m/p", src, nil)
+	g := Build(fset, []*analysis.ModulePackage{pkg})
+
+	dispatch := find(t, g, "(*Eval).Dispatch")
+	got := edges(dispatch, Interface)
+	want := map[string]bool{"(Linear).Apply": true, "(Sqrt).Apply": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("Dispatch interface edges = %v, want both Apply implementations", got)
+	}
+	direct := find(t, g, "Direct")
+	if got := edges(direct, Static); len(got) != 1 || got[0] != "(Linear).Apply" {
+		t.Errorf("Direct static edges = %v, want [(Linear).Apply]", got)
+	}
+}
+
+func TestBuildAttributesFuncLitToEnclosing(t *testing.T) {
+	const src = `package p
+
+func leaf() {}
+
+func outer() {
+	f := func() { leaf() }
+	f()
+}
+`
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "m/p", src, nil)
+	g := Build(fset, []*analysis.ModulePackage{pkg})
+
+	outer := find(t, g, "outer")
+	if got := edges(outer, Static); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("outer static edges = %v, want [leaf] (literal body attributed to outer)", got)
+	}
+}
+
+func TestBuildCrossPackageAndHotpath(t *testing.T) {
+	fset := token.NewFileSet()
+	low := checkPkg(t, fset, "m/low", `package low
+
+func Leaf() int { return 1 }
+`, nil)
+	high := checkPkg(t, fset, "m/high", `package high
+
+import "m/low"
+
+//peerlint:hotpath
+func Root() int { return low.Leaf() }
+`, map[string]*types.Package{"m/low": low.Pkg})
+	g := Build(fset, []*analysis.ModulePackage{low, high})
+
+	root := find(t, g, "Root")
+	if !root.Hotpath {
+		t.Error("Root not marked hotpath")
+	}
+	if got := edges(root, Static); len(got) != 1 || got[0] != "Leaf" {
+		t.Errorf("Root static edges = %v, want [Leaf] across packages", got)
+	}
+	if find(t, g, "Leaf").Hotpath {
+		t.Error("Leaf wrongly marked hotpath")
+	}
+}
+
+func TestSCCsReverseTopological(t *testing.T) {
+	const src = `package p
+
+// a and b are mutually recursive; c calls into the cycle; d is a leaf
+// the cycle calls.
+func d() {}
+
+func a() { b(); d() }
+
+func b() { a() }
+
+func c() { a() }
+`
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "m/p", src, nil)
+	g := Build(fset, []*analysis.ModulePackage{pkg})
+
+	sccs := g.SCCs()
+	comp := make(map[string]int)
+	for i, scc := range sccs {
+		for _, n := range scc {
+			comp[n.Name()] = i
+		}
+	}
+	if comp["a"] != comp["b"] {
+		t.Errorf("a and b in different SCCs (%d, %d)", comp["a"], comp["b"])
+	}
+	if comp["a"] == comp["c"] || comp["a"] == comp["d"] {
+		t.Errorf("c or d merged into the a/b cycle: %v", comp)
+	}
+	// Reverse topological: callees before callers.
+	if !(comp["d"] < comp["a"] && comp["a"] < comp["c"]) {
+		t.Errorf("SCC order not reverse topological: %v", comp)
+	}
+	// Exhaustiveness: every node in exactly one component.
+	total := 0
+	for _, scc := range sccs {
+		total += len(scc)
+	}
+	if total != len(g.Nodes) {
+		t.Errorf("SCCs cover %d nodes, graph has %d", total, len(g.Nodes))
+	}
+}
+
+func TestJSONAndDOT(t *testing.T) {
+	const src = `package p
+
+func leaf() {}
+
+//peerlint:hotpath
+func root() { leaf() }
+`
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "m/p", src, nil)
+	g := Build(fset, []*analysis.ModulePackage{pkg})
+
+	var jsonBuf bytes.Buffer
+	if err := g.JSON(&jsonBuf, nil); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var doc struct {
+		Nodes []struct {
+			Name    string `json:"name"`
+			Hotpath bool   `json:"hotpath"`
+		} `json:"nodes"`
+		Edges []struct {
+			Caller int    `json:"caller"`
+			Callee int    `json:"callee"`
+			Kind   string `json:"kind"`
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON invalid: %v\n%s", err, jsonBuf.String())
+	}
+	if len(doc.Nodes) != 2 || len(doc.Edges) != 1 {
+		t.Fatalf("JSON graph shape: %d nodes, %d edges", len(doc.Nodes), len(doc.Edges))
+	}
+	hot := 0
+	for _, n := range doc.Nodes {
+		if n.Hotpath {
+			hot++
+		}
+	}
+	if hot != 1 {
+		t.Errorf("JSON hotpath count = %d, want 1", hot)
+	}
+	if doc.Edges[0].Kind != "static" {
+		t.Errorf("edge kind = %q, want static", doc.Edges[0].Kind)
+	}
+
+	var dotBuf bytes.Buffer
+	if err := g.DOT(&dotBuf); err != nil {
+		t.Fatalf("DOT: %v", err)
+	}
+	dot := dotBuf.String()
+	for _, want := range []string{"digraph callgraph {", "p.root", "p.leaf", "->", "peripheries=2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestConversionIsNotACall(t *testing.T) {
+	const src = `package p
+
+type wrapper func()
+
+func target() {}
+
+func convert() wrapper { return wrapper(target) }
+`
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "m/p", src, nil)
+	g := Build(fset, []*analysis.ModulePackage{pkg})
+
+	convert := find(t, g, "convert")
+	if got := edges(convert, Static); len(got) != 0 {
+		t.Errorf("convert static edges = %v, want none (conversion)", got)
+	}
+	// The converted function escapes as a value: a ref edge.
+	if got := edges(convert, Ref); len(got) != 1 || got[0] != "target" {
+		t.Errorf("convert ref edges = %v, want [target]", got)
+	}
+}

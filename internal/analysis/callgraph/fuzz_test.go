@@ -1,0 +1,85 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"peerlearn/internal/analysis"
+)
+
+// FuzzCallGraph throws arbitrary source files at the graph builder and
+// asserts it never panics and that SCC condensation is well-formed:
+// every node lands in exactly one component, and the component order is
+// reverse topological (every edge's callee component precedes or equals
+// its caller's). Type errors are tolerated — the type checker is run
+// with an error sink so partially-typed programs still exercise the
+// builder, which is exactly the robustness the module pass needs when
+// the loader hands it whatever parses. Parse failures are skipped; the
+// target is the builder, not the parser.
+func FuzzCallGraph(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc a() { b() }\nfunc b() { a() }",
+		"package p\nfunc f() {}\nfunc g() { h := f; h() }",
+		"package p\ntype I interface{ M() }\ntype T struct{}\nfunc (T) M() {}\nfunc use(i I) { i.M() }",
+		"package p\nfunc f() { go func() { f() }() }",
+		"package p\ntype W func()\nfunc t() {}\nfunc c() W { return W(t) }",
+		"package p\nfunc v(xs ...any) {}\nfunc u() { v(1, \"2\", u) }",
+		"package p\nfunc g[T any](x T) T { return x }\nfunc use() { _ = g[int](1) }",
+		"package p\nfunc f() { f2() }", // undefined callee: type error tolerated
+		"package p\nfunc f() { defer f(); panic(f) }",
+		"package p\ntype S struct{}\nfunc (s *S) A() { s.B() }\nfunc (s *S) B() { s.A() }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Error: func(error) {}} // tolerate type errors
+		pkg, _ := conf.Check("fuzz", fset, []*ast.File{file}, info)
+		if pkg == nil {
+			t.Skip()
+		}
+		mp := &analysis.ModulePackage{Path: "fuzz", Files: []*ast.File{file}, Pkg: pkg, TypesInfo: info}
+		g := Build(fset, []*analysis.ModulePackage{mp})
+
+		sccs := g.SCCs()
+		comp := make(map[*Node]int, len(g.Nodes))
+		for i, scc := range sccs {
+			if len(scc) == 0 {
+				t.Fatal("empty SCC")
+			}
+			for _, n := range scc {
+				if _, dup := comp[n]; dup {
+					t.Fatalf("node %s in two SCCs", n.Name())
+				}
+				comp[n] = i
+			}
+		}
+		if len(comp) != len(g.Nodes) {
+			t.Fatalf("SCCs cover %d of %d nodes", len(comp), len(g.Nodes))
+		}
+		// Reverse topological order makes the condensation acyclic: a
+		// cross-component edge must point at an earlier component.
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				if comp[e.Callee] > comp[n] {
+					t.Fatalf("edge %s -> %s goes to a later SCC (%d -> %d)",
+						n.Name(), e.Callee.Name(), comp[n], comp[e.Callee])
+				}
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"peerlearn/internal/analysis"
 	"peerlearn/internal/analysis/load"
@@ -53,38 +54,102 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Position.Filename, f.Position.Line, f.Position.Column, f.Message, f.Category)
 }
 
+// IsTestVariant reports whether a loaded package path names a test
+// re-analysis of a base package — the in-package "path [tests]" variant
+// or the external "path_test" package. Module-wide analyzers skip them:
+// their base files are already covered by the library build, and hot
+// path contracts are library-code properties.
+func IsTestVariant(path string) bool {
+	return strings.HasSuffix(path, " [tests]") || strings.HasSuffix(path, "_test")
+}
+
+// ModulePackages converts loaded packages to the module-analyzer view:
+// test variants dropped, loader types wrapped. The driver's -graph and
+// -why modes build call graphs over exactly this set.
+func ModulePackages(pkgs []*load.Package) []*analysis.ModulePackage {
+	var out []*analysis.ModulePackage
+	for _, pkg := range pkgs {
+		if IsTestVariant(pkg.Path) {
+			continue
+		}
+		out = append(out, &analysis.ModulePackage{
+			Path:      pkg.Path,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		})
+	}
+	return out
+}
+
 // Run applies every analyzer to every package and returns the
 // surviving findings sorted by file, line, column, and analyzer.
 // //peerlint:allow-suppressed diagnostics are dropped, as are exact
 // duplicates — the in-package test variant re-analyzes the base files,
-// repeating their findings verbatim.
+// repeating their findings verbatim. Per-package analyzers (Run) see
+// each package in turn; module analyzers (RunModule) are invoked once
+// with every non-test package, with the suppression directives of all
+// packages merged so findings in any file can be annotated where they
+// land.
 func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var findings []Finding
+	report := func(a *analysis.Analyzer, directives analysis.Directives) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if directives.Suppresses(pos, a.Name) {
+				return
+			}
+			f := Finding{Position: pos, Category: a.Name, Message: d.Message}
+			for _, sf := range d.SuggestedFixes {
+				if fix, ok := resolveFix(fset, sf); ok {
+					f.Fixes = append(f.Fixes, fix)
+				}
+			}
+			findings = append(findings, f)
+		}
+	}
+
 	for _, pkg := range pkgs {
 		directives := analysis.ParseDirectives(fset, pkg.Files)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-			}
-			pass.Report = func(d analysis.Diagnostic) {
-				pos := fset.Position(d.Pos)
-				if directives.Suppresses(pos, a.Name) {
-					return
-				}
-				f := Finding{Position: pos, Category: a.Name, Message: d.Message}
-				for _, sf := range d.SuggestedFixes {
-					if fix, ok := resolveFix(fset, sf); ok {
-						f.Fixes = append(f.Fixes, fix)
-					}
-				}
-				findings = append(findings, f)
+				Report:    report(a, directives),
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("checker: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	var moduleAnalyzers []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
+	if len(moduleAnalyzers) > 0 {
+		merged := make(analysis.Directives)
+		for _, pkg := range pkgs {
+			merged.Merge(analysis.ParseDirectives(fset, pkg.Files))
+		}
+		modulePkgs := ModulePackages(pkgs)
+		for _, a := range moduleAnalyzers {
+			mp := &analysis.ModulePass{
+				Analyzer: a,
+				Fset:     fset,
+				Packages: modulePkgs,
+				Report:   report(a, merged),
+			}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("checker: %s on module: %w", a.Name, err)
 			}
 		}
 	}

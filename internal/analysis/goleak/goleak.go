@@ -1,0 +1,241 @@
+// Package goleak flags go statements that launch goroutines with no
+// termination signal — the leaks that show up as monotonically growing
+// goroutine counts in long-running servers.
+//
+// For every `go` statement whose target body is visible (a function
+// literal or a same-package function declaration), two disciplines are
+// checked:
+//
+//   - Unbounded loops: a `for` with no condition inside the goroutine
+//     must contain some way out — a return, a break, a channel receive
+//     or send, or a select. A condition-less loop whose body has none
+//     of these spins forever; the paired finding asks for a closeable
+//     channel or context check.
+//   - WaitGroup discipline: a goroutine that calls WaitGroup.Done must
+//     guarantee it on every exit path, either by deferring it or by
+//     calling it on every CFG path to the exit (a must-analysis over
+//     internal/analysis/cfg). A Done that an early return can skip
+//     deadlocks the waiting side.
+//
+// Goroutines that simply run to completion — bounded loops, one-shot
+// sends — terminate on their own and are not flagged; neither are `go`
+// statements whose callee the package cannot see (another package, a
+// function value), where there is no body to judge.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/cfg"
+)
+
+// Analyzer reports goroutine launches with no termination signal.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "go statements must launch goroutines that can terminate\n\n" +
+		"A goroutine body with an unbounded for loop needs a receive, send,\n" +
+		"select, return, or break inside the loop; a goroutine using\n" +
+		"sync.WaitGroup must reach Done on every exit path (defer it).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Same-package declarations, for go statements naming a function.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	analysis.Inspect(pass.Files, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var fnNode ast.Node
+		switch fun := gs.Call.Fun.(type) {
+		case *ast.FuncLit:
+			fnNode = fun
+		case *ast.Ident:
+			if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+				if fd := decls[fn]; fd != nil {
+					fnNode = fd
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+				if fd := decls[fn]; fd != nil {
+					fnNode = fd
+				}
+			}
+		}
+		if fnNode == nil {
+			return true // body not visible: nothing to judge
+		}
+		checkGoroutine(pass, gs, fnNode)
+		return true
+	})
+	return nil
+}
+
+// checkGoroutine applies both disciplines to one launched body.
+func checkGoroutine(pass *analysis.Pass, gs *ast.GoStmt, fnNode ast.Node) {
+	var body *ast.BlockStmt
+	switch fn := fnNode.(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+	case *ast.FuncDecl:
+		body = fn.Body
+	}
+	checkUnboundedLoops(pass, gs, body)
+	checkWaitGroupDone(pass, gs, fnNode, body)
+}
+
+// checkUnboundedLoops reports condition-less for loops with no way out.
+// Nested function literals are skipped: their loops run in whatever
+// context later invokes them, not in this goroutine.
+func checkUnboundedLoops(pass *analysis.Pass, gs *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopHasExit(loop.Body) {
+			return true
+		}
+		pass.Reportf(gs.Pos(),
+			"goroutine leak: unbounded for loop at %s has no receive, send, select, return, or break — add a closeable channel or context check",
+			pass.Fset.Position(loop.Pos()))
+		return true
+	})
+}
+
+// loopHasExit scans a condition-less loop body for an exit or blocking
+// signal: return, break, goto, select, channel receive or send, or a
+// call that never returns (panic). Function literals inside the loop
+// are opaque.
+func loopHasExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A nested loop's own exits don't break the outer loop, but
+			// a receive/select nested inside still blocks it; keep
+			// descending — only break/return are loop-scoped.
+			return true
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			found = true
+		case *ast.BranchStmt:
+			// break or goto inside the loop body; a conservative accept
+			// (a labeled continue would not exit, but the loop then has
+			// an explicit label making the intent auditable).
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWaitGroupDone verifies that a goroutine calling WaitGroup.Done
+// reaches it on every exit path.
+func checkWaitGroupDone(pass *analysis.Pass, gs *ast.GoStmt, fnNode ast.Node, body *ast.BlockStmt) {
+	doneCalls := collectDoneCalls(pass, body)
+	if len(doneCalls) == 0 {
+		return
+	}
+	// A deferred Done covers every path by construction.
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && doneCalls[d.Call] {
+			deferred = true
+		}
+		return !deferred
+	})
+	if deferred {
+		return
+	}
+
+	// Must-analysis: Done called on every path reaching the exit.
+	g := cfg.New(fnNode)
+	hasDone := func(b *cfg.Block) bool {
+		for _, n := range b.Nodes {
+			done := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && doneCalls[call] {
+					done = true
+				}
+				return !done
+			})
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+	in := cfg.Forward(g, false,
+		func(a, b bool) bool { return a && b },
+		func(a, b bool) bool { return a == b },
+		func(b *cfg.Block, fact bool) bool { return fact || hasDone(b) },
+	)
+	for _, p := range g.Exit.Preds {
+		if !(in[p] || hasDone(p)) {
+			pass.Reportf(gs.Pos(),
+				"goroutine leak: WaitGroup.Done is skipped on some exit path — defer it at the top of the goroutine")
+			return
+		}
+	}
+}
+
+// collectDoneCalls finds the calls to (*sync.WaitGroup).Done in the
+// body, nested literals excluded.
+func collectDoneCalls(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	calls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Name() != "Done" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		calls[call] = true
+		return true
+	})
+	return calls
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/goleak"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goleak.Analyzer, "a")
+}

@@ -1,0 +1,138 @@
+// Package a exercises the goleak analyzer: unbounded loops without
+// exits, WaitGroup.Done skipped on early returns, and the disciplined
+// shapes that must pass.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// spinForever has no way out of its loop: the classic leak.
+func spinForever() {
+	go func() { // want `goroutine leak: unbounded for loop`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// selectLoop drains a channel until close: the loop blocks and exits.
+func selectLoop(c <-chan int, done <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-c:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// receiveLoop blocks on a bare receive: terminates when the channel
+// closes (receive yields zero values) only if the body returns — but
+// the receive is a legitimate blocking signal, so it is not flagged.
+func receiveLoop(c <-chan int) {
+	go func() {
+		for {
+			v := <-c
+			if v < 0 {
+				return
+			}
+		}
+	}()
+}
+
+// ctxLoop polls a context: the select's Done receive is the signal.
+func ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// boundedLoop finishes on its own: no signal needed.
+func boundedLoop(xs []int) {
+	go func() {
+		total := 0
+		for i := 0; i < len(xs); i++ {
+			total += xs[i]
+		}
+	}()
+}
+
+// skippedDone returns before Done on the error path: the WaitGroup
+// waits forever.
+func skippedDone(wg *sync.WaitGroup, xs []int) {
+	wg.Add(1)
+	go func() { // want `goroutine leak: WaitGroup\.Done is skipped on some exit path`
+		if len(xs) == 0 {
+			return
+		}
+		work(xs)
+		wg.Done()
+	}()
+}
+
+// deferredDone is the disciplined shape.
+func deferredDone(wg *sync.WaitGroup, xs []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if len(xs) == 0 {
+			return
+		}
+		work(xs)
+	}()
+}
+
+// doneOnAllPaths calls Done explicitly on both exits: the must-analysis
+// accepts it without a defer.
+func doneOnAllPaths(wg *sync.WaitGroup, xs []int) {
+	wg.Add(1)
+	go func() {
+		if len(xs) == 0 {
+			wg.Done()
+			return
+		}
+		work(xs)
+		wg.Done()
+	}()
+}
+
+// namedWorker leaks through a declared function: resolution follows the
+// identifier to the same-package body.
+func namedWorker() {
+	go spin() // want `goroutine leak: unbounded for loop`
+}
+
+func spin() {
+	for {
+	}
+}
+
+// justified documents an accepted leak with the allow flow.
+func justified() {
+	//peerlint:allow goleak — heartbeat for the life of the process, reaped at exit
+	go func() {
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+func work(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+// Package hotalloc enforces the static zero-alloc contract: a function
+// annotated //peerlint:hotpath — and every module function its calls
+// can reach — must be provably allocation-free at steady state.
+//
+// The analyzer is interprocedural: it builds the module call graph
+// (internal/analysis/callgraph), computes per-function allocation
+// summaries (internal/analysis/allocfacts), and walks the transitive
+// callee set of every hotpath root. Each steady allocation site found
+// in that set is reported at the site, with the call chain from the
+// annotated root, so the diagnostic reads as a proof trace:
+//
+//	workspace.go:230:12: hot path must stay allocation-free: append
+//	grows a fresh slice (call chain: (*Workspace).ApplyRoundInPlace →
+//	applyRound → applyGroupSorted) (hotalloc)
+//
+// Amortized sites (cap-guarded make, self-append into a persistent
+// buffer) and cold sites (error-return and panic paths) satisfy the
+// contract and are not reported — the precision contract the kernel's
+// high-water-mark workspace idiom relies on. Escaping references are
+// traversed like calls: a hot function that hands a module callback to
+// slices.SortFunc answers for the callback's allocations too.
+package hotalloc
+
+import (
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/allocfacts"
+	"peerlearn/internal/analysis/callgraph"
+)
+
+// Analyzer reports steady allocation sites reachable from
+// //peerlint:hotpath roots, with the call chain from the root.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "hotpath-annotated functions and their transitive module callees must be provably allocation-free\n\n" +
+		"Annotate a function's doc comment with //peerlint:hotpath to put its whole\n" +
+		"in-module call tree under a static zero-alloc contract. Steady allocation\n" +
+		"sites (fresh make/append, literals, closures, unproven calls) are reported\n" +
+		"with the call chain from the annotated root; amortized buffer growth and\n" +
+		"cold error/panic paths pass.",
+	RunModule: run,
+}
+
+// Finding is one steady allocation site on a hot path, with the chain
+// that proves reachability. Exported for the driver's -why mode.
+type Finding struct {
+	// Site is the offending allocation.
+	Site allocfacts.Site
+	// Owner is the function containing the site.
+	Owner *callgraph.Node
+	// Root is the hotpath annotation the chain starts from.
+	Root *callgraph.Node
+	// Chain walks Root → … → Owner along call/ref edges.
+	Chain []*callgraph.Node
+}
+
+// ChainString renders the finding's call chain for diagnostics.
+func (f Finding) ChainString() string {
+	names := make([]string, len(f.Chain))
+	for i, n := range f.Chain {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " → ")
+}
+
+// Check computes the contract violations of a graph: for every node
+// reachable from a hotpath root, each steady allocation site becomes a
+// finding carrying the BFS-shortest chain from the first root (in
+// declaration order) that reaches it.
+func Check(g *callgraph.Graph, facts *allocfacts.Facts) []Finding {
+	chains := hotChains(g)
+	var findings []Finding
+	for _, n := range g.Nodes {
+		chain, hot := chains[n]
+		if !hot {
+			continue
+		}
+		for _, site := range facts.Summary(n).Steady() {
+			findings = append(findings, Finding{
+				Site:  site,
+				Owner: n,
+				Root:  chain[0],
+				Chain: chain,
+			})
+		}
+	}
+	return findings
+}
+
+// Chains maps every node reachable from a hotpath root to its shortest
+// proof chain (root first, the node itself last). Exported for the
+// driver's -why mode, which explains any function's hot-path status.
+func Chains(g *callgraph.Graph) map[*callgraph.Node][]*callgraph.Node {
+	return hotChains(g)
+}
+
+// hotChains maps every node reachable from a hotpath root to its
+// shortest proof chain. Roots claim nodes in declaration order, so a
+// node under several roots gets one deterministic chain.
+func hotChains(g *callgraph.Graph) map[*callgraph.Node][]*callgraph.Node {
+	chains := make(map[*callgraph.Node][]*callgraph.Node)
+	for _, root := range g.Nodes {
+		if !root.Hotpath {
+			continue
+		}
+		if _, claimed := chains[root]; claimed {
+			// A root inside another root's tree keeps the outer chain;
+			// its own subtree is already covered transitively.
+			continue
+		}
+		chains[root] = []*callgraph.Node{root}
+		queue := []*callgraph.Node{root}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Out {
+				if _, seen := chains[e.Callee]; seen {
+					continue
+				}
+				parent := chains[n]
+				chain := make([]*callgraph.Node, len(parent), len(parent)+1)
+				copy(chain, parent)
+				chains[e.Callee] = append(chain, e.Callee)
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return chains
+}
+
+// run is the module entry point.
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	facts := allocfacts.Compute(g)
+	for _, f := range Check(g, facts) {
+		pass.Reportf(f.Site.Pos,
+			"hot path must stay allocation-free: %s (call chain: %s)",
+			f.Site.What, f.ChainString())
+	}
+	return nil
+}

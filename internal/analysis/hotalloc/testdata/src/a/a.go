@@ -1,0 +1,131 @@
+// Package a exercises the hotalloc analyzer on a miniature of the
+// round-application kernel: a hotpath-annotated root, an amortized
+// workspace idiom that must pass, and a seeded allocating callee that
+// must be reported with the full call chain from the root.
+package a
+
+import "slices"
+
+type pair struct {
+	skill float64
+	pos   int
+}
+
+type scratch struct {
+	pairs  []pair
+	deltas []float64
+}
+
+type ws struct {
+	serial scratch
+	vals   []float64
+}
+
+func cmpPairDesc(a, b pair) int {
+	if a.skill > b.skill {
+		return -1
+	}
+	if a.skill < b.skill {
+		return 1
+	}
+	return a.pos - b.pos
+}
+
+// ApplyRound mirrors the kernel's annotated root: everything it can
+// reach must be provably allocation-free.
+//
+//peerlint:hotpath
+func ApplyRound(w *ws, s []float64, groups [][]int) float64 {
+	var total float64
+	for _, g := range groups {
+		total += applyGroup(s, g, &w.serial)
+	}
+	return total
+}
+
+// applyGroup is the clean middle of the tree: self-append into the
+// persistent scratch buffer and an allowlisted sort — amortized, no
+// findings.
+func applyGroup(s []float64, grp []int, sc *scratch) float64 {
+	pairs := sc.pairs[:0]
+	for i, p := range grp {
+		pairs = append(pairs, pair{skill: s[p], pos: i})
+	}
+	sc.pairs = pairs
+	slices.SortFunc(pairs, cmpPairDesc)
+	return leakyGain(pairs, sc)
+}
+
+// leakyGain carries the seeded regression: a fresh slice grown by
+// append where the persistent deltas buffer should have been reused.
+// Both sites must surface with the chain ApplyRound → applyGroup →
+// leakyGain.
+func leakyGain(pairs []pair, sc *scratch) float64 {
+	tmp := make([]float64, 0, len(pairs)) // want `hot path must stay allocation-free: make \[\]float64 \(call chain: ApplyRound → applyGroup → leakyGain\)`
+	for _, p := range pairs {
+		tmp = append(tmp, p.skill) // want `hot path must stay allocation-free: append grows a fresh slice \(call chain: ApplyRound → applyGroup → leakyGain\)`
+	}
+	var g float64
+	for _, v := range tmp {
+		g += v
+	}
+	return g
+}
+
+// growDeltas shows the guarded-make idiom the contract permits; called
+// from the hot tree via GroupGain below.
+func growDeltas(sc *scratch, n int) []float64 {
+	if cap(sc.deltas) < n {
+		sc.deltas = make([]float64, n)
+	}
+	return sc.deltas[:n]
+}
+
+// GroupGain is a second annotated root whose tree is entirely clean.
+//
+//peerlint:hotpath
+func GroupGain(w *ws, s []float64, grp []int) float64 {
+	vals := w.vals[:0]
+	for _, p := range grp {
+		vals = append(vals, s[p])
+	}
+	w.vals = vals
+	deltas := growDeltas(&w.serial, len(vals))
+	var g float64
+	for i, v := range vals {
+		deltas[i] = v
+		g += v
+	}
+	return g
+}
+
+// coldGain allocates only on its panic path: cold, allowed on hot
+// trees. Reached from GroupGain? No — standalone hot root to prove the
+// cold rule interprocedurally.
+//
+//peerlint:hotpath
+func coldGain(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic(message("empty group"))
+	}
+	return vals[0]
+}
+
+// message builds the panic string; reached only from the cold call
+// above, but hotalloc judges sites, not paths across functions, so the
+// conversion here must be suppressed — demonstrating the allow flow.
+func message(s string) string {
+	//peerlint:allow hotalloc — diagnostics path, reached only when panicking
+	b := []byte(s)
+	return string(b) // want `hot path must stay allocation-free: conversion string\(\[\]byte\) copies its data \(call chain: coldGain → message\)`
+}
+
+// offPath allocates freely: it is reachable from no hotpath root, so
+// hotalloc stays silent no matter what it does.
+func offPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -136,6 +136,10 @@ func (sm *starSummary) gainAfterSwap(r float64, t, outSlot int, out, in float64)
 
 func (ev *starLinearEvaluator) Total() float64 { return ev.total }
 
+// Propose runs once per annealing step; the O(1) summary math must stay
+// allocation-free.
+//
+//peerlint:hotpath
 func (ev *starLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
 	va, vb := ev.s[ev.g[ga][xa]], ev.s[ev.g[gb][xb]]
 	newA := ev.sums[ga].gainAfterSwap(ev.r, len(ev.g[ga]), xa, va, vb)
@@ -144,6 +148,10 @@ func (ev *starLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
 	return newA + newB - ev.gains[ga] - ev.gains[gb]
 }
 
+// Accept commits on the annealer's accept path; rebuild is O(t) but
+// reuses the evaluator's own buffers.
+//
+//peerlint:hotpath
 func (ev *starLinearEvaluator) Accept() {
 	p := ev.pending
 	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
@@ -272,6 +280,10 @@ func spliceDesc(vals []float64, removeIdx int, in float64) {
 
 func (ev *cliqueLinearEvaluator) Total() float64 { return ev.total }
 
+// Propose re-walks both groups' sorted lists through the Theorem 3
+// identity; one annealing step, zero allocations.
+//
+//peerlint:hotpath
 func (ev *cliqueLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
 	va, vb := ev.s[ev.g[ga][xa]], ev.s[ev.g[gb][xb]]
 	newA := cliqueGainSwapped(ev.sorted[ga], removalIndex(ev.sorted[ga], va), vb, ev.r)
@@ -280,6 +292,9 @@ func (ev *cliqueLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
 	return newA + newB - ev.gains[ga] - ev.gains[gb]
 }
 
+// Accept splices both sorted lists in place.
+//
+//peerlint:hotpath
 func (ev *cliqueLinearEvaluator) Accept() {
 	p := ev.pending
 	va, vb := ev.s[ev.g[p.ga][p.xa]], ev.s[ev.g[p.gb][p.xb]]
@@ -327,6 +342,10 @@ func newGenericEvaluator(s core.Skills, g core.Grouping, mode core.Mode, gain co
 
 func (ev *genericEvaluator) Total() float64 { return ev.total }
 
+// Propose recomputes the two touched groups through the workspace's
+// GroupGain, which is itself under the zero-alloc contract.
+//
+//peerlint:hotpath
 func (ev *genericEvaluator) Propose(ga, xa, gb, xb int) float64 {
 	// Swap, evaluate, swap back: the grouping is only borrowed.
 	ev.g[ga][xa], ev.g[gb][xb] = ev.g[gb][xb], ev.g[ga][xa]
@@ -337,6 +356,9 @@ func (ev *genericEvaluator) Propose(ga, xa, gb, xb int) float64 {
 	return newA + newB - ev.gains[ga] - ev.gains[gb]
 }
 
+// Accept commits the swap recorded by the last Propose.
+//
+//peerlint:hotpath
 func (ev *genericEvaluator) Accept() {
 	p := ev.pending
 	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]

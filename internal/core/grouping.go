@@ -50,9 +50,14 @@ func (g Grouping) validate(n int, seen []bool) error {
 		}
 	}
 	if total != n {
+		// Building the missing-participant sample allocates, but only on
+		// the invalid-grouping diagnostics path that immediately returns
+		// an error — a healthy round never reaches it.
+		//peerlint:allow hotalloc — cold diagnostics path, executes only before an error return
 		missing := make([]int, 0, n-total)
 		for p, ok := range seen {
 			if !ok {
+				//peerlint:allow hotalloc — cold diagnostics path, executes only before an error return
 				missing = append(missing, p)
 				if len(missing) == 4 {
 					break

@@ -97,6 +97,8 @@ var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
 // package-level ApplyRound it does NOT clone s — the caller owns the
 // mutation — and at steady state (buffers warmed to the instance size)
 // it performs no heap allocations on the serial path.
+//
+//peerlint:hotpath
 func (w *Workspace) ApplyRoundInPlace(s Skills, g Grouping, mode Mode, gain Gain) (float64, error) {
 	if !mode.Valid() {
 		return 0, fmt.Errorf("core: invalid mode %v", mode)
@@ -114,6 +116,8 @@ func (w *Workspace) ApplyRoundInPlace(s Skills, g Grouping, mode Mode, gain Gain
 // Star, eq. 2 for Clique) on the current skills without modifying
 // them, using the workspace's scratch buffers; it allocates nothing at
 // steady state.
+//
+//peerlint:hotpath
 func (w *Workspace) GroupGain(s Skills, group []int, mode Mode, gain Gain) float64 {
 	vals := w.vals[:0]
 	for _, p := range group {
@@ -137,6 +141,8 @@ func (w *Workspace) GroupGain(s Skills, group []int, mode Mode, gain Gain) float
 
 // AggregateGain computes the aggregated learning gain LG(G) of a
 // grouping (eq. 3) using the workspace's scratch buffers.
+//
+//peerlint:hotpath
 func (w *Workspace) AggregateGain(s Skills, g Grouping, mode Mode, gain Gain) float64 {
 	var total float64
 	for _, grp := range g {
@@ -199,6 +205,10 @@ func (w *Workspace) applyRoundParallel(s Skills, g Grouping, mode Mode, gain Gai
 			continue
 		}
 		wg.Add(1)
+		// Worker spawns allocate goroutine frames, but this path only
+		// runs above ParallelRoundThreshold, where the per-round update
+		// dwarfs the handoff; the serial path stays allocation-free.
+		//peerlint:allow hotalloc — bounded worker fan-out, taken only above ParallelRoundThreshold
 		go func(sc *groupScratch, lo, hi int) {
 			defer wg.Done()
 			for gi := lo; gi < hi; gi++ {
