@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix audit fuzz-smoke cover sim-smoke clean
+.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix audit fuzz-smoke cover sim-smoke recovery-smoke clean
 
 all: build test
 
@@ -23,12 +23,12 @@ bench:
 
 # Full performance-regression sweep; refreshes the committed baseline.
 peerbench:
-	$(GO) run ./cmd/peerbench -out BENCH_4.json
+	$(GO) run ./cmd/peerbench -out BENCH_7.json
 
 # CI-sized sweep compared against the committed baseline (what the
 # bench-smoke CI job runs); fails on a >25% ns/op regression.
 bench-smoke:
-	$(GO) run ./cmd/peerbench -quick -out bench-quick.json -compare BENCH_4.json
+	$(GO) run ./cmd/peerbench -quick -out bench-quick.json -compare BENCH_7.json
 
 # Regenerate every paper figure at full size into results/.
 figures:
@@ -67,7 +67,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzApplyRoundInvariants -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzGroupingValidate -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzTheorem3FastMatchesNaive -fuzztime=$(FUZZTIME) ./internal/core
-	$(GO) test -fuzz=. -fuzztime=$(FUZZTIME) ./internal/ledger
+	$(GO) test -fuzz=FuzzReplay -fuzztime=$(FUZZTIME) ./internal/ledger
+	$(GO) test -fuzz=FuzzSessionReplay -fuzztime=$(FUZZTIME) ./internal/ledger
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/analysis/cfg
 	$(GO) test -fuzz=FuzzCallGraph -fuzztime=$(FUZZTIME) ./internal/analysis/callgraph
 	$(GO) test -fuzz=FuzzMatchmakerOps -fuzztime=$(FUZZTIME) ./internal/simtest
@@ -90,6 +91,13 @@ sim-smoke:
 	$(GO) run ./cmd/peersim -seed 1 -runs 8 -ops 400 -faults all
 	$(GO) run ./cmd/peersim -seed 101 -runs 4 -ops 300 -faults all -mode clique
 	$(GO) run ./cmd/peersim -seed 201 -runs 4 -ops 300 -faults all -group-size 4 -clients 6
+
+# End-to-end crash recovery against the real daemon binary: boot with
+# -data-dir, drive a session over HTTP, kill -9, reboot over the same
+# directory, and assert the status page comes back byte-identical (the
+# recovery-smoke CI job).
+recovery-smoke:
+	bash scripts/recovery-smoke.sh
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

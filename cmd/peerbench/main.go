@@ -1,16 +1,17 @@
 // Command peerbench is the repository's performance-regression
 // harness: it drives the hot paths — DyGroups Star/Clique simulations,
-// the baselines, workspace round application (serial vs parallel), and
-// the simulated annealer — through a self-contained measurement loop
-// and emits a JSON report (committed as BENCH_4.json at the repo root)
-// with ns/op, allocs/op, bytes/op, and the parallel-vs-serial speedup.
+// the baselines, workspace round application (serial vs parallel), the
+// simulated annealer, and the sharded durable session store — through
+// a self-contained measurement loop and emits a JSON report (committed
+// as BENCH_7.json at the repo root) with ns/op, allocs/op, bytes/op,
+// and the parallel-vs-serial speedup.
 //
 // Usage:
 //
 //	peerbench                      # full sweep, JSON to stdout
 //	peerbench -quick               # CI-sized sweep (drops the 100k entries)
-//	peerbench -out BENCH_4.json    # refresh the committed baseline
-//	peerbench -quick -compare BENCH_4.json
+//	peerbench -out BENCH_7.json    # refresh the committed baseline
+//	peerbench -quick -compare BENCH_7.json
 //	                               # fail (exit 1) if any shared entry
 //	                               # regresses ns/op by > -max-regress
 //
@@ -27,12 +28,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"peerlearn"
 	"peerlearn/internal/baselines"
 	"peerlearn/internal/core"
 	"peerlearn/internal/dist"
+	"peerlearn/internal/server"
 )
 
 // Entry is one benchmark result in the report.
@@ -170,6 +173,150 @@ func annealCase(n int, mode core.Mode, gain core.Gain, target time.Duration) mea
 	})
 }
 
+// sessionCreateCase measures one batch of session creates fanned
+// across workers goroutines against a fresh store with the given shard
+// count — the admission path under contention: the CAS limit reserve,
+// the id allocation, and the per-shard insert.
+func sessionCreateCase(shards, batch, workers int, target time.Duration) (measurement, error) {
+	errs := make([]error, workers)
+	m := measure(target, func() {
+		st := server.NewShardedSessionStore(shards)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < batch/workers; i++ {
+					if _, err := st.Create(server.CreateSessionRequest{GroupSize: 2}); err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// sessionTrafficCase measures a mixed workload — join+leave pairs,
+// learning rounds, status snapshots — fanned across workers goroutines
+// over many sessions. Every op routes through the store's session
+// lookup, so the figure covers shard selection plus the per-session
+// work; the join+leave pairing keeps rosters stable so the measurement
+// is stationary.
+func sessionTrafficCase(shards, sessions, ops, workers int, target time.Duration) (measurement, error) {
+	st := server.NewShardedSessionStore(shards)
+	ids := make([]int64, sessions)
+	for i := range ids {
+		id, err := st.Create(server.CreateSessionRequest{GroupSize: 2})
+		if err != nil {
+			return measurement{}, err
+		}
+		sess, _ := st.Session(id)
+		for j := 0; j < 4; j++ {
+			if _, err := sess.Join(0.3 + 0.1*float64(j)); err != nil {
+				return measurement{}, err
+			}
+		}
+		ids[i] = id
+	}
+	errs := make([]error, workers)
+	m := measure(target, func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fail := func(err error) {
+					if err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+				}
+				for i := 0; i < ops/workers; i++ {
+					sess, ok := st.Session(ids[(w*31+i)%len(ids)])
+					if !ok {
+						fail(fmt.Errorf("session lookup lost id"))
+						return
+					}
+					switch i % 4 {
+					case 0:
+						pid, err := sess.Join(0.75)
+						if err != nil {
+							fail(err)
+							return
+						}
+						fail(sess.Leave(pid))
+					case 1:
+						_, err := sess.RunRound()
+						fail(err)
+					default:
+						_ = sess.Status()
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// sessionRecoveryCase journals sessions (create, joins, one round
+// each) into a throwaway directory, drops the store kill -9 style, and
+// measures replay-on-boot over the whole journal.
+func sessionRecoveryCase(sessions int, target time.Duration) (measurement, error) {
+	dir, err := os.MkdirTemp("", "peerbench-journal-")
+	if err != nil {
+		return measurement{}, err
+	}
+	defer os.RemoveAll(dir)
+	j, err := server.OpenJournal(dir)
+	if err != nil {
+		return measurement{}, err
+	}
+	st := server.NewShardedSessionStore(256)
+	st.AttachJournal(j)
+	for i := 0; i < sessions; i++ {
+		id, err := st.Create(server.CreateSessionRequest{GroupSize: 2})
+		if err != nil {
+			return measurement{}, err
+		}
+		sess, _ := st.Session(id)
+		for _, s := range []float64{0.4, 0.8, 1.2} {
+			if _, err := sess.Join(s); err != nil {
+				return measurement{}, err
+			}
+		}
+		if _, err := sess.RunRound(); err != nil {
+			return measurement{}, err
+		}
+	}
+	st.Crash()
+	var runErr error
+	m := measure(target, func() {
+		rec := server.NewShardedSessionStore(256)
+		rec.AttachJournal(j)
+		n, err := rec.Recover()
+		if err == nil && n != sessions {
+			err = fmt.Errorf("recovered %d sessions, want %d", n, sessions)
+		}
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+		rec.Crash() // release the recovered WAL handles before the next op
+	})
+	return m, runErr
+}
+
 func chunkGrouping(n, k int) core.Grouping {
 	size := n / k
 	g := make(core.Grouping, k)
@@ -277,6 +424,39 @@ func buildReport(quick bool, target time.Duration, stderr io.Writer) (*Report, e
 		var gain core.Gain = core.MustLinear(0.5)
 		m := measure(target, func() { core.AggregateGain(s, g, core.Star, gain) })
 		add("aggregate-gain-star-10k", 10000, m)
+	}
+
+	// Sharded session store: parallel create throughput (with the
+	// single-shard figure as the "serial" reference), mixed session
+	// traffic, and replay-on-boot recovery.
+	{
+		workers := runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+		sharded, err := sessionCreateCase(256, 10000, workers, target)
+		if err != nil {
+			return nil, fmt.Errorf("session-create-10k sharded: %w", err)
+		}
+		single, err := sessionCreateCase(1, 10000, workers, target)
+		if err != nil {
+			return nil, fmt.Errorf("session-create-10k single-shard: %w", err)
+		}
+		e := add("session-create-10k", 10000, sharded)
+		e.SpeedupVsSerial = single.nsPerOp / sharded.nsPerOp
+		fmt.Fprintf(stderr, "%-28s %42.2fx vs single shard\n", "session-create-10k", e.SpeedupVsSerial)
+
+		traffic, err := sessionTrafficCase(256, 64, 10000, workers, target)
+		if err != nil {
+			return nil, fmt.Errorf("session-traffic-10k: %w", err)
+		}
+		add("session-traffic-10k", 10000, traffic)
+
+		recovery, err := sessionRecoveryCase(1000, target)
+		if err != nil {
+			return nil, fmt.Errorf("session-recovery-1k: %w", err)
+		}
+		add("session-recovery-1k", 1000, recovery)
 	}
 
 	// Incremental annealer.

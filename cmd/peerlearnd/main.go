@@ -2,7 +2,7 @@
 // deployment shape the paper's motivation sketches for online learning
 // platforms.
 //
-//	peerlearnd -addr :8080 [-pprof] [-shutdown-timeout 10s]
+//	peerlearnd -addr :8080 [-data-dir DIR] [-pprof] [-shutdown-timeout 10s]
 //
 //	curl -s localhost:8080/v1/group -d '{"skills":[0.1,0.5,0.9,0.3],"k":2}'
 //	curl -s localhost:8080/v1/simulate -d '{"skills":[0.1,0.5,0.9,0.3],"k":2,"rounds":3,"rate":0.5}'
@@ -17,6 +17,13 @@
 // profiling handlers are mounted under /debug/pprof/. On SIGINT or
 // SIGTERM the daemon stops accepting connections and drains in-flight
 // requests for up to -shutdown-timeout before exiting.
+//
+// With -data-dir the session tier is durable: every session keeps an
+// append-only WAL (plus periodic snapshots) under the directory, and
+// on boot the daemon replays whatever it finds there — after a crash
+// or kill -9, live sessions come back with gains and skills
+// bit-identical to their pre-crash state. Without the flag sessions
+// are in-memory only, as before.
 package main
 
 import (
@@ -37,16 +44,36 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "",
+		"directory for per-session WALs; empty = in-memory sessions only")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ profiling handlers")
 	drain := flag.Duration("shutdown-timeout", 10*time.Second,
 		"how long to drain in-flight requests after SIGINT/SIGTERM")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	handler := server.New(server.NewSessionStore(), server.Options{
+	store := server.NewSessionStore()
+	if *dataDir != "" {
+		journal, err := server.OpenJournal(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.AttachJournal(journal)
+	}
+	handler := server.New(store, server.Options{
 		Logger: logger,
 		Pprof:  *pprofOn,
 	})
+	// Recover after server.New: New wires the metrics registry into the
+	// store, and recovered sessions must come up with telemetry
+	// attached.
+	if *dataDir != "" {
+		recovered, err := store.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("session journal replayed", "data_dir", *dataDir, "sessions", recovered)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -20,12 +20,33 @@ import (
 // gauge), the cancel that plays the role of SIGTERM, and the channel
 // serve's result lands on.
 func startDaemon(t *testing.T) (string, *metrics.Registry, context.CancelFunc, chan error) {
+	url, reg, cancel, done, _ := startDurableDaemon(t, "")
+	return url, reg, cancel, done
+}
+
+// startDurableDaemon is startDaemon with the -data-dir wiring: a
+// non-empty dataDir attaches a journal and replays it on boot, exactly
+// as main does.
+func startDurableDaemon(t *testing.T, dataDir string) (string, *metrics.Registry, context.CancelFunc, chan error, *server.SessionStore) {
 	t.Helper()
 	reg := metrics.NewRegistry()
-	h := server.New(server.NewSessionStore(), server.Options{
+	store := server.NewSessionStore()
+	if dataDir != "" {
+		journal, err := server.OpenJournal(dataDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.AttachJournal(journal)
+	}
+	h := server.New(store, server.Options{
 		Registry: reg,
 		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
+	if dataDir != "" {
+		if _, err := store.Recover(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +54,7 @@ func startDaemon(t *testing.T) (string, *metrics.Registry, context.CancelFunc, c
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- serve(ctx, newServer(ln.Addr().String(), h), ln, 30*time.Second) }()
-	return "http://" + ln.Addr().String(), reg, cancel, done
+	return "http://" + ln.Addr().String(), reg, cancel, done, store
 }
 
 // TestServeStopsOnCancel: with no traffic, cancelling the signal
@@ -129,4 +150,71 @@ func TestShutdownDrainsInFlightSimulate(t *testing.T) {
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after shutdown")
 	}
+}
+
+// TestRestartRecoversSessions is the daemon-level durability test:
+// traffic against a -data-dir daemon, an unclean stop (the store is
+// crashed, no close events, no drain of the journal), a reboot over
+// the same directory, and the pre-crash status must come back byte for
+// byte over the real HTTP surface.
+func TestRestartRecoversSessions(t *testing.T) {
+	dataDir := t.TempDir()
+	url, _, cancel, done, store := startDurableDaemon(t, dataDir)
+
+	postJSON := func(base, path, body string) []byte {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return b
+	}
+	getStatus := func(base string) string {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/sessions/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET status: %d: %s", resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	postJSON(url, "/v1/sessions", `{"group_size":2}`)
+	for _, skill := range []string{"0.2", "0.5", "0.8", "0.9"} {
+		postJSON(url, "/v1/sessions/1/join", `{"skill":`+skill+`}`)
+	}
+	postJSON(url, "/v1/sessions/1/round", `{}`)
+	postJSON(url, "/v1/sessions/1/round", `{}`)
+	want := getStatus(url)
+
+	// Unclean death: drop the store's fds without close events, then
+	// stop the listener.
+	store.Crash()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+
+	// Reboot over the same data dir.
+	url2, _, cancel2, done2, _ := startDurableDaemon(t, dataDir)
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	if got := getStatus(url2); got != want {
+		t.Fatalf("status after reboot:\n got %s\nwant %s", got, want)
+	}
+	// The recovered session still serves traffic.
+	postJSON(url2, "/v1/sessions/1/round", `{}`)
 }

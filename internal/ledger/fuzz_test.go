@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -43,6 +44,93 @@ func FuzzReplay(f *testing.F) {
 		diff := replayed.Final.Sum() - replayed.Initial.Sum()
 		if d := replayed.TotalGain - diff; d > 1e-6 || d < -1e-6 {
 			t.Fatalf("accepted ledger violates accounting: total %v vs skill diff %v", replayed.TotalGain, diff)
+		}
+	})
+}
+
+// FuzzSessionReplay feeds arbitrary snapshot/WAL byte pairs to the
+// session recoverer: it must never panic, and any state it accepts must
+// round-trip exactly through its own snapshot encoding.
+func FuzzSessionReplay(f *testing.F) {
+	// Seed with a valid session WAL built the same way the server does:
+	// kernel-computed gains, contiguous seqs.
+	var buf bytes.Buffer
+	ev := CreateEvent("dygroups", core.Star, 2, 0.5, 7)
+	ev.Seq = 1
+	st, err := NewSessionState(ev)
+	if err != nil {
+		f.Fatal(err)
+	}
+	write := func(e Event) {
+		line, err := EncodeEvent(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf.Write(line)
+	}
+	apply := func(e Event) {
+		e.Seq = st.Seq + 1
+		if err := st.Apply(e); err != nil {
+			f.Fatal(err)
+		}
+		write(e)
+	}
+	write(ev)
+	apply(JoinEvent(1, 0.25))
+	apply(JoinEvent(2, 0.75))
+	grouping := core.Grouping{{0, 1}}
+	_, gain, err := core.ApplyRound(core.Skills{0.25, 0.75}, grouping, core.Star, core.MustLinear(0.5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	apply(SessionRoundEvent(1, []int64{1, 2}, grouping, gain))
+	apply(LeaveEvent(1))
+	valid := buf.String()
+	snapLine, err := EncodeEvent(st.SnapshotEvent())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("", valid)
+	f.Add(string(snapLine), valid)
+	f.Add(string(snapLine), "")
+	f.Add("", valid+`{"kind":"join","seq":7,"particip`) // torn tail
+	f.Add("", strings.Replace(valid, `"gain":`, `"gain":9`, 1))
+	f.Add("", strings.Replace(valid, `"seq":3`, `"seq":9`, 1))
+	f.Add("", `{"kind":"create","seq":1,"algorithm":"x","mode":"star","group_size":2,"rate":0.5}`+"\n")
+	f.Add("", "")
+
+	f.Fuzz(func(t *testing.T, snapshot, wal string) {
+		var snap []byte
+		if snapshot != "" {
+			snap = []byte(snapshot)
+		}
+		got, err := RecoverSession(snap, []byte(wal))
+		if err != nil {
+			return // rejection is always fine
+		}
+		if got == nil {
+			t.Fatal("nil state without error")
+		}
+		// Accepted states must round-trip bit-exactly through the
+		// snapshot encoding — this is what compaction relies on.
+		line, err := EncodeEvent(got.SnapshotEvent())
+		if err != nil {
+			t.Fatalf("accepted state does not encode: %v", err)
+		}
+		back, err := RecoverSession(line, nil)
+		if err != nil {
+			t.Fatalf("accepted state does not recover from its own snapshot: %v", err)
+		}
+		if back.Seq != got.Seq || back.Rounds != got.Rounds || back.Len() != got.Len() ||
+			math.Float64bits(back.TotalGain) != math.Float64bits(got.TotalGain) {
+			t.Fatalf("snapshot round-trip drifted: %+v vs %+v", back, got)
+		}
+		gp, bp := got.Participants(), back.Participants()
+		for i := range gp {
+			if gp[i].ID != bp[i].ID || math.Float64bits(gp[i].Skill) != math.Float64bits(bp[i].Skill) {
+				t.Fatalf("participant %d drifted through snapshot", gp[i].ID)
+			}
 		}
 	})
 }

@@ -50,6 +50,16 @@ type Event struct {
 	// End fields.
 	TotalGain float64   `json:"total_gain,omitempty"`
 	Final     []float64 `json:"final,omitempty"`
+	// Session-lifecycle fields (see session.go): per-session WAL
+	// events for the durable serving tier.
+	Seq          int64              `json:"seq,omitempty"`
+	GroupSize    int                `json:"group_size,omitempty"`
+	Seed         int64              `json:"seed,omitempty"`
+	Participant  int64              `json:"participant,omitempty"`
+	Skill        float64            `json:"skill,omitempty"`
+	Seated       []int64            `json:"seated,omitempty"`
+	Participants []ParticipantState `json:"participants,omitempty"`
+	NextID       int64              `json:"next_id,omitempty"`
 }
 
 // Writer appends events to an io.Writer as JSON lines. It enforces the

@@ -1,0 +1,391 @@
+// Session-lifecycle grammar: the per-session write-ahead log of the
+// durable serving tier. Where the begin/round/end grammar (ledger.go)
+// records a fixed-population batch run after the fact, the session
+// grammar records a long-lived matchmaker cohort as it mutates —
+// participants join and leave at any time, rounds run over whoever is
+// present, and the session eventually closes:
+//
+//	create                      (exactly once, first)
+//	(join | leave | round)*     (in apply order)
+//	close                       (at most once, last)
+//
+// Every event carries a sequence number, strictly increasing from 1 at
+// create, so a snapshot (a single "snapshot" event holding the full
+// state at some seq) plus a WAL suffix replays unambiguously even when
+// a crash interrupts log compaction: WAL events at or below the
+// snapshot's seq are stale and skipped, everything after must be
+// exactly contiguous.
+//
+// Replay is a verification, not just a parse: every round event records
+// the seated participant ids (in seat order), the grouping over seat
+// indices, and the realized gain; Apply recomputes the round with the
+// same core.ApplyRound kernel the live session used and rejects the log
+// unless the recorded gain matches bit for bit. Recovered skills and
+// accumulated gains are therefore bit-identical to the pre-crash state
+// or the log is refused.
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+
+	"peerlearn/internal/core"
+)
+
+// session-lifecycle event kinds (kindRound is shared with the batch
+// grammar; a session round is distinguished by its non-empty Seated).
+const (
+	kindCreate   = "create"
+	kindJoin     = "join"
+	kindLeave    = "leave"
+	kindClose    = "close"
+	kindSnapshot = "snapshot"
+)
+
+// ParticipantState is one cohort member's full state as recorded in a
+// snapshot event.
+type ParticipantState struct {
+	ID           int64   `json:"id"`
+	Skill        float64 `json:"skill"`
+	JoinedRound  int     `json:"joined_round,omitempty"`
+	RoundsPlayed int     `json:"rounds_played,omitempty"`
+	TotalGain    float64 `json:"total_gain,omitempty"`
+}
+
+// SessionState is a session's replayable state: the creation
+// parameters plus everything the event stream has built since. The
+// serving tier keeps one as the live replica behind each WAL (so
+// snapshots need no access to the matchmaker session) and rebuilds one
+// per session at recovery.
+type SessionState struct {
+	Algorithm string
+	Mode      core.Mode
+	GroupSize int
+	Rate      float64
+	Seed      int64
+	// Seq is the sequence number of the last applied event.
+	Seq       int64
+	NextID    int64
+	Rounds    int
+	TotalGain float64
+	Closed    bool
+
+	members map[int64]*ParticipantState
+}
+
+// CreateEvent starts a session log. The writer stamps Seq.
+func CreateEvent(algorithm string, mode core.Mode, groupSize int, rate float64, seed int64) Event {
+	return Event{Kind: kindCreate, Algorithm: algorithm, Mode: mode.String(),
+		GroupSize: groupSize, Rate: rate, Seed: seed}
+}
+
+// JoinEvent records a participant joining with an initial skill.
+func JoinEvent(id int64, skill float64) Event {
+	return Event{Kind: kindJoin, Participant: id, Skill: skill}
+}
+
+// LeaveEvent records a participant departing.
+func LeaveEvent(id int64) Event {
+	return Event{Kind: kindLeave, Participant: id}
+}
+
+// SessionRoundEvent records one applied learning round: the seated
+// participant ids in seat order, the grouping over seat indices, and
+// the realized gain.
+func SessionRoundEvent(round int, seated []int64, grouping core.Grouping, gain float64) Event {
+	return Event{Kind: kindRound, Round: round, Seated: seated, Grouping: grouping, Gain: gain}
+}
+
+// CloseEvent ends a session log; a closed session is not recovered.
+func CloseEvent() Event {
+	return Event{Kind: kindClose}
+}
+
+// NewSessionState builds the state a create event describes. The event
+// must carry seq 1: create is always the first event of a log.
+func NewSessionState(ev Event) (*SessionState, error) {
+	if ev.Kind != kindCreate {
+		return nil, fmt.Errorf("ledger: session log starts with %q, want create", ev.Kind)
+	}
+	if ev.Seq != 1 {
+		return nil, fmt.Errorf("ledger: create event has seq %d, want 1", ev.Seq)
+	}
+	mode, err := core.ParseMode(ev.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.NewLinear(ev.Rate); err != nil {
+		return nil, err
+	}
+	if ev.GroupSize < 2 {
+		return nil, fmt.Errorf("ledger: create group size %d, want ≥2", ev.GroupSize)
+	}
+	return &SessionState{
+		Algorithm: ev.Algorithm,
+		Mode:      mode,
+		GroupSize: ev.GroupSize,
+		Rate:      ev.Rate,
+		Seed:      ev.Seed,
+		Seq:       1,
+		members:   make(map[int64]*ParticipantState),
+	}, nil
+}
+
+// Len returns the live roster size.
+func (st *SessionState) Len() int { return len(st.members) }
+
+// Participants returns a copy of every member, sorted by id.
+func (st *SessionState) Participants() []ParticipantState {
+	out := make([]ParticipantState, 0, len(st.members))
+	for _, p := range st.members {
+		out = append(out, *p)
+	}
+	slices.SortFunc(out, func(a, b ParticipantState) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// Apply advances the state by one event, validating the grammar and —
+// for rounds — recomputing the learning update and requiring the
+// recorded gain to match bit for bit. The event's seq must be exactly
+// Seq+1; Apply never skips (the replayer handles stale pre-snapshot
+// events).
+func (st *SessionState) Apply(ev Event) error {
+	if ev.Seq != st.Seq+1 {
+		return fmt.Errorf("ledger: event %q has seq %d, want %d", ev.Kind, ev.Seq, st.Seq+1)
+	}
+	if st.Closed {
+		return fmt.Errorf("ledger: event %q after close", ev.Kind)
+	}
+	switch ev.Kind {
+	case kindJoin:
+		if ev.Participant != st.NextID+1 {
+			return fmt.Errorf("ledger: join assigns id %d, want %d", ev.Participant, st.NextID+1)
+		}
+		if err := core.ValidateSkills(core.Skills{ev.Skill}); err != nil {
+			return fmt.Errorf("ledger: join %d: %w", ev.Participant, err)
+		}
+		st.NextID = ev.Participant
+		st.members[ev.Participant] = &ParticipantState{
+			ID: ev.Participant, Skill: ev.Skill, JoinedRound: st.Rounds,
+		}
+	case kindLeave:
+		if _, ok := st.members[ev.Participant]; !ok {
+			return fmt.Errorf("ledger: leave of unknown participant %d", ev.Participant)
+		}
+		delete(st.members, ev.Participant)
+	case kindRound:
+		if err := st.applyRound(ev); err != nil {
+			return err
+		}
+	case kindClose:
+		st.Closed = true
+	case kindCreate:
+		return fmt.Errorf("ledger: duplicate create")
+	default:
+		return fmt.Errorf("ledger: unknown session event kind %q", ev.Kind)
+	}
+	st.Seq = ev.Seq
+	return nil
+}
+
+// applyRound replays one recorded round. The seated list is trusted as
+// the session's actual seating decision (an optimistic round may have
+// seated from a snapshot older than the apply-time roster), but every
+// seated id must be live and the recomputed gain must match the
+// recorded one bit for bit.
+func (st *SessionState) applyRound(ev Event) error {
+	if ev.Round != st.Rounds+1 {
+		return fmt.Errorf("ledger: round %d out of order (want %d)", ev.Round, st.Rounds+1)
+	}
+	n := len(ev.Seated)
+	if n == 0 || n%st.GroupSize != 0 {
+		return fmt.Errorf("ledger: round %d seats %d participants, not a positive multiple of group size %d", ev.Round, n, st.GroupSize)
+	}
+	seated := make([]*ParticipantState, n)
+	skills := make(core.Skills, n)
+	seen := make(map[int64]bool, n)
+	for i, id := range ev.Seated {
+		p, ok := st.members[id]
+		if !ok {
+			return fmt.Errorf("ledger: round %d seats unknown participant %d", ev.Round, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("ledger: round %d seats participant %d twice", ev.Round, id)
+		}
+		seen[id] = true
+		seated[i] = p
+		skills[i] = p.Skill
+	}
+	k := n / st.GroupSize
+	grouping := core.Grouping(ev.Grouping)
+	if err := grouping.ValidateEqui(n, k); err != nil {
+		return fmt.Errorf("ledger: round %d: %w", ev.Round, err)
+	}
+	gainFn, err := core.NewLinear(st.Rate)
+	if err != nil {
+		return err
+	}
+	next, gain, err := core.ApplyRound(skills, grouping, st.Mode, gainFn)
+	if err != nil {
+		return fmt.Errorf("ledger: round %d: %w", ev.Round, err)
+	}
+	if math.Float64bits(gain) != math.Float64bits(ev.Gain) {
+		return fmt.Errorf("ledger: round %d records gain %v but replay computes %v (not bit-identical)", ev.Round, ev.Gain, gain)
+	}
+	for i, p := range seated {
+		p.TotalGain += next[i] - p.Skill
+		p.Skill = next[i]
+		p.RoundsPlayed++
+	}
+	st.Rounds++
+	st.TotalGain += gain
+	return nil
+}
+
+// SnapshotEvent serializes the full state as a single snapshot event —
+// the compaction unit: a snapshot plus the WAL events after its seq
+// replays to exactly this state's future.
+func (st *SessionState) SnapshotEvent() Event {
+	return Event{
+		Kind:         kindSnapshot,
+		Algorithm:    st.Algorithm,
+		Mode:         st.Mode.String(),
+		GroupSize:    st.GroupSize,
+		Rate:         st.Rate,
+		Seed:         st.Seed,
+		Seq:          st.Seq,
+		NextID:       st.NextID,
+		Round:        st.Rounds,
+		TotalGain:    st.TotalGain,
+		Participants: st.Participants(),
+	}
+}
+
+// SessionFromSnapshot rebuilds the state a snapshot event recorded.
+func SessionFromSnapshot(ev Event) (*SessionState, error) {
+	if ev.Kind != kindSnapshot {
+		return nil, fmt.Errorf("ledger: snapshot file holds %q event, want snapshot", ev.Kind)
+	}
+	mode, err := core.ParseMode(ev.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.NewLinear(ev.Rate); err != nil {
+		return nil, err
+	}
+	if ev.GroupSize < 2 {
+		return nil, fmt.Errorf("ledger: snapshot group size %d, want ≥2", ev.GroupSize)
+	}
+	if ev.Seq < 1 || ev.Round < 0 || ev.NextID < 0 {
+		return nil, fmt.Errorf("ledger: snapshot has impossible counters (seq %d, rounds %d, next id %d)", ev.Seq, ev.Round, ev.NextID)
+	}
+	st := &SessionState{
+		Algorithm: ev.Algorithm,
+		Mode:      mode,
+		GroupSize: ev.GroupSize,
+		Rate:      ev.Rate,
+		Seed:      ev.Seed,
+		Seq:       ev.Seq,
+		NextID:    ev.NextID,
+		Rounds:    ev.Round,
+		TotalGain: ev.TotalGain,
+		members:   make(map[int64]*ParticipantState, len(ev.Participants)),
+	}
+	for _, p := range ev.Participants {
+		if p.ID < 1 || p.ID > st.NextID {
+			return nil, fmt.Errorf("ledger: snapshot participant id %d outside [1, %d]", p.ID, st.NextID)
+		}
+		if _, dup := st.members[p.ID]; dup {
+			return nil, fmt.Errorf("ledger: snapshot repeats participant %d", p.ID)
+		}
+		if err := core.ValidateSkills(core.Skills{p.Skill}); err != nil {
+			return nil, fmt.Errorf("ledger: snapshot participant %d: %w", p.ID, err)
+		}
+		cp := p
+		st.members[p.ID] = &cp
+	}
+	return st, nil
+}
+
+// EncodeEvent renders one event as a WAL line (JSON + newline).
+func EncodeEvent(ev Event) ([]byte, error) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// RecoverSession rebuilds a session's state from its snapshot file
+// contents (nil when no snapshot exists) and WAL contents.
+//
+// A torn final WAL line — the signature of an append interrupted by a
+// crash — is tolerated and dropped: a completed append always ends in
+// a newline, so everything after the last newline is an uncommitted
+// partial event. Any other malformation, and any event whose
+// recomputation does not check out, rejects the log.
+//
+// WAL events at or below the snapshot's seq are skipped: a crash
+// between writing a snapshot and truncating the WAL leaves already-
+// compacted events in place, and the seq makes replaying them a no-op
+// instead of a double-apply.
+func RecoverSession(snapshot, wal []byte) (*SessionState, error) {
+	var st *SessionState
+	if snapshot != nil {
+		line := bytes.TrimSpace(snapshot)
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("ledger: bad snapshot: %w", err)
+		}
+		var err error
+		if st, err = SessionFromSnapshot(ev); err != nil {
+			return nil, err
+		}
+	}
+	// Drop the torn tail: a committed line always ends in '\n'.
+	if i := bytes.LastIndexByte(wal, '\n'); i >= 0 {
+		wal = wal[:i+1]
+	} else {
+		wal = nil
+	}
+	for len(wal) > 0 {
+		var line []byte
+		i := bytes.IndexByte(wal, '\n')
+		line, wal = wal[:i], wal[i+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("ledger: bad WAL line: %w", err)
+		}
+		if st == nil {
+			var err error
+			if st, err = NewSessionState(ev); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if ev.Seq <= st.Seq {
+			continue // stale: already folded into the snapshot
+		}
+		if err := st.Apply(ev); err != nil {
+			return nil, err
+		}
+	}
+	if st == nil {
+		return nil, fmt.Errorf("ledger: empty session log")
+	}
+	return st, nil
+}

@@ -1,0 +1,286 @@
+package ledger
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+// sessionLogBuilder accumulates a valid WAL, stamping seqs and
+// mirroring the state so tests can fabricate bit-correct round events.
+type sessionLogBuilder struct {
+	t   *testing.T
+	buf bytes.Buffer
+	st  *SessionState
+}
+
+func newSessionLog(t *testing.T, groupSize int, mode core.Mode, rate float64) *sessionLogBuilder {
+	t.Helper()
+	b := &sessionLogBuilder{t: t}
+	ev := CreateEvent("dygroups", mode, groupSize, rate, 7)
+	ev.Seq = 1
+	st, err := NewSessionState(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.st = st
+	b.writeLine(ev)
+	return b
+}
+
+func (b *sessionLogBuilder) writeLine(ev Event) {
+	b.t.Helper()
+	line, err := EncodeEvent(ev)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.buf.Write(line)
+}
+
+func (b *sessionLogBuilder) apply(ev Event) {
+	b.t.Helper()
+	ev.Seq = b.st.Seq + 1
+	if err := b.st.Apply(ev); err != nil {
+		b.t.Fatal(err)
+	}
+	b.writeLine(ev)
+}
+
+func (b *sessionLogBuilder) join(id int64, skill float64) { b.apply(JoinEvent(id, skill)) }
+func (b *sessionLogBuilder) leave(id int64)               { b.apply(LeaveEvent(id)) }
+
+// round seats the given ids (in order) in contiguous groups and
+// records the kernel-computed gain, exactly as the live session would.
+func (b *sessionLogBuilder) round(ids ...int64) {
+	b.t.Helper()
+	skills := make(core.Skills, len(ids))
+	for i, id := range ids {
+		p, ok := b.st.members[id]
+		if !ok {
+			b.t.Fatalf("round seats unknown id %d", id)
+		}
+		skills[i] = p.Skill
+	}
+	k := len(ids) / b.st.GroupSize
+	grouping := make(core.Grouping, k)
+	for g := 0; g < k; g++ {
+		for j := 0; j < b.st.GroupSize; j++ {
+			grouping[g] = append(grouping[g], g*b.st.GroupSize+j)
+		}
+	}
+	_, gain, err := core.ApplyRound(skills, grouping, b.st.Mode, core.MustLinear(b.st.Rate))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.apply(SessionRoundEvent(b.st.Rounds+1, ids, grouping, gain))
+}
+
+func (b *sessionLogBuilder) wal() []byte { return append([]byte(nil), b.buf.Bytes()...) }
+
+// sameState fails unless two states agree exactly (skills and gains
+// bit for bit).
+func sameState(t *testing.T, got, want *SessionState) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm || got.Mode != want.Mode || got.GroupSize != want.GroupSize ||
+		got.Seed != want.Seed || got.Seq != want.Seq ||
+		got.NextID != want.NextID || got.Rounds != want.Rounds || got.Closed != want.Closed {
+		t.Fatalf("state header mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if math.Float64bits(got.Rate) != math.Float64bits(want.Rate) {
+		t.Fatalf("rate %v != %v", got.Rate, want.Rate)
+	}
+	if math.Float64bits(got.TotalGain) != math.Float64bits(want.TotalGain) {
+		t.Fatalf("total gain %v != %v", got.TotalGain, want.TotalGain)
+	}
+	gp, wp := got.Participants(), want.Participants()
+	if len(gp) != len(wp) {
+		t.Fatalf("roster %d != %d", len(gp), len(wp))
+	}
+	for i := range gp {
+		g, w := gp[i], wp[i]
+		if g.ID != w.ID || g.JoinedRound != w.JoinedRound || g.RoundsPlayed != w.RoundsPlayed ||
+			math.Float64bits(g.Skill) != math.Float64bits(w.Skill) ||
+			math.Float64bits(g.TotalGain) != math.Float64bits(w.TotalGain) {
+			t.Fatalf("participant %d: got %+v want %+v", g.ID, g, w)
+		}
+	}
+}
+
+func TestSessionWALRoundTrip(t *testing.T) {
+	b := newSessionLog(t, 3, core.Star, 0.5)
+	for i := int64(1); i <= 7; i++ {
+		b.join(i, 0.1*float64(i))
+	}
+	b.round(1, 2, 3, 4, 5, 6)
+	b.leave(2)
+	b.join(8, 1.25)
+	b.round(7, 8, 1, 3, 4, 5)
+
+	got, err := RecoverSession(nil, b.wal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, got, b.st)
+	if got.Rounds != 2 || got.Len() != 7 || got.NextID != 8 {
+		t.Fatalf("recovered counters: %+v", got)
+	}
+}
+
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	b := newSessionLog(t, 2, core.Clique, 0.4)
+	b.join(1, 0.3)
+	b.join(2, 0.9)
+	b.round(1, 2)
+	b.leave(1)
+
+	snap := b.st.SnapshotEvent()
+	restored, err := SessionFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, restored, b.st)
+
+	// Snapshot + empty WAL recovers too.
+	line, err := EncodeEvent(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecoverSession(line, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, got, b.st)
+}
+
+// TestSessionRecoverySkipsStaleWAL models the crash window between
+// writing a snapshot and truncating the WAL: the full pre-snapshot WAL
+// is still on disk, and replaying it over the snapshot must be a no-op
+// rather than a double apply.
+func TestSessionRecoverySkipsStaleWAL(t *testing.T) {
+	b := newSessionLog(t, 2, core.Star, 0.5)
+	b.join(1, 0.5)
+	b.join(2, 0.7)
+	b.round(1, 2)
+	snap, err := EncodeEvent(b.st.SnapshotEvent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WAL still holds everything from create onward, plus one event
+	// appended after the snapshot.
+	b.join(3, 0.2)
+	got, err := RecoverSession(snap, b.wal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, got, b.st)
+	if got.Len() != 3 {
+		t.Fatalf("roster %d, want 3", got.Len())
+	}
+}
+
+func TestSessionRecoveryDropsTornTail(t *testing.T) {
+	b := newSessionLog(t, 2, core.Star, 0.5)
+	b.join(1, 0.5)
+	b.join(2, 0.7)
+	want := b.st.Len()
+	for _, torn := range []string{
+		`{"kind":"join","seq":4,"particip`,         // mid-key tear
+		`{"kind":"leave","seq":4,"participant":1}`, // complete JSON but no newline: uncommitted
+		"\x00\x01\x02",
+	} {
+		wal := append(b.wal(), torn...)
+		got, err := RecoverSession(nil, wal)
+		if err != nil {
+			t.Fatalf("torn tail %q rejected: %v", torn, err)
+		}
+		if got.Len() != want || got.Seq != b.st.Seq {
+			t.Fatalf("torn tail %q changed state: %+v", torn, got)
+		}
+	}
+}
+
+func TestSessionRecoveryRejectsCorruption(t *testing.T) {
+	b := newSessionLog(t, 2, core.Star, 0.5)
+	b.join(1, 0.5)
+	b.join(2, 0.7)
+	b.round(1, 2)
+	valid := string(b.wal())
+
+	cases := map[string]string{
+		"mid-file garbage":  strings.Replace(valid, `{"kind":"join","seq":2`, `{"kind:"join","seq":2`, 1),
+		"tampered gain":     strings.Replace(valid, `"gain":`, `"gain":9`, 1),
+		"tampered skill":    strings.Replace(valid, `"skill":0.5`, `"skill":0.51`, 1),
+		"reordered join id": strings.Replace(valid, `"participant":1`, `"participant":3`, 1),
+		"seq gap":           strings.Replace(valid, `"seq":3`, `"seq":5`, 1),
+		"no create":         strings.TrimPrefix(valid, strings.SplitAfter(valid, "\n")[0]),
+		"empty":             "",
+	}
+	for name, wal := range cases {
+		if _, err := RecoverSession(nil, []byte(wal)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSessionCloseIsTerminal(t *testing.T) {
+	b := newSessionLog(t, 2, core.Star, 0.5)
+	b.join(1, 0.5)
+	b.apply(CloseEvent())
+	got, err := RecoverSession(nil, b.wal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Closed {
+		t.Fatal("close event not reflected")
+	}
+	// Events after close reject.
+	ev := JoinEvent(2, 0.5)
+	ev.Seq = got.Seq + 1
+	if err := got.Apply(ev); err == nil {
+		t.Fatal("apply after close accepted")
+	}
+}
+
+func TestSessionRoundValidation(t *testing.T) {
+	b := newSessionLog(t, 2, core.Star, 0.5)
+	b.join(1, 0.5)
+	b.join(2, 0.7)
+
+	mk := func(mut func(*Event)) error {
+		st, err := RecoverSession(nil, b.wal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		skills := core.Skills{st.members[1].Skill, st.members[2].Skill}
+		grouping := core.Grouping{{0, 1}}
+		_, gain, err := core.ApplyRound(skills, grouping, st.Mode, core.MustLinear(st.Rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := SessionRoundEvent(1, []int64{1, 2}, grouping, gain)
+		ev.Seq = st.Seq + 1
+		mut(&ev)
+		return st.Apply(ev)
+	}
+
+	if err := mk(func(*Event) {}); err != nil {
+		t.Fatalf("valid round rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Event){
+		"unknown seat":   func(ev *Event) { ev.Seated = []int64{1, 9} },
+		"duplicate seat": func(ev *Event) { ev.Seated = []int64{1, 1} },
+		"ragged seats":   func(ev *Event) { ev.Seated = []int64{1} },
+		"bad grouping":   func(ev *Event) { ev.Grouping = [][]int{{0, 0}} },
+		"wrong round":    func(ev *Event) { ev.Round = 5 },
+		"gain off by one ulp": func(ev *Event) {
+			ev.Gain = math.Float64frombits(math.Float64bits(ev.Gain) + 1)
+		},
+	} {
+		if err := mk(mut); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

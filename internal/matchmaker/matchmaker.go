@@ -62,6 +62,32 @@ type Participant struct {
 	TotalGain float64
 }
 
+// RoundRecord describes one applied round for an EventSink: the round
+// number, the participant ids in seat order, the grouping over those
+// seat indices, and the realized gain. The slices are only valid for
+// the duration of the sink call; a sink that retains them must copy.
+type RoundRecord struct {
+	Round    int
+	Seated   []int64
+	Grouping core.Grouping
+	Gain     float64
+}
+
+// EventSink observes every roster and round mutation of a Session, in
+// apply order, before the mutation is installed — the seam the durable
+// serving tier hangs its per-session WAL on. A sink error aborts the
+// mutation: the join/leave/round fails and session state is unchanged,
+// so the log never lags the roster.
+//
+// Sink methods are invoked with the session lock held; they must be
+// fast, must not call back into the Session, and must not block on the
+// session from another goroutine.
+type EventSink interface {
+	Joined(id int64, skill float64) error
+	Left(id int64) error
+	RoundApplied(rec RoundRecord) error
+}
+
 // Session is a continuously running cohort.
 type Session struct {
 	mu sync.Mutex
@@ -86,6 +112,10 @@ type Session struct {
 	// roundHook, when set, observes the lock-free window of optimistic
 	// rounds (see SetRoundHook). Read under mu, invoked without it.
 	roundHook RoundHook
+
+	// sink, when set, is notified of every mutation under mu so its log
+	// order matches apply order exactly (see EventSink).
+	sink EventSink
 }
 
 // NewSession creates a cohort with the given group size, interaction
@@ -112,6 +142,48 @@ func NewSession(groupSize int, mode core.Mode, gain core.Gain, policy core.Group
 	}, nil
 }
 
+// RestoreState is the durable portion of a Session, as recovered from a
+// WAL replay: the id allocator position, round and gain counters, and
+// the full roster.
+type RestoreState struct {
+	NextID    int64
+	Rounds    int
+	TotalGain float64
+	Members   []Participant
+}
+
+// Restore rebuilds a Session from recovered state, validating it the
+// same way a live session would have built it: ids must be unique and
+// within the allocator range, skills must be valid. The restored
+// session continues exactly where the recovered one stopped — the next
+// join gets NextID+1, the next round is Rounds+1.
+func Restore(groupSize int, mode core.Mode, gain core.Gain, policy core.Grouper, st RestoreState) (*Session, error) {
+	s, err := NewSession(groupSize, mode, gain, policy)
+	if err != nil {
+		return nil, err
+	}
+	if st.NextID < 0 || st.Rounds < 0 {
+		return nil, fmt.Errorf("matchmaker: restore: negative counters (next id %d, rounds %d)", st.NextID, st.Rounds)
+	}
+	for _, p := range st.Members {
+		if p.ID < 1 || int64(p.ID) > st.NextID {
+			return nil, fmt.Errorf("matchmaker: restore: participant id %d outside allocator range [1,%d]", p.ID, st.NextID)
+		}
+		if err := core.ValidateSkills(core.Skills{p.Skill}); err != nil {
+			return nil, fmt.Errorf("matchmaker: restore: participant %d: %w", p.ID, err)
+		}
+		if _, dup := s.members[p.ID]; dup {
+			return nil, fmt.Errorf("matchmaker: restore: duplicate participant id %d", p.ID)
+		}
+		cp := p
+		s.members[p.ID] = &cp
+	}
+	s.nextID = ParticipantID(st.NextID)
+	s.rounds = st.Rounds
+	s.total = st.TotalGain
+	return s, nil
+}
+
 // Join adds a participant with the given initial skill and returns its
 // id.
 func (s *Session) Join(skill float64) (ParticipantID, error) {
@@ -120,8 +192,14 @@ func (s *Session) Join(skill float64) (ParticipantID, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
-	id := s.nextID
+	id := s.nextID + 1
+	if s.sink != nil {
+		//peerlint:allow lockheld — sink appends must happen under mu so WAL order equals apply order; see EventSink contract
+		if err := s.sink.Joined(int64(id), skill); err != nil {
+			return 0, fmt.Errorf("matchmaker: join not durable: %w", err)
+		}
+	}
+	s.nextID = id
 	s.members[id] = &Participant{ID: id, Skill: skill, JoinedRound: s.rounds}
 	return id, nil
 }
@@ -132,6 +210,12 @@ func (s *Session) Leave(id ParticipantID) error {
 	defer s.mu.Unlock()
 	if _, ok := s.members[id]; !ok {
 		return fmt.Errorf("matchmaker: unknown participant %d", id)
+	}
+	if s.sink != nil {
+		//peerlint:allow lockheld — sink appends must happen under mu so WAL order equals apply order; see EventSink contract
+		if err := s.sink.Left(int64(id)); err != nil {
+			return fmt.Errorf("matchmaker: leave not durable: %w", err)
+		}
 	}
 	delete(s.members, id)
 	return nil
@@ -156,6 +240,26 @@ func (s *Session) TotalGain() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// Status is a consistent point-in-time summary of a session: the
+// fields are read under one lock acquisition, so TotalGain never
+// includes a round that Rounds does not (and vice versa).
+type Status struct {
+	Members   int
+	Rounds    int
+	TotalGain float64
+}
+
+// Status returns the roster size, round count, and accumulated gain as
+// one atomic snapshot. Prefer it over separate Len/Rounds/TotalGain
+// calls whenever the three values are reported together: those take
+// the lock three times, and a concurrent round between acquisitions
+// yields a torn read.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{Members: len(s.members), Rounds: s.rounds, TotalGain: s.total}
 }
 
 // Get returns a snapshot of one participant.
@@ -191,6 +295,15 @@ func (s *Session) SetMetrics(m *Metrics) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics = m
+}
+
+// SetEventSink attaches (or, with nil, detaches) a durable event sink.
+// Mutations that race the SetEventSink call itself may or may not be
+// observed; attach the sink before serving traffic.
+func (s *Session) SetEventSink(sink EventSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
 }
 
 // RoundStage identifies where in an optimistic round a RoundHook fires.
@@ -307,7 +420,7 @@ func (s *Session) runRoundOptimistic() (report *RoundReport, retry bool, err err
 
 	// The expensive part runs on the snapshot with the session open for
 	// Join/Leave.
-	next, gain, err := s.computeRound(skills, len(seated), k)
+	next, grouping, gain, err := s.computeRound(skills, len(seated), k)
 	if err != nil {
 		return nil, false, err
 	}
@@ -320,7 +433,8 @@ func (s *Session) runRoundOptimistic() (report *RoundReport, retry bool, err err
 	if !s.seatsUnchangedLocked(seated) {
 		return nil, true, nil
 	}
-	return s.applyLocked(seated, next, gain, k, satOut), false, nil
+	report, err = s.applyLocked(seated, next, grouping, gain, k, satOut)
+	return report, false, err
 }
 
 func (s *Session) runRoundPessimistic() (report *RoundReport, retry bool, err error) {
@@ -330,11 +444,12 @@ func (s *Session) runRoundPessimistic() (report *RoundReport, retry bool, err er
 	if err != nil {
 		return nil, false, err
 	}
-	next, gain, err := s.computeRound(skills, len(seated), k)
+	next, grouping, gain, err := s.computeRound(skills, len(seated), k)
 	if err != nil {
 		return nil, false, err
 	}
-	return s.applyLocked(seated, next, gain, k, satOut), false, nil
+	report, err = s.applyLocked(seated, next, grouping, gain, k, satOut)
+	return report, false, err
 }
 
 // computeRound runs the per-round computation on a snapshot: grouping,
@@ -342,17 +457,33 @@ func (s *Session) runRoundPessimistic() (report *RoundReport, retry bool, err er
 // after NewSession and the snapshot slices are owned by the caller, so
 // this reads no session state that needs mu — the optimistic path calls
 // it with the lock released.
-func (s *Session) computeRound(skills core.Skills, m, k int) (core.Skills, float64, error) {
+func (s *Session) computeRound(skills core.Skills, m, k int) (core.Skills, core.Grouping, float64, error) {
 	grouping := s.group(skills, k)
 	if err := grouping.ValidateEqui(m, k); err != nil {
-		return nil, 0, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
+		return nil, nil, 0, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
 	}
-	return core.ApplyRound(skills, grouping, s.mode, s.gain)
+	next, gain, err := core.ApplyRound(skills, grouping, s.mode, s.gain)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return next, grouping, gain, nil
 }
 
 // applyLocked installs the computed skills into the roster and builds
-// the report (callers hold mu).
-func (s *Session) applyLocked(seated []seat, next core.Skills, gain float64, k, satOut int) *RoundReport {
+// the report (callers hold mu). With an event sink attached the round
+// is logged first; a sink failure aborts the apply with the roster
+// untouched, so durable state never lags live state.
+func (s *Session) applyLocked(seated []seat, next core.Skills, grouping core.Grouping, gain float64, k, satOut int) (*RoundReport, error) {
+	if s.sink != nil {
+		ids := make([]int64, len(seated))
+		for i, st := range seated {
+			ids[i] = int64(st.p.ID)
+		}
+		//peerlint:allow lockheld — sink appends must happen under mu so WAL order equals apply order; see EventSink contract
+		if err := s.sink.RoundApplied(RoundRecord{Round: s.rounds + 1, Seated: ids, Grouping: grouping, Gain: gain}); err != nil {
+			return nil, fmt.Errorf("matchmaker: round not durable: %w", err)
+		}
+	}
 	for i, st := range seated {
 		p := st.p
 		p.TotalGain += next[i] - p.Skill
@@ -367,7 +498,7 @@ func (s *Session) applyLocked(seated []seat, next core.Skills, gain float64, k, 
 		SatOut:       satOut,
 		Groups:       k,
 		Gain:         gain,
-	}
+	}, nil
 }
 
 // recordRound emits round telemetry after the session lock is released:

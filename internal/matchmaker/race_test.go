@@ -101,3 +101,79 @@ func TestConcurrentJoinLeaveRound(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusNotTornDuringRounds hammers Status() while rounds apply and
+// checks every snapshot is internally consistent: after r rounds of a
+// fixed-size all-seated cohort, the accumulated gain is a deterministic
+// function of r, so a status whose TotalGain does not match its Rounds
+// is a torn read. (Reading Len/Rounds/TotalGain via three separate
+// accessors fails this test; Status() must not.)
+func TestStatusNotTornDuringRounds(t *testing.T) {
+	t.Parallel()
+	s, err := NewSession(2, core.Star, core.MustLinear(0.5), dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Join(0.25 * float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Precompute the exact gain-after-r-rounds sequence by running an
+	// identical shadow cohort to completion first.
+	const rounds = 400
+	shadow, err := NewSession(2, core.Star, core.MustLinear(0.5), dygroups.NewStar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := shadow.Join(0.25 * float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantGain := make([]uint64, rounds+1)
+	wantGain[0] = math.Float64bits(0)
+	for r := 1; r <= rounds; r++ {
+		if _, err := shadow.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+		wantGain[r] = math.Float64bits(shadow.TotalGain())
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Status()
+				if st.Members != 4 {
+					t.Errorf("status members = %d, want 4", st.Members)
+					return
+				}
+				if st.Rounds < 0 || st.Rounds > rounds {
+					t.Errorf("status rounds = %d out of range", st.Rounds)
+					return
+				}
+				if math.Float64bits(st.TotalGain) != wantGain[st.Rounds] {
+					t.Errorf("torn status: rounds=%d but total_gain=%v (want %v)",
+						st.Rounds, st.TotalGain, math.Float64frombits(wantGain[st.Rounds]))
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < rounds; r++ {
+		if _, err := s.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -7,67 +7,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
-	"peerlearn/internal/core"
 	"peerlearn/internal/matchmaker"
 )
 
-// SessionStore holds the live cohorts of a stateful deployment. The
-// stateless Handler stays as-is; NewSessionHandler layers the session
-// API on top:
+// The session API layered over the stateless Handler by
+// NewSessionHandler (the SessionStore behind it lives in store.go, the
+// WAL plumbing in wal.go):
 //
 //	POST   /v1/sessions                     create a cohort
 //	GET    /v1/sessions/{id}                cohort status
+//	DELETE /v1/sessions/{id}                close and remove a cohort
 //	POST   /v1/sessions/{id}/join           add a participant
 //	POST   /v1/sessions/{id}/leave          remove a participant
 //	POST   /v1/sessions/{id}/round          run one learning round
-type SessionStore struct {
-	mu       sync.Mutex
-	nextID   int64
-	sessions map[int64]*matchmaker.Session
-	metrics  *matchmaker.Metrics
-	policies PolicyFactory
-	// MaxSessions bounds live cohorts to keep a toy deployment safe.
-	MaxSessions int
-}
-
-// NewSessionStore returns an empty store.
-func NewSessionStore() *SessionStore {
-	return &SessionStore{sessions: make(map[int64]*matchmaker.Session), MaxSessions: 1024}
-}
-
-// SetMetrics attaches matchmaker round telemetry to every session the
-// store creates from now on (existing sessions are unaffected).
-func (st *SessionStore) SetMetrics(m *matchmaker.Metrics) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.metrics = m
-}
-
-// PolicyFactory resolves an API algorithm name into a grouping policy.
-// It mirrors the package's built-in resolution; a deterministic
-// simulation installs its own factory to interpose fault-injecting
-// policies behind the real HTTP surface.
-type PolicyFactory func(name string, mode core.Mode, seed int64) (core.Grouper, error)
-
-// SetPolicyFactory overrides (or, with nil, restores) how the store
-// instantiates grouping policies for new sessions.
-func (st *SessionStore) SetPolicyFactory(f PolicyFactory) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.policies = f
-}
-
-// Session returns the live session with the given id, if any. It gives
-// invariant checkers and simulation harnesses direct access to the
-// cohort behind the HTTP surface.
-func (st *SessionStore) Session(id int64) (*matchmaker.Session, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	s, ok := st.sessions[id]
-	return s, ok
-}
 
 // CreateSessionRequest configures a new cohort.
 type CreateSessionRequest struct {
@@ -125,52 +78,15 @@ func (st *SessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	mode := core.Star
-	if req.Mode != "" {
-		var err error
-		mode, err = core.ParseMode(req.Mode)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+	id, err := st.Create(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrSessionLimit) {
+			status = http.StatusTooManyRequests
 		}
-	}
-	gain, err := resolveRate(req.Rate)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, status, err)
 		return
 	}
-	st.mu.Lock()
-	factory := st.policies
-	st.mu.Unlock()
-	if factory == nil {
-		factory = newPolicy
-	}
-	policy, err := factory(req.Algorithm, mode, req.Seed)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	session, err := matchmaker.NewSession(req.GroupSize, mode, gain, policy)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	st.mu.Lock()
-	m := st.metrics
-	st.mu.Unlock()
-	// SetMetrics takes the session's own lock; attach before publishing
-	// rather than while holding st.mu.
-	session.SetMetrics(m)
-	st.mu.Lock()
-	if len(st.sessions) >= st.MaxSessions {
-		st.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached", st.MaxSessions))
-		return
-	}
-	st.nextID++
-	id := st.nextID
-	st.sessions[id] = session
-	st.mu.Unlock()
 	writeJSON(w, http.StatusCreated, SessionStatus{ID: id})
 }
 
@@ -183,25 +99,40 @@ func (st *SessionStore) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id %q", parts[0]))
 		return
 	}
-	st.mu.Lock()
-	session, ok := st.sessions[id]
-	st.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %d", id))
-		return
-	}
 	action := ""
 	if len(parts) == 2 {
 		action = parts[1]
 	}
+	// The delete route removes from the store directly; everything else
+	// operates on a looked-up session.
+	if action == "" && r.Method == http.MethodDelete {
+		if err := st.Delete(id); err != nil {
+			if errors.Is(err, ErrNoSession) {
+				writeError(w, http.StatusNotFound, err)
+			} else {
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+		return
+	}
+	session, ok := st.Session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %d", id))
+		return
+	}
 	switch action {
 	case "":
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
 			return
 		}
+		// One atomic snapshot: reading the three fields through separate
+		// accessors can interleave with a concurrent round and tear.
+		status := session.Status()
 		writeJSON(w, http.StatusOK, SessionStatus{
-			ID: id, Members: session.Len(), Rounds: session.Rounds(), TotalGain: session.TotalGain(),
+			ID: id, Members: status.Members, Rounds: status.Rounds, TotalGain: status.TotalGain,
 		})
 	case "join":
 		var req JoinRequest

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"peerlearn/internal/core"
 )
 
 func newSessionAPI() http.Handler {
@@ -137,6 +139,68 @@ func TestSessionLimit(t *testing.T) {
 	rec := post(t, h, "/v1/sessions", CreateSessionRequest{GroupSize: 2})
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("limit: status %d", rec.Code)
+	}
+}
+
+// TestSessionDeleteFreesLimit is the regression test for the immortal-
+// sessions bug: with no delete route the store filled to MaxSessions
+// and then returned 429 forever.
+func TestSessionDeleteFreesLimit(t *testing.T) {
+	store := NewSessionStore()
+	store.MaxSessions = 2
+	h := NewSessionHandler(store)
+	id := createSession(t, h, CreateSessionRequest{GroupSize: 2})
+	createSession(t, h, CreateSessionRequest{GroupSize: 2})
+	rec := post(t, h, "/v1/sessions", CreateSessionRequest{GroupSize: 2})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("at limit: status %d", rec.Code)
+	}
+
+	del := httptest.NewRequest(http.MethodDelete, fmt.Sprintf("/v1/sessions/%d", id), nil)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, del)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	// The deleted session is gone...
+	get := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/sessions/%d", id), nil)
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, get)
+	if rec3.Code != http.StatusNotFound {
+		t.Fatalf("status after delete: %d", rec3.Code)
+	}
+	// ...deleting it again is a 404...
+	rec4 := httptest.NewRecorder()
+	h.ServeHTTP(rec4, httptest.NewRequest(http.MethodDelete, fmt.Sprintf("/v1/sessions/%d", id), nil))
+	if rec4.Code != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", rec4.Code)
+	}
+	// ...and the slot is free again.
+	createSession(t, h, CreateSessionRequest{GroupSize: 2})
+}
+
+// TestRejectedCreateDoesNoWork is the regression test for handleCreate
+// doing all its work before the limit check: a create rejected by the
+// session limit must not instantiate a grouping policy.
+func TestRejectedCreateDoesNoWork(t *testing.T) {
+	store := NewSessionStore()
+	store.MaxSessions = 1
+	calls := 0
+	store.SetPolicyFactory(func(name string, mode core.Mode, seed int64) (core.Grouper, error) {
+		calls++
+		return newPolicy(name, mode, seed)
+	})
+	h := NewSessionHandler(store)
+	createSession(t, h, CreateSessionRequest{GroupSize: 2})
+	if calls != 1 {
+		t.Fatalf("policy factory called %d times for one create", calls)
+	}
+	rec := post(t, h, "/v1/sessions", CreateSessionRequest{GroupSize: 2})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over limit: status %d", rec.Code)
+	}
+	if calls != 1 {
+		t.Fatalf("rejected create instantiated a policy (factory calls = %d)", calls)
 	}
 }
 

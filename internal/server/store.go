@@ -1,0 +1,368 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/ledger"
+	"peerlearn/internal/matchmaker"
+)
+
+// DefaultMaxSessions bounds live cohorts. One session is a map entry,
+// a matchmaker roster, and (when durable) an open WAL fd — a million
+// of them is the design target for one box.
+const DefaultMaxSessions = 1 << 20
+
+// defaultShardCount spreads the session map over enough locks that
+// create/lookup traffic on different sessions almost never contends,
+// while keeping the fixed footprint trivial (a shard is one mutex and
+// one map header).
+const defaultShardCount = 256
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrSessionLimit rejects a create on a full store (429).
+	ErrSessionLimit = errors.New("session limit reached")
+	// ErrNoSession rejects an operation on an unknown id (404).
+	ErrNoSession = errors.New("no such session")
+)
+
+// sessionEntry pairs a live session with its durable log (nil when the
+// store has no journal).
+type sessionEntry struct {
+	sess *matchmaker.Session
+	log  *SessionLog
+}
+
+// storeShard is one lock-striped slice of the session map. The pad
+// keeps neighboring shards on separate cache lines so their mutexes do
+// not false-share under cross-shard traffic.
+type storeShard struct {
+	mu       sync.Mutex
+	sessions map[int64]*sessionEntry
+	_        [40]byte
+}
+
+// SessionStore holds the live cohorts of a stateful deployment, sharded
+// by session id: each shard has its own mutex and map, shard selection
+// is a hash and an index (no lock), and the id allocator and size
+// counter are atomics — so operations on different sessions contend
+// only when they land on the same shard. With a Journal attached every
+// session is durable: mutations append to a per-session WAL before they
+// apply, and Recover rebuilds the store from disk after a crash.
+type SessionStore struct {
+	// MaxSessions bounds live cohorts; creates beyond it fail with
+	// ErrSessionLimit. Set it before serving traffic (it is read
+	// without synchronization on the create path).
+	MaxSessions int
+
+	shards []storeShard
+	shift  uint // shardFor uses the top log2(len(shards)) hash bits
+
+	nextID atomic.Int64
+	count  atomic.Int64
+
+	// conf guards the rarely-written wiring, kept apart from the data
+	// shards so reconfiguration never contends with traffic.
+	conf struct {
+		sync.Mutex
+		metrics  *matchmaker.Metrics
+		policies PolicyFactory
+		journal  *Journal
+	}
+}
+
+// NewSessionStore returns an empty store with the default shard count.
+func NewSessionStore() *SessionStore { return NewShardedSessionStore(defaultShardCount) }
+
+// NewShardedSessionStore returns an empty store with at least n shards
+// (rounded up to a power of two so shard selection is a shift, not a
+// division).
+func NewShardedSessionStore(n int) *SessionStore {
+	if n < 1 {
+		n = 1
+	}
+	shards := 1 << uint(bits.Len(uint(n-1)))
+	st := &SessionStore{
+		MaxSessions: DefaultMaxSessions,
+		shards:      make([]storeShard, shards),
+		shift:       64 - uint(bits.Len(uint(shards))) + 1,
+	}
+	for i := range st.shards {
+		st.shards[i].sessions = make(map[int64]*sessionEntry)
+	}
+	return st
+}
+
+// shardFor picks the shard for a session id: a Fibonacci multiplicative
+// hash spreads the sequential ids the allocator hands out, and the top
+// bits index the power-of-two shard slice. No locks, no divisions.
+func (st *SessionStore) shardFor(id int64) *storeShard {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return &st.shards[h>>st.shift]
+}
+
+// SetMetrics attaches matchmaker round telemetry to every session the
+// store creates or recovers from now on (existing sessions are
+// unaffected).
+func (st *SessionStore) SetMetrics(m *matchmaker.Metrics) {
+	st.conf.Lock()
+	defer st.conf.Unlock()
+	st.conf.metrics = m
+}
+
+// PolicyFactory resolves an API algorithm name into a grouping policy.
+// It mirrors the package's built-in resolution; a deterministic
+// simulation installs its own factory to interpose fault-injecting
+// policies behind the real HTTP surface.
+type PolicyFactory func(name string, mode core.Mode, seed int64) (core.Grouper, error)
+
+// SetPolicyFactory overrides (or, with nil, restores) how the store
+// instantiates grouping policies for new and recovered sessions.
+func (st *SessionStore) SetPolicyFactory(f PolicyFactory) {
+	st.conf.Lock()
+	defer st.conf.Unlock()
+	st.conf.policies = f
+}
+
+// AttachJournal makes every session created from now on durable.
+// Attach before serving traffic, and call Recover first if the journal
+// may hold previous sessions.
+func (st *SessionStore) AttachJournal(j *Journal) {
+	st.conf.Lock()
+	defer st.conf.Unlock()
+	st.conf.journal = j
+}
+
+// Journal returns the attached journal, if any.
+func (st *SessionStore) Journal() *Journal {
+	st.conf.Lock()
+	defer st.conf.Unlock()
+	return st.conf.journal
+}
+
+// Session returns the live session with the given id, if any. It gives
+// invariant checkers and simulation harnesses direct access to the
+// cohort behind the HTTP surface.
+func (st *SessionStore) Session(id int64) (*matchmaker.Session, bool) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	return e.sess, true
+}
+
+// Len returns the number of live sessions.
+func (st *SessionStore) Len() int { return int(st.count.Load()) }
+
+// Create admits and builds a new session, returning its id.
+//
+// Admission control runs first: a slot is reserved against MaxSessions
+// before any request parsing or policy construction, so a full store
+// rejects creates without doing their work — and a rejected create
+// never instantiates a policy.
+func (st *SessionStore) Create(req CreateSessionRequest) (int64, error) {
+	max := int64(st.MaxSessions)
+	for {
+		c := st.count.Load()
+		if c >= max {
+			return 0, fmt.Errorf("%w (limit %d)", ErrSessionLimit, max)
+		}
+		if st.count.CompareAndSwap(c, c+1) {
+			break
+		}
+	}
+	id, err := st.create(req)
+	if err != nil {
+		st.count.Add(-1)
+		return 0, err
+	}
+	return id, nil
+}
+
+// create builds the session after admission; the caller owns the
+// reserved count slot and releases it on error.
+func (st *SessionStore) create(req CreateSessionRequest) (int64, error) {
+	mode := core.Star
+	if req.Mode != "" {
+		var err error
+		if mode, err = core.ParseMode(req.Mode); err != nil {
+			return 0, err
+		}
+	}
+	gain, err := resolveRate(req.Rate)
+	if err != nil {
+		return 0, err
+	}
+	st.conf.Lock()
+	factory, m, journal := st.conf.policies, st.conf.metrics, st.conf.journal
+	st.conf.Unlock()
+	if factory == nil {
+		factory = newPolicy
+	}
+	policy, err := factory(req.Algorithm, mode, req.Seed)
+	if err != nil {
+		return 0, err
+	}
+	session, err := matchmaker.NewSession(req.GroupSize, mode, gain, policy)
+	if err != nil {
+		return 0, err
+	}
+	session.SetMetrics(m)
+
+	id := st.nextID.Add(1)
+	var log *SessionLog
+	if journal != nil {
+		log, err = journal.Create(id, req.Algorithm, mode, req.GroupSize, gain.R, req.Seed)
+		if err != nil {
+			return 0, err
+		}
+		session.SetEventSink(log)
+	}
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	sh.sessions[id] = &sessionEntry{sess: session, log: log}
+	sh.mu.Unlock()
+	return id, nil
+}
+
+// Delete removes a session, closing its WAL with a close event and
+// removing its files. The freed slot is immediately available to
+// Create.
+func (st *SessionStore) Delete(id int64) error {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	st.count.Add(-1)
+	if e.log != nil {
+		if err := e.log.Close(); err != nil {
+			return fmt.Errorf("closing session %d log: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Crash simulates an unclean process death for tests and benchmarks:
+// every session is dropped and its WAL fd released with no close
+// events, leaving the on-disk journal exactly as a kill -9 would. The
+// store must not serve traffic afterwards; build a fresh one and
+// Recover.
+func (st *SessionStore) Crash() {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.sessions {
+			if e.log != nil {
+				e.log.abandon()
+			}
+			delete(sh.sessions, id)
+		}
+		sh.mu.Unlock()
+	}
+	st.count.Store(0)
+}
+
+// Recover rebuilds every session found in the attached journal,
+// verifying each log bit-exactly as it replays (ledger session grammar:
+// recorded round gains must match recomputation). Sessions whose log
+// ends in a close event had their delete interrupted; their files are
+// removed and they are not restored. It returns the number of sessions
+// recovered.
+//
+// Call Recover after SetMetrics/SetPolicyFactory are in place (i.e.
+// after server.New has wired the store) and before serving traffic.
+func (st *SessionStore) Recover() (int, error) {
+	st.conf.Lock()
+	journal, factory, m := st.conf.journal, st.conf.policies, st.conf.metrics
+	st.conf.Unlock()
+	if journal == nil {
+		return 0, fmt.Errorf("server: Recover without an attached journal")
+	}
+	if factory == nil {
+		factory = newPolicy
+	}
+	ids, err := journal.SessionIDs()
+	if err != nil {
+		return 0, err
+	}
+	recovered := 0
+	maxID := st.nextID.Load()
+	for _, id := range ids {
+		state, err := journal.LoadSession(id)
+		if err != nil {
+			return recovered, err
+		}
+		if id > maxID {
+			maxID = id
+		}
+		if state.Closed {
+			if err := journal.Remove(id); err != nil {
+				return recovered, err
+			}
+			continue
+		}
+		sess, err := restoreSession(state, factory)
+		if err != nil {
+			return recovered, fmt.Errorf("recovering session %d: %w", id, err)
+		}
+		log, err := journal.Reopen(id, state)
+		if err != nil {
+			return recovered, err
+		}
+		sess.SetMetrics(m)
+		sess.SetEventSink(log)
+		sh := st.shardFor(id)
+		sh.mu.Lock()
+		sh.sessions[id] = &sessionEntry{sess: sess, log: log}
+		sh.mu.Unlock()
+		recovered++
+	}
+	st.nextID.Store(maxID)
+	st.count.Add(int64(recovered))
+	return recovered, nil
+}
+
+// restoreSession turns a replayed ledger state back into a live
+// matchmaker session. Policies are reconstructed by name and seed;
+// for seeded randomized policies the generator restarts, so the
+// recovered roster and gains are bit-exact but future groupings may
+// differ from the uncrashed timeline.
+func restoreSession(state *ledger.SessionState, factory PolicyFactory) (*matchmaker.Session, error) {
+	policy, err := factory(state.Algorithm, state.Mode, state.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gain, err := core.NewLinear(state.Rate)
+	if err != nil {
+		return nil, err
+	}
+	rs := matchmaker.RestoreState{
+		NextID:    state.NextID,
+		Rounds:    state.Rounds,
+		TotalGain: state.TotalGain,
+	}
+	for _, p := range state.Participants() {
+		rs.Members = append(rs.Members, matchmaker.Participant{
+			ID:           matchmaker.ParticipantID(p.ID),
+			Skill:        p.Skill,
+			JoinedRound:  p.JoinedRound,
+			RoundsPlayed: p.RoundsPlayed,
+			TotalGain:    p.TotalGain,
+		})
+	}
+	return matchmaker.Restore(state.GroupSize, state.Mode, gain, policy, rs)
+}

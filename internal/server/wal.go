@@ -1,0 +1,320 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"peerlearn/internal/core"
+	"peerlearn/internal/ledger"
+	"peerlearn/internal/matchmaker"
+)
+
+// Journal is a directory of per-session write-ahead logs. Each live
+// session owns two files:
+//
+//	<id>.wal   append-only event log (ledger session grammar)
+//	<id>.snap  one snapshot event, atomically replaced at compaction
+//
+// Appends go straight to the OS page cache without fsync: the journal
+// survives process death (kill -9) unconditionally; surviving power
+// loss additionally depends on the OS flushing in time. Every append
+// is also applied to an in-memory ledger.SessionState replica, so the
+// WAL is verified replayable continuously, not just at recovery — a
+// round whose gain would not recompute bit-exactly is rejected before
+// it is written.
+type Journal struct {
+	dir string
+	// SnapshotEvery is the number of WAL appends between snapshots
+	// (compaction): recovery replays at most this many events per
+	// session, so recovery time is bounded by snapshot age rather than
+	// session lifetime. Set it before serving traffic.
+	SnapshotEvery int
+}
+
+const defaultSnapshotEvery = 256
+
+// OpenJournal opens (creating if needed) a journal directory.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{dir: dir, SnapshotEvery: defaultSnapshotEvery}, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// WALPath returns the session's WAL file path. It exists for tests and
+// fault injectors that corrupt or tear the log deliberately.
+func (j *Journal) WALPath(id int64) string {
+	return filepath.Join(j.dir, strconv.FormatInt(id, 10)+".wal")
+}
+
+func (j *Journal) snapPath(id int64) string {
+	return filepath.Join(j.dir, strconv.FormatInt(id, 10)+".snap")
+}
+
+// SessionIDs lists every session with a WAL or snapshot on disk, in
+// ascending order.
+func (j *Journal) SessionIDs() ([]int64, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	seen := make(map[int64]bool)
+	var ids []int64
+	for _, e := range entries {
+		base, ok := strings.CutSuffix(e.Name(), ".wal")
+		if !ok {
+			if base, ok = strings.CutSuffix(e.Name(), ".snap"); !ok {
+				continue
+			}
+		}
+		id, err := strconv.ParseInt(base, 10, 64)
+		if err != nil || id < 1 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	return ids, nil
+}
+
+func sortInt64s(ids []int64) {
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+}
+
+// LoadSession replays one session's snapshot + WAL into a verified
+// state.
+func (j *Journal) LoadSession(id int64) (*ledger.SessionState, error) {
+	snap, err := os.ReadFile(j.snapPath(id))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("journal: session %d snapshot: %w", id, err)
+		}
+		snap = nil
+	}
+	wal, err := os.ReadFile(j.WALPath(id))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("journal: session %d wal: %w", id, err)
+		}
+		wal = nil
+	}
+	st, err := ledger.RecoverSession(snap, wal)
+	if err != nil {
+		return nil, fmt.Errorf("journal: session %d: %w", id, err)
+	}
+	return st, nil
+}
+
+// Remove deletes a session's files; missing files are not an error.
+func (j *Journal) Remove(id int64) error {
+	var first error
+	for _, p := range []string{j.WALPath(id), j.snapPath(id), j.snapPath(id) + ".tmp"} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+			first = fmt.Errorf("journal: %w", err)
+		}
+	}
+	return first
+}
+
+// Create starts a new session log: the WAL file is created (it must
+// not already exist) and the create event written as seq 1.
+func (j *Journal) Create(id int64, algorithm string, mode core.Mode, groupSize int, rate float64, seed int64) (*SessionLog, error) {
+	ev := ledger.CreateEvent(algorithm, mode, groupSize, rate, seed)
+	ev.Seq = 1
+	st, err := ledger.NewSessionState(ev)
+	if err != nil {
+		return nil, err
+	}
+	line, err := ledger.EncodeEvent(ev)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(j.WALPath(id), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		_ = os.Remove(j.WALPath(id))
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &SessionLog{j: j, id: id, f: f, state: st, sinceSnapshot: 1}, nil
+}
+
+// Reopen attaches a log to a recovered session: the WAL's torn tail
+// (anything after the last newline — an append interrupted by the
+// crash) is truncated away so new appends start on a fresh line, and
+// the given replayed state becomes the live replica.
+func (j *Journal) Reopen(id int64, st *ledger.SessionState) (*SessionLog, error) {
+	path := j.WALPath(id)
+	if b, err := os.ReadFile(path); err == nil {
+		valid := bytes.LastIndexByte(b, '\n') + 1
+		if valid < len(b) {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("journal: truncating torn tail of session %d: %w", id, err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &SessionLog{j: j, id: id, f: f, state: st}, nil
+}
+
+// SessionLog is one session's durable log. It implements
+// matchmaker.EventSink: the matchmaker invokes it under the session
+// lock, so WAL order is exactly apply order; an append failure aborts
+// the mutation it records.
+type SessionLog struct {
+	mu            sync.Mutex
+	j             *Journal
+	id            int64
+	f             *os.File
+	state         *ledger.SessionState
+	sinceSnapshot int
+	err           error // sticky: after a write failure the log refuses further appends
+	closed        bool
+}
+
+var _ matchmaker.EventSink = (*SessionLog)(nil)
+
+// Joined implements matchmaker.EventSink.
+func (l *SessionLog) Joined(id int64, skill float64) error {
+	return l.append(ledger.JoinEvent(id, skill))
+}
+
+// Left implements matchmaker.EventSink.
+func (l *SessionLog) Left(id int64) error {
+	return l.append(ledger.LeaveEvent(id))
+}
+
+// RoundApplied implements matchmaker.EventSink.
+func (l *SessionLog) RoundApplied(rec matchmaker.RoundRecord) error {
+	return l.append(ledger.SessionRoundEvent(rec.Round, rec.Seated, rec.Grouping, rec.Gain))
+}
+
+// Seq returns the sequence number of the last durable event.
+func (l *SessionLog) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state.Seq
+}
+
+func (l *SessionLog) append(ev ledger.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("session log %d: closed", l.id)
+	}
+	if l.err != nil {
+		return l.err
+	}
+	ev.Seq = l.state.Seq + 1
+	//peerlint:allow lockheld — seq stamping and encoding must read the replica the lock guards; appends serialize under it
+	line, err := ledger.EncodeEvent(ev)
+	if err != nil {
+		return fmt.Errorf("session log %d: %w", l.id, err)
+	}
+	// Applying to the replica first validates the event — including the
+	// bit-exact gain recomputation for rounds — before anything touches
+	// disk.
+	//peerlint:allow lockheld — the replica must advance atomically with the file write the same lock orders
+	if err := l.state.Apply(ev); err != nil {
+		return fmt.Errorf("session log %d: %w", l.id, err)
+	}
+	//peerlint:allow lockheld — the log lock exists to serialize appends and keep the replica in step with the file; the write belongs inside it
+	if _, err := l.f.Write(line); err != nil {
+		// The replica is now one event ahead of disk; poison the log so
+		// the divergence cannot grow. Disk still holds a consistent
+		// prefix, and the mutation this append guarded is aborted.
+		l.err = fmt.Errorf("session log %d: %w", l.id, err)
+		return l.err
+	}
+	l.sinceSnapshot++
+	if l.j.SnapshotEvery > 0 && l.sinceSnapshot >= l.j.SnapshotEvery {
+		l.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked writes the replica as a snapshot (atomically, via tmp +
+// rename) and truncates the WAL. Failures are safe to leave for the
+// next attempt: until the rename lands the old snapshot + full WAL
+// still replay, and if the truncate is lost the leftover WAL events
+// are at or below the new snapshot's seq, which recovery skips.
+func (l *SessionLog) compactLocked() {
+	line, err := ledger.EncodeEvent(l.state.SnapshotEvent())
+	if err != nil {
+		return
+	}
+	tmp := l.j.snapPath(l.id) + ".tmp"
+	if err := os.WriteFile(tmp, line, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, l.j.snapPath(l.id)); err != nil {
+		return
+	}
+	l.sinceSnapshot = 0
+	_ = l.f.Truncate(0)
+}
+
+// Close ends the log: a close event is appended (so an interrupted
+// removal still recovers as a closed session), the file handle is
+// released, and the session's files are removed.
+func (l *SessionLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.err == nil {
+		//peerlint:allow lockheld — the close event is the log's final append and follows append's lock discipline
+		ev := ledger.CloseEvent()
+		ev.Seq = l.state.Seq + 1
+		//peerlint:allow lockheld — encoding reads the seq the lock guards
+		if line, err := ledger.EncodeEvent(ev); err == nil {
+			//peerlint:allow lockheld — replica and file must advance together, as in append
+			if err := l.state.Apply(ev); err == nil {
+				//peerlint:allow lockheld — final append under the same lock discipline as append
+				_, _ = l.f.Write(line)
+			}
+		}
+	}
+	//peerlint:allow lockheld — releasing the fd under the lock prevents a racing append from writing to a closed file
+	err := l.f.Close()
+	if rerr := l.j.Remove(l.id); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// abandon releases the file handle without a close event or file
+// removal — the moral equivalent of the process dying. The files stay
+// on disk for recovery.
+func (l *SessionLog) abandon() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	//peerlint:allow lockheld — dropping the fd under the lock prevents a racing append from writing to a closed file
+	_ = l.f.Close()
+}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// newDurableStore builds a sharded store journaled into a temp dir.
+func newDurableStore(t *testing.T, shards int) (*SessionStore, *Journal) {
+	t.Helper()
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewShardedSessionStore(shards)
+	st.AttachJournal(j)
+	return st, j
+}
+
+// populate drives one session through creates, joins, rounds, and a
+// leave, returning its id.
+func populate(t *testing.T, st *SessionStore) int64 {
+	t.Helper()
+	id, err := st.Create(CreateSessionRequest{GroupSize: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, ok := st.Session(id)
+	if !ok {
+		t.Fatalf("created session %d not found", id)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sess.Join(0.15 * float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		if _, err := sess.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestStoreCrashRecovery(t *testing.T) {
+	st, j := newDurableStore(t, 8)
+	id := populate(t, st)
+	live, _ := st.Session(id)
+	wantStatus := live.Status()
+	wantRoster := live.Snapshot()
+
+	st.Crash()
+	if _, ok := st.Session(id); ok {
+		t.Fatal("session survived crash in memory")
+	}
+
+	// Reboot: fresh store over the same journal.
+	st2 := NewShardedSessionStore(8)
+	st2.AttachJournal(j)
+	n, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || st2.Len() != 1 {
+		t.Fatalf("recovered %d sessions (len %d), want 1", n, st2.Len())
+	}
+	rec, ok := st2.Session(id)
+	if !ok {
+		t.Fatalf("session %d not recovered", id)
+	}
+	rs := rec.Status()
+	if rs != wantStatus {
+		t.Fatalf("recovered status %+v, want %+v", rs, wantStatus)
+	}
+	rp := rec.Snapshot()
+	for i := range wantRoster {
+		if math.Float64bits(rp[i].Skill) != math.Float64bits(wantRoster[i].Skill) {
+			t.Fatalf("participant %d skill drifted through recovery", rp[i].ID)
+		}
+	}
+
+	// The recovered session keeps working — and keeps journaling: a
+	// second crash/recover round-trips the post-recovery mutations too.
+	if _, err := rec.Join(0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := rec.Status()
+	st2.Crash()
+	st3 := NewShardedSessionStore(8)
+	st3.AttachJournal(j)
+	if _, err := st3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rec3, _ := st3.Session(id)
+	if got := rec3.Status(); got != want2 {
+		t.Fatalf("second recovery status %+v, want %+v", got, want2)
+	}
+	// New creates after recovery do not collide with recovered ids.
+	id2, err := st3.Create(CreateSessionRequest{GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 <= id {
+		t.Fatalf("post-recovery id %d not beyond recovered %d", id2, id)
+	}
+}
+
+func TestStoreRecoveryToleratesTornTail(t *testing.T) {
+	st, j := newDurableStore(t, 4)
+	id := populate(t, st)
+	live, _ := st.Session(id)
+	want := live.Status()
+	st.Crash()
+
+	// A crash mid-append leaves a torn final line.
+	f, err := os.OpenFile(j.WALPath(id), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"join","seq":99,"parti`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := NewShardedSessionStore(4)
+	st2.AttachJournal(j)
+	if _, err := st2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := st2.Session(id)
+	if got := rec.Status(); got != want {
+		t.Fatalf("recovered status %+v, want %+v", got, want)
+	}
+	// Reopen truncated the tear: appending and re-recovering works.
+	if _, err := rec.Join(0.5); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	st2.Crash()
+	st3 := NewShardedSessionStore(4)
+	st3.AttachJournal(j)
+	if _, err := st3.Recover(); err != nil {
+		t.Fatalf("recovery after post-tear append: %v", err)
+	}
+	rec3, _ := st3.Session(id)
+	if got := rec3.Status().Members; got != want.Members+1 {
+		t.Fatalf("members %d, want %d", got, want.Members+1)
+	}
+}
+
+func TestStoreRecoveryRejectsCorruption(t *testing.T) {
+	st, j := newDurableStore(t, 4)
+	id := populate(t, st)
+	st.Crash()
+
+	b, err := os.ReadFile(j.WALPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"skill":0.15`, `"skill":0.16`, 1)
+	if tampered == string(b) {
+		t.Fatal("tamper target not found in WAL")
+	}
+	if err := os.WriteFile(j.WALPath(id), []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewShardedSessionStore(4)
+	st2.AttachJournal(j)
+	if _, err := st2.Recover(); err == nil {
+		t.Fatal("tampered WAL recovered without error")
+	}
+}
+
+func TestCompactionBoundsWAL(t *testing.T) {
+	st, j := newDurableStore(t, 2)
+	j.SnapshotEvery = 8
+	id, err := st.Create(CreateSessionRequest{GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := st.Session(id)
+	if _, err := sess.Join(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Join(0.7); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		if _, err := sess.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := sess.Status()
+
+	// The WAL holds at most SnapshotEvery lines, not 100+.
+	b, err := os.ReadFile(j.WALPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines > j.SnapshotEvery {
+		t.Fatalf("WAL holds %d events after compaction, want ≤ %d", lines, j.SnapshotEvery)
+	}
+	if _, err := os.Stat(filepath.Join(j.Dir(), "1.snap")); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	// Snapshot + WAL suffix still recovers bit-exactly.
+	st.Crash()
+	st2 := NewShardedSessionStore(2)
+	st2.AttachJournal(j)
+	if _, err := st2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := st2.Session(id)
+	if got := rec.Status(); got != want {
+		t.Fatalf("recovered status %+v, want %+v", got, want)
+	}
+}
+
+func TestDeleteRemovesJournalFiles(t *testing.T) {
+	st, j := newDurableStore(t, 2)
+	j.SnapshotEvery = 4
+	id := populate(t, st)
+	if err := st.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{j.WALPath(id), filepath.Join(j.Dir(), "1.snap")} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survives delete (err=%v)", p, err)
+		}
+	}
+	st2 := NewShardedSessionStore(2)
+	st2.AttachJournal(j)
+	n, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("deleted session recovered (%d sessions)", n)
+	}
+}
+
+// TestRecoverySkipsClosedSession models a delete interrupted between
+// the close append and the file removal: recovery must drop the
+// session and finish the cleanup.
+func TestRecoverySkipsClosedSession(t *testing.T) {
+	st, j := newDurableStore(t, 2)
+	id := populate(t, st)
+	st.Crash()
+
+	// Simulate the interrupted delete: append a close event by hand.
+	b, err := os.ReadFile(j.WALPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := j.LoadSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeLine := `{"kind":"close","seq":` + strconv.FormatInt(state.Seq+1, 10) + "}\n"
+	if err := os.WriteFile(j.WALPath(id), append(b, closeLine...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := NewShardedSessionStore(2)
+	st2.AttachJournal(j)
+	n, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || st2.Len() != 0 {
+		t.Fatalf("closed session recovered (n=%d)", n)
+	}
+	if _, err := os.Stat(j.WALPath(id)); !os.IsNotExist(err) {
+		t.Fatal("closed session's files not cleaned up")
+	}
+}
+
+func TestShardCountsAllWork(t *testing.T) {
+	for _, shards := range []int{1, 2, 7, 64} {
+		st, _ := newDurableStore(t, shards)
+		var ids []int64
+		for i := 0; i < 20; i++ {
+			id, err := st.Create(CreateSessionRequest{GroupSize: 2})
+			if err != nil {
+				t.Fatalf("shards=%d: %v", shards, err)
+			}
+			ids = append(ids, id)
+		}
+		if st.Len() != 20 {
+			t.Fatalf("shards=%d: len %d", shards, st.Len())
+		}
+		for _, id := range ids {
+			if _, ok := st.Session(id); !ok {
+				t.Fatalf("shards=%d: session %d lost", shards, id)
+			}
+		}
+		for _, id := range ids[:10] {
+			if err := st.Delete(id); err != nil {
+				t.Fatalf("shards=%d: delete %d: %v", shards, id, err)
+			}
+		}
+		if st.Len() != 10 {
+			t.Fatalf("shards=%d: len after deletes %d", shards, st.Len())
+		}
+	}
+}

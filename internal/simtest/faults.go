@@ -40,6 +40,13 @@ const (
 	// FaultStorm precedes the round with a burst of joins and leaves, a
 	// mid-round churn storm compressed to the op boundary.
 	FaultStorm
+	// FaultCrash kills the process SIGKILL-style in the middle of a WAL
+	// append — the store's file handles are dropped without close events
+	// and the session's WAL gets a torn final line — then reboots over
+	// the same journal. Replay must reconstruct skills and gains bit
+	// for bit against the reference model, which sails over the crash
+	// untouched.
+	FaultCrash
 
 	// numFaults is the count of defined fault kinds (including
 	// FaultNone); keep it last.
@@ -63,13 +70,15 @@ func (f Fault) String() string {
 		return "delay"
 	case FaultStorm:
 		return "storm"
+	case FaultCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(f))
 	}
 }
 
 // AllFaults lists every injectable fault kind.
-var AllFaults = []Fault{FaultPanic, FaultBadGrouping, FaultStaleSeat, FaultDrop, FaultDelay, FaultStorm}
+var AllFaults = []Fault{FaultPanic, FaultBadGrouping, FaultStaleSeat, FaultDrop, FaultDelay, FaultStorm, FaultCrash}
 
 // ParseFaults parses a comma-separated fault list ("panic,staleseat"),
 // or the shorthands "all" and "none".

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"time"
 
@@ -48,6 +49,11 @@ type Config struct {
 	// CheckEvery is the full-invariant-check cadence in ops (default
 	// 16); cheap conservation checks run after every op regardless.
 	CheckEvery int
+	// DataDir is the directory for the session journal. When empty and
+	// FaultCrash is enabled, Run journals into a throwaway temp
+	// directory it removes at the end; without FaultCrash the store
+	// stays in-memory.
+	DataDir string
 }
 
 // withDefaults returns cfg with every unset field defaulted.
@@ -128,6 +134,16 @@ type world struct {
 	sid     int64
 	counts  Counts
 	rep     *Report
+	// reg and rid survive crash faults: a reboot replaces the process
+	// state (store, handler, session) but observability is continuous —
+	// the metrics invariant sums requests and rounds across reboots.
+	reg *metrics.Registry
+	rid int
+	// journal is the durable side of the store; non-nil iff the run has
+	// a data dir (always the case when FaultCrash is enabled). tmpDir is
+	// the throwaway journal dir Run owns and removes, if any.
+	journal *server.Journal
+	tmpDir  string
 }
 
 // Run executes a schedule against a freshly wired serving stack and
@@ -141,6 +157,9 @@ func Run(cfg Config, ops []Op) *Report {
 		// but they must still surface through the report.
 		return &Report{Seed: cfg.Seed, FaultsFired: map[Fault]int{},
 			Failures: []string{fmt.Sprintf("world setup: %v", err)}}
+	}
+	if w.tmpDir != "" {
+		defer os.RemoveAll(w.tmpDir)
 	}
 	for i, op := range ops {
 		w.step(i, op)
@@ -167,26 +186,31 @@ func newWorld(cfg Config) (*world, error) {
 	w := &world{
 		cfg:     cfg,
 		clock:   NewVirtual(SimEpoch),
-		store:   server.NewSessionStore(),
 		policy:  &faultyPolicy{base: basePolicy(cfg.Mode)},
 		model:   NewModel(cfg.GroupSize, cfg.Mode, core.MustLinear(cfg.Rate), basePolicy(cfg.Mode)),
 		checker: NewChecker(cfg.GroupSize),
 		rep:     &Report{Seed: cfg.Seed, FaultsFired: make(map[Fault]int)},
+		reg:     metrics.NewRegistry(),
 	}
 	w.clock.SetStep(time.Millisecond)
-	w.store.SetPolicyFactory(func(string, core.Mode, int64) (core.Grouper, error) {
-		return w.policy, nil
-	})
-	rid := 0
-	w.handler = server.New(w.store, server.Options{
-		Registry: metrics.NewRegistry(),
-		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
-		Clock:    w.clock,
-		RequestID: func() string {
-			rid++
-			return fmt.Sprintf("sim-%06d", rid)
-		},
-	})
+	if dir := cfg.DataDir; dir != "" || hasFault(cfg.Faults, FaultCrash) {
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "simtest-journal-"); err != nil {
+				return nil, fmt.Errorf("journal temp dir: %w", err)
+			}
+			w.tmpDir = dir
+		}
+		j, err := server.OpenJournal(dir)
+		if err != nil {
+			return nil, fmt.Errorf("opening journal: %w", err)
+		}
+		// Compact well within a default-length run so crash faults also
+		// exercise snapshot + WAL-suffix recovery, not just pure replay.
+		j.SnapshotEvery = 32
+		w.journal = j
+	}
+	w.wireStack()
 
 	var created struct {
 		ID int64 `json:"id"`
@@ -219,6 +243,81 @@ func newWorld(cfg Config) (*world, error) {
 		}
 	}
 	return w, nil
+}
+
+// hasFault reports whether f is enabled in fs.
+func hasFault(fs []Fault, f Fault) bool {
+	for _, g := range fs {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// wireStack builds a fresh store and handler over the world's
+// persistent pieces: the registry, the virtual clock, the request-id
+// counter, and the journal. Called once at setup and again after every
+// crash fault — a reboot replaces the process state but keeps the
+// durable and observable state.
+func (w *world) wireStack() {
+	w.store = server.NewSessionStore()
+	w.store.SetPolicyFactory(func(string, core.Mode, int64) (core.Grouper, error) {
+		return w.policy, nil
+	})
+	if w.journal != nil {
+		w.store.AttachJournal(w.journal)
+	}
+	w.handler = server.New(w.store, server.Options{
+		Registry: w.reg,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Clock:    w.clock,
+		RequestID: func() string {
+			w.rid++
+			return fmt.Sprintf("sim-%06d", w.rid)
+		},
+	})
+}
+
+// crash is FaultCrash's payload: a SIGKILL-equivalent death in the
+// middle of a WAL append — the store's file handles drop without close
+// events and the session's WAL gains a torn final line — followed by a
+// reboot over the same journal. The reference model sails over the
+// crash untouched, so the status probe after recovery checks the
+// replayed gain bit for bit and the ensuing fullCheck compares every
+// recovered skill.
+func (w *world) crash(i int) {
+	if w.journal == nil {
+		w.checker.failf("op %d: crash fault without a journal (harness bug)", i)
+		return
+	}
+	// Tear the WAL tail: a partial line with no newline is exactly what
+	// a kill -9 mid-write leaves behind.
+	f, err := os.OpenFile(w.journal.WALPath(w.sid), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.checker.failf("op %d: tearing WAL: %v", i, err)
+		return
+	}
+	if _, err := f.WriteString(`{"kind":"round","seq":`); err != nil {
+		w.checker.failf("op %d: tearing WAL: %v", i, err)
+	}
+	f.Close()
+
+	w.store.Crash()
+	w.wireStack()
+	if _, err := w.store.Recover(); err != nil {
+		w.checker.failf("op %d: recovery after crash: %v", i, err)
+		return
+	}
+	sess, ok := w.store.Session(w.sid)
+	if !ok {
+		w.checker.failf("op %d: session %d lost across crash/reboot", i, w.sid)
+		return
+	}
+	w.session = sess
+	// The reboot must come back bit-identical to the reference model.
+	w.status(i)
+	w.fullCheck(i)
 }
 
 // do issues one HTTP request against the stack and returns the
@@ -361,6 +460,12 @@ func (w *world) round(i int, op Op) {
 	case FaultDrop:
 		w.rep.FaultsFired[FaultDrop]++
 		return // the trigger never arrives
+	case FaultCrash:
+		// The trigger dies with the process; what runs instead is a
+		// kill -9 plus reboot-with-replay.
+		w.rep.FaultsFired[FaultCrash]++
+		w.crash(i)
+		return
 	case FaultPanic:
 		if armable {
 			w.policy.armPanic = true

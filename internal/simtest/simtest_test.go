@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -74,6 +75,43 @@ func TestRunCliqueMode(t *testing.T) {
 	}
 	if rep.Rounds == 0 {
 		t.Fatal("clique run completed no rounds")
+	}
+}
+
+// TestCrashFaultRecoversBitExactly runs crash-only schedules: every
+// fired fault is a kill -9 mid-WAL-append plus a reboot that replays
+// the journal, and the harness cross-checks the recovered state
+// (members, rounds, total gain, every skill) bit for bit against the
+// reference model, which sails over the crash untouched.
+func TestCrashFaultRecoversBitExactly(t *testing.T) {
+	fired := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		rep := RunSeed(Config{Seed: seed, Ops: 250, Faults: []Fault{FaultCrash}})
+		if rep.Failed() {
+			t.Errorf("seed %d: %d violations, first: %s", seed, len(rep.Failures), rep.Failures[0])
+		}
+		fired += rep.FaultsFired[FaultCrash]
+	}
+	if fired == 0 {
+		t.Fatal("crash fault never fired across 4 seeds")
+	}
+}
+
+// TestCrashFaultJournalsIntoDataDir pins the DataDir knob: the journal
+// lands in the caller's directory (and survives the run for post-hoc
+// inspection) instead of a throwaway temp dir.
+func TestCrashFaultJournalsIntoDataDir(t *testing.T) {
+	dir := t.TempDir()
+	rep := RunSeed(Config{Seed: 5, Ops: 120, Faults: []Fault{FaultCrash}, DataDir: dir})
+	if rep.Failed() {
+		t.Fatalf("run failed: %s", rep.Failures[0])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no journal files written to DataDir")
 	}
 }
 
