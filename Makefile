@@ -45,9 +45,9 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus the project-specific peerlint suite,
-# test files included (ctxleak, floateq, goleak, hotalloc, lockheld,
-# modeswitch, panicfree, randsource, unlockpath — see
-# docs/LINTERS.md).
+# test files included (ctxleak, determinism, floateq, goleak,
+# guardedby, hotalloc, lockheld, mhp, modeswitch, panicfree,
+# randsource, unlockpath — see docs/LINTERS.md).
 lint: vet
 	$(GO) run ./cmd/peerlint -tests ./...
 
@@ -56,7 +56,9 @@ lint-fix:
 	$(GO) run ./cmd/peerlint -fix -tests ./...
 
 # Inventory of every //peerlint:allow suppression with its
-# justification; fails if any allow lacks a reason.
+# justification, plus the module's contract directives (guardedby
+# fields, hotpath and deterministic roots); fails if any allow lacks a
+# reason.
 audit:
 	$(GO) run ./cmd/peerlint -tests -audit ./...
 
@@ -71,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSessionReplay -fuzztime=$(FUZZTIME) ./internal/ledger
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/analysis/cfg
 	$(GO) test -fuzz=FuzzCallGraph -fuzztime=$(FUZZTIME) ./internal/analysis/callgraph
+	$(GO) test -fuzz=FuzzMHP -fuzztime=$(FUZZTIME) ./internal/analysis/mhp
 	$(GO) test -fuzz=FuzzMatchmakerOps -fuzztime=$(FUZZTIME) ./internal/simtest
 
 # Coverage with an enforced floor: fails if total statement coverage

@@ -5,8 +5,13 @@
 // exhaustive interaction-mode switches (modeswitch), no panics in
 // library code (panicfree), the flow-sensitive lock and context
 // disciplines (lockheld, unlockpath, ctxleak) built on the
-// internal/analysis/cfg dataflow layer, and the interprocedural
-// contracts (hotalloc, goleak) built on the module call graph.
+// internal/analysis/cfg dataflow layer, the interprocedural contracts
+// (hotalloc, goleak) built on the module call graph, and the
+// concurrency-and-determinism layer on top of both: guarded-field
+// contracts (guardedby, from //peerlint:guardedby field directives),
+// may-happen-in-parallel lockset checking of go-spawned goroutines
+// (mhp), and replay-purity checking of //peerlint:deterministic call
+// trees (determinism).
 //
 // Usage:
 //
@@ -23,12 +28,18 @@
 //
 // Three inspection modes replace the normal check run:
 //
-//	-audit          list every //peerlint:allow with its justification;
-//	                exit 1 if any allow carries no reason
+//	-audit          list every //peerlint:allow with its justification,
+//	                plus an inventory of guardedby fields and
+//	                hotpath/deterministic roots; exit 1 if any allow
+//	                carries no reason
 //	-graph json|dot dump the module call graph
-//	-why file:line  explain a function's hot-path status: the chain
-//	                from the nearest //peerlint:hotpath root and the
-//	                function's classified allocation sites
+//	-why file:line  explain a position's contract status: for a
+//	                function, the chains from the nearest
+//	                //peerlint:hotpath and //peerlint:deterministic
+//	                roots, its classified allocation sites, and any
+//	                nondeterminism sites; for a //peerlint:guardedby
+//	                field, the guarding mutex and what the contract
+//	                demands
 //
 // Individual lines may opt out with an inline justification:
 //
@@ -47,11 +58,14 @@ import (
 	"peerlearn/internal/analysis"
 	"peerlearn/internal/analysis/checker"
 	"peerlearn/internal/analysis/ctxleak"
+	"peerlearn/internal/analysis/determinism"
 	"peerlearn/internal/analysis/floateq"
 	"peerlearn/internal/analysis/goleak"
+	"peerlearn/internal/analysis/guardedby"
 	"peerlearn/internal/analysis/hotalloc"
 	"peerlearn/internal/analysis/load"
 	"peerlearn/internal/analysis/lockheld"
+	"peerlearn/internal/analysis/mhp"
 	"peerlearn/internal/analysis/modeswitch"
 	"peerlearn/internal/analysis/panicfree"
 	"peerlearn/internal/analysis/randsource"
@@ -61,10 +75,13 @@ import (
 // suite is the peerlint analyzer set, alphabetical by name.
 var suite = []*analysis.Analyzer{
 	ctxleak.Analyzer,
+	determinism.Analyzer,
 	floateq.Analyzer,
 	goleak.Analyzer,
+	guardedby.Analyzer,
 	hotalloc.Analyzer,
 	lockheld.Analyzer,
+	mhp.Analyzer,
 	modeswitch.Analyzer,
 	panicfree.Analyzer,
 	randsource.Analyzer,

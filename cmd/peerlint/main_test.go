@@ -275,3 +275,82 @@ func (s *Session) Round(k int) [][]int {
 		t.Errorf("PR 2 regression shape not flagged:\n%s", got)
 	}
 }
+
+func TestRunGuardedByMHPRegressionShape(t *testing.T) {
+	// The other half of the PR 2 matchmaker bug: roster state mutated
+	// from a spawned goroutine with no lock. The guardedby contract
+	// flags the unguarded field write, and mhp flags the same write as
+	// racing the spawner — reintroducing the bug must trip both.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"mm/mm.go": `package mm
+
+import "sync"
+
+type Session struct {
+	mu sync.Mutex
+	//peerlint:guardedby mu
+	members map[int]float64
+}
+
+func (s *Session) JoinAsync(id int, skill float64) {
+	go func() {
+		s.members[id] = skill
+	}()
+}
+
+func (s *Session) Join(id int, skill float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[id] = skill
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "guardedby") || !strings.Contains(got, "requires s.mu") {
+		t.Errorf("unguarded roster write not flagged by guardedby:\n%s", got)
+	}
+	if !strings.Contains(got, "mhp") || !strings.Contains(got, "go-spawned goroutine") {
+		t.Errorf("spawned unsynchronized write not flagged by mhp:\n%s", got)
+	}
+	// The locked Join is clean: both findings point at the async write.
+	if n := strings.Count(got, "mm.go:13:"); n != 2 {
+		t.Errorf("want both findings on the goroutine write (line 13), got:\n%s", got)
+	}
+}
+
+func TestRunDeterminismWALEncoderShape(t *testing.T) {
+	// The seeded replay bug: a WAL-style snapshot encoder walking the
+	// live map directly, so identical states serialize as different
+	// byte streams and recovery's bit-exact verification rejects the
+	// log. The determinism contract must flag it end to end.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module sandbox\n\ngo 1.22\n",
+		"wal/wal.go": `package wal
+
+import (
+	"fmt"
+	"io"
+)
+
+//peerlint:deterministic
+func Encode(w io.Writer, gains map[int64]float64) {
+	for id, g := range gains {
+		fmt.Fprintf(w, "%d %x\n", id, g)
+	}
+}
+`,
+	})
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "determinism") || !strings.Contains(got, "Fprintf inside map iteration") {
+		t.Errorf("map-order leak into encoder not flagged:\n%s", got)
+	}
+}

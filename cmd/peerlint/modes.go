@@ -15,6 +15,7 @@ import (
 	"peerlearn/internal/analysis/allocfacts"
 	"peerlearn/internal/analysis/callgraph"
 	"peerlearn/internal/analysis/checker"
+	"peerlearn/internal/analysis/determinism"
 	"peerlearn/internal/analysis/hotalloc"
 	"peerlearn/internal/analysis/load"
 )
@@ -60,12 +61,64 @@ func runAudit(root string, fset *token.FileSet, pkgs []*load.Package, stdout, st
 		}
 		fmt.Fprintf(stdout, "%s: allow %s — %s\n", loc, names, e.allow.Reason)
 	}
-	fmt.Fprintf(stdout, "peerlint: %d suppression(s), %d without reason\n", len(entries), missing)
+	guarded, roots := auditDirectives(root, fset, pkgs, stdout)
+	fmt.Fprintf(stdout, "peerlint: %d suppression(s), %d without reason; %d guarded field(s), %d contract root(s)\n",
+		len(entries), missing, guarded, roots)
 	if missing > 0 {
 		fmt.Fprintf(stderr, "peerlint: %d suppression(s) lack a justification — add one after an em dash or --\n", missing)
 		return 1
 	}
 	return 0
+}
+
+// auditDirectives inventories the module's contract directives — every
+// //peerlint:guardedby field and every //peerlint:hotpath and
+// //peerlint:deterministic root — so a review of the suppression list
+// also sees what the suppressions are suppressed against. It returns
+// the guarded-field and root counts.
+func auditDirectives(root string, fset *token.FileSet, pkgs []*load.Package, stdout io.Writer) (guarded, roots int) {
+	type entry struct {
+		pos  token.Position
+		desc string
+	}
+	var entries []entry
+	mpkgs := checker.ModulePackages(pkgs)
+	for _, pkg := range mpkgs {
+		for _, gf := range analysis.GuardedFields(pkg.Files, pkg.TypesInfo) {
+			e := entry{pos: fset.Position(gf.Field.Pos())}
+			if gf.Err != "" {
+				e.desc = fmt.Sprintf("guardedby %s — MALFORMED: %s", gf.Field.Name(), gf.Err)
+			} else {
+				e.desc = fmt.Sprintf("guardedby %s → %s", gf.Field.Name(), gf.Guard)
+			}
+			guarded++
+			entries = append(entries, e)
+		}
+	}
+	g := callgraph.Build(fset, mpkgs)
+	for _, n := range g.Nodes {
+		if n.Hotpath {
+			roots++
+			entries = append(entries, entry{pos: fset.Position(n.Decl.Pos()),
+				desc: "hotpath root " + n.Name()})
+		}
+		if n.Deterministic {
+			roots++
+			entries = append(entries, entry{pos: fset.Position(n.Decl.Pos()),
+				desc: "deterministic root " + n.Name()})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].pos, entries[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "%s:%d: %s\n", relPath(root, e.pos.Filename), e.pos.Line, e.desc)
+	}
+	return guarded, roots
 }
 
 // runGraph dumps the module call graph.
@@ -92,10 +145,13 @@ func runGraph(root string, fset *token.FileSet, pkgs []*load.Package, format str
 	return 0
 }
 
-// runWhy explains the hot-path status of the function containing
-// file:line — the chain from the nearest hotpath root (or the fact that
-// none reaches it) and the function's classified allocation sites.
-// Exit codes: 0 explained, 1 position not found, 2 malformed position.
+// runWhy explains the contract status of the position: for a function,
+// the chain from the nearest //peerlint:hotpath and
+// //peerlint:deterministic roots (or the fact that none reaches it),
+// its classified allocation sites, and any nondeterminism sites; for a
+// //peerlint:guardedby field, the guarding mutex and what the contract
+// demands. Exit codes: 0 explained, 1 position not found, 2 malformed
+// position.
 func runWhy(root string, fset *token.FileSet, pkgs []*load.Package, where string, stdout, stderr io.Writer) int {
 	file, line, err := parsePos(where)
 	if err != nil {
@@ -106,7 +162,10 @@ func runWhy(root string, fset *token.FileSet, pkgs []*load.Package, where string
 	g := callgraph.Build(fset, checker.ModulePackages(pkgs))
 	node := nodeAt(fset, g, file, line)
 	if node == nil {
-		fmt.Fprintf(stderr, "peerlint: no module function at %s:%d\n", file, line)
+		if whyGuardedField(root, fset, pkgs, file, line, stdout) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "peerlint: no module function or guarded field at %s:%d\n", file, line)
 		return 1
 	}
 	facts := allocfacts.Compute(g)
@@ -128,6 +187,29 @@ func runWhy(root string, fset *token.FileSet, pkgs []*load.Package, where string
 		fmt.Fprintf(stdout, "  on the hot path: %s\n", strings.Join(names, " → "))
 	}
 
+	detChain, det := determinism.Chains(g)[node]
+	switch {
+	case !det:
+		fmt.Fprintf(stdout, "  not reachable from any //peerlint:deterministic root — determinism does not constrain it\n")
+	case len(detChain) == 1:
+		fmt.Fprintf(stdout, "  //peerlint:deterministic root — its whole module call tree must be replay-pure\n")
+	default:
+		names := make([]string, len(detChain))
+		for i, n := range detChain {
+			names[i] = n.Name()
+		}
+		fmt.Fprintf(stdout, "  on a deterministic path: %s\n", strings.Join(names, " → "))
+	}
+	if det {
+		for _, f := range determinism.Check(g) {
+			if f.Owner != node {
+				continue
+			}
+			p := fset.Position(f.Pos)
+			fmt.Fprintf(stdout, "    %s:%d:%d: %s\n", relPath(root, p.Filename), p.Line, p.Column, f.What)
+		}
+	}
+
 	sum := facts.Summary(node)
 	if len(sum.Sites) == 0 {
 		fmt.Fprintf(stdout, "  no local allocation sites\n")
@@ -142,6 +224,34 @@ func runWhy(root string, fset *token.FileSet, pkgs []*load.Package, where string
 		fmt.Fprintf(stdout, "  a module callee may allocate — run the hotalloc analyzer for the offending chain\n")
 	}
 	return 0
+}
+
+// whyGuardedField explains a //peerlint:guardedby field at file:line,
+// returning false when the position names no annotated field.
+func whyGuardedField(root string, fset *token.FileSet, pkgs []*load.Package, file string, line int, stdout io.Writer) bool {
+	file = strings.TrimPrefix(file, "./")
+	for _, pkg := range checker.ModulePackages(pkgs) {
+		for _, gf := range analysis.GuardedFields(pkg.Files, pkg.TypesInfo) {
+			pos := fset.Position(gf.Field.Pos())
+			if !strings.HasSuffix(pos.Filename, file) || pos.Line != line {
+				continue
+			}
+			fmt.Fprintf(stdout, "field %s (%s:%d)\n", gf.Field.Name(), relPath(root, pos.Filename), pos.Line)
+			if gf.Err != "" {
+				fmt.Fprintf(stdout, "  //peerlint:guardedby directive is malformed: %s\n", gf.Err)
+				return true
+			}
+			kind := "sibling mutex"
+			if gf.GuardEmbedded {
+				kind = "embedded mutex"
+			}
+			fmt.Fprintf(stdout, "  guarded by %s %s: every read and write must hold it, except in\n", kind, gf.Guard)
+			fmt.Fprintf(stdout, "  the constructor before the value escapes; under an RWMutex, writes\n")
+			fmt.Fprintf(stdout, "  need the write lock (guardedby enforces this module-wide)\n")
+			return true
+		}
+	}
+	return false
 }
 
 // parsePos splits "file.go:123" (an optional trailing :col is

@@ -297,3 +297,98 @@ func TestRunWhy(t *testing.T) {
 		}
 	})
 }
+
+// contractModule exercises the concurrency-and-determinism directives:
+// a guardedby field, a deterministic root with a transitive violation,
+// and a reasoned allow.
+var contractModule = map[string]string{
+	"go.mod": "module sandbox\n\ngo 1.22\n",
+	"lib/lib.go": `package lib
+
+import (
+	"sync"
+	"time"
+)
+
+type Store struct {
+	mu sync.Mutex
+	//peerlint:guardedby mu
+	n int
+}
+
+// Replay is the replay entry point.
+//
+//peerlint:deterministic
+func Replay(s *Store) int {
+	return stamp(s)
+}
+
+func stamp(s *Store) int {
+	//peerlint:allow determinism — test fixture keeps the violation visible to -why
+	t := time.Now().Nanosecond()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = t
+	return s.n
+}
+`,
+}
+
+func TestRunAuditDirectiveInventory(t *testing.T) {
+	dir := writeModule(t, contractModule)
+	var out, errOut strings.Builder
+	if code := run(dir, []string{"./..."}, options{audit: true}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"lib/lib.go:11: guardedby n → mu",
+		"lib/lib.go:17: deterministic root Replay",
+		"1 guarded field(s), 1 contract root(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("audit inventory missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWhyContracts(t *testing.T) {
+	dir := writeModule(t, contractModule)
+
+	t.Run("deterministic root", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "lib/lib.go:18"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "//peerlint:deterministic root") {
+			t.Errorf("-why on the root should say so:\n%s", out.String())
+		}
+	})
+	t.Run("nondeterminism chain", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "lib/lib.go:23"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{
+			"on a deterministic path: Replay → stamp",
+			"time.Now reads the wall clock",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("-why output missing %q:\n%s", want, got)
+			}
+		}
+	})
+	t.Run("guarded field", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if code := run(dir, []string{"./..."}, options{why: "lib/lib.go:11"}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{"field n", "guarded by sibling mutex mu"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("-why output missing %q:\n%s", want, got)
+			}
+		}
+	})
+}

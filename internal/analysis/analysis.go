@@ -291,19 +291,237 @@ func (d Directives) Merge(other Directives) {
 // module call graph.
 const HotpathDirective = "//peerlint:hotpath"
 
+// DeterministicDirective marks a function whose entire in-module
+// transitive callee set must be replay-pure: no wall-clock reads, no
+// global math/rand, no map-iteration order leaking into results, no
+// select-with-default races. It mirrors HotpathDirective — a
+// doc-comment root the determinism analyzer enforces over the module
+// call graph:
+//
+//	//peerlint:deterministic
+//	func (st *SessionState) Apply(ev Event) error ...
+const DeterministicDirective = "//peerlint:deterministic"
+
 // IsHotpath reports whether the function declaration carries the
 // hotpath directive in its doc comment.
-func IsHotpath(fd *ast.FuncDecl) bool {
+func IsHotpath(fd *ast.FuncDecl) bool { return hasFuncDirective(fd, HotpathDirective) }
+
+// IsDeterministic reports whether the function declaration carries the
+// deterministic directive in its doc comment.
+func IsDeterministic(fd *ast.FuncDecl) bool { return hasFuncDirective(fd, DeterministicDirective) }
+
+// hasFuncDirective reports whether any line of fd's doc comment is the
+// given directive (bare, or followed by free text).
+func hasFuncDirective(fd *ast.FuncDecl, directive string) bool {
 	if fd == nil || fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
 		text := strings.TrimSpace(c.Text)
-		if text == HotpathDirective || strings.HasPrefix(text, HotpathDirective+" ") {
+		if text == directive || strings.HasPrefix(text, directive+" ") {
 			return true
 		}
 	}
 	return false
+}
+
+// GuardedByDirective annotates a struct field with the sibling mutex
+// that must be held at every read and write of the field:
+//
+//	type Session struct {
+//		mu sync.Mutex
+//		//peerlint:guardedby mu
+//		members map[ID]*Participant
+//	}
+//
+// The directive lives in the field's doc comment or trailing line
+// comment and names a field of the same struct whose type is
+// sync.Mutex or sync.RWMutex (an embedded mutex is named by its type
+// name, "Mutex" or "RWMutex"). The guardedby analyzer enforces the
+// contract module-wide over the lockstate dataflow.
+const GuardedByDirective = "//peerlint:guardedby"
+
+// ParseGuardedBy extracts the guard field name from one comment's
+// text. ok is false when the comment is not a guardedby directive; an
+// empty name with ok true marks a malformed directive the analyzer
+// should report.
+func ParseGuardedBy(text string) (guard string, ok bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, GuardedByDirective) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, GuardedByDirective)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //peerlint:guardedbyX — a different word
+	}
+	// Anything after "—" or "--" is commentary, as in allow directives.
+	for _, sep := range []string{"—", "--"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			rest = rest[:i]
+			break
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", true
+	}
+	return fields[0], true
+}
+
+// GuardedField is one parsed //peerlint:guardedby annotation.
+type GuardedField struct {
+	// Field is the annotated struct field.
+	Field *types.Var
+	// Guard names the sibling mutex field that must be held.
+	Guard string
+	// GuardEmbedded is true when the guard is an embedded
+	// sync.Mutex/RWMutex, so locking the struct value itself
+	// (v.Lock()) discharges the contract.
+	GuardEmbedded bool
+	// Pos locates the directive comment.
+	Pos token.Pos
+	// Err describes a malformed annotation (empty guard name, no such
+	// sibling, sibling not a mutex); the analyzer reports it at Pos.
+	Err string
+}
+
+// GuardedFields parses every //peerlint:guardedby field annotation in
+// the files, resolving each to its field object and validating the
+// named guard against the enclosing struct. Malformed annotations are
+// returned with Err set rather than dropped, so the analyzer can
+// surface them.
+func GuardedFields(files []*ast.File, info *types.Info) []GuardedField {
+	var out []GuardedField
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard, pos, ok := fieldDirective(field)
+				if !ok {
+					continue
+				}
+				out = append(out, resolveGuarded(st, field, guard, pos, info)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldDirective scans a struct field's doc and trailing comments for
+// a guardedby directive.
+func fieldDirective(field *ast.Field) (guard string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if g, isDirective := ParseGuardedBy(c.Text); isDirective {
+				return g, c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// resolveGuarded binds one annotated field (possibly several names on
+// one line) to its type objects and checks the guard sibling.
+func resolveGuarded(st *ast.StructType, field *ast.Field, guard string, pos token.Pos, info *types.Info) []GuardedField {
+	var out []GuardedField
+	var names []*ast.Ident
+	if len(field.Names) > 0 {
+		names = field.Names
+	} else if id := embeddedIdent(field.Type); id != nil {
+		names = []*ast.Ident{id}
+	}
+	for _, name := range names {
+		// Malformed directives anchor at the field name so the finding
+		// lands on the code line the annotation covers.
+		mk := func(v *types.Var, errText string, embedded bool) {
+			p := pos
+			if errText != "" {
+				p = name.Pos()
+			}
+			out = append(out, GuardedField{Field: v, Guard: guard, GuardEmbedded: embedded, Pos: p, Err: errText})
+		}
+		v, ok := info.Defs[name].(*types.Var)
+		if !ok {
+			continue
+		}
+		if guard == "" {
+			mk(v, "malformed //peerlint:guardedby: want exactly one sibling mutex field name", false)
+			continue
+		}
+		sib, embedded := siblingMutex(st, guard, info)
+		if sib == nil {
+			mk(v, fmt.Sprintf("//peerlint:guardedby names %q, which is not a sibling sync.Mutex/RWMutex field", guard), false)
+			continue
+		}
+		mk(v, "", embedded)
+	}
+	return out
+}
+
+// embeddedIdent returns the name identifier of an embedded field type.
+func embeddedIdent(e ast.Expr) *ast.Ident {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedIdent(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// siblingMutex finds the struct field named guard and reports whether
+// it is a sync mutex (embedded or named).
+func siblingMutex(st *ast.StructType, guard string, info *types.Info) (v *types.Var, embedded bool) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			id := embeddedIdent(field.Type)
+			if id == nil || id.Name != guard {
+				continue
+			}
+			fv, ok := info.Defs[id].(*types.Var)
+			if ok && isSyncMutex(fv.Type()) {
+				return fv, true
+			}
+			return nil, false
+		}
+		for _, name := range field.Names {
+			if name.Name != guard {
+				continue
+			}
+			fv, ok := info.Defs[name].(*types.Var)
+			if ok && isSyncMutex(fv.Type()) {
+				return fv, false
+			}
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
 // Suppresses reports whether a directive allows the named analyzer at

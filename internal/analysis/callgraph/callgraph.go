@@ -87,11 +87,14 @@ type Node struct {
 	Pkg *analysis.ModulePackage
 	// Index is the node's position in Graph.Nodes.
 	Index int
-	// Out holds the outgoing edges in source order of their sites,
-	// deduplicated per (callee, kind).
+	// Out holds the outgoing edges in source order of their first
+	// sites, deduplicated per (callee, kind, spawned).
 	Out []*Edge
 	// Hotpath records a //peerlint:hotpath directive on the declaration.
 	Hotpath bool
+	// Deterministic records a //peerlint:deterministic directive on the
+	// declaration.
+	Deterministic bool
 }
 
 // Name renders the function with its receiver, e.g.
@@ -120,10 +123,21 @@ func ShortName(fn *types.Func) string {
 // Edge is one caller→callee relation, anchored at its first site.
 type Edge struct {
 	Caller, Callee *Node
-	// Site is the position of the call (or reference) expression.
+	// Site is the position of the first call (or reference) expression.
 	Site token.Pos
+	// Sites holds every site of this (callee, kind, spawned) relation
+	// in source order; Sites[0] == Site. Interprocedural analyses that
+	// must see all call sites (guardedby's entry-lockset inference)
+	// iterate this rather than Site.
+	Sites []token.Pos
 	// Kind records how the callee was resolved.
 	Kind EdgeKind
+	// Spawned is true when every site of this edge runs on a new
+	// goroutine: the call is the operand of a go statement, or the site
+	// sits inside a function literal that a go statement spawns. The
+	// same caller→callee pair called both ways yields two edges, one
+	// spawned and one not.
+	Spawned bool
 }
 
 // Graph is the module call graph.
@@ -177,7 +191,13 @@ func Build(fset *token.FileSet, pkgs []*analysis.ModulePackage) *Graph {
 				if !ok {
 					continue
 				}
-				node := &Node{Func: fn, Decl: fd, Pkg: pkg, Hotpath: analysis.IsHotpath(fd)}
+				node := &Node{
+					Func:          fn,
+					Decl:          fd,
+					Pkg:           pkg,
+					Hotpath:       analysis.IsHotpath(fd),
+					Deterministic: analysis.IsDeterministic(fd),
+				}
 				g.byFunc[fn] = node
 				g.Nodes = append(g.Nodes, node)
 			}
@@ -218,12 +238,18 @@ type edgeBuilder struct {
 	g    *Graph
 	node *Node
 	info *types.Info
-	seen map[edgeKey]bool
+	seen map[edgeKey]*Edge
+	// goCalls are the direct operands of go statements; goSpans are the
+	// source ranges of function-literal bodies a go statement spawns.
+	// Either makes a site Spawned.
+	goCalls map[*ast.CallExpr]bool
+	goSpans [][2]token.Pos
 }
 
 type edgeKey struct {
-	callee *Node
-	kind   EdgeKind
+	callee  *Node
+	kind    EdgeKind
+	spawned bool
 }
 
 func (b *edgeBuilder) add(callee *Node, site token.Pos, kind EdgeKind) {
@@ -231,19 +257,47 @@ func (b *edgeBuilder) add(callee *Node, site token.Pos, kind EdgeKind) {
 		return
 	}
 	if b.seen == nil {
-		b.seen = make(map[edgeKey]bool)
+		b.seen = make(map[edgeKey]*Edge)
 	}
-	k := edgeKey{callee, kind}
-	if b.seen[k] {
+	k := edgeKey{callee, kind, b.spawnedAt(site)}
+	if e := b.seen[k]; e != nil {
+		e.Sites = append(e.Sites, site)
 		return
 	}
-	b.seen[k] = true
-	b.node.Out = append(b.node.Out, &Edge{Caller: b.node, Callee: callee, Site: site, Kind: kind})
+	e := &Edge{Caller: b.node, Callee: callee, Site: site, Sites: []token.Pos{site}, Kind: kind, Spawned: k.spawned}
+	b.seen[k] = e
+	b.node.Out = append(b.node.Out, e)
+}
+
+// spawnedAt reports whether a site at pos runs on a spawned goroutine.
+func (b *edgeBuilder) spawnedAt(pos token.Pos) bool {
+	for _, span := range b.goSpans {
+		if span[0] <= pos && pos < span[1] {
+			return true
+		}
+	}
+	return false
 }
 
 // walk visits the declaration body (nested function literals included —
 // their statements belong to this node) and records edges.
 func (b *edgeBuilder) walk() {
+	// Spawn pre-pass: mark go-statement operands and the body spans of
+	// spawned function literals, so add can classify each site.
+	ast.Inspect(b.node.Decl, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if b.goCalls == nil {
+			b.goCalls = make(map[*ast.CallExpr]bool)
+		}
+		b.goCalls[g.Call] = true
+		if lit, isLit := Unwrap(g.Call.Fun).(*ast.FuncLit); isLit {
+			b.goSpans = append(b.goSpans, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+		}
+		return true
+	})
 	// callFuns marks the expressions serving as the Fun of a call, so
 	// function references appearing there are not double-counted as Ref
 	// edges.
@@ -257,8 +311,11 @@ func (b *edgeBuilder) walk() {
 		callFuns[fun] = true
 		if sel, isSel := fun.(*ast.SelectorExpr); isSel {
 			// The receiver expression of a method call is an ordinary
-			// expression; only the selected identifier is the callee.
+			// expression; only the selected identifier is the callee —
+			// and that identifier is the call itself, not a reference,
+			// so the Ref pass must skip it too.
 			callFuns[sel] = true
+			callFuns[sel.Sel] = true
 		}
 		b.call(call)
 		return true
@@ -295,10 +352,17 @@ func (b *edgeBuilder) call(call *ast.CallExpr) {
 	if tv, ok := b.info.Types[call.Fun]; ok && tv.IsType() {
 		return // conversion, not a call
 	}
+	pos := call.Pos()
+	if b.goCalls[call] {
+		// The operand of "go f(...)" runs on the new goroutine even
+		// though the call expression sits outside any spawned literal;
+		// classify via a one-position span covering the site.
+		b.goSpans = append(b.goSpans, [2]token.Pos{pos, pos + 1})
+	}
 	switch fun := Unwrap(call.Fun).(type) {
 	case *ast.Ident:
 		if fn, ok := b.info.Uses[fun].(*types.Func); ok {
-			b.add(b.g.NodeOf(fn), call.Pos(), Static)
+			b.add(b.g.NodeOf(fn), pos, Static)
 		}
 	case *ast.SelectorExpr:
 		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
@@ -307,11 +371,11 @@ func (b *edgeBuilder) call(call *ast.CallExpr) {
 		}
 		if recv := recvInterface(fn); recv != nil {
 			for _, impl := range b.g.chaResolve(recv, fn) {
-				b.add(impl, call.Pos(), Interface)
+				b.add(impl, pos, Interface)
 			}
 			return
 		}
-		b.add(b.g.NodeOf(fn), call.Pos(), Static)
+		b.add(b.g.NodeOf(fn), pos, Static)
 	}
 }
 
@@ -464,20 +528,60 @@ func (t *tarjan) strongConnect(root *Node) {
 	}
 }
 
+// Chains maps every node reachable from a root (a node satisfying
+// isRoot) to its shortest proof chain: root first, the node itself
+// last. Roots claim nodes in declaration order, so a node under
+// several roots gets one deterministic chain. It is the shared
+// reachability walk of the contract analyzers — hotalloc over
+// //peerlint:hotpath roots, determinism over //peerlint:deterministic
+// roots.
+func Chains(g *Graph, isRoot func(*Node) bool) map[*Node][]*Node {
+	chains := make(map[*Node][]*Node)
+	for _, root := range g.Nodes {
+		if !isRoot(root) {
+			continue
+		}
+		if _, claimed := chains[root]; claimed {
+			// A root inside another root's tree keeps the outer chain;
+			// its own subtree is already covered transitively.
+			continue
+		}
+		chains[root] = []*Node{root}
+		queue := []*Node{root}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Out {
+				if _, seen := chains[e.Callee]; seen {
+					continue
+				}
+				parent := chains[n]
+				chain := make([]*Node, len(parent), len(parent)+1)
+				copy(chain, parent)
+				chains[e.Callee] = append(chain, e.Callee)
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return chains
+}
+
 // jsonNode and jsonEdge are the -graph json wire forms.
 type jsonNode struct {
-	ID      int    `json:"id"`
-	Name    string `json:"name"`
-	Pkg     string `json:"pkg"`
-	Pos     string `json:"pos"`
-	Hotpath bool   `json:"hotpath,omitempty"`
+	ID            int    `json:"id"`
+	Name          string `json:"name"`
+	Pkg           string `json:"pkg"`
+	Pos           string `json:"pos"`
+	Hotpath       bool   `json:"hotpath,omitempty"`
+	Deterministic bool   `json:"deterministic,omitempty"`
 }
 
 type jsonEdge struct {
-	Caller int    `json:"caller"`
-	Callee int    `json:"callee"`
-	Kind   string `json:"kind"`
-	Site   string `json:"site"`
+	Caller  int    `json:"caller"`
+	Callee  int    `json:"callee"`
+	Kind    string `json:"kind"`
+	Site    string `json:"site"`
+	Spawned bool   `json:"spawned,omitempty"`
 }
 
 type jsonGraph struct {
@@ -495,18 +599,20 @@ func (g *Graph) JSON(w io.Writer, rel func(token.Position) string) error {
 	doc := jsonGraph{Nodes: []jsonNode{}, Edges: []jsonEdge{}}
 	for _, n := range g.Nodes {
 		doc.Nodes = append(doc.Nodes, jsonNode{
-			ID:      n.Index,
-			Name:    n.Name(),
-			Pkg:     n.Pkg.Path,
-			Pos:     rel(g.Fset.Position(n.Decl.Pos())),
-			Hotpath: n.Hotpath,
+			ID:            n.Index,
+			Name:          n.Name(),
+			Pkg:           n.Pkg.Path,
+			Pos:           rel(g.Fset.Position(n.Decl.Pos())),
+			Hotpath:       n.Hotpath,
+			Deterministic: n.Deterministic,
 		})
 		for _, e := range n.Out {
 			doc.Edges = append(doc.Edges, jsonEdge{
-				Caller: e.Caller.Index,
-				Callee: e.Callee.Index,
-				Kind:   e.Kind.String(),
-				Site:   rel(g.Fset.Position(e.Site)),
+				Caller:  e.Caller.Index,
+				Callee:  e.Callee.Index,
+				Kind:    e.Kind.String(),
+				Site:    rel(g.Fset.Position(e.Site)),
+				Spawned: e.Spawned,
 			})
 		}
 	}
@@ -516,8 +622,9 @@ func (g *Graph) JSON(w io.Writer, rel func(token.Position) string) error {
 }
 
 // DOT writes the graph in Graphviz dot syntax, one subgraph-free
-// digraph with hotpath roots doubled-circled and edge styles per kind
-// (solid static, dashed interface dispatch, dotted references).
+// digraph with hotpath roots double-circled, deterministic roots
+// diamond-shaped, edge styles per kind (solid static, dashed interface
+// dispatch, dotted references), and spawned edges colored red.
 func (g *Graph) DOT(w io.Writer) error {
 	var sb strings.Builder
 	sb.WriteString("digraph callgraph {\n")
@@ -527,12 +634,19 @@ func (g *Graph) DOT(w io.Writer) error {
 		if n.Hotpath {
 			attrs += ", peripheries=2, style=bold"
 		}
+		if n.Deterministic {
+			attrs += ", shape=diamond"
+		}
 		fmt.Fprintf(&sb, "  n%d [%s];\n", n.Index, attrs)
 	}
 	style := map[EdgeKind]string{Static: "solid", Interface: "dashed", Ref: "dotted"}
 	for _, n := range g.Nodes {
 		for _, e := range n.Out {
-			fmt.Fprintf(&sb, "  n%d -> n%d [style=%s];\n", e.Caller.Index, e.Callee.Index, style[e.Kind])
+			extra := ""
+			if e.Spawned {
+				extra = ", color=red, label=\"go\""
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d [style=%s%s];\n", e.Caller.Index, e.Callee.Index, style[e.Kind], extra)
 		}
 	}
 	sb.WriteString("}\n")

@@ -1,0 +1,348 @@
+// Package determinism enforces //peerlint:deterministic replay-purity
+// contracts: a function annotated as a deterministic root — and every
+// module function its calls can reach — must produce bit-identical
+// results on replay. The WAL recovery path is the motivating consumer:
+// ledger.Apply verifies recomputed gains with math.Float64bits
+// equality, so one wall-clock read, one draw from the global rand
+// source, or one map iteration whose order leaks into an encoded byte
+// stream turns a clean reboot into a corrupt-log rejection.
+//
+// Mirroring hotalloc, the analyzer walks the transitive in-module
+// callee tree of each root (callgraph.Chains over Deterministic nodes)
+// and reports, with the call chain from the root:
+//
+//   - time.Now, time.Since, time.Until — wall-clock reads; replay runs
+//     at a different time.
+//   - package-level math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Shuffle, ...) — the process-global source is seeded from
+//     entropy; *rand.Rand instances constructed from explicit seeds
+//     pass, so rand.New(rand.NewSource(seed)) remains the sanctioned
+//     idiom.
+//   - select statements with a default clause — which arm runs depends
+//     on scheduler timing.
+//   - map iteration whose order can reach output: inside a range over
+//     a map, flag appends to slices that are not sorted later in the
+//     same function, float accumulation (addition is not associative
+//     in float64), writes to encoders/writers/builders, channel sends,
+//     and returns. Order-insensitive bodies pass: building other maps,
+//     deletes, integer/bool counters, and the append-then-sort idiom.
+//
+// The map rule is syntactic and honest about its bounds: calls made
+// inside the range body are not traced (a callee that appends to a
+// global would escape it), and "sorted later" means a call after the
+// loop whose name contains Sort and takes the slice — which covers
+// slices.Sort*, the sort package, and local sort helpers.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/callgraph"
+)
+
+// Analyzer reports nondeterminism reachable from
+// //peerlint:deterministic roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "deterministic-annotated functions and their transitive module callees must be replay-pure\n\n" +
+		"Annotate a function's doc comment with //peerlint:deterministic to put its\n" +
+		"whole in-module call tree under a replay-purity contract: no wall-clock\n" +
+		"reads, no global math/rand, no select-with-default, and no map iteration\n" +
+		"whose order can reach a return value, output slice, or encoded stream.",
+	RunModule: run,
+}
+
+// Finding is one nondeterminism site on a deterministic path. Exported
+// for the driver's -why mode.
+type Finding struct {
+	// Pos is the offending site.
+	Pos token.Pos
+	// What describes the nondeterminism.
+	What string
+	// Owner is the function containing the site.
+	Owner *callgraph.Node
+	// Chain walks from the annotated root to Owner.
+	Chain []*callgraph.Node
+}
+
+// ChainString renders the proof chain for diagnostics.
+func (f Finding) ChainString() string {
+	names := make([]string, len(f.Chain))
+	for i, n := range f.Chain {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " → ")
+}
+
+// Chains maps every node reachable from a deterministic root to its
+// shortest proof chain. Exported for the driver's -why mode.
+func Chains(g *callgraph.Graph) map[*callgraph.Node][]*callgraph.Node {
+	return callgraph.Chains(g, func(n *callgraph.Node) bool { return n.Deterministic })
+}
+
+// Check computes the contract violations of a graph.
+func Check(g *callgraph.Graph) []Finding {
+	chains := Chains(g)
+	var findings []Finding
+	for _, n := range g.Nodes {
+		chain, covered := chains[n]
+		if !covered {
+			continue
+		}
+		for _, v := range scan(n) {
+			findings = append(findings, Finding{Pos: v.pos, What: v.what, Owner: n, Chain: chain})
+		}
+	}
+	return findings
+}
+
+// run is the module entry point.
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	for _, f := range Check(g) {
+		pass.Reportf(f.Pos,
+			"deterministic path must stay replay-pure: %s (call chain: %s)",
+			f.What, f.ChainString())
+	}
+	return nil
+}
+
+// violation is one site found by the scanner.
+type violation struct {
+	pos  token.Pos
+	what string
+}
+
+// scan finds the nondeterminism sites inside one function body
+// (function literals included: their statements belong to this node,
+// exactly as in the call graph).
+func scan(n *callgraph.Node) []violation {
+	var out []violation
+	info := n.Pkg.TypesInfo
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			if what := callViolation(info, node); what != "" {
+				out = append(out, violation{pos: node.Pos(), what: what})
+			}
+		case *ast.SelectStmt:
+			for _, clause := range node.Body.List {
+				if c, ok := clause.(*ast.CommClause); ok && c.Comm == nil {
+					out = append(out, violation{pos: c.Pos(), what: "select with default: the taken arm depends on scheduler timing"})
+				}
+			}
+		case *ast.RangeStmt:
+			out = append(out, mapRangeViolations(n, node)...)
+		}
+		return true
+	})
+	return out
+}
+
+// callViolation classifies one call: wall-clock reads and global
+// math/rand draws are nondeterministic.
+func callViolation(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := callgraph.Unwrap(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+		return "" // methods (e.g. *rand.Rand, time.Time) are instance-scoped
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " reads the wall clock; replay runs at a different time"
+		}
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(fn.Name(), "New") {
+			return "" // constructing an explicitly seeded source is the sanctioned idiom
+		}
+		return "rand." + fn.Name() + " draws from the process-global source; use a *rand.Rand seeded from the session"
+	}
+	return ""
+}
+
+// mapRangeViolations applies the map-iteration-order rule to one range
+// statement.
+func mapRangeViolations(n *callgraph.Node, rng *ast.RangeStmt) []violation {
+	info := n.Pkg.TypesInfo
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []violation
+	ast.Inspect(rng.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// A nested map range is reported on its own visit.
+			return true
+		case *ast.ReturnStmt:
+			out = append(out, violation{pos: node.Pos(), what: "return inside map iteration: which entry returns first depends on map order"})
+			return true
+		case *ast.SendStmt:
+			out = append(out, violation{pos: node.Arrow, what: "channel send inside map iteration emits entries in map order"})
+			return true
+		case *ast.CallExpr:
+			if v := rangeCallViolation(info, n, rng, node); v != nil {
+				out = append(out, *v)
+			}
+			return true
+		case *ast.AssignStmt:
+			out = append(out, rangeAssignViolations(info, rng, node)...)
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// rangeCallViolation classifies a call inside a map-range body: appends
+// that persist beyond the loop without a later sort, and writes to
+// encoders/writers, leak iteration order.
+func rangeCallViolation(info *types.Info, n *callgraph.Node, rng *ast.RangeStmt, call *ast.CallExpr) *violation {
+	switch fun := callgraph.Unwrap(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "append" {
+			return nil
+		}
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin || len(call.Args) == 0 {
+			return nil
+		}
+		root := rootIdent(call.Args[0])
+		if root == nil {
+			return nil
+		}
+		v, ok := info.Uses[root].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if rng.Body.Pos() <= v.Pos() && v.Pos() < rng.Body.End() {
+			return nil // loop-local slice: dies with the iteration
+		}
+		if sortedAfter(info, n, rng, v) {
+			return nil // append-then-sort idiom
+		}
+		return &violation{pos: call.Pos(), what: "append to " + root.Name + " in map order with no later sort; sort the slice (or collect keys and sort first)"}
+	case *ast.SelectorExpr:
+		if !writerMethod(fun.Sel.Name) {
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			return &violation{pos: call.Pos(), what: fun.Sel.Name + " inside map iteration encodes entries in map order"}
+		}
+	}
+	return nil
+}
+
+// writerMethod reports whether a method name is an output-stream write.
+func writerMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Fprintf", "Fprint", "Fprintln", "Printf", "Print", "Println":
+		return true
+	}
+	return false
+}
+
+// rangeAssignViolations flags float accumulation into variables that
+// outlive the loop: float addition is not associative, so the sum
+// depends on map order even though every entry is visited.
+func rangeAssignViolations(info *types.Info, rng *ast.RangeStmt, as *ast.AssignStmt) []violation {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return nil
+	}
+	var out []violation
+	for _, lhs := range as.Lhs {
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		v, ok := info.Uses[root].(*types.Var)
+		if !ok {
+			continue
+		}
+		if rng.Body.Pos() <= v.Pos() && v.Pos() < rng.Body.End() {
+			continue
+		}
+		if t, isBasic := v.Type().Underlying().(*types.Basic); isBasic && t.Info()&types.IsFloat != 0 {
+			out = append(out, violation{pos: as.Pos(), what: "float accumulation into " + root.Name + " in map order; float addition is not associative — iterate sorted keys"})
+		}
+	}
+	return out
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// calls something that sorts the slice: a call whose name contains
+// "sort"/"Sort" with the variable as an argument (slices.Sort,
+// sort.Slice, local helpers) or a sort method invoked on it.
+func sortedAfter(info *types.Info, n *callgraph.Node, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		name := ""
+		switch fun := callgraph.Unwrap(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = types.ExprString(fun) // "sort.Slice", "slices.SortFunc", ...
+		}
+		if !strings.Contains(name, "Sort") && !strings.Contains(name, "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil {
+				if av, ok := info.Uses[root].(*types.Var); ok && av == v {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent descends selector/index/star/paren chains to the base
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}

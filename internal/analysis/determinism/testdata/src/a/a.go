@@ -1,0 +1,170 @@
+// Package a exercises the determinism analyzer: wall-clock reads,
+// global rand, select-with-default, and order-leaking map iteration
+// are flagged inside //peerlint:deterministic call trees; seeded rand
+// instances, append-then-sort, counters, and unannotated functions
+// pass.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type event struct {
+	Seq  int64
+	Gain float64
+}
+
+type state struct {
+	gains map[int64]float64
+	seq   int64
+}
+
+//peerlint:deterministic
+func (st *state) Apply(ev event) error {
+	st.gains[ev.Seq] = ev.Gain
+	st.seq = ev.Seq
+	st.stamp()
+	return nil
+}
+
+// stamp is reached transitively from the deterministic root.
+func (st *state) stamp() {
+	_ = time.Now() // want `time\.Now reads the wall clock.*call chain: \(\*state\)\.Apply → \(\*state\)\.stamp`
+}
+
+//peerlint:deterministic
+func shuffleIDs(ids []int64) {
+	rand.Shuffle(len(ids), func(i, j int) { // want `rand\.Shuffle draws from the process-global source`
+		ids[i], ids[j] = ids[j], ids[i]
+	})
+}
+
+//peerlint:deterministic
+func seededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors of seeded sources pass
+	return r.Float64()                  // instance method, not the global source
+}
+
+//peerlint:deterministic
+func racySelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default: // want `select with default: the taken arm depends on scheduler timing`
+		return -1
+	}
+}
+
+//peerlint:deterministic
+func blockingSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// encodeWAL is the seeded WAL-style bug: the snapshot encoder walks the
+// live map directly, so two replicas of identical state serialize
+// different byte streams.
+//
+//peerlint:deterministic
+func encodeWAL(st *state) []byte {
+	var buf bytes.Buffer
+	for id, g := range st.gains {
+		fmt.Fprintf(&buf, "%d %x\n", id, g) // want `Fprintf inside map iteration encodes entries in map order`
+	}
+	return buf.Bytes()
+}
+
+// encodeWALSorted is the fix: collect keys, sort, then emit.
+//
+//peerlint:deterministic
+func encodeWALSorted(st *state) []byte {
+	ids := make([]int64, 0, len(st.gains))
+	for id := range st.gains {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var buf bytes.Buffer
+	for _, id := range ids {
+		fmt.Fprintf(&buf, "%d %x\n", id, st.gains[id])
+	}
+	return buf.Bytes()
+}
+
+//peerlint:deterministic
+func participants(st *state) []int64 {
+	var out []int64
+	for id := range st.gains {
+		out = append(out, id) // want `append to out in map order with no later sort`
+	}
+	return out
+}
+
+//peerlint:deterministic
+func totalGain(st *state) float64 {
+	var total float64
+	for _, g := range st.gains {
+		total += g // want `float accumulation into total in map order`
+	}
+	return total
+}
+
+// countAndIndex is order-insensitive: integer counters and building
+// other maps commute across iteration orders.
+//
+//peerlint:deterministic
+func countAndIndex(st *state) (int, map[int64]bool) {
+	n := 0
+	seen := make(map[int64]bool)
+	for id := range st.gains {
+		n++
+		seen[id] = true
+	}
+	return n, seen
+}
+
+//peerlint:deterministic
+func firstKey(st *state) int64 {
+	for id := range st.gains {
+		return id // want `return inside map iteration: which entry returns first depends on map order`
+	}
+	return 0
+}
+
+//peerlint:deterministic
+func drainToChannel(st *state, out chan int64) {
+	for id := range st.gains {
+		out <- id // want `channel send inside map iteration emits entries in map order`
+	}
+}
+
+// sliceRange is not a map: order is the slice's own.
+//
+//peerlint:deterministic
+func sliceRange(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// unannotated is outside every deterministic tree; nothing is flagged.
+func unannotated() time.Time {
+	return time.Now()
+}
+
+// allowed shows a reasoned suppression inside a deterministic tree.
+//
+//peerlint:deterministic
+func allowed() int64 {
+	//peerlint:allow determinism — coarse progress logging only; the value never reaches the WAL
+	return time.Now().UnixNano()
+}

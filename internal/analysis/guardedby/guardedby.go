@@ -1,0 +1,347 @@
+// Package guardedby enforces //peerlint:guardedby field contracts: a
+// struct field annotated with the name of a sibling sync.Mutex/RWMutex
+// may only be read or written while that mutex is provably held on the
+// same base object. It turns the comment convention every lock-guarded
+// struct already relies on ("members, rounds, total: guarded by mu")
+// into a machine-checked invariant — the static form of the PR 2
+// matchmaker bug class, where one forgotten Lock around roster state
+// survives every test that doesn't hit the interleaving.
+//
+// "Provably held" is the lockstate must-analysis over the function's
+// CFG, seeded interprocedurally: an unexported method whose every call
+// site is a static, non-spawned call made with the lock held inherits
+// that lock at entry (mhp.EntryLocks), which is how unannotated
+// *Locked helper methods satisfy the contract. The lock must be the
+// sibling on the same base expression — holding sh2.mu does not excuse
+// touching sh.sessions — and a write under a read lock is still a
+// violation.
+//
+// Exemptions, because they are not shared state yet:
+//
+//   - constructor accesses: the base object's root is a local variable
+//     initialized in the same function from a composite literal,
+//     &literal, or new(T); until the value escapes the constructor is
+//     the only holder, and requiring locks there would force every
+//     NewX to lock a struct nobody else can see. Function literals do
+//     not inherit the exemption — a closure outlives the constructor
+//     frame.
+//   - function literals are analyzed as separate frames with no locks
+//     assumed at entry: a goroutine or stored callback cannot inherit
+//     its creator's critical section. Literals that do run under the
+//     lock (rare) carry a reasoned //peerlint:allow.
+//
+// Malformed annotations (no such sibling, sibling not a mutex) are
+// diagnosed at the directive so a typo cannot silently void the
+// contract.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/callgraph"
+	"peerlearn/internal/analysis/cfg"
+	"peerlearn/internal/analysis/lockstate"
+	"peerlearn/internal/analysis/mhp"
+)
+
+// Analyzer enforces guarded-field contracts module-wide.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "reads and writes of //peerlint:guardedby fields must hold the named sibling mutex\n\n" +
+		"Annotate a struct field with //peerlint:guardedby <mutexfield> (doc or line\n" +
+		"comment) to require that every access happens while base.<mutexfield> is\n" +
+		"provably held. Unexported helpers whose every call site holds the lock\n" +
+		"inherit it; constructor initialization before escape is exempt; writes\n" +
+		"under a read lock are violations.",
+	RunModule: run,
+}
+
+// contract is one guarded field's requirement.
+type contract struct {
+	guard    string
+	embedded bool
+}
+
+func run(pass *analysis.ModulePass) error {
+	// Collect contracts module-wide. The loader memoizes packages, so a
+	// field's *types.Var is identical no matter which package accesses
+	// it.
+	guarded := make(map[*types.Var]contract)
+	for _, pkg := range pass.Packages {
+		for _, gf := range analysis.GuardedFields(pkg.Files, pkg.TypesInfo) {
+			if gf.Err != "" {
+				pass.Reportf(gf.Pos, "%s", gf.Err)
+				continue
+			}
+			guarded[gf.Field] = contract{guard: gf.Guard, embedded: gf.GuardEmbedded}
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	entry := mhp.EntryLocks(g)
+
+	for _, node := range g.Nodes {
+		c := &checkerCtx{pass: pass, info: node.Pkg.TypesInfo, guarded: guarded}
+		c.checkFrame(node.Decl, node.Decl.Body, entry[node], constructorLocals(node.Decl, node.Pkg.TypesInfo))
+		// Each function literal is its own frame: no inherited locks, no
+		// constructor exemption from the enclosing function.
+		ast.Inspect(node.Decl, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.checkFrame(lit, lit.Body, nil, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkerCtx carries one package's typing context through the checks.
+type checkerCtx struct {
+	pass    *analysis.ModulePass
+	info    *types.Info
+	guarded map[*types.Var]contract
+}
+
+// checkFrame analyzes one function frame (a declaration or a literal):
+// lockstate seeded with entryLocks, every guarded-field access inside
+// checked against the locks held at that point. fresh holds the
+// frame's constructor-local variables, exempt until escape.
+func (c *checkerCtx) checkFrame(frame ast.Node, body *ast.BlockStmt, entryLocks lockstate.Set, fresh map[*types.Var]bool) {
+	if body == nil {
+		return
+	}
+	tr := &lockstate.Tracker{Info: c.info, Mode: lockstate.Must}
+	g := cfg.New(frame)
+	in := tr.ForGraphFrom(g, entryLocks)
+	for _, b := range g.Blocks {
+		set := in[b].Clone()
+		for _, n := range b.Nodes {
+			c.checkNode(n, set, fresh)
+			tr.TransferNode(set, n)
+		}
+	}
+}
+
+// checkNode walks one CFG node, skipping nested literal frames, and
+// checks each guarded-field selector against the current lockset.
+func (c *checkerCtx) checkNode(node ast.Node, set lockstate.Set, fresh map[*types.Var]bool) {
+	writes := writtenSelectors(c.info, node)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, ok := c.info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		ct, ok := c.guarded[field]
+		if !ok {
+			return true
+		}
+		c.checkAccess(sel, field, ct, set, fresh, writes[sel])
+		return true
+	})
+}
+
+// checkAccess verifies one guarded-field access against the held locks.
+func (c *checkerCtx) checkAccess(sel *ast.SelectorExpr, field *types.Var, ct contract, set lockstate.Set, fresh map[*types.Var]bool, isWrite bool) {
+	base := types.ExprString(sel.X)
+	want := base + "." + ct.guard
+	h, held := set[want]
+	if !held && ct.embedded {
+		// An embedded mutex is locked through the base object itself:
+		// st.conf.Lock() records key "st.conf".
+		h, held = set[base]
+	}
+	if held {
+		if isWrite && h.Reader {
+			c.pass.Reportf(sel.Pos(),
+				"write to %s while only the read side of %s is held; writes need %s.Lock()",
+				types.ExprString(sel), want, want)
+		}
+		return
+	}
+	if fresh != nil && !isLockedElsewhere(set, ct.guard) {
+		if root := rootIdent(sel.X); root != nil {
+			if v, ok := c.info.Uses[root].(*types.Var); ok && fresh[v] {
+				return // constructor: the object has not escaped yet
+			}
+		}
+	}
+	kind := "read of"
+	if isWrite {
+		kind = "write to"
+	}
+	heldDesc := "no lock is held"
+	if keys := set.Keys(); len(keys) > 0 {
+		heldDesc = "held: " + strings.Join(keys, ", ")
+	}
+	c.pass.Reportf(sel.Pos(),
+		"%s %s requires %s (//peerlint:guardedby %s on field %s), but %s",
+		kind, types.ExprString(sel), want, ct.guard, field.Name(), heldDesc)
+}
+
+// isLockedElsewhere reports whether any held lock key ends in the guard
+// name — a hint that the function locks *some* object's guard, in which
+// case the constructor exemption must not mask an aliasing mistake
+// (locking sh.mu while writing st.shards[i].sessions).
+func isLockedElsewhere(set lockstate.Set, guard string) bool {
+	for k := range set {
+		if strings.HasSuffix(k, "."+guard) {
+			return true
+		}
+	}
+	return false
+}
+
+// writtenSelectors collects the selector expressions written by one
+// statement node: assignment targets (through parens, stars, and
+// indexes), IncDec targets, delete arguments, and operands of unary &
+// (an escaping address can be written through later, so taking it
+// counts as a write).
+func writtenSelectors(info *types.Info, node ast.Node) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := callgraph.Unwrap(n.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 2 {
+					mark(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// constructorLocals returns the function's local variables initialized
+// from composite literals, &literals, or new(T) — objects this frame
+// created and nothing else can reference until they escape. Variables
+// later re-assigned from any other expression lose the exemption.
+func constructorLocals(fd *ast.FuncDecl, info *types.Info) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	poison := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, isVar := info.Defs[id].(*types.Var); isVar {
+				delete(fresh, v)
+			} else if v, isVar := info.Uses[id].(*types.Var); isVar {
+				delete(fresh, v)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isFreshExpr(info, as.Rhs[i]) {
+				poison(lhs)
+				continue
+			}
+			var v *types.Var
+			if as.Tok == token.DEFINE {
+				v, _ = info.Defs[id].(*types.Var)
+			} else {
+				v, _ = info.Uses[id].(*types.Var)
+			}
+			if v != nil {
+				fresh[v] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether an initializer yields a brand-new object:
+// T{...}, &T{...}, or new(T).
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, isLit := x.X.(*ast.CompositeLit)
+		return isLit
+	case *ast.CallExpr:
+		id, ok := callgraph.Unwrap(x.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" {
+			return false
+		}
+		_, isBuiltin := info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	return false
+}
+
+// rootIdent descends selector/index/star/paren chains to the base
+// identifier, or nil when the base is a call or literal.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"peerlearn/internal/analysis/analysistest"
+	"peerlearn/internal/analysis/guardedby"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "a")
+}

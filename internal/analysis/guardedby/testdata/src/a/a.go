@@ -1,0 +1,189 @@
+// Package a exercises the guardedby analyzer: annotated fields must be
+// accessed under the named sibling mutex, *Locked helpers inherit
+// their callers' locks, constructors are exempt before escape, and
+// wrong-object or read-side locks do not satisfy the contract.
+package a
+
+import "sync"
+
+type participant struct {
+	ID    int64
+	Skill float64
+}
+
+// session is the matchmaker roster shape.
+type session struct {
+	mu sync.Mutex
+	//peerlint:guardedby mu
+	members map[int64]*participant
+	//peerlint:guardedby mu
+	rounds int
+}
+
+// newSession initializes guarded fields before the value escapes: the
+// constructor exemption.
+func newSession() *session {
+	s := &session{}
+	s.members = make(map[int64]*participant)
+	s.rounds = 0
+	return s
+}
+
+// Join is the disciplined path.
+func (s *session) Join(id int64, skill float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[id] = &participant{ID: id, Skill: skill}
+}
+
+// JoinRacy is the PR 2 bug shape: roster mutation with no lock.
+func (s *session) JoinRacy(id int64, skill float64) {
+	s.members[id] = &participant{ID: id, Skill: skill} // want `write to s\.members requires s\.mu`
+}
+
+// Rounds reads without the lock.
+func (s *session) Rounds() int {
+	return s.rounds // want `read of s\.rounds requires s\.mu`
+}
+
+// RoundsLocked is correct.
+func (s *session) RoundsLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// Advance drives the *Locked helper with the lock held at every call
+// site, so the helper inherits s.mu at entry and needs no annotation.
+func (s *session) Advance() {
+	s.mu.Lock()
+	s.advanceLocked()
+	s.mu.Unlock()
+}
+
+func (s *session) advanceLocked() {
+	s.rounds++
+	delete(s.members, int64(s.rounds))
+}
+
+// escapedHelper has one unlocked call site, so it inherits nothing and
+// its access is flagged.
+func (s *session) Escaped() {
+	s.mu.Lock()
+	s.escapedHelper()
+	s.mu.Unlock()
+	s.escapedHelper()
+}
+
+func (s *session) escapedHelper() {
+	s.rounds++ // want `write to s\.rounds requires s\.mu`
+}
+
+// UnlockedTail: the must-analysis stops covering after Unlock.
+func (s *session) UnlockedTail() {
+	s.mu.Lock()
+	s.rounds++
+	s.mu.Unlock()
+	s.rounds++ // want `write to s\.rounds requires s\.mu`
+}
+
+// closures do not inherit the creator's critical section.
+func (s *session) DeferredWork() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.rounds++ // want `write to s\.rounds requires s\.mu`
+	}
+}
+
+// AllowedAccess demonstrates a reasoned suppression.
+func (s *session) AllowedAccess() int {
+	//peerlint:allow guardedby — snapshot read for metrics; staleness is acceptable and documented
+	return s.rounds
+}
+
+// store exercises the wrong-object case: holding one shard's lock must
+// not excuse touching another's state.
+type shard struct {
+	mu sync.Mutex
+	//peerlint:guardedby mu
+	sessions map[int64]*session
+}
+
+type store struct {
+	shards [2]shard
+}
+
+func (st *store) crossShard(a, b int) {
+	st.shards[a].mu.Lock()
+	defer st.shards[a].mu.Unlock()
+	st.shards[a].sessions[1] = nil
+	st.shards[b].sessions[1] = nil // want `write to st\.shards\[b\]\.sessions requires st\.shards\[b\]\.mu`
+}
+
+// newStore initializes every shard before escape.
+func newStore() *store {
+	st := &store{}
+	for i := range st.shards {
+		st.shards[i].sessions = make(map[int64]*session)
+	}
+	return st
+}
+
+// conf exercises the embedded-mutex form: locking the struct value
+// itself guards its fields.
+type conf struct {
+	sync.Mutex
+	//peerlint:guardedby Mutex
+	limit int
+}
+
+type server struct {
+	conf conf
+}
+
+func (sv *server) SetLimit(n int) {
+	sv.conf.Lock()
+	defer sv.conf.Unlock()
+	sv.conf.limit = n
+}
+
+func (sv *server) LimitRacy() int {
+	return sv.conf.limit // want `read of sv\.conf\.limit requires sv\.conf\.Mutex`
+}
+
+// gauge exercises RWMutex reader/writer distinction.
+type gauge struct {
+	mu sync.RWMutex
+	//peerlint:guardedby mu
+	value float64
+}
+
+func (g *gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.value
+}
+
+func (g *gauge) BumpUnderRead() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.value++ // want `write to g\.value while only the read side of g\.mu is held`
+}
+
+func (g *gauge) Bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.value++
+}
+
+// malformed directives are diagnosed at the annotated field.
+type broken struct {
+	//peerlint:guardedby nosuch
+	n int // want `names "nosuch", which is not a sibling sync\.Mutex/RWMutex field`
+}
+
+type brokenToo struct {
+	//peerlint:guardedby
+	n int // want `malformed //peerlint:guardedby`
+}

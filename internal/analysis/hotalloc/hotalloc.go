@@ -95,38 +95,9 @@ func Chains(g *callgraph.Graph) map[*callgraph.Node][]*callgraph.Node {
 	return hotChains(g)
 }
 
-// hotChains maps every node reachable from a hotpath root to its
-// shortest proof chain. Roots claim nodes in declaration order, so a
-// node under several roots gets one deterministic chain.
+// hotChains is the shared callgraph.Chains walk over hotpath roots.
 func hotChains(g *callgraph.Graph) map[*callgraph.Node][]*callgraph.Node {
-	chains := make(map[*callgraph.Node][]*callgraph.Node)
-	for _, root := range g.Nodes {
-		if !root.Hotpath {
-			continue
-		}
-		if _, claimed := chains[root]; claimed {
-			// A root inside another root's tree keeps the outer chain;
-			// its own subtree is already covered transitively.
-			continue
-		}
-		chains[root] = []*callgraph.Node{root}
-		queue := []*callgraph.Node{root}
-		for len(queue) > 0 {
-			n := queue[0]
-			queue = queue[1:]
-			for _, e := range n.Out {
-				if _, seen := chains[e.Callee]; seen {
-					continue
-				}
-				parent := chains[n]
-				chain := make([]*callgraph.Node, len(parent), len(parent)+1)
-				copy(chain, parent)
-				chains[e.Callee] = append(chain, e.Callee)
-				queue = append(queue, e.Callee)
-			}
-		}
-	}
-	return chains
+	return callgraph.Chains(g, func(n *callgraph.Node) bool { return n.Hotpath })
 }
 
 // run is the module entry point.

@@ -108,7 +108,15 @@ type Tracker struct {
 // entry of every block. Replay the block with TransferNode to obtain
 // the state at interior positions, or TransferBlock for the out-fact.
 func (t *Tracker) ForGraph(g *cfg.Graph) map[*cfg.Block]Set {
-	return cfg.Forward(g, Set{}, t.join, Set.Equal, t.TransferBlock)
+	return t.ForGraphFrom(g, Set{})
+}
+
+// ForGraphFrom is ForGraph with a non-empty entry fact: locks in init
+// are held at function entry. Interprocedural callers (guardedby's
+// entry-lockset inference) use it to seed a callee's analysis with the
+// locks every call site provably holds.
+func (t *Tracker) ForGraphFrom(g *cfg.Graph, init Set) map[*cfg.Block]Set {
+	return cfg.Forward(g, init.Clone(), t.join, Set.Equal, t.TransferBlock)
 }
 
 func (t *Tracker) join(a, b Set) Set {

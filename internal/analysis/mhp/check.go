@@ -1,0 +1,159 @@
+package mhp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/callgraph"
+	"peerlearn/internal/analysis/cfg"
+	"peerlearn/internal/analysis/lockstate"
+)
+
+// run is the module entry point: build the graph, compute MHP facts,
+// and check every spawned closure body for unsynchronized shared
+// writes.
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Fset, pass.Packages)
+	Compute(g) // MHP facts are derived here for parity with -graph; the
+	// write check below needs only the spawned literals themselves.
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, isLit := callgraph.Unwrap(gs.Call.Fun).(*ast.FuncLit); isLit {
+					checkSpawnedLit(pass, pkg, lit)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkSpawnedLit flags unsynchronized writes to shared state inside
+// one go-spawned function literal. The goroutine starts with no locks
+// held — locks the spawning function holds belong to the parent — so
+// the literal's own CFG is analyzed from the empty lockset, and a
+// write is reported when the must-lockset at the write is empty and
+// the written variable is declared outside the literal (captured from
+// the enclosing function, or package-level).
+func checkSpawnedLit(pass *analysis.ModulePass, pkg *analysis.ModulePackage, lit *ast.FuncLit) {
+	tr := &lockstate.Tracker{Info: pkg.TypesInfo, Mode: lockstate.Must}
+	g := cfg.New(lit)
+	in := tr.ForGraph(g)
+	for _, b := range g.Blocks {
+		set := in[b].Clone()
+		for _, n := range b.Nodes {
+			checkNode(pass, pkg, lit, set, n)
+			tr.TransferNode(set, n)
+		}
+	}
+}
+
+// checkNode inspects one CFG node for shared writes while the locks in
+// set are held. Nested function literals are skipped: they execute
+// only if invoked, under their own (unknown) lock context, and are
+// checked independently if they are themselves spawned.
+func checkNode(pass *analysis.ModulePass, pkg *analysis.ModulePackage, lit *ast.FuncLit, set lockstate.Set, node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			// := defines goroutine-local variables, but a mixed
+			// "i, err := f()" can still assign an existing captured err;
+			// checkWrite's Uses lookup distinguishes the two.
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, pkg, lit, set, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, pkg, lit, set, n.X)
+		case *ast.CallExpr:
+			// delete(m, k) mutates the map like an index write.
+			if id, ok := callgraph.Unwrap(n.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pkg.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 2 {
+					checkWrite(pass, pkg, lit, set, n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one written lvalue and reports it when it
+// mutates shared state without synchronization. Slice and array index
+// writes are exempt: disjoint-index sharding is the module's
+// sanctioned lock-free worker pattern, and element ownership is beyond
+// static scope.
+func checkWrite(pass *analysis.ModulePass, pkg *analysis.ModulePackage, lit *ast.FuncLit, set lockstate.Set, lvalue ast.Expr) {
+	if len(set) > 0 {
+		return // synchronized; whether it is the *right* lock is guardedby's question
+	}
+	root, what := classify(pkg.TypesInfo, lvalue)
+	if root == nil {
+		return
+	}
+	obj, ok := pkg.TypesInfo.Uses[root].(*types.Var)
+	if !ok || obj == nil {
+		return
+	}
+	if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+		return // declared inside the literal: goroutine-local
+	}
+	pass.Reportf(lvalue.Pos(),
+		"unsynchronized %s %q in go-spawned goroutine may race with the spawner; hold a mutex at the write, use sync/atomic, or hand the result back over a channel",
+		what, types.ExprString(lvalue))
+}
+
+// classify peels an lvalue down to its root identifier, naming the
+// write kind. It returns a nil root for forms that are exempt (slice
+// index writes) or not attributable to a variable (call results,
+// composite literals).
+func classify(info *types.Info, lvalue ast.Expr) (root *ast.Ident, what string) {
+	// The outermost operator names the write; inner selectors only
+	// locate the root.
+	setWhat := func(s string) {
+		if what == "" {
+			what = s
+		}
+	}
+	e := lvalue
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			setWhat("write through pointer")
+			e = x.X
+		case *ast.SelectorExpr:
+			setWhat("field write to")
+			e = x.X
+		case *ast.IndexExpr:
+			t := info.TypeOf(x.X)
+			if t == nil {
+				return nil, ""
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				setWhat("map write to")
+				e = x.X
+			case *types.Pointer: // *[N]T auto-deref
+				return nil, ""
+			default:
+				return nil, "" // slice or array index: disjoint-index idiom
+			}
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil, ""
+			}
+			setWhat("write to")
+			return x, what
+		default:
+			return nil, ""
+		}
+	}
+}

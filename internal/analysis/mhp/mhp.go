@@ -1,0 +1,320 @@
+// Package mhp computes may-happen-in-parallel facts for the module and
+// flags unsynchronized shared writes from spawned goroutines — the
+// static complement to the race detector. Where -race observes the
+// interleavings a test actually executes, mhp over-approximates from
+// the call graph: any function reachable through a go statement may run
+// concurrently with everything else, so a write it performs to shared
+// state must be synchronized (a mutex provably held at the write, an
+// atomic operation, or a channel handoff) or confined (a goroutine-
+// local variable, or the disjoint slice-index idiom where each worker
+// owns distinct elements).
+//
+// The MHP relation itself is deliberately coarse: MHP(a, b) holds iff
+// a or b is spawned-reachable. That is symmetric and monotone — the
+// properties the fuzz harness checks — and precise enough for a module
+// whose concurrency is fork-join worker pools and per-session locks.
+// The diagnostics are where precision is spent: only writes are
+// flagged, only to state shared with other goroutines (captured
+// variables, package-level variables, receiver/parameter fields of a
+// spawned function), and only when the must-lockset at the write is
+// empty. Slice-index writes are exempt — disjoint-index sharding
+// (workspace round apply, the bench worker pools) is the module's
+// sanctioned lock-free pattern, and flagging it would bury the signal.
+//
+// The package also exports EntryLocks, the interprocedural lockset
+// inference the guardedby analyzer runs on: for an unexported function
+// whose every call site is a static, non-spawned call, the locks
+// provably held at all sites (translated into the callee's receiver
+// frame) are locks held throughout the callee. That is what lets
+// *Locked helper methods satisfy guarded-field contracts without any
+// annotation beyond the caller's ordinary Lock/Unlock discipline.
+package mhp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/callgraph"
+	"peerlearn/internal/analysis/cfg"
+	"peerlearn/internal/analysis/lockstate"
+)
+
+// Analyzer flags unsynchronized writes to shared state from spawned
+// goroutines.
+var Analyzer = &analysis.Analyzer{
+	Name: "mhp",
+	Doc: "flag unsynchronized shared writes reachable from go statements (may-happen-in-parallel)\n\n" +
+		"A write inside a spawned goroutine to a captured or package-level variable,\n" +
+		"or to receiver/parameter state of a function launched with go, must happen\n" +
+		"under a held mutex or through sync/atomic. Slice-index writes are exempt\n" +
+		"(the disjoint-index worker idiom); map writes, field writes, and scalar\n" +
+		"assignments are not.",
+	RunModule: run,
+}
+
+// Info holds the module's may-happen-in-parallel facts.
+type Info struct {
+	Graph *callgraph.Graph
+	// Spawned marks every function that can run on a spawned goroutine:
+	// the static target of a go statement, any function called from a
+	// spawned closure body, and their transitive module callees.
+	Spawned map[*callgraph.Node]bool
+	// SpawnChain maps each spawned function to a shortest proof chain:
+	// the function whose go statement starts the concurrency first, then
+	// the call path down to the spawned function.
+	SpawnChain map[*callgraph.Node][]*callgraph.Node
+}
+
+// MHP reports whether a and b may execute concurrently. The relation is
+// a symmetric over-approximation: it holds whenever either function is
+// reachable from a go statement.
+func (in *Info) MHP(a, b *callgraph.Node) bool {
+	return in.Spawned[a] || in.Spawned[b]
+}
+
+// Compute derives the module's MHP facts from its call graph.
+func Compute(g *callgraph.Graph) *Info {
+	info := &Info{
+		Graph:      g,
+		Spawned:    make(map[*callgraph.Node]bool),
+		SpawnChain: make(map[*callgraph.Node][]*callgraph.Node),
+	}
+	// Seeds: callees of spawned edges, with the spawning caller opening
+	// the proof chain.
+	var queue []*callgraph.Node
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if !e.Spawned || info.Spawned[e.Callee] {
+				continue
+			}
+			info.Spawned[e.Callee] = true
+			info.SpawnChain[e.Callee] = []*callgraph.Node{n, e.Callee}
+			queue = append(queue, e.Callee)
+		}
+	}
+	// Everything a spawned function calls also runs on the goroutine.
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if info.Spawned[e.Callee] {
+				continue
+			}
+			info.Spawned[e.Callee] = true
+			parent := info.SpawnChain[n]
+			chain := make([]*callgraph.Node, len(parent), len(parent)+1)
+			copy(chain, parent)
+			info.SpawnChain[e.Callee] = append(chain, e.Callee)
+			queue = append(queue, e.Callee)
+		}
+	}
+	return info
+}
+
+// ChainString renders a spawn proof chain for diagnostics.
+func ChainString(chain []*callgraph.Node) string {
+	names := make([]string, len(chain))
+	for i, n := range chain {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " → ")
+}
+
+// EntryLocks infers, for each eligible function, the set of locks
+// provably held at every one of its call sites, translated into the
+// callee's receiver frame ("s.mu" for receiver s). A function is
+// eligible when it is an unexported method with a named receiver and
+// every incoming edge is a static, non-spawned call — otherwise unseen
+// callers (exported API, escaped function values, fresh goroutines)
+// could enter without the lock, and the entry set stays empty.
+//
+// The inference iterates to a fixpoint so chains of *Locked helpers
+// compose: if every caller of a holds s.mu and a's only call to b
+// happens while that lock is still held, b's entry set includes the
+// lock too. Starting from empty sets the facts only grow, so the
+// least fixpoint is sound.
+func EntryLocks(g *callgraph.Graph) map[*callgraph.Node]lockstate.Set {
+	incoming := make(map[*callgraph.Node][]*callgraph.Edge)
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			incoming[e.Callee] = append(incoming[e.Callee], e)
+		}
+	}
+	eligible := func(n *callgraph.Node) bool {
+		if ast.IsExported(n.Func.Name()) || recvName(n.Decl) == "" {
+			return false
+		}
+		in := incoming[n]
+		if len(in) == 0 {
+			return false
+		}
+		for _, e := range in {
+			if e.Kind != callgraph.Static || e.Spawned {
+				return false
+			}
+		}
+		return true
+	}
+
+	entry := make(map[*callgraph.Node]lockstate.Set)
+	// The fixpoint transfers facts along acyclic helper chains; bounding
+	// iterations by the node count covers the longest possible chain.
+	for iter := 0; iter <= len(g.Nodes); iter++ {
+		changed := false
+		for _, n := range g.Nodes {
+			if !eligible(n) {
+				continue
+			}
+			set := entryAtSites(g, incoming[n], n, entry)
+			if !set.Equal(entry[n]) {
+				entry[n] = set
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return entry
+}
+
+// entryAtSites intersects the held locksets across every call site of
+// callee, each translated into the callee frame.
+func entryAtSites(g *callgraph.Graph, in []*callgraph.Edge, callee *callgraph.Node, entry map[*callgraph.Node]lockstate.Set) lockstate.Set {
+	calleeRecv := recvName(callee.Decl)
+	var acc lockstate.Set
+	first := true
+	for _, e := range in {
+		caller := e.Caller
+		facts := callerFacts(caller, entry[caller])
+		for _, site := range e.Sites {
+			held, recvExpr := facts.at(site)
+			translated := translate(held, recvExpr, calleeRecv)
+			if first {
+				acc, first = translated, false
+				continue
+			}
+			acc = intersect(acc, translated)
+			if len(acc) == 0 {
+				return acc
+			}
+		}
+	}
+	if first {
+		return lockstate.Set{}
+	}
+	return acc
+}
+
+// siteFacts resolves held locksets at positions inside one caller.
+type siteFacts struct {
+	caller *callgraph.Node
+	tr     *lockstate.Tracker
+	g      *cfg.Graph
+	in     map[*cfg.Block]lockstate.Set
+	// litSpans are function-literal body ranges: a site inside one runs
+	// in a different frame, where the caller's lockset does not apply.
+	litSpans [][2]token.Pos
+}
+
+func callerFacts(caller *callgraph.Node, callerEntry lockstate.Set) *siteFacts {
+	f := &siteFacts{
+		caller: caller,
+		tr:     &lockstate.Tracker{Info: caller.Pkg.TypesInfo, Mode: lockstate.Must},
+	}
+	f.g = cfg.New(caller.Decl)
+	f.in = f.tr.ForGraphFrom(f.g, callerEntry)
+	ast.Inspect(caller.Decl, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			f.litSpans = append(f.litSpans, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+		}
+		return true
+	})
+	return f
+}
+
+// at returns the must-held lockset just before the statement containing
+// pos, plus the printed receiver expression of the call at pos ("" when
+// the call is not a method call or cannot be located). Sites inside
+// nested function literals yield an empty set: the literal is another
+// frame.
+func (f *siteFacts) at(pos token.Pos) (lockstate.Set, string) {
+	for _, span := range f.litSpans {
+		if span[0] <= pos && pos < span[1] {
+			return nil, ""
+		}
+	}
+	recvExpr := ""
+	ast.Inspect(f.caller.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() != pos {
+			return true
+		}
+		if sel, isSel := callgraph.Unwrap(call.Fun).(*ast.SelectorExpr); isSel {
+			recvExpr = types.ExprString(sel.X)
+		}
+		return false
+	})
+	for _, b := range f.g.Blocks {
+		set := f.in[b].Clone()
+		for _, n := range b.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				return set, recvExpr
+			}
+			f.tr.TransferNode(set, n)
+		}
+	}
+	return nil, recvExpr
+}
+
+// translate maps held lock keys from the caller frame into the callee
+// frame: a key rooted at the call's receiver expression ("s.mu" at
+// site s.applyLocked()) becomes the callee receiver's sibling
+// ("recv.mu"); keys rooted elsewhere cannot be named in the callee and
+// are dropped.
+func translate(held lockstate.Set, recvExpr, calleeRecv string) lockstate.Set {
+	out := lockstate.Set{}
+	if recvExpr == "" || calleeRecv == "" {
+		return out
+	}
+	for key, h := range held {
+		if rest, ok := strings.CutPrefix(key, recvExpr+"."); ok {
+			nk := calleeRecv + "." + rest
+			h.Key = nk
+			out[nk] = h
+		}
+	}
+	return out
+}
+
+// intersect keeps locks present in both sets (merging conservatively:
+// reader iff both readers).
+func intersect(a, b lockstate.Set) lockstate.Set {
+	out := lockstate.Set{}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		va.Reader = va.Reader || vb.Reader
+		va.Deferred = va.Deferred && vb.Deferred
+		out[k] = va
+	}
+	return out
+}
+
+// recvName returns the declared receiver identifier of a method, or ""
+// for functions and unnamed/blank receivers.
+func recvName(fd *ast.FuncDecl) string {
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}

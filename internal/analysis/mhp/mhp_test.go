@@ -1,0 +1,204 @@
+package mhp
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"peerlearn/internal/analysis"
+	"peerlearn/internal/analysis/callgraph"
+	"peerlearn/internal/analysis/load"
+)
+
+// checkSource type-checks one in-memory file, tolerating type errors
+// (the builder must survive whatever the loader hands it).
+func checkSource(t testing.TB, src string) (*token.FileSet, *analysis.ModulePackage) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return fset, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Error: func(error) {}, Importer: load.StdImporter(fset)}
+	pkg, _ := conf.Check("p", fset, []*ast.File{file}, info)
+	if pkg == nil {
+		return fset, nil
+	}
+	return fset, &analysis.ModulePackage{Path: "p", Files: []*ast.File{file}, Pkg: pkg, TypesInfo: info}
+}
+
+const entrySrc = `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Bump() {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+func (s *S) bumpLocked() { s.deepLocked() }
+
+func (s *S) deepLocked() { s.n++ }
+
+// mixed has one locked and one unlocked call site, so its entry set
+// must stay empty.
+func (s *S) Mixed() {
+	s.mu.Lock()
+	s.sometimes()
+	s.mu.Unlock()
+	s.sometimes()
+}
+
+func (s *S) sometimes() {}
+
+// Exported methods never get entry facts: unseen callers may enter
+// without the lock.
+func (s *S) Exported() {}
+`
+
+func TestEntryLocks(t *testing.T) {
+	fset, mp := checkSource(t, entrySrc)
+	if mp == nil {
+		t.Fatal("fixture failed to type-check")
+	}
+	g := callgraph.Build(fset, []*analysis.ModulePackage{mp})
+	entry := EntryLocks(g)
+
+	byName := func(name string) *callgraph.Node {
+		for _, n := range g.Nodes {
+			if n.Func.Name() == name {
+				return n
+			}
+		}
+		t.Fatalf("no node %q", name)
+		return nil
+	}
+	for _, name := range []string{"bumpLocked", "deepLocked"} {
+		set := entry[byName(name)]
+		if _, ok := set["s.mu"]; !ok {
+			t.Errorf("EntryLocks[%s] = %v, want s.mu held (fixpoint across the helper chain)", name, set.Keys())
+		}
+	}
+	if set := entry[byName("sometimes")]; len(set) != 0 {
+		t.Errorf("EntryLocks[sometimes] = %v, want empty: one call site is unlocked", set.Keys())
+	}
+	if set := entry[byName("Exported")]; len(set) != 0 {
+		t.Errorf("EntryLocks[Exported] = %v, want empty: exported methods have unseen callers", set.Keys())
+	}
+}
+
+func TestSpawnedFacts(t *testing.T) {
+	src := `package p
+func work() { helper() }
+func helper() {}
+func serial() {}
+func spawn() { go work() }
+`
+	fset, mp := checkSource(t, src)
+	if mp == nil {
+		t.Fatal("fixture failed to type-check")
+	}
+	g := callgraph.Build(fset, []*analysis.ModulePackage{mp})
+	info := Compute(g)
+	var work, helper, serial *callgraph.Node
+	for _, n := range g.Nodes {
+		switch n.Func.Name() {
+		case "work":
+			work = n
+		case "helper":
+			helper = n
+		case "serial":
+			serial = n
+		}
+	}
+	if !info.Spawned[work] || !info.Spawned[helper] {
+		t.Errorf("work/helper should be spawned-reachable: %v %v", info.Spawned[work], info.Spawned[helper])
+	}
+	if info.Spawned[serial] {
+		t.Error("serial is never spawned")
+	}
+	if !info.MHP(serial, work) || !info.MHP(work, serial) {
+		t.Error("MHP(serial, work) must hold both ways: work runs on a goroutine")
+	}
+	if info.MHP(serial, serial) {
+		t.Error("two never-spawned functions cannot run in parallel")
+	}
+	if got := ChainString(info.SpawnChain[helper]); got != "spawn → work → helper" {
+		t.Errorf("SpawnChain[helper] = %q", got)
+	}
+}
+
+// FuzzMHP asserts the analysis layer never panics on arbitrary (even
+// partially typed) programs and that the MHP relation stays symmetric —
+// the contract the ISSUE pins for the fuzz matrix.
+func FuzzMHP(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc a() { go b() }\nfunc b() {}",
+		"package p\nfunc a() { go func() { a() }() }",
+		"package p\nimport \"sync\"\ntype S struct{ mu sync.Mutex; n int }\nfunc (s *S) l() { s.mu.Lock(); s.h(); s.mu.Unlock() }\nfunc (s *S) h() { s.n++ }",
+		"package p\nfunc a() { go func() { x := 0; x++ }() }",
+		"package p\nvar g int\nfunc a() { go func() { g++ }() }",
+		"package p\nfunc a(xs []int) { go func() { xs[0] = 1 }() }",
+		"package p\nfunc a() { defer a(); go a() }",
+		"package p\ntype I interface{ M() }\ntype T struct{}\nfunc (T) M() {}\nfunc u(i I) { go i.M() }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset, mp := checkSource(t, src)
+		if mp == nil {
+			t.Skip()
+		}
+		g := callgraph.Build(fset, []*analysis.ModulePackage{mp})
+		info := Compute(g)
+		for _, a := range g.Nodes {
+			for _, b := range g.Nodes {
+				if info.MHP(a, b) != info.MHP(b, a) {
+					t.Fatalf("MHP not symmetric for %s, %s", a.Name(), b.Name())
+				}
+			}
+		}
+		// Every spawned node carries a non-empty proof chain ending at
+		// itself.
+		for n, chain := range info.SpawnChain {
+			if !info.Spawned[n] {
+				t.Fatalf("chain recorded for non-spawned %s", n.Name())
+			}
+			if len(chain) == 0 || chain[len(chain)-1] != n {
+				t.Fatalf("malformed chain for %s", n.Name())
+			}
+		}
+		// EntryLocks must terminate and never panic alongside.
+		entry := EntryLocks(g)
+		for n, set := range entry {
+			if ast.IsExported(n.Func.Name()) && len(set) > 0 {
+				t.Fatalf("entry lockset inferred for exported %s", n.Name())
+			}
+		}
+		// The write checker must not panic either; diagnostics are
+		// discarded.
+		pass := &analysis.ModulePass{
+			Analyzer: Analyzer,
+			Fset:     fset,
+			Packages: []*analysis.ModulePackage{mp},
+			Report:   func(analysis.Diagnostic) {},
+		}
+		if err := run(pass); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+}

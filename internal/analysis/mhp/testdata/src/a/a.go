@@ -1,0 +1,152 @@
+// Package a exercises the mhp analyzer: unsynchronized writes to
+// shared state from go-spawned closures are flagged; locked writes,
+// goroutine-local state, atomics, channel handoffs, and the
+// disjoint-slice-index worker idiom pass.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type participant struct {
+	ID    int64
+	Skill float64
+}
+
+// session mirrors the matchmaker's shape: roster state that must only
+// change under mu.
+type session struct {
+	mu      sync.Mutex
+	members map[int64]*participant
+	total   float64
+	rounds  int
+}
+
+// joinAsync reproduces the PR 2 matchmaker bug shape: roster mutation
+// from a spawned goroutine without the session lock.
+func (s *session) joinAsync(id int64, skill float64) {
+	go func() {
+		s.members[id] = &participant{ID: id, Skill: skill} // want `unsynchronized map write to "s\.members\[id\]" in go-spawned goroutine`
+		s.total += skill                                   // want `unsynchronized field write to "s\.total" in go-spawned goroutine`
+	}()
+}
+
+// joinAsyncLocked is the corrected form: the goroutine takes the lock
+// itself, so every write happens inside the critical section.
+func (s *session) joinAsyncLocked(id int64, skill float64) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.members[id] = &participant{ID: id, Skill: skill}
+		s.total += skill
+	}()
+}
+
+// evictAsync: delete mutates the captured map like an index write.
+func (s *session) evictAsync(id int64) {
+	go func() {
+		delete(s.members, id) // want `unsynchronized field write to "s\.members" in go-spawned goroutine`
+	}()
+}
+
+// unlockTooEarly: the must-analysis keeps only writes while the lock is
+// certainly held; the write after Unlock is flagged.
+func (s *session) unlockTooEarly() {
+	go func() {
+		s.mu.Lock()
+		s.rounds++
+		s.mu.Unlock()
+		s.rounds++ // want `unsynchronized field write to "s\.rounds" in go-spawned goroutine`
+	}()
+}
+
+var hits int
+
+// bumpGlobal: package-level state is shared with every goroutine.
+func bumpGlobal() {
+	go func() {
+		hits++ // want `unsynchronized write to "hits" in go-spawned goroutine`
+	}()
+}
+
+// bumpGlobalAllowed shows suppression with a reasoned directive.
+func bumpGlobalAllowed(done chan struct{}) {
+	go func() {
+		//peerlint:allow mhp — single writer by construction: the spawner blocks on done before reading
+		hits++
+		close(done)
+	}()
+}
+
+type counters struct {
+	n atomic.Int64
+}
+
+// bumpAtomic: sync/atomic operations are method calls, not bare
+// writes; they pass.
+func bumpAtomic(c *counters) {
+	go func() {
+		c.n.Add(1)
+	}()
+}
+
+// fanOut is the workspace round-apply shape: each worker owns a
+// disjoint index range of a captured slice. Slice-index writes are the
+// sanctioned lock-free pattern and pass.
+func fanOut(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// handOff is the WAL-sink shape: the goroutine communicates its result
+// over a channel instead of writing shared state.
+func handOff(xs []float64) float64 {
+	res := make(chan float64, 1)
+	go func() {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		res <- sum
+	}()
+	return <-res
+}
+
+// localOnly: state declared inside the literal is goroutine-local.
+func localOnly() {
+	go func() {
+		m := map[int]int{}
+		m[1] = 2
+		n := 0
+		n++
+		_ = n
+	}()
+}
+
+// writeThroughPointer: a captured pointer target is shared with the
+// spawner.
+func writeThroughPointer(out *int) {
+	go func() {
+		*out = 3 // want `unsynchronized write through pointer "\*out" in go-spawned goroutine`
+	}()
+}
+
+// paramOwned: the literal's own parameters are goroutine-local even
+// when they alias spawner state — ownership handoff is the caller's
+// explicit choice, as in the workspace scratch shards.
+func paramOwned(s *session) {
+	go func(p *participant) {
+		p.Skill = 1
+	}(&participant{})
+	_ = s
+}

@@ -84,6 +84,12 @@ func cliqueLinearGainSorted(vals []float64, r float64) float64 {
 // itself runs on pooled workspace buffers. Callers that may mutate
 // their skill slice should use Workspace.ApplyRoundInPlace and skip
 // the clone too.
+//
+// ApplyRound is the shared round kernel: the WAL replay check and the
+// simulation model both recompute gains through it and compare bit for
+// bit, so its whole call tree must be replay-pure.
+//
+//peerlint:deterministic
 func ApplyRound(s Skills, g Grouping, mode Mode, gain Gain) (Skills, float64, error) {
 	if !mode.Valid() {
 		return nil, 0, fmt.Errorf("core: invalid mode %v", mode)

@@ -160,6 +160,11 @@ func (st *SessionState) Participants() []ParticipantState {
 // recorded gain to match bit for bit. The event's seq must be exactly
 // Seq+1; Apply never skips (the replayer handles stale pre-snapshot
 // events).
+//
+// Apply is the replay kernel: the bit-exact gain check only works if
+// everything it reaches is pure in the event and prior state.
+//
+//peerlint:deterministic
 func (st *SessionState) Apply(ev Event) error {
 	if ev.Seq != st.Seq+1 {
 		return fmt.Errorf("ledger: event %q has seq %d, want %d", ev.Kind, ev.Seq, st.Seq+1)
@@ -340,6 +345,8 @@ func EncodeEvent(ev Event) ([]byte, error) {
 // between writing a snapshot and truncating the WAL leaves already-
 // compacted events in place, and the seq makes replaying them a no-op
 // instead of a double-apply.
+//
+//peerlint:deterministic
 func RecoverSession(snapshot, wal []byte) (*SessionState, error) {
 	var st *SessionState
 	if snapshot != nil {

@@ -101,20 +101,32 @@ type Session struct {
 	groupSize int
 	mode      core.Mode
 	gain      core.Gain
-	policy    core.Grouper
 
-	nextID  ParticipantID
+	// policy is set once at construction; the guard is about the calls,
+	// not the pointer — every dispatch into the (possibly stateful)
+	// policy must be serialized.
+	//peerlint:guardedby policyMu
+	policy core.Grouper
+
+	//peerlint:guardedby mu
+	nextID ParticipantID
+	//peerlint:guardedby mu
 	members map[ParticipantID]*Participant
-	rounds  int
-	total   float64
+	//peerlint:guardedby mu
+	rounds int
+	//peerlint:guardedby mu
+	total float64
+	//peerlint:guardedby mu
 	metrics *Metrics
 
 	// roundHook, when set, observes the lock-free window of optimistic
 	// rounds (see SetRoundHook). Read under mu, invoked without it.
+	//peerlint:guardedby mu
 	roundHook RoundHook
 
 	// sink, when set, is notified of every mutation under mu so its log
 	// order matches apply order exactly (see EventSink).
+	//peerlint:guardedby mu
 	sink EventSink
 }
 
@@ -165,6 +177,7 @@ func Restore(groupSize int, mode core.Mode, gain core.Gain, policy core.Grouper,
 	if st.NextID < 0 || st.Rounds < 0 {
 		return nil, fmt.Errorf("matchmaker: restore: negative counters (next id %d, rounds %d)", st.NextID, st.Rounds)
 	}
+	// Validate outside the lock; nothing here touches session state.
 	for _, p := range st.Members {
 		if p.ID < 1 || int64(p.ID) > st.NextID {
 			return nil, fmt.Errorf("matchmaker: restore: participant id %d outside allocator range [1,%d]", p.ID, st.NextID)
@@ -172,6 +185,14 @@ func Restore(groupSize int, mode core.Mode, gain core.Gain, policy core.Grouper,
 		if err := core.ValidateSkills(core.Skills{p.Skill}); err != nil {
 			return nil, fmt.Errorf("matchmaker: restore: participant %d: %w", p.ID, err)
 		}
+	}
+	// The session has not escaped yet, but the roster fields are under
+	// the guardedby contract and NewSession (not this function) built the
+	// struct, so take the uncontended lock rather than reason about
+	// escape here.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range st.Members {
 		if _, dup := s.members[p.ID]; dup {
 			return nil, fmt.Errorf("matchmaker: restore: duplicate participant id %d", p.ID)
 		}
@@ -460,7 +481,7 @@ func (s *Session) runRoundPessimistic() (report *RoundReport, retry bool, err er
 func (s *Session) computeRound(skills core.Skills, m, k int) (core.Skills, core.Grouping, float64, error) {
 	grouping := s.group(skills, k)
 	if err := grouping.ValidateEqui(m, k); err != nil {
-		return nil, nil, 0, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policy.Name(), err)
+		return nil, nil, 0, fmt.Errorf("matchmaker: policy %s produced an invalid grouping: %w", s.policyName(), err)
 	}
 	next, gain, err := core.ApplyRound(skills, grouping, s.mode, s.gain)
 	if err != nil {
@@ -555,6 +576,16 @@ func (s *Session) group(skills core.Skills, k int) core.Grouping {
 	defer s.policyMu.Unlock()
 	//peerlint:allow lockheld — policyMu exists to serialize this exact call; it guards no other state
 	return s.policy.Group(skills, k)
+}
+
+// policyName reads the policy's name under policyMu: Name is an
+// interface dispatch into the same object Group mutates, so even the
+// error path must serialize with a concurrent grouping.
+func (s *Session) policyName() string {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	//peerlint:allow lockheld — policyMu serializes every dispatch into the policy; Name does no blocking work
+	return s.policy.Name()
 }
 
 // seatsUnchangedLocked reports whether every seated participant is

@@ -42,7 +42,8 @@ type sessionEntry struct {
 // keeps neighboring shards on separate cache lines so their mutexes do
 // not false-share under cross-shard traffic.
 type storeShard struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//peerlint:guardedby mu
 	sessions map[int64]*sessionEntry
 	_        [40]byte
 }
@@ -70,9 +71,12 @@ type SessionStore struct {
 	// shards so reconfiguration never contends with traffic.
 	conf struct {
 		sync.Mutex
-		metrics  *matchmaker.Metrics
+		//peerlint:guardedby Mutex
+		metrics *matchmaker.Metrics
+		//peerlint:guardedby Mutex
 		policies PolicyFactory
-		journal  *Journal
+		//peerlint:guardedby Mutex
+		journal *Journal
 	}
 }
 

@@ -95,7 +95,10 @@ func sortInt64s(ids []int64) {
 }
 
 // LoadSession replays one session's snapshot + WAL into a verified
-// state.
+// state. Replay must be bit-exact: two recoveries of the same files
+// (or the live replica and a replay of its log) may not diverge.
+//
+//peerlint:deterministic
 func (j *Journal) LoadSession(id int64) (*ledger.SessionState, error) {
 	snap, err := os.ReadFile(j.snapPath(id))
 	if err != nil {
@@ -182,14 +185,21 @@ func (j *Journal) Reopen(id int64, st *ledger.SessionState) (*SessionLog, error)
 // lock, so WAL order is exactly apply order; an append failure aborts
 // the mutation it records.
 type SessionLog struct {
-	mu            sync.Mutex
-	j             *Journal
-	id            int64
-	f             *os.File
-	state         *ledger.SessionState
+	mu sync.Mutex
+	j  *Journal
+	id int64
+	//peerlint:guardedby mu
+	f *os.File
+	// state is the in-memory replica every append is verified against.
+	//peerlint:guardedby mu
+	state *ledger.SessionState
+	//peerlint:guardedby mu
 	sinceSnapshot int
-	err           error // sticky: after a write failure the log refuses further appends
-	closed        bool
+	// err is sticky: after a write failure the log refuses further appends.
+	//peerlint:guardedby mu
+	err error
+	//peerlint:guardedby mu
+	closed bool
 }
 
 var _ matchmaker.EventSink = (*SessionLog)(nil)
@@ -216,6 +226,12 @@ func (l *SessionLog) Seq() int64 {
 	return l.state.Seq
 }
 
+// append stamps, encodes, applies, and writes one event. Everything on
+// this path feeds bytes that recovery will replay and re-verify, so it
+// is a deterministic root: a wall-clock read or map-order leak here
+// would make the log unreplayable.
+//
+//peerlint:deterministic
 func (l *SessionLog) append(ev ledger.Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -314,3 +314,37 @@ func TestShardCountsAllWork(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionIDsNumericOrder pins the replay enumeration order: recovery
+// walks sessions in ascending numeric id order, not the directory's
+// lexicographic file order (where "10.wal" sorts before "2.wal"). A
+// nondeterministic or lexicographic enumeration would make the post-
+// recovery id allocator and any cross-session replay effects depend on
+// filesystem byte order.
+func TestSessionIDsNumericOrder(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File names chosen so lexicographic order (10, 100, 2, 9, 30) and
+	// numeric order (2, 9, 10, 30, 100) disagree everywhere. 30 exists
+	// only as a snapshot; 9 has both files and must appear once.
+	for _, name := range []string{"10.wal", "2.wal", "100.wal", "9.wal", "9.snap", "30.snap"} {
+		if err := os.WriteFile(filepath.Join(j.Dir(), name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := j.SessionIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 9, 10, 30, 100}
+	if len(ids) != len(want) {
+		t.Fatalf("SessionIDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("SessionIDs = %v, want %v", ids, want)
+		}
+	}
+}

@@ -129,6 +129,12 @@ func (m *Model) SeatedFirst() (matchmaker.ParticipantID, bool) {
 // kernel on the same inputs in the same order, its skills and gains
 // are bit-identical to the real session's, not merely approximately
 // equal.
+//
+// The deterministic contract covers, via the Grouper dispatch, every
+// policy implementation: a policy drawing from the global rand source
+// or leaking map order could never agree with the real session.
+//
+//peerlint:deterministic
 func (m *Model) RunRound() (*matchmaker.RoundReport, error) {
 	r := m.roster()
 	if len(r) < m.groupSize {
