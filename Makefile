@@ -21,14 +21,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Full performance-regression sweep; refreshes the committed baseline.
+# Full performance-regression sweep (includes the n=10⁶ raw-speed
+# entries); refreshes the committed baseline.
 peerbench:
-	$(GO) run ./cmd/peerbench -out BENCH_7.json
+	$(GO) run ./cmd/peerbench -out BENCH_9.json
 
 # CI-sized sweep compared against the committed baseline (what the
-# bench-smoke CI job runs); fails on a >25% ns/op regression.
+# bench-smoke CI job runs at both GOMAXPROCS=1 and GOMAXPROCS=4); fails
+# on a >25% ns/op regression or a serial-vs-parallel bit mismatch.
 bench-smoke:
-	$(GO) run ./cmd/peerbench -quick -out bench-quick.json -compare BENCH_7.json
+	$(GO) run ./cmd/peerbench -quick -out bench-quick.json -compare BENCH_9.json
 
 # Regenerate every paper figure at full size into results/.
 figures:
@@ -69,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzApplyRoundInvariants -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzGroupingValidate -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzTheorem3FastMatchesNaive -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzRadixSortDesc -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzReplay -fuzztime=$(FUZZTIME) ./internal/ledger
 	$(GO) test -fuzz=FuzzSessionReplay -fuzztime=$(FUZZTIME) ./internal/ledger
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/analysis/cfg

@@ -28,6 +28,7 @@ func writeBaseline(t *testing.T, nsPerOp float64) string {
 		"anneal-star-1k", "anneal-star-10k",
 		"anneal-clique-1k", "anneal-clique-10k",
 		"anneal-generic-1k",
+		"anneal-par-star-10k", "anneal-par-clique-10k",
 	}
 	base := Report{GoVersion: "crafted", Quick: true}
 	for _, n := range names {
@@ -85,9 +86,21 @@ func TestRunQuickOutCompareRoundTrip(t *testing.T) {
 	}
 	for _, want := range []string{
 		"dygroups-star-run-10k", "apply-round-clique-1k", "anneal-star-10k", "aggregate-gain-star-10k",
+		"anneal-par-star-10k", "anneal-par-clique-10k",
 	} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("report missing entry %q", want)
+		}
+	}
+	// Entries with a serial-vs-parallel bit-equality check must record
+	// that the check ran and passed — a false here can only mean the
+	// report bypassed the parity assertion.
+	for _, want := range []string{
+		"anneal-par-star-10k", "anneal-par-clique-10k",
+		"apply-round-star-1k", "apply-round-clique-10k",
+	} {
+		if e, ok := byName[want]; ok && !e.SerialParallelGainEqual {
+			t.Errorf("%s: serial_parallel_gain_equal should be true", want)
 		}
 	}
 	//peerlint:allow floateq — the seed constant must survive the JSON round-trip bit-exactly
@@ -97,6 +110,49 @@ func TestRunQuickOutCompareRoundTrip(t *testing.T) {
 	// Every compared entry should have been reported to stderr.
 	if !strings.Contains(stderr.String(), "compare") || strings.Contains(stderr.String(), "REGRESSION") {
 		t.Errorf("compare against the slow baseline should be all ok:\n%s", stderr.String())
+	}
+}
+
+// TestRunCompareWarnsOnMissingBaselineEntry drops one known entry from
+// the baseline and checks the comparison calls it out on stderr without
+// failing the run — new entries should be loud but not fatal until the
+// committed baseline is refreshed.
+func TestRunCompareWarnsOnMissingBaselineEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick sweep")
+	}
+	baseline := writeBaseline(t, 1e15)
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	const dropped = "anneal-par-star-10k"
+	kept := base.Entries[:0]
+	for _, e := range base.Entries {
+		if e.Name != dropped {
+			kept = append(kept, e)
+		}
+	}
+	base.Entries = kept
+	if raw, err = json.MarshalIndent(base, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr strings.Builder
+	args := append(append([]string{}, benchArgs...), "-compare", baseline)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (missing baseline entry is a warning)\nstderr: %s", code, stderr.String())
+	}
+	got := stderr.String()
+	if !strings.Contains(got, "WARNING") || !strings.Contains(got, dropped) {
+		t.Errorf("stderr should warn about the baseline-missing entry %q:\n%s", dropped, got)
 	}
 }
 
@@ -121,6 +177,89 @@ func TestRunCompareFlagsRegression(t *testing.T) {
 	var rep Report
 	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
 		t.Errorf("stdout report is not valid JSON: %v", err)
+	}
+}
+
+func TestMergeBest(t *testing.T) {
+	dst := &Report{Entries: []Entry{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "b", NsPerOp: 50},
+	}}
+	src := &Report{Entries: []Entry{
+		{Name: "a", NsPerOp: 80, AllocsPerOp: 2},
+		{Name: "b", NsPerOp: 60},
+		{Name: "c", NsPerOp: 10},
+	}}
+	mergeBest(dst, src)
+	byName := make(map[string]Entry, len(dst.Entries))
+	for _, e := range dst.Entries {
+		byName[e.Name] = e
+	}
+	// The faster src entry replaces dst wholesale (allocs ride along).
+	if e := byName["a"]; e.NsPerOp != 80 || e.AllocsPerOp != 2 {
+		t.Errorf("a = %+v, want the faster src measurement (80 ns, 2 allocs)", e)
+	}
+	if e := byName["b"]; e.NsPerOp != 50 {
+		t.Errorf("b = %.0f ns, want the faster dst measurement (50)", e.NsPerOp)
+	}
+	if e, ok := byName["c"]; !ok || e.NsPerOp != 10 {
+		t.Errorf("c should be appended from src, got %+v (present=%v)", e, ok)
+	}
+	if len(dst.Entries) != 3 {
+		t.Errorf("merged entry count = %d, want 3", len(dst.Entries))
+	}
+}
+
+// TestRunOnlyPriorFoldsIntoReport re-measures a single entry with -only
+// and folds it into a crafted prior report with -prior: the re-measured
+// entry must displace its (absurdly slow) prior counterpart while every
+// unmeasured prior entry survives untouched.
+func TestRunOnlyPriorFoldsIntoReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a (filtered) sweep")
+	}
+	const remeasured = "apply-round-star-1k"
+	prior := writeBaseline(t, 1e15)
+	outPath := filepath.Join(t.TempDir(), "merged.json")
+
+	var stdout, stderr strings.Builder
+	args := append(append([]string{}, benchArgs...),
+		"-only", "^"+remeasured+"$", "-prior", prior, "-out", outPath)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("merged report is not valid JSON: %v", err)
+	}
+	byName := make(map[string]Entry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	e, ok := byName[remeasured]
+	if !ok {
+		t.Fatalf("merged report missing the re-measured entry %q", remeasured)
+	}
+	if e.NsPerOp >= 1e15 {
+		t.Errorf("%s: ns/op = %v — the fresh measurement should displace the slow prior one", remeasured, e.NsPerOp)
+	}
+	// A name the -only filter skipped keeps its prior measurement.
+	if e := byName["anneal-star-10k"]; e.NsPerOp != 1e15 {
+		t.Errorf("anneal-star-10k: ns/op = %v, want the untouched prior value 1e15", e.NsPerOp)
+	}
+}
+
+func TestRunBadOnlyPattern(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "("}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "bad -only pattern") {
+		t.Errorf("stderr should explain the bad pattern:\n%s", stderr.String())
 	}
 }
 

@@ -30,6 +30,30 @@ type swapEvaluator interface {
 	Accept()
 }
 
+// laneSwapEvaluator extends swapEvaluator for the windowed parallel
+// annealer. The split mirrors the window protocol: proposeLane is
+// Propose without the shared pending-swap register (safe on concurrent
+// lanes while the touched group pairs stay disjoint), commit applies
+// one proposal's swap and per-group state without touching the
+// objective total, and addTotal folds accepted deltas into the total
+// in the caller's (schedule) order after the window barrier. Every
+// evaluator implements it; the serial Propose/Accept protocol is
+// unchanged.
+type laneSwapEvaluator interface {
+	swapEvaluator
+	// prepareLanes readies per-worker scratch for `lanes` concurrent
+	// proposers (only the generic evaluator needs any).
+	prepareLanes(lanes int)
+	// proposeLane is Propose evaluated on the given worker lane,
+	// returning the pending swap instead of storing it.
+	proposeLane(lane, ga, xa, gb, xb int) (float64, pendingSwap)
+	// commit applies p's slot swap and per-group cached state, leaving
+	// the total untouched for the ordered reduction.
+	commit(p pendingSwap)
+	// addTotal folds one accepted delta into the objective total.
+	addTotal(delta float64)
+}
+
 // newSwapEvaluator picks the cheapest evaluator for the objective:
 // O(1)-per-proposal summaries for Star-linear, O(t) sorted-list
 // maintenance for Clique-linear, and a generic GroupGain fallback for
@@ -141,11 +165,22 @@ func (ev *starLinearEvaluator) Total() float64 { return ev.total }
 //
 //peerlint:hotpath
 func (ev *starLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
+	delta, p := ev.proposeLane(0, ga, xa, gb, xb)
+	ev.pending = p
+	return delta
+}
+
+// proposeLane is Propose without the pending register; the summary
+// reads touch only the two named groups, so disjoint-pair lanes never
+// share state.
+//
+//peerlint:hotpath
+func (ev *starLinearEvaluator) proposeLane(_, ga, xa, gb, xb int) (float64, pendingSwap) {
 	va, vb := ev.s[ev.g[ga][xa]], ev.s[ev.g[gb][xb]]
 	newA := ev.sums[ga].gainAfterSwap(ev.r, len(ev.g[ga]), xa, va, vb)
 	newB := ev.sums[gb].gainAfterSwap(ev.r, len(ev.g[gb]), xb, vb, va)
-	ev.pending = pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
-	return newA + newB - ev.gains[ga] - ev.gains[gb]
+	p := pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
+	return newA + newB - ev.gains[ga] - ev.gains[gb], p
 }
 
 // Accept commits on the annealer's accept path; rebuild is O(t) but
@@ -154,13 +189,24 @@ func (ev *starLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
 //peerlint:hotpath
 func (ev *starLinearEvaluator) Accept() {
 	p := ev.pending
-	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
 	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
-	// Accepts are the cold path (and get colder as the temperature
-	// drops), so an O(t) summary rebuild here buys O(1) proposals.
+	ev.commit(p)
+}
+
+// commit swaps the slots and rebuilds both touched groups' summaries
+// without updating the total. Accepts are the cold path (and get
+// colder as the temperature drops), so an O(t) summary rebuild here
+// buys O(1) proposals.
+//
+//peerlint:hotpath
+func (ev *starLinearEvaluator) commit(p pendingSwap) {
+	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
 	ev.rebuild(p.ga)
 	ev.rebuild(p.gb)
 }
+
+func (ev *starLinearEvaluator) prepareLanes(int)       {}
+func (ev *starLinearEvaluator) addTotal(delta float64) { ev.total += delta }
 
 // ---------------------------------------------------------------------
 // Clique-linear: each group keeps its member skills as a descending
@@ -285,11 +331,22 @@ func (ev *cliqueLinearEvaluator) Total() float64 { return ev.total }
 //
 //peerlint:hotpath
 func (ev *cliqueLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
+	delta, p := ev.proposeLane(0, ga, xa, gb, xb)
+	ev.pending = p
+	return delta
+}
+
+// proposeLane is Propose without the pending register; the sorted-list
+// walks read only the two named groups, so disjoint-pair lanes never
+// share state.
+//
+//peerlint:hotpath
+func (ev *cliqueLinearEvaluator) proposeLane(_, ga, xa, gb, xb int) (float64, pendingSwap) {
 	va, vb := ev.s[ev.g[ga][xa]], ev.s[ev.g[gb][xb]]
 	newA := cliqueGainSwapped(ev.sorted[ga], removalIndex(ev.sorted[ga], va), vb, ev.r)
 	newB := cliqueGainSwapped(ev.sorted[gb], removalIndex(ev.sorted[gb], vb), va, ev.r)
-	ev.pending = pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
-	return newA + newB - ev.gains[ga] - ev.gains[gb]
+	p := pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
+	return newA + newB - ev.gains[ga] - ev.gains[gb], p
 }
 
 // Accept splices both sorted lists in place.
@@ -297,14 +354,25 @@ func (ev *cliqueLinearEvaluator) Propose(ga, xa, gb, xb int) float64 {
 //peerlint:hotpath
 func (ev *cliqueLinearEvaluator) Accept() {
 	p := ev.pending
+	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
+	ev.commit(p)
+}
+
+// commit swaps the slots, splices both sorted lists, and installs the
+// recomputed gains without updating the total.
+//
+//peerlint:hotpath
+func (ev *cliqueLinearEvaluator) commit(p pendingSwap) {
 	va, vb := ev.s[ev.g[p.ga][p.xa]], ev.s[ev.g[p.gb][p.xb]]
 	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
 	spliceDesc(ev.sorted[p.ga], removalIndex(ev.sorted[p.ga], va), vb)
 	spliceDesc(ev.sorted[p.gb], removalIndex(ev.sorted[p.gb], vb), va)
-	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
 	ev.gains[p.ga] = p.newA
 	ev.gains[p.gb] = p.newB
 }
+
+func (ev *cliqueLinearEvaluator) prepareLanes(int)       {}
+func (ev *cliqueLinearEvaluator) addTotal(delta float64) { ev.total += delta }
 
 // ---------------------------------------------------------------------
 // Generic fallback: recompute the two touched groups through
@@ -319,6 +387,7 @@ type genericEvaluator struct {
 	mode    core.Mode
 	gain    core.Gain
 	w       *core.Workspace
+	lanes   []*core.Workspace // per-worker workspaces for proposeLane
 	gains   []float64
 	total   float64
 	pending pendingSwap
@@ -361,8 +430,42 @@ func (ev *genericEvaluator) Propose(ga, xa, gb, xb int) float64 {
 //peerlint:hotpath
 func (ev *genericEvaluator) Accept() {
 	p := ev.pending
-	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
 	ev.total += p.newA + p.newB - ev.gains[p.ga] - ev.gains[p.gb]
+	ev.commit(p)
+}
+
+// prepareLanes allocates one workspace per worker lane; a Workspace is
+// not safe for concurrent use, so each concurrent proposer gets its
+// own.
+func (ev *genericEvaluator) prepareLanes(lanes int) {
+	for len(ev.lanes) < lanes {
+		ev.lanes = append(ev.lanes, core.NewWorkspace())
+	}
+}
+
+// proposeLane is Propose on the lane's private workspace. The
+// swap-evaluate-swap-back mutation touches only the two named groups'
+// slots, which disjoint-pair lanes never share.
+//
+//peerlint:hotpath
+func (ev *genericEvaluator) proposeLane(lane, ga, xa, gb, xb int) (float64, pendingSwap) {
+	w := ev.lanes[lane]
+	ev.g[ga][xa], ev.g[gb][xb] = ev.g[gb][xb], ev.g[ga][xa]
+	newA := w.GroupGain(ev.s, ev.g[ga], ev.mode, ev.gain)
+	newB := w.GroupGain(ev.s, ev.g[gb], ev.mode, ev.gain)
+	ev.g[ga][xa], ev.g[gb][xb] = ev.g[gb][xb], ev.g[ga][xa]
+	p := pendingSwap{ga: ga, xa: xa, gb: gb, xb: xb, newA: newA, newB: newB}
+	return newA + newB - ev.gains[ga] - ev.gains[gb], p
+}
+
+// commit swaps the slots and installs the recomputed gains without
+// updating the total.
+//
+//peerlint:hotpath
+func (ev *genericEvaluator) commit(p pendingSwap) {
+	ev.g[p.ga][p.xa], ev.g[p.gb][p.xb] = ev.g[p.gb][p.xb], ev.g[p.ga][p.xa]
 	ev.gains[p.ga] = p.newA
 	ev.gains[p.gb] = p.newB
 }
+
+func (ev *genericEvaluator) addTotal(delta float64) { ev.total += delta }

@@ -1,0 +1,212 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"peerlearn/internal/core"
+)
+
+// expGain is a non-linear gain that forces the generic evaluator, so
+// the per-lane workspace machinery gets covered too.
+type expGain struct{}
+
+func (expGain) Apply(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return 0.3 * (1 - math.Exp(-d))
+}
+
+func (expGain) Name() string { return "exp-test" }
+
+// groupingsEqual reports member-for-member equality.
+func groupingsEqual(a, b core.Grouping) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for gi := range a {
+		if len(a[gi]) != len(b[gi]) {
+			return false
+		}
+		for j := range a[gi] {
+			if a[gi][j] != b[gi][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestParallelAnnealingBitIdenticalAcrossWorkers is the determinism
+// contract: every worker count — including the serial W=1 execution —
+// must produce the identical grouping, member for member, for every
+// evaluator family (Star-linear, Clique-linear, generic non-linear).
+func TestParallelAnnealingBitIdenticalAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		mode core.Mode
+		gain core.Gain
+	}{
+		{"star-linear", core.Star, core.MustLinear(0.5)},
+		{"clique-linear", core.Clique, core.MustLinear(0.5)},
+		{"star-generic", core.Star, expGain{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := randomSkills(rand.New(rand.NewSource(17)), 240)
+			ref := NewParallelAnnealing(5, tc.mode, tc.gain)
+			ref.Workers = 1
+			want := ref.Group(s, 12)
+			wantGain := core.AggregateGain(s, want, tc.mode, tc.gain)
+			for _, workers := range []int{2, 3, 4, 8} {
+				a := NewParallelAnnealing(5, tc.mode, tc.gain)
+				a.Workers = workers
+				got := a.Group(s, 12)
+				if !groupingsEqual(want, got) {
+					t.Fatalf("workers=%d grouping differs from serial execution", workers)
+				}
+				gotGain := core.AggregateGain(s, got, tc.mode, tc.gain)
+				if math.Float64bits(wantGain) != math.Float64bits(gotGain) {
+					t.Fatalf("workers=%d gain %v != serial gain %v", workers, gotGain, wantGain)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAnnealingImprovesInitialPartition rebuilds the annealer's
+// own seed-derived starting partition and checks the windowed anneal
+// strictly improves on it: conflict skips must not degrade the search
+// into a no-op.
+func TestParallelAnnealingImprovesInitialPartition(t *testing.T) {
+	for _, mode := range []core.Mode{core.Star, core.Clique} {
+		s := randomSkills(rand.New(rand.NewSource(23)), 200)
+		gain := core.MustLinear(0.5)
+		const seed, k = 9, 10
+		perm := rand.New(rand.NewSource(seed)).Perm(len(s))
+		initial := make(core.Grouping, k)
+		size := len(s) / k
+		for i := 0; i < k; i++ {
+			initial[i] = perm[i*size : (i+1)*size]
+		}
+		before := core.AggregateGain(s, initial, mode, gain)
+		a := NewParallelAnnealing(seed, mode, gain)
+		a.Workers = 4
+		g := a.Group(s, k)
+		if err := g.ValidateEqui(len(s), k); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		after := core.AggregateGain(s, g, mode, gain)
+		if after <= before {
+			t.Fatalf("mode %v: annealed objective %v did not improve on initial %v", mode, after, before)
+		}
+	}
+}
+
+func TestParallelAnnealingProducesValidGroupings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gain := core.MustLinear(0.5)
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(5)
+		size := 1 + rng.Intn(5)
+		n := k * size
+		s := randomSkills(rng, n)
+		mode := core.Star
+		if trial%2 == 1 {
+			mode = core.Clique
+		}
+		a := NewParallelAnnealing(int64(trial), mode, gain)
+		g := a.Group(s, k)
+		if err := g.ValidateEqui(n, k); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestParallelAnnealingBeatsItsRandomStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gain := core.MustLinear(0.5)
+	var annealSum, randomSum float64
+	for trial := 0; trial < 10; trial++ {
+		s := randomSkills(rng, 40)
+		a := NewParallelAnnealing(int64(trial), core.Star, gain)
+		annealSum += core.AggregateGain(s, a.Group(s, 8), core.Star, gain)
+		r := NewRandom(int64(trial))
+		randomSum += core.AggregateGain(s, r.Group(s, 8), core.Star, gain)
+	}
+	if annealSum <= randomSum {
+		t.Fatalf("parallel annealing total %v not above random %v", annealSum, randomSum)
+	}
+}
+
+func TestParallelAnnealingDegenerateShapes(t *testing.T) {
+	gain := core.MustLinear(0.5)
+	s := randomSkills(rand.New(rand.NewSource(9)), 6)
+	g := NewParallelAnnealing(1, core.Star, gain).Group(s, 1)
+	if err := g.ValidateEqui(6, 1); err != nil {
+		t.Fatal(err)
+	}
+	g = NewParallelAnnealing(1, core.Star, gain).Group(s, 6)
+	if err := g.ValidateEqui(6, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelAnnealingGolden pins the objective of a fixed
+// (seed, size, mode) parallel anneal bit for bit, in hex float64, so
+// any change to the proposal schedule, the window protocol, the
+// conflict rule, or the evaluators shows up as a failing diff.
+// Regenerate only for a deliberate, documented change.
+func TestParallelAnnealingGolden(t *testing.T) {
+	cases := []struct {
+		mode core.Mode
+		want string
+	}{
+		{core.Star, "0x1.1c1f08dc47c28p+08"},
+		{core.Clique, "0x1.3b1cd53230b3dp+07"},
+	}
+	for _, tc := range cases {
+		s := randomSkills(rand.New(rand.NewSource(31)), 400)
+		a := NewParallelAnnealing(13, tc.mode, core.MustLinear(0.5))
+		a.Workers = 3
+		g := a.Group(s, 20)
+		got := core.AggregateGain(s, g, tc.mode, core.MustLinear(0.5))
+		if tc.want == "" {
+			t.Logf("%v golden: %s", tc.mode, strconv.FormatFloat(got, 'x', -1, 64))
+			continue
+		}
+		want, err := strconv.ParseFloat(tc.want, 64)
+		if err != nil {
+			t.Fatalf("bad golden literal %q: %v", tc.want, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("mode %v: objective %s, pinned golden %s",
+				tc.mode, strconv.FormatFloat(got, 'x', -1, 64), tc.want)
+		}
+	}
+}
+
+// TestProposalScheduleBounds checks the counter-based schedule's
+// outputs stay in range and pairs stay distinct over a long stream.
+func TestProposalScheduleBounds(t *testing.T) {
+	ps := newProposalSchedule(42, 7, 13)
+	for i := 0; i < 100000; i++ {
+		ga, gb := ps.pair(i)
+		if ga < 0 || ga >= 7 || gb < 0 || gb >= 7 {
+			t.Fatalf("step %d: pair (%d,%d) out of range", i, ga, gb)
+		}
+		if ga == gb {
+			t.Fatalf("step %d: degenerate pair (%d,%d)", i, ga, gb)
+		}
+		xa, xb, u := ps.draw(i)
+		if xa < 0 || xa >= 13 || xb < 0 || xb >= 13 {
+			t.Fatalf("step %d: slots (%d,%d) out of range", i, xa, xb)
+		}
+		if u < 0 || u >= 1 {
+			t.Fatalf("step %d: draw %v outside [0,1)", i, u)
+		}
+	}
+}

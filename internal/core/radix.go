@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// This file implements the O(n) descending sort behind the per-round
+// kernels. Skills are validated positive finite floats, so the IEEE-754
+// bit-flip trick turns float comparison into unsigned integer
+// comparison and an LSD radix sort replaces the O(n log n)
+// slices.SortFunc term for large groups.
+//
+// The kernels sort by a 32-bit window of the full 64-bit order key,
+// anchored at the highest bit on which the input actually varies
+// (shift = max(0, Len64(minKey ^ maxKey) − 32)). The window is a
+// monotone coarsening: key inequality implies the same float
+// inequality, and key equality only merges floats equal on every bit
+// the window covers. The radix passes are stable, so after them the
+// array is sorted up to runs of equal windowed keys, and a cleanup
+// pass finishes each run with the exact (value desc, position asc)
+// order. The adaptive anchor is what keeps runs short on converging
+// data: after a few learning rounds every skill shares the same top
+// exponent/mantissa bits, and the window slides down to the bits that
+// still differ — at shift 0 the windowed key is exact (all 64-bit keys
+// agree above it), so stability alone yields the position tie-break
+// and the cleanup pass is skipped entirely. Sorting 32-bit windowed
+// keys moves half the key bytes per pass and is ~40% faster end to end
+// than a full 64-bit radix; adversarial inputs (simultaneously
+// spanning a wide range and packing millions of floats into one
+// sub-window cluster) degrade to the comparison-sort fallback on long
+// runs, bounding the worst case at the pre-radix O(n log n).
+
+const (
+	// radixBits is the digit width of one counting pass. 11 bits
+	// (2048 buckets) measured fastest at n=10⁵..10⁶ on commodity
+	// hardware: 8-bit digits need one more pass, 16-bit digits blow
+	// the histogram out of L1.
+	radixBits = 11
+	radixSize = 1 << radixBits
+	radixMask = radixSize - 1
+	// radixPasses is the number of radixBits-wide digits covering a
+	// 32-bit key (the histogram array dimension; pass-skipping usually
+	// runs fewer).
+	radixPasses = (32 + radixBits - 1) / radixBits
+
+	// radixSortMinLen is the cutover below which the comparison sort
+	// wins: the radix kernel pays fixed histogram/scatter costs
+	// (2048-entry bucket arrays per pass) that only amortize on large
+	// inputs. Measured crossover on commodity hardware sits between
+	// 128 and 512 elements; DyGroups rounds at bench scale sort groups
+	// of 200–10⁵ members, so the constant is far from both cliffs.
+	radixSortMinLen = 256
+
+	// radixRunInsertionMax bounds the insertion sort used on short
+	// runs of equal truncated keys; longer runs (adversarially dense
+	// inputs) fall back to the comparison sort to keep the worst case
+	// O(n log n) instead of O(n²).
+	radixRunInsertionMax = 32
+)
+
+// descKey64 maps a float64 to a uint64 whose ascending unsigned order
+// is the float's descending order: flip all bits of negative values,
+// set the sign bit of positives, then complement for the descending
+// direction. −0 is collapsed to +0 first so the two zeros get equal
+// keys, matching the comparison sorts (cmpSkillPairDesc treats them as
+// equal and defers to the position tie-break).
+func descKey64(f float64) uint64 {
+	//peerlint:allow floateq — collapses −0 to +0; bit-level key construction, not a value comparison
+	if f == 0 {
+		f = 0
+	}
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		b = ^b
+	} else {
+		b |= 1 << 63
+	}
+	return ^b
+}
+
+// keyWindow scans the input's full 64-bit keys and returns the window
+// shift anchored at the highest differing bit, plus the pass count the
+// windowed keys need (digits above the shared prefix are skipped).
+func keyWindow(vals []float64) (shift uint, passes int) {
+	minK := ^uint64(0)
+	maxK := uint64(0)
+	for _, v := range vals {
+		k := descKey64(v)
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	diff := minK ^ maxK
+	if h := bits.Len64(diff); h > 32 {
+		shift = uint(h - 32)
+	}
+	return shift, radixPassCount(uint32(diff >> shift))
+}
+
+// radixPassCount returns how many radixBits-wide digit passes are
+// needed given diff = minKey ^ maxKey over the input: digits above the
+// highest set bit of diff form a common prefix shared by every key and
+// need no pass at all. Uniform inputs typically run 2 of the 3 passes;
+// constant inputs run none.
+func radixPassCount(diff uint32) int {
+	p := 0
+	for diff != 0 {
+		p++
+		diff >>= radixBits
+	}
+	return p
+}
+
+// radixScratch holds the reusable lanes of the radix kernels: the key
+// lane, the payload lane (positions or values), their ping-pong
+// counterparts, the histogram arrays, and the comparison-sort fallback
+// buffer for long tie runs. Lanes grow to the high-water mark and are
+// reused; the histograms are fixed-size arrays, so a warmed scratch
+// sorts without allocating.
+type radixScratch struct {
+	keys    []uint32
+	tmpKeys []uint32
+	pos     []int32
+	tmpPos  []int32
+	tmpVals []float64
+	pairs   []skillPair
+	counts  [radixPasses][radixSize]int32
+}
+
+// rankScratchPool backs RankDescending's radix path so repeated
+// ranking calls — one per DyGroups round per policy — reuse warm key
+// and position lanes.
+var rankScratchPool = sync.Pool{New: func() any { return new(radixScratch) }}
+
+// growPos sizes the key and position lanes for n elements.
+func (rs *radixScratch) growPos(n int) {
+	if cap(rs.keys) < n {
+		rs.keys = make([]uint32, n)
+		rs.tmpKeys = make([]uint32, n)
+	}
+	if cap(rs.pos) < n {
+		rs.pos = make([]int32, n)
+		rs.tmpPos = make([]int32, n)
+	}
+}
+
+// growVals sizes the key and value lanes for n elements.
+func (rs *radixScratch) growVals(n int) {
+	if cap(rs.keys) < n {
+		rs.keys = make([]uint32, n)
+		rs.tmpKeys = make([]uint32, n)
+	}
+	if cap(rs.tmpVals) < n {
+		rs.tmpVals = make([]float64, n)
+	}
+}
+
+// rankDesc returns the indices of vals ordered by descending value,
+// ties broken by ascending index — exactly the stable descending order
+// cmpSkillPairDesc produces. The returned slice aliases the scratch
+// lanes and is valid until the next call; vals is not modified.
+//
+//peerlint:hotpath
+func (rs *radixScratch) rankDesc(vals []float64) []int32 {
+	n := len(vals)
+	rs.growPos(n)
+	keys := rs.keys[:n]
+	pos := rs.pos[:n]
+	shift, passes := keyWindow(vals)
+	for i, v := range vals {
+		keys[i] = uint32(descKey64(v) >> shift)
+		pos[i] = int32(i)
+	}
+	keys, pos = rs.scatterPos(keys, pos, passes)
+	if shift > 0 {
+		// Bits below the window can still distinguish values within a
+		// run of equal keys; at shift 0 equal keys mean equal floats
+		// and stability already encodes the position tie-break.
+		rs.fixTiePosRuns(vals, keys, pos)
+	}
+	return pos
+}
+
+// scatterPos runs the stable counting-sort passes over the (key, pos)
+// lanes and returns the sorted pair of lanes (ping-pong may leave the
+// result in either buffer set).
+func (rs *radixScratch) scatterPos(keys []uint32, pos []int32, passes int) ([]uint32, []int32) {
+	if passes == 0 {
+		return keys, pos
+	}
+	n := len(keys)
+	rs.histogram(keys, passes)
+	dstK := rs.tmpKeys[:n]
+	dstP := rs.tmpPos[:n]
+	for d := 0; d < passes; d++ {
+		offs := &rs.counts[d]
+		shift := uint(d) * radixBits
+		for i, k := range keys {
+			slot := offs[(k>>shift)&radixMask]
+			offs[(k>>shift)&radixMask] = slot + 1
+			dstK[slot] = k
+			dstP[slot] = pos[i]
+		}
+		keys, dstK = dstK, keys
+		pos, dstP = dstP, pos
+	}
+	return keys, pos
+}
+
+// sortFloatsDesc sorts vals into descending order in place (−0 and +0
+// compare equal and keep their encounter order, as with an insertion
+// sort under cmpFloatDesc).
+//
+//peerlint:hotpath
+func (rs *radixScratch) sortFloatsDesc(vals []float64) {
+	n := len(vals)
+	if n < 2 {
+		return
+	}
+	rs.growVals(n)
+	keys := rs.keys[:n]
+	shift, passes := keyWindow(vals)
+	for i, v := range vals {
+		keys[i] = uint32(descKey64(v) >> shift)
+	}
+	keys, out := rs.scatterVals(keys, vals, passes)
+	if shift > 0 {
+		rs.fixTieValRuns(keys, out)
+	}
+	if &out[0] != &vals[0] {
+		copy(vals, out)
+	}
+}
+
+// scatterVals is scatterPos with the float values themselves as the
+// payload lane, ping-ponging between the caller's slice and tmpVals.
+// The sorted lanes are returned; with an odd pass count they are the
+// scratch buffers, and sortFloatsDesc copies back.
+func (rs *radixScratch) scatterVals(keys []uint32, vals []float64, passes int) ([]uint32, []float64) {
+	if passes == 0 {
+		return keys, vals
+	}
+	n := len(keys)
+	rs.histogram(keys, passes)
+	dstK := rs.tmpKeys[:n]
+	dstV := rs.tmpVals[:n]
+	for d := 0; d < passes; d++ {
+		offs := &rs.counts[d]
+		shift := uint(d) * radixBits
+		for i, k := range keys {
+			slot := offs[(k>>shift)&radixMask]
+			offs[(k>>shift)&radixMask] = slot + 1
+			dstK[slot] = k
+			dstV[slot] = vals[i]
+		}
+		keys, dstK = dstK, keys
+		vals, dstV = dstV, vals
+	}
+	return keys, vals
+}
+
+// histogram counts the digit frequencies of every executed pass in one
+// read over the keys, then converts each histogram to exclusive prefix
+// sums (bucket start offsets).
+func (rs *radixScratch) histogram(keys []uint32, passes int) {
+	for d := 0; d < passes; d++ {
+		clear(rs.counts[d][:])
+	}
+	switch passes {
+	case 1:
+		c0 := &rs.counts[0]
+		for _, k := range keys {
+			c0[k&radixMask]++
+		}
+	case 2:
+		c0 := &rs.counts[0]
+		c1 := &rs.counts[1]
+		for _, k := range keys {
+			c0[k&radixMask]++
+			c1[(k>>radixBits)&radixMask]++
+		}
+	default:
+		c0 := &rs.counts[0]
+		c1 := &rs.counts[1]
+		c2 := &rs.counts[2]
+		for _, k := range keys {
+			c0[k&radixMask]++
+			c1[(k>>radixBits)&radixMask]++
+			c2[(k>>(2*radixBits))&radixMask]++
+		}
+	}
+	for d := 0; d < passes; d++ {
+		c := &rs.counts[d]
+		var sum int32
+		for i := range c {
+			c[i], sum = sum, sum+c[i]
+		}
+	}
+}
+
+// fixTiePosRuns finishes the truncated-key sort: each run of equal
+// 32-bit keys is re-sorted by the exact (value desc, position asc)
+// order. Runs are short for real-valued inputs; long runs fall back to
+// the comparison sort via the pairs buffer.
+func (rs *radixScratch) fixTiePosRuns(vals []float64, keys []uint32, pos []int32) {
+	n := len(keys)
+	for i := 0; i < n; {
+		k := keys[i]
+		j := i + 1
+		for j < n && keys[j] == k {
+			j++
+		}
+		if j-i > 1 {
+			rs.sortPosRun(vals, pos[i:j])
+		}
+		i = j
+	}
+}
+
+// sortPosRun orders one tie run of positions by (value desc, position
+// asc): insertion sort for short runs, comparison-sort fallback above
+// radixRunInsertionMax.
+func (rs *radixScratch) sortPosRun(vals []float64, run []int32) {
+	if len(run) <= radixRunInsertionMax {
+		for i := 1; i < len(run); i++ {
+			p := run[i]
+			v := vals[p]
+			j := i - 1
+			for j >= 0 {
+				q := run[j]
+				w := vals[q]
+				//peerlint:allow floateq — exact tie detection feeding the position tie-break
+				if w > v || (w == v && q < p) {
+					break
+				}
+				run[j+1] = q
+				j--
+			}
+			run[j+1] = p
+		}
+		return
+	}
+	pairs := rs.pairs[:0]
+	if cap(pairs) < len(run) {
+		pairs = make([]skillPair, 0, len(run))
+	}
+	for _, p := range run {
+		pairs = append(pairs, skillPair{skill: vals[p], pos: int(p)})
+	}
+	rs.pairs = pairs // keep the grown buffer
+	slices.SortFunc(pairs, cmpSkillPairDesc)
+	for i, pr := range pairs {
+		run[i] = int32(pr.pos)
+	}
+}
+
+// fixTieValRuns finishes the truncated-key float sort: each run of
+// equal 32-bit keys is re-sorted descending by full value.
+func (rs *radixScratch) fixTieValRuns(keys []uint32, vals []float64) {
+	n := len(keys)
+	for i := 0; i < n; {
+		k := keys[i]
+		j := i + 1
+		for j < n && keys[j] == k {
+			j++
+		}
+		if j-i > 1 {
+			sortValRun(vals[i:j])
+		}
+		i = j
+	}
+}
+
+// sortValRun orders one tie run of values descending: insertion sort
+// for short runs, comparison-sort fallback above radixRunInsertionMax.
+func sortValRun(run []float64) {
+	if len(run) > radixRunInsertionMax {
+		slices.SortFunc(run, cmpFloatDesc)
+		return
+	}
+	for i := 1; i < len(run); i++ {
+		v := run[i]
+		j := i - 1
+		for j >= 0 && run[j] < v {
+			run[j+1] = run[j]
+			j--
+		}
+		run[j+1] = v
+	}
+}

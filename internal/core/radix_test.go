@@ -1,0 +1,215 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// refRankDesc is the pre-radix reference: the comparison sort on
+// (skill, pos) pairs whose position tie-break defines the stable
+// descending order the radix kernel must reproduce bit for bit.
+func refRankDesc(vals []float64) []int32 {
+	pairs := make([]skillPair, len(vals))
+	for i, v := range vals {
+		pairs[i] = skillPair{skill: v, pos: i}
+	}
+	slices.SortFunc(pairs, cmpSkillPairDesc)
+	pos := make([]int32, len(vals))
+	for i, pr := range pairs {
+		pos[i] = int32(pr.pos)
+	}
+	return pos
+}
+
+// testDistributions covers the key-window regimes: wide-range uniform
+// (top window), converged clusters (low window, exact keys), heavy
+// duplicates (tie runs), adversarial narrow bands (long-run fallback),
+// and sign-mixed inputs.
+func testDistributions(rng *rand.Rand, n int) map[string][]float64 {
+	out := map[string][]float64{}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 0.5 + rng.Float64()
+	}
+	out["uniform"] = uniform
+	converged := make([]float64, n)
+	for i := range converged {
+		converged[i] = 1.5 + rng.Float64()*math.Ldexp(1, -30)
+	}
+	out["converged"] = converged
+	dupes := make([]float64, n)
+	for i := range dupes {
+		dupes[i] = float64(rng.Intn(7)) * 0.25
+	}
+	out["dupes"] = dupes
+	narrowWide := make([]float64, n)
+	for i := range narrowWide {
+		// A handful of far-away outliers force the top window while the
+		// bulk packs into one sub-window cluster (long tie runs).
+		if i%97 == 0 {
+			narrowWide[i] = 1e9 * rng.Float64()
+		} else {
+			narrowWide[i] = 1 + rng.Float64()*math.Ldexp(1, -40)
+		}
+	}
+	out["narrow-wide"] = narrowWide
+	signs := make([]float64, n)
+	for i := range signs {
+		signs[i] = (rng.Float64() - 0.5) * 10
+		if i%11 == 0 {
+			signs[i] = 0
+		}
+		if i%13 == 0 {
+			signs[i] = math.Copysign(0, -1)
+		}
+	}
+	out["signs"] = signs
+	return out
+}
+
+func TestDescKey64OrdersLikeFloatDesc(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 1e308, -1e308,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, 2, 2, 3.14}
+	for _, a := range vals {
+		for _, b := range vals {
+			ka, kb := descKey64(a), descKey64(b)
+			switch {
+			case a > b:
+				if ka >= kb {
+					t.Fatalf("descKey64(%v)=%x not below descKey64(%v)=%x", a, ka, b, kb)
+				}
+			case a < b:
+				if ka <= kb {
+					t.Fatalf("descKey64(%v)=%x not above descKey64(%v)=%x", a, ka, b, kb)
+				}
+			default: // equal as floats, including -0 vs +0
+				if ka != kb {
+					t.Fatalf("descKey64(%v)=%x != descKey64(%v)=%x for equal floats", a, ka, b, kb)
+				}
+			}
+		}
+	}
+}
+
+func TestRankDescMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rs := new(radixScratch)
+	for _, n := range []int{0, 1, 2, 3, 17, radixSortMinLen - 1, radixSortMinLen, 1000, 20000} {
+		for name, vals := range testDistributions(rng, n) {
+			want := refRankDesc(vals)
+			got := rs.rankDesc(vals)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("n=%d %s: rank %d is %d, reference %d", n, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortFloatsDescMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rs := new(radixScratch)
+	for _, n := range []int{0, 1, 2, 33, 1000, 20000} {
+		for name, vals := range testDistributions(rng, n) {
+			want := slices.Clone(vals)
+			slices.SortFunc(want, cmpFloatDesc)
+			got := slices.Clone(vals)
+			rs.sortFloatsDesc(got)
+			for i := range want {
+				//peerlint:allow floateq — ±0 compare equal under cmpFloatDesc, so value equality is the contract
+				if want[i] != got[i] {
+					t.Fatalf("n=%d %s: slot %d is %v, reference %v", n, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRankDescSteadyStateZeroAllocs warms the scratch and then checks
+// the radix kernel sorts without allocating, the hotpath contract.
+func TestRankDescSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 0.5 + rng.Float64()
+	}
+	rs := new(radixScratch)
+	rs.rankDesc(vals) // warm the lanes
+	if n := testing.AllocsPerRun(20, func() { rs.rankDesc(vals) }); n != 0 {
+		t.Fatalf("rankDesc allocates %v per call at steady state", n)
+	}
+	tmp := slices.Clone(vals)
+	rs.sortFloatsDesc(tmp)
+	if n := testing.AllocsPerRun(20, func() {
+		copy(tmp, vals)
+		rs.sortFloatsDesc(tmp)
+	}); n != 0 {
+		t.Fatalf("sortFloatsDesc allocates %v per call at steady state", n)
+	}
+}
+
+// TestRankDescendingRadixCutoverAgrees crosses the RankDescending
+// cutover and checks both paths produce the identical stable order.
+func TestRankDescendingRadixCutoverAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{radixSortMinLen - 1, radixSortMinLen, radixSortMinLen + 1, 5000} {
+		vals := make(Skills, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(50)) * 0.1 // heavy ties across the cutover
+		}
+		got := RankDescending(vals)
+		want := refRankDesc(vals)
+		for i := range want {
+			if int32(got[i]) != want[i] {
+				t.Fatalf("n=%d: rank %d is %d, reference %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzRadixSortDesc asserts bit-exact agreement between the radix
+// kernels and the slices.SortFunc reference — position tie-breaks,
+// ±0, duplicates, and adversarial bit patterns included. The corpus
+// bytes decode to raw float64 bit patterns; NaN and ±Inf are mapped
+// into finite space since skills are validated finite.
+func FuzzRadixSortDesc(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(1.5)))
+	seed := make([]byte, 0, 64)
+	for _, v := range []float64{0, math.Copysign(0, -1), 1, 1, 0.5, -0.5, 1e-300, 2} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := make([]float64, 0, len(data)/8)
+		for i := 0; i+8 <= len(data); i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i : i+8]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = float64(i) // keep the slot, stay finite
+			}
+			vals = append(vals, v)
+		}
+		rs := new(radixScratch)
+		want := refRankDesc(vals)
+		got := rs.rankDesc(vals)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("rank %d is %d, reference %d (vals=%v)", i, got[i], want[i], vals)
+			}
+		}
+		ref := slices.Clone(vals)
+		slices.SortFunc(ref, cmpFloatDesc)
+		sorted := slices.Clone(vals)
+		rs.sortFloatsDesc(sorted)
+		for i := range ref {
+			//peerlint:allow floateq — ±0 compare equal under cmpFloatDesc, so value equality is the contract
+			if ref[i] != sorted[i] {
+				t.Fatalf("slot %d is %v, reference %v (vals=%v)", i, sorted[i], ref[i], vals)
+			}
+		}
+	})
+}

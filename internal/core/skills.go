@@ -103,18 +103,29 @@ func (s Skills) Variance() float64 {
 // highest first. Ties are broken by participant index so the order is
 // deterministic. The input is not modified.
 //
-// It sorts (skill, index) pairs by value rather than indices through a
-// closure: the comparison stays on two loaded floats, which makes this
-// — the dominant O(n log n) term of every DyGroups round — several
-// times faster than the closure-based sort.SliceStable it replaces.
-// The index tie-break yields exactly the stable descending order.
+// Above the radix cutover it ranks through the LSD radix kernel
+// (internal/core/radix.go) on pooled scratch lanes — O(n) instead of
+// O(n log n), and the dominant term of every DyGroups round at MOOC
+// scale. Below the cutover it sorts (skill, index) pairs by value
+// rather than indices through a closure: the comparison stays on two
+// loaded floats, several times faster than the closure-based
+// sort.SliceStable it replaced. Both paths yield exactly the stable
+// descending order (the index tie-break, bit for bit).
 func RankDescending(s Skills) []int {
+	idx := make([]int, len(s))
+	if len(s) >= radixSortMinLen {
+		rs := rankScratchPool.Get().(*radixScratch)
+		for i, p := range rs.rankDesc(s) {
+			idx[i] = int(p)
+		}
+		rankScratchPool.Put(rs)
+		return idx
+	}
 	pairs := make([]skillPair, len(s))
 	for i, v := range s {
 		pairs[i] = skillPair{skill: v, pos: i}
 	}
 	slices.SortFunc(pairs, cmpSkillPairDesc)
-	idx := make([]int, len(s))
 	for i, p := range pairs {
 		idx[i] = p.pos
 	}

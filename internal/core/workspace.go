@@ -43,12 +43,45 @@ func cmpFloatDesc(a, b float64) int {
 	return 0
 }
 
-// groupScratch holds the per-group scratch buffers of one worker: the
-// (skill, rank) pairs being sorted and the clique update's delta
-// buffer. Buffers grow to the largest group seen and are then reused.
+// groupScratch holds the per-group scratch buffers of one worker in
+// structure-of-arrays layout: the gathered member skills in one
+// []float64 lane, their descending rank order in a parallel []int32
+// lane, the clique update's delta buffer, and the radix-sort scratch.
+// The value and order lanes stream 8- and 4-byte elements instead of
+// striding 16-byte (skill, pos) structs, which is what lets the sort
+// and gain loops run at cache-line speed; the AoS pair buffer survives
+// only as the comparison-sort path below the radix cutover. Buffers
+// grow to the largest group seen and are then reused.
 type groupScratch struct {
+	vals   []float64 // gathered member skills, group order
+	pos    []int32   // descending rank order (comparison path output)
 	pairs  []skillPair
 	deltas []float64
+	radix  radixScratch
+}
+
+// sortedCheckMinLen gates the pre-sort sortedness scan: below it the
+// comparison sort is cheap enough that scanning first costs more than
+// it can ever save, and the annealer's small-group proposals live on
+// that path. At and above it, DyGroups' already-descending groups skip
+// their sort (and the rank lane) entirely.
+const sortedCheckMinLen = 32
+
+// descendingSorted reports whether vals is already in descending
+// order, in which case a stable descending sort is the identity
+// permutation. The scan exits on the first inversion, so unsorted
+// inputs pay only a handful of comparisons; inputs below
+// sortedCheckMinLen skip the scan and just sort.
+func descendingSorted(vals []float64) bool {
+	if len(vals) < sortedCheckMinLen {
+		return false
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // ParallelRoundThreshold is the minimum participant count at which
@@ -63,6 +96,15 @@ type groupScratch struct {
 // startup (or from a test) — it is not synchronized for concurrent
 // mutation.
 var ParallelRoundThreshold = 1 << 15
+
+// ParallelRoundWorkers overrides the worker count of the parallel
+// round path; 0 (the default) uses runtime.GOMAXPROCS(0). Like
+// ParallelRoundThreshold it is a package-level tuning knob read at
+// every round, meant to be set once at startup or from a test/bench
+// harness (peerbench uses it to assert serial-vs-parallel gain
+// equality on single-CPU runners); it is not synchronized for
+// concurrent mutation.
+var ParallelRoundWorkers = 0
 
 // Workspace holds reusable scratch state for round application and
 // gain evaluation. A zero-cost way to make the per-round hot path
@@ -124,7 +166,15 @@ func (w *Workspace) GroupGain(s Skills, group []int, mode Mode, gain Gain) float
 		vals = append(vals, s[p])
 	}
 	w.vals = vals // keep the grown buffer
-	slices.SortFunc(vals, cmpFloatDesc)
+	switch {
+	case descendingSorted(vals):
+		// Already descending: sorting is the identity (gains depend on
+		// values only, so tie order is immaterial).
+	case len(vals) >= radixSortMinLen:
+		w.serial.radix.sortFloatsDesc(vals)
+	default:
+		slices.SortFunc(vals, cmpFloatDesc)
+	}
 	switch mode {
 	case Star:
 		return starGainSorted(vals, gain)
@@ -165,7 +215,14 @@ func (w *Workspace) seenScratch(n int) []bool {
 // and allocation-free.
 func (w *Workspace) applyRound(s Skills, g Grouping, mode Mode, gain Gain) float64 {
 	if len(s) >= ParallelRoundThreshold && len(g) >= 2 {
-		if workers := min(runtime.GOMAXPROCS(0), len(g)); workers > 1 {
+		workers := ParallelRoundWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(g) {
+			workers = len(g)
+		}
+		if workers > 1 {
 			return w.applyRoundParallel(s, g, mode, gain, workers)
 		}
 	}
@@ -224,53 +281,106 @@ func (w *Workspace) applyRoundParallel(s Skills, g Grouping, mode Mode, gain Gai
 	return total
 }
 
-// applyGroupSorted applies one group's skill update: it sorts the
-// members by descending skill into the scratch pair buffer, applies
-// the mode's update rule to s, and returns the group's gain. All new
-// skills are computed from the pre-round values (the clique deltas are
-// staged in scratch before write-back), so within-round updates do not
-// feed each other.
+// applyGroupSorted applies one group's skill update: it gathers the
+// member skills into the scratch value lane, derives their descending
+// rank order, applies the mode's update rule to s, and returns the
+// group's gain. All new skills are computed from the pre-round values
+// (the clique deltas are staged in scratch before write-back), so
+// within-round updates do not feed each other.
+//
+// The gather pass doubles as a sortedness check: DyGroups' Star and
+// Clique policies both emit groups whose members are already in
+// descending skill order, and a stable descending sort of an already
+// stably-descending list is the identity — so for those groups the
+// rank lane is skipped entirely (pos == nil means rank i is member i).
 func applyGroupSorted(s Skills, grp []int, mode Mode, gain Gain, scratch *groupScratch) float64 {
 	t := len(grp)
 	if t < 2 {
 		return 0
 	}
-	pairs := scratch.pairs[:0]
-	for i, p := range grp {
-		pairs = append(pairs, skillPair{skill: s[p], pos: i})
+	if cap(scratch.vals) < t {
+		scratch.vals = make([]float64, t)
 	}
-	scratch.pairs = pairs // keep the grown buffer
-	slices.SortFunc(pairs, cmpSkillPairDesc)
+	vals := scratch.vals[:t]
+	for i, p := range grp {
+		vals[i] = s[p]
+	}
+	var pos []int32 // nil ⇒ identity: vals is already stably descending
+	if !descendingSorted(vals) {
+		pos = sortPosDesc(vals, scratch)
+	}
 	switch mode {
 	case Star:
-		return updateStarPairs(s, grp, pairs, gain)
+		return updateStarSoA(s, grp, vals, pos, gain)
 	case Clique:
-		return updateCliquePairs(s, grp, pairs, gain, scratch)
+		return updateCliqueSoA(s, grp, vals, pos, gain, scratch)
 	}
 	return 0 // unreachable: mode validated by every caller
 }
 
-// updateStarPairs applies the Star update (eq. 1): everyone below the
+// sortPosDesc returns the descending rank order of vals — the exact
+// (skill desc, position asc) stable order — as an index lane into
+// vals. Large groups take the radix kernel; below the cutover the
+// comparison sort on (skill, pos) pairs wins and its result is
+// transposed into the position lane.
+func sortPosDesc(vals []float64, scratch *groupScratch) []int32 {
+	t := len(vals)
+	if t >= radixSortMinLen {
+		return scratch.radix.rankDesc(vals)
+	}
+	pairs := scratch.pairs[:0]
+	if cap(pairs) < t {
+		pairs = make([]skillPair, 0, t)
+	}
+	for i, v := range vals {
+		pairs = append(pairs, skillPair{skill: v, pos: i})
+	}
+	scratch.pairs = pairs // keep the grown buffer
+	slices.SortFunc(pairs, cmpSkillPairDesc)
+	if cap(scratch.pos) < t {
+		scratch.pos = make([]int32, t)
+	}
+	pos := scratch.pos[:t]
+	for i, pr := range pairs {
+		pos[i] = int32(pr.pos)
+	}
+	return pos
+}
+
+// updateStarSoA applies the Star update (eq. 1): everyone below the
 // teacher moves toward the teacher by f(Δ). Each update is O(1), so
-// the whole round is O(n) as Section III-A observes.
-func updateStarPairs(s Skills, grp []int, pairs []skillPair, gain Gain) float64 {
-	top := pairs[0].skill
+// the whole round is O(n) as Section III-A observes. vals holds the
+// member skills in group order; pos is their descending rank order, or
+// nil when vals is already descending.
+func updateStarSoA(s Skills, grp []int, vals []float64, pos []int32, gain Gain) float64 {
 	var g float64
-	for _, pr := range pairs[1:] {
-		d := gain.Apply(top - pr.skill)
-		s[grp[pr.pos]] += d
+	if pos == nil {
+		top := vals[0]
+		for i := 1; i < len(vals); i++ {
+			d := gain.Apply(top - vals[i])
+			s[grp[i]] += d
+			g += d
+		}
+		return g
+	}
+	top := vals[pos[0]]
+	for _, p := range pos[1:] {
+		d := gain.Apply(top - vals[p])
+		s[grp[p]] += d
 		g += d
 	}
 	return g
 }
 
-// updateCliquePairs applies the Clique update (eq. 2). For the linear
+// updateCliqueSoA applies the Clique update (eq. 2). For the linear
 // gain it runs in O(t) via the prefix-sum identity of Theorem 3 (with
 // the paper's typo corrected:
 // s'_{i+1} = s_{i+1} + r·(c_i − i·s_{i+1})/i, c_i = Σ_{j≤i} s_j); for
-// general gains it evaluates all O(t²) pairwise interactions.
-func updateCliquePairs(s Skills, grp []int, pairs []skillPair, gain Gain, scratch *groupScratch) float64 {
-	t := len(pairs)
+// general gains it evaluates all O(t²) pairwise interactions. The
+// rank-indexed loops are duplicated for the pos == nil identity case
+// so the common pre-sorted path streams vals with no index lane.
+func updateCliqueSoA(s Skills, grp []int, vals []float64, pos []int32, gain Gain, scratch *groupScratch) float64 {
+	t := len(vals)
 	deltas := scratch.deltas
 	if cap(deltas) < t {
 		deltas = make([]float64, t)
@@ -279,24 +389,47 @@ func updateCliquePairs(s Skills, grp []int, pairs []skillPair, gain Gain, scratc
 	scratch.deltas = deltas // keep the grown buffer
 	if r, ok := linearRate(gain); ok {
 		var prefix float64
+		if pos == nil {
+			for i := 1; i < t; i++ {
+				prefix += vals[i-1]
+				deltas[i] = r * (prefix - float64(i)*vals[i]) / float64(i)
+			}
+		} else {
+			for i := 1; i < t; i++ {
+				prefix += vals[pos[i-1]]
+				deltas[i] = r * (prefix - float64(i)*vals[pos[i]]) / float64(i)
+			}
+		}
+	} else if pos == nil {
 		for i := 1; i < t; i++ {
-			prefix += pairs[i-1].skill
-			deltas[i] = r * (prefix - float64(i)*pairs[i].skill) / float64(i)
+			si := vals[i]
+			var sum float64
+			for j := 0; j < i; j++ {
+				sum += gain.Apply(vals[j] - si)
+			}
+			deltas[i] = sum / float64(i)
 		}
 	} else {
 		for i := 1; i < t; i++ {
-			si := pairs[i].skill
+			si := vals[pos[i]]
 			var sum float64
 			for j := 0; j < i; j++ {
-				sum += gain.Apply(pairs[j].skill - si)
+				sum += gain.Apply(vals[pos[j]] - si)
 			}
 			deltas[i] = sum / float64(i)
 		}
 	}
 	var g float64
-	for i := 1; i < t; i++ {
-		s[grp[pairs[i].pos]] += deltas[i]
-		g += deltas[i]
+	if pos == nil {
+		for i := 1; i < t; i++ {
+			s[grp[i]] += deltas[i]
+			g += deltas[i]
+		}
+	} else {
+		for i := 1; i < t; i++ {
+			s[grp[pos[i]]] += deltas[i]
+			g += deltas[i]
+		}
 	}
 	return g
 }

@@ -30,6 +30,12 @@ func TestSeedStabilityGoldens(t *testing.T) {
 		{core.Star, 300, 30, 10, 2, "0x1.3b91ef1cdc74ap+07"},
 		{core.Clique, 60, 12, 8, 1, "0x1.bb21333529b43p+04"},
 		{core.Clique, 300, 30, 10, 2, "0x1.286c04b113764p+07"},
+		// n=10⁵ entries pinned before the SoA/radix kernel rewrite; the
+		// radix-sorted round must reproduce them bit for bit. Group size
+		// n/k = 1000 puts these squarely on the radix path (cutover is
+		// radixSortMinLen in internal/core).
+		{core.Star, 100000, 100, 5, 3, "0x1.79a4c168a7061p+15"},
+		{core.Clique, 100000, 100, 5, 3, "0x1.2a0cbc8702e62p+15"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -143,3 +143,13 @@ func NewPercentilePartitions(p float64) (Grouper, error) { return baselines.NewP
 func NewAnnealing(seed int64, mode Mode, gain Gain) Grouper {
 	return baselines.NewAnnealing(seed, mode, gain)
 }
+
+// NewParallelAnnealing returns the deterministic parallel
+// simulated-annealing grouper: it scales the anneal across
+// GOMAXPROCS workers via windowed, conflict-free swap proposals while
+// staying bit-identical at every worker count — equal seeds and
+// inputs reproduce identical groupings whether it runs on one core or
+// many.
+func NewParallelAnnealing(seed int64, mode Mode, gain Gain) Grouper {
+	return baselines.NewParallelAnnealing(seed, mode, gain)
+}
