@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix audit fuzz-smoke cover sim-smoke recovery-smoke clean
+.PHONY: all build test test-short race bench peerbench bench-smoke figures verify fmt vet lint lint-fix audit fuzz-smoke cover sim-smoke recovery-smoke peerload load-smoke clean
 
 all: build test
 
@@ -31,6 +31,19 @@ peerbench:
 # on a >25% ns/op regression or a serial-vs-parallel bit mismatch.
 bench-smoke:
 	$(GO) run ./cmd/peerbench -quick -out bench-quick.json -compare BENCH_9.json
+
+# Refresh the committed serving-path latency baseline: the canonical
+# deterministic smoke configuration (virtual clock, so every latency is
+# a pure function of the seed and the report is byte-stable).
+peerload:
+	$(GO) run ./cmd/peerload -deterministic -seed 1 -schedule constant:500 -ops 4000 -sessions 16 -out BENCH_10.json
+
+# Serving-path latency gate (the load-smoke CI job): byte-stability
+# across two deterministic runs, entry-for-entry comparison against the
+# committed BENCH_10.json at zero regression budget, absolute p99 SLOs,
+# and a short concurrent real-clock phase.
+load-smoke:
+	bash scripts/load-smoke.sh
 
 # Regenerate every paper figure at full size into results/.
 figures:
@@ -78,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCallGraph -fuzztime=$(FUZZTIME) ./internal/analysis/callgraph
 	$(GO) test -fuzz=FuzzMHP -fuzztime=$(FUZZTIME) ./internal/analysis/mhp
 	$(GO) test -fuzz=FuzzMatchmakerOps -fuzztime=$(FUZZTIME) ./internal/simtest
+	$(GO) test -fuzz=FuzzLoadReportParse -fuzztime=$(FUZZTIME) ./internal/load
 
 # Coverage with an enforced floor: fails if total statement coverage
 # drops below COVER_THRESHOLD percent (the committed floor CI gates on;

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/load"
+	"peerlearn/internal/simtest"
+)
+
+// TestClientServerCountsAgree is the end-to-end accounting cross-check:
+// after a deterministic run, the server's own /metrics exposition must
+// agree with the client's books — every request the harness issued is
+// counted by the middleware under the same route template, no more, no
+// fewer, and the server's duration histogram is internally consistent
+// (cumulative buckets, +Inf equal to _count). A disagreement means one
+// side is dropping or double-counting requests, which would silently
+// invalidate every latency report.
+func TestClientServerCountsAgree(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	metricsOut := filepath.Join(dir, "metrics.txt")
+	rc, _, stderr := runPeerload(t, smokeArgs("-out", out, "-metrics-out", metricsOut))
+	if rc != 0 {
+		t.Fatalf("rc = %d:\n%s", rc, stderr)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load.ParseReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := simtest.ParseExposition(string(expo))
+
+	// Per-route totals: sum peerlearn_http_requests_total across methods
+	// and codes, then compare exactly against the client's Issued map.
+	serverTotals := make(map[string]uint64)
+	for _, s := range samples {
+		if s.Name != "peerlearn_http_requests_total" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s.Value, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", s.Value, err)
+		}
+		serverTotals[s.Label("route")] += uint64(v)
+	}
+	if len(rep.HTTPIssued) == 0 {
+		t.Fatal("report carries no http_issued counts")
+	}
+	for route, clientN := range rep.HTTPIssued {
+		if serverN := serverTotals[route]; serverN != clientN {
+			t.Errorf("route %s: client issued %d, server counted %d", route, clientN, serverN)
+		}
+	}
+	for route, serverN := range serverTotals {
+		if _, ok := rep.HTTPIssued[route]; !ok {
+			t.Errorf("server counted %d requests on %s the client never booked", serverN, route)
+		}
+	}
+
+	// The measured per-op counts must also reconcile: each op's recorded
+	// responses can never exceed the total traffic on its route.
+	for _, rr := range rep.Routes {
+		if rr.Op == "all" {
+			continue
+		}
+		route := opRoutes[rr.Op]
+		if rr.Count > rep.HTTPIssued[route] {
+			t.Errorf("op %s recorded %d responses but only %d requests hit %s", rr.Op, rr.Count, rep.HTTPIssued[route], route)
+		}
+	}
+
+	// Duration histogram internal consistency, per route: bucket counts
+	// non-decreasing in le order (the registry writes them ascending) and
+	// +Inf equal to the series _count.
+	type state struct {
+		last int64
+		inf  int64
+	}
+	perRoute := make(map[string]*state)
+	for _, s := range samples {
+		if s.Name != "peerlearn_http_request_duration_seconds_bucket" {
+			continue
+		}
+		route := s.Label("route")
+		st := perRoute[route]
+		if st == nil {
+			st = &state{last: -1, inf: -1}
+			perRoute[route] = st
+		}
+		v, err := strconv.ParseFloat(s.Value, 64)
+		if err != nil {
+			t.Fatalf("parsing bucket %q: %v", s.Value, err)
+		}
+		n := int64(v)
+		if n < st.last {
+			t.Errorf("route %s: bucket %q count %d below previous %d (not cumulative)", route, s.Labels, n, st.last)
+		}
+		st.last = n
+		if strings.Contains(s.Labels, `le="+Inf"`) {
+			st.inf = n
+		}
+	}
+	if len(perRoute) == 0 {
+		t.Fatal("no duration histogram buckets in the exposition")
+	}
+	counts, err := countSeries(samples, "peerlearn_http_request_duration_seconds_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for route, st := range perRoute {
+		if st.inf != counts[route] {
+			t.Errorf("route %s: +Inf bucket %d != _count %d", route, st.inf, counts[route])
+		}
+		if uint64(st.inf) != serverTotals[route] {
+			t.Errorf("route %s: duration histogram saw %d requests, counter saw %d", route, st.inf, serverTotals[route])
+		}
+	}
+}
+
+// countSeries reads one integer-valued series per route label.
+func countSeries(samples []simtest.Sample, name string) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(s.Value, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Label("route")] += int64(v)
+	}
+	return out, nil
+}

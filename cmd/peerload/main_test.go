@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"peerlearn/internal/load"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// smokeArgs is the small deterministic configuration the driver tests
+// share: big enough to exercise every op kind, small enough to stay
+// fast under -race.
+func smokeArgs(extra ...string) []string {
+	args := []string{
+		"-deterministic", "-seed", "1",
+		"-schedule", "constant:500", "-ops", "600", "-sessions", "8",
+	}
+	return append(args, extra...)
+}
+
+func runPeerload(t *testing.T, args []string) (rc int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	rc = run(args, &out, &errb)
+	return rc, out.String(), errb.String()
+}
+
+// TestExitCodes pins the contract scripts and CI build on: 0 pass,
+// 1 gate failure or malformed baseline, 2 bad invocation.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("pass", func(t *testing.T) {
+		rc, _, stderr := runPeerload(t, smokeArgs())
+		if rc != 0 {
+			t.Fatalf("rc = %d, want 0; stderr:\n%s", rc, stderr)
+		}
+	})
+
+	t.Run("slo violation", func(t *testing.T) {
+		rc, _, stderr := runPeerload(t, smokeArgs("-slo", "round:p99<1ns"))
+		if rc != 1 {
+			t.Fatalf("rc = %d, want 1", rc)
+		}
+		if !strings.Contains(stderr, "SLO") {
+			t.Errorf("stderr does not report the violated SLO:\n%s", stderr)
+		}
+	})
+
+	t.Run("malformed baseline", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rc, _, _ := runPeerload(t, smokeArgs("-compare", bad))
+		if rc != 1 {
+			t.Fatalf("rc = %d, want 1", rc)
+		}
+	})
+
+	t.Run("missing baseline", func(t *testing.T) {
+		rc, _, _ := runPeerload(t, smokeArgs("-compare", filepath.Join(dir, "absent.json")))
+		if rc != 1 {
+			t.Fatalf("rc = %d, want 1", rc)
+		}
+	})
+
+	t.Run("self compare passes", func(t *testing.T) {
+		base := filepath.Join(dir, "self.json")
+		rc, _, stderr := runPeerload(t, smokeArgs("-out", base))
+		if rc != 0 {
+			t.Fatalf("generating baseline: rc = %d, stderr:\n%s", rc, stderr)
+		}
+		rc, stdout, stderr := runPeerload(t, smokeArgs("-compare", base, "-max-regress", "0"))
+		if rc != 0 {
+			t.Fatalf("self-compare rc = %d, stderr:\n%s", rc, stderr)
+		}
+		if !strings.Contains(stdout, "1.00x of baseline") {
+			t.Errorf("self-compare output missing ratio lines:\n%s", stdout)
+		}
+	})
+
+	badInvocations := [][]string{
+		{"-bogus-flag"},
+		{"-deterministic", "-addr", "http://localhost:1"},
+		{"-mix", "warp=2"},
+		{"-schedule", "burst:9"},
+		{"-slo", "round:p42<1ms"},
+		{"-zipf", "-1"},
+		{"-group-size", "1"},
+		smokeArgs("stray-positional"),
+	}
+	for _, args := range badInvocations {
+		if rc, _, _ := runPeerload(t, args); rc != 2 {
+			t.Errorf("run(%v) rc = %d, want 2", args, rc)
+		}
+	}
+}
+
+// TestDeterministicByteStable runs the smoke twice at the same seed and
+// requires byte-identical reports — the property CI's double-run check
+// enforces on the full configuration.
+func TestDeterministicByteStable(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if rc, _, stderr := runPeerload(t, smokeArgs("-out", a)); rc != 0 {
+		t.Fatalf("first run rc = %d:\n%s", rc, stderr)
+	}
+	if rc, _, stderr := runPeerload(t, smokeArgs("-out", b)); rc != 0 {
+		t.Fatalf("second run rc = %d:\n%s", rc, stderr)
+	}
+	ra, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra, rb) {
+		t.Error("deterministic runs at the same seed produced different reports")
+	}
+	if rc, _, _ := runPeerload(t, smokeArgs("-seed", "2", "-out", b)); rc != 0 {
+		t.Fatal("seed-2 run failed")
+	}
+	rb, err = os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ra, rb) {
+		t.Error("different seeds produced identical reports; the seed is not reaching the workload")
+	}
+}
+
+// TestGoldenReport pins the full deterministic report (environment
+// fields normalized) against testdata; regenerate with -update.
+func TestGoldenReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	if rc, _, stderr := runPeerload(t, smokeArgs("-out", out)); rc != 0 {
+		t.Fatalf("rc = %d:\n%s", rc, stderr)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeReport(t, raw)
+
+	golden := filepath.Join("testdata", "smoke_report.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report drifted from golden; run go test ./cmd/peerload -update if intended.\ngot:\n%s", got)
+	}
+}
+
+// normalizeReport zeroes the environment-dependent header fields so
+// golden comparison is machine-independent.
+func normalizeReport(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	rep, err := load.ParseReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.GoVersion = ""
+	rep.GoMaxProcs = 0
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"peerlearn/internal/load"
+)
+
+// TestHotSessionHammer drives the concurrent in-process mode against a
+// two-slot keyspace with extreme Zipf skew, so nearly all traffic —
+// rounds, joins, leaves, and a delete-heavy lifecycle mix — lands on
+// one hot session. Under -race this re-proves the serving tier's
+// concurrency contracts end to end: DELETE /v1/sessions/{id} racing
+// in-flight rounds through the store's shard/CAS admission, the
+// matchmaker's session locking, and the harness's own slot accounting.
+// Transport errors (as opposed to 4xx responses, which are legitimate
+// races against deletion) must be zero: an in-process handler call has
+// no network to fail.
+func TestHotSessionHammer(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	args := []string{
+		"-seed", "7",
+		"-sessions", "2", "-zipf", "4",
+		"-mix", "create=1,delete=2,join=4,leave=2,round=4,status=2",
+		"-schedule", "constant:4000", "-duration", "500ms",
+		"-max-inflight", "64",
+		"-out", out,
+	}
+	rc, _, stderr := runPeerload(t, args)
+	if rc != 0 {
+		t.Fatalf("rc = %d:\n%s", rc, stderr)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load.ParseReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("hammer saw %d transport errors; in-process calls cannot fail at the transport", rep.Errors)
+	}
+	if rep.Ops != 2000 {
+		t.Errorf("scheduled %d ops, want 2000 (constant:4000 over 500ms)", rep.Ops)
+	}
+	var total uint64
+	for _, rr := range rep.Routes {
+		if rr.Op == "all" {
+			total = rr.Count
+		}
+	}
+	if total != 2000 {
+		t.Errorf("recorded %d responses, want every scheduled op answered", total)
+	}
+	// The hot slot must have seen real round traffic, not just 404 churn.
+	if rr, ok := rep.Route("round"); !ok || rr.Status["2xx"] == 0 {
+		t.Error("no successful rounds on the hot session; the hammer is not exercising the round path")
+	}
+}

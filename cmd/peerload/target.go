@@ -1,0 +1,410 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"peerlearn/internal/load"
+	"peerlearn/internal/server"
+)
+
+// doer issues one HTTP exchange and returns the response status and
+// body. The two implementations are an in-process handler call (the
+// deterministic smoke and race-hammer modes) and a real client against
+// a live daemon.
+type doer interface {
+	do(method, path string, body []byte) (status int, respBody []byte, err error)
+}
+
+// inprocDoer drives an http.Handler directly — no sockets, no
+// goroutine handoff — so a virtual clock sees an identical sequence of
+// reads on every run.
+type inprocDoer struct {
+	handler http.Handler
+}
+
+func (d *inprocDoer) do(method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, "http://peerload.invalid"+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	w := &memWriter{hdr: make(http.Header)}
+	d.handler.ServeHTTP(w, req)
+	return w.status(), w.buf.Bytes(), nil
+}
+
+// memWriter is the minimal in-memory http.ResponseWriter the in-process
+// doer collects responses into.
+type memWriter struct {
+	hdr   http.Header
+	code  int
+	wrote bool
+	buf   bytes.Buffer
+}
+
+func (w *memWriter) Header() http.Header { return w.hdr }
+
+func (w *memWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.buf.Write(p)
+}
+
+func (w *memWriter) status() int {
+	if w.wrote {
+		return w.code
+	}
+	return http.StatusOK
+}
+
+// httpDoer drives a live daemon over TCP.
+type httpDoer struct {
+	base   string
+	client *http.Client
+}
+
+func newHTTPDoer(base string, timeout time.Duration) *httpDoer {
+	return &httpDoer{base: base, client: &http.Client{Timeout: timeout}}
+}
+
+func (d *httpDoer) do(method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, d.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// keySlot is one entry of the session keyspace: the live session id
+// currently holding the slot (0 after a delete, until the next create)
+// and the stack of participant ids joined through the harness, so
+// leave ops retire real members.
+type keySlot struct {
+	mu sync.Mutex
+	//peerlint:guardedby mu
+	id int64
+	//peerlint:guardedby mu
+	pids []int64
+}
+
+// harness implements load.Target: it translates plan ops into API
+// requests, tracks the session keyspace, and counts every request it
+// issues by server route template for the metrics cross-check.
+type harness struct {
+	doer      doer
+	groupSize int
+	mode      string
+	seed      int64
+	slots     []*keySlot
+
+	issuedMu sync.Mutex
+	//peerlint:guardedby issuedMu
+	issued map[string]uint64
+}
+
+func newHarness(d doer, sessions, groupSize int, mode string, seed int64) *harness {
+	h := &harness{
+		doer:      d,
+		groupSize: groupSize,
+		mode:      mode,
+		seed:      seed,
+		slots:     make([]*keySlot, sessions),
+		issued:    make(map[string]uint64),
+	}
+	for i := range h.slots {
+		h.slots[i] = &keySlot{}
+	}
+	return h
+}
+
+// request issues one exchange and books it under the server's route
+// template. Every request the harness sends — scheduled, setup, or
+// maintenance — flows through here, so issued counts mirror exactly
+// what the server's middleware saw.
+func (h *harness) request(method, path string, body []byte) (int, []byte, error) {
+	status, respBody, err := h.doer.do(method, path, body)
+	route := server.RouteLabel(path)
+	h.issuedMu.Lock()
+	h.issued[route]++
+	h.issuedMu.Unlock()
+	return status, respBody, err
+}
+
+// Issued returns a copy of the per-route request counts.
+func (h *harness) Issued() map[string]uint64 {
+	h.issuedMu.Lock()
+	defer h.issuedMu.Unlock()
+	out := make(map[string]uint64, len(h.issued))
+	for k, v := range h.issued {
+		out[k] = v
+	}
+	return out
+}
+
+func marshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All request types marshal by construction; surface the bug
+		// loudly in the request body rather than panicking mid-run.
+		return []byte(fmt.Sprintf(`{"marshal_error":%q}`, err.Error()))
+	}
+	return b
+}
+
+// Setup populates the keyspace before measurement: one session per
+// slot with 2×groupSize members. Setup traffic is counted in Issued
+// but never recorded in the latency stats.
+func (h *harness) Setup() error {
+	for i := range h.slots {
+		id, status, err := h.createSession(int64(i))
+		if err != nil {
+			return fmt.Errorf("setup: creating session for slot %d: %w", i, err)
+		}
+		if status != http.StatusCreated {
+			return fmt.Errorf("setup: creating session for slot %d: status %d", i, status)
+		}
+		slot := h.slots[i]
+		slot.mu.Lock()
+		slot.id = id
+		slot.mu.Unlock()
+		// Seed the roster with a negative sequence so setup skills never
+		// collide with a scheduled op's stream.
+		h.populate(slot, id, -(i + 1))
+	}
+	return nil
+}
+
+// populate joins 2×groupSize members into session id, with skills
+// drawn from a fresh rng keyed by (harness seed, seq) — stateless, so
+// the roster is deterministic however ops interleave. Members are
+// tracked on the slot only while it still holds id.
+func (h *harness) populate(slot *keySlot, id int64, seq int) {
+	rng := load.NewRand(uint64(h.seed)*0x9e3779b97f4a7c15 ^ uint64(int64(seq)))
+	for j := 0; j < 2*h.groupSize; j++ {
+		skill := 0.05 + 0.95*rng.Float64()
+		pid, status, err := h.join(id, skill)
+		if err != nil || status != http.StatusOK {
+			return
+		}
+		slot.mu.Lock()
+		if slot.id == id {
+			slot.pids = append(slot.pids, pid)
+		}
+		slot.mu.Unlock()
+	}
+}
+
+// rotate installs a freshly created, populated session into the slot —
+// the unmeasured maintenance half of the create and delete ops, which
+// keeps the keyspace live under sustained churn. The session the slot
+// held before (if any survived the op itself) is retired so churn
+// never leaks toward the store's session limit.
+func (h *harness) rotate(slot *keySlot, newID int64, seq int) {
+	slot.mu.Lock()
+	old := slot.id
+	slot.id = newID
+	slot.pids = nil
+	slot.mu.Unlock()
+	if old != 0 && old != newID {
+		_, _, _ = h.request(http.MethodDelete, sessionPath(old, ""), nil)
+	}
+	h.populate(slot, newID, seq)
+}
+
+// createSession posts a new session and parses its id.
+func (h *harness) createSession(seedOffset int64) (id int64, status int, err error) {
+	body := marshal(server.CreateSessionRequest{
+		GroupSize: h.groupSize,
+		Mode:      h.mode,
+		Seed:      h.seed + seedOffset,
+	})
+	status, respBody, err := h.request(http.MethodPost, "/v1/sessions", body)
+	if err != nil || status != http.StatusCreated {
+		return 0, status, err
+	}
+	var st server.SessionStatus
+	if err := json.Unmarshal(respBody, &st); err != nil {
+		return 0, status, fmt.Errorf("parsing create response: %w", err)
+	}
+	return st.ID, status, nil
+}
+
+// join posts one participant and parses the assigned id.
+func (h *harness) join(session int64, skill float64) (pid int64, status int, err error) {
+	body := marshal(server.JoinRequest{Skill: skill})
+	status, respBody, err := h.request(http.MethodPost, sessionPath(session, "join"), body)
+	if err != nil || status != http.StatusOK {
+		return 0, status, err
+	}
+	var resp server.JoinResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return 0, status, fmt.Errorf("parsing join response: %w", err)
+	}
+	return resp.ParticipantID, status, nil
+}
+
+func sessionPath(id int64, action string) string {
+	p := fmt.Sprintf("/v1/sessions/%d", id)
+	if action != "" {
+		p += "/" + action
+	}
+	return p
+}
+
+// Do executes one scheduled op. Slot state is read and updated under
+// the slot lock, but requests are always issued outside it, so a slow
+// response never serializes the rest of the keyspace.
+func (h *harness) Do(op load.Op) (int, error) {
+	slot := h.slots[op.Key%len(h.slots)]
+	switch op.Kind {
+	case load.OpCreate:
+		// The measured request is the create; installing and populating
+		// the replacement (and retiring the displaced session) is
+		// unmeasured maintenance.
+		id, status, err := h.createSession(int64(op.Seq))
+		if err != nil || status != http.StatusCreated {
+			return status, err
+		}
+		h.rotate(slot, id, op.Seq)
+		return status, nil
+
+	case load.OpDelete:
+		// The measured request is the DELETE — in concurrent mode it
+		// races in-flight rounds on the same session, the store's CAS
+		// admission path. Rotating in a replacement is maintenance.
+		slot.mu.Lock()
+		id := slot.id
+		slot.id = 0
+		slot.pids = nil
+		slot.mu.Unlock()
+		status, _, err := h.request(http.MethodDelete, sessionPath(id, ""), nil)
+		if nid, cstatus, cerr := h.createSession(int64(op.Seq)); cerr == nil && cstatus == http.StatusCreated {
+			h.rotate(slot, nid, op.Seq)
+		}
+		return status, err
+
+	case load.OpJoin:
+		slot.mu.Lock()
+		id := slot.id
+		slot.mu.Unlock()
+		pid, status, err := h.join(id, op.Skill)
+		if err != nil || status != http.StatusOK {
+			return status, err
+		}
+		slot.mu.Lock()
+		// The slot may have been recycled while the join was in flight;
+		// only track the member if it still belongs to this session.
+		if slot.id == id {
+			slot.pids = append(slot.pids, pid)
+		}
+		slot.mu.Unlock()
+		return status, nil
+
+	case load.OpLeave:
+		slot.mu.Lock()
+		id := slot.id
+		var pid int64
+		if n := len(slot.pids); n > 0 {
+			pid = slot.pids[n-1]
+			slot.pids = slot.pids[:n-1]
+		}
+		slot.mu.Unlock()
+		body := marshal(server.LeaveRequest{ParticipantID: pid})
+		status, _, err := h.request(http.MethodPost, sessionPath(id, "leave"), body)
+		return status, err
+
+	case load.OpRound:
+		slot.mu.Lock()
+		id := slot.id
+		slot.mu.Unlock()
+		status, _, err := h.request(http.MethodPost, sessionPath(id, "round"), []byte("{}"))
+		return status, err
+
+	case load.OpStatus:
+		slot.mu.Lock()
+		id := slot.id
+		slot.mu.Unlock()
+		status, _, err := h.request(http.MethodGet, sessionPath(id, ""), nil)
+		return status, err
+
+	case load.OpSimulate:
+		body := marshal(server.SimulateRequest{
+			Skills: opSkills(op.Skill),
+			K:      2,
+			Rounds: 2,
+			Mode:   h.mode,
+			Seed:   h.seed + int64(op.Seq),
+		})
+		status, _, err := h.request(http.MethodPost, "/v1/simulate", body)
+		return status, err
+
+	case load.OpGroup:
+		body := marshal(server.GroupRequest{
+			Skills: opSkills(op.Skill),
+			K:      2,
+			Mode:   h.mode,
+			Seed:   h.seed + int64(op.Seq),
+		})
+		status, _, err := h.request(http.MethodPost, "/v1/group", body)
+		return status, err
+
+	default:
+		return 0, fmt.Errorf("unknown op kind %v", op.Kind)
+	}
+}
+
+// opSkills derives a small deterministic roster for the stateless
+// endpoints from the op's seeded skill draw.
+func opSkills(skill float64) []float64 {
+	return []float64{skill, 0.5 * skill, 0.25 + 0.5*skill, 0.9}
+}
+
+// Scrape fetches the /metrics exposition. Not booked in Issued: the
+// endpoint is mounted outside the serving middleware, so the server
+// does not count scrapes either.
+func (h *harness) Scrape() (string, error) {
+	status, body, err := h.doer.do(http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK {
+		return "", fmt.Errorf("scraping /metrics: status %d", status)
+	}
+	return string(body), nil
+}

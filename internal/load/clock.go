@@ -1,0 +1,86 @@
+package load
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source the dispatcher schedules against. The
+// production runner uses the wall clock; the deterministic smoke mode
+// injects a VirtualClock so every latency — and therefore the whole
+// report — is a pure function of the seed. The same interface shape as
+// server.Options.Clock plus Sleep, so one VirtualClock can serve both
+// the generator and the serving middleware in in-process runs.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the production clock.
+type WallClock struct{}
+
+// Now returns the wall time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Epoch is the instant virtual runs start at: an arbitrary fixed point
+// so formatted timestamps are stable across runs and machines (the
+// paper's publication date).
+var Epoch = time.Date(2021, time.April, 19, 0, 0, 0, 0, time.UTC)
+
+// VirtualClock is a deterministic clock for the in-process smoke mode.
+// Every Now call advances time by a seeded jittered step in
+// [minStep, maxStep], so each request — which reads the clock a fixed
+// number of times on its way through the dispatcher and the serving
+// middleware — observes a nonzero, varied, and perfectly reproducible
+// latency. Sleep advances time instantly, which is what turns a
+// multi-second schedule into a sub-second run.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+	//peerlint:guardedby mu
+	rng *Rand
+	min time.Duration
+	max time.Duration
+}
+
+// NewVirtualClock returns a virtual clock at Epoch whose Now calls
+// auto-advance by a seeded step in [minStep, maxStep]. minStep =
+// maxStep = 0 disables auto-advance (time moves only via Sleep).
+func NewVirtualClock(seed uint64, minStep, maxStep time.Duration) *VirtualClock {
+	if minStep < 0 {
+		minStep = 0
+	}
+	if maxStep < minStep {
+		maxStep = minStep
+	}
+	return &VirtualClock{now: Epoch, rng: NewRand(seed), min: minStep, max: maxStep}
+}
+
+// Now returns the current virtual time, then advances it by the next
+// jittered step.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	step := c.min
+	if c.max > c.min {
+		step += time.Duration(c.rng.Uint64() % uint64(c.max-c.min+1))
+	}
+	//peerlint:allow lockheld — time.Time.Add is a pure value computation; the read-advance pair must be atomic
+	c.now = c.now.Add(step)
+	return t
+}
+
+// Sleep advances virtual time by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//peerlint:allow lockheld — time.Time.Add is a pure value computation; the read-advance pair must be atomic
+	c.now = c.now.Add(d)
+}

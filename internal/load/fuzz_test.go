@@ -1,0 +1,46 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadReportParse asserts the report codec never panics on
+// arbitrary input and is stable once parsed: parse → encode → parse →
+// encode must be a fixed point, so a committed baseline survives any
+// number of regeneration cycles byte-identically.
+func FuzzLoadReportParse(f *testing.F) {
+	rep := sampleReport()
+	if seed, err := rep.Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"entries":[{"name":"load-round-p99","n":1,"ns_per_op":5}]}`))
+	f.Add([]byte(`{"routes":[{"op":"all","count":3,"buckets":[{"lower_ns":1,"count":3}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ParseReport(data)
+		if err != nil {
+			return
+		}
+		enc1, err := rep.Encode()
+		if err != nil {
+			// A parsed report must re-encode (no NaN/Inf can enter through
+			// valid JSON).
+			t.Fatalf("Encode after successful parse failed: %v", err)
+		}
+		back, err := ParseReport(enc1)
+		if err != nil {
+			t.Fatalf("reparse of encoded report failed: %v", err)
+		}
+		enc2, err := back.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package load
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hist is an HDR-style latency histogram over non-negative nanosecond
+// values: log-linear buckets — 32 sub-buckets per power of two — give
+// a bounded ≤ ~3.1% relative error at every magnitude from 1 ns to
+// years, using a fixed 15 KiB of counters and no allocation per
+// Record. This is the same bucketing idea as HdrHistogram, sized for
+// latency: a fixed-bucket Prometheus histogram (internal/metrics)
+// answers "how many requests were slower than X" for a handful of X,
+// while percentile gates (p99 < 50ms) need fine resolution across the
+// whole dynamic range.
+//
+// All methods are safe for concurrent use; Record is a few atomic adds.
+// Quantile returns the *lower bound* of the bucket holding the ranked
+// observation — a deterministic, conservative value (never above the
+// true quantile by construction, never below it by more than the
+// bucket's ~3.1% width), which keeps golden-pinned reports exact.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+	// minPlus1 holds min+1 so the zero value means "no observations yet"
+	// even though 0 is a recordable latency.
+	minPlus1 atomic.Int64
+}
+
+const (
+	// histSubBits sets the sub-bucket resolution: 2^5 = 32 sub-buckets
+	// per power of two, i.e. ≤ 1/32 ≈ 3.1% relative bucket width.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histBuckets covers every non-negative int64 (values up to 2^63-1
+	// ns, ~292 years), so bucketIndex never needs a saturation branch.
+	histBuckets = histSub * (64 - histSubBits)
+)
+
+// bucketIndex maps a value to its bucket. Values below histSub get an
+// exact bucket each; above, the bucket is identified by the exponent k
+// of the leading bit and the next histSubBits bits — the classic
+// HdrHistogram indexing.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	k := bits.Len64(u) - 1 // u ∈ [2^k, 2^(k+1)), k ≥ histSubBits
+	return histSub*(k-histSubBits) + int(u>>uint(k-histSubBits))
+}
+
+// bucketLower returns the smallest value that lands in bucket i — the
+// inverse of bucketIndex up to bucket resolution.
+func bucketLower(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	m := i>>histSubBits - 1
+	return int64(i-histSub*m) << uint(m)
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.minPlus1.Load()
+		if old != 0 && v+1 >= old {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(old, v+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations, in ns.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 when empty).
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Hist) Min() int64 {
+	m := h.minPlus1.Load()
+	if m == 0 {
+		return 0
+	}
+	return m - 1
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the value at quantile q ∈ [0, 1]: the lower bound
+// of the bucket containing the ⌈q·count⌉-th smallest observation.
+// q ≥ 1 returns the exact recorded maximum; an empty histogram returns
+// 0.
+func (h *Hist) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketLower(i)
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds o's observations into h. Min/max merge exactly; bucket
+// counts add.
+func (h *Hist) Merge(o *Hist) {
+	for i := 0; i < histBuckets; i++ {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	n := o.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(o.sum.Load())
+	omax := o.max.Load()
+	for {
+		old := h.max.Load()
+		if omax <= old || h.max.CompareAndSwap(old, omax) {
+			break
+		}
+	}
+	omin := o.minPlus1.Load()
+	for {
+		old := h.minPlus1.Load()
+		if omin == 0 || (old != 0 && omin >= old) {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(old, omin) {
+			break
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot.
+type HistBucket struct {
+	// LowerNs is the bucket's inclusive lower bound in nanoseconds.
+	LowerNs int64 `json:"lower_ns"`
+	// Count is the number of observations in the bucket.
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending order — the
+// report's compact export of the full distribution.
+func (h *Hist) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			out = append(out, HistBucket{LowerNs: bucketLower(i), Count: c})
+		}
+	}
+	return out
+}

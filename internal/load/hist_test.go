@@ -1,0 +1,178 @@
+package load
+
+import "testing"
+
+// TestBucketBoundaries pins the log-linear bucketing: values below 32
+// get exact buckets, larger values land in buckets whose lower bound
+// is within ~3.1% of the value, and bucketLower inverts bucketIndex.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v     int64
+		lower int64
+	}{
+		{0, 0},
+		{1, 1},
+		{31, 31},
+		{32, 32}, // exact through 63: k=5 keeps all bits
+		{63, 63},
+		{64, 64}, // granularity 2 from here
+		{65, 64},
+		{100, 100},
+		{500, 496}, // k=8, step 8: [496, 504)
+		{503, 496},
+		{504, 504},
+		{1_000_000, 999_424},         // 1ms: k=19, step 16384, 61×16384
+		{50_000_000, 49_283_072},     // 50ms: k=25, step 2^20, 47×2^20
+		{1_000_000_000, 989_855_744}, // 1s: k=29, step 2^24, 59×2^24
+		{-7, 0},                      // negative clamps to 0
+	}
+	for _, c := range cases {
+		got := bucketLower(bucketIndex(c.v))
+		if got != c.lower {
+			t.Errorf("bucketLower(bucketIndex(%d)) = %d, want %d", c.v, got, c.lower)
+		}
+		if got > c.v && c.v >= 0 {
+			t.Errorf("bucket lower %d above value %d", got, c.v)
+		}
+	}
+
+	// Every bucket boundary must be monotone and within 1/32 relative
+	// width of its neighbor above the linear range.
+	for i := 1; i < histBuckets; i++ {
+		lo, prev := bucketLower(i), bucketLower(i-1)
+		if lo <= prev {
+			t.Fatalf("bucketLower(%d) = %d not above bucketLower(%d) = %d", i, lo, i-1, prev)
+		}
+		if prev >= histSub && lo-prev > prev/histSub {
+			t.Fatalf("bucket %d width %d exceeds %d/32", i, lo-prev, prev)
+		}
+	}
+}
+
+// TestHistQuantiles pins the percentile math on a known distribution.
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Errorf("Sum = %d, want 5050", got)
+	}
+	if got, want := h.Mean(), 50.5; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min = %d, want 1", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("Max = %d, want 100", got)
+	}
+	quantiles := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1},      // rank clamps to the first observation
+		{0.25, 25},  // exact buckets below 32
+		{0.5, 50},   // exact through 63
+		{0.9, 90},   // bucket [90, 92)
+		{0.99, 98},  // value 99 lands in bucket [98, 100)
+		{0.999, 98}, // rank rounds to the same observation
+		{1, 100},    // exact recorded max
+		{1.5, 100},  // clamped
+	}
+	for _, c := range quantiles {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistRecordZeroAndMin exercises the zero-latency edge: 0 is a
+// recordable value distinct from "empty".
+func TestHistRecordZeroAndMin(t *testing.T) {
+	h := &Hist{}
+	h.Record(0)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	if got := h.Min(); got != 0 {
+		t.Errorf("Min = %d, want 0", got)
+	}
+	if got := h.Max(); got != 0 {
+		t.Errorf("Max = %d, want 0", got)
+	}
+	h.Record(10)
+	if got := h.Min(); got != 0 {
+		t.Errorf("Min after second record = %d, want 0", got)
+	}
+}
+
+// TestHistMerge verifies merged histograms agree with recording every
+// observation into one.
+func TestHistMerge(t *testing.T) {
+	a, b, both := &Hist{}, &Hist{}, &Hist{}
+	for v := int64(1); v <= 50; v++ {
+		a.Record(v * 3)
+		both.Record(v * 3)
+	}
+	for v := int64(1); v <= 80; v++ {
+		b.Record(v * 7)
+		both.Record(v * 7)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Errorf("merged Count = %d, want %d", a.Count(), both.Count())
+	}
+	if a.Sum() != both.Sum() {
+		t.Errorf("merged Sum = %d, want %d", a.Sum(), both.Sum())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Errorf("merged min/max = %d/%d, want %d/%d", a.Min(), a.Max(), both.Min(), both.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("merged Quantile(%g) = %d, want %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Count()
+	a.Merge(&Hist{})
+	if a.Count() != before || a.Min() != both.Min() {
+		t.Errorf("merge of empty histogram changed state")
+	}
+}
+
+// TestHistBucketsExport checks the compact export: non-empty buckets
+// only, ascending, counts totaling Count.
+func TestHistBucketsExport(t *testing.T) {
+	h := &Hist{}
+	values := []int64{5, 5, 500, 1_000_000}
+	for _, v := range values {
+		h.Record(v)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("got %d buckets, want 3: %+v", len(bs), bs)
+	}
+	var total uint64
+	last := int64(-1)
+	for _, b := range bs {
+		if b.LowerNs <= last {
+			t.Errorf("buckets not ascending: %+v", bs)
+		}
+		last = b.LowerNs
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts total %d, want %d", total, h.Count())
+	}
+	if bs[0].LowerNs != 5 || bs[0].Count != 2 {
+		t.Errorf("first bucket = %+v, want {5 2}", bs[0])
+	}
+}

@@ -1,0 +1,151 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind enumerates the workload operations — the session lifecycle
+// verbs a real cohort platform sees, plus the stateless endpoints.
+type OpKind uint8
+
+const (
+	// OpCreate creates a fresh session for the op's keyspace slot,
+	// replacing (and retiring) whatever session held the slot.
+	OpCreate OpKind = iota
+	// OpDelete closes the slot's current session — the churn event that
+	// races DELETE /v1/sessions/{id} against in-flight rounds.
+	OpDelete
+	// OpJoin adds a participant with a seeded skill.
+	OpJoin
+	// OpLeave removes a previously joined participant.
+	OpLeave
+	// OpRound runs one learning round.
+	OpRound
+	// OpStatus reads the session status snapshot.
+	OpStatus
+	// OpSimulate runs a small stateless /v1/simulate instance.
+	OpSimulate
+	// OpGroup runs a small stateless /v1/group instance.
+	OpGroup
+
+	numOpKinds
+)
+
+// opNames maps kinds to the names used in mix specs, SLO specs, and
+// report entries.
+var opNames = [numOpKinds]string{
+	"create", "delete", "join", "leave", "round", "status", "simulate", "group",
+}
+
+// String returns the op's mix/report name.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one scheduled request of the plan.
+type Op struct {
+	// Seq is the op's index in the plan (and into Schedule.At).
+	Seq int
+	// Kind selects the operation.
+	Kind OpKind
+	// Key is the keyspace slot the op targets (session-scoped ops only).
+	Key int
+	// Skill is the joining participant's skill (OpJoin only).
+	Skill float64
+}
+
+// Mix is a weighted op distribution parsed from a spec like
+// "join=4,leave=2,round=3,status=2,create=1,delete=1,simulate=1".
+// Weights are relative; ops absent from the spec have weight zero.
+type Mix struct {
+	weights [numOpKinds]float64
+	cum     [numOpKinds]float64
+	total   float64
+}
+
+// ParseMix parses a mix spec. At least one weight must be positive.
+func ParseMix(spec string) (*Mix, error) {
+	m := &Mix{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("load: bad mix term %q (want op=weight)", field)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("load: bad mix weight %q for %q (want a value ≥ 0)", val, name)
+		}
+		kind, err := parseOpName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		m.weights[kind] = w
+	}
+	for k, w := range m.weights {
+		m.total += w
+		m.cum[k] = m.total
+	}
+	if m.total <= 0 {
+		return nil, fmt.Errorf("load: mix %q has no positive weights", spec)
+	}
+	return m, nil
+}
+
+func parseOpName(name string) (OpKind, error) {
+	for k, n := range opNames {
+		if n == name {
+			return OpKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("load: unknown op %q (known: %s)", name, strings.Join(opNames[:], ", "))
+}
+
+// String renders the canonical spec (ops in fixed order, zero weights
+// dropped), for the report header.
+func (m *Mix) String() string {
+	var parts []string
+	for k, w := range m.weights {
+		if w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", OpKind(k), w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// pick maps a uniform value u ∈ [0, 1) to an op kind by cumulative
+// weight.
+func (m *Mix) pick(u float64) OpKind {
+	target := u * m.total
+	for k := range m.cum {
+		if target < m.cum[k] {
+			return OpKind(k)
+		}
+	}
+	return numOpKinds - 1
+}
+
+// BuildPlan generates the op sequence: n ops, kinds drawn from the
+// mix, keys drawn from the Zipf keyspace, join skills in (0, 1]. The
+// plan is a pure function of (n, mix, zipf, rng state), so a fixed
+// seed replays the identical workload. Every op consumes the same
+// number of draws regardless of kind, keeping the stream aligned —
+// changing one op's parameters never reshuffles the rest of the plan.
+func BuildPlan(n int, mix *Mix, z *Zipf, rng *Rand) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		kind := mix.pick(rng.Float64())
+		key := z.Pick(rng.Float64())
+		skill := 0.05 + 0.95*rng.Float64()
+		ops[i] = Op{Seq: i, Kind: kind, Key: key, Skill: skill}
+	}
+	return ops
+}

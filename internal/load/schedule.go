@@ -1,0 +1,136 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule is an open-loop arrival process: it maps request index i to
+// the intended send time of the i-th request, measured from the start
+// of the run. The schedule is fixed before the run begins and never
+// reacts to response times — that independence is what makes the
+// generator open-loop, and measuring every latency from At(i) (rather
+// than from the moment the dispatcher actually fired) is what makes it
+// coordinated-omission-safe.
+//
+// Three shapes cover the production-shaped questions the serving tier
+// gets asked:
+//
+//	constant:R        fixed R requests/second
+//	ramp:R0:R1        rate climbs linearly from R0 to R1 over the run
+//	step:R0:R1:F      R0 until fraction F of the run, then R1 (load spike)
+type Schedule struct {
+	kind     string
+	r0, r1   float64
+	frac     float64
+	duration time.Duration
+}
+
+// ParseSchedule parses a schedule spec against the run duration.
+func ParseSchedule(spec string, duration time.Duration) (*Schedule, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("load: schedule needs a positive duration, got %v", duration)
+	}
+	parts := strings.Split(spec, ":")
+	rate := func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return 0, fmt.Errorf("load: bad rate %q (want a positive requests/second value)", s)
+		}
+		return v, nil
+	}
+	sc := &Schedule{kind: parts[0], duration: duration}
+	switch {
+	case parts[0] == "constant" && len(parts) == 2:
+		r, err := rate(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		sc.r0, sc.r1 = r, r
+	case parts[0] == "ramp" && len(parts) == 3:
+		var err error
+		if sc.r0, err = rate(parts[1]); err != nil {
+			return nil, err
+		}
+		if sc.r1, err = rate(parts[2]); err != nil {
+			return nil, err
+		}
+	case parts[0] == "step" && len(parts) == 4:
+		var err error
+		if sc.r0, err = rate(parts[1]); err != nil {
+			return nil, err
+		}
+		if sc.r1, err = rate(parts[2]); err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || !(f > 0 && f < 1) {
+			return nil, fmt.Errorf("load: bad step fraction %q (want a value in (0, 1))", parts[3])
+		}
+		sc.frac = f
+	default:
+		return nil, fmt.Errorf("load: bad schedule %q (want constant:R, ramp:R0:R1, or step:R0:R1:F)", spec)
+	}
+	return sc, nil
+}
+
+// String returns the canonical spec, for the report header.
+func (s *Schedule) String() string {
+	switch s.kind {
+	case "ramp":
+		return fmt.Sprintf("ramp:%g:%g", s.r0, s.r1)
+	case "step":
+		return fmt.Sprintf("step:%g:%g:%g", s.r0, s.r1, s.frac)
+	default:
+		return fmt.Sprintf("constant:%g", s.r0)
+	}
+}
+
+// Count returns the number of arrivals the schedule produces over its
+// duration — the integral of the instantaneous rate.
+func (s *Schedule) Count() int {
+	d := s.duration.Seconds()
+	switch s.kind {
+	case "ramp":
+		return int((s.r0 + s.r1) / 2 * d)
+	case "step":
+		return int(s.r0*s.frac*d + s.r1*(1-s.frac)*d)
+	default:
+		return int(s.r0 * d)
+	}
+}
+
+// At returns the intended send time of request i, as an offset from
+// the run start. Indexes past Count() extrapolate the final rate, so a
+// caller-imposed op count never reads out of range.
+func (s *Schedule) At(i int) time.Duration {
+	n := float64(i)
+	var sec float64
+	switch s.kind {
+	case "ramp":
+		// Cumulative arrivals N(t) = r0·t + (r1−r0)·t²/(2D); invert the
+		// quadratic for t at N = i. A (near-)flat ramp degenerates to
+		// the constant formula — the quadratic inversion divides by the
+		// slope, which cancels catastrophically as r1 → r0.
+		c2 := (s.r1 - s.r0) / (2 * s.duration.Seconds())
+		if math.Abs(c2) < 1e-9 {
+			sec = n / s.r0
+			break
+		}
+		sec = (-s.r0 + math.Sqrt(s.r0*s.r0+4*c2*n)) / (2 * c2)
+	case "step":
+		d := s.duration.Seconds()
+		n0 := s.r0 * s.frac * d // arrivals before the step
+		if n < n0 {
+			sec = n / s.r0
+		} else {
+			sec = s.frac*d + (n-n0)/s.r1
+		}
+	default:
+		sec = n / s.r0
+	}
+	return time.Duration(sec * float64(time.Second))
+}

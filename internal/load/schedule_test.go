@@ -1,0 +1,98 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleParseAndString(t *testing.T) {
+	good := []struct {
+		spec  string
+		canon string
+		count int
+	}{
+		{"constant:100", "constant:100", 1000},
+		{"constant:2.5", "constant:2.5", 25},
+		{"ramp:100:300", "ramp:100:300", 2000},
+		{"step:100:300:0.5", "step:100:300:0.5", 2000},
+	}
+	for _, c := range good {
+		s, err := ParseSchedule(c.spec, 10*time.Second)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", c.spec, err)
+			continue
+		}
+		if s.String() != c.canon {
+			t.Errorf("String() = %q, want %q", s.String(), c.canon)
+		}
+		if s.Count() != c.count {
+			t.Errorf("%q Count() = %d, want %d", c.spec, s.Count(), c.count)
+		}
+	}
+	bad := []string{
+		"", "constant", "constant:0", "constant:-5", "constant:x",
+		"ramp:100", "ramp:0:100", "step:100:300", "step:100:300:0",
+		"step:100:300:1", "step:100:300:2", "burst:5", "constant:inf",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec, 10*time.Second); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", spec)
+		}
+	}
+	if _, err := ParseSchedule("constant:100", 0); err == nil {
+		t.Error("zero duration accepted, want error")
+	}
+}
+
+// TestScheduleAt pins intended send times. Durations are integers, so
+// exact comparison is safe for the rational cases; the ramp inversion
+// gets a tolerance.
+func TestScheduleAt(t *testing.T) {
+	within := func(got, want, tol time.Duration, name string) {
+		t.Helper()
+		d := got - want
+		if d < -tol || d > tol {
+			t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+		}
+	}
+
+	constant, err := ParseSchedule("constant:100", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(constant.At(0), 0, 0, "constant At(0)")
+	within(constant.At(1), 10*time.Millisecond, 0, "constant At(1)")
+	within(constant.At(500), 5*time.Second, 0, "constant At(500)")
+	// Indexes past Count extrapolate rather than clamping.
+	within(constant.At(2000), 20*time.Second, 0, "constant At(2000)")
+
+	step, err := ParseSchedule("step:100:300:0.5", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(step.At(0), 0, 0, "step At(0)")
+	within(step.At(250), 2500*time.Millisecond, 0, "step At(250)")
+	within(step.At(500), 5*time.Second, 0, "step At(500)")                // the step boundary
+	within(step.At(800), 6*time.Second, time.Microsecond, "step At(800)") // 300/s after it
+
+	ramp, err := ParseSchedule("ramp:100:300", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(ramp.At(0), 0, 0, "ramp At(0)")
+	// N(t) = 100t + 10t²; N(10) = 2000 and N⁻¹(1000) = 6.18034s.
+	within(ramp.At(2000), 10*time.Second, time.Microsecond, "ramp At(2000)")
+	within(ramp.At(1000), 6180339887*time.Nanosecond, 2*time.Microsecond, "ramp At(1000)")
+
+	// Arrival times must be strictly increasing for every shape.
+	for _, s := range []*Schedule{constant, step, ramp} {
+		prev := s.At(0) - 1
+		for i := 0; i < 2100; i++ {
+			at := s.At(i)
+			if at <= prev {
+				t.Fatalf("%s At(%d) = %v not after At(%d) = %v", s, i, at, i-1, prev)
+			}
+			prev = at
+		}
+	}
+}

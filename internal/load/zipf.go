@@ -1,0 +1,58 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Zipf samples keyspace slots with the rank-frequency popularity law
+// p(rank) ∝ 1/rank^s — the standard model for session popularity in a
+// churn-heavy cohort platform: a few hot cohorts absorb most of the
+// traffic while a long tail stays warm. s = 0 degenerates to uniform;
+// larger s concentrates more of the mass on the head (slot 0 is always
+// the hottest key).
+//
+// The sampler is inverse-CDF over a precomputed cumulative table, so a
+// draw is one binary search on a caller-supplied uniform value — no
+// internal randomness, which keeps Zipf a pure function and lets the
+// plan builder own the single seeded stream.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds a sampler over n slots with exponent s ≥ 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("load: zipf needs at least 1 slot, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("load: zipf exponent must be a finite value ≥ 0, got %v", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	// Normalize in a second fixed-order pass so the table is a pure
+	// function of (n, s) on every platform.
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // pin the top against rounding so Pick(≈1) stays in range
+	return &Zipf{cum: cum}, nil
+}
+
+// N returns the number of slots.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Pick maps a uniform value u ∈ [0, 1) to a slot index: the first slot
+// whose cumulative probability exceeds u.
+func (z *Zipf) Pick(u float64) int {
+	i, _ := slices.BinarySearch(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}

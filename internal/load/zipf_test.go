@@ -1,0 +1,157 @@
+package load
+
+import "testing"
+
+// TestRandPinned pins the splitmix64 stream: any change to the
+// generator silently reshuffles every plan, so the exact values are
+// golden.
+func TestRandPinned(t *testing.T) {
+	rng := NewRand(42)
+	want := []uint64{0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52, 0x581ce1ff0e4ae394}
+	for i, w := range want {
+		if got := rng.Uint64(); got != w {
+			t.Fatalf("Uint64 #%d = %#x, want %#x", i, got, w)
+		}
+	}
+	rng = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 #%d = %g outside [0, 1)", i, f)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if n := rng.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn(7) = %d outside range", n)
+		}
+	}
+}
+
+// TestZipfPinned pins key selection at a fixed seed — the workload's
+// session-popularity stream must never drift between releases.
+func TestZipfPinned(t *testing.T) {
+	z, err := NewZipf(8, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(42)
+	want := []int{3, 0, 0, 0, 0, 5, 0, 4, 0, 2, 0, 1}
+	for i, w := range want {
+		if got := z.Pick(rng.Float64()); got != w {
+			t.Fatalf("pick #%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestZipfShape checks the distribution properties that make the head
+// hot: rank frequencies are non-increasing in s>0, and s=0 degenerates
+// to uniform.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 8, 200_000
+	count := func(s float64, seed uint64) [n]int {
+		z, err := NewZipf(n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := NewRand(seed)
+		var c [n]int
+		for i := 0; i < draws; i++ {
+			c[z.Pick(rng.Float64())]++
+		}
+		return c
+	}
+
+	skewed := count(1.2, 7)
+	for i := 1; i < n; i++ {
+		// Allow small sampling noise on the flat tail, none on the head.
+		if skewed[i] > skewed[i-1]+draws/200 {
+			t.Errorf("zipf(1.2) rank %d count %d above rank %d count %d", i, skewed[i], i-1, skewed[i-1])
+		}
+	}
+	if skewed[0] < draws/4 {
+		t.Errorf("zipf(1.2) head got %d of %d draws; expected a hot head", skewed[0], draws)
+	}
+
+	uniform := count(0, 7)
+	for i := 0; i < n; i++ {
+		lo, hi := draws/n-draws/50, draws/n+draws/50
+		if uniform[i] < lo || uniform[i] > hi {
+			t.Errorf("zipf(0) rank %d count %d outside uniform band [%d, %d]", i, uniform[i], lo, hi)
+		}
+	}
+
+	// Same seed, same picks — the determinism contract.
+	if count(1.2, 99) != count(1.2, 99) {
+		t.Error("identical seeds produced different pick counts")
+	}
+}
+
+// TestZipfErrors rejects degenerate parameters.
+func TestZipfErrors(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-3, 1}, {4, -0.5}} {
+		if _, err := NewZipf(c.n, c.s); err == nil {
+			t.Errorf("NewZipf(%d, %g) succeeded, want error", c.n, c.s)
+		}
+	}
+}
+
+// TestBuildPlanDeterminism verifies the plan is a pure function of its
+// seeds and that draw alignment holds: two plans from equal seeds are
+// identical element-wise.
+func TestBuildPlanDeterminism(t *testing.T) {
+	mix, err := ParseMix("join=4,round=3,create=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := NewZipf(16, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildPlan(500, mix, z, NewRand(11))
+	b := BuildPlan(500, mix, z, NewRand(11))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i, op := range a {
+		if op.Seq != i {
+			t.Fatalf("op %d has Seq %d", i, op.Seq)
+		}
+		if op.Kind != OpJoin && op.Kind != OpRound && op.Kind != OpCreate {
+			t.Fatalf("op %d has kind %v outside the mix", i, op.Kind)
+		}
+		if op.Key < 0 || op.Key >= 16 {
+			t.Fatalf("op %d key %d outside keyspace", i, op.Key)
+		}
+		if op.Skill <= 0 || op.Skill > 1 {
+			t.Fatalf("op %d skill %g outside (0, 1]", i, op.Skill)
+		}
+	}
+}
+
+// TestMixParse covers spec parsing and the canonical rendering.
+func TestMixParse(t *testing.T) {
+	m, err := ParseMix("round=3, join=4 ,create=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.String(), "create=1,join=4,round=3"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	for _, bad := range []string{"", "round", "round=x", "round=-1", "warp=2"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", bad)
+		}
+	}
+	// pick must respect zero weights: a mix without deletes never picks one.
+	rng := NewRand(3)
+	for i := 0; i < 10_000; i++ {
+		if k := m.pick(rng.Float64()); k == OpDelete || k == OpLeave {
+			t.Fatalf("pick returned %v, which has zero weight", k)
+		}
+	}
+}

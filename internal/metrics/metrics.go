@@ -119,6 +119,41 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank, the standard Prometheus histogram_quantile estimate. The
+// lowest bucket interpolates from 0; a rank landing in the +Inf bucket
+// returns the largest finite upper bound (the estimate cannot exceed
+// what the buckets resolve). An empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 || len(h.uppers) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, u := range h.uppers {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.uppers[i-1]
+			}
+			if n == 0 {
+				return u
+			}
+			return lower + (u-lower)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
 // write renders the cumulative bucket, sum, and count series. extra is
 // the pre-rendered label pairs to merge into every series ("" for a
 // plain histogram).
@@ -143,6 +178,22 @@ func (h *Histogram) write(w io.Writer, name, extra string) error {
 // DefBuckets are latency buckets in seconds, matching the Prometheus
 // client default.
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns n upper bounds starting at start, each
+// factor times the previous — the standard way to cover a wide latency
+// range with bounded series count. start must be positive and factor
+// greater than 1; n is clamped to at least 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
 
 // GainBuckets cover per-round aggregated learning gains, which scale
 // with roster size rather than wall-clock.

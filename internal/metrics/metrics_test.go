@@ -177,3 +177,55 @@ func TestExpositionFormatParses(t *testing.T) {
 		t.Errorf("families not in sorted order:\n%s", rec.Body.String())
 	}
 }
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ExponentialBuckets returned %d bounds, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("bound %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if got := ExponentialBuckets(1, 2, 0); len(got) != 1 {
+		t.Errorf("n=0 returned %d bounds, want clamped to 1", len(got))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %g, want 0", got)
+	}
+
+	// 10 observations per bucket: ranks land on interpolable positions.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+		h.Observe(6)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 1},    // rank 10 = exactly the top of bucket ≤1
+		{0.5, 2},     // rank 20 = top of bucket ≤2
+		{0.125, 0.5}, // rank 5, halfway into [0, 1]
+		{1, 8},       // max resolvable bound
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// A rank in the +Inf bucket is capped at the largest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) with +Inf mass = %g, want capped at 8", got)
+	}
+}

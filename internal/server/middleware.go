@@ -176,10 +176,12 @@ func (w *statusWriter) status() int {
 	return http.StatusOK
 }
 
-// routeLabel maps a request path to a bounded-cardinality route
+// RouteLabel maps a request path to a bounded-cardinality route
 // template for metric labels; unknown paths collapse into "other" so a
-// path-scanning client cannot grow the label space.
-func routeLabel(path string) string {
+// path-scanning client cannot grow the label space. Exported so load
+// harnesses can key client-side request counts by the same templates
+// the server's metrics use.
+func RouteLabel(path string) string {
 	switch path {
 	case "/healthz", "/metrics", "/v1/algorithms", "/v1/group", "/v1/simulate", "/v1/solve", "/v1/sessions":
 		return path
@@ -218,7 +220,7 @@ func withObservability(next http.Handler, m *HTTPMetrics, logger *slog.Logger, c
 		}
 		w.Header().Set("X-Request-Id", rid)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
-		route := routeLabel(r.URL.Path)
+		route := RouteLabel(r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w}
 
 		m.InFlight.Inc()

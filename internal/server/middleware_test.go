@@ -104,8 +104,8 @@ func TestRouteLabel(t *testing.T) {
 		"/v2/whatever":         "other",
 		"/../../etc/passwd":    "other",
 	} {
-		if got := routeLabel(path); got != want {
-			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		if got := RouteLabel(path); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", path, got, want)
 		}
 	}
 }

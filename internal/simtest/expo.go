@@ -1,0 +1,84 @@
+package simtest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed Prometheus exposition line. Exported so other
+// harnesses (cmd/peerload's metrics cross-check, ad-hoc test
+// assertions) reuse the same minimal parser the simulation invariant
+// checker trusts.
+type Sample struct {
+	// Name is the family name including _bucket/_sum/_count suffixes.
+	Name string
+	// Labels is the raw label block without braces, "" if none.
+	Labels string
+	// Value is the unparsed value text.
+	Value string
+}
+
+// Label extracts the value of one label key from the sample's label
+// block, "" if absent.
+func (s Sample) Label(key string) string {
+	rest := s.Labels
+	for rest != "" {
+		pair, tail, _ := strings.Cut(rest, `",`)
+		rest = tail
+		k, v, ok := strings.Cut(pair, `="`)
+		if !ok {
+			return ""
+		}
+		if strings.TrimSpace(k) == key {
+			return strings.TrimSuffix(v, `"`)
+		}
+	}
+	return ""
+}
+
+// ParseExposition parses the Prometheus text format far enough for
+// invariant checking: comment lines are skipped, every sample line
+// yields (name, labels, value) in file order.
+func ParseExposition(text string) []Sample {
+	var out []Sample
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		head, value := line[:sp], line[sp+1:]
+		name, labels := head, ""
+		if i := strings.IndexByte(head, '{'); i >= 0 {
+			name = head[:i]
+			labels = strings.TrimSuffix(head[i+1:], "}")
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: value})
+	}
+	return out
+}
+
+// SumSamples sums every series of an integer-valued family.
+func SumSamples(samples []Sample, name string) (int64, error) {
+	var total int64
+	found := false
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(s.Value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %s sample %q: %w", name, s.Value, err)
+		}
+		total += int64(v)
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("family %s not exposed", name)
+	}
+	return total, nil
+}

@@ -150,59 +150,6 @@ func (c *Checker) CheckStarvation(at int, session []matchmaker.Participant) {
 	}
 }
 
-// sample is one parsed exposition line.
-type sample struct {
-	name   string // family name including _bucket/_sum/_count suffixes
-	labels string // raw label block without braces, "" if none
-	value  string // unparsed value text
-}
-
-// parseExposition parses the Prometheus text format far enough for
-// invariant checking: comment lines are skipped, every sample line
-// yields (name, labels, value) in file order.
-func parseExposition(text string) []sample {
-	var out []sample
-	for _, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			continue
-		}
-		head, value := line[:sp], line[sp+1:]
-		name, labels := head, ""
-		if i := strings.IndexByte(head, '{'); i >= 0 {
-			name = head[:i]
-			labels = strings.TrimSuffix(head[i+1:], "}")
-		}
-		out = append(out, sample{name: name, labels: labels, value: value})
-	}
-	return out
-}
-
-// sumInt sums every series of an integer-valued family.
-func sumInt(samples []sample, name string) (int64, error) {
-	var total int64
-	found := false
-	for _, s := range samples {
-		if s.name != name {
-			continue
-		}
-		v, err := strconv.ParseFloat(s.value, 64)
-		if err != nil {
-			return 0, fmt.Errorf("parsing %s sample %q: %w", name, s.value, err)
-		}
-		total += int64(v)
-		found = true
-	}
-	if !found {
-		return 0, fmt.Errorf("family %s not exposed", name)
-	}
-	return total, nil
-}
-
 // CheckMetrics verifies the final /metrics exposition against the
 // events the harness observed: the matchmaker counters must equal the
 // per-round sums, the round-gain histogram must count every round and
@@ -211,9 +158,9 @@ func sumInt(samples []sample, name string) (int64, error) {
 // request counter must equal the requests the harness actually issued
 // through the middleware.
 func (c *Checker) CheckMetrics(expo string, counts Counts) {
-	samples := parseExposition(expo)
+	samples := ParseExposition(expo)
 	intIs := func(name string, want int) {
-		got, err := sumInt(samples, name)
+		got, err := SumSamples(samples, name)
 		if err != nil {
 			c.failf("metrics: %v", err)
 			return
@@ -235,20 +182,20 @@ func (c *Checker) CheckMetrics(expo string, counts Counts) {
 	// equal to _count.
 	var last, inf int64 = -1, -1
 	for _, s := range samples {
-		if s.name != "peerlearn_matchmaker_round_gain_bucket" {
+		if s.Name != "peerlearn_matchmaker_round_gain_bucket" {
 			continue
 		}
-		v, err := strconv.ParseFloat(s.value, 64)
+		v, err := strconv.ParseFloat(s.Value, 64)
 		if err != nil {
-			c.failf("metrics: parsing bucket %q: %v", s.value, err)
+			c.failf("metrics: parsing bucket %q: %v", s.Value, err)
 			return
 		}
 		n := int64(v)
 		if n < last {
-			c.failf("metrics: round_gain bucket %q count %d below previous bucket %d (not cumulative)", s.labels, n, last)
+			c.failf("metrics: round_gain bucket %q count %d below previous bucket %d (not cumulative)", s.Labels, n, last)
 		}
 		last = n
-		if strings.Contains(s.labels, `le="+Inf"`) {
+		if strings.Contains(s.Labels, `le="+Inf"`) {
 			inf = n
 		}
 	}

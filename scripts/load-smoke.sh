@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# load-smoke: the serving-path latency gate (the load-smoke CI job).
+#
+# Phase 1 — determinism: the canonical smoke configuration is run twice
+# at the same seed; the two reports must be byte-identical. The smoke
+# runs sequentially on a seeded virtual clock, so every latency in the
+# report is a pure function of the seed — any diff means nondeterminism
+# leaked into the serving path or the harness.
+#
+# Phase 2 — gates: the same configuration is compared entry-for-entry
+# against the committed BENCH_10.json baseline (zero regression budget:
+# virtual latencies are exact, so any drift must be an intentional,
+# regenerated baseline) and against absolute latency SLOs. The fresh
+# report is left at load-report.json for artifact upload.
+#
+# Phase 3 — concurrency: a short real-clock, concurrent in-process run
+# with a loose SLO proves the open-loop dispatcher and the serving tier
+# under actual parallelism, not just the sequential replay.
+#
+# Usage: scripts/load-smoke.sh
+set -euo pipefail
+
+SMOKE_ARGS=(-deterministic -seed 1 -schedule constant:500 -ops 4000 -sessions 16)
+SMOKE_SLO='round:p99<5ms,all:p99<10ms'
+LIVE_SLO='all:p99<250ms'
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/peerload" ./cmd/peerload
+
+"$WORK/peerload" "${SMOKE_ARGS[@]}" -out "$WORK/a.json" >/dev/null
+"$WORK/peerload" "${SMOKE_ARGS[@]}" -out "$WORK/b.json" >/dev/null
+if ! cmp -s "$WORK/a.json" "$WORK/b.json"; then
+  echo "load-smoke: FAIL — deterministic runs at the same seed differ:" >&2
+  diff "$WORK/a.json" "$WORK/b.json" | head -40 >&2 || true
+  exit 1
+fi
+echo "load-smoke: deterministic report is byte-stable across runs"
+
+"$WORK/peerload" "${SMOKE_ARGS[@]}" -out load-report.json \
+  -compare BENCH_10.json -max-regress 0 -slo "$SMOKE_SLO"
+echo "load-smoke: baseline comparison and SLO gates ($SMOKE_SLO) passed"
+
+"$WORK/peerload" -seed 1 -schedule constant:2000 -duration 2s -sessions 16 \
+  -max-inflight 64 -slo "$LIVE_SLO"
+echo "load-smoke: concurrent real-clock phase passed ($LIVE_SLO)"
+echo "load-smoke: OK"
